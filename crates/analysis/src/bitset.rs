@@ -1,0 +1,102 @@
+//! A small fixed-capacity bit set used for transitive closures.
+
+/// Fixed-capacity bit set over `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set with capacity for `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity of the set.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`; returns true when newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of capacity {}", self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Union `other` into `self`; returns true when anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// Number of elements present.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |i| self.contains(*i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn out_of_range_insert_panics() {
+        BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!BitSet::new(4).contains(100));
+    }
+}

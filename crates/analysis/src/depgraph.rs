@@ -1,0 +1,521 @@
+//! The statement dependency graph of §4.1.
+
+use crate::bitset::BitSet;
+use gallium_mir::cfg::Cfg;
+use gallium_mir::{BlockId, Loc, Program, Terminator, ValueId};
+use std::collections::HashMap;
+
+/// Why one statement must run after another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// S1 modifies state S2 reads or writes (RAW/WAW), or S2 consumes S1's
+    /// SSA result.
+    Data,
+    /// S1 reads state S2 modifies (WAR).
+    ReverseData,
+    /// S1 computes a branch condition deciding whether S2 executes.
+    Control,
+}
+
+/// The dependency graph over a program's instructions, plus the derived
+/// artifacts the partitioner needs (`⇝*`, loop membership, distances).
+#[derive(Debug)]
+pub struct DepGraph {
+    n: usize,
+    /// Forward edges: `edges[from]` lists `(to, kind)`.
+    edges: Vec<Vec<(ValueId, DepKind)>>,
+    /// Reverse adjacency for convenience.
+    redges: Vec<Vec<(ValueId, DepKind)>>,
+    /// `closure[s]` = set of t with s ⇝* t (non-reflexive unless cyclic).
+    closure: Vec<BitSet>,
+    /// Instructions in a CFG cycle (loop body) or a dependency cycle —
+    /// label rule 5 forces these onto the server.
+    in_loop: Vec<bool>,
+    /// Position (block, index) of each instruction.
+    position: Vec<(BlockId, usize)>,
+}
+
+impl DepGraph {
+    /// Extract the dependency graph of `prog` (§4.1).
+    pub fn build(prog: &Program) -> Self {
+        let f = &prog.func;
+        let n = f.insts.len();
+        let cfg = Cfg::new(f);
+
+        // Instruction positions.
+        let mut position = vec![(BlockId(0), 0usize); n];
+        for (b, i, v) in f.iter_insts() {
+            position[v.0 as usize] = (b, i);
+        }
+
+        // "Can happen after": S2 can happen after S1.
+        let block_reach: HashMap<BlockId, std::collections::HashSet<BlockId>> = f
+            .blocks
+            .iter()
+            .map(|b| (b.id, cfg.reachable_from(b.id)))
+            .collect();
+        let can_happen_after = |s2: ValueId, s1: ValueId| -> bool {
+            let (b1, i1) = position[s1.0 as usize];
+            let (b2, i2) = position[s2.0 as usize];
+            if b1 == b2 {
+                if i2 > i1 {
+                    return true;
+                }
+                // Same block, earlier or same index: only via a loop.
+                return cfg.reaches_nonempty(b1, b2);
+            }
+            block_reach[&b1].contains(&b2)
+        };
+
+        let mut edges: Vec<Vec<(ValueId, DepKind)>> = vec![Vec::new(); n];
+        let add = |edges: &mut Vec<Vec<(ValueId, DepKind)>>,
+                       from: ValueId,
+                       to: ValueId,
+                       kind: DepKind| {
+            if !edges[from.0 as usize].contains(&(to, kind)) {
+                edges[from.0 as usize].push((to, kind));
+            }
+        };
+
+        // SSA use-def edges are data dependencies (the definition must run
+        // before any use).
+        for v in 0..n {
+            let vid = ValueId(v as u32);
+            for u in f.insts[v].op.uses() {
+                add(&mut edges, u, vid, DepKind::Data);
+            }
+        }
+
+        // Location-conflict dependencies.
+        let reads: Vec<Vec<Loc>> = f.insts.iter().map(|i| i.op.reads()).collect();
+        let writes: Vec<Vec<Loc>> = f.insts.iter().map(|i| i.op.writes()).collect();
+        let overlaps =
+            |a: &[Loc], b: &[Loc]| -> bool { a.iter().any(|la| b.iter().any(|lb| la == lb)) };
+        for s1 in 0..n {
+            for s2 in 0..n {
+                if s1 == s2 {
+                    // A self-conflicting statement (e.g. a map insert in a
+                    // loop) depends on itself when it can re-execute.
+                    let v = ValueId(s1 as u32);
+                    let self_conflict = overlaps(&writes[s1], &writes[s1])
+                        && !writes[s1].is_empty()
+                        || overlaps(&writes[s1], &reads[s1]);
+                    if self_conflict && can_happen_after(v, v) {
+                        add(&mut edges, v, v, DepKind::Data);
+                    }
+                    continue;
+                }
+                let v1 = ValueId(s1 as u32);
+                let v2 = ValueId(s2 as u32);
+                if !can_happen_after(v2, v1) {
+                    continue;
+                }
+                // Data: S1 writes what S2 reads or writes.
+                if overlaps(&writes[s1], &reads[s2]) || overlaps(&writes[s1], &writes[s2]) {
+                    add(&mut edges, v1, v2, DepKind::Data);
+                }
+                // Reverse data: S1 reads what S2 writes.
+                if overlaps(&reads[s1], &writes[s2]) {
+                    add(&mut edges, v1, v2, DepKind::ReverseData);
+                }
+            }
+        }
+
+        // Control dependencies: block-level control dependence, with the
+        // edge sourced at the instruction computing the branch condition.
+        let block_cd = cfg.control_deps(f);
+        for b in &f.blocks {
+            for &br_block in &block_cd[b.id.0 as usize] {
+                let Terminator::Branch { cond, .. } = &f.block(br_block).term else {
+                    continue;
+                };
+                for &inst in &b.insts {
+                    if inst != *cond {
+                        add(&mut edges, *cond, inst, DepKind::Control);
+                    }
+                }
+            }
+        }
+
+        // Output-commit dependencies: a packet emission must observe every
+        // global-state update the packet performed (§4.3.3 — "the packet
+        // causing the updates is buffered … until the updates are
+        // reflected"). Statically: `Send`/`Drop` depends on every
+        // state-writing statement that can happen before it.
+        for s in 0..n {
+            if !matches!(
+                f.insts[s].op,
+                gallium_mir::Op::Send | gallium_mir::Op::Drop
+            ) {
+                continue;
+            }
+            let send = ValueId(s as u32);
+            for w in 0..n {
+                if w == s {
+                    continue;
+                }
+                let writes_state = f.insts[w]
+                    .op
+                    .writes()
+                    .iter()
+                    .any(|l| matches!(l, Loc::State(_)));
+                if writes_state && can_happen_after(send, ValueId(w as u32)) {
+                    add(&mut edges, ValueId(w as u32), send, DepKind::Data);
+                }
+            }
+        }
+
+        // φ-nodes additionally depend on every branch that can steer which
+        // incoming edge is taken: a φ cannot be evaluated without knowing
+        // the branch outcome, even though its own block is not
+        // control-dependent on the branch. Conservative rule: if a branch
+        // block B reaches the φ's block M through two or more *different*
+        // immediate predecessors of M, the φ depends on B's condition.
+        for b in &f.blocks {
+            for &v in &b.insts {
+                let gallium_mir::Op::Phi { .. } = &f.inst(v).op else {
+                    continue;
+                };
+                for br in &f.blocks {
+                    let Terminator::Branch { cond, .. } = &br.term else {
+                        continue;
+                    };
+                    let preds_reached = cfg
+                        .preds(b.id)
+                        .iter()
+                        .filter(|p| **p == br.id || block_reach[&br.id].contains(p))
+                        .count();
+                    if preds_reached >= 2 {
+                        add(&mut edges, *cond, v, DepKind::Control);
+                    }
+                }
+            }
+        }
+
+        // Reverse edges.
+        let mut redges: Vec<Vec<(ValueId, DepKind)>> = vec![Vec::new(); n];
+        for (from, outs) in edges.iter().enumerate() {
+            for (to, kind) in outs {
+                redges[to.0 as usize].push((ValueId(from as u32), *kind));
+            }
+        }
+
+        // Transitive closure by iterating union of successor closures.
+        let mut closure: Vec<BitSet> = vec![BitSet::new(n); n];
+        for (from, outs) in edges.iter().enumerate() {
+            for (to, _) in outs {
+                closure[from].insert(to.0 as usize);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for s in 0..n {
+                let succs: Vec<usize> = closure[s].iter().collect();
+                for t in succs {
+                    if t != s {
+                        let (a, b) = split_two(&mut closure, s, t);
+                        changed |= a.union_with(b);
+                    }
+                }
+            }
+        }
+
+        // Loop membership: in a CFG cycle or a dependency cycle.
+        let mut in_loop = vec![false; n];
+        for v in 0..n {
+            let (b, _) = position[v];
+            if cfg.reaches_nonempty(b, b) || closure[v].contains(v) {
+                in_loop[v] = true;
+            }
+        }
+
+        DepGraph {
+            n,
+            edges,
+            redges,
+            closure,
+            in_loop,
+            position,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direct dependencies: edges `from ⇝ to`.
+    pub fn deps_out(&self, from: ValueId) -> &[(ValueId, DepKind)] {
+        &self.edges[from.0 as usize]
+    }
+
+    /// Direct reverse dependencies: statements `to` depends on.
+    pub fn deps_in(&self, to: ValueId) -> &[(ValueId, DepKind)] {
+        &self.redges[to.0 as usize]
+    }
+
+    /// Does `to` transitively depend on `from` (`from ⇝* to`, non-reflexive
+    /// unless there is a cycle)?
+    pub fn depends_transitively(&self, from: ValueId, to: ValueId) -> bool {
+        self.closure[from.0 as usize].contains(to.0 as usize)
+    }
+
+    /// Whether the statement sits in a loop body or a dependency cycle
+    /// (label-removing rule 5).
+    pub fn in_loop(&self, v: ValueId) -> bool {
+        self.in_loop[v.0 as usize]
+    }
+
+    /// `(block, index)` of a statement.
+    pub fn position(&self, v: ValueId) -> (BlockId, usize) {
+        self.position[v.0 as usize]
+    }
+
+    /// Longest dependency chain ending at each statement, counting the
+    /// statement itself (entry distance, Constraint 2). Statements in
+    /// cycles get `usize::MAX`.
+    pub fn entry_distances(&self) -> Vec<usize> {
+        self.distances(false)
+    }
+
+    /// Longest dependency chain starting at each statement (exit distance).
+    pub fn exit_distances(&self) -> Vec<usize> {
+        self.distances(true)
+    }
+
+    fn distances(&self, forward: bool) -> Vec<usize> {
+        // Longest path in the dependency DAG via memoized DFS; cycle members
+        // are saturated to MAX (they can never be offloaded anyway).
+        let mut memo: Vec<Option<usize>> = vec![None; self.n];
+        let mut dist = vec![0usize; self.n];
+        for v in 0..self.n {
+            dist[v] = self.longest(v, forward, &mut memo);
+        }
+        dist
+    }
+
+    fn longest(&self, v: usize, forward: bool, memo: &mut Vec<Option<usize>>) -> usize {
+        if self.in_loop[v] {
+            return usize::MAX;
+        }
+        if let Some(d) = memo[v] {
+            return d;
+        }
+        // Mark to guard against (impossible, given in_loop) recursion.
+        memo[v] = Some(usize::MAX);
+        let nbrs = if forward {
+            &self.edges[v]
+        } else {
+            &self.redges[v]
+        };
+        let mut best = 0usize;
+        for (u, _) in nbrs {
+            let d = self.longest(u.0 as usize, forward, memo);
+            best = best.max(d.saturating_add(0));
+        }
+        let d = if best == usize::MAX {
+            usize::MAX
+        } else {
+            best + 1
+        };
+        memo[v] = Some(d);
+        d
+    }
+}
+
+/// Borrow two distinct elements of a slice mutably/immutably.
+fn split_two(v: &mut [BitSet], a: usize, b: usize) -> (&mut BitSet, &BitSet) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    /// MiniLB from §4 — the canonical example; Figure 3 is its dependency
+    /// graph.
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr); // v0
+        let daddr = b.read_field(HeaderField::IpDaddr); // v1
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr); // v2
+        let mask = b.cnst(0xFFFF, 32); // v3
+        let low = b.bin(BinOp::And, hash32, mask); // v4
+        let key = b.cast(low, 16); // v5
+        let res = b.map_get(map, vec![key]); // v6
+        let null = b.is_null(res); // v7
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0); // v8
+        b.write_field(HeaderField::IpDaddr, bk); // v9
+        b.send(); // v10
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends); // v11
+        let idx = b.bin(BinOp::Mod, hash32, len); // v12
+        let bk2 = b.vec_get(backends, idx); // v13
+        b.write_field(HeaderField::IpDaddr, bk2); // v14
+        b.map_put(map, vec![key], vec![bk2]); // v15
+        b.send(); // v16
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn ssa_data_edges() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        // hash32 = xor(saddr, daddr): v2 depends on v0 and v1.
+        assert!(g.deps_in(ValueId(2)).contains(&(ValueId(0), DepKind::Data)));
+        assert!(g.deps_in(ValueId(2)).contains(&(ValueId(1), DepKind::Data)));
+    }
+
+    #[test]
+    fn reverse_data_dependency_read_then_write() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        // v1 reads ip.daddr; v9/v14 write it later: WAR edges v1 -> v9, v1 -> v14.
+        assert!(g
+            .deps_out(ValueId(1))
+            .contains(&(ValueId(9), DepKind::ReverseData)));
+        assert!(g
+            .deps_out(ValueId(1))
+            .contains(&(ValueId(14), DepKind::ReverseData)));
+    }
+
+    #[test]
+    fn state_data_dependency_mapget_then_mapput() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        // v6 (map.find) reads map, v15 (map.insert) writes it: WAR edge.
+        assert!(g
+            .deps_out(ValueId(6))
+            .contains(&(ValueId(15), DepKind::ReverseData)));
+    }
+
+    #[test]
+    fn control_dependencies_from_branch_condition() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        // v7 = isnull decides both branches: everything in hit/miss blocks
+        // control-depends on v7.
+        for target in [8u32, 9, 10, 11, 12, 13, 14, 15, 16] {
+            assert!(
+                g.deps_out(ValueId(7))
+                    .contains(&(ValueId(target), DepKind::Control)),
+                "v{target} should control-depend on v7"
+            );
+        }
+        // Entry-block statements do not.
+        assert!(!g
+            .deps_out(ValueId(7))
+            .iter()
+            .any(|(t, k)| *t == ValueId(2) && *k == DepKind::Control));
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        // saddr (v0) ⇝* send in hit branch (v10): v0 -> v2 -> ... -> v7 -> v10.
+        assert!(g.depends_transitively(ValueId(0), ValueId(10)));
+        // send (v10) depends on nothing downstream.
+        assert!(!g.depends_transitively(ValueId(10), ValueId(0)));
+    }
+
+    #[test]
+    fn no_loops_in_minilb() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        for v in 0..g.len() {
+            assert!(!g.in_loop(ValueId(v as u32)), "v{v} wrongly in loop");
+        }
+    }
+
+    #[test]
+    fn loop_body_marked() {
+        let mut b = FuncBuilder::new("loopy");
+        let reg = b.decl_register("acc", 32);
+        let hdr = b.new_block();
+        let body = b.new_block();
+        let done = b.new_block();
+        b.jump(hdr);
+        b.switch_to(hdr);
+        let cur = b.reg_read(reg); // v0
+        let limit = b.cnst(10, 32); // v1
+        let c = b.bin(BinOp::Lt, cur, limit); // v2
+        b.branch(c, body, done);
+        b.switch_to(body);
+        let one = b.cnst(1, 32); // v3
+        let next = b.bin(BinOp::Add, cur, one); // v4
+        b.reg_write(reg, next); // v5
+        b.jump(hdr);
+        b.switch_to(done);
+        b.send(); // v6
+        b.ret();
+        let p = b.finish().unwrap();
+        let g = DepGraph::build(&p);
+        // Everything in hdr/body blocks is loop-resident.
+        for v in [0u32, 1, 2, 3, 4, 5] {
+            assert!(g.in_loop(ValueId(v)), "v{v} should be in loop");
+        }
+        // The send after the loop is not.
+        assert!(!g.in_loop(ValueId(6)));
+    }
+
+    #[test]
+    fn entry_distances_grow_along_chains() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        let d = g.entry_distances();
+        // v0 has no deps; v2 depends on v0/v1; v7 is deeper still.
+        assert_eq!(d[0], 1);
+        assert_eq!(d[2], 2);
+        assert!(d[7] > d[6]);
+        assert!(d[10] > d[7]);
+    }
+
+    #[test]
+    fn exit_distances_mirror_entry() {
+        let p = minilb();
+        let g = DepGraph::build(&p);
+        let d = g.exit_distances();
+        // The sends are chain-terminal (nothing depends on them).
+        assert_eq!(d[10], 1);
+        assert_eq!(d[16], 1);
+        // The hash feeds long chains.
+        assert!(d[2] > 3);
+    }
+
+    #[test]
+    fn loop_distance_saturates() {
+        let mut b = FuncBuilder::new("spin");
+        let l = b.new_block();
+        b.jump(l);
+        b.switch_to(l);
+        let one = b.cnst(1, 1);
+        let _ = one;
+        b.jump(l);
+        let p = b.finish().unwrap();
+        let g = DepGraph::build(&p);
+        assert_eq!(g.entry_distances()[0], usize::MAX);
+    }
+}

@@ -1,0 +1,31 @@
+//! # gallium-analysis — dependency extraction (paper §4.1)
+//!
+//! Implements the static analyses the partitioner consumes:
+//!
+//! * **"can happen after"** — reachability over the control-flow graph, at
+//!   instruction granularity (same-block ordering plus block reachability,
+//!   including non-empty self-paths for loops);
+//! * **read/write sets** — from each instruction's [`gallium_mir::Loc`]
+//!   footprint, the IR-level equivalent of the paper's Click API
+//!   annotations;
+//! * the **three dependency kinds** of the program dependence graph: data
+//!   (read-after-write / write-after-write, plus SSA use-def edges),
+//!   reverse data (write-after-read), and control (an instruction depends
+//!   on the statement computing the condition of every branch it is
+//!   control-dependent on);
+//! * the **transitive closure** `⇝*` used by the label-removing rules;
+//! * **dependency distance** from program entry/exit (Constraint 2,
+//!   §4.2.2);
+//! * **liveness** of SSA values, used to size per-packet metadata
+//!   (Constraint 4) and the transfer header (Constraint 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod depgraph;
+pub mod liveness;
+
+pub use bitset::BitSet;
+pub use depgraph::{DepGraph, DepKind};
+pub use liveness::Liveness;

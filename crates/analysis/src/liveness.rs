@@ -1,0 +1,226 @@
+//! SSA-value liveness.
+//!
+//! Used in two places of the compilation pipeline:
+//!
+//! * **Constraint 4** (§4.2.2): the per-packet metadata budget. Gallium
+//!   "records when temporary variables are first and last used" and reuses
+//!   scratchpad memory, so the metric is the maximum number of *live* bits
+//!   at any program point — not the total number of temporaries.
+//! * **Constraint 5 / transfer-header synthesis** (§4.3.2): "Gallium does a
+//!   variable liveness test on the partition boundary to decide what
+//!   variables need to be transferred across partition boundaries."
+
+use gallium_mir::cfg::Cfg;
+use gallium_mir::{Function, Op, Terminator, ValueId};
+use std::collections::HashSet;
+
+/// Per-block live-in/live-out sets of SSA values.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Values live on entry to each block.
+    pub live_in: Vec<HashSet<ValueId>>,
+    /// Values live on exit from each block.
+    pub live_out: Vec<HashSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Backward dataflow over the CFG. φ-node operands are treated as used
+    /// at the *end of the corresponding predecessor*, per standard SSA
+    /// liveness.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let cfg = Cfg::new(f);
+        let mut live_in: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<ValueId>> = vec![HashSet::new(); n];
+
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in f.blocks.iter().rev() {
+                let bi = b.id.0 as usize;
+                // live_out = union of successors' live_in (φ-adjusted).
+                let mut out: HashSet<ValueId> = HashSet::new();
+                for &s in cfg.succs(b.id) {
+                    let sb = f.block(s);
+                    for &v in &live_in[s.0 as usize] {
+                        // φ results are not live-in from predecessors.
+                        if !sb.insts.contains(&v)
+                            || !matches!(f.inst(v).op, Op::Phi { .. })
+                        {
+                            out.insert(v);
+                        }
+                    }
+                    // φ operands flowing along this edge are live at our exit.
+                    for &pv in &sb.insts {
+                        if let Op::Phi { incoming } = &f.inst(pv).op {
+                            for (pred, val) in incoming {
+                                if *pred == b.id {
+                                    out.insert(*val);
+                                }
+                            }
+                        }
+                    }
+                }
+                // live_in = (live_out - defs) + uses, walked backward.
+                let mut live = out.clone();
+                if let Terminator::Branch { cond, .. } = &b.term {
+                    live.insert(*cond);
+                }
+                for &v in b.insts.iter().rev() {
+                    live.remove(&v);
+                    match &f.inst(v).op {
+                        Op::Phi { .. } => {} // operands handled at pred exits
+                        op => live.extend(op.uses()),
+                    }
+                }
+                if live != live_in[bi] {
+                    live_in[bi] = live;
+                    changed = true;
+                }
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Maximum concurrently-live metadata bits at any instruction boundary,
+    /// counting only values for which `counts` returns true (e.g. values
+    /// materialized on the switch). This is the scratchpad-footprint metric
+    /// of Constraint 4.
+    pub fn max_live_bits(&self, f: &Function, counts: &dyn Fn(ValueId) -> bool) -> usize {
+        let mut max = 0usize;
+        for b in &f.blocks {
+            let mut live = self.live_out[b.id.0 as usize].clone();
+            if let Terminator::Branch { cond, .. } = &b.term {
+                live.insert(*cond);
+            }
+            let bits = |set: &HashSet<ValueId>| -> usize {
+                set.iter()
+                    .filter(|v| counts(**v))
+                    .map(|v| f.inst(*v).ty.meta_bits())
+                    .sum()
+            };
+            max = max.max(bits(&live));
+            for &v in b.insts.iter().rev() {
+                live.remove(&v);
+                match &f.inst(v).op {
+                    Op::Phi { .. } => {}
+                    op => live.extend(op.uses()),
+                }
+                max = max.max(bits(&live));
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.read_field(HeaderField::IpSaddr); // v0
+        let c = b.read_field(HeaderField::IpDaddr); // v1
+        let x = b.bin(BinOp::Xor, a, c); // v2
+        b.write_field(HeaderField::IpDaddr, x); // v3
+        b.ret();
+        let p = b.finish().unwrap();
+        let lv = Liveness::compute(&p.func);
+        assert!(lv.live_in[0].is_empty());
+        assert!(lv.live_out[0].is_empty());
+        // At peak, v0+v1 (32+32) live simultaneously.
+        let bits = lv.max_live_bits(&p.func, &|_| true);
+        assert_eq!(bits, 64);
+    }
+
+    #[test]
+    fn value_live_across_branch() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.read_field(HeaderField::IpSaddr); // v0 (32 bits)
+        let z = b.cnst(0, 32); // v1
+        let c = b.bin(BinOp::Eq, a, z); // v2
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.write_field(HeaderField::IpDaddr, a); // uses v0 in branch
+        b.send();
+        b.ret();
+        b.switch_to(e);
+        b.drop_pkt();
+        b.ret();
+        let p = b.finish().unwrap();
+        let lv = Liveness::compute(&p.func);
+        // v0 is live into the then-block but not the else-block.
+        assert!(lv.live_in[1].contains(&ValueId(0)));
+        assert!(!lv.live_in[2].contains(&ValueId(0)));
+        assert!(lv.live_out[0].contains(&ValueId(0)));
+    }
+
+    #[test]
+    fn phi_operand_live_at_pred_exit_only() {
+        let mut b = FuncBuilder::new("t");
+        let s = b.read_field(HeaderField::IpSaddr); // v0
+        let z = b.cnst(0, 32); // v1
+        let c = b.bin(BinOp::Eq, s, z); // v2
+        let t = b.new_block();
+        let e = b.new_block();
+        let m = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let x = b.cnst(1, 32); // v3
+        b.jump(m);
+        b.switch_to(e);
+        let y = b.cnst(2, 32); // v4
+        b.jump(m);
+        b.switch_to(m);
+        let ph = b.phi(vec![(t, x), (e, y)]); // v5
+        b.write_field(HeaderField::IpDaddr, ph);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let lv = Liveness::compute(&p.func);
+        // v3 live out of t, v4 live out of e, neither live-in to m.
+        assert!(lv.live_out[1].contains(&ValueId(3)));
+        assert!(lv.live_out[2].contains(&ValueId(4)));
+        assert!(!lv.live_in[3].contains(&ValueId(3)));
+        assert!(!lv.live_in[3].contains(&ValueId(4)));
+        // φ result is defined in m, so not live-in either.
+        assert!(!lv.live_in[3].contains(&ValueId(5)));
+    }
+
+    #[test]
+    fn loop_carried_value_live_around_backedge() {
+        // φ forward references need the textual parser (the builder numbers
+        // values by construction order).
+        let text = r#"
+program loopy {
+  b0:
+    v0 = const 0 : u32
+    jmp b1
+  b1:
+    v1 = phi [b0: v0, b2: v4]
+    v2 = const 10 : u32
+    v3 = lt v1, v2
+    br v3, b2, b3
+  b2:
+    v4 = add v1, v2
+    jmp b1
+  b3:
+    ret
+}
+"#;
+        let p = gallium_mir::parser::parse_program(text).unwrap();
+        let lv = Liveness::compute(&p.func);
+        // v1 (the φ) is live out of b1 into b2 and back around.
+        assert!(lv.live_in[2].contains(&ValueId(1)));
+        assert!(lv.live_out[2].contains(&ValueId(4)));
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the compiler passes: dependency
+//! extraction (§4.1), the label-removing algorithm (§4.2.1), and the full
+//! compile pipeline — per middlebox, so regressions in any pass are
+//! attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gallium_analysis::DepGraph;
+use gallium_core::compile;
+use gallium_middleboxes::all_evaluated;
+use gallium_partition::{initial_labels, partition_program, run_label_rules, SwitchModel};
+
+fn bench_dependency_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependency_extraction");
+    for (name, prog) in all_evaluated() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| DepGraph::build(std::hint::black_box(prog)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_label_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("label_removing");
+    for (name, prog) in all_evaluated() {
+        let dep = DepGraph::build(&prog);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| {
+                let mut labels = initial_labels(prog);
+                run_label_rules(prog, &dep, &mut labels);
+                std::hint::black_box(labels)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    let model = SwitchModel::tofino_like();
+    for (name, prog) in all_evaluated() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| partition_program(std::hint::black_box(prog), &model).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_end_to_end");
+    let model = SwitchModel::tofino_like();
+    for (name, prog) in all_evaluated() {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &prog, |b, prog| {
+            b.iter(|| compile(std::hint::black_box(prog), &model).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dependency_extraction,
+    bench_label_rules,
+    bench_partition,
+    bench_compile_end_to_end
+);
+criterion_main!(benches);

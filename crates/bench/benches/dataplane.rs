@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks of the runtime halves: per-packet switch
+//! processing (fast path), the server slow path, the reference (FastClick)
+//! interpreter, and a state-sync control-plane batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gallium_core::{compile, Deployment};
+use gallium_middleboxes::minilb::minilb;
+use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+use gallium_p4::ControlPlaneOp;
+use gallium_partition::SwitchModel;
+use gallium_server::{CostModel, ReferenceServer};
+use gallium_switchsim::ControlPlane;
+
+fn deployment() -> (Deployment, gallium_mir::StateId) {
+    let lb = minilb();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(
+        &compiled,
+        gallium_switchsim::SwitchConfig::default(),
+        CostModel::calibrated(),
+    )
+    .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![1, 2, 3, 4]).unwrap();
+    })
+    .unwrap();
+    (d, backends)
+}
+
+fn pkt(saddr: u32, flags: u8) -> gallium_net::Packet {
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr,
+            daddr: 0x0A0000FE,
+            sport: 1234,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(flags),
+        200,
+    )
+    .build(PortId(1))
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let (mut d, _) = deployment();
+    // Warm the connection so the packet stays on the switch.
+    d.inject(pkt(7, TcpFlags::SYN)).unwrap();
+    c.bench_function("switch_fast_path_packet", |b| {
+        b.iter(|| d.inject(std::hint::black_box(pkt(7, TcpFlags::ACK))).unwrap());
+    });
+}
+
+fn bench_slow_path(c: &mut Criterion) {
+    let (mut d, _) = deployment();
+    let mut s = 100u32;
+    c.bench_function("slow_path_packet_with_sync", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1); // a fresh flow every iteration
+            d.inject(std::hint::black_box(pkt(s, TcpFlags::SYN))).unwrap()
+        });
+    });
+}
+
+fn bench_reference(c: &mut Criterion) {
+    let lb = minilb();
+    let mut reference = ReferenceServer::new(lb.prog.clone(), CostModel::calibrated());
+    reference
+        .store
+        .vec_set_all(lb.backends, vec![1, 2, 3, 4])
+        .unwrap();
+    c.bench_function("reference_interpreter_packet", |b| {
+        b.iter(|| {
+            reference
+                .process(std::hint::black_box(pkt(7, TcpFlags::ACK)), 0)
+                .unwrap()
+        });
+    });
+}
+
+fn bench_sync_batch(c: &mut Criterion) {
+    let (mut d, _) = deployment();
+    let mut k = 0u64;
+    c.bench_function("control_plane_writeback_batch", |b| {
+        b.iter(|| {
+            k += 1;
+            let ops = vec![
+                ControlPlaneOp::WriteBackStage {
+                    table: "map".into(),
+                    key: vec![k & 0xFFFF],
+                    value: Some(vec![9]),
+                },
+                ControlPlaneOp::SetWriteBackBit(true),
+                ControlPlaneOp::TableInsert {
+                    table: "map".into(),
+                    key: vec![k & 0xFFFF],
+                    value: vec![9],
+                },
+                ControlPlaneOp::SetWriteBackBit(false),
+                ControlPlaneOp::WriteBackClear { table: "map".into() },
+            ];
+            d.switch.control_batch(&ops).unwrap()
+        });
+    });
+}
+
+fn bench_parallel_reference(c: &mut Criterion) {
+    use gallium_server::ParallelReference;
+    let mut g = c.benchmark_group("parallel_reference_1k_pkts");
+    for cores in [1usize, 2, 4] {
+        g.bench_function(format!("{cores}_shards"), |b| {
+            b.iter(|| {
+                let lb = minilb();
+                let backends = lb.backends;
+                let par = ParallelReference::spawn(
+                    &lb.prog,
+                    cores,
+                    CostModel::calibrated(),
+                    move |s| {
+                        s.vec_set_all(backends, vec![1, 2, 3, 4]).unwrap();
+                    },
+                );
+                for i in 0..1000u32 {
+                    par.feed(pkt(i % 97, TcpFlags::ACK));
+                }
+                std::hint::black_box(par.finish())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_path,
+    bench_slow_path,
+    bench_reference,
+    bench_sync_batch,
+    bench_parallel_reference
+);
+criterion_main!(benches);

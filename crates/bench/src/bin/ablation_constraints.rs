@@ -1,0 +1,76 @@
+//! Ablation: how the §4.2.2 resource constraints shape the partition.
+//!
+//! Sweeps the switch model's pipeline depth, memory, and transfer-header
+//! budget and reports how many statements stay offloaded per middlebox —
+//! the refinement loop's observable behaviour ("we can meet all of the
+//! five constraints by moving more of the code to the non-offloaded
+//! partition").
+
+use gallium_bench::row;
+use gallium_core::compile;
+use gallium_middleboxes::all_evaluated;
+use gallium_partition::SwitchModel;
+
+fn offloaded_for(prog: &gallium_mir::Program, model: &SwitchModel) -> String {
+    match compile(prog, model) {
+        Ok(c) => format!("{}/{}", c.staged.offloaded_count(), prog.func.len()),
+        Err(e) => format!("err({e})"),
+    }
+}
+
+fn main() {
+    let base = SwitchModel::tofino_like();
+
+    println!("--- pipeline depth sweep (memory/metadata/header at Tofino defaults) ---");
+    let depths = [2usize, 4, 8, 16];
+    let widths = [16usize, 10, 10, 10, 10];
+    let mut header = vec!["Middlebox".to_string()];
+    header.extend(depths.iter().map(|d| format!("depth={d}")));
+    println!("{}", row(&header, &widths));
+    for (name, prog) in all_evaluated() {
+        let mut cells = vec![name.to_string()];
+        for d in depths {
+            let model = SwitchModel { pipeline_depth: d, ..base };
+            cells.push(offloaded_for(&prog, &model));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!();
+    println!("--- switch memory sweep ---");
+    let mems: [(usize, &str); 4] = [
+        (64, "64b"),
+        (1 << 20, "1Mb"),
+        (8 << 20, "8Mb"),
+        (base.memory_bits, "20MB"),
+    ];
+    let mut header = vec!["Middlebox".to_string()];
+    header.extend(mems.iter().map(|(_, l)| format!("mem={l}")));
+    println!("{}", row(&header, &widths));
+    for (name, prog) in all_evaluated() {
+        let mut cells = vec![name.to_string()];
+        for (m, _) in mems {
+            let model = SwitchModel { memory_bits: m, ..base };
+            cells.push(offloaded_for(&prog, &model));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!();
+    println!("--- transfer-header budget sweep (Constraint 5) ---");
+    let budgets = [4usize, 8, 12, 20];
+    let mut header = vec!["Middlebox".to_string()];
+    header.extend(budgets.iter().map(|b| format!("hdr={b}B")));
+    println!("{}", row(&header, &widths));
+    for (name, prog) in all_evaluated() {
+        let mut cells = vec![name.to_string()];
+        for b in budgets {
+            let model = SwitchModel {
+                transfer_budget_bytes: b,
+                ..base
+            };
+            cells.push(offloaded_for(&prog, &model));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation: the §4.3.3 atomic-update protocol vs naive immediate writes.
+//!
+//! A causal probe: packet `p_i` opens a connection through the middlebox
+//! (updating replicated state) and packet `p_j` — causally dependent on
+//! `p_i`'s *receipt* — probes the switch. Under the write-back protocol
+//! with output commit, `p_j` always observes the update. Under a naive
+//! scheme that releases the packet before the switch is updated, `p_j`
+//! races the control plane and observes torn state: for MazuNAT, the
+//! SYN-ACK from the external network is dropped.
+
+use gallium_core::{compile, Deployment};
+use gallium_middleboxes::{mazunat, EXTERNAL_PORT, INTERNAL_PORT};
+use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+use gallium_partition::SwitchModel;
+use gallium_server::CostModel;
+use gallium_switchsim::SwitchConfig;
+
+fn main() {
+    let nat = mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+
+    let trials = 200u32;
+    let mut committed_ok = 0u32;
+    let mut naive_ok = 0u32;
+
+    for i in 0..trials {
+        let t = FiveTuple {
+            saddr: 0x0A000001 + (i % 50),
+            daddr: 0x08080808,
+            sport: 30_000 + (i % 1000) as u16,
+            dport: 443,
+            proto: IpProtocol::Tcp,
+        };
+        let syn =
+            PacketBuilder::tcp(t, TcpFlags(TcpFlags::SYN), 100).build(PortId(INTERNAL_PORT));
+        let reply_tuple = FiveTuple {
+            saddr: 0x08080808,
+            daddr: mazunat::NAT_EXTERNAL_IP,
+            sport: 443,
+            dport: mazunat::NAT_PORT_BASE + i as u16,
+            proto: IpProtocol::Tcp,
+        };
+        let synack = PacketBuilder::tcp(reply_tuple, TcpFlags(TcpFlags::SYN | TcpFlags::ACK), 100)
+            .build(PortId(EXTERNAL_PORT));
+
+        // --- with the full protocol (Deployment applies sync before
+        // releasing the packet) -----------------------------------------
+        let mut d = Deployment::new(
+            &compiled,
+            SwitchConfig::default(),
+            CostModel::calibrated(),
+        )
+        .unwrap();
+        for j in 0..=i {
+            // Re-open the first i connections so port allocation lines up.
+            let tj = FiveTuple {
+                saddr: 0x0A000001 + (j % 50),
+                sport: 30_000 + (j % 1000) as u16,
+                ..t
+            };
+            let s = PacketBuilder::tcp(tj, TcpFlags(TcpFlags::SYN), 100)
+                .build(PortId(INTERNAL_PORT));
+            d.inject(s).unwrap();
+        }
+        let out = d.inject(synack.clone()).unwrap();
+        if !out.is_empty() {
+            committed_ok += 1;
+        }
+
+        // --- naive: drop the sync ops on the floor (simulating release
+        // before the control plane finished) -----------------------------
+        let mut sw = gallium_switchsim::Switch::load(
+            compiled.p4.clone(),
+            SwitchConfig::default(),
+        )
+        .unwrap();
+        // The switch never learns the mapping: the pre traversal of the
+        // SYN allocates a port but the server's inserts are "in flight".
+        let _ = sw.process(syn);
+        let out = sw.process(synack);
+        // Any emission that is not a drop means the reply got through.
+        let delivered = out
+            .iter()
+            .any(|(p, _)| *p != PortId::SERVER);
+        if delivered {
+            naive_ok += 1;
+        }
+    }
+
+    println!("causal probe: SYN-ACK observes the NAT mapping installed by its SYN");
+    println!("  write-back + output commit : {committed_ok}/{trials} replies delivered");
+    println!("  naive (no sync before release): {naive_ok}/{trials} replies delivered");
+    println!();
+    println!("Run-to-completion (§3.1) requires the first row to be total and");
+    println!("tolerates nothing less; the naive scheme drops every causally");
+    println!("dependent reply that races the control plane.");
+}

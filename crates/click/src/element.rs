@@ -1,0 +1,383 @@
+//! The element library.
+//!
+//! Covers the element kinds the paper's five middleboxes are assembled
+//! from: classification (`IPClassifier`), header rewriting, counters,
+//! terminals, and duplication.
+
+use crate::graph::LowerCtx;
+use gallium_mir::{BinOp, FuncBuilder, HeaderField, StateId};
+
+/// A packet-processing element that can be lowered into MIR.
+pub trait Element {
+    /// Element-class name (diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Number of output ports.
+    fn n_outputs(&self) -> usize {
+        1
+    }
+
+    /// Declare any global state the element owns; the returned handles are
+    /// available during lowering as `ctx.state_handles[self_idx]`.
+    fn declare_state(&self, _b: &mut FuncBuilder) -> Vec<StateId> {
+        vec![]
+    }
+
+    /// Emit this element's logic and recurse into downstream elements. The
+    /// implementation must leave every emitted control-flow path
+    /// terminated (directly or by lowering a downstream port).
+    fn lower(&self, ctx: &mut LowerCtx<'_>, self_idx: usize);
+}
+
+/// One classification predicate — the subset of Click's `IPClassifier`
+/// pattern language the evaluated middleboxes use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifyRule {
+    /// `ip proto X`.
+    IpProto(u8),
+    /// `dst port X` (TCP/UDP).
+    DstPort(u16),
+    /// `src port X`.
+    SrcPort(u16),
+    /// Any of the given TCP flag bits set (`tcp opt syn`, `… rst`, …).
+    TcpFlagsAny(u8),
+    /// Destination address equals.
+    DstAddr(u32),
+    /// Source address equals.
+    SrcAddr(u32),
+    /// Packet arrived on this switch port (Click's input-port dispatch).
+    IngressPort(u16),
+}
+
+impl ClassifyRule {
+    /// Emit the 1-bit match condition for this rule.
+    fn condition(&self, b: &mut FuncBuilder) -> gallium_mir::ValueId {
+        match self {
+            ClassifyRule::IpProto(p) => {
+                let f = b.read_field(HeaderField::IpProto);
+                let c = b.cnst(u64::from(*p), 8);
+                b.bin(BinOp::Eq, f, c)
+            }
+            ClassifyRule::DstPort(p) => {
+                let f = b.read_field(HeaderField::DstPort);
+                let c = b.cnst(u64::from(*p), 16);
+                b.bin(BinOp::Eq, f, c)
+            }
+            ClassifyRule::SrcPort(p) => {
+                let f = b.read_field(HeaderField::SrcPort);
+                let c = b.cnst(u64::from(*p), 16);
+                b.bin(BinOp::Eq, f, c)
+            }
+            ClassifyRule::TcpFlagsAny(mask) => {
+                let f = b.read_field(HeaderField::TcpFlags);
+                let m = b.cnst(u64::from(*mask), 8);
+                let anded = b.bin(BinOp::And, f, m);
+                let z = b.cnst(0, 8);
+                b.bin(BinOp::Ne, anded, z)
+            }
+            ClassifyRule::DstAddr(a) => {
+                let f = b.read_field(HeaderField::IpDaddr);
+                let c = b.cnst(u64::from(*a), 32);
+                b.bin(BinOp::Eq, f, c)
+            }
+            ClassifyRule::SrcAddr(a) => {
+                let f = b.read_field(HeaderField::IpSaddr);
+                let c = b.cnst(u64::from(*a), 32);
+                b.bin(BinOp::Eq, f, c)
+            }
+            ClassifyRule::IngressPort(p) => {
+                let f = b.read_port();
+                let c = b.cnst(u64::from(*p), 16);
+                b.bin(BinOp::Eq, f, c)
+            }
+        }
+    }
+}
+
+/// `IPClassifier`-style dispatch: rule `i` matched → output port `i`;
+/// nothing matched → output port `rules.len()`.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    rules: Vec<ClassifyRule>,
+}
+
+impl Classifier {
+    /// Build a classifier from ordered rules.
+    pub fn new(rules: Vec<ClassifyRule>) -> Self {
+        assert!(!rules.is_empty(), "classifier needs at least one rule");
+        Classifier { rules }
+    }
+}
+
+impl Element for Classifier {
+    fn name(&self) -> &'static str {
+        "Classifier"
+    }
+
+    fn n_outputs(&self) -> usize {
+        self.rules.len() + 1
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, self_idx: usize) {
+        for (i, rule) in self.rules.iter().enumerate() {
+            let cond = rule.condition(&mut ctx.b);
+            let matched = ctx.b.new_block();
+            let next = ctx.b.new_block();
+            ctx.b.branch(cond, matched, next);
+            ctx.b.switch_to(matched);
+            ctx.lower_port(self_idx, i);
+            ctx.b.switch_to(next);
+        }
+        ctx.lower_port(self_idx, self.rules.len());
+    }
+}
+
+/// Rewrite header fields to constants (the proxy's redirect, static NAT
+/// rules, …) and continue on port 0.
+#[derive(Debug, Clone)]
+pub struct HeaderRewrite {
+    writes: Vec<(HeaderField, u64)>,
+}
+
+impl HeaderRewrite {
+    /// Build from `(field, value)` pairs.
+    pub fn new(writes: Vec<(HeaderField, u64)>) -> Self {
+        HeaderRewrite { writes }
+    }
+}
+
+impl Element for HeaderRewrite {
+    fn name(&self) -> &'static str {
+        "HeaderRewrite"
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, self_idx: usize) {
+        for (field, value) in &self.writes {
+            let c = ctx.b.cnst(*value, field.bits());
+            ctx.b.write_field(*field, c);
+        }
+        ctx.b.update_checksum();
+        ctx.lower_port(self_idx, 0);
+    }
+}
+
+/// Click's `Counter`: counts packets in a register, passes them through.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    state_name: String,
+}
+
+impl Counter {
+    /// A counter whose register is called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            state_name: name.into(),
+        }
+    }
+}
+
+impl Element for Counter {
+    fn name(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn declare_state(&self, b: &mut FuncBuilder) -> Vec<StateId> {
+        vec![b.decl_register(&self.state_name, 64)]
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, self_idx: usize) {
+        let reg = ctx.state_handles[self_idx][0];
+        let one = ctx.b.cnst(1, 64);
+        let _old = ctx.b.reg_fetch_add(reg, one);
+        ctx.lower_port(self_idx, 0);
+    }
+}
+
+/// Terminal: drop the packet (Click's `Discard`).
+#[derive(Debug, Clone, Copy)]
+pub struct Discard;
+
+impl Element for Discard {
+    fn name(&self) -> &'static str {
+        "Discard"
+    }
+
+    fn n_outputs(&self) -> usize {
+        0
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, _self_idx: usize) {
+        ctx.b.drop_pkt();
+        ctx.b.ret();
+    }
+}
+
+/// Terminal: emit the packet (Click's `ToDevice`).
+#[derive(Debug, Clone, Copy)]
+pub struct SendOut;
+
+impl Element for SendOut {
+    fn name(&self) -> &'static str {
+        "SendOut"
+    }
+
+    fn n_outputs(&self) -> usize {
+        0
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, _self_idx: usize) {
+        ctx.b.send();
+        ctx.b.ret();
+    }
+}
+
+/// Click's `Tee` (restricted to two ways): emits a copy of the packet
+/// immediately, then continues processing on port 0.
+#[derive(Debug, Clone, Copy)]
+pub struct Tee;
+
+impl Element for Tee {
+    fn name(&self) -> &'static str {
+        "Tee"
+    }
+
+    fn lower(&self, ctx: &mut LowerCtx<'_>, self_idx: usize) {
+        ctx.b.send();
+        ctx.lower_port(self_idx, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use gallium_mir::interp::read_header_field;
+    use gallium_mir::{Interpreter, StateStore};
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+
+    fn tcp(dport: u16, flags: u8) -> gallium_net::Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x01010101,
+                daddr: 0x02020202,
+                sport: 999,
+                dport,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(flags),
+            100,
+        )
+        .build(PortId(3))
+    }
+
+    #[test]
+    fn rewrite_and_count() {
+        let mut g = Graph::new();
+        let counter = g.add(Box::new(Counter::new("pkts")));
+        let rw = g.add(Box::new(HeaderRewrite::new(vec![(
+            HeaderField::IpDaddr,
+            0x0A0A0A0A,
+        )])));
+        let out = g.add(Box::new(SendOut));
+        g.connect(counter, 0, rw);
+        g.connect(rw, 0, out);
+        let prog = g.lower("rw").unwrap();
+        let mut store = StateStore::new(&prog.states);
+        let interp = Interpreter::new(&prog);
+        for _ in 0..3 {
+            let r = interp.run(&mut tcp(80, 0), &mut store, 0).unwrap();
+            let sent = r.sent().unwrap();
+            assert_eq!(
+                read_header_field(sent.bytes(), HeaderField::IpDaddr),
+                0x0A0A0A0A
+            );
+        }
+        let reg = prog.state_by_name("pkts").unwrap();
+        assert_eq!(store.reg_read(reg).unwrap(), 3);
+    }
+
+    #[test]
+    fn multi_rule_classifier_ordering() {
+        // rule 0: dst port 22 ; rule 1: SYN flag ; fallthrough.
+        let mut g = Graph::new();
+        let cls = g.add(Box::new(Classifier::new(vec![
+            ClassifyRule::DstPort(22),
+            ClassifyRule::TcpFlagsAny(TcpFlags::SYN),
+        ])));
+        let drop22 = g.add(Box::new(Discard));
+        let rw = g.add(Box::new(HeaderRewrite::new(vec![(
+            HeaderField::IpTtl,
+            7,
+        )])));
+        let out1 = g.add(Box::new(SendOut));
+        let out2 = g.add(Box::new(SendOut));
+        g.connect(cls, 0, drop22);
+        g.connect(cls, 1, rw);
+        g.connect(rw, 0, out1);
+        g.connect(cls, 2, out2);
+        let prog = g.lower("cls").unwrap();
+        let mut store = StateStore::new(&prog.states);
+        let interp = Interpreter::new(&prog);
+
+        // dst 22: dropped even with SYN (rule order).
+        let r = interp
+            .run(&mut tcp(22, TcpFlags::SYN), &mut store, 0)
+            .unwrap();
+        assert!(r.dropped());
+
+        // SYN elsewhere: rewritten TTL.
+        let r = interp
+            .run(&mut tcp(80, TcpFlags::SYN), &mut store, 0)
+            .unwrap();
+        assert_eq!(
+            read_header_field(r.sent().unwrap().bytes(), HeaderField::IpTtl),
+            7
+        );
+
+        // Plain packet: fallthrough, untouched TTL (64 from the builder).
+        let r = interp.run(&mut tcp(80, 0), &mut store, 0).unwrap();
+        assert_eq!(
+            read_header_field(r.sent().unwrap().bytes(), HeaderField::IpTtl),
+            64
+        );
+    }
+
+    #[test]
+    fn tee_duplicates() {
+        let mut g = Graph::new();
+        let tee = g.add(Box::new(Tee));
+        let rw = g.add(Box::new(HeaderRewrite::new(vec![(
+            HeaderField::IpTtl,
+            1,
+        )])));
+        let out = g.add(Box::new(SendOut));
+        g.connect(tee, 0, rw);
+        g.connect(rw, 0, out);
+        let prog = g.lower("tee").unwrap();
+        let mut store = StateStore::new(&prog.states);
+        let r = Interpreter::new(&prog)
+            .run(&mut tcp(80, 0), &mut store, 0)
+            .unwrap();
+        // Two emissions: the untouched copy and the rewritten one.
+        assert_eq!(r.actions.len(), 2);
+    }
+
+    #[test]
+    fn ingress_port_rule() {
+        let mut g = Graph::new();
+        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IngressPort(3)])));
+        let out = g.add(Box::new(SendOut));
+        let drop = g.add(Box::new(Discard));
+        g.connect(cls, 0, out);
+        g.connect(cls, 1, drop);
+        let prog = g.lower("byport").unwrap();
+        let mut store = StateStore::new(&prog.states);
+        let interp = Interpreter::new(&prog);
+        let r = interp.run(&mut tcp(80, 0), &mut store, 0).unwrap(); // ingress 3
+        assert!(r.sent().is_some());
+        let mut other = tcp(80, 0);
+        other.ingress = PortId(9);
+        let r = interp.run(&mut other, &mut store, 0).unwrap();
+        assert!(r.dropped());
+    }
+}

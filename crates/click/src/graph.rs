@@ -1,0 +1,214 @@
+//! Element graphs and their lowering to MIR.
+
+use crate::element::Element;
+use gallium_mir::{FuncBuilder, MirError, Program};
+use std::collections::HashMap;
+
+/// A Click-style element graph.
+///
+/// Elements are added with [`Graph::add`]; connections between an
+/// element's output port and a downstream element with [`Graph::connect`]
+/// (Click's `a[0] -> b` syntax). [`Graph::lower`] inlines the whole graph
+/// into one MIR [`Program`], starting from the designated input element.
+pub struct Graph {
+    elements: Vec<Box<dyn Element>>,
+    edges: HashMap<(usize, usize), usize>,
+    input: Option<usize>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Graph {
+            elements: Vec::new(),
+            edges: HashMap::new(),
+            input: None,
+        }
+    }
+
+    /// Add an element; returns its index. The first element added becomes
+    /// the packet entry point unless [`Graph::set_input`] overrides it.
+    pub fn add(&mut self, e: Box<dyn Element>) -> usize {
+        self.elements.push(e);
+        let idx = self.elements.len() - 1;
+        if self.input.is_none() {
+            self.input = Some(idx);
+        }
+        idx
+    }
+
+    /// Connect `from`'s output `port` to element `to`.
+    pub fn connect(&mut self, from: usize, port: usize, to: usize) {
+        assert!(from < self.elements.len(), "connect: bad source");
+        assert!(to < self.elements.len(), "connect: bad target");
+        assert!(
+            port < self.elements[from].n_outputs(),
+            "connect: element `{}` has no output {port}",
+            self.elements[from].name()
+        );
+        self.edges.insert((from, port), to);
+    }
+
+    /// Override the entry element.
+    pub fn set_input(&mut self, idx: usize) {
+        assert!(idx < self.elements.len());
+        self.input = Some(idx);
+    }
+
+    /// Inline the graph into a single program named `name`.
+    pub fn lower(&self, name: &str) -> Result<Program, MirError> {
+        let input = self
+            .input
+            .ok_or_else(|| MirError::Invalid("empty element graph".into()))?;
+        let mut b = FuncBuilder::new(name);
+        // Phase 1: every element declares its state.
+        let mut state_handles = Vec::with_capacity(self.elements.len());
+        for e in &self.elements {
+            state_handles.push(e.declare_state(&mut b));
+        }
+        // Phase 2: recursive inlining from the entry element.
+        let mut ctx = LowerCtx {
+            graph: self,
+            b,
+            state_handles,
+            depth: 0,
+        };
+        ctx.lower_element(input);
+        // Whatever block lowering left unterminated ends the program.
+        ctx.finish()
+    }
+
+    fn next_of(&self, from: usize, port: usize) -> Option<usize> {
+        self.edges.get(&(from, port)).copied()
+    }
+}
+
+/// Lowering context handed to each element.
+pub struct LowerCtx<'g> {
+    graph: &'g Graph,
+    /// The function builder elements emit into.
+    pub b: FuncBuilder,
+    /// Per-element state handles returned by `declare_state`.
+    pub state_handles: Vec<Vec<gallium_mir::StateId>>,
+    depth: usize,
+}
+
+impl<'g> LowerCtx<'g> {
+    /// Continue lowering at whatever is connected to `(from, port)`.
+    /// Unconnected ports discard the packet, as in Click.
+    pub fn lower_port(&mut self, from: usize, port: usize) {
+        self.depth += 1;
+        assert!(
+            self.depth <= 10_000,
+            "element graph lowering too deep (cycle?)"
+        );
+        match self.graph.next_of(from, port) {
+            Some(next) => self.lower_element(next),
+            None => {
+                self.b.drop_pkt();
+                self.b.ret();
+            }
+        }
+        self.depth -= 1;
+    }
+
+    fn lower_element(&mut self, idx: usize) {
+        // The graph reference outlives `self`, so the element borrow is
+        // disjoint from the mutable context borrow.
+        let graph: &'g Graph = self.graph;
+        graph.elements[idx].lower(self, idx);
+    }
+
+    fn finish(self) -> Result<Program, MirError> {
+        self.b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::{Classifier, ClassifyRule, Discard, SendOut};
+    use gallium_mir::{Interpreter, StateStore};
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(Graph::new().lower("x").is_err());
+    }
+
+    #[test]
+    fn classifier_routes_tcp_and_drops_rest() {
+        let mut g = Graph::new();
+        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IpProto(6)])));
+        let out = g.add(Box::new(SendOut));
+        let discard = g.add(Box::new(Discard));
+        g.connect(cls, 0, out); // TCP -> send
+        g.connect(cls, 1, discard); // everything else -> drop
+        let prog = g.lower("tcp_only").unwrap();
+
+        let mut store = StateStore::new(&prog.states);
+        let interp = Interpreter::new(&prog);
+
+        let tcp = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 3,
+                dport: 4,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            80,
+        )
+        .build(PortId(0));
+        let r = interp.run(&mut tcp.clone(), &mut store, 0).unwrap();
+        assert!(r.sent().is_some());
+        assert!(!r.dropped());
+
+        let udp = PacketBuilder::udp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 3,
+                dport: 4,
+                proto: IpProtocol::Udp,
+            },
+            80,
+        )
+        .build(PortId(0));
+        let r = interp.run(&mut udp.clone(), &mut store, 0).unwrap();
+        assert!(r.dropped());
+        assert!(r.sent().is_none());
+    }
+
+    #[test]
+    fn unconnected_port_discards() {
+        let mut g = Graph::new();
+        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IpProto(6)])));
+        let out = g.add(Box::new(SendOut));
+        g.connect(cls, 0, out); // port 1 dangling
+        let prog = g.lower("dangling").unwrap();
+        let mut store = StateStore::new(&prog.states);
+        let udp = PacketBuilder::udp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 3,
+                dport: 4,
+                proto: IpProtocol::Udp,
+            },
+            80,
+        )
+        .build(PortId(0));
+        let r = Interpreter::new(&prog)
+            .run(&mut udp.clone(), &mut store, 0)
+            .unwrap();
+        assert!(r.dropped());
+    }
+}

@@ -1,0 +1,34 @@
+//! # gallium-click — the Click-style element frontend
+//!
+//! The paper's input programs are middleboxes "written using the Click
+//! framework in C++" (§1): directed graphs of packet-processing elements.
+//! This crate reproduces that authoring model for the Rust reproduction:
+//!
+//! * a [`graph::Graph`] of [`element::Element`]s with numbered output
+//!   ports, mirroring Click's push configuration;
+//! * an element library covering what the five evaluated middleboxes use
+//!   (classifiers, header rewriters, counters, lookups, terminals);
+//! * graph **lowering**: the whole element chain is inlined into a single
+//!   MIR function, exactly as the paper inlines all calls before analysis
+//!   ("Gallium inlines all other function calls before constructing the
+//!   read and write sets", §4.1).
+//!
+//! The Click API *annotations* of §4.1 — which locations each data
+//! structure method reads and writes, and what returned pointers refer to
+//! — are carried by the IR operations themselves
+//! ([`gallium_mir::Op::reads`]/[`writes`](gallium_mir::Op::writes)); the
+//! elements here lower onto those annotated operations. [`annotations`]
+//! renders the table for documentation and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annotations;
+pub mod element;
+pub mod graph;
+
+pub use annotations::{annotation_table, Annotation};
+pub use element::{
+    Classifier, ClassifyRule, Counter, Discard, HeaderRewrite, SendOut, Tee,
+};
+pub use graph::{Graph, LowerCtx};

@@ -1,0 +1,430 @@
+//! A runnable offloaded middlebox: switch + server + state sync.
+//!
+//! `Deployment` is the *functional* composition used by the equivalence
+//! tests, the examples, and (wrapped in the discrete-event simulator) every
+//! benchmark. It executes the full §3.2 pipeline:
+//!
+//! 1. a packet enters the switch and runs pre-processing;
+//! 2. fast-path packets leave immediately; slow-path packets are
+//!    encapsulated and handed to the server;
+//! 3. the server runs the non-offloaded partition, and — before its packet
+//!    is released (**output commit**) — pushes any replicated-state updates
+//!    to the switch through the write-back protocol;
+//! 4. the packet returns to the switch and runs post-processing.
+
+use crate::compiler::CompiledMiddlebox;
+use gallium_mir::{MirError, StateStore};
+use gallium_p4::ControlPlaneOp;
+use gallium_partition::StatePlacement;
+use gallium_server::{CostModel, MiddleboxServer};
+use gallium_switchsim::{ControlPlane, LoadError, Switch, SwitchConfig};
+use gallium_net::{Packet, PortId};
+
+/// Aggregated counters across both halves of the middlebox.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeploymentStats {
+    /// Packets injected from the network.
+    pub injected: u64,
+    /// Packets that never left the switch data plane.
+    pub fast_path: u64,
+    /// Packets that visited the server.
+    pub slow_path: u64,
+    /// Control-plane latency accumulated by state synchronization (ns),
+    /// for the complete batches (stage + flip + fold + clear).
+    pub sync_latency_ns: u64,
+    /// Accumulated *visibility* latency: the prefix of each batch up to
+    /// and including the write-back bit flip — the point at which §4.3.3
+    /// releases the held packet.
+    pub sync_visible_ns: u64,
+    /// Server cycles consumed.
+    pub server_cycles: u64,
+}
+
+/// The composed switch+server middlebox.
+#[derive(Debug)]
+pub struct Deployment {
+    /// The switch half.
+    pub switch: Switch,
+    /// The server half.
+    pub server: MiddleboxServer,
+    /// Counters.
+    pub stats: DeploymentStats,
+    server_port: PortId,
+    clock_ns: u64,
+}
+
+impl Deployment {
+    /// Stand up a deployment: load the P4 program and start the server.
+    pub fn new(
+        compiled: &CompiledMiddlebox,
+        cfg: SwitchConfig,
+        cost: CostModel,
+    ) -> Result<Self, LoadError> {
+        let server_port = cfg.server_port;
+        let switch = Switch::load(compiled.p4.clone(), cfg)?;
+        let server = MiddleboxServer::new(compiled.staged.clone(), cost);
+        Ok(Deployment {
+            switch,
+            server,
+            stats: DeploymentStats::default(),
+            server_port,
+            clock_ns: 0,
+        })
+    }
+
+    /// Stand up a deployment where the listed maps live on the switch as
+    /// FIFO **caches** of the server's authoritative copies (the paper's
+    /// §7 "reducing memory usage" extension): the switch table is sized to
+    /// `entries` instead of the developer annotation, a cache miss replays
+    /// the whole program on the server, and hits fill the cache through
+    /// the control plane.
+    ///
+    /// Precondition: every state of the program must be server-accessible
+    /// (no switch-only stateful operations such as data-plane
+    /// fetch-and-add), since the replay executes the full program on the
+    /// server. Violations are reported as an error string.
+    pub fn new_cached(
+        compiled: &CompiledMiddlebox,
+        mut cfg: SwitchConfig,
+        cost: CostModel,
+        caches: &[(gallium_mir::StateId, usize)],
+    ) -> Result<Self, String> {
+        let staged = &compiled.staged;
+        // Replay feasibility: switch-only *mutable* state breaks replay.
+        for (i, st) in staged.prog.states.iter().enumerate() {
+            let sid = gallium_mir::StateId(i as u32);
+            if staged.placement_of(sid) == StatePlacement::SwitchOnly
+                && matches!(st.kind, gallium_mir::StateKind::Register { .. })
+            {
+                return Err(format!(
+                    "cache mode unavailable: register `{}` is switch-only and \
+                     cannot be replayed on the server",
+                    st.name
+                ));
+            }
+        }
+        // Shrink the cached tables in the loaded program so the loader's
+        // SRAM accounting reflects the cache, not the annotation.
+        let mut p4 = compiled.p4.clone();
+        for (state, entries) in caches {
+            let Some(idx) = p4.table_for_state(*state) else {
+                return Err(format!("state {state} has no switch table"));
+            };
+            p4.tables[idx].size = *entries;
+            cfg.cached_tables
+                .push((p4.tables[idx].name.clone(), *entries));
+        }
+        let server_port = cfg.server_port;
+        let switch = Switch::load(p4, cfg).map_err(|e| e.to_string())?;
+        let mut server = MiddleboxServer::new(staged.clone(), cost);
+        server.set_cached_states(caches.iter().map(|(s, _)| *s).collect());
+        Ok(Deployment {
+            switch,
+            server,
+            stats: DeploymentStats::default(),
+            server_port,
+            clock_ns: 0,
+        })
+    }
+
+    /// Configure middlebox state (backend lists, rules, …) on the server's
+    /// authoritative store, then push replicated/switch-resident entries to
+    /// the switch — the operator's provisioning step.
+    pub fn configure<F: FnOnce(&mut StateStore)>(&mut self, f: F) -> Result<(), String> {
+        f(self.server.store_mut());
+        let ops = self.server.initial_sync();
+        for op in &ops {
+            self.switch.control(op)?;
+        }
+        Ok(())
+    }
+
+    /// Advance the middlebox clock (the server's `now()` source).
+    pub fn set_time_ns(&mut self, t: u64) {
+        self.clock_ns = t;
+    }
+
+    /// Inject one packet from the network and run it to completion through
+    /// switch → (server → switch) as needed. Returns the frames emitted
+    /// toward the network as `(egress port, packet)`.
+    pub fn inject(&mut self, pkt: Packet) -> Result<Vec<(PortId, Packet)>, MirError> {
+        self.stats.injected += 1;
+        let mut emissions = Vec::new();
+        let mut to_server: Vec<Packet> = Vec::new();
+
+        for (port, out) in self.switch.process(pkt) {
+            if port == self.server_port {
+                to_server.push(out);
+            } else {
+                emissions.push((port, out));
+            }
+        }
+        if to_server.is_empty() {
+            self.stats.fast_path += 1;
+        } else {
+            self.stats.slow_path += 1;
+        }
+
+        for mut frame in to_server {
+            frame.ingress = self.server_port;
+            let out = self.server.process(frame, self.clock_ns)?;
+            self.stats.server_cycles += out.cycles;
+
+            // Output commit: apply the sync batch *before* the packet is
+            // released back into the switch. The packet is released at the
+            // visibility flip; the fold into the main tables continues off
+            // the packet's critical path.
+            let (visible, total) = self.apply_sync(&out.sync_ops)?;
+            self.stats.sync_latency_ns += total;
+            self.stats.sync_visible_ns += visible;
+
+            for mut back in out.to_switch {
+                back.ingress = self.server_port;
+                for (port, final_pkt) in self.switch.process(back) {
+                    if port == self.server_port {
+                        return Err(MirError::Fault(
+                            "post-processing looped back to the server".into(),
+                        ));
+                    }
+                    emissions.push((port, final_pkt));
+                }
+            }
+        }
+        Ok(emissions)
+    }
+
+    /// Apply a sync batch; returns `(visible_ns, total_ns)` where
+    /// `visible_ns` covers the operations up to and including the first
+    /// `SetWriteBackBit(true)` — the output-commit release point.
+    fn apply_sync(&mut self, ops: &[ControlPlaneOp]) -> Result<(u64, u64), MirError> {
+        if ops.is_empty() {
+            return Ok((0, 0));
+        }
+        let flip = ops
+            .iter()
+            .position(|o| matches!(o, ControlPlaneOp::SetWriteBackBit(true)))
+            .map(|i| i + 1)
+            .unwrap_or(ops.len());
+        let visible = self
+            .switch
+            .control_batch(&ops[..flip])
+            .map_err(|e| MirError::Fault(format!("control plane: {e}")))?;
+        let rest = self
+            .switch
+            .control_batch(&ops[flip..])
+            .map_err(|e| MirError::Fault(format!("control plane: {e}")))?;
+        Ok((visible, visible + rest))
+    }
+
+    /// Check that every replicated map on the switch mirrors the server's
+    /// authoritative copy — the invariant behind run-to-completion. For
+    /// **cached** tables the requirement weakens to subset-correctness:
+    /// every cached entry must match the authoritative value (no staleness),
+    /// but the cache may hold fewer entries.
+    pub fn replicated_consistent(&self) -> bool {
+        let staged = self.server.staged();
+        for (i, st) in staged.prog.states.iter().enumerate() {
+            let sid = gallium_mir::StateId(i as u32);
+            let cached = self.server.cached_states().contains(&sid);
+            if staged.placement_of(sid) != StatePlacement::Replicated && !cached {
+                continue;
+            }
+            if let gallium_mir::StateKind::Map { .. } = st.kind {
+                let Some(table) = self.switch.table(&st.name) else {
+                    return false;
+                };
+                let server_entries = self
+                    .server
+                    .store
+                    .map_entries(sid)
+                    .expect("declared state");
+                if cached {
+                    // Subset: every cached entry exists authoritatively
+                    // with the same value (no staleness, no ghosts).
+                    let authoritative: std::collections::HashMap<_, _> =
+                        server_entries.into_iter().collect();
+                    for (k, cached_v) in table.entries() {
+                        if authoritative.get(&k) != Some(&cached_v) {
+                            return false;
+                        }
+                    }
+                } else {
+                    if table.len() != server_entries.len() {
+                        return false;
+                    }
+                    for (k, v) in &server_entries {
+                        if table.lookup(k, self.switch.write_back_active())
+                            != Some(v.clone())
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Fraction of injected packets that took the fast path.
+    pub fn fast_path_fraction(&self) -> f64 {
+        if self.stats.injected == 0 {
+            return 0.0;
+        }
+        self.stats.fast_path as f64 / self.stats.injected as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use gallium_mir::interp::read_header_field;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField, Interpreter, PacketAction, Program};
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, TcpFlags};
+    use gallium_partition::SwitchModel;
+
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn deployment() -> Deployment {
+        let compiled = compile(&minilb(), &SwitchModel::tofino_like()).unwrap();
+        let mut d = Deployment::new(
+            &compiled,
+            SwitchConfig::default(),
+            CostModel::calibrated(),
+        )
+        .unwrap();
+        d.configure(|store| {
+            let backends = compiled.staged.prog.state_by_name("backends").unwrap();
+            store
+                .vec_set_all(backends, vec![0xC0A80001, 0xC0A80002, 0xC0A80003])
+                .unwrap();
+        })
+        .unwrap();
+        d
+    }
+
+    fn pkt(saddr: u32, daddr: u32, flags: u8) -> Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr,
+                daddr,
+                sport: 40000,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(flags),
+            200,
+        )
+        .build(PortId(1))
+    }
+
+    #[test]
+    fn first_packet_slow_then_fast() {
+        let mut d = deployment();
+        let out1 = d.inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::SYN)).unwrap();
+        assert_eq!(out1.len(), 1);
+        let d1 = read_header_field(out1[0].1.bytes(), HeaderField::IpDaddr) as u32;
+        assert!((0xC0A80001..=0xC0A80003).contains(&d1));
+        assert_eq!(d.stats.slow_path, 1);
+        assert!(d.stats.sync_latency_ns > 0, "insert required a sync batch");
+        assert!(d.replicated_consistent());
+
+        // Second packet of the same flow: pure fast path, same backend.
+        let out2 = d.inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::ACK)).unwrap();
+        assert_eq!(out2.len(), 1);
+        let d2 = read_header_field(out2[0].1.bytes(), HeaderField::IpDaddr) as u32;
+        assert_eq!(d1, d2);
+        assert_eq!(d.stats.fast_path, 1);
+        // No transfer header on the emitted packet.
+        assert_eq!(out2[0].1.len(), 200);
+    }
+
+    #[test]
+    fn matches_reference_interpreter_over_many_flows() {
+        let prog = minilb();
+        let mut d = deployment();
+        let mut ref_store = StateStore::new(&prog.states);
+        ref_store
+            .vec_set_all(
+                prog.state_by_name("backends").unwrap(),
+                vec![0xC0A80001, 0xC0A80002, 0xC0A80003],
+            )
+            .unwrap();
+        let interp = Interpreter::new(&prog);
+
+        for i in 0..40u32 {
+            // A mix of new flows and repeats.
+            let saddr = 0x0A000000 + (i % 13);
+            let daddr = 0x0A0000F0 + (i % 7);
+            let p = pkt(saddr, daddr, TcpFlags::ACK);
+
+            let mut ref_pkt = p.clone();
+            let ref_out = interp.run(&mut ref_pkt, &mut ref_store, 0).unwrap();
+            let expected: Vec<&Packet> = ref_out
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    PacketAction::Send(s) => Some(s),
+                    PacketAction::Drop => None,
+                })
+                .collect();
+
+            let got = d.inject(p).unwrap();
+            assert_eq!(got.len(), expected.len(), "packet {i}: emission count");
+            for ((_, g), e) in got.iter().zip(expected) {
+                assert_eq!(g.bytes(), e.bytes(), "packet {i}: bytes diverge");
+            }
+        }
+        // Global state converged identically.
+        let map = prog.state_by_name("map").unwrap();
+        assert_eq!(
+            d.server.store.map_entries(map).unwrap(),
+            ref_store.map_entries(map).unwrap()
+        );
+        assert!(d.replicated_consistent());
+        // Fast-path dominance: 13*7=91 > 40 distinct pairs... most flows are
+        // new here, so just assert both paths were exercised.
+        assert!(d.stats.fast_path + d.stats.slow_path == 40);
+    }
+
+    #[test]
+    fn stats_fraction() {
+        let mut d = deployment();
+        for _ in 0..3 {
+            d.inject(pkt(1, 2, TcpFlags::ACK)).unwrap();
+        }
+        // First slow, then two fast.
+        assert_eq!(d.stats.slow_path, 1);
+        assert_eq!(d.stats.fast_path, 2);
+        assert!((d.fast_path_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # gallium-core — the Gallium compiler driver and deployment harness
+//!
+//! The public entry point of the reproduction. [`compile`] runs the whole
+//! pipeline of Figure 2:
+//!
+//! ```text
+//! middlebox source (MIR, from the Click frontend)
+//!        │  dependency extraction      (gallium-analysis)
+//!        ▼
+//! dependency graph + hardware constraints
+//!        │  partitioning               (gallium-partition)
+//!        ▼
+//! pre-processing / non-offloaded / post-processing
+//!        │  code generation            (gallium-p4 + server listing)
+//!        ▼
+//! device code (P4)  +  server code (C++-equivalent)
+//! ```
+//!
+//! [`Deployment`] wires the generated P4 program into the switch simulator
+//! and the residual program into the server runtime, implements the
+//! output-commit hand-off between them, and is the object every test,
+//! example, and benchmark drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod deployment;
+pub mod server_codegen;
+
+pub use compiler::{compile, CompileError, CompiledMiddlebox};
+pub use deployment::{Deployment, DeploymentStats};
+pub use server_codegen::server_listing;

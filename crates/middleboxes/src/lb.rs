@@ -1,0 +1,242 @@
+//! The L4 load balancer (§6.1).
+//!
+//! "It uses the hash value of the five-tuple … to determine the backend
+//! server … uses a map to keep track of the assigned flows … garbage
+//! collects finished connections by intercepting TCP control packets, such
+//! as RST and FIN. The L4 load balancer also has a time-out mechanism:
+//! idle connections are garbage-collected after 5 minutes."
+//!
+//! The per-packet program steers data packets of known flows on the
+//! switch; new flows and RST/FIN packets visit the server (where the map
+//! is updated and the idle clock is stamped). The idle-timeout sweep is an
+//! out-of-band control loop — it is not on any packet path, exactly as a
+//! software LB would run it from a timer — exposed as [`LoadBalancer::gc_expired`].
+
+use gallium_mir::{BinOp, FuncBuilder, HeaderField, Program, StateId, StateStore};
+use gallium_net::TcpFlags;
+
+/// Idle timeout: 5 minutes, in nanoseconds.
+pub const IDLE_TIMEOUT_NS: u64 = 300_000_000_000;
+
+/// The load balancer plus its state handles.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    /// The program.
+    pub prog: Program,
+    /// Connection-consistency map: five-tuple → backend.
+    pub conn: StateId,
+    /// Last-activity map (server only): five-tuple → ns timestamp.
+    pub expiry: StateId,
+    /// Backend list.
+    pub backends: StateId,
+}
+
+/// Build the L4 load balancer.
+pub fn load_balancer() -> LoadBalancer {
+    let mut b = FuncBuilder::new("l4lb");
+    // Key: (saddr, daddr, sport<<16|dport, proto).
+    let conn = b.decl_map("conn", vec![32, 32, 32, 8], vec![32], Some(65536));
+    let expiry = b.decl_map("expiry", vec![32, 32, 32, 8], vec![64], None);
+    let backends = b.decl_vector("backends", 32, 64);
+
+    let saddr = b.read_field(HeaderField::IpSaddr);
+    let daddr = b.read_field(HeaderField::IpDaddr);
+    let sport = b.read_field(HeaderField::SrcPort);
+    let dport = b.read_field(HeaderField::DstPort);
+    let proto = b.read_field(HeaderField::IpProto);
+    let sixteen = b.cnst(16, 16);
+    let sport32 = b.cast(sport, 32);
+    let sport_hi = b.bin(BinOp::Shl, sport32, sixteen);
+    let dport32 = b.cast(dport, 32);
+    let ports = b.bin(BinOp::Or, sport_hi, dport32);
+
+    // Control packet? (RST or FIN tears the connection down.)
+    let flags = b.read_field(HeaderField::TcpFlags);
+    let ctrl_mask = b.cnst(u64::from(TcpFlags::RST | TcpFlags::FIN), 8);
+    let ctrl_bits = b.bin(BinOp::And, flags, ctrl_mask);
+    let zero8 = b.cnst(0, 8);
+    let is_ctrl = b.bin(BinOp::Ne, ctrl_bits, zero8);
+
+    let res = b.map_get(conn, vec![saddr, daddr, ports, proto]);
+    let null = b.is_null(res);
+
+    let ctrl_bb = b.new_block();
+    let data_bb = b.new_block();
+    b.branch(is_ctrl, ctrl_bb, data_bb);
+
+    // RST/FIN: remove the flow (server) and forward the packet.
+    b.switch_to(ctrl_bb);
+    b.map_del(conn, vec![saddr, daddr, ports, proto]);
+    b.map_del(expiry, vec![saddr, daddr, ports, proto]);
+    b.send();
+    b.ret();
+
+    // Data packet.
+    b.switch_to(data_bb);
+    let hit_bb = b.new_block();
+    let miss_bb = b.new_block();
+    b.branch(null, miss_bb, hit_bb);
+
+    // Known flow: steer on the switch.
+    b.switch_to(hit_bb);
+    let bk = b.extract(res, 0);
+    b.write_field(HeaderField::IpDaddr, bk);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    // New flow: consistent-hash a backend, record it (server).
+    b.switch_to(miss_bb);
+    let h = b.hash(vec![saddr, daddr, ports, proto], 32);
+    let len = b.vec_len(backends);
+    let idx = b.bin(BinOp::Mod, h, len);
+    let bk2 = b.vec_get(backends, idx);
+    b.map_put(conn, vec![saddr, daddr, ports, proto], vec![bk2]);
+    let now = b.now();
+    b.map_put(expiry, vec![saddr, daddr, ports, proto], vec![now]);
+    b.write_field(HeaderField::IpDaddr, bk2);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    let prog = b.finish().expect("l4lb is well-formed");
+    LoadBalancer {
+        conn: prog.state_by_name("conn").unwrap(),
+        expiry: prog.state_by_name("expiry").unwrap(),
+        backends: prog.state_by_name("backends").unwrap(),
+        prog,
+    }
+}
+
+impl LoadBalancer {
+    /// Install the backend list.
+    pub fn configure(&self, store: &mut StateStore, backends: &[u32]) {
+        store
+            .vec_set_all(self.backends, backends.iter().map(|b| u64::from(*b)).collect())
+            .expect("backends vector declared");
+    }
+
+    /// Out-of-band idle-timeout sweep: remove connections whose last
+    /// activity is more than [`IDLE_TIMEOUT_NS`] before `now_ns`. Returns
+    /// the keys removed (so a deployment can push the deletions to the
+    /// switch through the write-back protocol).
+    pub fn gc_expired(&self, store: &mut StateStore, now_ns: u64) -> Vec<Vec<u64>> {
+        let mut removed = Vec::new();
+        for (key, val) in store.map_entries(self.expiry).expect("expiry declared") {
+            let last = val[0];
+            if now_ns.saturating_sub(last) > IDLE_TIMEOUT_NS {
+                store.map_del(self.conn, &key).expect("conn declared");
+                store.map_del(self.expiry, &key).expect("expiry declared");
+                removed.push(key);
+            }
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::interp::read_header_field;
+    use gallium_mir::Interpreter;
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId};
+
+    fn pkt(sport: u16, flags: u8) -> gallium_net::Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A000001,
+                daddr: 0x0A0000FE,
+                sport,
+                dport: 443,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(flags),
+            150,
+        )
+        .build(PortId(1))
+    }
+
+    #[test]
+    fn assigns_and_sticks() {
+        let lb = load_balancer();
+        let mut store = StateStore::new(&lb.prog.states);
+        lb.configure(&mut store, &[11, 22, 33]);
+        let interp = Interpreter::new(&lb.prog);
+        let r1 = interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        let d1 = read_header_field(r1.sent().unwrap().bytes(), HeaderField::IpDaddr);
+        assert!([11, 22, 33].contains(&d1));
+        let r2 = interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 1).unwrap();
+        let d2 = read_header_field(r2.sent().unwrap().bytes(), HeaderField::IpDaddr);
+        assert_eq!(d1, d2);
+        assert_eq!(store.map_len(lb.conn).unwrap(), 1);
+    }
+
+    #[test]
+    fn fin_tears_down() {
+        let lb = load_balancer();
+        let mut store = StateStore::new(&lb.prog.states);
+        lb.configure(&mut store, &[11, 22, 33]);
+        let interp = Interpreter::new(&lb.prog);
+        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        assert_eq!(store.map_len(lb.conn).unwrap(), 1);
+        let r = interp
+            .run(&mut pkt(1000, TcpFlags::FIN | TcpFlags::ACK), &mut store, 1)
+            .unwrap();
+        assert!(r.sent().is_some(), "FIN is forwarded");
+        assert_eq!(store.map_len(lb.conn).unwrap(), 0);
+        assert_eq!(store.map_len(lb.expiry).unwrap(), 0);
+    }
+
+    #[test]
+    fn rst_tears_down() {
+        let lb = load_balancer();
+        let mut store = StateStore::new(&lb.prog.states);
+        lb.configure(&mut store, &[11]);
+        let interp = Interpreter::new(&lb.prog);
+        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        interp.run(&mut pkt(1000, TcpFlags::RST), &mut store, 1).unwrap();
+        assert_eq!(store.map_len(lb.conn).unwrap(), 0);
+    }
+
+    #[test]
+    fn idle_timeout_sweep() {
+        let lb = load_balancer();
+        let mut store = StateStore::new(&lb.prog.states);
+        lb.configure(&mut store, &[11]);
+        let interp = Interpreter::new(&lb.prog);
+        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        interp
+            .run(&mut pkt(2000, TcpFlags::ACK), &mut store, IDLE_TIMEOUT_NS)
+            .unwrap();
+        // Sweep at a time where only the first flow is expired.
+        let removed = lb.gc_expired(&mut store, IDLE_TIMEOUT_NS + 2);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(store.map_len(lb.conn).unwrap(), 1);
+        // Much later, the second goes too.
+        let removed = lb.gc_expired(&mut store, 3 * IDLE_TIMEOUT_NS);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(store.map_len(lb.conn).unwrap(), 0);
+    }
+
+    #[test]
+    fn udp_flows_balanced_too() {
+        let lb = load_balancer();
+        let mut store = StateStore::new(&lb.prog.states);
+        lb.configure(&mut store, &[11, 22]);
+        let interp = Interpreter::new(&lb.prog);
+        let udp = PacketBuilder::udp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 53,
+                dport: 53,
+                proto: IpProtocol::Udp,
+            },
+            90,
+        )
+        .build(PortId(1));
+        let r = interp.run(&mut udp.clone(), &mut store, 0).unwrap();
+        let d = read_header_field(r.sent().unwrap().bytes(), HeaderField::IpDaddr);
+        assert!([11, 22].contains(&d));
+    }
+}

@@ -1,0 +1,47 @@
+//! # gallium-middleboxes — the evaluated middleboxes
+//!
+//! The five Click-based middleboxes of the paper's evaluation (§6.1), plus
+//! the MiniLB running example of §4, expressed against the Click-style
+//! frontend / MIR builder:
+//!
+//! | Middlebox | Paper behaviour | Module |
+//! |---|---|---|
+//! | MiniLB | consistent-hash load balancer, the §4 worked example | [`minilb`] |
+//! | MazuNAT | bidirectional NAT with counter-based port allocation | [`mazunat`] |
+//! | L4 load balancer | five-tuple hashing + connection table + RST/FIN GC + idle timeout | [`lb`] |
+//! | Firewall | five-tuple whitelist, both directions | [`firewall`] |
+//! | Transparent proxy | TCP destination-port redirect to a web proxy | [`proxy`] |
+//! | Trojan detector | SSH → HTTP/FTP download → IRC sequence detection | [`trojan`] |
+//! | Prefix router | LPM next-hop selection (§7 extension, not in the paper's set) | [`router`] |
+//!
+//! Every constructor returns a validated [`gallium_mir::Program`] plus a
+//! typed config handle for installing rules/backends, so tests, examples,
+//! and benchmarks share identical artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod firewall;
+pub mod lb;
+pub mod mazunat;
+pub mod minilb;
+pub mod proxy;
+pub mod router;
+pub mod trojan;
+
+/// Conventional switch port for the internal network (NAT/firewall).
+pub const INTERNAL_PORT: u16 = 1;
+/// Conventional switch port for the external network.
+pub const EXTERNAL_PORT: u16 = 2;
+
+/// All five evaluated middleboxes (paper Table 1 order), as
+/// `(name, program)` pairs — the iteration the benches and Table 1 use.
+pub fn all_evaluated() -> Vec<(&'static str, gallium_mir::Program)> {
+    vec![
+        ("MazuNAT", mazunat::mazunat().prog),
+        ("Load Balancer", lb::load_balancer().prog),
+        ("Firewall", firewall::firewall().prog),
+        ("Proxy", proxy::proxy(gallium_net::ipv4::parse_addr("10.9.9.9").unwrap(), 3128).prog),
+        ("Trojan Detector", trojan::trojan_detector().prog),
+    ]
+}

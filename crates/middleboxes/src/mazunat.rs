@@ -1,0 +1,255 @@
+//! MazuNAT — the NAT used by Mazu Networks (§6.1).
+//!
+//! "For traffic going from the internal to the external network, MazuNAT
+//! allocates a new port and rewrites the packet header … The port
+//! allocation is performed using a monotonically increasing counter.
+//! MazuNAT memorizes the mapping from addresses to ports for existing
+//! connections … When MazuNAT receives a packet from the external network
+//! \[it\] checks if there is a corresponding mapping … If not, \[it\] drops
+//! the packet."
+//!
+//! Offloading expectations from §6.2: both address-translation tables land
+//! on the switch (replicated — the 65 536-entry annotation makes them
+//! placeable), the port-allocation counter is offloaded as a P4 register
+//! whose fetch-add value rides the transfer header to the server, and only
+//! connection-opening packets visit the server.
+
+use crate::INTERNAL_PORT;
+use gallium_mir::{BinOp, FuncBuilder, HeaderField, Program, StateId, StateStore};
+
+/// The externally visible NAT address.
+pub const NAT_EXTERNAL_IP: u32 = 0xC0A86401; // 192.168.100.1
+
+/// Base of the dynamically allocated port range.
+pub const NAT_PORT_BASE: u16 = 1024;
+
+/// MazuNAT plus its state handles.
+#[derive(Debug, Clone)]
+pub struct MazuNat {
+    /// The program.
+    pub prog: Program,
+    /// internal five-tuple → external port.
+    pub nat_out: StateId,
+    /// external port → (internal addr, internal port).
+    pub nat_in: StateId,
+    /// Port-allocation counter.
+    pub port_ctr: StateId,
+}
+
+/// Build MazuNAT.
+pub fn mazunat() -> MazuNat {
+    let mut b = FuncBuilder::new("mazunat");
+    // Keys: (saddr, daddr, sport, dport); value: allocated external port.
+    let nat_out = b.decl_map("nat_out", vec![32, 32, 16, 16], vec![16], Some(65536));
+    // Key: external port; value: (internal addr, internal port).
+    let nat_in = b.decl_map("nat_in", vec![16], vec![32, 16], Some(65536));
+    let port_ctr = b.decl_register("port_ctr", 16);
+
+    let ingress = b.read_port();
+    let internal = b.cnst(u64::from(INTERNAL_PORT), 16);
+    let from_internal = b.bin(BinOp::Eq, ingress, internal);
+
+    let out_dir = b.new_block();
+    let in_dir = b.new_block();
+    b.branch(from_internal, out_dir, in_dir);
+
+    // ---- internal → external ------------------------------------------
+    b.switch_to(out_dir);
+    let saddr = b.read_field(HeaderField::IpSaddr);
+    let daddr = b.read_field(HeaderField::IpDaddr);
+    let sport = b.read_field(HeaderField::SrcPort);
+    let dport = b.read_field(HeaderField::DstPort);
+    let res = b.map_get(nat_out, vec![saddr, daddr, sport, dport]);
+    let null = b.is_null(res);
+    let out_miss = b.new_block();
+    let out_hit = b.new_block();
+    b.branch(null, out_miss, out_hit);
+
+    // Existing connection: rewrite from the mapping (fast path).
+    b.switch_to(out_hit);
+    let ext = b.extract(res, 0);
+    let nat_ip = b.cnst(u64::from(NAT_EXTERNAL_IP), 32);
+    b.write_field(HeaderField::IpSaddr, nat_ip);
+    b.write_field(HeaderField::SrcPort, ext);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    // New connection: allocate a port on the switch counter; the server
+    // installs both directions of the mapping.
+    b.switch_to(out_miss);
+    let one = b.cnst(1, 16);
+    let raw = b.reg_fetch_add(port_ctr, one);
+    let base = b.cnst(u64::from(NAT_PORT_BASE), 16);
+    let new_port = b.bin(BinOp::Add, raw, base);
+    b.map_put(nat_out, vec![saddr, daddr, sport, dport], vec![new_port]);
+    b.map_put(nat_in, vec![new_port], vec![saddr, sport]);
+    let nat_ip2 = b.cnst(u64::from(NAT_EXTERNAL_IP), 32);
+    b.write_field(HeaderField::IpSaddr, nat_ip2);
+    b.write_field(HeaderField::SrcPort, new_port);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    // ---- external → internal ------------------------------------------
+    b.switch_to(in_dir);
+    let ext_dport = b.read_field(HeaderField::DstPort);
+    let back = b.map_get(nat_in, vec![ext_dport]);
+    let back_null = b.is_null(back);
+    let drop_bb = b.new_block();
+    let in_hit = b.new_block();
+    b.branch(back_null, drop_bb, in_hit);
+
+    b.switch_to(in_hit);
+    let int_addr = b.extract(back, 0);
+    let int_port = b.extract(back, 1);
+    b.write_field(HeaderField::IpDaddr, int_addr);
+    b.write_field(HeaderField::DstPort, int_port);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    b.switch_to(drop_bb);
+    b.drop_pkt();
+    b.ret();
+
+    let prog = b.finish().expect("mazunat is well-formed");
+    MazuNat {
+        nat_out: prog.state_by_name("nat_out").unwrap(),
+        nat_in: prog.state_by_name("nat_in").unwrap(),
+        port_ctr: prog.state_by_name("port_ctr").unwrap(),
+        prog,
+    }
+}
+
+impl MazuNat {
+    /// Nothing to preconfigure — mappings are learned from traffic. The
+    /// helper exists for interface symmetry with the other middleboxes.
+    pub fn configure(&self, _store: &mut StateStore) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EXTERNAL_PORT;
+    use gallium_mir::interp::read_header_field;
+    use gallium_mir::Interpreter;
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+
+    fn pkt(saddr: u32, daddr: u32, sport: u16, dport: u16, ingress: u16) -> gallium_net::Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr,
+                daddr,
+                sport,
+                dport,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            100,
+        )
+        .build(PortId(ingress))
+    }
+
+    #[test]
+    fn outbound_rewrites_and_remembers() {
+        let nat = mazunat();
+        let mut store = StateStore::new(&nat.prog.states);
+        let interp = Interpreter::new(&nat.prog);
+
+        let r = interp
+            .run(
+                &mut pkt(0x0A000005, 0x08080808, 5555, 80, INTERNAL_PORT),
+                &mut store,
+                0,
+            )
+            .unwrap();
+        let sent = r.sent().unwrap();
+        assert_eq!(
+            read_header_field(sent.bytes(), HeaderField::IpSaddr),
+            u64::from(NAT_EXTERNAL_IP)
+        );
+        let ext_port = read_header_field(sent.bytes(), HeaderField::SrcPort);
+        assert_eq!(ext_port, u64::from(NAT_PORT_BASE));
+        assert_eq!(store.map_len(nat.nat_out).unwrap(), 1);
+        assert_eq!(store.map_len(nat.nat_in).unwrap(), 1);
+
+        // Same connection again: same external port, no new mapping.
+        let r = interp
+            .run(
+                &mut pkt(0x0A000005, 0x08080808, 5555, 80, INTERNAL_PORT),
+                &mut store,
+                1,
+            )
+            .unwrap();
+        assert_eq!(
+            read_header_field(r.sent().unwrap().bytes(), HeaderField::SrcPort),
+            ext_port
+        );
+        assert_eq!(store.map_len(nat.nat_out).unwrap(), 1);
+    }
+
+    #[test]
+    fn ports_allocated_monotonically() {
+        let nat = mazunat();
+        let mut store = StateStore::new(&nat.prog.states);
+        let interp = Interpreter::new(&nat.prog);
+        for i in 0..3u16 {
+            let r = interp
+                .run(
+                    &mut pkt(0x0A000001, 0x08080808, 1000 + i, 80, INTERNAL_PORT),
+                    &mut store,
+                    0,
+                )
+                .unwrap();
+            assert_eq!(
+                read_header_field(r.sent().unwrap().bytes(), HeaderField::SrcPort),
+                u64::from(NAT_PORT_BASE + i)
+            );
+        }
+    }
+
+    #[test]
+    fn inbound_translated_back() {
+        let nat = mazunat();
+        let mut store = StateStore::new(&nat.prog.states);
+        let interp = Interpreter::new(&nat.prog);
+        // Open outbound.
+        interp
+            .run(
+                &mut pkt(0x0A000005, 0x08080808, 5555, 80, INTERNAL_PORT),
+                &mut store,
+                0,
+            )
+            .unwrap();
+        // Reply to the allocated port.
+        let r = interp
+            .run(
+                &mut pkt(0x08080808, NAT_EXTERNAL_IP, 80, NAT_PORT_BASE, EXTERNAL_PORT),
+                &mut store,
+                1,
+            )
+            .unwrap();
+        let sent = r.sent().unwrap();
+        assert_eq!(
+            read_header_field(sent.bytes(), HeaderField::IpDaddr),
+            0x0A000005
+        );
+        assert_eq!(read_header_field(sent.bytes(), HeaderField::DstPort), 5555);
+    }
+
+    #[test]
+    fn unsolicited_inbound_dropped() {
+        let nat = mazunat();
+        let mut store = StateStore::new(&nat.prog.states);
+        let r = Interpreter::new(&nat.prog)
+            .run(
+                &mut pkt(0x08080808, NAT_EXTERNAL_IP, 80, 9999, EXTERNAL_PORT),
+                &mut store,
+                0,
+            )
+            .unwrap();
+        assert!(r.dropped());
+        assert!(r.sent().is_none());
+    }
+}

@@ -1,0 +1,164 @@
+//! The transparent proxy (§6.1), adapted from the Click paper's example.
+//!
+//! "The transparent proxy redirects traffic to a web proxy based on the
+//! TCP destination port. The proxy internally keeps a list of TCP
+//! destination ports. Upon receiving a packet, the proxy checks whether
+//! the TCP destination port is in the list. If \[so\], instead of forwarding
+//! the packet, the proxy rewrites the packet header to steer the packet to
+//! a designated web proxy." Fully offloadable: one match-action table plus
+//! a rewrite action (§6.2).
+
+use gallium_mir::{BinOp, FuncBuilder, HeaderField, Program, StateId, StateStore};
+
+/// The proxy plus its state handle and redirect target.
+#[derive(Debug, Clone)]
+pub struct Proxy {
+    /// The program.
+    pub prog: Program,
+    /// The intercepted-port list (as a one-column map).
+    pub ports: StateId,
+    /// Redirect target address.
+    pub proxy_addr: u32,
+    /// Redirect target port.
+    pub proxy_port: u16,
+}
+
+/// Build the transparent proxy redirecting to `proxy_addr:proxy_port`.
+pub fn proxy(proxy_addr: u32, proxy_port: u16) -> Proxy {
+    let mut b = FuncBuilder::new("proxy");
+    let ports = b.decl_map("proxy_ports", vec![16], vec![8], Some(1024));
+
+    // Non-TCP traffic is forwarded untouched.
+    let proto = b.read_field(HeaderField::IpProto);
+    let tcp = b.cnst(6, 8);
+    let is_tcp = b.bin(BinOp::Eq, proto, tcp);
+    let tcp_bb = b.new_block();
+    let fwd_bb = b.new_block();
+    b.branch(is_tcp, tcp_bb, fwd_bb);
+
+    b.switch_to(tcp_bb);
+    let dport = b.read_field(HeaderField::DstPort);
+    let res = b.map_get(ports, vec![dport]);
+    let null = b.is_null(res);
+    let pass_bb = b.new_block();
+    let redirect_bb = b.new_block();
+    b.branch(null, pass_bb, redirect_bb);
+
+    b.switch_to(redirect_bb);
+    let addr = b.cnst(u64::from(proxy_addr), 32);
+    let port = b.cnst(u64::from(proxy_port), 16);
+    b.write_field(HeaderField::IpDaddr, addr);
+    b.write_field(HeaderField::DstPort, port);
+    b.update_checksum();
+    b.send();
+    b.ret();
+
+    b.switch_to(pass_bb);
+    b.send();
+    b.ret();
+
+    b.switch_to(fwd_bb);
+    b.send();
+    b.ret();
+
+    let prog = b.finish().expect("proxy is well-formed");
+    Proxy {
+        ports: prog.state_by_name("proxy_ports").unwrap(),
+        proxy_addr,
+        proxy_port,
+        prog,
+    }
+}
+
+impl Proxy {
+    /// Intercept `port`.
+    pub fn intercept(&self, store: &mut StateStore, port: u16) {
+        store
+            .map_put(self.ports, vec![u64::from(port)], vec![1])
+            .expect("ports map declared");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::interp::read_header_field;
+    use gallium_mir::Interpreter;
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+
+    const PROXY_IP: u32 = 0x0A090909;
+
+    fn make() -> (Proxy, StateStore) {
+        let p = proxy(PROXY_IP, 3128);
+        let mut store = StateStore::new(&p.prog.states);
+        p.intercept(&mut store, 80);
+        p.intercept(&mut store, 8080);
+        (p, store)
+    }
+
+    fn tcp(dport: u16) -> gallium_net::Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 0x08080808,
+                sport: 5000,
+                dport,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            100,
+        )
+        .build(PortId(1))
+    }
+
+    #[test]
+    fn intercepted_port_redirected() {
+        let (p, mut store) = make();
+        let r = Interpreter::new(&p.prog)
+            .run(&mut tcp(80), &mut store, 0)
+            .unwrap();
+        let sent = r.sent().unwrap();
+        assert_eq!(
+            read_header_field(sent.bytes(), HeaderField::IpDaddr),
+            u64::from(PROXY_IP)
+        );
+        assert_eq!(read_header_field(sent.bytes(), HeaderField::DstPort), 3128);
+    }
+
+    #[test]
+    fn other_ports_pass_untouched() {
+        let (p, mut store) = make();
+        let r = Interpreter::new(&p.prog)
+            .run(&mut tcp(443), &mut store, 0)
+            .unwrap();
+        let sent = r.sent().unwrap();
+        assert_eq!(
+            read_header_field(sent.bytes(), HeaderField::IpDaddr),
+            0x08080808
+        );
+        assert_eq!(read_header_field(sent.bytes(), HeaderField::DstPort), 443);
+    }
+
+    #[test]
+    fn non_tcp_forwarded() {
+        let (p, mut store) = make();
+        let udp = PacketBuilder::udp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 53,
+                dport: 80, // would match the list if it were TCP
+                proto: IpProtocol::Udp,
+            },
+            80,
+        )
+        .build(PortId(1));
+        let r = Interpreter::new(&p.prog)
+            .run(&mut udp.clone(), &mut store, 0)
+            .unwrap();
+        assert_eq!(
+            read_header_field(r.sent().unwrap().bytes(), HeaderField::IpDaddr),
+            2
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! The Trojan detector (§6.1), after De Carli et al.
+//!
+//! "identifies an endhost as a Trojan if the following sequence of events
+//! is observed: (1) The endhost first creates an SSH connection. (2) It
+//! then downloads a HTML file from a web server, or a .zip or .exe file
+//! from a FTP server. (3) Finally, it generates Internet Relay Chat (IRC)
+//! traffic."
+//!
+//! Offloading expectations from §6.2: the per-host TCP state table lives
+//! on the switch; TCP control packets (which advance the state machine)
+//! and data packets needing deep packet inspection visit the server; the
+//! bulk of data traffic is handled entirely in the data plane.
+
+use gallium_mir::{BinOp, FuncBuilder, HeaderField, Program, StateId, StateStore};
+use gallium_net::TcpFlags;
+
+/// Host progressed to "opened an SSH connection".
+pub const STAGE_SSH: u64 = 1;
+/// Host additionally downloaded suspicious content.
+pub const STAGE_DOWNLOAD: u64 = 2;
+/// Host additionally spoke IRC: flagged as a Trojan.
+pub const STAGE_TROJAN: u64 = 3;
+
+/// IRC service port checked in stage 3.
+pub const IRC_PORT: u16 = 6667;
+
+/// The detector plus its state handles.
+#[derive(Debug, Clone)]
+pub struct TrojanDetector {
+    /// The program.
+    pub prog: Program,
+    /// Per-host state machine: host address → stage.
+    pub host_state: StateId,
+    /// Count of hosts flagged as Trojans.
+    pub trojans: StateId,
+}
+
+/// Build the Trojan detector.
+pub fn trojan_detector() -> TrojanDetector {
+    let mut b = FuncBuilder::new("trojan");
+    let host_state = b.decl_map("host_state", vec![32], vec![8], Some(65536));
+    let trojans = b.decl_register("trojans", 32);
+
+    // Non-TCP traffic passes.
+    let proto = b.read_field(HeaderField::IpProto);
+    let tcp = b.cnst(6, 8);
+    let is_tcp = b.bin(BinOp::Eq, proto, tcp);
+    let tcp_bb = b.new_block();
+    let fwd_bb = b.new_block();
+    b.branch(is_tcp, tcp_bb, fwd_bb);
+    b.switch_to(fwd_bb);
+    b.send();
+    b.ret();
+
+    b.switch_to(tcp_bb);
+    let saddr = b.read_field(HeaderField::IpSaddr);
+    let res = b.map_get(host_state, vec![saddr]);
+    let null = b.is_null(res);
+    let dport = b.read_field(HeaderField::DstPort);
+    let flags = b.read_field(HeaderField::TcpFlags);
+    let syn_mask = b.cnst(u64::from(TcpFlags::SYN), 8);
+    let syn_bits = b.bin(BinOp::And, flags, syn_mask);
+    let zero8 = b.cnst(0, 8);
+    let is_syn = b.bin(BinOp::Ne, syn_bits, zero8);
+
+    let ctrl_bb = b.new_block();
+    let data_bb = b.new_block();
+    b.branch(is_syn, ctrl_bb, data_bb);
+
+    // ---- connection opens: advance stage 0 → 1 on SSH ------------------
+    b.switch_to(ctrl_bb);
+    let ssh = b.cnst(22, 16);
+    let to_ssh = b.bin(BinOp::Eq, dport, ssh);
+    let fresh = b.bin(BinOp::And, to_ssh, null);
+    let mark_bb = b.new_block();
+    let ctrl_done = b.new_block();
+    b.branch(fresh, mark_bb, ctrl_done);
+    b.switch_to(mark_bb);
+    let one8 = b.cnst(STAGE_SSH, 8);
+    b.map_put(host_state, vec![saddr], vec![one8]);
+    b.send();
+    b.ret();
+    b.switch_to(ctrl_done);
+    b.send();
+    b.ret();
+
+    // ---- data packets ----------------------------------------------------
+    b.switch_to(data_bb);
+    let unknown_bb = b.new_block();
+    let known_bb = b.new_block();
+    b.branch(null, unknown_bb, known_bb);
+
+    // Unknown host: pure fast path.
+    b.switch_to(unknown_bb);
+    b.send();
+    b.ret();
+
+    b.switch_to(known_bb);
+    let stage = b.extract(res, 0);
+    let s1 = b.cnst(STAGE_SSH, 8);
+    let at_stage1 = b.bin(BinOp::Eq, stage, s1);
+    let dpi_bb = b.new_block();
+    let later_bb = b.new_block();
+    b.branch(at_stage1, dpi_bb, later_bb);
+
+    // Stage 1: deep packet inspection for the download signatures.
+    b.switch_to(dpi_bb);
+    let m_html = b.payload_match(b"GET ");
+    let m_zip = b.payload_match(b".zip");
+    let m_exe = b.payload_match(b".exe");
+    let m_any0 = b.bin(BinOp::Or, m_html, m_zip);
+    let m_any = b.bin(BinOp::Or, m_any0, m_exe);
+    let hit_bb = b.new_block();
+    let dpi_done = b.new_block();
+    b.branch(m_any, hit_bb, dpi_done);
+    b.switch_to(hit_bb);
+    let two8 = b.cnst(STAGE_DOWNLOAD, 8);
+    b.map_put(host_state, vec![saddr], vec![two8]);
+    b.send();
+    b.ret();
+    b.switch_to(dpi_done);
+    b.send();
+    b.ret();
+
+    // Stage ≥ 2: IRC traffic from a stage-2 host completes the pattern.
+    b.switch_to(later_bb);
+    let s2 = b.cnst(STAGE_DOWNLOAD, 8);
+    let at_stage2 = b.bin(BinOp::Eq, stage, s2);
+    let irc = b.cnst(u64::from(IRC_PORT), 16);
+    let to_irc = b.bin(BinOp::Eq, dport, irc);
+    let triggered = b.bin(BinOp::And, at_stage2, to_irc);
+    let flag_bb = b.new_block();
+    let pass_bb = b.new_block();
+    b.branch(triggered, flag_bb, pass_bb);
+    b.switch_to(flag_bb);
+    let three8 = b.cnst(STAGE_TROJAN, 8);
+    b.map_put(host_state, vec![saddr], vec![three8]);
+    let one32 = b.cnst(1, 32);
+    let _ = b.reg_fetch_add(trojans, one32);
+    b.send();
+    b.ret();
+    b.switch_to(pass_bb);
+    b.send();
+    b.ret();
+
+    let prog = b.finish().expect("trojan detector is well-formed");
+    TrojanDetector {
+        host_state: prog.state_by_name("host_state").unwrap(),
+        trojans: prog.state_by_name("trojans").unwrap(),
+        prog,
+    }
+}
+
+impl TrojanDetector {
+    /// Current stage of `host` (0 = unseen).
+    pub fn stage_of(&self, store: &StateStore, host: u32) -> u64 {
+        store
+            .map_get(self.host_state, &[u64::from(host)])
+            .expect("host_state declared")
+            .map(|v| v[0])
+            .unwrap_or(0)
+    }
+
+    /// Number of hosts flagged so far.
+    pub fn trojan_count(&self, store: &StateStore) -> u64 {
+        store.reg_read(self.trojans).expect("trojans declared")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::Interpreter;
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId};
+
+    const HOST: u32 = 0x0A000042;
+
+    fn tcp(dport: u16, flags: u8, payload: &[u8]) -> gallium_net::Packet {
+        let mut builder = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: HOST,
+                daddr: 0x08080808,
+                sport: 4000,
+                dport,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(flags),
+            100,
+        );
+        if !payload.is_empty() {
+            builder = builder.payload(payload.to_vec());
+        }
+        builder.build(PortId(1))
+    }
+
+    fn run_sequence(det: &TrojanDetector, store: &mut StateStore, pkts: &[gallium_net::Packet]) {
+        let interp = Interpreter::new(&det.prog);
+        for p in pkts {
+            interp.run(&mut p.clone(), store, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn full_trojan_sequence_detected() {
+        let det = trojan_detector();
+        let mut store = StateStore::new(&det.prog.states);
+        run_sequence(
+            &det,
+            &mut store,
+            &[
+                tcp(22, TcpFlags::SYN, b""),                      // SSH open
+                tcp(80, TcpFlags::ACK, b"GET /index.html"),       // download
+                tcp(IRC_PORT, TcpFlags::ACK, b"NICK trojan\r\n"), // IRC
+            ],
+        );
+        assert_eq!(det.stage_of(&store, HOST), STAGE_TROJAN);
+        assert_eq!(det.trojan_count(&store), 1);
+    }
+
+    #[test]
+    fn zip_download_counts() {
+        let det = trojan_detector();
+        let mut store = StateStore::new(&det.prog.states);
+        run_sequence(
+            &det,
+            &mut store,
+            &[
+                tcp(22, TcpFlags::SYN, b""),
+                tcp(21, TcpFlags::ACK, b"RETR malware.zip"),
+            ],
+        );
+        assert_eq!(det.stage_of(&store, HOST), STAGE_DOWNLOAD);
+        assert_eq!(det.trojan_count(&store), 0);
+    }
+
+    #[test]
+    fn out_of_order_events_do_not_trigger() {
+        let det = trojan_detector();
+        let mut store = StateStore::new(&det.prog.states);
+        // IRC and download before any SSH: host never advances.
+        run_sequence(
+            &det,
+            &mut store,
+            &[
+                tcp(IRC_PORT, TcpFlags::ACK, b"NICK x"),
+                tcp(80, TcpFlags::ACK, b"GET /index.html"),
+            ],
+        );
+        assert_eq!(det.stage_of(&store, HOST), 0);
+        // SSH then IRC (no download in between): stays at stage 1.
+        run_sequence(
+            &det,
+            &mut store,
+            &[
+                tcp(22, TcpFlags::SYN, b""),
+                tcp(IRC_PORT, TcpFlags::ACK, b"NICK x"),
+            ],
+        );
+        assert_eq!(det.stage_of(&store, HOST), STAGE_SSH);
+        assert_eq!(det.trojan_count(&store), 0);
+    }
+
+    #[test]
+    fn innocent_bulk_traffic_untouched() {
+        let det = trojan_detector();
+        let mut store = StateStore::new(&det.prog.states);
+        let interp = Interpreter::new(&det.prog);
+        for i in 0..50u16 {
+            let r = interp
+                .run(&mut tcp(443, TcpFlags::ACK, b"tls data"), &mut store, u64::from(i))
+                .unwrap();
+            assert!(r.sent().is_some());
+        }
+        assert_eq!(det.stage_of(&store, HOST), 0);
+        assert_eq!(store.map_len(det.host_state).unwrap(), 0);
+    }
+}

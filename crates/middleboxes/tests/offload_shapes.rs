@@ -1,0 +1,375 @@
+//! §6.2 "What's offloaded?" — partition-shape assertions for all five
+//! middleboxes, plus deployed-vs-reference equivalence on mixed traffic.
+
+use gallium_core::{compile, Deployment};
+use gallium_middleboxes::{firewall, lb, mazunat, minilb, proxy, trojan};
+use gallium_middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium_mir::interp::read_header_field;
+use gallium_mir::{HeaderField, Interpreter, Op, PacketAction, Program, StateStore, ValueId};
+use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
+use gallium_partition::{Partition, StatePlacement, SwitchModel};
+use gallium_server::CostModel;
+use gallium_switchsim::SwitchConfig;
+
+fn compiled(prog: &Program) -> gallium_core::CompiledMiddlebox {
+    compile(prog, &SwitchModel::tofino_like()).expect("compiles")
+}
+
+fn find_ops<F: Fn(&Op) -> bool>(prog: &Program, pred: F) -> Vec<ValueId> {
+    (0..prog.func.insts.len() as u32)
+        .map(ValueId)
+        .filter(|v| pred(&prog.func.inst(*v).op))
+        .collect()
+}
+
+#[test]
+fn mazunat_offload_shape() {
+    let nat = mazunat::mazunat();
+    let c = compiled(&nat.prog);
+    // "MazuNAT's address translation tables ... are offloaded to the
+    // programmable switch" — replicated, since the server inserts.
+    assert_eq!(c.staged.placement_of(nat.nat_out), StatePlacement::Replicated);
+    assert_eq!(c.staged.placement_of(nat.nat_in), StatePlacement::Replicated);
+    // "the counter used for port allocation is also offloaded to the
+    // switch as a P4 register".
+    assert_eq!(c.staged.placement_of(nat.port_ctr), StatePlacement::SwitchOnly);
+    assert_eq!(c.p4.registers.len(), 1);
+    assert_eq!(c.p4.tables.len(), 2);
+    // Both lookups run in pre-processing.
+    for v in find_ops(&nat.prog, |op| matches!(op, Op::MapGet { .. })) {
+        assert_eq!(c.staged.partition_of(v), Partition::Pre, "{v} is a pre lookup");
+    }
+    // The fetch-add runs on the switch and its value crosses to the server.
+    let fadds = find_ops(&nat.prog, |op| matches!(op, Op::RegFetchAdd { .. }));
+    assert_eq!(fadds.len(), 1);
+    assert_eq!(c.staged.partition_of(fadds[0]), Partition::Pre);
+    // Table updates stay on the server.
+    for v in find_ops(&nat.prog, |op| matches!(op, Op::MapPut { .. })) {
+        assert_eq!(c.staged.partition_of(v), Partition::NonOffloaded);
+    }
+    // Headers fit the 20-byte budget.
+    c.staged.header_to_server.check_budget(20).unwrap();
+    c.staged.header_to_switch.check_budget(20).unwrap();
+}
+
+#[test]
+fn lb_offload_shape() {
+    let lb = lb::load_balancer();
+    let c = compiled(&lb.prog);
+    // Connection map replicated, expiry map server-only (unannotated),
+    // backends vector server-only.
+    assert_eq!(c.staged.placement_of(lb.conn), StatePlacement::Replicated);
+    assert_eq!(c.staged.placement_of(lb.expiry), StatePlacement::ServerOnly);
+    assert_eq!(c.staged.placement_of(lb.backends), StatePlacement::ServerOnly);
+    // The connection lookup is offloaded.
+    let gets = find_ops(&lb.prog, |op| matches!(op, Op::MapGet { map, .. } if *map == lb.conn));
+    assert_eq!(gets.len(), 1);
+    assert_eq!(c.staged.partition_of(gets[0]), Partition::Pre);
+    // GC (map_del) and inserts are server work.
+    for v in find_ops(&lb.prog, |op| {
+        matches!(op, Op::MapPut { .. } | Op::MapDel { .. })
+    }) {
+        assert_eq!(c.staged.partition_of(v), Partition::NonOffloaded);
+    }
+}
+
+#[test]
+fn firewall_fully_offloaded_with_two_tables() {
+    let fw = firewall::firewall();
+    let c = compiled(&fw.prog);
+    // "The P4 program generated for the firewall middlebox contains two
+    // match-action tables"; all packet processing happens on the switch.
+    assert_eq!(c.p4.tables.len(), 2);
+    assert!(c.staged.fully_offloaded(), "no per-packet server work");
+    assert_eq!(c.staged.placement_of(fw.allow_out), StatePlacement::SwitchOnly);
+    assert_eq!(c.staged.placement_of(fw.allow_in), StatePlacement::SwitchOnly);
+    assert!(c.staged.header_to_server.fields().is_empty());
+}
+
+#[test]
+fn proxy_fully_offloaded() {
+    let px = proxy::proxy(0x0A090909, 3128);
+    let c = compiled(&px.prog);
+    // "the pre-processing code contains one match-action table ... A packet
+    // rewriting action is also included"; nothing runs on the server.
+    assert_eq!(c.p4.tables.len(), 1);
+    assert!(c.staged.fully_offloaded());
+    assert_eq!(c.staged.placement_of(px.ports), StatePlacement::SwitchOnly);
+}
+
+#[test]
+fn trojan_offload_shape() {
+    let det = trojan::trojan_detector();
+    let c = compiled(&det.prog);
+    // "Gallium places Trojan detector's TCP flow state table on the
+    // programmable switch" (replicated — server advances the stages).
+    assert_eq!(
+        c.staged.placement_of(det.host_state),
+        StatePlacement::Replicated
+    );
+    let gets = find_ops(&det.prog, |op| matches!(op, Op::MapGet { .. }));
+    assert_eq!(gets.len(), 1);
+    assert_eq!(c.staged.partition_of(gets[0]), Partition::Pre);
+    // DPI is never offloaded.
+    for v in find_ops(&det.prog, |op| matches!(op, Op::PayloadMatch { .. })) {
+        assert_eq!(c.staged.partition_of(v), Partition::NonOffloaded);
+    }
+}
+
+#[test]
+fn minilb_matches_paper_figure4() {
+    let lb = minilb::minilb();
+    let c = compiled(&lb.prog);
+    use Partition::*;
+    assert_eq!(
+        c.staged.assignment,
+        vec![
+            Pre, Pre, Pre, Pre, Pre, Pre, Pre, Pre, // entry
+            Pre, Pre, Pre, // hit branch
+            NonOffloaded, NonOffloaded, NonOffloaded, // idx & backends[idx]
+            Post,         // daddr write (miss)
+            NonOffloaded, // map.insert
+            Post,         // send (miss)
+        ]
+    );
+}
+
+// ---------------------------------------------------------------------
+// Deployed-vs-reference equivalence on realistic packet mixes.
+// ---------------------------------------------------------------------
+
+struct Equiv {
+    deployment: Deployment,
+    reference: StateStore,
+    prog: Program,
+}
+
+impl Equiv {
+    fn new(prog: &Program, configure: impl Fn(&mut StateStore)) -> Self {
+        let c = compiled(prog);
+        let mut deployment =
+            Deployment::new(&c, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+        deployment.configure(|s| configure(s)).unwrap();
+        let mut reference = StateStore::new(&prog.states);
+        configure(&mut reference);
+        Equiv {
+            deployment,
+            reference,
+            prog: prog.clone(),
+        }
+    }
+
+    /// Feed `pkt` to both sides; panic on any divergence.
+    fn step(&mut self, pkt: Packet, label: &str) {
+        let interp = Interpreter::new(&self.prog);
+        let mut ref_pkt = pkt.clone();
+        let ref_out = interp.run(&mut ref_pkt, &mut self.reference, 0).unwrap();
+        let expected: Vec<&Packet> = ref_out
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                PacketAction::Send(p) => Some(p),
+                PacketAction::Drop => None,
+            })
+            .collect();
+        let got = self.deployment.inject(pkt).unwrap();
+        assert_eq!(got.len(), expected.len(), "{label}: emission count");
+        for (i, ((_, g), e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(g.bytes(), e.bytes(), "{label}: emission {i} bytes");
+        }
+    }
+
+    fn assert_state_equal(&self) {
+        for i in 0..self.prog.states.len() {
+            let sid = gallium_mir::StateId(i as u32);
+            if let gallium_mir::StateKind::Map { .. } = self.prog.states[i].kind {
+                assert_eq!(
+                    self.deployment.server.store.map_entries(sid).unwrap(),
+                    self.reference.map_entries(sid).unwrap(),
+                    "map `{}` diverged",
+                    self.prog.states[i].name
+                );
+            }
+        }
+        assert!(self.deployment.replicated_consistent());
+    }
+}
+
+fn tcp(t: FiveTuple, flags: u8, ingress: u16, payload: &[u8]) -> Packet {
+    let mut b = PacketBuilder::tcp(t, TcpFlags(flags), 120);
+    if !payload.is_empty() {
+        b = b.payload(payload.to_vec());
+    }
+    b.build(PortId(ingress))
+}
+
+#[test]
+fn mazunat_deployment_equivalence() {
+    let nat = mazunat::mazunat();
+    let mut eq = Equiv::new(&nat.prog, |_| {});
+    for i in 0..10u16 {
+        let t = FiveTuple {
+            saddr: 0x0A000002 + u32::from(i % 3),
+            daddr: 0x08080808,
+            sport: 2000 + i,
+            dport: 443,
+            proto: IpProtocol::Tcp,
+        };
+        eq.step(tcp(t, TcpFlags::SYN, INTERNAL_PORT, b""), "nat out syn");
+        eq.step(tcp(t, TcpFlags::ACK, INTERNAL_PORT, b"data"), "nat out data");
+        // Reply from outside to the allocated port.
+        let reply = FiveTuple {
+            saddr: 0x08080808,
+            daddr: mazunat::NAT_EXTERNAL_IP,
+            sport: 443,
+            dport: mazunat::NAT_PORT_BASE + i,
+            proto: IpProtocol::Tcp,
+        };
+        eq.step(tcp(reply, TcpFlags::ACK, EXTERNAL_PORT, b""), "nat in reply");
+    }
+    // Unsolicited inbound drops on both sides.
+    let stray = FiveTuple {
+        saddr: 0x01020304,
+        daddr: mazunat::NAT_EXTERNAL_IP,
+        sport: 1,
+        dport: 65000,
+        proto: IpProtocol::Tcp,
+    };
+    eq.step(tcp(stray, TcpFlags::ACK, EXTERNAL_PORT, b""), "nat stray");
+    eq.assert_state_equal();
+}
+
+#[test]
+fn lb_deployment_equivalence() {
+    let lb = lb::load_balancer();
+    let backends = lb.backends;
+    let mut eq = Equiv::new(&lb.prog, move |s| {
+        s.vec_set_all(backends, vec![0xC0A80001, 0xC0A80002, 0xC0A80003])
+            .unwrap();
+    });
+    for i in 0..12u16 {
+        let t = FiveTuple {
+            saddr: 0x0A00000A + u32::from(i % 4),
+            daddr: 0x0A0000FE,
+            sport: 7000 + (i % 5),
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        };
+        eq.step(tcp(t, TcpFlags::ACK, 1, b"x"), "lb data");
+        if i % 4 == 3 {
+            eq.step(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 1, b""), "lb fin");
+        }
+    }
+    eq.assert_state_equal();
+}
+
+#[test]
+fn firewall_deployment_equivalence() {
+    let fw = firewall::firewall();
+    let allowed = FiveTuple {
+        saddr: 0x0A000001,
+        daddr: 0x08080808,
+        sport: 5000,
+        dport: 443,
+        proto: IpProtocol::Tcp,
+    };
+    let fw2 = fw.clone();
+    let mut eq = Equiv::new(&fw.prog, move |s| {
+        fw2.allow(s, &allowed);
+    });
+    eq.step(tcp(allowed, TcpFlags::ACK, INTERNAL_PORT, b""), "fw pass");
+    eq.step(
+        tcp(allowed.reversed(), TcpFlags::ACK, EXTERNAL_PORT, b""),
+        "fw reverse pass",
+    );
+    let mut blocked = allowed;
+    blocked.dport = 80;
+    eq.step(tcp(blocked, TcpFlags::ACK, INTERNAL_PORT, b""), "fw drop");
+    eq.assert_state_equal();
+    // The firewall never used the server.
+    assert_eq!(eq.deployment.stats.slow_path, 0);
+    assert_eq!(eq.deployment.fast_path_fraction(), 1.0);
+}
+
+#[test]
+fn proxy_deployment_equivalence() {
+    let px = proxy::proxy(0x0A090909, 3128);
+    let px2 = px.clone();
+    let mut eq = Equiv::new(&px.prog, move |s| {
+        px2.intercept(s, 80);
+    });
+    let web = FiveTuple {
+        saddr: 1,
+        daddr: 0x08080808,
+        sport: 1234,
+        dport: 80,
+        proto: IpProtocol::Tcp,
+    };
+    eq.step(tcp(web, TcpFlags::SYN, 1, b""), "proxy redirect");
+    let other = FiveTuple { dport: 22, ..web };
+    eq.step(tcp(other, TcpFlags::SYN, 1, b""), "proxy pass");
+    assert_eq!(eq.deployment.stats.slow_path, 0);
+}
+
+#[test]
+fn trojan_deployment_equivalence() {
+    let det = trojan::trojan_detector();
+    let mut eq = Equiv::new(&det.prog, |_| {});
+    let host = |saddr: u32, dport: u16, flags: u8, payload: &[u8]| {
+        tcp(
+            FiveTuple {
+                saddr,
+                daddr: 0x08080808,
+                sport: 4000,
+                dport,
+                proto: IpProtocol::Tcp,
+            },
+            flags,
+            1,
+            payload,
+        )
+    };
+    // Host A: full trojan sequence. Host B: innocent bulk traffic.
+    eq.step(host(0xA1, 22, TcpFlags::SYN, b""), "A ssh");
+    for _ in 0..5 {
+        eq.step(host(0xB2, 443, TcpFlags::ACK, b"tls"), "B bulk");
+    }
+    eq.step(host(0xA1, 80, TcpFlags::ACK, b"GET /x.html"), "A dl");
+    eq.step(host(0xA1, trojan::IRC_PORT, TcpFlags::ACK, b"NICK t"), "A irc");
+    eq.assert_state_equal();
+    assert_eq!(
+        eq.deployment
+            .server
+            .store
+            .map_get(det.host_state, &[0xA1])
+            .unwrap(),
+        Some(vec![trojan::STAGE_TROJAN])
+    );
+    // B's traffic stayed on the fast path (unknown host, no DPI).
+    assert!(eq.deployment.stats.fast_path >= 5);
+}
+
+#[test]
+fn deployed_emissions_on_fast_path_have_no_header() {
+    let lb = minilb::minilb();
+    let backends = lb.backends;
+    let c = compiled(&lb.prog);
+    let mut d = Deployment::new(&c, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![5, 6]).unwrap();
+    })
+    .unwrap();
+    let t = FiveTuple {
+        saddr: 9,
+        daddr: 10,
+        sport: 1,
+        dport: 2,
+        proto: IpProtocol::Tcp,
+    };
+    let first = d.inject(tcp(t, TcpFlags::SYN, 1, b"")).unwrap();
+    let second = d.inject(tcp(t, TcpFlags::ACK, 1, b"")).unwrap();
+    assert_eq!(first[0].1.len(), 120);
+    assert_eq!(second[0].1.len(), 120);
+    let d2 = read_header_field(second[0].1.bytes(), HeaderField::IpDaddr);
+    assert!(d2 == 5 || d2 == 6);
+}

@@ -1,0 +1,469 @@
+//! Ergonomic construction of MIR programs.
+//!
+//! The Click-element frontend (`gallium-click`) and the hand-written
+//! middleboxes use this builder; it tracks the current insertion block,
+//! infers result types, and validates the finished function.
+
+use crate::func::{BasicBlock, BlockId, Function, Program, Terminator, ValueId};
+use crate::inst::{BinOp, HeaderField, Inst, Op};
+use crate::state::{GlobalState, StateId, StateKind};
+use crate::types::{mask_to_width, Ty};
+use crate::{MirError, Result};
+
+/// Builder for a [`Program`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    name: String,
+    states: Vec<GlobalState>,
+    insts: Vec<Inst>,
+    blocks: Vec<(BlockId, Vec<ValueId>, Option<Terminator>)>,
+    current: BlockId,
+}
+
+impl FuncBuilder {
+    /// Start building a program called `name`. An entry block `b0` is
+    /// created and selected.
+    pub fn new(name: impl Into<String>) -> Self {
+        FuncBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            insts: Vec::new(),
+            blocks: vec![(BlockId(0), Vec::new(), None)],
+            current: BlockId(0),
+        }
+    }
+
+    // ---- state declarations -------------------------------------------
+
+    /// Declare a hash map. `max_entries` is the offloading size annotation.
+    pub fn decl_map(
+        &mut self,
+        name: &str,
+        key_widths: Vec<u8>,
+        value_widths: Vec<u8>,
+        max_entries: Option<usize>,
+    ) -> StateId {
+        self.states.push(GlobalState {
+            name: name.into(),
+            kind: StateKind::Map {
+                key_widths,
+                value_widths,
+                max_entries,
+            },
+        });
+        StateId(self.states.len() as u32 - 1)
+    }
+
+    /// Declare a vector.
+    pub fn decl_vector(&mut self, name: &str, elem_width: u8, capacity: usize) -> StateId {
+        self.states.push(GlobalState {
+            name: name.into(),
+            kind: StateKind::Vector {
+                elem_width,
+                capacity,
+            },
+        });
+        StateId(self.states.len() as u32 - 1)
+    }
+
+    /// Declare a longest-prefix-match table (§7 extension).
+    pub fn decl_lpm(
+        &mut self,
+        name: &str,
+        key_width: u8,
+        value_widths: Vec<u8>,
+        max_entries: Option<usize>,
+    ) -> StateId {
+        self.states.push(GlobalState {
+            name: name.into(),
+            kind: StateKind::LpmMap {
+                key_width,
+                value_widths,
+                max_entries,
+            },
+        });
+        StateId(self.states.len() as u32 - 1)
+    }
+
+    /// Declare a scalar register.
+    pub fn decl_register(&mut self, name: &str, width: u8) -> StateId {
+        self.states.push(GlobalState {
+            name: name.into(),
+            kind: StateKind::Register { width },
+        });
+        StateId(self.states.len() as u32 - 1)
+    }
+
+    // ---- blocks ---------------------------------------------------------
+
+    /// Create a new (empty, unterminated) block.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push((id, Vec::new(), None));
+        id
+    }
+
+    /// Select the insertion block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            (b.0 as usize) < self.blocks.len(),
+            "switch_to unknown block"
+        );
+        self.current = b;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, op: Op, ty: Ty) -> ValueId {
+        let id = ValueId(self.insts.len() as u32);
+        self.insts.push(Inst { op, ty });
+        let cur = self.current.0 as usize;
+        assert!(
+            self.blocks[cur].2.is_none(),
+            "appending to a terminated block"
+        );
+        self.blocks[cur].1.push(id);
+        id
+    }
+
+    fn ty_of(&self, v: ValueId) -> &Ty {
+        &self.insts[v.0 as usize].ty
+    }
+
+    fn int_width(&self, v: ValueId, ctx: &str) -> u8 {
+        self.ty_of(v)
+            .int_width()
+            .unwrap_or_else(|| panic!("{ctx}: operand {v} is not an integer"))
+    }
+
+    // ---- instructions ---------------------------------------------------
+
+    /// Integer constant.
+    pub fn cnst(&mut self, value: u64, width: u8) -> ValueId {
+        self.push(
+            Op::Const {
+                value: mask_to_width(value, width),
+                width,
+            },
+            Ty::Int(width),
+        )
+    }
+
+    /// Binary operation. Operand widths must match (except shifts, where
+    /// the shift amount may have any width). Comparisons produce `u1`.
+    pub fn bin(&mut self, op: BinOp, a: ValueId, b: ValueId) -> ValueId {
+        let wa = self.int_width(a, "bin");
+        let wb = self.int_width(b, "bin");
+        if !matches!(op, BinOp::Shl | BinOp::Shr) {
+            assert_eq!(wa, wb, "bin {}: operand widths differ ({wa} vs {wb})", op.name());
+        }
+        let ty = if op.is_comparison() {
+            Ty::BOOL
+        } else {
+            Ty::Int(wa)
+        };
+        self.push(Op::Bin { op, a, b }, ty)
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: ValueId) -> ValueId {
+        let w = self.int_width(a, "not");
+        self.push(Op::Not { a }, Ty::Int(w))
+    }
+
+    /// Width cast (truncate / zero-extend).
+    pub fn cast(&mut self, a: ValueId, width: u8) -> ValueId {
+        self.int_width(a, "cast");
+        self.push(Op::Cast { a, width }, Ty::Int(width))
+    }
+
+    /// φ-node. All incoming values must share a type.
+    pub fn phi(&mut self, incoming: Vec<(BlockId, ValueId)>) -> ValueId {
+        assert!(!incoming.is_empty(), "phi needs at least one incoming");
+        let ty = self.ty_of(incoming[0].1).clone();
+        for (_, v) in &incoming {
+            assert_eq!(self.ty_of(*v), &ty, "phi incoming types differ");
+        }
+        self.push(Op::Phi { incoming }, ty)
+    }
+
+    /// Read a header field.
+    pub fn read_field(&mut self, field: HeaderField) -> ValueId {
+        self.push(Op::ReadField { field }, Ty::Int(field.bits()))
+    }
+
+    /// Write a header field. The value is truncated to the field width at
+    /// runtime if wider.
+    pub fn write_field(&mut self, field: HeaderField, value: ValueId) {
+        self.push(Op::WriteField { field, value }, Ty::Unit);
+    }
+
+    /// Read the ingress port.
+    pub fn read_port(&mut self) -> ValueId {
+        self.push(Op::ReadPort, Ty::Int(16))
+    }
+
+    /// Payload pattern match (DPI).
+    pub fn payload_match(&mut self, pattern: &[u8]) -> ValueId {
+        self.push(
+            Op::PayloadMatch {
+                pattern: pattern.to_vec(),
+            },
+            Ty::BOOL,
+        )
+    }
+
+    /// Map lookup.
+    pub fn map_get(&mut self, map: StateId, key: Vec<ValueId>) -> ValueId {
+        let value_widths = match &self.states[map.0 as usize].kind {
+            StateKind::Map { value_widths, .. } => value_widths.clone(),
+            _ => panic!("map_get on non-map state"),
+        };
+        self.push(Op::MapGet { map, key }, Ty::MapResult(value_widths))
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lpm_get(&mut self, table: StateId, key: ValueId) -> ValueId {
+        let value_widths = match &self.states[table.0 as usize].kind {
+            StateKind::LpmMap { value_widths, .. } => value_widths.clone(),
+            _ => panic!("lpm_get on non-LPM state"),
+        };
+        self.push(Op::LpmGet { table, key }, Ty::MapResult(value_widths))
+    }
+
+    /// NULL check on a map-lookup result.
+    pub fn is_null(&mut self, a: ValueId) -> ValueId {
+        assert!(
+            matches!(self.ty_of(a), Ty::MapResult(_)),
+            "is_null on non-mapresult"
+        );
+        self.push(Op::IsNull { a }, Ty::BOOL)
+    }
+
+    /// Extract a component from a map-lookup result.
+    pub fn extract(&mut self, a: ValueId, index: usize) -> ValueId {
+        let w = match self.ty_of(a) {
+            Ty::MapResult(ws) => *ws
+                .get(index)
+                .unwrap_or_else(|| panic!("extract index {index} out of range")),
+            _ => panic!("extract on non-mapresult"),
+        };
+        self.push(Op::Extract { a, index }, Ty::Int(w))
+    }
+
+    /// Map insert.
+    pub fn map_put(&mut self, map: StateId, key: Vec<ValueId>, value: Vec<ValueId>) {
+        self.push(Op::MapPut { map, key, value }, Ty::Unit);
+    }
+
+    /// Map delete.
+    pub fn map_del(&mut self, map: StateId, key: Vec<ValueId>) {
+        self.push(Op::MapDel { map, key }, Ty::Unit);
+    }
+
+    /// Vector element read.
+    pub fn vec_get(&mut self, vec: StateId, index: ValueId) -> ValueId {
+        let w = match &self.states[vec.0 as usize].kind {
+            StateKind::Vector { elem_width, .. } => *elem_width,
+            _ => panic!("vec_get on non-vector state"),
+        };
+        self.push(Op::VecGet { vec, index }, Ty::Int(w))
+    }
+
+    /// Vector length.
+    pub fn vec_len(&mut self, vec: StateId) -> ValueId {
+        assert!(
+            matches!(self.states[vec.0 as usize].kind, StateKind::Vector { .. }),
+            "vec_len on non-vector state"
+        );
+        self.push(Op::VecLen { vec }, Ty::Int(32))
+    }
+
+    /// Register read.
+    pub fn reg_read(&mut self, reg: StateId) -> ValueId {
+        let w = match &self.states[reg.0 as usize].kind {
+            StateKind::Register { width } => *width,
+            _ => panic!("reg_read on non-register state"),
+        };
+        self.push(Op::RegRead { reg }, Ty::Int(w))
+    }
+
+    /// Register write.
+    pub fn reg_write(&mut self, reg: StateId, value: ValueId) {
+        self.push(Op::RegWrite { reg, value }, Ty::Unit);
+    }
+
+    /// Fused register fetch-and-add.
+    pub fn reg_fetch_add(&mut self, reg: StateId, delta: ValueId) -> ValueId {
+        let w = match &self.states[reg.0 as usize].kind {
+            StateKind::Register { width } => *width,
+            _ => panic!("reg_fetch_add on non-register state"),
+        };
+        self.push(Op::RegFetchAdd { reg, delta }, Ty::Int(w))
+    }
+
+    /// Hardware hash.
+    pub fn hash(&mut self, inputs: Vec<ValueId>, width: u8) -> ValueId {
+        self.push(Op::Hash { inputs, width }, Ty::Int(width))
+    }
+
+    /// Current time (ns).
+    pub fn now(&mut self) -> ValueId {
+        self.push(Op::Now, Ty::Int(64))
+    }
+
+    /// Recompute the IP checksum.
+    pub fn update_checksum(&mut self) {
+        self.push(Op::UpdateChecksum, Ty::Unit);
+    }
+
+    /// Emit the packet.
+    pub fn send(&mut self) {
+        self.push(Op::Send, Ty::Unit);
+    }
+
+    /// Drop the packet.
+    pub fn drop_pkt(&mut self) {
+        self.push(Op::Drop, Ty::Unit);
+    }
+
+    // ---- terminators ------------------------------------------------------
+
+    /// Terminate the current block with an unconditional jump.
+    pub fn jump(&mut self, to: BlockId) {
+        self.terminate(Terminator::Jump(to));
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn branch(&mut self, cond: ValueId, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self) {
+        self.terminate(Terminator::Return);
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        let cur = self.current.0 as usize;
+        assert!(
+            self.blocks[cur].2.is_none(),
+            "block {} already terminated",
+            self.current
+        );
+        self.blocks[cur].2 = Some(t);
+    }
+
+    /// Finish and validate the program.
+    pub fn finish(self) -> Result<Program> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (id, insts, term) in self.blocks {
+            let term = term.ok_or_else(|| {
+                MirError::Invalid(format!("block {id} has no terminator"))
+            })?;
+            blocks.push(BasicBlock { id, insts, term });
+        }
+        let prog = Program {
+            name: self.name,
+            states: self.states,
+            func: Function {
+                insts: self.insts,
+                blocks,
+                entry: BlockId(0),
+            },
+        };
+        crate::validate::validate(&prog)?;
+        Ok(prog)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_program() {
+        let mut b = FuncBuilder::new("t");
+        let s = b.read_field(HeaderField::IpSaddr);
+        let d = b.read_field(HeaderField::IpDaddr);
+        let x = b.bin(BinOp::Xor, s, d);
+        b.write_field(HeaderField::IpDaddr, x);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        assert_eq!(p.func.len(), 5);
+        assert_eq!(p.func.blocks.len(), 1);
+    }
+
+    #[test]
+    fn branchy_program_with_phi() {
+        let mut b = FuncBuilder::new("t");
+        let cond_src = b.read_field(HeaderField::IpTtl);
+        let zero = b.cnst(0, 8);
+        let c = b.bin(BinOp::Eq, cond_src, zero);
+        let t = b.new_block();
+        let e = b.new_block();
+        let m = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v1 = b.cnst(1, 32);
+        b.jump(m);
+        b.switch_to(e);
+        let v2 = b.cnst(2, 32);
+        b.jump(m);
+        b.switch_to(m);
+        let ph = b.phi(vec![(t, v1), (e, v2)]);
+        let ph16 = b.cast(ph, 16);
+        b.write_field(HeaderField::DstPort, ph16);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        assert_eq!(p.func.blocks.len(), 4);
+    }
+
+    #[test]
+    fn map_typed_operations() {
+        let mut b = FuncBuilder::new("t");
+        let m = b.decl_map("m", vec![16], vec![32, 16], Some(10));
+        let k = b.cnst(5, 16);
+        let r = b.map_get(m, vec![k]);
+        let null = b.is_null(r);
+        let v0 = b.extract(r, 0);
+        let v1 = b.extract(r, 1);
+        assert_eq!(b.ty_of(v0), &Ty::Int(32));
+        assert_eq!(b.ty_of(v1), &Ty::Int(16));
+        assert_eq!(b.ty_of(null), &Ty::BOOL);
+        b.ret();
+        b.finish().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "operand widths differ")]
+    fn mismatched_widths_panic() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.cnst(1, 16);
+        let c = b.cnst(1, 32);
+        b.bin(BinOp::Add, a, c);
+    }
+
+    #[test]
+    fn unterminated_block_rejected() {
+        let b = FuncBuilder::new("t");
+        assert!(matches!(b.finish(), Err(MirError::Invalid(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminate_panics() {
+        let mut b = FuncBuilder::new("t");
+        b.ret();
+        b.ret();
+    }
+}

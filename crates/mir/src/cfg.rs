@@ -1,0 +1,447 @@
+//! Control-flow-graph utilities: reachability ("can happen after", §4.1),
+//! dominators, postdominators, and block-level control dependence.
+
+use crate::func::{BlockId, Function, Terminator};
+use std::collections::HashSet;
+
+/// Precomputed CFG adjacency for a [`Function`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    entry: BlockId,
+    exits: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Build the adjacency lists.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for b in &f.blocks {
+            let ss = b.term.successors();
+            if ss.is_empty() {
+                exits.push(b.id);
+            }
+            for s in &ss {
+                preds[s.0 as usize].push(b.id);
+            }
+            succs[b.id.0 as usize] = ss;
+        }
+        Cfg {
+            succs,
+            preds,
+            entry: f.entry,
+            exits,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True for an empty function.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successor blocks of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Blocks with no successors (Return blocks).
+    pub fn exits(&self) -> &[BlockId] {
+        &self.exits
+    }
+
+    /// All blocks reachable from `from` (inclusive).
+    pub fn reachable_from(&self, from: BlockId) -> HashSet<BlockId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![from];
+        while let Some(b) = stack.pop() {
+            if seen.insert(b) {
+                stack.extend(self.succs(b).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Whether `to` is reachable from `from` following CFG edges (allowing
+    /// the empty path — a block reaches itself).
+    pub fn reaches(&self, from: BlockId, to: BlockId) -> bool {
+        self.reachable_from(from).contains(&to)
+    }
+
+    /// Whether `to` is reachable from `from` via a *non-empty* path (needed
+    /// for "S can happen after itself", which holds only inside loops).
+    pub fn reaches_nonempty(&self, from: BlockId, to: BlockId) -> bool {
+        self.succs(from).iter().any(|s| self.reaches(*s, to))
+    }
+
+    /// Reverse postorder starting at the entry.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut order = Vec::new();
+        let mut seen = vec![false; self.len()];
+        self.dfs_post(self.entry, &mut seen, &mut order);
+        order.reverse();
+        order
+    }
+
+    fn dfs_post(&self, b: BlockId, seen: &mut [bool], out: &mut Vec<BlockId>) {
+        if std::mem::replace(&mut seen[b.0 as usize], true) {
+            return;
+        }
+        for s in self.succs(b).to_vec() {
+            self.dfs_post(s, seen, out);
+        }
+        out.push(b);
+    }
+
+    /// Immediate dominators (Cooper–Harvey–Kennedy). `idom[entry] = entry`;
+    /// unreachable blocks get `None`.
+    pub fn dominators(&self) -> Vec<Option<BlockId>> {
+        let rpo = self.reverse_postorder();
+        let mut rpo_index = vec![usize::MAX; self.len()];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; self.len()];
+        idom[self.entry.0 as usize] = Some(self.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in self.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_index),
+                    });
+                }
+                if new_idom.is_some() && idom[b.0 as usize] != new_idom {
+                    idom[b.0 as usize] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    /// Whether `a` dominates `b` (reflexive), given an idom array.
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Immediate postdominators computed against a virtual exit joining all
+    /// Return blocks. Blocks that cannot reach any exit get `None`.
+    /// `Some(b) == b` marks blocks whose immediate postdominator is the
+    /// virtual exit itself.
+    pub fn postdominators(&self) -> Vec<Option<BlockId>> {
+        // Work on the reverse graph with a virtual exit of index n.
+        let n = self.len();
+        let virt = n;
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reverse edges
+        for b in 0..n {
+            for s in &self.succs[b] {
+                rsuccs[s.0 as usize].push(b);
+            }
+        }
+        for e in &self.exits {
+            rsuccs[virt].push(e.0 as usize);
+        }
+        // Postorder on the reverse graph from virt.
+        let mut order = Vec::new();
+        let mut seen = vec![false; n + 1];
+        let mut stack = vec![(virt, 0usize)];
+        seen[virt] = true;
+        while let Some((node, i)) = stack.pop() {
+            if i < rsuccs[node].len() {
+                stack.push((node, i + 1));
+                let nxt = rsuccs[node][i];
+                if !seen[nxt] {
+                    seen[nxt] = true;
+                    stack.push((nxt, 0));
+                }
+            } else {
+                order.push(node);
+            }
+        }
+        order.reverse(); // reverse postorder on the reverse graph
+        let mut rpo_index = vec![usize::MAX; n + 1];
+        for (i, b) in order.iter().enumerate() {
+            rpo_index[*b] = i;
+        }
+        let mut ipdom: Vec<Option<usize>> = vec![None; n + 1];
+        ipdom[virt] = Some(virt);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                // predecessors in the reverse graph = successors in the CFG
+                let preds: Vec<usize> = if b < n {
+                    let mut v: Vec<usize> = self.succs[b].iter().map(|s| s.0 as usize).collect();
+                    if self.exits.iter().any(|e| e.0 as usize == b) {
+                        v.push(virt);
+                    }
+                    v
+                } else {
+                    continue;
+                };
+                let mut new_ipdom: Option<usize> = None;
+                for p in preds {
+                    if ipdom[p].is_none() {
+                        continue;
+                    }
+                    new_ipdom = Some(match new_ipdom {
+                        None => p,
+                        Some(cur) => intersect_usize(cur, p, &ipdom, &rpo_index),
+                    });
+                }
+                if new_ipdom.is_some() && ipdom[b] != new_ipdom {
+                    ipdom[b] = new_ipdom;
+                    changed = true;
+                }
+            }
+        }
+        (0..n)
+            .map(|b| {
+                ipdom[b].map(|p| {
+                    if p == virt {
+                        BlockId(b as u32) // convention: virtual exit -> self
+                    } else {
+                        BlockId(p as u32)
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// Whether block `a` postdominates block `b` (reflexive).
+    pub fn postdominates(&self, ipdom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match ipdom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Block-level control dependence (Ferrante–Ottenstein–Warren): block X
+    /// is control-dependent on branch block B iff B has a successor S with
+    /// X postdominating S, and X does not postdominate B.
+    pub fn control_deps(&self, f: &Function) -> Vec<Vec<BlockId>> {
+        let ipdom = self.postdominators();
+        let mut deps = vec![Vec::new(); self.len()];
+        for b in &f.blocks {
+            if !matches!(b.term, Terminator::Branch { .. }) {
+                continue;
+            }
+            for &s in self.succs(b.id) {
+                // Walk the postdominator chain from s up to (but excluding)
+                // b's immediate postdominator: those blocks are control
+                // dependent on b.
+                let mut cur = s;
+                loop {
+                    // Strict postdomination ends the walk; a loop header is
+                    // control-dependent on itself (cur == b.id does not
+                    // terminate), per Ferrante–Ottenstein–Warren.
+                    if cur != b.id && self.postdominates(&ipdom, cur, b.id) {
+                        break;
+                    }
+                    if !deps[cur.0 as usize].contains(&b.id) {
+                        deps[cur.0 as usize].push(b.id);
+                    }
+                    match ipdom[cur.0 as usize] {
+                        Some(next) if next != cur => cur = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        deps
+    }
+}
+
+fn intersect(
+    a: BlockId,
+    b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+) -> BlockId {
+    let (mut fa, mut fb) = (a, b);
+    while fa != fb {
+        while rpo_index[fa.0 as usize] > rpo_index[fb.0 as usize] {
+            fa = idom[fa.0 as usize].expect("processed");
+        }
+        while rpo_index[fb.0 as usize] > rpo_index[fa.0 as usize] {
+            fb = idom[fb.0 as usize].expect("processed");
+        }
+    }
+    fa
+}
+
+fn intersect_usize(a: usize, b: usize, idom: &[Option<usize>], rpo_index: &[usize]) -> usize {
+    let (mut fa, mut fb) = (a, b);
+    while fa != fb {
+        while rpo_index[fa] > rpo_index[fb] {
+            fa = idom[fa].expect("processed");
+        }
+        while rpo_index[fb] > rpo_index[fa] {
+            fb = idom[fb].expect("processed");
+        }
+    }
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{BinOp, HeaderField};
+    use crate::func::Program;
+
+    /// Diamond: b0 -> {b1, b2} -> b3.
+    fn diamond() -> Program {
+        let mut b = FuncBuilder::new("d");
+        let x = b.read_field(HeaderField::IpTtl);
+        let z = b.cnst(0, 8);
+        let c = b.bin(BinOp::Eq, x, z);
+        let t = b.new_block();
+        let e = b.new_block();
+        let m = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(m);
+        b.switch_to(e);
+        b.jump(m);
+        b.switch_to(m);
+        b.send();
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    /// Loop: b0 -> b1 <-> b2, b1 -> b3(ret).
+    fn looped() -> Program {
+        let mut b = FuncBuilder::new("l");
+        let hdr = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(hdr);
+        b.switch_to(hdr);
+        let x = b.read_field(HeaderField::IpTtl);
+        let z = b.cnst(0, 8);
+        let c = b.bin(BinOp::Eq, x, z);
+        b.branch(c, exit, body);
+        b.switch_to(body);
+        b.jump(hdr);
+        b.switch_to(exit);
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_reachability() {
+        let p = diamond();
+        let cfg = Cfg::new(&p.func);
+        assert!(cfg.reaches(BlockId(0), BlockId(3)));
+        assert!(!cfg.reaches(BlockId(1), BlockId(2)));
+        assert!(!cfg.reaches_nonempty(BlockId(0), BlockId(0)));
+        assert_eq!(cfg.exits(), &[BlockId(3)]);
+    }
+
+    #[test]
+    fn loop_self_reachability() {
+        let p = looped();
+        let cfg = Cfg::new(&p.func);
+        assert!(cfg.reaches_nonempty(BlockId(1), BlockId(1)));
+        assert!(cfg.reaches_nonempty(BlockId(2), BlockId(2)));
+        assert!(!cfg.reaches_nonempty(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let p = diamond();
+        let cfg = Cfg::new(&p.func);
+        let idom = cfg.dominators();
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(cfg.dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let p = diamond();
+        let cfg = Cfg::new(&p.func);
+        let ipdom = cfg.postdominators();
+        assert_eq!(ipdom[0], Some(BlockId(3)));
+        assert_eq!(ipdom[1], Some(BlockId(3)));
+        assert_eq!(ipdom[2], Some(BlockId(3)));
+        assert!(cfg.postdominates(&ipdom, BlockId(3), BlockId(0)));
+        assert!(!cfg.postdominates(&ipdom, BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn diamond_control_deps() {
+        let p = diamond();
+        let cfg = Cfg::new(&p.func);
+        let cd = cfg.control_deps(&p.func);
+        assert_eq!(cd[1], vec![BlockId(0)]);
+        assert_eq!(cd[2], vec![BlockId(0)]);
+        assert!(cd[3].is_empty()); // merge block always executes
+        assert!(cd[0].is_empty());
+    }
+
+    #[test]
+    fn loop_control_deps() {
+        let p = looped();
+        let cfg = Cfg::new(&p.func);
+        let cd = cfg.control_deps(&p.func);
+        // The loop body depends on the header's branch; so does the header
+        // itself (it re-executes only if the branch takes the back edge).
+        assert!(cd[2].contains(&BlockId(1)));
+        assert!(cd[1].contains(&BlockId(1)));
+        assert!(cd[3].is_empty()); // exit postdominates everything
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let p = diamond();
+        let cfg = Cfg::new(&p.func);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[3], BlockId(3));
+    }
+}

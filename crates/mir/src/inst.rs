@@ -1,0 +1,721 @@
+//! Instructions, operations, and their static metadata (read/write sets,
+//! P4 supportability).
+
+use crate::func::ValueId;
+use crate::state::{StateId, StateKind};
+use crate::types::Ty;
+use crate::func::BlockId;
+
+/// Packet-header fields addressable by the IR.
+///
+/// Header accesses are P4-expressible; payload accesses are not ("S's access
+/// of the packet, if any, is only to the packet header fields and not packet
+/// payloads", §4.2.1 condition 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HeaderField {
+    /// Ethernet source MAC (48 bits).
+    EthSrc,
+    /// Ethernet destination MAC (48 bits).
+    EthDst,
+    /// EtherType (16 bits).
+    EthType,
+    /// IPv4 source address (32 bits).
+    IpSaddr,
+    /// IPv4 destination address (32 bits).
+    IpDaddr,
+    /// IPv4 protocol number (8 bits).
+    IpProto,
+    /// IPv4 TTL (8 bits).
+    IpTtl,
+    /// IPv4 total length (16 bits).
+    IpTotalLen,
+    /// TCP/UDP source port (16 bits).
+    SrcPort,
+    /// TCP/UDP destination port (16 bits).
+    DstPort,
+    /// TCP sequence number (32 bits).
+    TcpSeq,
+    /// TCP acknowledgement number (32 bits).
+    TcpAck,
+    /// TCP flags byte (8 bits).
+    TcpFlags,
+}
+
+impl HeaderField {
+    /// Width of the field in bits.
+    pub fn bits(self) -> u8 {
+        use HeaderField::*;
+        match self {
+            EthSrc | EthDst => 48,
+            EthType | IpTotalLen | SrcPort | DstPort => 16,
+            IpSaddr | IpDaddr | TcpSeq | TcpAck => 32,
+            IpProto | IpTtl | TcpFlags => 8,
+        }
+    }
+
+    /// Stable textual name (used by the printer/parser and P4 codegen).
+    pub fn name(self) -> &'static str {
+        use HeaderField::*;
+        match self {
+            EthSrc => "eth.src",
+            EthDst => "eth.dst",
+            EthType => "eth.type",
+            IpSaddr => "ip.saddr",
+            IpDaddr => "ip.daddr",
+            IpProto => "ip.proto",
+            IpTtl => "ip.ttl",
+            IpTotalLen => "ip.len",
+            SrcPort => "l4.sport",
+            DstPort => "l4.dport",
+            TcpSeq => "tcp.seq",
+            TcpAck => "tcp.ack",
+            TcpFlags => "tcp.flags",
+        }
+    }
+
+    /// Inverse of [`HeaderField::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        use HeaderField::*;
+        Some(match s {
+            "eth.src" => EthSrc,
+            "eth.dst" => EthDst,
+            "eth.type" => EthType,
+            "ip.saddr" => IpSaddr,
+            "ip.daddr" => IpDaddr,
+            "ip.proto" => IpProto,
+            "ip.ttl" => IpTtl,
+            "ip.len" => IpTotalLen,
+            "l4.sport" => SrcPort,
+            "l4.dport" => DstPort,
+            "tcp.seq" => TcpSeq,
+            "tcp.ack" => TcpAck,
+            "tcp.flags" => TcpFlags,
+            _ => return None,
+        })
+    }
+
+    /// All fields, for exhaustive iteration in tests and codegen.
+    pub const ALL: [HeaderField; 13] = [
+        HeaderField::EthSrc,
+        HeaderField::EthDst,
+        HeaderField::EthType,
+        HeaderField::IpSaddr,
+        HeaderField::IpDaddr,
+        HeaderField::IpProto,
+        HeaderField::IpTtl,
+        HeaderField::IpTotalLen,
+        HeaderField::SrcPort,
+        HeaderField::DstPort,
+        HeaderField::TcpSeq,
+        HeaderField::TcpAck,
+        HeaderField::TcpFlags,
+    ];
+}
+
+/// Binary ALU operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Equality (result is 1-bit).
+    Eq,
+    /// Inequality (result is 1-bit).
+    Ne,
+    /// Unsigned less-than (1-bit).
+    Lt,
+    /// Unsigned less-or-equal (1-bit).
+    Le,
+    /// Unsigned greater-than (1-bit).
+    Gt,
+    /// Unsigned greater-or-equal (1-bit).
+    Ge,
+    /// Multiplication — **not** P4-expressible.
+    Mul,
+    /// Division — **not** P4-expressible.
+    Div,
+    /// Modulo — **not** P4-expressible (this is what pins MiniLB's
+    /// `hash32 % backends.size()` to the middlebox server, Figure 4).
+    Mod,
+}
+
+impl BinOp {
+    /// Whether the abstract switch of §2.2 can evaluate this operator
+    /// ("integer addition, subtraction, bitwise operations … and
+    /// comparison").
+    pub fn p4_supported(self) -> bool {
+        !matches!(self, BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    /// True for comparison operators (1-bit result).
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// Stable mnemonic.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Eq => "eq",
+            BinOp::Ne => "ne",
+            BinOp::Lt => "lt",
+            BinOp::Le => "le",
+            BinOp::Gt => "gt",
+            BinOp::Ge => "ge",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Mod => "mod",
+        }
+    }
+
+    /// Inverse of [`BinOp::name`].
+    pub fn from_name(s: &str) -> Option<Self> {
+        Some(match s {
+            "add" => BinOp::Add,
+            "sub" => BinOp::Sub,
+            "and" => BinOp::And,
+            "or" => BinOp::Or,
+            "xor" => BinOp::Xor,
+            "shl" => BinOp::Shl,
+            "shr" => BinOp::Shr,
+            "eq" => BinOp::Eq,
+            "ne" => BinOp::Ne,
+            "lt" => BinOp::Lt,
+            "le" => BinOp::Le,
+            "gt" => BinOp::Gt,
+            "ge" => BinOp::Ge,
+            "mul" => BinOp::Mul,
+            "div" => BinOp::Div,
+            "mod" => BinOp::Mod,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate on `width`-bit operands (used by both the interpreter and
+    /// the switch simulator so semantics cannot diverge).
+    pub fn eval(self, a: u64, b: u64, width: u8) -> u64 {
+        use crate::types::mask_to_width as mask;
+        match self {
+            BinOp::Add => mask(a.wrapping_add(b), width),
+            BinOp::Sub => mask(a.wrapping_sub(b), width),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => mask(if b >= 64 { 0 } else { a << b }, width),
+            BinOp::Shr => if b >= 64 { 0 } else { a >> b },
+            BinOp::Eq => u64::from(a == b),
+            BinOp::Ne => u64::from(a != b),
+            BinOp::Lt => u64::from(a < b),
+            BinOp::Le => u64::from(a <= b),
+            BinOp::Gt => u64::from(a > b),
+            BinOp::Ge => u64::from(a >= b),
+            BinOp::Mul => mask(a.wrapping_mul(b), width),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a / b
+                }
+            }
+            BinOp::Mod => {
+                if b == 0 {
+                    0
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// One IR operation. Each instruction evaluates at most one `Op` and defines
+/// at most one SSA value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// An integer constant of the given width.
+    Const {
+        /// The constant value (already masked to `width`).
+        value: u64,
+        /// Bit width of the result.
+        width: u8,
+    },
+    /// Binary ALU operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: ValueId,
+        /// Right operand.
+        b: ValueId,
+    },
+    /// Bitwise NOT.
+    Not {
+        /// Operand.
+        a: ValueId,
+    },
+    /// Truncate or zero-extend to a new width (e.g. the `(uint16_t)` cast
+    /// in MiniLB).
+    Cast {
+        /// Operand.
+        a: ValueId,
+        /// Target width.
+        width: u8,
+    },
+    /// SSA φ-node: selects a value based on the predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+    /// Read a packet-header field.
+    ReadField {
+        /// The field.
+        field: HeaderField,
+    },
+    /// Write a packet-header field.
+    WriteField {
+        /// The field.
+        field: HeaderField,
+        /// New value.
+        value: ValueId,
+    },
+    /// Read the switch ingress port (standard metadata; how MazuNAT tells
+    /// the internal network from the external one).
+    ReadPort,
+    /// Deep-packet-inspection primitive: does the transport payload contain
+    /// `pattern`? Payload access is never P4-expressible.
+    PayloadMatch {
+        /// Byte pattern searched for in the payload.
+        pattern: Vec<u8>,
+    },
+    /// `HashMap::find` — returns a [`Ty::MapResult`].
+    MapGet {
+        /// The map.
+        map: StateId,
+        /// Key components.
+        key: Vec<ValueId>,
+    },
+    /// Longest-prefix-match lookup (§7 extension; a native P4 match kind).
+    /// Returns a [`Ty::MapResult`] like `MapGet`.
+    LpmGet {
+        /// The LPM table.
+        table: StateId,
+        /// The key (single scalar, e.g. an IPv4 address).
+        key: ValueId,
+    },
+    /// Test whether a map lookup missed (the `bk_addr == NULL` check).
+    IsNull {
+        /// A `MapResult` value.
+        a: ValueId,
+    },
+    /// Extract the `index`-th component of a map-lookup result. Faults at
+    /// runtime when the lookup missed — dereferencing NULL.
+    Extract {
+        /// A `MapResult` value.
+        a: ValueId,
+        /// Component index.
+        index: usize,
+    },
+    /// `HashMap::insert`. Control-plane-only on a switch, so never
+    /// offloadable.
+    MapPut {
+        /// The map.
+        map: StateId,
+        /// Key components.
+        key: Vec<ValueId>,
+        /// Value components.
+        value: Vec<ValueId>,
+    },
+    /// `HashMap::erase`. Control-plane-only on a switch.
+    MapDel {
+        /// The map.
+        map: StateId,
+        /// Key components.
+        key: Vec<ValueId>,
+    },
+    /// `Vector::operator[]`. The paper's prototype has no P4 lowering for
+    /// Vector (Figure 6 maps only Map/GlobalVar), so this is not offloadable
+    /// — which is what keeps `backends[idx]` on the server in Figure 4.
+    VecGet {
+        /// The vector.
+        vec: StateId,
+        /// Element index.
+        index: ValueId,
+    },
+    /// `Vector::size()`.
+    VecLen {
+        /// The vector.
+        vec: StateId,
+    },
+    /// Read a global scalar register.
+    RegRead {
+        /// The register.
+        reg: StateId,
+    },
+    /// Write a global scalar register.
+    RegWrite {
+        /// The register.
+        reg: StateId,
+        /// New value.
+        value: ValueId,
+    },
+    /// Fused fetch-and-add on a register — a single stateful-ALU access,
+    /// which is how MazuNAT's port-allocation counter stays offloadable
+    /// under Constraint 3.
+    RegFetchAdd {
+        /// The register.
+        reg: StateId,
+        /// Added value.
+        delta: ValueId,
+    },
+    /// Hardware hash of the operands ("computation primitives … and
+    /// hashing", §2.1). Result has `width` bits.
+    Hash {
+        /// Hashed operand list.
+        inputs: Vec<ValueId>,
+        /// Result width.
+        width: u8,
+    },
+    /// Current time in nanoseconds. Not offloaded in this model (the L4
+    /// load balancer's idle-timeout GC runs on the server).
+    Now,
+    /// Recompute the IPv4 header checksum (switch deparsers do this in
+    /// hardware, so it is P4-supported).
+    UpdateChecksum,
+    /// Emit the packet (Click's `pkt->send()`).
+    Send,
+    /// Drop the packet.
+    Drop,
+}
+
+/// An abstract memory location, used to build read/write sets (§4.1).
+///
+/// SSA operand flow is tracked separately through use-def edges; `Loc`
+/// covers the mutable program state two statements can conflict on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Loc {
+    /// One packet-header field.
+    Header(HeaderField),
+    /// The packet payload.
+    Payload,
+    /// The packet's ingress-port metadata.
+    Port,
+    /// A global state (map/vector/register).
+    State(StateId),
+    /// The middlebox output stream — `Send`/`Drop` order matters.
+    Output,
+    /// The wall clock.
+    Clock,
+}
+
+/// A single instruction: an [`Op`] plus its result type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Type of the defined SSA value ([`Ty::Unit`] for pure effects).
+    pub ty: Ty,
+}
+
+impl Op {
+    /// SSA values this operation uses.
+    pub fn uses(&self) -> Vec<ValueId> {
+        match self {
+            Op::Const { .. }
+            | Op::ReadField { .. }
+            | Op::ReadPort
+            | Op::PayloadMatch { .. }
+            | Op::VecLen { .. }
+            | Op::RegRead { .. }
+            | Op::Now
+            | Op::UpdateChecksum
+            | Op::Send
+            | Op::Drop => vec![],
+            Op::Bin { a, b, .. } => vec![*a, *b],
+            Op::Not { a } | Op::Cast { a, .. } | Op::IsNull { a } | Op::Extract { a, .. } => {
+                vec![*a]
+            }
+            Op::Phi { incoming } => incoming.iter().map(|(_, v)| *v).collect(),
+            Op::WriteField { value, .. } | Op::RegWrite { value, .. } => vec![*value],
+            Op::RegFetchAdd { delta, .. } => vec![*delta],
+            Op::MapGet { key, .. } | Op::MapDel { key, .. } => key.clone(),
+            Op::LpmGet { key, .. } => vec![*key],
+            Op::MapPut { key, value, .. } => {
+                key.iter().chain(value.iter()).copied().collect()
+            }
+            Op::VecGet { index, .. } => vec![*index],
+            Op::Hash { inputs, .. } => inputs.clone(),
+        }
+    }
+
+    /// Locations this operation reads.
+    pub fn reads(&self) -> Vec<Loc> {
+        match self {
+            Op::ReadField { field } => vec![Loc::Header(*field)],
+            Op::ReadPort => vec![Loc::Port],
+            Op::PayloadMatch { .. } => vec![Loc::Payload],
+            Op::MapGet { map, .. } => vec![Loc::State(*map)],
+            Op::LpmGet { table, .. } => vec![Loc::State(*table)],
+            Op::VecGet { vec, .. } | Op::VecLen { vec } => vec![Loc::State(*vec)],
+            Op::RegRead { reg } | Op::RegFetchAdd { reg, .. } => vec![Loc::State(*reg)],
+            Op::Now => vec![Loc::Clock],
+            // A sent packet exposes every header field and the payload: the
+            // send "reads" them all, creating dependencies on earlier writes.
+            Op::Send => {
+                let mut v: Vec<Loc> = HeaderField::ALL.iter().map(|f| Loc::Header(*f)).collect();
+                v.push(Loc::Payload);
+                v
+            }
+            Op::UpdateChecksum => HeaderField::ALL.iter().map(|f| Loc::Header(*f)).collect(),
+            _ => vec![],
+        }
+    }
+
+    /// Locations this operation writes.
+    pub fn writes(&self) -> Vec<Loc> {
+        match self {
+            Op::WriteField { field, .. } => vec![Loc::Header(*field)],
+            Op::MapPut { map, .. } | Op::MapDel { map, .. } => vec![Loc::State(*map)],
+            Op::RegWrite { reg, .. } | Op::RegFetchAdd { reg, .. } => vec![Loc::State(*reg)],
+            Op::Send | Op::Drop => vec![Loc::Output],
+            // The checksum is itself a header-derived header field; model the
+            // write as touching the IP header region via a representative
+            // field (total_len shares the header but we use a dedicated
+            // convention: checksum writes are absorbed into the send).
+            Op::UpdateChecksum => vec![],
+            _ => vec![],
+        }
+    }
+
+    /// Global states touched (read or written) by this operation, for
+    /// label-removing rules 3/4 and Constraint 3.
+    pub fn states_touched(&self) -> Vec<StateId> {
+        self.reads()
+            .into_iter()
+            .chain(self.writes())
+            .filter_map(|l| match l {
+                Loc::State(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether the abstract P4 switch can execute this operation
+    /// (§4.2.1's three conditions).
+    ///
+    /// `states` supplies the declarations, because a map may only go on the
+    /// switch when its maximum size is annotated (§4.3.1).
+    pub fn p4_supported(&self, states: &[crate::state::GlobalState]) -> bool {
+        match self {
+            Op::Const { .. }
+            | Op::Not { .. }
+            | Op::Cast { .. }
+            | Op::Phi { .. }
+            | Op::ReadField { .. }
+            | Op::WriteField { .. }
+            | Op::ReadPort
+            | Op::IsNull { .. }
+            | Op::Extract { .. }
+            | Op::RegRead { .. }
+            | Op::RegWrite { .. }
+            | Op::RegFetchAdd { .. }
+            | Op::Hash { .. }
+            | Op::UpdateChecksum
+            | Op::Send
+            | Op::Drop => true,
+            Op::Bin { op, .. } => op.p4_supported(),
+            Op::MapGet { map, .. } => match states.get(map.0 as usize).map(|s| &s.kind) {
+                Some(StateKind::Map { max_entries, .. }) => max_entries.is_some(),
+                _ => false,
+            },
+            // LPM is a native P4 match kind; needs the size annotation like
+            // any offloaded table.
+            Op::LpmGet { table, .. } => match states.get(table.0 as usize).map(|s| &s.kind) {
+                Some(StateKind::LpmMap { max_entries, .. }) => max_entries.is_some(),
+                _ => false,
+            },
+            // Data-plane table writes do not exist; inserts/deletes go
+            // through the control plane, i.e. the server.
+            Op::MapPut { .. } | Op::MapDel { .. } => false,
+            // No Vector lowering in the prototype (Figure 6, §7).
+            Op::VecGet { .. } | Op::VecLen { .. } => false,
+            Op::PayloadMatch { .. } => false,
+            Op::Now => false,
+        }
+    }
+
+    /// True for operations whose only effect is defining their SSA value.
+    pub fn is_pure(&self) -> bool {
+        self.writes().is_empty() && !matches!(self, Op::Send | Op::Drop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GlobalState;
+
+    fn annotated_map() -> Vec<GlobalState> {
+        vec![GlobalState {
+            name: "m".into(),
+            kind: StateKind::Map {
+                key_widths: vec![16],
+                value_widths: vec![32],
+                max_entries: Some(1024),
+            },
+        }]
+    }
+
+    fn unannotated_map() -> Vec<GlobalState> {
+        vec![GlobalState {
+            name: "m".into(),
+            kind: StateKind::Map {
+                key_widths: vec![16],
+                value_widths: vec![32],
+                max_entries: None,
+            },
+        }]
+    }
+
+    #[test]
+    fn header_field_names_roundtrip() {
+        for f in HeaderField::ALL {
+            assert_eq!(HeaderField::from_name(f.name()), Some(f));
+        }
+        assert_eq!(HeaderField::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn binop_names_roundtrip() {
+        for op in [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Shl,
+            BinOp::Shr,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+        ] {
+            assert_eq!(BinOp::from_name(op.name()), Some(op));
+        }
+    }
+
+    #[test]
+    fn p4_expressiveness_matches_paper() {
+        assert!(BinOp::Add.p4_supported());
+        assert!(BinOp::Xor.p4_supported());
+        assert!(BinOp::Lt.p4_supported());
+        assert!(!BinOp::Mod.p4_supported()); // pins MiniLB's idx to the server
+        assert!(!BinOp::Mul.p4_supported());
+        assert!(!BinOp::Div.p4_supported());
+    }
+
+    #[test]
+    fn map_get_needs_size_annotation() {
+        let get = Op::MapGet {
+            map: StateId(0),
+            key: vec![ValueId(0)],
+        };
+        assert!(get.p4_supported(&annotated_map()));
+        assert!(!get.p4_supported(&unannotated_map()));
+    }
+
+    #[test]
+    fn map_put_never_offloadable() {
+        let put = Op::MapPut {
+            map: StateId(0),
+            key: vec![ValueId(0)],
+            value: vec![ValueId(1)],
+        };
+        assert!(!put.p4_supported(&annotated_map()));
+    }
+
+    #[test]
+    fn vector_and_payload_not_offloadable() {
+        let states = vec![GlobalState {
+            name: "v".into(),
+            kind: StateKind::Vector {
+                elem_width: 32,
+                capacity: 8,
+            },
+        }];
+        assert!(!Op::VecGet {
+            vec: StateId(0),
+            index: ValueId(0)
+        }
+        .p4_supported(&states));
+        assert!(!Op::VecLen { vec: StateId(0) }.p4_supported(&states));
+        assert!(!Op::PayloadMatch {
+            pattern: b"SSH-".to_vec()
+        }
+        .p4_supported(&states));
+        assert!(!Op::Now.p4_supported(&states));
+    }
+
+    #[test]
+    fn eval_wraps_and_masks() {
+        assert_eq!(BinOp::Add.eval(0xFF, 1, 8), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1, 16), 0xFFFF);
+        assert_eq!(BinOp::Shl.eval(1, 70, 32), 0);
+        assert_eq!(BinOp::Mod.eval(7, 0, 32), 0); // div-by-zero defined as 0
+        assert_eq!(BinOp::Lt.eval(3, 5, 32), 1);
+        assert_eq!(BinOp::Mod.eval(10, 3, 32), 1);
+    }
+
+    #[test]
+    fn send_reads_all_headers() {
+        let reads = Op::Send.reads();
+        assert!(reads.contains(&Loc::Header(HeaderField::IpDaddr)));
+        assert!(reads.contains(&Loc::Payload));
+        assert_eq!(Op::Send.writes(), vec![Loc::Output]);
+    }
+
+    #[test]
+    fn fetch_add_is_single_state_touch_but_read_write() {
+        let op = Op::RegFetchAdd {
+            reg: StateId(0),
+            delta: ValueId(1),
+        };
+        assert_eq!(op.reads(), vec![Loc::State(StateId(0))]);
+        assert_eq!(op.writes(), vec![Loc::State(StateId(0))]);
+        assert_eq!(op.states_touched().len(), 2); // read + write entries
+    }
+
+    #[test]
+    fn uses_cover_operands() {
+        let op = Op::MapPut {
+            map: StateId(0),
+            key: vec![ValueId(1), ValueId(2)],
+            value: vec![ValueId(3)],
+        };
+        assert_eq!(op.uses(), vec![ValueId(1), ValueId(2), ValueId(3)]);
+    }
+}

@@ -1,0 +1,861 @@
+//! Parser for the textual MIR form produced by [`crate::printer`].
+
+use crate::func::{BasicBlock, BlockId, Function, Program, Terminator, ValueId};
+use crate::inst::{BinOp, HeaderField, Inst, Op};
+use crate::state::{GlobalState, StateId, StateKind};
+use crate::types::{mask_to_width, Ty};
+use crate::{MirError, Result};
+use std::collections::HashMap;
+
+/// Parse a program in the canonical textual form and validate it.
+pub fn parse_program(text: &str) -> Result<Program> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>, // (1-based line number, trimmed content)
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T> {
+        Err(MirError::Parse {
+            line,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.peek();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    fn parse(mut self) -> Result<Program> {
+        let (ln, header) = self
+            .next()
+            .ok_or(MirError::Parse {
+                line: 0,
+                msg: "empty input".into(),
+            })?;
+        let name = header
+            .strip_prefix("program ")
+            .and_then(|r| r.strip_suffix('{'))
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        let Some(name) = name else {
+            return self.err(ln, "expected `program <name> {`");
+        };
+
+        let mut states = Vec::new();
+        let mut state_ids: HashMap<String, StateId> = HashMap::new();
+        while let Some((ln, l)) = self.peek() {
+            if let Some(rest) = l.strip_prefix("state ") {
+                self.pos += 1;
+                let st = parse_state(rest).ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("bad state declaration `{l}`"),
+                })?;
+                state_ids.insert(st.name.clone(), StateId(states.len() as u32));
+                states.push(st);
+            } else {
+                break;
+            }
+        }
+
+        // First pass: scan block structure to pre-assign value and block ids
+        // so loops and φ forward references resolve.
+        let body_start = self.pos;
+        let mut value_ids: HashMap<String, ValueId> = HashMap::new();
+        let mut block_ids: HashMap<String, BlockId> = HashMap::new();
+        let mut next_value = 0u32;
+        let mut scan_pos = self.pos;
+        while scan_pos < self.lines.len() {
+            let (_, l) = self.lines[scan_pos];
+            scan_pos += 1;
+            if l == "}" {
+                break;
+            }
+            if let Some(label) = l.strip_suffix(':') {
+                let id = BlockId(block_ids.len() as u32);
+                block_ids.insert(label.trim().to_string(), id);
+            } else if let Some((def, _)) = l.split_once('=') {
+                let def = def.trim().to_string();
+                value_ids.insert(def, ValueId(next_value));
+                next_value += 1;
+            } else if is_effect_line(l) {
+                next_value += 1; // effect instructions occupy arena slots too
+            }
+        }
+
+        // Second pass: build instructions.
+        self.pos = body_start;
+        let mut insts: Vec<Inst> = Vec::new();
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut cur: Option<(BlockId, Vec<ValueId>)> = None;
+        let mut closed = false;
+
+        let lookup_state = |name: &str, ln: usize| -> Result<StateId> {
+            state_ids.get(name).copied().ok_or(MirError::Parse {
+                line: ln,
+                msg: format!("unknown state `{name}`"),
+            })
+        };
+        let lookup_value = |name: &str, ln: usize| -> Result<ValueId> {
+            value_ids.get(name).copied().ok_or(MirError::Parse {
+                line: ln,
+                msg: format!("unknown value `{name}`"),
+            })
+        };
+        let lookup_block = |name: &str, ln: usize| -> Result<BlockId> {
+            block_ids.get(name).copied().ok_or(MirError::Parse {
+                line: ln,
+                msg: format!("unknown block `{name}`"),
+            })
+        };
+
+        while let Some((ln, l)) = self.next() {
+            if l == "}" {
+                closed = true;
+                break;
+            }
+            if let Some(label) = l.strip_suffix(':') {
+                if let Some((id, is_insts)) = cur.take() {
+                    return self.err(
+                        ln,
+                        format!(
+                            "block b{}({} insts) not terminated before `{label}`",
+                            id.0,
+                            is_insts.len()
+                        ),
+                    );
+                }
+                cur = Some((lookup_block(label.trim(), ln)?, Vec::new()));
+                continue;
+            }
+            let Some((_, ref mut block_insts)) = cur else {
+                return self.err(ln, format!("instruction `{l}` outside any block"));
+            };
+            // Terminators.
+            if l == "ret" {
+                let (id, insts_v) = cur.take().expect("checked above");
+                blocks.push(BasicBlock {
+                    id,
+                    insts: insts_v,
+                    term: Terminator::Return,
+                });
+                continue;
+            }
+            if let Some(rest) = l.strip_prefix("jmp ") {
+                let t = lookup_block(rest.trim(), ln)?;
+                let (id, insts_v) = cur.take().expect("checked above");
+                blocks.push(BasicBlock {
+                    id,
+                    insts: insts_v,
+                    term: Terminator::Jump(t),
+                });
+                continue;
+            }
+            if let Some(rest) = l.strip_prefix("br ") {
+                let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+                if parts.len() != 3 {
+                    return self.err(ln, "br expects `br v, bT, bE`");
+                }
+                let cond = lookup_value(parts[0], ln)?;
+                let then_bb = lookup_block(parts[1], ln)?;
+                let else_bb = lookup_block(parts[2], ln)?;
+                let (id, insts_v) = cur.take().expect("checked above");
+                blocks.push(BasicBlock {
+                    id,
+                    insts: insts_v,
+                    term: Terminator::Branch {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    },
+                });
+                continue;
+            }
+
+            // Instructions. Either `vN = <op...>` or a bare effect op.
+            let (def, body) = match l.split_once('=') {
+                Some((d, b)) => (Some(d.trim()), b.trim()),
+                None => (None, l),
+            };
+            let id = match def {
+                Some(d) => lookup_value(d, ln)?,
+                None => {
+                    // Effect instruction: its arena slot was reserved in the
+                    // scan pass in file order; recover it by counting.
+                    ValueId(insts.len() as u32)
+                }
+            };
+            // Keep the arena aligned: instructions must appear in id order
+            // because the scan pass numbered them by appearance.
+            if id.0 as usize != insts.len() {
+                return self.err(
+                    ln,
+                    format!(
+                        "value {} out of order (expected v{})",
+                        id,
+                        insts.len()
+                    ),
+                );
+            }
+            let (op, ty) = self.parse_op(
+                body,
+                ln,
+                &states,
+                &lookup_state,
+                &lookup_value,
+                &lookup_block,
+                &insts,
+            )?;
+            insts.push(Inst { op, ty });
+            block_insts.push(id);
+        }
+
+        if !closed {
+            return self.err(
+                self.lines.last().map(|(n, _)| *n).unwrap_or(0),
+                "missing closing `}`",
+            );
+        }
+        if let Some((id, _)) = cur {
+            return self.err(0, format!("block b{} not terminated", id.0));
+        }
+
+        let prog = Program {
+            name,
+            states,
+            func: Function {
+                insts,
+                blocks,
+                entry: BlockId(0),
+            },
+        };
+        crate::validate::validate(&prog)?;
+        Ok(prog)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parse_op(
+        &self,
+        body: &str,
+        ln: usize,
+        states: &[GlobalState],
+        lookup_state: &dyn Fn(&str, usize) -> Result<StateId>,
+        lookup_value: &dyn Fn(&str, usize) -> Result<ValueId>,
+        lookup_block: &dyn Fn(&str, usize) -> Result<BlockId>,
+        insts: &[Inst],
+    ) -> Result<(Op, Ty)> {
+        let ty_of = |v: ValueId| -> &Ty { &insts[v.0 as usize].ty };
+        let int_width = |v: ValueId| -> Result<u8> {
+            ty_of(v).int_width().ok_or(MirError::Parse {
+                line: ln,
+                msg: format!("{v} is not an integer"),
+            })
+        };
+        let (mnemonic, rest) = match body.split_once(' ') {
+            Some((m, r)) => (m, r.trim()),
+            None => (body, ""),
+        };
+        let parse_vlist = |s: &str| -> Result<Vec<ValueId>> {
+            let inner = s
+                .strip_prefix('[')
+                .and_then(|x| x.strip_suffix(']'))
+                .ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("expected [v...], got `{s}`"),
+                })?;
+            if inner.trim().is_empty() {
+                return Ok(vec![]);
+            }
+            inner
+                .split(',')
+                .map(|p| lookup_value(p.trim(), ln))
+                .collect()
+        };
+
+        Ok(match mnemonic {
+            "const" => {
+                let (val, w) = split_typed(rest, ln)?;
+                let value: u64 = parse_u64(val).ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("bad constant `{val}`"),
+                })?;
+                (
+                    Op::Const {
+                        value: mask_to_width(value, w),
+                        width: w,
+                    },
+                    Ty::Int(w),
+                )
+            }
+            "not" => {
+                let a = lookup_value(rest, ln)?;
+                let w = int_width(a)?;
+                (Op::Not { a }, Ty::Int(w))
+            }
+            "cast" => {
+                let (val, w) = split_typed(rest, ln)?;
+                let a = lookup_value(val, ln)?;
+                (Op::Cast { a, width: w }, Ty::Int(w))
+            }
+            "phi" => {
+                let inner = rest
+                    .strip_prefix('[')
+                    .and_then(|x| x.strip_suffix(']'))
+                    .ok_or(MirError::Parse {
+                        line: ln,
+                        msg: "phi expects [b: v, ...]".into(),
+                    })?;
+                let mut incoming = Vec::new();
+                for pair in inner.split(',') {
+                    let (b, v) = pair.split_once(':').ok_or(MirError::Parse {
+                        line: ln,
+                        msg: format!("bad phi edge `{pair}`"),
+                    })?;
+                    incoming.push((lookup_block(b.trim(), ln)?, lookup_value(v.trim(), ln)?));
+                }
+                let ty = incoming
+                    .first()
+                    .map(|(_, v)| ty_of(*v).clone())
+                    .unwrap_or(Ty::Unit);
+                (Op::Phi { incoming }, ty)
+            }
+            "readfield" => {
+                let field = HeaderField::from_name(rest).ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("unknown header field `{rest}`"),
+                })?;
+                (Op::ReadField { field }, Ty::Int(field.bits()))
+            }
+            "writefield" => {
+                let (fname, v) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "writefield expects `field, v`".into(),
+                })?;
+                let field = HeaderField::from_name(fname.trim()).ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("unknown header field `{fname}`"),
+                })?;
+                (
+                    Op::WriteField {
+                        field,
+                        value: lookup_value(v.trim(), ln)?,
+                    },
+                    Ty::Unit,
+                )
+            }
+            "readport" => (Op::ReadPort, Ty::Int(16)),
+            "payloadmatch" => {
+                let pattern = unescape_quoted(rest).ok_or(MirError::Parse {
+                    line: ln,
+                    msg: format!("bad pattern `{rest}`"),
+                })?;
+                (Op::PayloadMatch { pattern }, Ty::BOOL)
+            }
+            "mapget" => {
+                let (sname, keys) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "mapget expects `state, [keys]`".into(),
+                })?;
+                let map = lookup_state(sname.trim(), ln)?;
+                let key = parse_vlist(keys.trim())?;
+                let value_widths = match &states[map.0 as usize].kind {
+                    StateKind::Map { value_widths, .. } => value_widths.clone(),
+                    _ => {
+                        return self.err(ln, format!("state `{sname}` is not a map"));
+                    }
+                };
+                (Op::MapGet { map, key }, Ty::MapResult(value_widths))
+            }
+            "lpmget" => {
+                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "lpmget expects `state, v`".into(),
+                })?;
+                let table = lookup_state(sname.trim(), ln)?;
+                let value_widths = match &states[table.0 as usize].kind {
+                    StateKind::LpmMap { value_widths, .. } => value_widths.clone(),
+                    _ => {
+                        return self.err(ln, format!("state `{sname}` is not an LPM table"));
+                    }
+                };
+                (
+                    Op::LpmGet {
+                        table,
+                        key: lookup_value(v.trim(), ln)?,
+                    },
+                    Ty::MapResult(value_widths),
+                )
+            }
+            "isnull" => (
+                Op::IsNull {
+                    a: lookup_value(rest, ln)?,
+                },
+                Ty::BOOL,
+            ),
+            "extract" => {
+                let (v, idx) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "extract expects `v, index`".into(),
+                })?;
+                let a = lookup_value(v.trim(), ln)?;
+                let index: usize = idx.trim().parse().map_err(|_| MirError::Parse {
+                    line: ln,
+                    msg: format!("bad index `{idx}`"),
+                })?;
+                let w = match ty_of(a) {
+                    Ty::MapResult(ws) => ws.get(index).copied().ok_or(MirError::Parse {
+                        line: ln,
+                        msg: format!("extract index {index} out of range"),
+                    })?,
+                    _ => {
+                        return self.err(ln, format!("extract on non-mapresult {a}"));
+                    }
+                };
+                (Op::Extract { a, index }, Ty::Int(w))
+            }
+            "mapput" => {
+                let parts = split_top(rest);
+                if parts.len() != 3 {
+                    return self.err(ln, "mapput expects `state, [keys], [values]`");
+                }
+                (
+                    Op::MapPut {
+                        map: lookup_state(&parts[0], ln)?,
+                        key: parse_vlist(&parts[1])?,
+                        value: parse_vlist(&parts[2])?,
+                    },
+                    Ty::Unit,
+                )
+            }
+            "mapdel" => {
+                let parts = split_top(rest);
+                if parts.len() != 2 {
+                    return self.err(ln, "mapdel expects `state, [keys]`");
+                }
+                (
+                    Op::MapDel {
+                        map: lookup_state(&parts[0], ln)?,
+                        key: parse_vlist(&parts[1])?,
+                    },
+                    Ty::Unit,
+                )
+            }
+            "vecget" => {
+                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "vecget expects `state, v`".into(),
+                })?;
+                let vec = lookup_state(sname.trim(), ln)?;
+                let w = match &states[vec.0 as usize].kind {
+                    StateKind::Vector { elem_width, .. } => *elem_width,
+                    _ => {
+                        return self.err(ln, format!("state `{sname}` is not a vector"));
+                    }
+                };
+                (
+                    Op::VecGet {
+                        vec,
+                        index: lookup_value(v.trim(), ln)?,
+                    },
+                    Ty::Int(w),
+                )
+            }
+            "veclen" => (
+                Op::VecLen {
+                    vec: lookup_state(rest, ln)?,
+                },
+                Ty::Int(32),
+            ),
+            "regread" => {
+                let reg = lookup_state(rest, ln)?;
+                let w = reg_width(states, reg, ln)?;
+                (Op::RegRead { reg }, Ty::Int(w))
+            }
+            "regwrite" => {
+                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "regwrite expects `state, v`".into(),
+                })?;
+                (
+                    Op::RegWrite {
+                        reg: lookup_state(sname.trim(), ln)?,
+                        value: lookup_value(v.trim(), ln)?,
+                    },
+                    Ty::Unit,
+                )
+            }
+            "regfetchadd" => {
+                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
+                    line: ln,
+                    msg: "regfetchadd expects `state, v`".into(),
+                })?;
+                let reg = lookup_state(sname.trim(), ln)?;
+                let w = reg_width(states, reg, ln)?;
+                (
+                    Op::RegFetchAdd {
+                        reg,
+                        delta: lookup_value(v.trim(), ln)?,
+                    },
+                    Ty::Int(w),
+                )
+            }
+            "hash" => {
+                let (vs, w) = split_typed(rest, ln)?;
+                (
+                    Op::Hash {
+                        inputs: parse_vlist(vs.trim())?,
+                        width: w,
+                    },
+                    Ty::Int(w),
+                )
+            }
+            "now" => (Op::Now, Ty::Int(64)),
+            "updatechecksum" => (Op::UpdateChecksum, Ty::Unit),
+            "send" => (Op::Send, Ty::Unit),
+            "drop" => (Op::Drop, Ty::Unit),
+            _ => {
+                // Binary operators.
+                if let Some(op) = BinOp::from_name(mnemonic) {
+                    let (a, b) = rest.split_once(',').ok_or(MirError::Parse {
+                        line: ln,
+                        msg: format!("{mnemonic} expects two operands"),
+                    })?;
+                    let a = lookup_value(a.trim(), ln)?;
+                    let b = lookup_value(b.trim(), ln)?;
+                    let ty = if op.is_comparison() {
+                        Ty::BOOL
+                    } else {
+                        Ty::Int(int_width(a)?)
+                    };
+                    (Op::Bin { op, a, b }, ty)
+                } else {
+                    return self.err(ln, format!("unknown mnemonic `{mnemonic}`"));
+                }
+            }
+        })
+    }
+}
+
+/// Does this non-definition line consume an arena slot (i.e., is it an
+/// effect instruction rather than a terminator or label)?
+fn is_effect_line(l: &str) -> bool {
+    let mnemonic = l.split_whitespace().next().unwrap_or("");
+    matches!(
+        mnemonic,
+        "writefield" | "mapput" | "mapdel" | "regwrite" | "updatechecksum" | "send" | "drop"
+    )
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Split `"<lhs> : uW"` into the lhs and width.
+fn split_typed(s: &str, ln: usize) -> Result<(&str, u8)> {
+    let (lhs, ty) = s.rsplit_once(':').ok_or(MirError::Parse {
+        line: ln,
+        msg: format!("expected `... : uW` in `{s}`"),
+    })?;
+    let w = ty
+        .trim()
+        .strip_prefix('u')
+        .and_then(|x| x.parse::<u8>().ok())
+        .filter(|w| (1..=64).contains(w))
+        .ok_or(MirError::Parse {
+            line: ln,
+            msg: format!("bad width `{ty}`"),
+        })?;
+    Ok((lhs.trim(), w))
+}
+
+/// Split on commas that are not inside brackets.
+fn split_top(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+/// Parse a `"..."` literal with `\xNN` escapes back into bytes.
+fn unescape_quoted(s: &str) -> Option<Vec<u8>> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.bytes().peekable();
+    while let Some(b) = chars.next() {
+        if b == b'\\' {
+            if chars.next()? != b'x' {
+                return None;
+            }
+            let hi = chars.next()?;
+            let lo = chars.next()?;
+            let hex = [hi, lo];
+            let hex = std::str::from_utf8(&hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+        } else {
+            out.push(b);
+        }
+    }
+    Some(out)
+}
+
+fn reg_width(states: &[GlobalState], reg: StateId, ln: usize) -> Result<u8> {
+    match &states[reg.0 as usize].kind {
+        StateKind::Register { width } => Ok(*width),
+        _ => Err(MirError::Parse {
+            line: ln,
+            msg: format!("state {reg} is not a register"),
+        }),
+    }
+}
+
+fn parse_state(rest: &str) -> Option<GlobalState> {
+    let (name, decl) = rest.split_once(':')?;
+    let name = name.trim().to_string();
+    let decl = decl.trim();
+    if let Some(body) = decl.strip_prefix("map<") {
+        // `->` contains `>`, so split at the *last* `>` which closes the
+        // type parameter list.
+        let (inner, tail) = body.rsplit_once('>')?;
+        let (k, v) = inner.split_once("->")?;
+        let key_widths = parse_width_list(k)?;
+        let value_widths = parse_width_list(v)?;
+        let tail = tail.trim();
+        let max_entries = if tail.is_empty() {
+            None
+        } else {
+            Some(tail.strip_prefix("max")?.trim().parse().ok()?)
+        };
+        return Some(GlobalState {
+            name,
+            kind: StateKind::Map {
+                key_widths,
+                value_widths,
+                max_entries,
+            },
+        });
+    }
+    if let Some(body) = decl.strip_prefix("vec<") {
+        let (inner, tail) = body.split_once('>')?;
+        let elem_width = parse_width(inner)?;
+        let capacity = tail.trim().strip_prefix("cap")?.trim().parse().ok()?;
+        return Some(GlobalState {
+            name,
+            kind: StateKind::Vector {
+                elem_width,
+                capacity,
+            },
+        });
+    }
+    if let Some(body) = decl.strip_prefix("lpm<") {
+        let (inner, tail) = body.rsplit_once('>')?;
+        let (k, v) = inner.split_once("->")?;
+        let key_width = parse_width(k)?;
+        let value_widths = parse_width_list(v)?;
+        let tail = tail.trim();
+        let max_entries = if tail.is_empty() {
+            None
+        } else {
+            Some(tail.strip_prefix("max")?.trim().parse().ok()?)
+        };
+        return Some(GlobalState {
+            name,
+            kind: StateKind::LpmMap {
+                key_width,
+                value_widths,
+                max_entries,
+            },
+        });
+    }
+    if let Some(body) = decl.strip_prefix("reg<") {
+        let inner = body.strip_suffix('>')?;
+        return Some(GlobalState {
+            name,
+            kind: StateKind::Register {
+                width: parse_width(inner)?,
+            },
+        });
+    }
+    None
+}
+
+fn parse_width(s: &str) -> Option<u8> {
+    s.trim()
+        .strip_prefix('u')?
+        .parse::<u8>()
+        .ok()
+        .filter(|w| (1..=64).contains(w))
+}
+
+fn parse_width_list(s: &str) -> Option<Vec<u8>> {
+    s.split(',').map(parse_width).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_program;
+
+    const MINILB: &str = r#"
+program minilb {
+  state map : map<u16 -> u32> max 65536
+  state backends : vec<u32> cap 16
+  b0:
+    v0 = readfield ip.saddr
+    v1 = readfield ip.daddr
+    v2 = xor v0, v1
+    v3 = const 0xFFFF : u32
+    v4 = and v2, v3
+    v5 = cast v4 : u16
+    v6 = mapget map, [v5]
+    v7 = isnull v6
+    br v7, b2, b1
+  b1:
+    v8 = extract v6, 0
+    writefield ip.daddr, v8
+    send
+    ret
+  b2:
+    v12 = veclen backends
+    v13 = mod v2, v12
+    v14 = vecget backends, v13
+    writefield ip.daddr, v14
+    mapput map, [v5], [v14]
+    send
+    ret
+}
+"#;
+
+    #[test]
+    fn parses_minilb() {
+        let p = parse_program(MINILB).unwrap();
+        assert_eq!(p.name, "minilb");
+        assert_eq!(p.states.len(), 2);
+        assert_eq!(p.func.blocks.len(), 3);
+        assert_eq!(p.func.len(), 17);
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let p = parse_program(MINILB).unwrap();
+        let text = print_program(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parses_loop_with_phi() {
+        let text = r#"
+program looper {
+  b0:
+    v0 = const 0 : u32
+    jmp b1
+  b1:
+    v1 = phi [b0: v0, b1: v2]
+    v2 = const 1 : u32
+    v3 = lt v1, v2
+    br v3, b1, b2
+  b2:
+    ret
+}
+"#;
+        let p = parse_program(text).unwrap();
+        let text2 = print_program(&p);
+        assert_eq!(parse_program(&text2).unwrap(), p);
+    }
+
+    #[test]
+    fn payload_pattern_roundtrip() {
+        let text = "program dpi {\n  b0:\n    v0 = payloadmatch \"GET \\x00\"\n    ret\n}\n";
+        let p = parse_program(text).unwrap();
+        match &p.func.inst(crate::func::ValueId(0)).op {
+            Op::PayloadMatch { pattern } => assert_eq!(pattern, b"GET \x00"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let p2 = parse_program(&print_program(&p)).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let text = "program x {\n  b0:\n    v0 = frobnicate v1\n    ret\n}\n";
+        assert!(matches!(
+            parse_program(text),
+            Err(MirError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unterminated_block() {
+        let text = "program x {\n  b0:\n    v0 = const 1 : u8\n  b1:\n    ret\n}\n";
+        assert!(matches!(parse_program(text), Err(MirError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_state() {
+        let text = "program x {\n  b0:\n    v0 = veclen nosuch\n    ret\n}\n";
+        assert!(matches!(parse_program(text), Err(MirError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_close_brace() {
+        let text = "program x {\n  b0:\n    ret\n";
+        assert!(matches!(parse_program(text), Err(MirError::Parse { .. })));
+    }
+
+    #[test]
+    fn hex_and_decimal_constants() {
+        let text =
+            "program x {\n  b0:\n    v0 = const 0xff : u8\n    v1 = const 255 : u8\n    ret\n}\n";
+        let p = parse_program(text).unwrap();
+        assert_eq!(
+            p.func.inst(crate::func::ValueId(0)).op,
+            p.func.inst(crate::func::ValueId(1)).op
+        );
+    }
+}

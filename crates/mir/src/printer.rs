@@ -1,0 +1,196 @@
+//! Textual form of MIR programs.
+//!
+//! The printer and [`crate::parser`] round-trip: `parse(print(p))`
+//! structurally equals `p` (property-tested). The textual form is used in
+//! documentation, golden tests, and the compiler's diagnostic dumps.
+
+use crate::func::{Program, Terminator};
+use crate::inst::Op;
+use crate::state::StateKind;
+use std::fmt::Write;
+
+/// Render `prog` in the canonical textual form.
+pub fn print_program(prog: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} {{", prog.name);
+    for s in &prog.states {
+        match &s.kind {
+            StateKind::Map {
+                key_widths,
+                value_widths,
+                max_entries,
+            } => {
+                let ks = widths(key_widths);
+                let vs = widths(value_widths);
+                match max_entries {
+                    Some(n) => {
+                        let _ = writeln!(out, "  state {} : map<{ks} -> {vs}> max {n}", s.name);
+                    }
+                    None => {
+                        let _ = writeln!(out, "  state {} : map<{ks} -> {vs}>", s.name);
+                    }
+                }
+            }
+            StateKind::Vector {
+                elem_width,
+                capacity,
+            } => {
+                let _ = writeln!(out, "  state {} : vec<u{elem_width}> cap {capacity}", s.name);
+            }
+            StateKind::Register { width } => {
+                let _ = writeln!(out, "  state {} : reg<u{width}>", s.name);
+            }
+            StateKind::LpmMap {
+                key_width,
+                value_widths,
+                max_entries,
+            } => {
+                let vs = widths(value_widths);
+                match max_entries {
+                    Some(n) => {
+                        let _ = writeln!(
+                            out,
+                            "  state {} : lpm<u{key_width} -> {vs}> max {n}",
+                            s.name
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "  state {} : lpm<u{key_width} -> {vs}>", s.name);
+                    }
+                }
+            }
+        }
+    }
+    for b in &prog.func.blocks {
+        let _ = writeln!(out, "  {}:", b.id);
+        for &v in &b.insts {
+            let _ = writeln!(out, "    {}", print_inst(prog, v));
+        }
+        let term = match &b.term {
+            Terminator::Jump(t) => format!("jmp {t}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("br {cond}, {then_bb}, {else_bb}"),
+            Terminator::Return => "ret".to_string(),
+        };
+        let _ = writeln!(out, "    {term}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn widths(ws: &[u8]) -> String {
+    ws.iter()
+        .map(|w| format!("u{w}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn vlist(vs: &[crate::func::ValueId]) -> String {
+    let inner = vs
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{inner}]")
+}
+
+/// Render one instruction (without indentation).
+pub fn print_inst(prog: &Program, v: crate::func::ValueId) -> String {
+    let inst = prog.func.inst(v);
+    let sname = |s: crate::state::StateId| prog.states[s.0 as usize].name.clone();
+    match &inst.op {
+        Op::Const { value, width } => format!("{v} = const {value} : u{width}"),
+        Op::Bin { op, a, b } => format!("{v} = {} {a}, {b}", op.name()),
+        Op::Not { a } => format!("{v} = not {a}"),
+        Op::Cast { a, width } => format!("{v} = cast {a} : u{width}"),
+        Op::Phi { incoming } => {
+            let inner = incoming
+                .iter()
+                .map(|(b, iv)| format!("{b}: {iv}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{v} = phi [{inner}]")
+        }
+        Op::ReadField { field } => format!("{v} = readfield {}", field.name()),
+        Op::WriteField { field, value } => format!("writefield {}, {value}", field.name()),
+        Op::ReadPort => format!("{v} = readport"),
+        Op::PayloadMatch { pattern } => {
+            format!("{v} = payloadmatch \"{}\"", escape_bytes(pattern))
+        }
+        Op::MapGet { map, key } => format!("{v} = mapget {}, {}", sname(*map), vlist(key)),
+        Op::LpmGet { table, key } => format!("{v} = lpmget {}, {key}", sname(*table)),
+        Op::IsNull { a } => format!("{v} = isnull {a}"),
+        Op::Extract { a, index } => format!("{v} = extract {a}, {index}"),
+        Op::MapPut { map, key, value } => {
+            format!("mapput {}, {}, {}", sname(*map), vlist(key), vlist(value))
+        }
+        Op::MapDel { map, key } => format!("mapdel {}, {}", sname(*map), vlist(key)),
+        Op::VecGet { vec, index } => format!("{v} = vecget {}, {index}", sname(*vec)),
+        Op::VecLen { vec } => format!("{v} = veclen {}", sname(*vec)),
+        Op::RegRead { reg } => format!("{v} = regread {}", sname(*reg)),
+        Op::RegWrite { reg, value } => format!("regwrite {}, {value}", sname(*reg)),
+        Op::RegFetchAdd { reg, delta } => {
+            format!("{v} = regfetchadd {}, {delta}", sname(*reg))
+        }
+        Op::Hash { inputs, width } => format!("{v} = hash {} : u{width}", vlist(inputs)),
+        Op::Now => format!("{v} = now"),
+        Op::UpdateChecksum => "updatechecksum".to_string(),
+        Op::Send => "send".to_string(),
+        Op::Drop => "drop".to_string(),
+    }
+}
+
+/// Escape a byte string for the textual form: printable ASCII except `"` and
+/// `\` passes through, everything else becomes `\xNN`.
+pub fn escape_bytes(bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for &b in bytes {
+        if (0x20..0x7F).contains(&b) && b != b'"' && b != b'\\' {
+            s.push(b as char);
+        } else {
+            let _ = write!(s, "\\x{b:02x}");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::inst::{BinOp, HeaderField};
+
+    #[test]
+    fn prints_minilb_shape() {
+        let mut b = FuncBuilder::new("mini");
+        let m = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let s = b.read_field(HeaderField::IpSaddr);
+        let d = b.read_field(HeaderField::IpDaddr);
+        let x = b.bin(BinOp::Xor, s, d);
+        let x16 = b.cast(x, 16);
+        let r = b.map_get(m, vec![x16]);
+        let n = b.is_null(r);
+        let _ = n;
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("program mini {"));
+        assert!(text.contains("state map : map<u16 -> u32> max 65536"));
+        assert!(text.contains("v2 = xor v0, v1"));
+        assert!(text.contains("v4 = mapget map, [v3]"));
+        assert!(text.contains("v5 = isnull v4"));
+        assert!(text.contains("send"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_non_printable() {
+        assert_eq!(escape_bytes(b"SSH-"), "SSH-");
+        assert_eq!(escape_bytes(b"\x00\xff"), "\\x00\\xff");
+        assert_eq!(escape_bytes(b"a\"b\\c"), "a\\x22b\\x5cc");
+    }
+}

@@ -1,0 +1,109 @@
+//! Value types.
+
+/// The type of an SSA value.
+///
+/// Everything a middlebox computes on is an unsigned integer of at most 64
+/// bits (the paper's switches "support integers only but not floating-point
+/// numbers", §2.2). Booleans are 1-bit integers. A map lookup produces a
+/// [`Ty::MapResult`] — the IR analogue of the nullable pointer returned by
+/// `HashMap::find` in the paper's MiniLB, inspected with `isnull` and
+/// `extract` instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// An unsigned integer of the given bit width (1..=64).
+    Int(u8),
+    /// Result of a map lookup: either absent, or a record whose components
+    /// have the given bit widths.
+    MapResult(Vec<u8>),
+    /// Produced by instructions executed purely for effect.
+    Unit,
+}
+
+impl Ty {
+    /// 1-bit integer (booleans).
+    pub const BOOL: Ty = Ty::Int(1);
+
+    /// Bit width of the value as carried in per-packet metadata or the
+    /// transfer header. A `MapResult` needs one presence bit plus its
+    /// component widths; `Unit` occupies nothing.
+    pub fn meta_bits(&self) -> usize {
+        match self {
+            Ty::Int(w) => usize::from(*w),
+            Ty::MapResult(ws) => 1 + ws.iter().map(|w| usize::from(*w)).sum::<usize>(),
+            Ty::Unit => 0,
+        }
+    }
+
+    /// True for scalar integers.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::Int(_))
+    }
+
+    /// The width if this is an integer type.
+    pub fn int_width(&self) -> Option<u8> {
+        match self {
+            Ty::Int(w) => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int(w) => write!(f, "u{w}"),
+            Ty::MapResult(ws) => {
+                write!(f, "mapres<")?;
+                for (i, w) in ws.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "u{w}")?;
+                }
+                write!(f, ">")
+            }
+            Ty::Unit => write!(f, "unit"),
+        }
+    }
+}
+
+/// Mask a value down to `width` bits (width 64 passes through).
+pub fn mask_to_width(value: u64, width: u8) -> u64 {
+    if width >= 64 {
+        value
+    } else {
+        value & ((1u64 << width) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_bits_int() {
+        assert_eq!(Ty::Int(32).meta_bits(), 32);
+        assert_eq!(Ty::BOOL.meta_bits(), 1);
+        assert_eq!(Ty::Unit.meta_bits(), 0);
+    }
+
+    #[test]
+    fn meta_bits_mapresult_includes_presence_bit() {
+        assert_eq!(Ty::MapResult(vec![32]).meta_bits(), 33);
+        assert_eq!(Ty::MapResult(vec![32, 16]).meta_bits(), 49);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::Int(16).to_string(), "u16");
+        assert_eq!(Ty::MapResult(vec![32, 16]).to_string(), "mapres<u32,u16>");
+        assert_eq!(Ty::Unit.to_string(), "unit");
+    }
+
+    #[test]
+    fn masking() {
+        assert_eq!(mask_to_width(0x1FF, 8), 0xFF);
+        assert_eq!(mask_to_width(u64::MAX, 64), u64::MAX);
+        assert_eq!(mask_to_width(0b101, 1), 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Structural, SSA, and type validation of MIR programs.
+//!
+//! Every program accepted by the compiler passes through here first, so the
+//! analyses and the partitioner can rely on the invariants: block/value/state
+//! references resolve, every instruction is placed in exactly one block,
+//! definitions dominate uses, and operand types are consistent with the
+//! state declarations.
+
+use crate::cfg::Cfg;
+use crate::func::{Program, Terminator, ValueId};
+use crate::inst::Op;
+use crate::state::StateKind;
+use crate::types::Ty;
+use crate::{MirError, Result};
+
+/// Validate `prog`, returning the first violation found.
+pub fn validate(prog: &Program) -> Result<()> {
+    let f = &prog.func;
+    let nblocks = f.blocks.len();
+    let ninsts = f.insts.len();
+
+    if nblocks == 0 {
+        return Err(MirError::Invalid("function has no blocks".into()));
+    }
+    if f.entry.0 as usize >= nblocks {
+        return Err(MirError::DanglingRef(format!("entry {}", f.entry)));
+    }
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.id.0 as usize != i {
+            return Err(MirError::Invalid(format!(
+                "block at index {i} has id {}",
+                b.id
+            )));
+        }
+        for t in b.term.successors() {
+            if t.0 as usize >= nblocks {
+                return Err(MirError::DanglingRef(format!("terminator target {t}")));
+            }
+        }
+    }
+
+    // Placement: every instruction in exactly one block, exactly once.
+    let mut placed = vec![0usize; ninsts];
+    for b in &f.blocks {
+        for v in &b.insts {
+            if v.0 as usize >= ninsts {
+                return Err(MirError::DanglingRef(format!("instruction {v}")));
+            }
+            placed[v.0 as usize] += 1;
+        }
+    }
+    for (i, count) in placed.iter().enumerate() {
+        if *count != 1 {
+            return Err(MirError::Invalid(format!(
+                "instruction v{i} placed {count} times (must be exactly 1)"
+            )));
+        }
+    }
+
+    // Per-instruction checks.
+    let cfg = Cfg::new(f);
+    let idom = cfg.dominators();
+    let pos_of = |v: ValueId| f.position_of(v).expect("placement verified above");
+
+    for b in &f.blocks {
+        for (i, &v) in b.insts.iter().enumerate() {
+            let inst = f.inst(v);
+            check_op(prog, v)?;
+            match &inst.op {
+                Op::Phi { incoming } => {
+                    // φ-nodes must be at the top of the block, with one
+                    // incoming entry per CFG predecessor.
+                    let leading_phis = b
+                        .insts
+                        .iter()
+                        .take_while(|iv| matches!(f.inst(**iv).op, Op::Phi { .. }))
+                        .count();
+                    if i >= leading_phis {
+                        return Err(MirError::Invalid(format!(
+                            "{v}: phi not at top of block {}",
+                            b.id
+                        )));
+                    }
+                    let preds = cfg.preds(b.id);
+                    if incoming.len() != preds.len()
+                        || !preds.iter().all(|p| incoming.iter().any(|(ib, _)| ib == p))
+                    {
+                        return Err(MirError::Invalid(format!(
+                            "{v}: phi incoming blocks do not match predecessors of {}",
+                            b.id
+                        )));
+                    }
+                    // Incoming value must be available at the end of its
+                    // predecessor: its defining block must dominate the pred.
+                    for (pb, pv) in incoming {
+                        let (def_block, _) = pos_of(*pv);
+                        if !cfg.dominates(&idom, def_block, *pb) {
+                            return Err(MirError::Invalid(format!(
+                                "{v}: phi incoming {pv} does not dominate predecessor {pb}"
+                            )));
+                        }
+                    }
+                }
+                op => {
+                    for u in op.uses() {
+                        if u.0 as usize >= ninsts {
+                            return Err(MirError::DanglingRef(format!("{v} uses {u}")));
+                        }
+                        let (ub, ui) = pos_of(u);
+                        let ok = if ub == b.id {
+                            ui < i
+                        } else {
+                            cfg.dominates(&idom, ub, b.id)
+                        };
+                        if !ok {
+                            return Err(MirError::Invalid(format!(
+                                "{v}: use of {u} not dominated by its definition"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &b.term {
+            if cond.0 as usize >= ninsts {
+                return Err(MirError::DanglingRef(format!("branch cond {cond}")));
+            }
+            if !f.inst(*cond).ty.is_int() {
+                return Err(MirError::Invalid(format!(
+                    "branch condition {cond} is not an integer"
+                )));
+            }
+            let (cb, _) = pos_of(*cond);
+            if !cfg.dominates(&idom, cb, b.id) {
+                return Err(MirError::Invalid(format!(
+                    "branch condition {cond} does not dominate block {}",
+                    b.id
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-op structural checks: state references, arities, component indices.
+fn check_op(prog: &Program, v: ValueId) -> Result<()> {
+    let f = &prog.func;
+    let inst = f.inst(v);
+    let state = |s: crate::state::StateId| {
+        prog.states
+            .get(s.0 as usize)
+            .ok_or_else(|| MirError::DanglingRef(format!("{v} references state {s}")))
+    };
+    match &inst.op {
+        Op::MapGet { map, key } | Op::MapDel { map, key } => {
+            match &state(*map)?.kind {
+                StateKind::Map { key_widths, .. } => {
+                    if key.len() != key_widths.len() {
+                        return Err(MirError::Invalid(format!(
+                            "{v}: key arity {} does not match map declaration {}",
+                            key.len(),
+                            key_widths.len()
+                        )));
+                    }
+                }
+                _ => {
+                    return Err(MirError::Invalid(format!("{v}: state {map} is not a map")));
+                }
+            }
+        }
+        Op::MapPut { map, key, value } => match &state(*map)?.kind {
+            StateKind::Map {
+                key_widths,
+                value_widths,
+                ..
+            } => {
+                if key.len() != key_widths.len() || value.len() != value_widths.len() {
+                    return Err(MirError::Invalid(format!(
+                        "{v}: map_put arity mismatch for {map}"
+                    )));
+                }
+            }
+            _ => {
+                return Err(MirError::Invalid(format!("{v}: state {map} is not a map")));
+            }
+        },
+        Op::LpmGet { table, .. } => {
+            if !matches!(state(*table)?.kind, StateKind::LpmMap { .. }) {
+                return Err(MirError::Invalid(format!(
+                    "{v}: state {table} is not an LPM table"
+                )));
+            }
+        }
+        Op::VecGet { vec, .. } | Op::VecLen { vec } => {
+            if !matches!(state(*vec)?.kind, StateKind::Vector { .. }) {
+                return Err(MirError::Invalid(format!(
+                    "{v}: state {vec} is not a vector"
+                )));
+            }
+        }
+        Op::RegRead { reg } | Op::RegWrite { reg, .. } | Op::RegFetchAdd { reg, .. } => {
+            if !matches!(state(*reg)?.kind, StateKind::Register { .. }) {
+                return Err(MirError::Invalid(format!(
+                    "{v}: state {reg} is not a register"
+                )));
+            }
+        }
+        Op::Extract { a, index } => match &f.inst(*a).ty {
+            Ty::MapResult(ws) => {
+                if *index >= ws.len() {
+                    return Err(MirError::Invalid(format!(
+                        "{v}: extract index {index} out of range"
+                    )));
+                }
+            }
+            _ => {
+                return Err(MirError::Invalid(format!(
+                    "{v}: extract on non-map-result {a}"
+                )));
+            }
+        },
+        Op::IsNull { a } => {
+            if !matches!(f.inst(*a).ty, Ty::MapResult(_)) {
+                return Err(MirError::Invalid(format!(
+                    "{v}: is_null on non-map-result {a}"
+                )));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BasicBlock, BlockId, Function};
+    use crate::inst::{HeaderField, Inst};
+    use crate::FuncBuilder;
+
+    fn raw_program(blocks: Vec<BasicBlock>, insts: Vec<Inst>) -> Program {
+        Program {
+            name: "raw".into(),
+            states: vec![],
+            func: Function {
+                insts,
+                blocks,
+                entry: BlockId(0),
+            },
+        }
+    }
+
+    #[test]
+    fn accepts_builder_output() {
+        let mut b = FuncBuilder::new("ok");
+        let x = b.read_field(HeaderField::IpSaddr);
+        b.write_field(HeaderField::IpDaddr, x);
+        b.ret();
+        // finish() runs validate internally; no error expected.
+        b.finish().unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_function() {
+        let p = raw_program(vec![], vec![]);
+        assert!(matches!(validate(&p), Err(MirError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_unplaced_instruction() {
+        let insts = vec![Inst {
+            op: Op::Drop,
+            ty: Ty::Unit,
+        }];
+        let p = raw_program(
+            vec![BasicBlock {
+                id: BlockId(0),
+                insts: vec![], // v0 exists but is not placed
+                term: Terminator::Return,
+            }],
+            insts,
+        );
+        assert!(matches!(validate(&p), Err(MirError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_dangling_branch_target() {
+        let insts = vec![Inst {
+            op: Op::Const { value: 1, width: 1 },
+            ty: Ty::Int(1),
+        }];
+        let p = raw_program(
+            vec![BasicBlock {
+                id: BlockId(0),
+                insts: vec![ValueId(0)],
+                term: Terminator::Branch {
+                    cond: ValueId(0),
+                    then_bb: BlockId(7),
+                    else_bb: BlockId(0),
+                },
+            }],
+            insts,
+        );
+        assert!(matches!(validate(&p), Err(MirError::DanglingRef(_))));
+    }
+
+    #[test]
+    fn rejects_use_before_def_across_blocks() {
+        // b0 branches to b1/b2; b1 defines v, b2 uses it.
+        let insts = vec![
+            Inst {
+                op: Op::Const { value: 1, width: 1 },
+                ty: Ty::Int(1),
+            },
+            Inst {
+                op: Op::Const { value: 9, width: 8 },
+                ty: Ty::Int(8),
+            },
+            Inst {
+                op: Op::WriteField {
+                    field: HeaderField::IpTtl,
+                    value: ValueId(1),
+                },
+                ty: Ty::Unit,
+            },
+        ];
+        let p = raw_program(
+            vec![
+                BasicBlock {
+                    id: BlockId(0),
+                    insts: vec![ValueId(0)],
+                    term: Terminator::Branch {
+                        cond: ValueId(0),
+                        then_bb: BlockId(1),
+                        else_bb: BlockId(2),
+                    },
+                },
+                BasicBlock {
+                    id: BlockId(1),
+                    insts: vec![ValueId(1)],
+                    term: Terminator::Return,
+                },
+                BasicBlock {
+                    id: BlockId(2),
+                    insts: vec![ValueId(2)], // uses v1 defined in sibling b1
+                    term: Terminator::Return,
+                },
+            ],
+            insts,
+        );
+        assert!(matches!(validate(&p), Err(MirError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_phi_with_wrong_preds() {
+        let mut b = FuncBuilder::new("t");
+        let c = b.cnst(1, 1);
+        let t = b.new_block();
+        let e = b.new_block();
+        let m = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let v1 = b.cnst(1, 8);
+        b.jump(m);
+        b.switch_to(e);
+        b.jump(m);
+        b.switch_to(m);
+        // Phi claims only one incoming, but m has two predecessors.
+        let _ph = b.phi(vec![(t, v1)]);
+        b.ret();
+        assert!(matches!(b.finish(), Err(MirError::Invalid(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_key_arity() {
+        let mut b = FuncBuilder::new("t");
+        let m = b.decl_map("m", vec![16, 16], vec![32], Some(8));
+        let k = b.cnst(1, 16);
+        // Builder would panic on type mismatch only for state kind; arity
+        // slips through builder, caught by validate.
+        let _r = b.map_get(m, vec![k]);
+        b.ret();
+        assert!(matches!(b.finish(), Err(MirError::Invalid(_))));
+    }
+}

@@ -1,0 +1,231 @@
+//! Packet construction for tests and workload generators.
+
+use crate::ethernet::{EtherType, EthernetView, MacAddr, ETHERNET_HEADER_LEN};
+use crate::flow::{FiveTuple, IpProtocol};
+use crate::ipv4::{Ipv4View, IPV4_HEADER_LEN};
+use crate::packet::{Packet, PortId};
+use crate::tcp::{TcpFlags, TcpView, TCP_HEADER_LEN};
+use crate::udp::{UdpView, UDP_HEADER_LEN};
+
+/// Fluent builder producing complete Ethernet/IPv4/{TCP,UDP} frames.
+///
+/// `frame_len` is the total frame size including all headers — the knob the
+/// paper's microbenchmark sweeps (100 / 500 / 1500 bytes).
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    tuple: FiveTuple,
+    tcp_flags: TcpFlags,
+    seq: u32,
+    ack_no: u32,
+    frame_len: usize,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    payload: Option<Vec<u8>>,
+}
+
+impl PacketBuilder {
+    /// Start a TCP packet for `tuple` with the given flags and frame length.
+    pub fn tcp(tuple: FiveTuple, flags: TcpFlags, frame_len: usize) -> Self {
+        debug_assert_eq!(tuple.proto, IpProtocol::Tcp);
+        PacketBuilder {
+            tuple,
+            tcp_flags: flags,
+            seq: 0,
+            ack_no: 0,
+            frame_len: frame_len.max(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN),
+            src_mac: MacAddr::from_u64(tuple.saddr.into()),
+            dst_mac: MacAddr::from_u64(tuple.daddr.into()),
+            payload: None,
+        }
+    }
+
+    /// Start a UDP packet for `tuple` with the given frame length.
+    pub fn udp(tuple: FiveTuple, frame_len: usize) -> Self {
+        debug_assert_eq!(tuple.proto, IpProtocol::Udp);
+        PacketBuilder {
+            tuple,
+            tcp_flags: TcpFlags::default(),
+            seq: 0,
+            ack_no: 0,
+            frame_len: frame_len.max(ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN),
+            src_mac: MacAddr::from_u64(tuple.saddr.into()),
+            dst_mac: MacAddr::from_u64(tuple.daddr.into()),
+            payload: None,
+        }
+    }
+
+    /// Set the TCP sequence number.
+    pub fn seq(mut self, seq: u32) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Set the TCP acknowledgement number.
+    pub fn ack_no(mut self, ack: u32) -> Self {
+        self.ack_no = ack;
+        self
+    }
+
+    /// Override MAC addresses (defaults derive from the IP addresses).
+    pub fn macs(mut self, src: MacAddr, dst: MacAddr) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Supply an explicit payload. The frame grows to fit if necessary;
+    /// shorter payloads are zero-padded up to `frame_len`.
+    pub fn payload(mut self, data: Vec<u8>) -> Self {
+        self.payload = Some(data);
+        self
+    }
+
+    /// Assemble the frame.
+    pub fn build(self, ingress: PortId) -> Packet {
+        let transport_len = match self.tuple.proto {
+            IpProtocol::Udp => UDP_HEADER_LEN,
+            _ => TCP_HEADER_LEN,
+        };
+        let min_len = ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + transport_len;
+        let frame_len = match &self.payload {
+            Some(p) => self.frame_len.max(min_len + p.len()),
+            None => self.frame_len,
+        };
+        let mut pkt = Packet::zeroed(frame_len, ingress);
+
+        let mut eth = EthernetView::new(pkt.bytes_mut()).expect("sized above");
+        eth.set_src(self.src_mac);
+        eth.set_dst(self.dst_mac);
+        eth.set_ethertype(EtherType::Ipv4);
+
+        let ip_total = (frame_len - ETHERNET_HEADER_LEN) as u16;
+        {
+            let buf = &mut pkt.bytes_mut()[ETHERNET_HEADER_LEN..];
+            buf[0] = 0x45; // set version before constructing the view
+            let mut ip = Ipv4View::new(buf).expect("sized above");
+            ip.init();
+            ip.set_total_len(ip_total);
+            ip.set_protocol(self.tuple.proto);
+            ip.set_saddr(self.tuple.saddr);
+            ip.set_daddr(self.tuple.daddr);
+            ip.fill_checksum();
+        }
+
+        let tbuf = &mut pkt.bytes_mut()[ETHERNET_HEADER_LEN + IPV4_HEADER_LEN..];
+        match self.tuple.proto {
+            IpProtocol::Udp => {
+                let mut udp = UdpView::new(tbuf).expect("sized above");
+                udp.set_sport(self.tuple.sport);
+                udp.set_dport(self.tuple.dport);
+                udp.set_length(ip_total - IPV4_HEADER_LEN as u16);
+            }
+            _ => {
+                let mut tcp = TcpView::new(tbuf).expect("sized above");
+                tcp.init();
+                tcp.set_sport(self.tuple.sport);
+                tcp.set_dport(self.tuple.dport);
+                tcp.set_seq(self.seq);
+                tcp.set_ack_no(self.ack_no);
+                tcp.set_flags(self.tcp_flags);
+            }
+        }
+
+        if let Some(p) = self.payload {
+            let start = min_len;
+            pkt.bytes_mut()[start..start + p.len()].copy_from_slice(&p);
+        }
+        pkt
+    }
+}
+
+/// Extract the five-tuple of a plain (non-Gallium) IPv4 frame, if parseable.
+pub fn extract_five_tuple(pkt: &Packet) -> Option<FiveTuple> {
+    let eth = EthernetView::new(pkt.bytes()).ok()?;
+    if eth.ethertype() != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4View::new(eth.payload()).ok()?;
+    let (sport, dport) = match ip.protocol() {
+        IpProtocol::Tcp => {
+            let t = TcpView::new(ip.payload()).ok()?;
+            (t.sport(), t.dport())
+        }
+        IpProtocol::Udp => {
+            let u = UdpView::new(ip.payload()).ok()?;
+            (u.sport(), u.dport())
+        }
+        _ => (0, 0),
+    };
+    Some(FiveTuple {
+        saddr: ip.saddr(),
+        daddr: ip.daddr(),
+        sport,
+        dport,
+        proto: ip.protocol(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(proto: IpProtocol) -> FiveTuple {
+        FiveTuple {
+            saddr: 0x0A000001,
+            daddr: 0x0A000002,
+            sport: 1234,
+            dport: 80,
+            proto,
+        }
+    }
+
+    #[test]
+    fn tcp_frame_parses_back() {
+        let p = PacketBuilder::tcp(tuple(IpProtocol::Tcp), TcpFlags(TcpFlags::SYN), 100)
+            .seq(7)
+            .build(PortId(0));
+        assert_eq!(p.len(), 100);
+        let got = extract_five_tuple(&p).unwrap();
+        assert_eq!(got, tuple(IpProtocol::Tcp));
+        let eth = EthernetView::new(p.bytes()).unwrap();
+        let ip = Ipv4View::new(eth.payload()).unwrap();
+        assert!(ip.checksum_ok());
+        assert_eq!(usize::from(ip.total_len()), 100 - ETHERNET_HEADER_LEN);
+        let tcp = TcpView::new(ip.payload()).unwrap();
+        assert!(tcp.flags().syn());
+        assert_eq!(tcp.seq(), 7);
+    }
+
+    #[test]
+    fn udp_frame_parses_back() {
+        let p = PacketBuilder::udp(tuple(IpProtocol::Udp), 500).build(PortId(2));
+        assert_eq!(p.len(), 500);
+        assert_eq!(extract_five_tuple(&p).unwrap(), tuple(IpProtocol::Udp));
+        assert_eq!(p.ingress, PortId(2));
+    }
+
+    #[test]
+    fn frame_len_clamped_to_headers() {
+        let p = PacketBuilder::tcp(tuple(IpProtocol::Tcp), TcpFlags::default(), 10).build(PortId(0));
+        assert_eq!(p.len(), ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN);
+    }
+
+    #[test]
+    fn payload_is_placed_after_headers() {
+        let p = PacketBuilder::tcp(tuple(IpProtocol::Tcp), TcpFlags::default(), 0)
+            .payload(b"GET /index.html".to_vec())
+            .build(PortId(0));
+        let eth = EthernetView::new(p.bytes()).unwrap();
+        let ip = Ipv4View::new(eth.payload()).unwrap();
+        let tcp = TcpView::new(ip.payload()).unwrap();
+        assert_eq!(tcp.payload(), b"GET /index.html");
+    }
+
+    #[test]
+    fn non_ip_frame_yields_none() {
+        let mut p = Packet::zeroed(64, PortId(0));
+        let mut eth = EthernetView::new(p.bytes_mut()).unwrap();
+        eth.set_ethertype(EtherType::Other(0x0806));
+        assert_eq!(extract_five_tuple(&p), None);
+    }
+}

@@ -1,0 +1,89 @@
+//! RFC 1071 internet checksum.
+
+/// One's-complement sum over 16-bit words, as used by IPv4/TCP/UDP.
+///
+/// Accepts an odd-length buffer (the final byte is padded with zero, per the
+/// RFC). The return value is the *raw* folded sum; callers typically use
+/// [`checksum`] which also complements it.
+pub fn ones_complement_sum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for ch in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([ch[0], ch[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Internet checksum of `data` (one's-complement of the one's-complement sum).
+pub fn checksum(data: &[u8]) -> u16 {
+    !ones_complement_sum(data)
+}
+
+/// Incremental checksum update per RFC 1624 (used after header rewriting,
+/// e.g. by the NAT when it replaces an address without re-summing the body).
+///
+/// `old_sum` is the checksum currently in the header; `old_word`/`new_word`
+/// are the 16-bit field value before and after the rewrite.
+pub fn incremental_update(old_sum: u16, old_word: u16, new_word: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+    let mut sum = u32::from(!old_sum) + u32::from(!old_word) + u32::from(new_word);
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7 -> sum ddf2
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data), 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_zero() {
+        assert_eq!(ones_complement_sum(&[0xAB]), 0xAB00);
+    }
+
+    #[test]
+    fn checksum_of_zero_buffer() {
+        assert_eq!(checksum(&[0, 0, 0, 0]), 0xFFFF);
+    }
+
+    #[test]
+    fn verifying_includes_checksum_field_yields_zero_complement() {
+        // A buffer whose checksum field is filled in sums to 0xFFFF.
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(ones_complement_sum(&data), 0xFFFF);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x54, 0xAA, 0xBB, 0x40, 0x00];
+        let before = checksum(&data);
+        let old_word = u16::from_be_bytes([data[4], data[5]]);
+        let new_word: u16 = 0x1234;
+        data[4..6].copy_from_slice(&new_word.to_be_bytes());
+        let after_full = checksum(&data);
+        let after_incr = incremental_update(before, old_word, new_word);
+        assert_eq!(after_full, after_incr);
+    }
+
+    #[test]
+    fn incremental_identity_when_unchanged() {
+        assert_eq!(incremental_update(0x1234, 0x5678, 0x5678), 0x1234);
+    }
+}

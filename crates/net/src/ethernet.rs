@@ -1,0 +1,185 @@
+//! Ethernet II frame view.
+
+use crate::{NetError, Result};
+
+/// Length of an Ethernet II header (no 802.1Q) in bytes.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Construct from a u64 (lower 48 bits), handy for generated traffic.
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Lower 48 bits as a u64.
+    pub fn to_u64(self) -> u64 {
+        let mut b = [0u8; 8];
+        b[2..].copy_from_slice(&self.0);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Well-known EtherType values used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// The synthesized Gallium transfer header (0x88B5, IEEE local
+    /// experimental — see [`crate::transfer::GALLIUM_ETHERTYPE`]).
+    Gallium,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            crate::transfer::GALLIUM_ETHERTYPE => EtherType::Gallium,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Gallium => crate::transfer::GALLIUM_ETHERTYPE,
+            EtherType::Other(o) => o,
+        }
+    }
+}
+
+/// Typed view over an Ethernet II frame.
+#[derive(Debug)]
+pub struct EthernetView<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetView<T> {
+    /// Wrap a buffer, checking that it is long enough for the header.
+    pub fn new(buf: T) -> Result<Self> {
+        let available = buf.as_ref().len();
+        if available < ETHERNET_HEADER_LEN {
+            return Err(NetError::Truncated {
+                needed: ETHERNET_HEADER_LEN,
+                available,
+            });
+        }
+        Ok(EthernetView { buf })
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        let b = self.buf.as_ref();
+        MacAddr([b[6], b[7], b[8], b[9], b[10], b[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[12], b[13]]).into()
+    }
+
+    /// The bytes following the Ethernet header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+
+    /// Release the wrapped buffer.
+    pub fn into_inner(self) -> T {
+        self.buf
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetView<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buf.as_mut()[0..6].copy_from_slice(&mac.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buf.as_mut()[6..12].copy_from_slice(&mac.0);
+    }
+
+    /// Set the EtherType field.
+    pub fn set_ethertype(&mut self, et: EtherType) {
+        let v: u16 = et.into();
+        self.buf.as_mut()[12..14].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Mutable access to the bytes following the Ethernet header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buf.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            EthernetView::new(&[0u8; 10][..]).unwrap_err(),
+            NetError::Truncated {
+                needed: 14,
+                available: 10
+            }
+        );
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let mut buf = [0u8; 20];
+        let mut v = EthernetView::new(&mut buf[..]).unwrap();
+        v.set_dst(MacAddr::from_u64(0x112233445566));
+        v.set_src(MacAddr::from_u64(0xAABBCCDDEEFF));
+        v.set_ethertype(EtherType::Ipv4);
+        assert_eq!(v.dst(), MacAddr::from_u64(0x112233445566));
+        assert_eq!(v.src(), MacAddr::from_u64(0xAABBCCDDEEFF));
+        assert_eq!(v.ethertype(), EtherType::Ipv4);
+        assert_eq!(v.payload().len(), 6);
+    }
+
+    #[test]
+    fn mac_u64_roundtrip() {
+        let m = MacAddr::from_u64(0x0102_0304_0506);
+        assert_eq!(m.to_u64(), 0x0102_0304_0506);
+        assert_eq!(m.to_string(), "01:02:03:04:05:06");
+    }
+
+    #[test]
+    fn gallium_ethertype_roundtrip() {
+        let et: u16 = EtherType::Gallium.into();
+        assert_eq!(EtherType::from(et), EtherType::Gallium);
+        assert_eq!(EtherType::from(0x86DDu16), EtherType::Other(0x86DD));
+    }
+}

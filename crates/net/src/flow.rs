@@ -1,0 +1,148 @@
+//! Flow identification: protocol numbers and five-tuples.
+
+/// IP transport protocol numbers used by the evaluated middleboxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpProtocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// ICMP (1).
+    Icmp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            1 => IpProtocol::Icmp,
+            o => IpProtocol::Other(o),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(v: IpProtocol) -> u8 {
+        match v {
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Icmp => 1,
+            IpProtocol::Other(o) => o,
+        }
+    }
+}
+
+/// The classic transport five-tuple (addresses in host order).
+///
+/// Used as the key of the load balancer's connection-consistency map, the
+/// firewall's whitelist, and the NAT's translation tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub saddr: u32,
+    /// Destination IPv4 address.
+    pub daddr: u32,
+    /// Source transport port.
+    pub sport: u16,
+    /// Destination transport port.
+    pub dport: u16,
+    /// Transport protocol.
+    pub proto: IpProtocol,
+}
+
+impl FiveTuple {
+    /// The tuple of the reverse direction of this flow.
+    pub fn reversed(&self) -> FiveTuple {
+        FiveTuple {
+            saddr: self.daddr,
+            daddr: self.saddr,
+            sport: self.dport,
+            dport: self.sport,
+            proto: self.proto,
+        }
+    }
+
+    /// Pack into the `[u64; 2]` record representation used by the Gallium IR
+    /// for multi-word map keys: `[saddr << 32 | daddr, sport << 32 | dport << 16 | proto]`.
+    pub fn to_words(&self) -> [u64; 2] {
+        [
+            (u64::from(self.saddr) << 32) | u64::from(self.daddr),
+            (u64::from(self.sport) << 32)
+                | (u64::from(self.dport) << 16)
+                | u64::from(u8::from(self.proto)),
+        ]
+    }
+
+    /// Inverse of [`FiveTuple::to_words`].
+    pub fn from_words(w: [u64; 2]) -> FiveTuple {
+        FiveTuple {
+            saddr: (w[0] >> 32) as u32,
+            daddr: w[0] as u32,
+            sport: (w[1] >> 32) as u16,
+            dport: (w[1] >> 16) as u16,
+            proto: IpProtocol::from(w[1] as u8),
+        }
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} ({:?})",
+            crate::ipv4::fmt_addr(self.saddr),
+            self.sport,
+            crate::ipv4::fmt_addr(self.daddr),
+            self.dport,
+            self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FiveTuple {
+        FiveTuple {
+            saddr: 0x0A000001,
+            daddr: 0xC0A80005,
+            sport: 4321,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        }
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let t = sample();
+        assert_eq!(t.reversed().reversed(), t);
+        assert_ne!(t.reversed(), t);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let t = sample();
+        assert_eq!(FiveTuple::from_words(t.to_words()), t);
+    }
+
+    #[test]
+    fn words_roundtrip_udp() {
+        let t = FiveTuple {
+            proto: IpProtocol::Udp,
+            ..sample()
+        };
+        assert_eq!(FiveTuple::from_words(t.to_words()), t);
+    }
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(u8::from(IpProtocol::Tcp), 6);
+        assert_eq!(IpProtocol::from(17u8), IpProtocol::Udp);
+        assert_eq!(IpProtocol::from(89u8), IpProtocol::Other(89));
+        assert_eq!(u8::from(IpProtocol::Other(89)), 89);
+    }
+}

@@ -1,0 +1,233 @@
+//! IPv4 header view.
+//!
+//! Addresses are exposed as host-order `u32` — the Gallium IR operates on
+//! integers, exactly like the paper's LLVM-level analysis does, so keeping
+//! the numeric representation avoids conversion noise in the middleboxes.
+
+use crate::checksum::checksum;
+use crate::flow::IpProtocol;
+use crate::{NetError, Result};
+
+/// Length of an IPv4 header without options, in bytes.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// Typed view over an IPv4 header (no options supported, IHL must be 5).
+#[derive(Debug)]
+pub struct Ipv4View<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4View<T> {
+    /// Wrap a buffer positioned at the first byte of the IPv4 header.
+    pub fn new(buf: T) -> Result<Self> {
+        let available = buf.as_ref().len();
+        if available < IPV4_HEADER_LEN {
+            return Err(NetError::Truncated {
+                needed: IPV4_HEADER_LEN,
+                available,
+            });
+        }
+        let b = buf.as_ref();
+        if b[0] >> 4 != 4 {
+            return Err(NetError::WrongProtocol { expected: "IPv4" });
+        }
+        Ok(Ipv4View { buf })
+    }
+
+    /// Internet header length in 32-bit words.
+    pub fn ihl(&self) -> u8 {
+        self.buf.as_ref()[0] & 0x0F
+    }
+
+    /// Total length field (header + payload) in bytes.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buf.as_ref()[8]
+    }
+
+    /// Transport protocol number.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buf.as_ref()[9])
+    }
+
+    /// Header checksum field as stored.
+    pub fn header_checksum(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address, host order.
+    pub fn saddr(&self) -> u32 {
+        let b = self.buf.as_ref();
+        u32::from_be_bytes([b[12], b[13], b[14], b[15]])
+    }
+
+    /// Destination address, host order.
+    pub fn daddr(&self) -> u32 {
+        let b = self.buf.as_ref();
+        u32::from_be_bytes([b[16], b[17], b[18], b[19]])
+    }
+
+    /// Verify the header checksum over the 20-byte header.
+    pub fn checksum_ok(&self) -> bool {
+        checksum(&self.buf.as_ref()[..IPV4_HEADER_LEN]) == 0
+    }
+
+    /// The transport payload following this header.
+    pub fn payload(&self) -> &[u8] {
+        let hl = usize::from(self.ihl()) * 4;
+        &self.buf.as_ref()[hl.min(self.buf.as_ref().len())..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4View<T> {
+    /// Initialize version/IHL and TTL for a fresh header.
+    pub fn init(&mut self) {
+        self.buf.as_mut()[0] = 0x45;
+        self.buf.as_mut()[8] = 64;
+    }
+
+    /// Set the total-length field.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buf.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buf.as_mut()[8] = ttl;
+    }
+
+    /// Set the transport protocol.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buf.as_mut()[9] = p.into();
+    }
+
+    /// Set the source address (host order).
+    pub fn set_saddr(&mut self, a: u32) {
+        self.buf.as_mut()[12..16].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Set the destination address (host order).
+    pub fn set_daddr(&mut self, a: u32) {
+        self.buf.as_mut()[16..20].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buf.as_mut()[10..12].copy_from_slice(&[0, 0]);
+        let c = checksum(&self.buf.as_ref()[..IPV4_HEADER_LEN]);
+        self.buf.as_mut()[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable transport payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = usize::from(self.ihl()) * 4;
+        let len = self.buf.as_ref().len();
+        &mut self.buf.as_mut()[hl.min(len)..]
+    }
+}
+
+/// Render a host-order `u32` as dotted-quad for diagnostics.
+pub fn fmt_addr(a: u32) -> String {
+    let b = a.to_be_bytes();
+    format!("{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+}
+
+/// Parse dotted-quad notation into a host-order `u32`.
+pub fn parse_addr(s: &str) -> Option<u32> {
+    let mut parts = s.split('.');
+    let mut v: u32 = 0;
+    for _ in 0..4 {
+        let octet: u32 = parts.next()?.parse().ok()?;
+        if octet > 255 {
+            return None;
+        }
+        v = (v << 8) | octet;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        let mut buf = vec![0u8; 40];
+        buf[0] = 0x45;
+        buf
+    }
+
+    #[test]
+    fn rejects_non_v4() {
+        let mut buf = fresh();
+        buf[0] = 0x65;
+        assert_eq!(
+            Ipv4View::new(&buf[..]).unwrap_err(),
+            NetError::WrongProtocol { expected: "IPv4" }
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            Ipv4View::new(&[0x45u8; 10][..]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        let mut buf = fresh();
+        let mut v = Ipv4View::new(&mut buf[..]).unwrap();
+        v.set_saddr(0x0A000001);
+        v.set_daddr(0xC0A80102);
+        assert_eq!(v.saddr(), 0x0A000001);
+        assert_eq!(v.daddr(), 0xC0A80102);
+        assert_eq!(fmt_addr(v.saddr()), "10.0.0.1");
+        assert_eq!(fmt_addr(v.daddr()), "192.168.1.2");
+    }
+
+    #[test]
+    fn checksum_validates_after_fill() {
+        let mut buf = fresh();
+        let mut v = Ipv4View::new(&mut buf[..]).unwrap();
+        v.init();
+        v.set_total_len(40);
+        v.set_protocol(IpProtocol::Tcp);
+        v.set_saddr(1);
+        v.set_daddr(2);
+        v.fill_checksum();
+        assert!(v.checksum_ok());
+        v.set_daddr(3); // corrupt
+        assert!(!v.checksum_ok());
+    }
+
+    #[test]
+    fn parse_addr_accepts_valid() {
+        assert_eq!(parse_addr("10.0.0.1"), Some(0x0A000001));
+        assert_eq!(parse_addr("255.255.255.255"), Some(u32::MAX));
+    }
+
+    #[test]
+    fn parse_addr_rejects_invalid() {
+        assert_eq!(parse_addr("10.0.0"), None);
+        assert_eq!(parse_addr("10.0.0.1.2"), None);
+        assert_eq!(parse_addr("10.0.0.256"), None);
+        assert_eq!(parse_addr("a.b.c.d"), None);
+    }
+
+    #[test]
+    fn payload_skips_header() {
+        let buf = fresh();
+        let v = Ipv4View::new(&buf[..]).unwrap();
+        assert_eq!(v.payload().len(), 20);
+    }
+}

@@ -1,0 +1,95 @@
+//! # gallium-net — packet substrate
+//!
+//! Byte-accurate packet representation and typed header views used by every
+//! other crate in the Gallium reproduction: the switch simulator parses these
+//! buffers with its generated P4 parser, the middlebox server runtime reads
+//! and rewrites them, and the workload generators synthesize them.
+//!
+//! The design follows the smoltcp idiom: a *view* type wraps a byte slice
+//! (`EthernetView<&[u8]>` / `EthernetView<&mut [u8]>`) and exposes typed
+//! accessors that do explicit bounds checking, returning [`NetError`] instead
+//! of panicking. No unsafe code, no heap tricks.
+//!
+//! In addition to the classic Ethernet/IPv4/TCP/UDP stack, this crate defines
+//! the **Gallium transfer header** (paper §4.3.2, Figure 5): a synthesized
+//! header inserted between the Ethernet and IP headers that carries temporary
+//! state (live variables and branch-condition bits) between the programmable
+//! switch and the middlebox server.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod packet;
+pub mod tcp;
+pub mod transfer;
+pub mod udp;
+
+pub use builder::PacketBuilder;
+pub use ethernet::{EtherType, EthernetView, MacAddr, ETHERNET_HEADER_LEN};
+pub use flow::{FiveTuple, IpProtocol};
+pub use ipv4::{Ipv4View, IPV4_HEADER_LEN};
+pub use packet::{Packet, PortId};
+pub use tcp::{TcpFlags, TcpView, TCP_HEADER_LEN};
+pub use transfer::{TransferField, TransferHeaderLayout, TransferValues, GALLIUM_ETHERTYPE};
+pub use udp::{UdpView, UDP_HEADER_LEN};
+
+/// Errors produced while parsing or mutating packet buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetError {
+    /// The buffer is shorter than the header being viewed.
+    Truncated {
+        /// Bytes required by the header.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A field value is out of the representable range for its width.
+    ValueOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The packet does not carry the protocol expected by this view.
+    WrongProtocol {
+        /// Protocol the caller expected.
+        expected: &'static str,
+    },
+    /// A transfer-header layout was asked for a field it does not define.
+    UnknownTransferField,
+    /// The transfer-header layout exceeds the byte budget it was given.
+    LayoutOverflow {
+        /// Bits required by the layout.
+        bits: usize,
+        /// Bit budget available.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Truncated { needed, available } => {
+                write!(f, "buffer truncated: need {needed} bytes, have {available}")
+            }
+            NetError::ValueOutOfRange { field } => {
+                write!(f, "value out of range for field {field}")
+            }
+            NetError::WrongProtocol { expected } => {
+                write!(f, "wrong protocol: expected {expected}")
+            }
+            NetError::UnknownTransferField => write!(f, "unknown transfer-header field"),
+            NetError::LayoutOverflow { bits, budget } => {
+                write!(f, "transfer layout needs {bits} bits, budget is {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetError>;

@@ -1,0 +1,153 @@
+//! Owned packet buffers with ingress metadata.
+
+use bytes::{Bytes, BytesMut};
+
+/// Identifier of a physical port on the switch or a queue on the server.
+///
+/// In the paper's deployment (Figure 1) the switch distinguishes packets
+/// arriving from the network (run the *pre-processing* partition) from
+/// packets arriving on the interface connected to the middlebox server (run
+/// the *post-processing* partition). `PortId` carries that information.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+impl PortId {
+    /// Conventional port on which the middlebox server is attached.
+    pub const SERVER: PortId = PortId(255);
+}
+
+impl std::fmt::Display for PortId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// An owned, mutable packet.
+///
+/// The buffer holds the full frame starting at the Ethernet header. Metadata
+/// (ingress port) travels alongside the bytes but is never serialized — it
+/// models what switch hardware knows about a packet out-of-band.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    data: BytesMut,
+    /// Port the packet arrived on (meaningful inside a switch/server).
+    pub ingress: PortId,
+}
+
+impl Packet {
+    /// Wrap an existing frame.
+    pub fn from_vec(data: Vec<u8>, ingress: PortId) -> Self {
+        Packet {
+            data: BytesMut::from(&data[..]),
+            ingress,
+        }
+    }
+
+    /// Allocate a zero-filled frame of `len` bytes.
+    pub fn zeroed(len: usize, ingress: PortId) -> Self {
+        Packet {
+            data: BytesMut::zeroed(len),
+            ingress,
+        }
+    }
+
+    /// Total frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the frame is empty (never the case for a valid packet).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable access to the frame bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the frame bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Freeze into an immutable [`Bytes`] handle (cheap to clone, used when a
+    /// packet is fanned out to multiple measurement sinks).
+    pub fn freeze(self) -> Bytes {
+        self.data.freeze()
+    }
+
+    /// Insert `extra` zero bytes at byte offset `at`, shifting the tail.
+    ///
+    /// Used to splice the Gallium transfer header in between the Ethernet
+    /// and IP headers (§4.3.2).
+    pub fn insert_gap(&mut self, at: usize, extra: usize) {
+        assert!(at <= self.data.len(), "insert_gap past end of packet");
+        let tail = self.data.split_off(at);
+        self.data.resize(at + extra, 0);
+        self.data.extend_from_slice(&tail);
+    }
+
+    /// Remove `count` bytes at byte offset `at`, shifting the tail left.
+    ///
+    /// Inverse of [`Packet::insert_gap`]; used when the transfer header is
+    /// stripped before a packet leaves the middlebox.
+    pub fn remove_range(&mut self, at: usize, count: usize) {
+        assert!(
+            at + count <= self.data.len(),
+            "remove_range past end of packet"
+        );
+        let tail = self.data.split_off(at + count);
+        self.data.truncate(at);
+        self.data.extend_from_slice(&tail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_has_len() {
+        let p = Packet::zeroed(64, PortId(1));
+        assert_eq!(p.len(), 64);
+        assert!(p.bytes().iter().all(|&b| b == 0));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn insert_gap_shifts_tail() {
+        let mut p = Packet::from_vec(vec![1, 2, 3, 4], PortId(0));
+        p.insert_gap(2, 3);
+        assert_eq!(p.bytes(), &[1, 2, 0, 0, 0, 3, 4]);
+    }
+
+    #[test]
+    fn remove_range_inverts_insert_gap() {
+        let mut p = Packet::from_vec(vec![1, 2, 3, 4, 5, 6], PortId(0));
+        p.insert_gap(3, 4);
+        p.remove_range(3, 4);
+        assert_eq!(p.bytes(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn insert_gap_at_end() {
+        let mut p = Packet::from_vec(vec![9], PortId(0));
+        p.insert_gap(1, 2);
+        assert_eq!(p.bytes(), &[9, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_gap past end")]
+    fn insert_gap_out_of_bounds_panics() {
+        let mut p = Packet::from_vec(vec![1], PortId(0));
+        p.insert_gap(5, 1);
+    }
+
+    #[test]
+    fn freeze_roundtrip() {
+        let p = Packet::from_vec(vec![7, 8], PortId(3));
+        let b = p.clone().freeze();
+        assert_eq!(&b[..], p.bytes());
+    }
+}

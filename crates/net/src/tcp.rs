@@ -1,0 +1,185 @@
+//! TCP header view.
+
+use crate::{NetError, Result};
+
+/// Length of a TCP header without options, in bytes.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits (lower byte of the flags field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: u8 = 0x01;
+    /// SYN flag.
+    pub const SYN: u8 = 0x02;
+    /// RST flag.
+    pub const RST: u8 = 0x04;
+    /// PSH flag.
+    pub const PSH: u8 = 0x08;
+    /// ACK flag.
+    pub const ACK: u8 = 0x10;
+
+    /// True if SYN is set.
+    pub fn syn(self) -> bool {
+        self.0 & Self::SYN != 0
+    }
+    /// True if ACK is set.
+    pub fn ack(self) -> bool {
+        self.0 & Self::ACK != 0
+    }
+    /// True if FIN is set.
+    pub fn fin(self) -> bool {
+        self.0 & Self::FIN != 0
+    }
+    /// True if RST is set.
+    pub fn rst(self) -> bool {
+        self.0 & Self::RST != 0
+    }
+    /// True for the control packets the evaluated middleboxes route to the
+    /// slow path (SYN / FIN / RST, including their ACK variants).
+    pub fn is_control(self) -> bool {
+        self.0 & (Self::SYN | Self::FIN | Self::RST) != 0
+    }
+}
+
+/// Typed view over a TCP header.
+#[derive(Debug)]
+pub struct TcpView<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> TcpView<T> {
+    /// Wrap a buffer positioned at the first byte of the TCP header.
+    pub fn new(buf: T) -> Result<Self> {
+        let available = buf.as_ref().len();
+        if available < TCP_HEADER_LEN {
+            return Err(NetError::Truncated {
+                needed: TCP_HEADER_LEN,
+                available,
+            });
+        }
+        Ok(TcpView { buf })
+    }
+
+    /// Source port.
+    pub fn sport(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dport(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buf.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack_no(&self) -> u32 {
+        let b = self.buf.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Data offset in 32-bit words.
+    pub fn data_offset(&self) -> u8 {
+        self.buf.as_ref()[12] >> 4
+    }
+
+    /// Flags byte.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buf.as_ref()[13])
+    }
+
+    /// The TCP payload following header and options.
+    pub fn payload(&self) -> &[u8] {
+        let off = usize::from(self.data_offset()) * 4;
+        &self.buf.as_ref()[off.min(self.buf.as_ref().len())..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpView<T> {
+    /// Initialize the data-offset field for an option-less header.
+    pub fn init(&mut self) {
+        self.buf.as_mut()[12] = (TCP_HEADER_LEN as u8 / 4) << 4;
+    }
+
+    /// Set the source port.
+    pub fn set_sport(&mut self, p: u16) {
+        self.buf.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dport(&mut self, p: u16) {
+        self.buf.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        self.buf.as_mut()[4..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Set the acknowledgement number.
+    pub fn set_ack_no(&mut self, a: u32) {
+        self.buf.as_mut()[8..12].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Set the flags byte.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.buf.as_mut()[13] = f.0;
+    }
+
+    /// Mutable TCP payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = usize::from(self.data_offset()) * 4;
+        let len = self.buf.as_ref().len();
+        &mut self.buf.as_mut()[off.min(len)..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        let mut buf = [0u8; 30];
+        let mut v = TcpView::new(&mut buf[..]).unwrap();
+        v.init();
+        v.set_sport(12345);
+        v.set_dport(80);
+        v.set_seq(0xDEADBEEF);
+        v.set_ack_no(0x12345678);
+        v.set_flags(TcpFlags(TcpFlags::SYN | TcpFlags::ACK));
+        assert_eq!(v.sport(), 12345);
+        assert_eq!(v.dport(), 80);
+        assert_eq!(v.seq(), 0xDEADBEEF);
+        assert_eq!(v.ack_no(), 0x12345678);
+        assert!(v.flags().syn() && v.flags().ack());
+        assert!(!v.flags().fin());
+        assert_eq!(v.payload().len(), 10);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(TcpFlags(TcpFlags::SYN).is_control());
+        assert!(TcpFlags(TcpFlags::FIN | TcpFlags::ACK).is_control());
+        assert!(TcpFlags(TcpFlags::RST).is_control());
+        assert!(!TcpFlags(TcpFlags::ACK).is_control());
+        assert!(!TcpFlags(TcpFlags::PSH | TcpFlags::ACK).is_control());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            TcpView::new(&[0u8; 5][..]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+    }
+}

@@ -1,0 +1,410 @@
+//! The synthesized Gallium transfer header (paper §4.3.2, Figure 5).
+//!
+//! When a packet crosses the boundary between the switch partitions and the
+//! non-offloaded partition, temporary state (live variables and
+//! branch-condition bits) travels *in-band*: the compiler synthesizes a
+//! header that is inserted **between the Ethernet header and the IP header**.
+//! The link between the switch and the middlebox server uses a slightly
+//! larger MTU to accommodate it, exactly as in the paper.
+//!
+//! Wire format (all big-endian):
+//!
+//! ```text
+//! +----------------+---------+------------------------------+
+//! | orig ethertype | flags   | bit-packed fields … padding  |
+//! |     2 bytes    | 1 byte  |  ceil(sum(field bits)/8)     |
+//! +----------------+---------+------------------------------+
+//! ```
+//!
+//! The Ethernet header's EtherType is rewritten to [`GALLIUM_ETHERTYPE`] so
+//! the receiving side knows the header is present; `orig ethertype` restores
+//! it when the header is stripped. Fields are packed MSB-first in the order
+//! given by the [`TransferHeaderLayout`], mirroring the bit-level allocation
+//! shown in the paper's Figure 5 (a 1-bit branch flag followed by a 32-bit
+//! temporary, etc.).
+
+use crate::ethernet::{EtherType, EthernetView, ETHERNET_HEADER_LEN};
+use crate::packet::Packet;
+use crate::{NetError, Result};
+use std::collections::BTreeMap;
+
+/// EtherType claimed by the Gallium transfer header (IEEE 802 local
+/// experimental range).
+pub const GALLIUM_ETHERTYPE: u16 = 0x88B5;
+
+/// Direction flag: packet travels from the switch to the middlebox server.
+pub const FLAG_TO_SERVER: u8 = 0x01;
+/// Direction flag: packet travels from the middlebox server to the switch.
+pub const FLAG_TO_SWITCH: u8 = 0x02;
+
+/// A single field carried by the transfer header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferField {
+    /// Compiler-assigned name (e.g. `"v17"` for an SSA value or
+    /// `"br3"` for a branch-condition bit).
+    pub name: String,
+    /// Width in bits, 1..=64.
+    pub bits: u16,
+}
+
+impl TransferField {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, bits: u16) -> Self {
+        TransferField {
+            name: name.into(),
+            bits,
+        }
+    }
+}
+
+/// The compiler-synthesized layout of the transfer header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransferHeaderLayout {
+    fields: Vec<TransferField>,
+}
+
+impl TransferHeaderLayout {
+    /// Build a layout from an ordered field list.
+    ///
+    /// Field widths must be 1..=64 bits and names unique; violations are
+    /// compiler bugs, reported as errors rather than panics.
+    pub fn new(fields: Vec<TransferField>) -> Result<Self> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if f.bits == 0 || f.bits > 64 {
+                return Err(NetError::ValueOutOfRange {
+                    field: "transfer field width",
+                });
+            }
+            if !seen.insert(f.name.clone()) {
+                return Err(NetError::UnknownTransferField);
+            }
+        }
+        Ok(TransferHeaderLayout { fields })
+    }
+
+    /// The ordered field list.
+    pub fn fields(&self) -> &[TransferField] {
+        &self.fields
+    }
+
+    /// Total payload bits (excluding the 3-byte preamble).
+    pub fn bits(&self) -> usize {
+        self.fields.iter().map(|f| usize::from(f.bits)).sum()
+    }
+
+    /// Total on-wire size of the header in bytes, including the preamble.
+    pub fn wire_bytes(&self) -> usize {
+        3 + self.bits().div_ceil(8)
+    }
+
+    /// Check the layout against the partitioner's header budget
+    /// (Constraint 5 in §4.2.2 — 20 bytes in the paper).
+    pub fn check_budget(&self, budget_bytes: usize) -> Result<()> {
+        if self.wire_bytes() > budget_bytes {
+            return Err(NetError::LayoutOverflow {
+                bits: self.bits(),
+                budget: budget_bytes * 8,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bit offset (from the start of the field area) and width of a field.
+    pub fn locate(&self, name: &str) -> Result<(usize, u16)> {
+        let mut off = 0usize;
+        for f in &self.fields {
+            if f.name == name {
+                return Ok((off, f.bits));
+            }
+            off += usize::from(f.bits);
+        }
+        Err(NetError::UnknownTransferField)
+    }
+
+    /// Serialize `values` into header bytes (preamble + packed fields).
+    ///
+    /// Missing values encode as zero; values wider than the field are
+    /// truncated to the low `bits` bits, matching hardware behaviour.
+    pub fn encode(&self, orig_ethertype: u16, flags: u8, values: &TransferValues) -> Vec<u8> {
+        let mut out = vec![0u8; self.wire_bytes()];
+        out[0..2].copy_from_slice(&orig_ethertype.to_be_bytes());
+        out[2] = flags;
+        let area = &mut out[3..];
+        let mut bit_off = 0usize;
+        for f in &self.fields {
+            let v = values.get(&f.name).unwrap_or(0);
+            let masked = if f.bits == 64 {
+                v
+            } else {
+                v & ((1u64 << f.bits) - 1)
+            };
+            write_bits(area, bit_off, f.bits, masked);
+            bit_off += usize::from(f.bits);
+        }
+        out
+    }
+
+    /// Parse header bytes produced by [`TransferHeaderLayout::encode`].
+    ///
+    /// Returns `(orig_ethertype, flags, values)`.
+    pub fn decode(&self, data: &[u8]) -> Result<(u16, u8, TransferValues)> {
+        let needed = self.wire_bytes();
+        if data.len() < needed {
+            return Err(NetError::Truncated {
+                needed,
+                available: data.len(),
+            });
+        }
+        let orig = u16::from_be_bytes([data[0], data[1]]);
+        let flags = data[2];
+        let area = &data[3..needed];
+        let mut values = TransferValues::default();
+        let mut bit_off = 0usize;
+        for f in &self.fields {
+            let v = read_bits(area, bit_off, f.bits);
+            values.set(&f.name, v);
+            bit_off += usize::from(f.bits);
+        }
+        Ok((orig, flags, values))
+    }
+
+    /// Splice this header into `packet` right after the Ethernet header,
+    /// rewriting the EtherType to [`GALLIUM_ETHERTYPE`].
+    pub fn attach(&self, packet: &mut Packet, flags: u8, values: &TransferValues) -> Result<()> {
+        let eth = EthernetView::new(packet.bytes())?;
+        let orig: u16 = eth.ethertype().into();
+        if orig == GALLIUM_ETHERTYPE {
+            // Double attachment is a runtime-pipeline bug.
+            return Err(NetError::WrongProtocol {
+                expected: "non-Gallium frame",
+            });
+        }
+        let hdr = self.encode(orig, flags, values);
+        packet.insert_gap(ETHERNET_HEADER_LEN, hdr.len());
+        packet.bytes_mut()[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + hdr.len()]
+            .copy_from_slice(&hdr);
+        let mut eth = EthernetView::new(packet.bytes_mut())?;
+        eth.set_ethertype(EtherType::Gallium);
+        Ok(())
+    }
+
+    /// Strip this header from `packet`, restoring the original EtherType.
+    ///
+    /// Returns `(flags, values)`.
+    pub fn detach(&self, packet: &mut Packet) -> Result<(u8, TransferValues)> {
+        let eth = EthernetView::new(packet.bytes())?;
+        if eth.ethertype() != EtherType::Gallium {
+            return Err(NetError::WrongProtocol {
+                expected: "Gallium transfer header",
+            });
+        }
+        let (orig, flags, values) = self.decode(eth.payload())?;
+        packet.remove_range(ETHERNET_HEADER_LEN, self.wire_bytes());
+        let mut eth = EthernetView::new(packet.bytes_mut())?;
+        eth.set_ethertype(EtherType::from(orig));
+        Ok((flags, values))
+    }
+}
+
+/// Field-name → value map carried by a transfer header.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TransferValues {
+    map: BTreeMap<String, u64>,
+}
+
+impl TransferValues {
+    /// Set a field value.
+    pub fn set(&mut self, name: &str, value: u64) {
+        self.map.insert(name.to_string(), value);
+    }
+
+    /// Read a field value, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of fields set.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no field is set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Write `bits` bits of `value` MSB-first at `bit_off` into `area`.
+fn write_bits(area: &mut [u8], bit_off: usize, bits: u16, value: u64) {
+    for i in 0..usize::from(bits) {
+        let bit = (value >> (usize::from(bits) - 1 - i)) & 1;
+        let pos = bit_off + i;
+        let byte = pos / 8;
+        let shift = 7 - (pos % 8);
+        if bit == 1 {
+            area[byte] |= 1 << shift;
+        } else {
+            area[byte] &= !(1 << shift);
+        }
+    }
+}
+
+/// Read `bits` bits MSB-first at `bit_off` from `area`.
+fn read_bits(area: &[u8], bit_off: usize, bits: u16) -> u64 {
+    let mut v = 0u64;
+    for i in 0..usize::from(bits) {
+        let pos = bit_off + i;
+        let byte = pos / 8;
+        let shift = 7 - (pos % 8);
+        v = (v << 1) | u64::from((area[byte] >> shift) & 1);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::flow::{FiveTuple, IpProtocol};
+    use crate::packet::PortId;
+
+    fn minilb_layout() -> TransferHeaderLayout {
+        // Figure 5: one branch bit + one 32-bit temporary.
+        TransferHeaderLayout::new(vec![
+            TransferField::new("br_miss", 1),
+            TransferField::new("hash32", 32),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure5_layout_size() {
+        let l = minilb_layout();
+        assert_eq!(l.bits(), 33);
+        assert_eq!(l.wire_bytes(), 3 + 5); // preamble + ceil(33/8)
+        l.check_budget(20).unwrap();
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        let l = TransferHeaderLayout::new(vec![
+            TransferField::new("a", 64),
+            TransferField::new("b", 64),
+            TransferField::new("c", 64),
+        ])
+        .unwrap();
+        assert!(l.check_budget(20).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_width_and_duplicates() {
+        assert!(TransferHeaderLayout::new(vec![TransferField::new("a", 0)]).is_err());
+        assert!(TransferHeaderLayout::new(vec![TransferField::new("a", 65)]).is_err());
+        assert!(TransferHeaderLayout::new(vec![
+            TransferField::new("a", 8),
+            TransferField::new("a", 8),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let l = minilb_layout();
+        let mut vals = TransferValues::default();
+        vals.set("br_miss", 1);
+        vals.set("hash32", 0xDEADBEEF);
+        let bytes = l.encode(0x0800, FLAG_TO_SERVER, &vals);
+        let (orig, flags, out) = l.decode(&bytes).unwrap();
+        assert_eq!(orig, 0x0800);
+        assert_eq!(flags, FLAG_TO_SERVER);
+        assert_eq!(out.get("br_miss"), Some(1));
+        assert_eq!(out.get("hash32"), Some(0xDEADBEEF));
+    }
+
+    #[test]
+    fn values_truncate_to_width() {
+        let l = TransferHeaderLayout::new(vec![TransferField::new("x", 4)]).unwrap();
+        let mut vals = TransferValues::default();
+        vals.set("x", 0xFF);
+        let bytes = l.encode(0x0800, 0, &vals);
+        let (_, _, out) = l.decode(&bytes).unwrap();
+        assert_eq!(out.get("x"), Some(0xF));
+    }
+
+    #[test]
+    fn locate_reports_offsets() {
+        let l = minilb_layout();
+        assert_eq!(l.locate("br_miss").unwrap(), (0, 1));
+        assert_eq!(l.locate("hash32").unwrap(), (1, 32));
+        assert_eq!(l.locate("nope").unwrap_err(), NetError::UnknownTransferField);
+    }
+
+    fn sample_packet() -> Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A000001,
+                daddr: 0x0A000002,
+                sport: 1000,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            },
+            crate::tcp::TcpFlags(crate::tcp::TcpFlags::ACK),
+            64,
+        )
+        .build(PortId(0))
+    }
+
+    #[test]
+    fn attach_detach_restores_packet() {
+        let l = minilb_layout();
+        let original = sample_packet();
+        let mut p = original.clone();
+        let mut vals = TransferValues::default();
+        vals.set("hash32", 42);
+        l.attach(&mut p, FLAG_TO_SERVER, &vals).unwrap();
+        assert_eq!(p.len(), original.len() + l.wire_bytes());
+        let eth = EthernetView::new(p.bytes()).unwrap();
+        assert_eq!(eth.ethertype(), EtherType::Gallium);
+        let (flags, out) = l.detach(&mut p).unwrap();
+        assert_eq!(flags, FLAG_TO_SERVER);
+        assert_eq!(out.get("hash32"), Some(42));
+        assert_eq!(p.bytes(), original.bytes());
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let l = minilb_layout();
+        let mut p = sample_packet();
+        let vals = TransferValues::default();
+        l.attach(&mut p, 0, &vals).unwrap();
+        assert!(l.attach(&mut p, 0, &vals).is_err());
+    }
+
+    #[test]
+    fn detach_without_header_rejected() {
+        let l = minilb_layout();
+        let mut p = sample_packet();
+        assert!(l.detach(&mut p).is_err());
+    }
+
+    #[test]
+    fn bit_packing_is_msb_first() {
+        let l = TransferHeaderLayout::new(vec![
+            TransferField::new("a", 1),
+            TransferField::new("b", 7),
+        ])
+        .unwrap();
+        let mut vals = TransferValues::default();
+        vals.set("a", 1);
+        vals.set("b", 0x03);
+        let bytes = l.encode(0, 0, &vals);
+        // Field area starts at byte 3: bit layout a|bbbbbbb = 1|0000011.
+        assert_eq!(bytes[3], 0b1000_0011);
+    }
+}

@@ -1,0 +1,92 @@
+//! UDP header view.
+
+use crate::{NetError, Result};
+
+/// Length of a UDP header in bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Typed view over a UDP header.
+#[derive(Debug)]
+pub struct UdpView<T: AsRef<[u8]>> {
+    buf: T,
+}
+
+impl<T: AsRef<[u8]>> UdpView<T> {
+    /// Wrap a buffer positioned at the first byte of the UDP header.
+    pub fn new(buf: T) -> Result<Self> {
+        let available = buf.as_ref().len();
+        if available < UDP_HEADER_LEN {
+            return Err(NetError::Truncated {
+                needed: UDP_HEADER_LEN,
+                available,
+            });
+        }
+        Ok(UdpView { buf })
+    }
+
+    /// Source port.
+    pub fn sport(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dport(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = self.buf.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// The UDP payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf.as_ref()[UDP_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpView<T> {
+    /// Set the source port.
+    pub fn set_sport(&mut self, p: u16) {
+        self.buf.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dport(&mut self, p: u16) {
+        self.buf.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_length(&mut self, l: u16) {
+        self.buf.as_mut()[4..6].copy_from_slice(&l.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_roundtrip() {
+        let mut buf = [0u8; 12];
+        let mut v = UdpView::new(&mut buf[..]).unwrap();
+        v.set_sport(53);
+        v.set_dport(5353);
+        v.set_length(12);
+        assert_eq!(v.sport(), 53);
+        assert_eq!(v.dport(), 5353);
+        assert_eq!(v.length(), 12);
+        assert_eq!(v.payload().len(), 4);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            UdpView::new(&[0u8; 7][..]).unwrap_err(),
+            NetError::Truncated { .. }
+        ));
+    }
+}

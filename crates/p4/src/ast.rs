@@ -1,0 +1,489 @@
+//! The P4 program AST.
+
+use gallium_mir::{BinOp, HeaderField, StateId};
+use gallium_net::TransferHeaderLayout;
+
+/// A metadata (scratchpad) field — the P4 counterpart of a temporary
+/// variable (Figure 6). Allocated per packet, garbage-collected when the
+/// packet leaves the switch (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetaField {
+    /// Field name (`v17`, `v6.hit`, …).
+    pub name: String,
+    /// Width in bits.
+    pub bits: u16,
+}
+
+/// Match kind of a table's keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableMatchKind {
+    /// Exact match (hash tables).
+    Exact,
+    /// Longest-prefix match (§7 extension).
+    Lpm,
+}
+
+/// A match-action table — the P4 counterpart of an offloaded `HashMap`.
+///
+/// Each offloaded table carries a smaller **write-back shadow table** and
+/// participates in the atomic-update protocol of §4.3.3: when the global
+/// write-back bit is set, lookups consult the shadow first (a tombstone
+/// entry negates the main table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4Table {
+    /// Table name (derived from the state name).
+    pub name: String,
+    /// The IR state this table realizes.
+    pub state: StateId,
+    /// Key component widths in bits.
+    pub key_widths: Vec<u8>,
+    /// Value component widths in bits.
+    pub value_widths: Vec<u8>,
+    /// Developer-annotated maximum entries (sizes the SRAM allocation).
+    pub size: usize,
+    /// Exact or longest-prefix match.
+    pub match_kind: TableMatchKind,
+}
+
+/// A register — the P4 counterpart of an offloaded global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct P4Register {
+    /// Register name.
+    pub name: String,
+    /// The IR state this register realizes.
+    pub state: StateId,
+    /// Width in bits.
+    pub width: u8,
+}
+
+/// Pure expressions evaluated by the match-action ALUs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum P4Expr {
+    /// Integer literal.
+    Const(u64, u8),
+    /// Read a metadata field.
+    Meta(String),
+    /// Read a packet-header field.
+    Header(HeaderField),
+    /// Read the ingress port (standard metadata).
+    IngressPort,
+    /// ALU operation (only P4-expressible [`BinOp`]s appear here; codegen
+    /// rejects the rest).
+    Bin(BinOp, Box<P4Expr>, Box<P4Expr>),
+    /// Bitwise NOT.
+    Not(Box<P4Expr>),
+    /// Truncate/zero-extend.
+    Cast(Box<P4Expr>, u8),
+    /// Hardware hash unit.
+    Hash(Vec<P4Expr>, u8),
+}
+
+/// Statements executed inside a pipeline node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum P4Stmt {
+    /// `meta.NAME = expr`.
+    SetMeta(String, P4Expr),
+    /// `hdr.FIELD = expr`.
+    SetHeader(HeaderField, P4Expr),
+    /// Apply a match-action table: read keys from metadata, write the hit
+    /// flag and value components back into metadata.
+    TableLookup {
+        /// Index into [`P4Program::tables`].
+        table: usize,
+        /// Key expressions (one per key component).
+        keys: Vec<P4Expr>,
+        /// Metadata field receiving the hit flag.
+        hit_meta: String,
+        /// Metadata fields receiving the value components.
+        value_metas: Vec<String>,
+    },
+    /// Read a register into metadata.
+    RegRead {
+        /// Index into [`P4Program::registers`].
+        reg: usize,
+        /// Destination metadata field.
+        dst: String,
+    },
+    /// Write a register.
+    RegWrite {
+        /// Index into [`P4Program::registers`].
+        reg: usize,
+        /// Source expression.
+        src: P4Expr,
+    },
+    /// Stateful-ALU fetch-and-add: old value lands in `dst`.
+    RegFetchAdd {
+        /// Index into [`P4Program::registers`].
+        reg: usize,
+        /// Destination metadata field for the pre-increment value.
+        dst: String,
+        /// Increment expression.
+        delta: P4Expr,
+    },
+    /// Recompute the IPv4 checksum in the deparser.
+    UpdateChecksum,
+    /// Emit a copy of the current packet out of the switch (a `send` that
+    /// executes on the switch).
+    EmitCopy,
+    /// Mark the working packet dropped.
+    MarkDrop,
+}
+
+/// How control leaves a pipeline node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeNext {
+    /// Unconditional transfer.
+    Jump(usize),
+    /// Conditional transfer on a metadata field (the branch condition is
+    /// always materialized in metadata before the branch).
+    Cond {
+        /// 1-bit metadata field holding the branch outcome.
+        meta: String,
+        /// Node when nonzero.
+        then_n: usize,
+        /// Node when zero.
+        else_n: usize,
+    },
+    /// The branch condition is computed by a *later* pipeline stage
+    /// (server or post); this traversal cannot take either arm. Control
+    /// skips to the join point (the branch block's immediate
+    /// postdominator), or ends when the arms never rejoin.
+    SkipJoin {
+        /// Join node, if the arms reconverge.
+        join: Option<usize>,
+        /// Whether the skipped region contains work for a later stage
+        /// (forces the packet to the server on the pre traversal).
+        skipped_has_foreign: bool,
+    },
+    /// End of traversal.
+    End,
+}
+
+/// One pipeline node — the lowering of one source basic block for one
+/// traversal (pre or post).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockNode {
+    /// Statements, in order.
+    pub stmts: Vec<P4Stmt>,
+    /// Whether the source block contains instructions belonging to a later
+    /// stage (pre traversal only; decides fast path vs. slow path).
+    pub has_foreign_work: bool,
+    /// Control transfer.
+    pub next: NodeNext,
+}
+
+/// The complete switch program: both offloaded partitions plus all state
+/// and header declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P4Program {
+    /// Program name (middlebox name).
+    pub name: String,
+    /// Every metadata field either partition materializes.
+    pub metadata: Vec<MetaField>,
+    /// Match-action tables (offloaded maps).
+    pub tables: Vec<P4Table>,
+    /// Registers (offloaded global variables).
+    pub registers: Vec<P4Register>,
+    /// Pre-processing pipeline, one node per source block.
+    pub pre_nodes: Vec<BlockNode>,
+    /// Post-processing pipeline, one node per source block.
+    pub post_nodes: Vec<BlockNode>,
+    /// Entry node index (same for both traversals: the source entry block).
+    pub entry: usize,
+    /// Layout of the header added when forwarding to the server.
+    pub header_to_server: TransferHeaderLayout,
+    /// Layout of the header expected on packets arriving from the server.
+    pub header_to_switch: TransferHeaderLayout,
+    /// Names of metadata fields packed into the to-server header.
+    pub to_server_fields: Vec<String>,
+}
+
+impl P4Program {
+    /// Find a table index by the IR state it realizes.
+    pub fn table_for_state(&self, s: StateId) -> Option<usize> {
+        self.tables.iter().position(|t| t.state == s)
+    }
+
+    /// Find a register index by the IR state it realizes.
+    pub fn register_for_state(&self, s: StateId) -> Option<usize> {
+        self.registers.iter().position(|r| r.state == s)
+    }
+
+    /// Total match-action memory the tables require, in bits (Constraint 1
+    /// as seen by the switch loader).
+    pub fn table_memory_bits(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                let entry: usize = t
+                    .key_widths
+                    .iter()
+                    .chain(t.value_widths.iter())
+                    .map(|w| usize::from(*w))
+                    .sum();
+                entry * t.size
+            })
+            .sum()
+    }
+
+    /// Total metadata bits declared (Constraint 4 as seen by the loader —
+    /// an upper bound; the compiler's liveness-based figure is tighter).
+    pub fn metadata_bits(&self) -> usize {
+        self.metadata.iter().map(|m| usize::from(m.bits)).sum()
+    }
+
+    /// Pipeline stages required by the longest chain of *dependent*
+    /// operations (Constraint 2 as seen by the loader).
+    ///
+    /// Matches the RMT execution model: operations whose inputs are ready
+    /// at the same stage execute in parallel, regardless of how many
+    /// control-flow nodes separate them — only metadata def-use chains
+    /// (and the single stateful access each table/register gets per
+    /// traversal) consume sequential stages. This is the same metric the
+    /// partitioner bounds with the dependency-distance computation, so a
+    /// program the compiler accepts always loads.
+    pub fn pipeline_depth(&self) -> usize {
+        depth_of(&self.pre_nodes, self.entry).max(depth_of(&self.post_nodes, self.entry))
+    }
+}
+
+/// Metadata fields read by an expression.
+fn expr_reads(e: &P4Expr, out: &mut Vec<String>) {
+    match e {
+        P4Expr::Meta(n) => out.push(n.clone()),
+        P4Expr::Bin(_, a, b) => {
+            expr_reads(a, out);
+            expr_reads(b, out);
+        }
+        P4Expr::Not(a) | P4Expr::Cast(a, _) => expr_reads(a, out),
+        P4Expr::Hash(parts, _) => {
+            for p in parts {
+                expr_reads(p, out);
+            }
+        }
+        P4Expr::Const(..) | P4Expr::Header(_) | P4Expr::IngressPort => {}
+    }
+}
+
+/// Dataflow-level depth of one traversal: a forward pass over the pipeline
+/// DAG tracking, per metadata field, the stage after which its value is
+/// available; every statement executes one stage after its latest input.
+fn depth_of(nodes: &[BlockNode], entry: usize) -> usize {
+    use std::collections::HashMap;
+    #[derive(Clone, Default)]
+    struct Levels {
+        meta: HashMap<String, usize>,
+        max: usize,
+    }
+    fn merge(a: &mut Levels, b: &Levels) -> bool {
+        let mut changed = false;
+        for (k, v) in &b.meta {
+            let e = a.meta.entry(k.clone()).or_insert(0);
+            if *v > *e {
+                *e = *v;
+                changed = true;
+            }
+        }
+        if b.max > a.max {
+            a.max = b.max;
+            changed = true;
+        }
+        changed
+    }
+    let n = nodes.len();
+    let mut inbox: Vec<Option<Levels>> = vec![None; n];
+    inbox[entry] = Some(Levels::default());
+    // The generated DAG has no cycles; iterate to a fixpoint (cheap: the
+    // node count is small and merges are monotone).
+    let mut overall = 0usize;
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed {
+        changed = false;
+        rounds += 1;
+        assert!(rounds <= n + 2, "cycle in generated pipeline");
+        for i in 0..n {
+            let Some(level_in) = inbox[i].clone() else {
+                continue;
+            };
+            let mut lv = level_in;
+            for stmt in &nodes[i].stmts {
+                let mut reads = Vec::new();
+                let mut writes: Vec<&String> = Vec::new();
+                match stmt {
+                    P4Stmt::SetMeta(name, e) => {
+                        expr_reads(e, &mut reads);
+                        writes.push(name);
+                    }
+                    P4Stmt::SetHeader(_, e) => expr_reads(e, &mut reads),
+                    P4Stmt::TableLookup {
+                        keys,
+                        hit_meta,
+                        value_metas,
+                        ..
+                    } => {
+                        for k in keys {
+                            expr_reads(k, &mut reads);
+                        }
+                        writes.push(hit_meta);
+                        writes.extend(value_metas.iter());
+                    }
+                    P4Stmt::RegRead { dst, .. } => writes.push(dst),
+                    P4Stmt::RegWrite { src, .. } => expr_reads(src, &mut reads),
+                    P4Stmt::RegFetchAdd { dst, delta, .. } => {
+                        expr_reads(delta, &mut reads);
+                        writes.push(dst);
+                    }
+                    P4Stmt::UpdateChecksum | P4Stmt::EmitCopy | P4Stmt::MarkDrop => {}
+                }
+                let in_level = reads
+                    .iter()
+                    .map(|r| lv.meta.get(r).copied().unwrap_or(0))
+                    .max()
+                    .unwrap_or(0);
+                let stage = in_level + 1;
+                for w in writes {
+                    lv.meta.insert(w.clone(), stage);
+                }
+                lv.max = lv.max.max(stage);
+            }
+            overall = overall.max(lv.max);
+            let succs: Vec<usize> = match &nodes[i].next {
+                NodeNext::Jump(t) => vec![*t],
+                NodeNext::Cond { then_n, else_n, .. } => vec![*then_n, *else_n],
+                NodeNext::SkipJoin { join: Some(j), .. } => vec![*j],
+                _ => vec![],
+            };
+            for s in succs {
+                match &mut inbox[s] {
+                    Some(existing) => changed |= merge(existing, &lv),
+                    slot @ None => {
+                        *slot = Some(lv.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    overall
+}
+
+/// Control-plane operations the middlebox server (or the operator's
+/// configuration scripts) can issue to the switch. These run on the
+/// switch's management CPU and are orders of magnitude slower than packet
+/// processing (§2.1) — the latency model lives in `gallium-switchsim`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlPlaneOp {
+    /// Insert an entry into a main table.
+    TableInsert {
+        /// Table name.
+        table: String,
+        /// Key components.
+        key: Vec<u64>,
+        /// Value components.
+        value: Vec<u64>,
+    },
+    /// Modify an existing entry in a main table.
+    TableModify {
+        /// Table name.
+        table: String,
+        /// Key components.
+        key: Vec<u64>,
+        /// New value components.
+        value: Vec<u64>,
+    },
+    /// Delete an entry from a main table.
+    TableDelete {
+        /// Table name.
+        table: String,
+        /// Key components.
+        key: Vec<u64>,
+    },
+    /// Write a register.
+    RegisterSet {
+        /// Register name.
+        register: String,
+        /// New value.
+        value: u64,
+    },
+    /// Insert a longest-prefix-match entry (§7 extension).
+    LpmInsert {
+        /// Table name.
+        table: String,
+        /// Prefix value (high bits significant).
+        prefix: u64,
+        /// Prefix length in bits.
+        prefix_len: u8,
+        /// Value components.
+        value: Vec<u64>,
+    },
+    /// Stage an entry in a table's write-back shadow (`None` value = the
+    /// tombstone marking deletion).
+    WriteBackStage {
+        /// Table name.
+        table: String,
+        /// Key components.
+        key: Vec<u64>,
+        /// Staged value, or `None` for deletion.
+        value: Option<Vec<u64>>,
+    },
+    /// Atomically flip the global write-back visibility bit.
+    SetWriteBackBit(bool),
+    /// Clear a table's write-back shadow (after folding into the main
+    /// table).
+    WriteBackClear {
+        /// Table name.
+        table: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_memory_accounting() {
+        let prog = P4Program {
+            name: "t".into(),
+            metadata: vec![
+                MetaField {
+                    name: "a".into(),
+                    bits: 32,
+                },
+                MetaField {
+                    name: "b".into(),
+                    bits: 1,
+                },
+            ],
+            tables: vec![P4Table {
+                name: "map".into(),
+                state: StateId(0),
+                key_widths: vec![16],
+                value_widths: vec![32],
+                size: 100,
+                match_kind: TableMatchKind::Exact,
+            }],
+            registers: vec![],
+            pre_nodes: vec![BlockNode {
+                stmts: vec![],
+                has_foreign_work: false,
+                next: NodeNext::End,
+            }],
+            post_nodes: vec![BlockNode {
+                stmts: vec![],
+                has_foreign_work: false,
+                next: NodeNext::End,
+            }],
+            entry: 0,
+            header_to_server: TransferHeaderLayout::default(),
+            header_to_switch: TransferHeaderLayout::default(),
+            to_server_fields: vec![],
+        };
+        assert_eq!(prog.table_memory_bits(), 4800);
+        assert_eq!(prog.metadata_bits(), 33);
+        // Empty nodes consume no stages under the dataflow metric.
+        assert_eq!(prog.pipeline_depth(), 0);
+        assert_eq!(prog.table_for_state(StateId(0)), Some(0));
+        assert_eq!(prog.table_for_state(StateId(1)), None);
+    }
+}

@@ -1,0 +1,448 @@
+//! Lowering a [`StagedProgram`] to a [`P4Program`] (Figure 6).
+
+use crate::ast::*;
+use gallium_mir::cfg::Cfg;
+use gallium_mir::{Op, StateKind, Terminator, Ty, ValueId};
+use gallium_partition::{Partition, StagedProgram, StatePlacement};
+use gallium_partition::transfer::fields_for_value;
+use std::collections::BTreeSet;
+
+/// Code-generation failures. All indicate internal compiler bugs — the
+/// partitioner must never hand the code generator an inexpressible
+/// offloaded statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// An offloaded statement has no P4 lowering.
+    Unsupported {
+        /// The offending instruction.
+        value: ValueId,
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::Unsupported { value, what } => {
+                write!(f, "no P4 lowering for {value}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// Generate the combined pre+post P4 program for `staged`.
+pub fn generate(staged: &StagedProgram) -> Result<P4Program, CodegenError> {
+    let prog = &staged.prog;
+    let f = &prog.func;
+    let cfg = Cfg::new(f);
+    let ipdom = cfg.postdominators();
+
+    // ---- state objects -------------------------------------------------
+    let mut tables = Vec::new();
+    let mut registers = Vec::new();
+    for (i, st) in prog.states.iter().enumerate() {
+        let sid = gallium_mir::StateId(i as u32);
+        let on_switch = matches!(
+            staged.placement_of(sid),
+            StatePlacement::SwitchOnly | StatePlacement::Replicated
+        );
+        if !on_switch {
+            continue;
+        }
+        match &st.kind {
+            StateKind::Map {
+                key_widths,
+                value_widths,
+                max_entries,
+            } => tables.push(P4Table {
+                name: st.name.clone(),
+                state: sid,
+                key_widths: key_widths.clone(),
+                value_widths: value_widths.clone(),
+                size: max_entries.expect("offloaded maps are size-annotated"),
+                match_kind: crate::ast::TableMatchKind::Exact,
+            }),
+            StateKind::LpmMap {
+                key_width,
+                value_widths,
+                max_entries,
+            } => tables.push(P4Table {
+                name: st.name.clone(),
+                state: sid,
+                key_widths: vec![*key_width],
+                value_widths: value_widths.clone(),
+                size: max_entries.expect("offloaded LPM tables are size-annotated"),
+                match_kind: crate::ast::TableMatchKind::Lpm,
+            }),
+            StateKind::Register { width } => registers.push(P4Register {
+                name: st.name.clone(),
+                state: sid,
+                width: *width,
+            }),
+            StateKind::Vector { .. } => {
+                // Vectors have no P4 lowering (Figure 6); the partitioner
+                // never places vector accesses on the switch.
+                unreachable!("vector state placed on switch");
+            }
+        }
+    }
+    let table_idx = |s: gallium_mir::StateId| tables.iter().position(|t| t.state == s);
+    let reg_idx = |s: gallium_mir::StateId| registers.iter().position(|r| r.state == s);
+
+    // ---- metadata fields -------------------------------------------------
+    // Every value materialized on the switch plus every transferred value.
+    let mut meta_names: BTreeSet<(String, u16)> = BTreeSet::new();
+    for i in 0..f.insts.len() {
+        let v = ValueId(i as u32);
+        let needed = staged.partition_of(v).on_switch()
+            || staged.to_server_values.contains(&v)
+            || staged.to_switch_values.contains(&v);
+        if needed {
+            for fld in fields_for_value(prog, v) {
+                meta_names.insert((fld.name, fld.bits));
+            }
+        }
+    }
+    let metadata: Vec<MetaField> = meta_names
+        .into_iter()
+        .map(|(name, bits)| MetaField { name, bits })
+        .collect();
+
+    // ---- pipeline nodes --------------------------------------------------
+    let lower_traversal = |part: Partition| -> Result<Vec<BlockNode>, CodegenError> {
+        let mut nodes = Vec::with_capacity(f.blocks.len());
+        for b in &f.blocks {
+            let mut stmts = Vec::new();
+            let mut has_foreign = false;
+            for &v in &b.insts {
+                if staged.partition_of(v) != part {
+                    // On the pre traversal, any non-pre instruction means
+                    // this path still has later-stage work: the packet must
+                    // visit the server (slow path).
+                    if part == Partition::Pre {
+                        has_foreign = true;
+                    }
+                    continue;
+                }
+                if matches!(f.inst(v).op, Op::Phi { .. }) {
+                    continue; // lowered into predecessors below
+                }
+                stmts.push(lower_inst(staged, v, &table_idx, &reg_idx)?);
+            }
+            let cond_available = |cond: ValueId| -> bool {
+                match part {
+                    Partition::Pre => staged.partition_of(cond) == Partition::Pre,
+                    Partition::Post => {
+                        staged.partition_of(cond) == Partition::Post
+                            || staged.to_switch_values.contains(&cond)
+                    }
+                    Partition::NonOffloaded => unreachable!(),
+                }
+            };
+            let next = match &b.term {
+                Terminator::Jump(t) => NodeNext::Jump(t.0 as usize),
+                Terminator::Return => NodeNext::End,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    // A loop-header branch never becomes a pipeline Cond:
+                    // loop bodies hold no offloaded statements (rule 5),
+                    // and a back edge would put a cycle in the stage DAG.
+                    let is_loop_branch = cfg.reaches_nonempty(b.id, b.id);
+                    if cond_available(*cond) && !is_loop_branch {
+                        NodeNext::Cond {
+                            meta: StagedProgram::field_name(*cond),
+                            then_n: then_bb.0 as usize,
+                            else_n: else_bb.0 as usize,
+                        }
+                    } else {
+                        // The branch belongs to a later (or, for post, an
+                        // earlier-but-untransferred) stage: skip to the
+                        // join point.
+                        let join = match ipdom[b.id.0 as usize] {
+                            Some(j) if j != b.id => Some(j.0 as usize),
+                            _ => None,
+                        };
+                        let skipped_has_foreign = part == Partition::Pre
+                            && cfg.reachable_from(b.id).iter().any(|rb| {
+                                f.block(*rb)
+                                    .insts
+                                    .iter()
+                                    .any(|v| staged.partition_of(*v) != Partition::Pre)
+                            });
+                        NodeNext::SkipJoin {
+                            join,
+                            skipped_has_foreign,
+                        }
+                    }
+                }
+            };
+            nodes.push(BlockNode {
+                stmts,
+                has_foreign_work: has_foreign,
+                next,
+            });
+        }
+        // φ lowering: copy incoming values at the end of each predecessor.
+        for b in &f.blocks {
+            for &v in &b.insts {
+                if staged.partition_of(v) != part {
+                    continue;
+                }
+                let Op::Phi { incoming } = &f.inst(v).op else {
+                    continue;
+                };
+                for (pred, val) in incoming {
+                    nodes[pred.0 as usize].stmts.push(P4Stmt::SetMeta(
+                        StagedProgram::field_name(v),
+                        P4Expr::Meta(StagedProgram::field_name(*val)),
+                    ));
+                }
+            }
+        }
+        Ok(nodes)
+    };
+
+    let pre_nodes = lower_traversal(Partition::Pre)?;
+    let post_nodes = lower_traversal(Partition::Post)?;
+
+    let to_server_fields = staged
+        .to_server_values
+        .iter()
+        .flat_map(|v| fields_for_value(prog, *v))
+        .map(|f| f.name)
+        .collect();
+
+    Ok(P4Program {
+        name: prog.name.clone(),
+        metadata,
+        tables,
+        registers,
+        pre_nodes,
+        post_nodes,
+        entry: f.entry.0 as usize,
+        header_to_server: staged.header_to_server.clone(),
+        header_to_switch: staged.header_to_switch.clone(),
+        to_server_fields,
+    })
+}
+
+fn lower_inst(
+    staged: &StagedProgram,
+    v: ValueId,
+    table_idx: &dyn Fn(gallium_mir::StateId) -> Option<usize>,
+    reg_idx: &dyn Fn(gallium_mir::StateId) -> Option<usize>,
+) -> Result<P4Stmt, CodegenError> {
+    let f = &staged.prog.func;
+    let name = StagedProgram::field_name(v);
+    let meta = |u: ValueId| P4Expr::Meta(StagedProgram::field_name(u));
+    let err = |what: &str| CodegenError::Unsupported {
+        value: v,
+        what: what.into(),
+    };
+    Ok(match &f.inst(v).op {
+        Op::Const { value, width } => P4Stmt::SetMeta(name, P4Expr::Const(*value, *width)),
+        Op::Bin { op, a, b } => {
+            if !op.p4_supported() {
+                return Err(err(&format!("ALU op {}", op.name())));
+            }
+            P4Stmt::SetMeta(
+                name,
+                P4Expr::Bin(*op, Box::new(meta(*a)), Box::new(meta(*b))),
+            )
+        }
+        Op::Not { a } => P4Stmt::SetMeta(name, P4Expr::Not(Box::new(meta(*a)))),
+        Op::Cast { a, width } => P4Stmt::SetMeta(name, P4Expr::Cast(Box::new(meta(*a)), *width)),
+        Op::ReadField { field } => P4Stmt::SetMeta(name, P4Expr::Header(*field)),
+        Op::WriteField { field, value } => P4Stmt::SetHeader(*field, meta(*value)),
+        Op::ReadPort => P4Stmt::SetMeta(name, P4Expr::IngressPort),
+        Op::LpmGet { table, key } => {
+            let t = table_idx(*table).ok_or_else(|| err("LPM table not placed on switch"))?;
+            let value_metas = match &f.inst(v).ty {
+                Ty::MapResult(ws) => (0..ws.len()).map(|i| format!("{name}.{i}")).collect(),
+                _ => return Err(err("lpmget without MapResult type")),
+            };
+            P4Stmt::TableLookup {
+                table: t,
+                keys: vec![meta(*key)],
+                hit_meta: format!("{name}.hit"),
+                value_metas,
+            }
+        }
+        Op::MapGet { map, key } => {
+            let table = table_idx(*map).ok_or_else(|| err("map not placed on switch"))?;
+            let value_metas = match &f.inst(v).ty {
+                Ty::MapResult(ws) => (0..ws.len()).map(|i| format!("{name}.{i}")).collect(),
+                _ => return Err(err("mapget without MapResult type")),
+            };
+            P4Stmt::TableLookup {
+                table,
+                keys: key.iter().map(|k| meta(*k)).collect(),
+                hit_meta: format!("{name}.hit"),
+                value_metas,
+            }
+        }
+        Op::IsNull { a } => P4Stmt::SetMeta(
+            name,
+            P4Expr::Bin(
+                gallium_mir::BinOp::Eq,
+                Box::new(P4Expr::Meta(format!(
+                    "{}.hit",
+                    StagedProgram::field_name(*a)
+                ))),
+                Box::new(P4Expr::Const(0, 1)),
+            ),
+        ),
+        Op::Extract { a, index } => P4Stmt::SetMeta(
+            name,
+            P4Expr::Meta(format!("{}.{index}", StagedProgram::field_name(*a))),
+        ),
+        Op::RegRead { reg } => P4Stmt::RegRead {
+            reg: reg_idx(*reg).ok_or_else(|| err("register not placed on switch"))?,
+            dst: name,
+        },
+        Op::RegWrite { reg, value } => P4Stmt::RegWrite {
+            reg: reg_idx(*reg).ok_or_else(|| err("register not placed on switch"))?,
+            src: meta(*value),
+        },
+        Op::RegFetchAdd { reg, delta } => P4Stmt::RegFetchAdd {
+            reg: reg_idx(*reg).ok_or_else(|| err("register not placed on switch"))?,
+            dst: name,
+            delta: meta(*delta),
+        },
+        Op::Hash { inputs, width } => P4Stmt::SetMeta(
+            name,
+            P4Expr::Hash(inputs.iter().map(|i| meta(*i)).collect(), *width),
+        ),
+        Op::UpdateChecksum => P4Stmt::UpdateChecksum,
+        Op::Send => P4Stmt::EmitCopy,
+        Op::Drop => P4Stmt::MarkDrop,
+        Op::Phi { .. } => unreachable!("phis lowered into predecessors"),
+        Op::MapPut { .. } | Op::MapDel { .. } => return Err(err("data-plane table write")),
+        Op::VecGet { .. } | Op::VecLen { .. } => return Err(err("vector access")),
+        Op::PayloadMatch { .. } => return Err(err("payload access")),
+        Op::Now => return Err(err("wall clock")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField, Program};
+    use gallium_partition::{partition_program, SwitchModel};
+
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    fn staged() -> StagedProgram {
+        partition_program(&minilb(), &SwitchModel::tofino_like()).unwrap()
+    }
+
+    #[test]
+    fn minilb_generates_one_table_no_registers() {
+        let p4 = generate(&staged()).unwrap();
+        assert_eq!(p4.tables.len(), 1);
+        assert_eq!(p4.tables[0].name, "map");
+        assert_eq!(p4.tables[0].size, 65536);
+        assert!(p4.registers.is_empty());
+    }
+
+    #[test]
+    fn minilb_pre_pipeline_shape() {
+        let p4 = generate(&staged()).unwrap();
+        // Entry block: 8 statements (reads, xor, const, and, cast, lookup,
+        // isnull) then a Cond on the isnull meta.
+        let entry = &p4.pre_nodes[p4.entry];
+        assert_eq!(entry.stmts.len(), 8);
+        assert!(matches!(
+            entry.next,
+            NodeNext::Cond { ref meta, .. } if meta == "v7"
+        ));
+        assert!(entry
+            .stmts
+            .iter()
+            .any(|s| matches!(s, P4Stmt::TableLookup { .. })));
+        // Hit block (b1): extract, header write, emit — all pre.
+        let hit = &p4.pre_nodes[1];
+        assert_eq!(hit.stmts.len(), 3);
+        assert!(!hit.has_foreign_work);
+        assert!(matches!(hit.stmts[2], P4Stmt::EmitCopy));
+        // Miss block (b2): nothing to do in pre, but it has foreign work —
+        // this is what routes the packet to the server.
+        let miss = &p4.pre_nodes[2];
+        assert!(miss.stmts.is_empty());
+        assert!(miss.has_foreign_work);
+    }
+
+    #[test]
+    fn minilb_post_pipeline_shape() {
+        let p4 = generate(&staged()).unwrap();
+        // Post traversal: entry has no post statements; branch cond v7 is
+        // transferred so it is available.
+        let entry = &p4.post_nodes[p4.entry];
+        assert!(entry.stmts.is_empty());
+        assert!(matches!(entry.next, NodeNext::Cond { .. }));
+        // Miss block carries the daddr write + send.
+        let miss = &p4.post_nodes[2];
+        assert_eq!(miss.stmts.len(), 2);
+        assert!(matches!(miss.stmts[0], P4Stmt::SetHeader(HeaderField::IpDaddr, _)));
+        assert!(matches!(miss.stmts[1], P4Stmt::EmitCopy));
+        // Hit block does nothing on the post traversal.
+        assert!(p4.post_nodes[1].stmts.is_empty());
+    }
+
+    #[test]
+    fn metadata_includes_transferred_values() {
+        let p4 = generate(&staged()).unwrap();
+        let names: Vec<&str> = p4.metadata.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"v2"), "hash32 meta");
+        assert!(names.contains(&"v7"), "branch-bit meta");
+        assert!(names.contains(&"v13"), "server-computed backend meta");
+        assert!(names.contains(&"v6.hit"), "lookup hit meta");
+    }
+
+    #[test]
+    fn pipeline_depth_within_model() {
+        let p4 = generate(&staged()).unwrap();
+        assert!(p4.pipeline_depth() <= SwitchModel::tofino_like().pipeline_depth);
+    }
+
+    #[test]
+    fn table_memory_matches_annotation() {
+        let p4 = generate(&staged()).unwrap();
+        assert_eq!(p4.table_memory_bits(), 65536 * (16 + 32));
+    }
+}

@@ -1,0 +1,39 @@
+//! # gallium-p4 — P4 program representation and code generation (§4.3.1)
+//!
+//! Lowers a partitioned [`gallium_partition::StagedProgram`] into a
+//! [`P4Program`]: the single switch program that contains **both** the
+//! pre-processing and post-processing partitions, dispatched on the ingress
+//! interface exactly as the paper describes ("Gallium creates a
+//! match-action table that matches on the ingress interface of the packet
+//! at the beginning of the processing pipeline").
+//!
+//! The mapping follows Figure 6:
+//!
+//! | CFG construct        | P4 counterpart                          |
+//! |----------------------|-----------------------------------------|
+//! | temporary variable   | metadata field                          |
+//! | map                  | match-action table (+ write-back shadow)|
+//! | global variable      | register                                |
+//! | branch               | branch (pipeline conditional)           |
+//! | header access        | header access                           |
+//! | ALU operation        | P4 ALU primitive                        |
+//! | map lookup           | table lookup                            |
+//!
+//! The AST is a **pipeline DAG** (one node per source basic block) rather
+//! than structured if/else source — matching how physical RMT pipelines and
+//! bmv2 actually represent control flow. [`printer`] renders a readable
+//! P4-16-style listing from it; `gallium-switchsim` executes it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod codegen;
+pub mod printer;
+
+pub use ast::{
+    BlockNode, ControlPlaneOp, MetaField, NodeNext, P4Expr, P4Program, P4Register, P4Stmt,
+    P4Table, TableMatchKind,
+};
+pub use codegen::{generate, CodegenError};
+pub use printer::print_p4;

@@ -1,0 +1,508 @@
+//! The partitioning driver: label rules + resource refinement (§4.2.2).
+
+use crate::labels::{initial_labels, run_label_rules, LabelSet};
+use crate::model::SwitchModel;
+use crate::staged::{Partition, StagedProgram, StatePlacement};
+use crate::transfer::{boundary_values, make_layout};
+use gallium_analysis::{DepGraph, Liveness};
+use gallium_mir::{MirError, Program, StateId, ValueId};
+
+/// Partitioning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The input program failed validation.
+    Validation(MirError),
+    /// The refinement loop could not satisfy the switch constraints (this
+    /// cannot happen for well-formed inputs — moving everything to the
+    /// server always satisfies them — so it indicates an internal bug).
+    Unsatisfiable(String),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Validation(e) => write!(f, "validation: {e}"),
+            PartitionError::Unsatisfiable(s) => write!(f, "unsatisfiable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Assign partitions from final labels, per §4.2.2: `pre` (alone or with
+/// `post`) → pre-processing; `post` only → post-processing; neither →
+/// non-offloaded.
+pub fn assign(labels: &[LabelSet]) -> Vec<Partition> {
+    labels
+        .iter()
+        .map(|l| {
+            if l.pre {
+                Partition::Pre
+            } else if l.post {
+                Partition::Post
+            } else {
+                Partition::NonOffloaded
+            }
+        })
+        .collect()
+}
+
+/// Partition `prog` for `model`, running the full §4.2 pipeline.
+pub fn partition_program(
+    prog: &Program,
+    model: &SwitchModel,
+) -> Result<StagedProgram, PartitionError> {
+    gallium_mir::validate::validate(prog).map_err(PartitionError::Validation)?;
+    let dep = DepGraph::build(prog);
+    let n = prog.func.insts.len();
+
+    // Phase 1: expressiveness + dependency labeling (§4.2.1).
+    let mut labels = initial_labels(prog);
+    run_label_rules(prog, &dep, &mut labels);
+
+    // Constraint 2: pipeline depth via dependency distance.
+    let entry_d = dep.entry_distances();
+    let exit_d = dep.exit_distances();
+    for v in 0..n {
+        if entry_d[v] > model.pipeline_depth {
+            labels[v].pre = false;
+        }
+        if exit_d[v] > model.pipeline_depth {
+            labels[v].post = false;
+        }
+    }
+    run_label_rules(prog, &dep, &mut labels);
+
+    // Constraint 1: switch memory. Trim offloaded state accesses from the
+    // edges of the program inward until the footprint fits.
+    loop {
+        let footprint = switch_memory_bits(prog, &labels);
+        if footprint <= model.memory_bits {
+            break;
+        }
+        // Remove `pre` from the last pre-labeled state access, else `post`
+        // from the first post-labeled one.
+        let last_pre = (0..n)
+            .rev()
+            .find(|&v| labels[v].pre && touches_state(prog, v));
+        if let Some(v) = last_pre {
+            labels[v].pre = false;
+        } else if let Some(v) = (0..n).find(|&v| labels[v].post && touches_state(prog, v)) {
+            labels[v].post = false;
+        } else {
+            break; // no offloaded state left; footprint is zero
+        }
+        run_label_rules(prog, &dep, &mut labels);
+    }
+
+    // Replicated-state write restriction (§4.3.3): when a state is also
+    // accessed by the server, all *updates* must come from the server so
+    // the write-back protocol can serialize them.
+    loop {
+        let mut changed = false;
+        for s in 0..prog.states.len() {
+            let sid = StateId(s as u32);
+            let server_touches = (0..n).any(|v| {
+                !labels[v].offloadable() && touches_specific(prog, v, sid)
+            });
+            if !server_touches {
+                continue;
+            }
+            for v in 0..n {
+                if labels[v].offloadable()
+                    && writes_specific(prog, v, sid)
+                {
+                    labels[v].pre = false;
+                    labels[v].post = false;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        run_label_rules(prog, &dep, &mut labels);
+    }
+
+    // Constraint 3: at most one offloaded access per state per traversal.
+    // Exhaustive per-state search keeping the access that maximizes the
+    // offloaded statement count.
+    for s in 0..prog.states.len() {
+        let sid = StateId(s as u32);
+        for phase in [PhaseLabel::Pre, PhaseLabel::Post] {
+            let accesses: Vec<usize> = (0..n)
+                .filter(|&v| phase.get(&labels[v]) && touches_specific(prog, v, sid))
+                .collect();
+            if accesses.len() <= 1 {
+                continue;
+            }
+            let mut best: Option<(usize, Vec<LabelSet>)> = None;
+            for &keep in &accesses {
+                let mut trial = labels.to_vec();
+                for &other in &accesses {
+                    if other != keep {
+                        phase.clear(&mut trial[other]);
+                    }
+                }
+                run_label_rules(prog, &dep, &mut trial);
+                let count = trial.iter().filter(|l| l.offloadable()).count();
+                if best.as_ref().map(|(c, _)| count > *c).unwrap_or(true) {
+                    best = Some((count, trial));
+                }
+            }
+            if let Some((_, chosen)) = best {
+                labels = chosen;
+            }
+        }
+    }
+
+    // Constraints 4 & 5: metadata scratchpad and transfer-header budgets.
+    // Greedy single scan in (reverse) topological order, re-running the
+    // label rules after every move.
+    let liveness = Liveness::compute(&prog.func);
+    let mut guard = 0usize;
+    loop {
+        guard += 1;
+        if guard > n + 2 {
+            return Err(PartitionError::Unsatisfiable(
+                "constraint-4/5 refinement did not converge".into(),
+            ));
+        }
+        let assignment = assign(&labels);
+        let (pre_meta, post_meta) = metadata_bits(prog, &liveness, &assignment);
+        let b = boundary_values(prog, &dep, &assignment);
+        let h1 = make_layout(prog, &b.to_server);
+        let h2 = make_layout(prog, &b.to_switch);
+        let pre_bad = pre_meta > model.metadata_bits
+            || h1.wire_bytes() > model.transfer_budget_bytes;
+        let post_bad = post_meta > model.metadata_bits
+            || h2.wire_bytes() > model.transfer_budget_bytes;
+        if !pre_bad && !post_bad {
+            break;
+        }
+        if pre_bad {
+            // Reverse topological (here: reverse source) order.
+            let victim = (0..n)
+                .rev()
+                .find(|&v| assignment[v] == Partition::Pre)
+                .ok_or_else(|| {
+                    PartitionError::Unsatisfiable("pre budget violated with empty pre".into())
+                })?;
+            labels[victim].pre = false;
+        }
+        if post_bad {
+            // Forward topological order: earliest post statements first.
+            let victim = (0..n).find(|&v| assignment[v] == Partition::Post);
+            match victim {
+                Some(v) => labels[v].post = false,
+                None if !pre_bad => {
+                    return Err(PartitionError::Unsatisfiable(
+                        "post budget violated with empty post".into(),
+                    ))
+                }
+                None => {}
+            }
+        }
+        run_label_rules(prog, &dep, &mut labels);
+    }
+
+    // Finalize.
+    let assignment = assign(&labels);
+    check_consistency(prog, &dep, &assignment)?;
+    let placements = compute_placements(prog, &assignment);
+    let b = boundary_values(prog, &dep, &assignment);
+    let header_to_server = make_layout(prog, &b.to_server);
+    let header_to_switch = make_layout(prog, &b.to_switch);
+
+    Ok(StagedProgram {
+        prog: prog.clone(),
+        assignment,
+        placements,
+        header_to_server,
+        header_to_switch,
+        to_server_values: b.to_server,
+        to_switch_values: b.to_switch,
+    })
+}
+
+#[derive(Clone, Copy)]
+enum PhaseLabel {
+    Pre,
+    Post,
+}
+
+impl PhaseLabel {
+    fn get(self, l: &LabelSet) -> bool {
+        match self {
+            PhaseLabel::Pre => l.pre,
+            PhaseLabel::Post => l.post,
+        }
+    }
+    fn clear(self, l: &mut LabelSet) {
+        match self {
+            PhaseLabel::Pre => l.pre = false,
+            PhaseLabel::Post => l.post = false,
+        }
+    }
+}
+
+fn touches_state(prog: &Program, v: usize) -> bool {
+    !prog.func.insts[v].op.states_touched().is_empty()
+}
+
+fn touches_specific(prog: &Program, v: usize, s: StateId) -> bool {
+    prog.func.insts[v].op.states_touched().contains(&s)
+}
+
+fn writes_specific(prog: &Program, v: usize, s: StateId) -> bool {
+    prog.func.insts[v]
+        .op
+        .writes()
+        .contains(&gallium_mir::Loc::State(s))
+}
+
+/// Constraint-1 footprint: total memory of states touched by any statement
+/// still labeled for the switch. Unannotated (unbounded) states count as
+/// infinite.
+fn switch_memory_bits(prog: &Program, labels: &[LabelSet]) -> usize {
+    let mut total = 0usize;
+    for (si, st) in prog.states.iter().enumerate() {
+        let sid = StateId(si as u32);
+        let offloaded = (0..prog.func.insts.len())
+            .any(|v| labels[v].offloadable() && touches_specific(prog, v, sid));
+        if offloaded {
+            total = total.saturating_add(st.kind.memory_bits().unwrap_or(usize::MAX));
+        }
+    }
+    total
+}
+
+/// Constraint-4 metric: maximum concurrently-live metadata bits in the pre
+/// and post traversals.
+fn metadata_bits(
+    prog: &Program,
+    liveness: &Liveness,
+    assignment: &[Partition],
+) -> (usize, usize) {
+    let pre = liveness.max_live_bits(&prog.func, &|v: ValueId| {
+        assignment[v.0 as usize] == Partition::Pre
+    });
+    let post = liveness.max_live_bits(&prog.func, &|v: ValueId| {
+        assignment[v.0 as usize] == Partition::Post
+    });
+    (pre, post)
+}
+
+/// Final sanity check: every dependency edge flows forward through the
+/// pipeline (Pre ≤ NonOffloaded ≤ Post).
+fn check_consistency(
+    prog: &Program,
+    dep: &DepGraph,
+    assignment: &[Partition],
+) -> Result<(), PartitionError> {
+    for v in 0..prog.func.insts.len() {
+        for (t, _) in dep.deps_out(ValueId(v as u32)) {
+            if assignment[v] > assignment[t.0 as usize] {
+                return Err(PartitionError::Unsatisfiable(format!(
+                    "dependency v{v} -> {t} flows backwards ({:?} -> {:?})",
+                    assignment[v],
+                    assignment[t.0 as usize]
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// State placement from the final assignment (§4.3.1).
+fn compute_placements(prog: &Program, assignment: &[Partition]) -> Vec<StatePlacement> {
+    (0..prog.states.len())
+        .map(|s| {
+            let sid = StateId(s as u32);
+            let mut on_switch = false;
+            let mut on_server = false;
+            for v in 0..prog.func.insts.len() {
+                if touches_specific(prog, v, sid) {
+                    if assignment[v].on_switch() {
+                        on_switch = true;
+                    } else {
+                        on_server = true;
+                    }
+                }
+            }
+            match (on_switch, on_server) {
+                (true, true) => StatePlacement::Replicated,
+                (true, false) => StatePlacement::SwitchOnly,
+                (false, true) => StatePlacement::ServerOnly,
+                (false, false) => StatePlacement::Unused,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr); // v0
+        let daddr = b.read_field(HeaderField::IpDaddr); // v1
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr); // v2
+        let mask = b.cnst(0xFFFF, 32); // v3
+        let low = b.bin(BinOp::And, hash32, mask); // v4
+        let key = b.cast(low, 16); // v5
+        let res = b.map_get(map, vec![key]); // v6
+        let null = b.is_null(res); // v7
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0); // v8
+        b.write_field(HeaderField::IpDaddr, bk); // v9
+        b.send(); // v10
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends); // v11
+        let idx = b.bin(BinOp::Mod, hash32, len); // v12
+        let bk2 = b.vec_get(backends, idx); // v13
+        b.write_field(HeaderField::IpDaddr, bk2); // v14
+        b.map_put(map, vec![key], vec![bk2]); // v15
+        b.send(); // v16
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn minilb_partitions_like_figure4() {
+        let p = minilb();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        use Partition::*;
+        let expect = [
+            Pre, Pre, Pre, Pre, Pre, Pre, Pre, Pre, // entry block
+            Pre, Pre, Pre, // hit branch
+            NonOffloaded, NonOffloaded, NonOffloaded, // idx / backends[idx]
+            Post,         // daddr write (miss)
+            NonOffloaded, // map.insert
+            Post,         // send (miss)
+        ];
+        assert_eq!(staged.assignment, expect);
+    }
+
+    #[test]
+    fn minilb_state_placements() {
+        let p = minilb();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        let map = p.state_by_name("map").unwrap();
+        let backends = p.state_by_name("backends").unwrap();
+        // The connection map is read on the switch and written on the
+        // server: replicated. The backend list is server-only.
+        assert_eq!(staged.placement_of(map), StatePlacement::Replicated);
+        assert_eq!(staged.placement_of(backends), StatePlacement::ServerOnly);
+    }
+
+    #[test]
+    fn minilb_headers_within_budget() {
+        let p = minilb();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        assert!(staged.header_to_server.check_budget(20).is_ok());
+        assert!(staged.header_to_switch.check_budget(20).is_ok());
+        // hash32 and the branch bit must cross, as in Figure 5.
+        assert!(staged.to_server_values.contains(&ValueId(2)));
+        assert!(staged.to_server_values.contains(&ValueId(7)));
+        assert!(staged.to_switch_values.contains(&ValueId(13)));
+    }
+
+    #[test]
+    fn tiny_pipeline_depth_pushes_work_to_server() {
+        let p = minilb();
+        let model = SwitchModel::tiny(3, usize::MAX / 2, 800, 20);
+        let staged = partition_program(&p, &model).unwrap();
+        // With only 3 stages, the deep chain (… mapget → isnull → branch
+        // targets) cannot all fit; fewer statements are offloaded than with
+        // the full pipeline.
+        let full = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        assert!(staged.offloaded_count() < full.offloaded_count());
+        // Still internally consistent.
+        assert!(staged.offloaded_count() + staged.server_count() == p.func.len());
+    }
+
+    #[test]
+    fn tiny_memory_evicts_map() {
+        let p = minilb();
+        // Map needs 65536 * 48 bits; give the switch less than that.
+        let model = SwitchModel::tiny(16, 1024, 800, 20);
+        let staged = partition_program(&p, &model).unwrap();
+        let map = p.state_by_name("map").unwrap();
+        assert_eq!(staged.placement_of(map), StatePlacement::ServerOnly);
+        // The map lookup is no longer offloaded.
+        assert_eq!(staged.partition_of(ValueId(6)), Partition::NonOffloaded);
+    }
+
+    #[test]
+    fn tiny_header_budget_shrinks_offload() {
+        let p = minilb();
+        // A 6-byte budget cannot fit the 3-byte preamble + 33+ bits of
+        // Figure 5 plus the key; the partitioner must retreat.
+        let model = SwitchModel::tiny(16, usize::MAX / 2, 800, 6);
+        let staged = partition_program(&p, &model).unwrap();
+        assert!(staged.header_to_server.wire_bytes() <= 6);
+        assert!(staged.header_to_switch.wire_bytes() <= 6);
+        let full = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        assert!(staged.offloaded_count() <= full.offloaded_count());
+    }
+
+    #[test]
+    fn unannotated_map_stays_on_server() {
+        let mut b = FuncBuilder::new("t");
+        let m = b.decl_map("m", vec![16], vec![32], None); // no size annotation
+        let k = b.read_field(HeaderField::SrcPort);
+        let r = b.map_get(m, vec![k]);
+        let null = b.is_null(r);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(null, t, e);
+        b.switch_to(t);
+        b.drop_pkt();
+        b.ret();
+        b.switch_to(e);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        assert_eq!(staged.partition_of(ValueId(1)), Partition::NonOffloaded);
+        assert_eq!(
+            staged.placement_of(p.state_by_name("m").unwrap()),
+            StatePlacement::ServerOnly
+        );
+    }
+
+    #[test]
+    fn fully_offloadable_program_has_empty_server() {
+        // A stateless TTL-decrementing forwarder.
+        let mut b = FuncBuilder::new("fwd");
+        let ttl = b.read_field(HeaderField::IpTtl);
+        let one = b.cnst(1, 8);
+        let newttl = b.bin(BinOp::Sub, ttl, one);
+        b.write_field(HeaderField::IpTtl, newttl);
+        b.update_checksum();
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        assert!(staged.fully_offloaded());
+        assert!(staged.to_server_values.is_empty());
+        assert!(staged.header_to_server.fields().is_empty());
+    }
+
+    #[test]
+    fn consistency_check_holds_for_all_partitions() {
+        let p = minilb();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        let dep = DepGraph::build(&p);
+        check_consistency(&p, &dep, &staged.assignment).unwrap();
+    }
+}

@@ -1,0 +1,323 @@
+//! Execution labels and the label-removing algorithm (§4.2.1).
+
+use gallium_analysis::DepGraph;
+use gallium_mir::{Program, ValueId};
+
+/// The set of partitions a statement may still be assigned to.
+///
+/// `non_off` is always a member — executing everything on the server
+/// trivially satisfies every constraint — so only `pre` and `post` are
+/// tracked and removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelSet {
+    /// May run in the pre-processing partition.
+    pub pre: bool,
+    /// May run in the post-processing partition.
+    pub post: bool,
+}
+
+impl LabelSet {
+    /// `{pre, post, non_off}` — the initial set for P4-expressible
+    /// statements.
+    pub const ALL: LabelSet = LabelSet {
+        pre: true,
+        post: true,
+    };
+    /// `{non_off}` — the initial set for everything else.
+    pub const NON_OFF_ONLY: LabelSet = LabelSet {
+        pre: false,
+        post: false,
+    };
+
+    /// May the statement be offloaded at all?
+    pub fn offloadable(&self) -> bool {
+        self.pre || self.post
+    }
+}
+
+/// Initial labels: `{pre, post, non_off}` if P4 supports the statement
+/// (§4.2.1's three conditions, realized in [`gallium_mir::Op::p4_supported`]),
+/// `{non_off}` otherwise.
+pub fn initial_labels(prog: &Program) -> Vec<LabelSet> {
+    prog.func
+        .insts
+        .iter()
+        .map(|i| {
+            if i.op.p4_supported(&prog.states) {
+                LabelSet::ALL
+            } else {
+                LabelSet::NON_OFF_ONLY
+            }
+        })
+        .collect()
+}
+
+/// Apply the five label-removing rules to a fixpoint.
+///
+/// With `S' ⇝* S` meaning "S transitively depends on S'":
+///
+/// 1. `post ∉ L(S)  ⟹ post ∉ L(S')` — if a dependency-later statement
+///    cannot run in post, nothing it depends on may run there either
+///    (post is the last stage).
+/// 2. `pre ∉ L(S') ⟹ pre ∉ L(S)` — if a dependency-earlier statement
+///    cannot run in pre, no dependent may (pre is the first stage).
+/// 3. both access the same global state ∧ `pre ∈ L(S')` ⟹ `pre ∉ L(S)`.
+/// 4. both access the same global state ∧ `post ∈ L(S)` ⟹ `post ∉ L(S')`.
+///    (3 and 4 leave at most one *pre* access and one *post* access per
+///    state on any dependency chain — the pipeline visits a table once per
+///    traversal.)
+/// 5. `S ⇝* S ⟹ L(S) = {non_off}` — loops cannot run on the switch.
+///
+/// The function mutates `labels` in place and returns the number of labels
+/// removed. The fixpoint exists because the label count is monotonically
+/// decreasing.
+pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) -> usize {
+    let n = prog.func.insts.len();
+    debug_assert_eq!(labels.len(), n);
+    let mut removed = 0usize;
+
+    // Rule 5 first: it is unconditional.
+    for v in 0..n {
+        if dep.in_loop(ValueId(v as u32)) {
+            if labels[v].pre {
+                labels[v].pre = false;
+                removed += 1;
+            }
+            if labels[v].post {
+                labels[v].post = false;
+                removed += 1;
+            }
+        }
+    }
+
+    // Precompute state-sharing pairs for rules 3/4.
+    let touches: Vec<Vec<gallium_mir::StateId>> = prog
+        .func
+        .insts
+        .iter()
+        .map(|i| {
+            let mut s = i.op.states_touched();
+            s.sort();
+            s.dedup();
+            s
+        })
+        .collect();
+    let share_state = |a: usize, b: usize| -> bool {
+        touches[a].iter().any(|s| touches[b].contains(s))
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s1 in 0..n {
+            for s2 in 0..n {
+                if s1 == s2 {
+                    continue;
+                }
+                // `s2` depends (transitively) on `s1`: S' = s1, S = s2.
+                if !dep.depends_transitively(ValueId(s1 as u32), ValueId(s2 as u32)) {
+                    continue;
+                }
+                // Rule 1.
+                if !labels[s2].post && labels[s1].post {
+                    labels[s1].post = false;
+                    removed += 1;
+                    changed = true;
+                }
+                // Rule 2.
+                if !labels[s1].pre && labels[s2].pre {
+                    labels[s2].pre = false;
+                    removed += 1;
+                    changed = true;
+                }
+                if share_state(s1, s2) {
+                    // Rule 3.
+                    if labels[s1].pre && labels[s2].pre {
+                        labels[s2].pre = false;
+                        removed += 1;
+                        changed = true;
+                    }
+                    // Rule 4.
+                    if labels[s2].post && labels[s1].post {
+                        labels[s1].post = false;
+                        removed += 1;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    /// MiniLB (§4): the worked example whose expected partitioning is
+    /// Figure 4.
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr); // v0
+        let daddr = b.read_field(HeaderField::IpDaddr); // v1
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr); // v2
+        let mask = b.cnst(0xFFFF, 32); // v3
+        let low = b.bin(BinOp::And, hash32, mask); // v4
+        let key = b.cast(low, 16); // v5
+        let res = b.map_get(map, vec![key]); // v6
+        let null = b.is_null(res); // v7
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0); // v8
+        b.write_field(HeaderField::IpDaddr, bk); // v9
+        b.send(); // v10
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends); // v11
+        let idx = b.bin(BinOp::Mod, hash32, len); // v12
+        let bk2 = b.vec_get(backends, idx); // v13
+        b.write_field(HeaderField::IpDaddr, bk2); // v14
+        b.map_put(map, vec![key], vec![bk2]); // v15
+        b.send(); // v16
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn initial_labels_follow_p4_support() {
+        let p = minilb();
+        let l = initial_labels(&p);
+        assert_eq!(l[2], LabelSet::ALL); // xor
+        assert_eq!(l[6], LabelSet::ALL); // mapget (annotated)
+        assert_eq!(l[11], LabelSet::NON_OFF_ONLY); // veclen
+        assert_eq!(l[12], LabelSet::NON_OFF_ONLY); // mod
+        assert_eq!(l[13], LabelSet::NON_OFF_ONLY); // vecget
+        assert_eq!(l[15], LabelSet::NON_OFF_ONLY); // mapput
+    }
+
+    #[test]
+    fn minilb_labels_reproduce_figure4() {
+        let p = minilb();
+        let dep = DepGraph::build(&p);
+        let mut labels = initial_labels(&p);
+        run_label_rules(&p, &dep, &mut labels);
+
+        // Entry block (pre-processing in Figure 4a): keeps pre.
+        for v in [0usize, 1, 2, 3, 4, 5, 6, 7] {
+            assert!(labels[v].pre, "v{v} should keep pre");
+        }
+        // Hit branch: extract/write/send stay offloadable (pre).
+        for v in [8usize, 9, 10] {
+            assert!(labels[v].pre, "v{v} should keep pre");
+        }
+        // Miss branch: idx/backends/insert are server-bound, and the
+        // daddr write + send that depend on them lose `pre` (rule 2) but
+        // keep `post` (Figure 4c).
+        for v in [11usize, 12, 13, 15] {
+            assert!(!labels[v].offloadable(), "v{v} must be non-offloaded");
+        }
+        assert!(!labels[14].pre && labels[14].post, "v14 is post-processing");
+        assert!(!labels[16].pre && labels[16].post, "v16 is post-processing");
+    }
+
+    #[test]
+    fn rule1_removes_post_upstream() {
+        // x -> payloadmatch-dependent write: the payload match can't be
+        // offloaded; everything it depends on loses `post`.
+        let mut b = FuncBuilder::new("t");
+        let x = b.read_field(HeaderField::IpSaddr); // v0
+        let m = b.payload_match(b"X"); // v1 (non-off only)
+        let x1 = b.cast(x, 1); // v2
+        let both = b.bin(BinOp::And, x1, m); // v3
+        let both8 = b.cast(both, 8); // v4
+        b.write_field(HeaderField::IpTtl, both8); // v5
+        b.ret();
+        let p = b.finish().unwrap();
+        let dep = DepGraph::build(&p);
+        let mut labels = initial_labels(&p);
+        run_label_rules(&p, &dep, &mut labels);
+        // v3 depends on v1 (non-off): loses pre by rule 2. v5 depends on v3.
+        assert!(!labels[3].pre && !labels[5].pre);
+        // v1 itself can never be offloaded.
+        assert!(!labels[1].offloadable());
+        // But the write can still be post-processing.
+        assert!(labels[5].post);
+    }
+
+    #[test]
+    fn rules34_single_state_access_per_chain() {
+        // Two dependent reads of the same register: reg -> w -> reg read
+        // again. Rule 3 strips pre from the later; rule 4 strips post from
+        // the earlier.
+        let mut b = FuncBuilder::new("t");
+        let r = b.decl_register("r", 32);
+        let a = b.reg_read(r); // v0
+        let one = b.cnst(1, 32); // v1
+        let c = b.bin(BinOp::Add, a, one); // v2
+        b.reg_write(r, c); // v3 — depends on v0 via state + data
+        b.ret();
+        let p = b.finish().unwrap();
+        let dep = DepGraph::build(&p);
+        let mut labels = initial_labels(&p);
+        run_label_rules(&p, &dep, &mut labels);
+        // v3 depends on v0 and shares the register: v3 loses pre (rule 3),
+        // v0 loses post (rule 4).
+        assert!(!labels[3].pre, "second access must lose pre");
+        assert!(!labels[0].post, "first access must lose post");
+        // Each keeps the other option open.
+        assert!(labels[0].pre);
+        assert!(labels[3].post);
+    }
+
+    #[test]
+    fn rule5_loops_pinned_to_server() {
+        let text = r#"
+program loopy {
+  b0:
+    v0 = const 0 : u32
+    jmp b1
+  b1:
+    v1 = phi [b0: v0, b2: v4]
+    v2 = const 10 : u32
+    v3 = lt v1, v2
+    br v3, b2, b3
+  b2:
+    v4 = add v1, v2
+    jmp b1
+  b3:
+    send
+    ret
+}
+"#;
+        let p = gallium_mir::parser::parse_program(text).unwrap();
+        let dep = DepGraph::build(&p);
+        let mut labels = initial_labels(&p);
+        run_label_rules(&p, &dep, &mut labels);
+        // v0 precedes the loop (it may keep `pre`); v1..v4 are loop-resident.
+        for v in 1..5 {
+            assert!(!labels[v].offloadable(), "v{v} is loop-resident");
+        }
+        assert!(!labels[0].post, "v0 feeds the loop, so it loses post");
+        // The send after the loop depends on nothing in it except control;
+        // it is control-dependent on v3 (loop exit) which is in the loop,
+        // so it loses pre — but post remains.
+        assert!(labels[5].post);
+    }
+
+    #[test]
+    fn fixpoint_is_stable() {
+        let p = minilb();
+        let dep = DepGraph::build(&p);
+        let mut labels = initial_labels(&p);
+        run_label_rules(&p, &dep, &mut labels);
+        let snapshot = labels.to_vec();
+        let removed_again = run_label_rules(&p, &dep, &mut labels);
+        assert_eq!(removed_again, 0);
+        assert_eq!(labels, snapshot.as_slice());
+    }
+}

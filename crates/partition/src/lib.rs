@@ -1,0 +1,38 @@
+//! # gallium-partition — program partitioning (paper §4.2)
+//!
+//! Splits a middlebox program into the three partitions of Figure 1:
+//! **pre-processing** and **post-processing** (offloaded to the switch) and
+//! the **non-offloaded** remainder (the middlebox server), in two phases
+//! exactly as the paper prescribes:
+//!
+//! 1. **Label removing** (§4.2.1) — every statement starts with
+//!    `{pre, post, non_off}` when P4 can express it, `{non_off}` otherwise,
+//!    and five rules remove labels to a fixpoint:
+//!    dependency-consistency rules (1, 2), single-access-per-state rules
+//!    (3, 4), and the loop rule (5).
+//! 2. **Resource refinement** (§4.2.2) — Constraints 1–5 (switch memory,
+//!    pipeline depth, single table access per traversal, per-packet
+//!    metadata, and the ≤ 20-byte transfer header) are enforced by moving
+//!    statements to the non-offloaded partition: distance-based trimming
+//!    for the pipeline depth, source-order trimming for memory, an
+//!    exhaustive per-state placement search for single access, and a
+//!    greedy topological-order scan for the metadata/header budgets.
+//!
+//! The output [`StagedProgram`] records the per-instruction assignment, the
+//! replication class of every global state, and the synthesized transfer
+//! headers for both boundaries (§4.3.2, Figure 5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod labels;
+pub mod model;
+pub mod staged;
+pub mod transfer;
+
+pub use driver::{partition_program, PartitionError};
+pub use labels::{initial_labels, run_label_rules, LabelSet};
+pub use model::SwitchModel;
+pub use staged::{Partition, StagedProgram, StatePlacement};
+pub use transfer::{boundary_values, BoundarySets};

@@ -1,0 +1,63 @@
+//! The abstract switch resource model (§2.2).
+
+/// Resource limits of the target programmable switch.
+///
+/// The values of [`SwitchModel::tofino_like`] follow the paper: 10–20
+/// physical match-action stages (we use a conservative depth, as the paper
+/// does in §4.2.2 footnote 3), a few tens of MBs of table SRAM, under a
+/// hundred bytes of per-packet metadata scratchpad, and a 20-byte budget
+/// for the synthesized transfer header (Constraint 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchModel {
+    /// Number of sequential pipeline stages (Constraint 2 bound).
+    pub pipeline_depth: usize,
+    /// Total stateful memory in bits (Constraint 1 bound).
+    pub memory_bits: usize,
+    /// Per-packet metadata scratchpad in bits (Constraint 4 bound).
+    pub metadata_bits: usize,
+    /// Maximum transfer-header size in bytes (Constraint 5 bound).
+    pub transfer_budget_bytes: usize,
+}
+
+impl SwitchModel {
+    /// A Tofino-class switch, matching the paper's evaluation platform.
+    pub fn tofino_like() -> Self {
+        SwitchModel {
+            pipeline_depth: 16,
+            memory_bits: 20 * 8 * 1024 * 1024 * 8, // 20 MB of SRAM
+            metadata_bits: 100 * 8,                // "< 100 bytes" (§4.3.1)
+            transfer_budget_bytes: 20,             // "We set this constraint to be 20 bytes"
+        }
+    }
+
+    /// A deliberately tiny switch for stress-testing the refinement loop.
+    pub fn tiny(depth: usize, memory_bits: usize, metadata_bits: usize, budget: usize) -> Self {
+        SwitchModel {
+            pipeline_depth: depth,
+            memory_bits,
+            metadata_bits,
+            transfer_budget_bytes: budget,
+        }
+    }
+}
+
+impl Default for SwitchModel {
+    fn default() -> Self {
+        Self::tofino_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tofino_defaults_match_paper() {
+        let m = SwitchModel::tofino_like();
+        assert_eq!(m.transfer_budget_bytes, 20);
+        assert_eq!(m.metadata_bits, 800);
+        assert!((10..=20).contains(&m.pipeline_depth));
+        assert!(m.memory_bits >= 10 * 8 * 1024 * 1024 * 8);
+        assert_eq!(SwitchModel::default(), m);
+    }
+}

@@ -1,0 +1,111 @@
+//! The partitioned ("staged") program produced by the driver.
+
+use gallium_mir::{Program, StateId, ValueId};
+use gallium_net::TransferHeaderLayout;
+
+/// The three partitions of Figure 1, ordered by pipeline position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Partition {
+    /// Runs on the switch before the server sees the packet.
+    Pre,
+    /// Runs on the middlebox server.
+    NonOffloaded,
+    /// Runs on the switch after the server is done.
+    Post,
+}
+
+impl Partition {
+    /// Is this partition executed on the switch?
+    pub fn on_switch(self) -> bool {
+        matches!(self, Partition::Pre | Partition::Post)
+    }
+}
+
+/// Where a global state lives after partitioning (§4.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatePlacement {
+    /// Accessed exclusively by offloaded statements: lives on the switch
+    /// (P4 table or register).
+    SwitchOnly,
+    /// Accessed exclusively by the server: stays in the server process.
+    ServerOnly,
+    /// Accessed by both: replicated, with all updates made by the server
+    /// and pushed through the write-back/atomic-update protocol (§4.3.3).
+    Replicated,
+    /// Never accessed (declared but unused).
+    Unused,
+}
+
+/// A fully partitioned program plus everything code generation needs.
+#[derive(Debug, Clone)]
+pub struct StagedProgram {
+    /// The original (validated) program.
+    pub prog: Program,
+    /// Partition of each instruction (indexed by [`ValueId`]).
+    pub assignment: Vec<Partition>,
+    /// Placement of each global state (indexed by [`StateId`]).
+    pub placements: Vec<StatePlacement>,
+    /// Transfer header on the switch→server hop (pre results the server or
+    /// post needs).
+    pub header_to_server: TransferHeaderLayout,
+    /// Transfer header on the server→switch hop (pre/server results post
+    /// needs).
+    pub header_to_switch: TransferHeaderLayout,
+    /// Values carried by `header_to_server`.
+    pub to_server_values: Vec<ValueId>,
+    /// Values carried by `header_to_switch`.
+    pub to_switch_values: Vec<ValueId>,
+}
+
+impl StagedProgram {
+    /// Partition of instruction `v`.
+    pub fn partition_of(&self, v: ValueId) -> Partition {
+        self.assignment[v.0 as usize]
+    }
+
+    /// Placement of state `s`.
+    pub fn placement_of(&self, s: StateId) -> StatePlacement {
+        self.placements[s.0 as usize]
+    }
+
+    /// Number of instructions assigned to switch partitions.
+    pub fn offloaded_count(&self) -> usize {
+        self.assignment.iter().filter(|p| p.on_switch()).count()
+    }
+
+    /// Number of instructions assigned to the server.
+    pub fn server_count(&self) -> usize {
+        self.assignment.len() - self.offloaded_count()
+    }
+
+    /// The canonical transfer-field name for an SSA value.
+    pub fn field_name(v: ValueId) -> String {
+        format!("v{}", v.0)
+    }
+
+    /// Does the program have any server-resident instruction at all? (If
+    /// not, every packet takes the fast path — true for the firewall and
+    /// the proxy in the paper's evaluation.)
+    pub fn fully_offloaded(&self) -> bool {
+        self.server_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_ordering_matches_pipeline() {
+        assert!(Partition::Pre < Partition::NonOffloaded);
+        assert!(Partition::NonOffloaded < Partition::Post);
+        assert!(Partition::Pre.on_switch());
+        assert!(Partition::Post.on_switch());
+        assert!(!Partition::NonOffloaded.on_switch());
+    }
+
+    #[test]
+    fn field_names_are_stable() {
+        assert_eq!(StagedProgram::field_name(ValueId(17)), "v17");
+    }
+}

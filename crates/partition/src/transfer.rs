@@ -1,0 +1,330 @@
+//! Boundary analysis and transfer-header synthesis (§4.3.2).
+//!
+//! "Gallium does a variable liveness test on the partition boundary to
+//! decide what variables need to be transferred across partition
+//! boundaries" — here realized on SSA form: a value must cross a boundary
+//! when it is *defined* in an earlier partition and *needed* by a later
+//! one, where "needed" covers both data uses and branch conditions that
+//! steer instructions of the later partition (the `bk_addr == NULL` bit of
+//! Figure 5).
+
+use crate::staged::{Partition, StagedProgram};
+use gallium_analysis::{DepGraph, DepKind};
+use gallium_mir::{Program, RtVal, Ty, ValueId};
+use gallium_net::{TransferField, TransferHeaderLayout, TransferValues};
+
+/// The two boundary value sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundarySets {
+    /// Values that must ride the switch→server header.
+    pub to_server: Vec<ValueId>,
+    /// Values that must ride the server→switch header.
+    pub to_switch: Vec<ValueId>,
+}
+
+/// Is value `v` needed by partition `x` — used as data by an instruction of
+/// `x`, or required to *navigate* to one?
+///
+/// Navigation is the subtle half: a partition's executor walks the original
+/// CFG, and every branch on the way to one of its instructions must be
+/// decidable. Block-level control dependence is therefore closed
+/// transitively (a nested branch's guard needs all enclosing guards too) —
+/// this is what puts the `bk_addr == NULL` bit of Figure 5 into *both*
+/// transfer headers.
+pub fn needed_by(
+    prog: &Program,
+    dep: &DepGraph,
+    assignment: &[Partition],
+    v: ValueId,
+    x: Partition,
+) -> bool {
+    // Data uses.
+    for (_, _, wid) in prog.func.iter_insts() {
+        if assignment[wid.0 as usize] == x && prog.func.inst(wid).op.uses().contains(&v) {
+            return true;
+        }
+    }
+    // Direct control edges out of v (covers φ steering too).
+    if dep
+        .deps_out(v)
+        .iter()
+        .any(|(t, k)| *k == DepKind::Control && assignment[t.0 as usize] == x)
+    {
+        return true;
+    }
+    // Navigation: v is the condition of some branch block B, and a block
+    // holding an x-instruction is (transitively) control-dependent on B.
+    let f = &prog.func;
+    let cfg = gallium_mir::cfg::Cfg::new(f);
+    let block_cd = cfg.control_deps(f);
+    let my_branches: Vec<gallium_mir::BlockId> = f
+        .blocks
+        .iter()
+        .filter(|b| {
+            matches!(&b.term, gallium_mir::Terminator::Branch { cond, .. } if *cond == v)
+        })
+        .map(|b| b.id)
+        .collect();
+    if my_branches.is_empty() {
+        return false;
+    }
+    for b in &f.blocks {
+        if !b
+            .insts
+            .iter()
+            .any(|w| assignment[w.0 as usize] == x)
+        {
+            continue;
+        }
+        // Transitive closure of block-level control dependence from b.
+        let mut stack = vec![b.id];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(blk) = stack.pop() {
+            if !seen.insert(blk) {
+                continue;
+            }
+            for dep_block in &block_cd[blk.0 as usize] {
+                if my_branches.contains(dep_block) {
+                    return true;
+                }
+                stack.push(*dep_block);
+            }
+        }
+    }
+    false
+}
+
+/// Compute the two boundary sets for a given assignment.
+pub fn boundary_values(prog: &Program, dep: &DepGraph, assignment: &[Partition]) -> BoundarySets {
+    let n = prog.func.insts.len();
+    let mut to_server = Vec::new();
+    let mut to_switch = Vec::new();
+    for i in 0..n {
+        let v = ValueId(i as u32);
+        if prog.func.inst(v).ty == Ty::Unit {
+            continue;
+        }
+        match assignment[i] {
+            Partition::Pre => {
+                let need_server = needed_by(prog, dep, assignment, v, Partition::NonOffloaded);
+                let need_post = needed_by(prog, dep, assignment, v, Partition::Post);
+                if need_server || need_post {
+                    to_server.push(v);
+                }
+                if need_post {
+                    to_switch.push(v);
+                }
+            }
+            Partition::NonOffloaded => {
+                if needed_by(prog, dep, assignment, v, Partition::Post) {
+                    to_switch.push(v);
+                }
+            }
+            Partition::Post => {}
+        }
+    }
+    BoundarySets {
+        to_server,
+        to_switch,
+    }
+}
+
+/// The header fields representing one SSA value. Scalars map to a single
+/// field; map-lookup results expand to a presence bit plus one field per
+/// component (mirroring how a P4 table lookup materializes hit + values in
+/// metadata).
+pub fn fields_for_value(prog: &Program, v: ValueId) -> Vec<TransferField> {
+    let name = StagedProgram::field_name(v);
+    match &prog.func.inst(v).ty {
+        Ty::Int(w) => vec![TransferField::new(name, u16::from(*w))],
+        Ty::MapResult(ws) => {
+            let mut out = vec![TransferField::new(format!("{name}.hit"), 1)];
+            for (i, w) in ws.iter().enumerate() {
+                out.push(TransferField::new(format!("{name}.{i}"), u16::from(*w)));
+            }
+            out
+        }
+        Ty::Unit => vec![],
+    }
+}
+
+/// Build the header layout carrying `values`.
+pub fn make_layout(prog: &Program, values: &[ValueId]) -> TransferHeaderLayout {
+    let mut fields = Vec::new();
+    for &v in values {
+        fields.extend(fields_for_value(prog, v));
+    }
+    TransferHeaderLayout::new(fields).expect("synthesized fields are unique and sized")
+}
+
+/// Store a runtime value into transfer values under its canonical fields.
+pub fn store_rtval(prog: &Program, vals: &mut TransferValues, v: ValueId, rt: &RtVal) {
+    let name = StagedProgram::field_name(v);
+    match rt {
+        RtVal::Int(x) => vals.set(&name, *x),
+        RtVal::MapRes(opt) => {
+            vals.set(&format!("{name}.hit"), u64::from(opt.is_some()));
+            if let Some(components) = opt {
+                for (i, c) in components.iter().enumerate() {
+                    vals.set(&format!("{name}.{i}"), *c);
+                }
+            }
+        }
+        RtVal::Unit => {}
+    }
+    let _ = prog;
+}
+
+/// Load a runtime value back out of transfer values.
+pub fn load_rtval(prog: &Program, vals: &TransferValues, v: ValueId) -> Option<RtVal> {
+    let name = StagedProgram::field_name(v);
+    match &prog.func.inst(v).ty {
+        Ty::Int(_) => vals.get(&name).map(RtVal::Int),
+        Ty::MapResult(ws) => {
+            let hit = vals.get(&format!("{name}.hit"))?;
+            if hit == 0 {
+                Some(RtVal::MapRes(None))
+            } else {
+                let mut components = Vec::with_capacity(ws.len());
+                for i in 0..ws.len() {
+                    components.push(vals.get(&format!("{name}.{i}")).unwrap_or(0));
+                }
+                Some(RtVal::MapRes(Some(components)))
+            }
+        }
+        Ty::Unit => Some(RtVal::Unit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    fn minilb() -> Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr); // v0
+        let daddr = b.read_field(HeaderField::IpDaddr); // v1
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr); // v2
+        let mask = b.cnst(0xFFFF, 32); // v3
+        let low = b.bin(BinOp::And, hash32, mask); // v4
+        let key = b.cast(low, 16); // v5
+        let res = b.map_get(map, vec![key]); // v6
+        let null = b.is_null(res); // v7
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0); // v8
+        b.write_field(HeaderField::IpDaddr, bk); // v9
+        b.send(); // v10
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends); // v11
+        let idx = b.bin(BinOp::Mod, hash32, len); // v12
+        let bk2 = b.vec_get(backends, idx); // v13
+        b.write_field(HeaderField::IpDaddr, bk2); // v14
+        b.map_put(map, vec![key], vec![bk2]); // v15
+        b.send(); // v16
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    /// The Figure 4 assignment for MiniLB, written out by hand.
+    fn figure4_assignment() -> Vec<Partition> {
+        use Partition::*;
+        vec![
+            Pre,          // v0 saddr
+            Pre,          // v1 daddr
+            Pre,          // v2 hash32
+            Pre,          // v3 const
+            Pre,          // v4 and
+            Pre,          // v5 key
+            Pre,          // v6 mapget
+            Pre,          // v7 isnull
+            Pre,          // v8 extract (hit)
+            Pre,          // v9 write daddr (hit)
+            Pre,          // v10 send (hit)
+            NonOffloaded, // v11 veclen
+            NonOffloaded, // v12 mod
+            NonOffloaded, // v13 vecget
+            Post,         // v14 write daddr (miss)
+            NonOffloaded, // v15 mapput
+            Post,         // v16 send (miss)
+        ]
+    }
+
+    #[test]
+    fn minilb_boundaries_match_figure5() {
+        let p = minilb();
+        let dep = DepGraph::build(&p);
+        let assignment = figure4_assignment();
+        let b = boundary_values(&p, &dep, &assignment);
+        // To server: hash32 (v2, used by mod) and the branch bit v7
+        // (controls the server's miss-branch statements). The key v5 also
+        // crosses (map.insert consumes it on the server).
+        assert!(b.to_server.contains(&ValueId(2)), "hash32 crosses");
+        assert!(b.to_server.contains(&ValueId(7)), "branch bit crosses");
+        assert!(b.to_server.contains(&ValueId(5)), "key crosses");
+        // To switch: backends[idx] (v13, consumed by the post write) and
+        // the branch bit again (post's statements are steered by it).
+        assert!(b.to_switch.contains(&ValueId(13)), "bk_addr crosses back");
+        assert!(b.to_switch.contains(&ValueId(7)), "branch bit crosses back");
+        // Values never needed downstream stay home.
+        assert!(!b.to_server.contains(&ValueId(0)), "saddr is consumed in pre");
+        assert!(!b.to_server.contains(&ValueId(8)), "hit-branch extract stays");
+    }
+
+    #[test]
+    fn figure5_layout_fits_budget() {
+        let p = minilb();
+        let dep = DepGraph::build(&p);
+        let assignment = figure4_assignment();
+        let b = boundary_values(&p, &dep, &assignment);
+        let l1 = make_layout(&p, &b.to_server);
+        let l2 = make_layout(&p, &b.to_switch);
+        // The paper's Figure 5 header is 33 bits of payload; ours carries
+        // the same information plus the explicit key and stays within the
+        // 20-byte Constraint-5 budget.
+        assert!(l1.check_budget(20).is_ok(), "to-server layout {} bytes", l1.wire_bytes());
+        assert!(l2.check_budget(20).is_ok(), "to-switch layout {} bytes", l2.wire_bytes());
+    }
+
+    #[test]
+    fn mapresult_fields_expand() {
+        let p = minilb();
+        let fields = fields_for_value(&p, ValueId(6));
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, "v6.hit");
+        assert_eq!(fields[0].bits, 1);
+        assert_eq!(fields[1].name, "v6.0");
+        assert_eq!(fields[1].bits, 32);
+    }
+
+    #[test]
+    fn rtval_roundtrip_through_transfer_values() {
+        let p = minilb();
+        let mut vals = TransferValues::default();
+        store_rtval(&p, &mut vals, ValueId(2), &RtVal::Int(0xDEAD));
+        assert_eq!(load_rtval(&p, &vals, ValueId(2)), Some(RtVal::Int(0xDEAD)));
+
+        store_rtval(&p, &mut vals, ValueId(6), &RtVal::MapRes(Some(vec![42])));
+        assert_eq!(
+            load_rtval(&p, &vals, ValueId(6)),
+            Some(RtVal::MapRes(Some(vec![42])))
+        );
+
+        let mut vals2 = TransferValues::default();
+        store_rtval(&p, &mut vals2, ValueId(6), &RtVal::MapRes(None));
+        assert_eq!(load_rtval(&p, &vals2, ValueId(6)), Some(RtVal::MapRes(None)));
+    }
+
+    #[test]
+    fn missing_value_loads_none() {
+        let p = minilb();
+        let vals = TransferValues::default();
+        assert_eq!(load_rtval(&p, &vals, ValueId(2)), None);
+    }
+}

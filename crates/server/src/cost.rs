@@ -1,0 +1,198 @@
+//! The x86 cycle-cost model.
+//!
+//! Both the Gallium server (executing only the non-offloaded partition) and
+//! the FastClick baseline (executing the whole program) are costed with the
+//! same per-instruction model, so every comparison in the evaluation is
+//! apples-to-apples: the *only* difference between the two systems is which
+//! instructions run on the server and how many packets reach it.
+//!
+//! Calibration targets (documented in EXPERIMENTS.md): a FastClick-style
+//! middlebox spends on the order of 1 100–1 400 cycles per packet
+//! (≈ 2 Mpps/core at 2.5 GHz), which reproduces the paper's Figure 7
+//! baseline curves; map operations dominate, matching the paper's
+//! observation that offloading a table lookup buys more than offloading an
+//! integer addition (§7).
+
+use gallium_mir::{Op, Program, ValueId};
+
+/// Per-operation cycle costs plus fixed per-packet overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// CPU frequency in Hz (cycles per second).
+    pub cpu_hz: u64,
+    /// Fixed per-packet cost: NIC descriptor handling, prefetch, Click
+    /// element graph traversal (cycles).
+    pub fixed_per_packet: u64,
+    /// Hash-map find/insert/erase (hash + probe + cache misses).
+    pub map_op: u64,
+    /// Vector index / length.
+    pub vec_op: u64,
+    /// Register (global scalar) access.
+    pub reg_op: u64,
+    /// Software hash of a handful of words.
+    pub hash_op: u64,
+    /// Packet header field read/write.
+    pub header_op: u64,
+    /// ALU / constant / cast / φ.
+    pub alu_op: u64,
+    /// Send/drop action (tx descriptor work).
+    pub action_op: u64,
+    /// Checksum recomputation.
+    pub checksum_op: u64,
+    /// Payload scan cost per byte of pattern window.
+    pub payload_scan_per_byte: u64,
+}
+
+impl CostModel {
+    /// The calibrated model used throughout the evaluation.
+    pub fn calibrated() -> Self {
+        CostModel {
+            cpu_hz: 2_500_000_000, // Intel Xeon E5-2680 @ 2.5 GHz (§6.3)
+            fixed_per_packet: 620,
+            map_op: 160,
+            vec_op: 10,
+            reg_op: 8,
+            hash_op: 45,
+            header_op: 9,
+            alu_op: 2,
+            action_op: 45,
+            checksum_op: 70,
+            payload_scan_per_byte: 2,
+        }
+    }
+
+    /// Cycles for one executed instruction.
+    pub fn op_cycles(&self, op: &Op) -> u64 {
+        match op {
+            Op::MapGet { .. } | Op::MapPut { .. } | Op::MapDel { .. } => self.map_op,
+            // Software LPM: a trie/linear walk — comparable to a map probe.
+            Op::LpmGet { .. } => self.map_op,
+            Op::VecGet { .. } | Op::VecLen { .. } => self.vec_op,
+            Op::RegRead { .. } | Op::RegWrite { .. } | Op::RegFetchAdd { .. } | Op::Now => {
+                self.reg_op
+            }
+            Op::Hash { .. } => self.hash_op,
+            Op::ReadField { .. } | Op::WriteField { .. } | Op::ReadPort => self.header_op,
+            Op::PayloadMatch { pattern } => {
+                // Linear scan of a typical payload window.
+                64 * self.payload_scan_per_byte + pattern.len() as u64
+            }
+            Op::UpdateChecksum => self.checksum_op,
+            Op::Send | Op::Drop => self.action_op,
+            Op::Const { .. }
+            | Op::Bin { .. }
+            | Op::Not { .. }
+            | Op::Cast { .. }
+            | Op::Phi { .. }
+            | Op::IsNull { .. }
+            | Op::Extract { .. } => self.alu_op,
+        }
+    }
+
+    /// Cycles to process a packet that executed `executed` instructions of
+    /// `prog` (per-packet overhead included).
+    pub fn packet_cycles(&self, prog: &Program, executed: &[ValueId]) -> u64 {
+        self.fixed_per_packet
+            + executed
+                .iter()
+                .map(|v| self.op_cycles(&prog.func.inst(*v).op))
+                .sum::<u64>()
+    }
+
+    /// Convert cycles to nanoseconds at the model's clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        cycles * 1_000_000_000 / self.cpu_hz
+    }
+
+    /// Packets per second a single core sustains at `cycles_per_packet`.
+    pub fn pps_per_core(&self, cycles_per_packet: u64) -> f64 {
+        self.cpu_hz as f64 / cycles_per_packet.max(1) as f64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField, Interpreter, StateStore};
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+
+    #[test]
+    fn map_ops_dominate_alu() {
+        let m = CostModel::calibrated();
+        assert!(m.map_op > 20 * m.alu_op);
+        assert!(m.map_op > m.hash_op);
+    }
+
+    #[test]
+    fn full_minilb_packet_lands_in_calibration_band() {
+        // A miss-path MiniLB packet should cost on the order of 1 000–1 500
+        // cycles under the calibrated model (≈ 2 Mpps/core), matching the
+        // FastClick baseline throughput the paper reports.
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        let prog = b.finish().unwrap();
+        let mut store = StateStore::new(&prog.states);
+        store
+            .vec_set_all(prog.state_by_name("backends").unwrap(), vec![1, 2, 3])
+            .unwrap();
+        let mut pkt = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 9,
+                daddr: 1,
+                sport: 1,
+                dport: 2,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::SYN),
+            100,
+        )
+        .build(PortId(0));
+        let r = Interpreter::new(&prog).run(&mut pkt, &mut store, 0).unwrap();
+        let m = CostModel::calibrated();
+        let cycles = m.packet_cycles(&prog, &r.executed);
+        assert!(
+            (900..1800).contains(&cycles),
+            "miss path cost {cycles} outside calibration band"
+        );
+        let pps = m.pps_per_core(cycles);
+        assert!(pps > 1.2e6 && pps < 3.0e6, "pps {pps}");
+    }
+
+    #[test]
+    fn cycles_to_ns_at_2_5ghz() {
+        let m = CostModel::calibrated();
+        assert_eq!(m.cycles_to_ns(2500), 1000);
+        assert_eq!(m.cycles_to_ns(0), 0);
+    }
+}

@@ -1,0 +1,633 @@
+//! The server process: decap → execute → sync → encap.
+
+use crate::cost::CostModel;
+use crate::executor::{execute_server_partition, StateUpdate};
+use gallium_mir::{
+    Interpreter, MirError, PacketAction, Program, StateId, StateMutation, StateStore,
+};
+use gallium_net::transfer::FLAG_TO_SWITCH;
+use gallium_net::{Packet, TransferValues};
+use gallium_p4::ControlPlaneOp;
+use gallium_partition::{StagedProgram, StatePlacement};
+use gallium_switchsim::FLAG_PASSTHROUGH;
+use gallium_switchsim::FLAG_RUN_POST;
+use std::collections::BTreeSet;
+
+/// Counters for the server process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Packets received from the switch.
+    pub rx: u64,
+    /// Packets that performed replicated-state updates (and were therefore
+    /// held for output commit).
+    pub committed: u64,
+    /// Total processing cycles spent.
+    pub cycles: u64,
+}
+
+/// What the server produced for one packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerOutput {
+    /// Frames to hand back to the switch, already encapsulated.
+    pub to_switch: Vec<Packet>,
+    /// Control-plane batch implementing the atomic-update protocol for
+    /// this packet's replicated-state updates (empty when none).
+    pub sync_ops: Vec<ControlPlaneOp>,
+    /// Output commit: when true, `to_switch` must not be released until
+    /// the switch has applied `sync_ops` up to and including the
+    /// visibility-bit flip.
+    pub held_for_commit: bool,
+    /// Server cycles consumed.
+    pub cycles: u64,
+}
+
+/// The Gallium middlebox server: executes the non-offloaded partition.
+#[derive(Debug)]
+pub struct MiddleboxServer {
+    staged: StagedProgram,
+    /// The server's authoritative state store.
+    pub store: StateStore,
+    cost: CostModel,
+    /// States whose switch table is a cache of the authoritative map
+    /// (§7 extension); cache misses trigger whole-program replay here.
+    cached_states: Vec<StateId>,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl MiddleboxServer {
+    /// Build a server for a compiled middlebox.
+    pub fn new(staged: StagedProgram, cost: CostModel) -> Self {
+        let store = StateStore::new(&staged.prog.states);
+        MiddleboxServer {
+            staged,
+            store,
+            cost,
+            cached_states: Vec::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Mark `states` as switch-cached (their misses replay here and their
+    /// hits get installed into the switch cache).
+    pub fn set_cached_states(&mut self, states: Vec<StateId>) {
+        self.cached_states = states;
+    }
+
+    /// The states marked as switch-cached.
+    pub fn cached_states(&self) -> &[StateId] {
+        &self.cached_states
+    }
+
+    /// The staged program this server executes.
+    pub fn staged(&self) -> &StagedProgram {
+        &self.staged
+    }
+
+    /// Process one encapsulated frame arriving from the switch.
+    pub fn process(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, MirError> {
+        self.stats.rx += 1;
+        let (flags, in_values) = self
+            .staged
+            .header_to_server
+            .detach(&mut pkt)
+            .map_err(|e| MirError::Fault(format!("decapsulation failed: {e}")))?;
+        if flags & gallium_switchsim::FLAG_CACHE_MISS != 0 {
+            return self.process_replay(pkt, now_ns);
+        }
+
+        let exec = execute_server_partition(
+            &self.staged,
+            &mut self.store,
+            &mut pkt,
+            &in_values,
+            now_ns,
+        )?;
+        let cycles = self.cost.packet_cycles(&self.staged.prog, &exec.executed)
+            // Encap/decap and header parsing on the server.
+            + 2 * self.cost.header_op
+            + self.cost.fixed_per_packet / 4;
+        self.stats.cycles += cycles;
+
+        let sync_ops = self.sync_ops_for(&exec);
+        let held_for_commit = !sync_ops.is_empty();
+        if held_for_commit {
+            self.stats.committed += 1;
+        }
+
+        let mut to_switch = Vec::new();
+        // Server-side emissions travel as pass-through frames.
+        for mut snapshot in exec.emissions {
+            self.staged
+                .header_to_switch
+                .attach(
+                    &mut snapshot,
+                    FLAG_TO_SWITCH | FLAG_PASSTHROUGH,
+                    &TransferValues::default(),
+                )
+                .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+            to_switch.push(snapshot);
+        }
+        // The working packet continues to post-processing unless dropped.
+        if !exec.dropped {
+            self.staged
+                .header_to_switch
+                .attach(&mut pkt, FLAG_TO_SWITCH | FLAG_RUN_POST, &exec.out_values)
+                .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+            to_switch.push(pkt);
+        }
+
+        Ok(ServerOutput {
+            to_switch,
+            sync_ops,
+            held_for_commit,
+            cycles,
+        })
+    }
+
+    /// Handle a cached-table miss (§7 extension): the pre-processing
+    /// result is void — the switch cache is inconclusive — so the server
+    /// replays the *entire* program against its authoritative state, emits
+    /// the program's outputs itself (as pass-through frames), pushes any
+    /// replicated-state updates through the write-back protocol, and
+    /// installs the queried entry into the switch cache.
+    fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, MirError> {
+        let prog = self.staged.prog.clone();
+        let r = Interpreter::new(&prog).run(&mut pkt, &mut self.store, now_ns)?;
+        let cycles = self.cost.packet_cycles(&prog, &r.executed)
+            + 2 * self.cost.header_op
+            + self.cost.fixed_per_packet / 4;
+        self.stats.cycles += cycles;
+
+        // Replicated updates follow the usual protocol; cache fills for the
+        // queried keys ride along after the fold.
+        let mut updates = Vec::new();
+        let mut fills: Vec<ControlPlaneOp> = Vec::new();
+        for m in &r.mutations {
+            match m {
+                StateMutation::MapPut { state, key, value }
+                    if self.is_synced(*state) =>
+                {
+                    updates.push(StateUpdate::MapPut {
+                        state: *state,
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
+                }
+                StateMutation::MapDel { state, key } if self.is_synced(*state) => {
+                    updates.push(StateUpdate::MapDel {
+                        state: *state,
+                        key: key.clone(),
+                    });
+                }
+                StateMutation::RegSet { state, value } if self.is_synced(*state) => {
+                    updates.push(StateUpdate::RegSet {
+                        state: *state,
+                        value: *value,
+                    });
+                }
+                StateMutation::MapQueried { state, key, hit }
+                    if *hit && self.cached_states.contains(state) =>
+                {
+                    // Cache fill: install the entry the packet needed.
+                    if let Ok(Some(value)) = self.store.map_get(*state, key) {
+                        fills.push(ControlPlaneOp::TableInsert {
+                            table: self.staged.prog.states[state.0 as usize].name.clone(),
+                            key: key.clone(),
+                            value,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut sync_ops = self.sync_ops_for_updates(&updates);
+        sync_ops.extend(fills);
+        let held_for_commit = !sync_ops.is_empty();
+        if held_for_commit {
+            self.stats.committed += 1;
+        }
+
+        // The replay produced the program's emissions directly; the switch
+        // just forwards them (no post traversal).
+        let mut to_switch = Vec::new();
+        for action in r.actions {
+            if let PacketAction::Send(mut snapshot) = action {
+                self.staged
+                    .header_to_switch
+                    .attach(
+                        &mut snapshot,
+                        FLAG_TO_SWITCH | FLAG_PASSTHROUGH,
+                        &TransferValues::default(),
+                    )
+                    .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+                to_switch.push(snapshot);
+            }
+        }
+        Ok(ServerOutput {
+            to_switch,
+            sync_ops,
+            held_for_commit,
+            cycles,
+        })
+    }
+
+    /// Should updates to `state` be pushed to the switch?
+    fn is_synced(&self, state: StateId) -> bool {
+        self.staged.placement_of(state) == StatePlacement::Replicated
+            || self.cached_states.contains(&state)
+    }
+
+    /// Build the atomic-update batch of §4.3.3 for a packet's replicated
+    /// updates: stage everything in the write-back shadows, flip the
+    /// visibility bit, fold into the main tables, flip back, clear.
+    fn sync_ops_for(&self, exec: &crate::executor::ServerExec) -> Vec<ControlPlaneOp> {
+        self.sync_ops_for_updates(&exec.replicated_updates)
+    }
+
+    /// The write-back batch for an explicit update list.
+    fn sync_ops_for_updates(&self, replicated_updates: &[StateUpdate]) -> Vec<ControlPlaneOp> {
+        if replicated_updates.is_empty() {
+            return vec![];
+        }
+        let state_name =
+            |s: gallium_mir::StateId| self.staged.prog.states[s.0 as usize].name.clone();
+        let mut ops = Vec::new();
+        let mut touched_tables: BTreeSet<String> = BTreeSet::new();
+
+        // Phase 1: stage in write-back shadows.
+        for u in replicated_updates {
+            match u {
+                StateUpdate::MapPut { state, key, value } => {
+                    let t = state_name(*state);
+                    touched_tables.insert(t.clone());
+                    ops.push(ControlPlaneOp::WriteBackStage {
+                        table: t,
+                        key: key.clone(),
+                        value: Some(value.clone()),
+                    });
+                }
+                StateUpdate::MapDel { state, key } => {
+                    let t = state_name(*state);
+                    touched_tables.insert(t.clone());
+                    ops.push(ControlPlaneOp::WriteBackStage {
+                        table: t,
+                        key: key.clone(),
+                        value: None,
+                    });
+                }
+                StateUpdate::RegSet { .. } => {}
+            }
+        }
+        // Phase 2: one atomic flip makes the batch visible.
+        ops.push(ControlPlaneOp::SetWriteBackBit(true));
+        // Registers have no shadow; they are single-word writes applied at
+        // the visibility point.
+        for u in replicated_updates {
+            if let StateUpdate::RegSet { state, value } = u {
+                ops.push(ControlPlaneOp::RegisterSet {
+                    register: state_name(*state),
+                    value: *value,
+                });
+            }
+        }
+        // Phase 3: fold into the main tables.
+        for u in replicated_updates {
+            match u {
+                StateUpdate::MapPut { state, key, value } => {
+                    ops.push(ControlPlaneOp::TableInsert {
+                        table: state_name(*state),
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
+                }
+                StateUpdate::MapDel { state, key } => {
+                    ops.push(ControlPlaneOp::TableDelete {
+                        table: state_name(*state),
+                        key: key.clone(),
+                    });
+                }
+                StateUpdate::RegSet { .. } => {}
+            }
+        }
+        // Phase 4: hide the shadows again and clear them.
+        ops.push(ControlPlaneOp::SetWriteBackBit(false));
+        for t in touched_tables {
+            ops.push(ControlPlaneOp::WriteBackClear { table: t });
+        }
+        ops
+    }
+
+    /// Configuration-time access to replicated/server state (installing
+    /// backend lists, firewall rules, …).
+    pub fn store_mut(&mut self) -> &mut StateStore {
+        &mut self.store
+    }
+
+    /// Initial control-plane programming: push the current contents of
+    /// every replicated map/register to the switch (used after
+    /// configuration, before traffic).
+    pub fn initial_sync(&self) -> Vec<ControlPlaneOp> {
+        let mut ops = Vec::new();
+        for (i, st) in self.staged.prog.states.iter().enumerate() {
+            let sid = gallium_mir::StateId(i as u32);
+            if !matches!(
+                self.staged.placement_of(sid),
+                StatePlacement::Replicated | StatePlacement::SwitchOnly
+            ) {
+                continue;
+            }
+            match st.kind {
+                gallium_mir::StateKind::Map { .. } => {
+                    if let Ok(entries) = self.store.map_entries(sid) {
+                        for (k, v) in entries {
+                            ops.push(ControlPlaneOp::TableInsert {
+                                table: st.name.clone(),
+                                key: k,
+                                value: v,
+                            });
+                        }
+                    }
+                }
+                gallium_mir::StateKind::Register { .. } => {
+                    if let Ok(v) = self.store.reg_read(sid) {
+                        ops.push(ControlPlaneOp::RegisterSet {
+                            register: st.name.clone(),
+                            value: v,
+                        });
+                    }
+                }
+                gallium_mir::StateKind::Vector { .. } => {}
+                gallium_mir::StateKind::LpmMap { .. } => {
+                    if let Ok(entries) = self.store.lpm_entries(sid) {
+                        for (prefix, len, value) in entries {
+                            ops.push(ControlPlaneOp::LpmInsert {
+                                table: st.name.clone(),
+                                prefix,
+                                prefix_len: len,
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        ops
+    }
+}
+
+/// The FastClick baseline: the *unpartitioned* program running on the
+/// server, costed with the same model. Used for every "Click-Nc" series in
+/// the evaluation and as the functional-equivalence oracle.
+#[derive(Debug)]
+pub struct ReferenceServer {
+    prog: Program,
+    /// The reference state store.
+    pub store: StateStore,
+    cost: CostModel,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl ReferenceServer {
+    /// Build a baseline server for the input program.
+    pub fn new(prog: Program, cost: CostModel) -> Self {
+        let store = StateStore::new(&prog.states);
+        ReferenceServer {
+            prog,
+            store,
+            cost,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The program.
+    pub fn program(&self) -> &Program {
+        &self.prog
+    }
+
+    /// Process one plain packet; returns emitted packets and the cycles
+    /// spent.
+    pub fn process(
+        &mut self,
+        mut pkt: Packet,
+        now_ns: u64,
+    ) -> Result<(Vec<Packet>, u64), MirError> {
+        self.stats.rx += 1;
+        let r = Interpreter::new(&self.prog).run(&mut pkt, &mut self.store, now_ns)?;
+        let cycles = self.cost.packet_cycles(&self.prog, &r.executed);
+        self.stats.cycles += cycles;
+        let out = r
+            .actions
+            .into_iter()
+            .filter_map(|a| match a {
+                PacketAction::Send(p) => Some(p),
+                PacketAction::Drop => None,
+            })
+            .collect();
+        Ok((out, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+    use gallium_net::transfer::FLAG_TO_SERVER;
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
+    use gallium_partition::{partition_program, SwitchModel};
+
+    fn minilb_staged() -> StagedProgram {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        partition_program(&p, &SwitchModel::tofino_like()).unwrap()
+    }
+
+    fn encapsulated_miss_packet(staged: &StagedProgram) -> Packet {
+        let mut pkt = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A000001,
+                daddr: 0x0A000099,
+                sport: 1,
+                dport: 2,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::SYN),
+            100,
+        )
+        .build(PortId::SERVER);
+        let hash32 = 0x0A000001u64 ^ 0x0A000099;
+        let mut vals = TransferValues::default();
+        vals.set("v7", 1);
+        vals.set("v2", hash32);
+        vals.set("v5", hash32 & 0xFFFF);
+        staged
+            .header_to_server
+            .attach(&mut pkt, FLAG_TO_SERVER, &vals)
+            .unwrap();
+        pkt
+    }
+
+    #[test]
+    fn miss_packet_produces_sync_batch_and_post_frame() {
+        let staged = minilb_staged();
+        let mut server = MiddleboxServer::new(staged.clone(), CostModel::calibrated());
+        server
+            .store_mut()
+            .vec_set_all(
+                staged.prog.state_by_name("backends").unwrap(),
+                vec![0xC0A80001, 0xC0A80002],
+            )
+            .unwrap();
+        let out = server
+            .process(encapsulated_miss_packet(&staged), 0)
+            .unwrap();
+        assert!(out.held_for_commit);
+        assert_eq!(out.to_switch.len(), 1);
+        // Sync batch shape: stage, bit on, fold, bit off, clear.
+        use ControlPlaneOp::*;
+        assert!(matches!(out.sync_ops[0], WriteBackStage { .. }));
+        assert!(matches!(out.sync_ops[1], SetWriteBackBit(true)));
+        assert!(matches!(out.sync_ops[2], TableInsert { .. }));
+        assert!(matches!(out.sync_ops[3], SetWriteBackBit(false)));
+        assert!(matches!(out.sync_ops[4], WriteBackClear { .. }));
+        assert_eq!(out.sync_ops.len(), 5);
+        assert!(out.cycles > 0);
+        assert_eq!(server.stats.committed, 1);
+    }
+
+    #[test]
+    fn second_packet_of_flow_makes_no_updates() {
+        let staged = minilb_staged();
+        let mut server = MiddleboxServer::new(staged.clone(), CostModel::calibrated());
+        server
+            .store_mut()
+            .vec_set_all(
+                staged.prog.state_by_name("backends").unwrap(),
+                vec![0xC0A80001],
+            )
+            .unwrap();
+        // First packet inserts; replay with the *hit* bit cleared — the
+        // switch would have handled it, but even a stale forward makes no
+        // further updates because the hit arm has no server statements.
+        let out1 = server
+            .process(encapsulated_miss_packet(&staged), 0)
+            .unwrap();
+        assert!(out1.held_for_commit);
+        let mut pkt = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A000001,
+                daddr: 0x0A000099,
+                sport: 1,
+                dport: 2,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            100,
+        )
+        .build(PortId::SERVER);
+        let mut vals = TransferValues::default();
+        vals.set("v7", 0); // hit
+        vals.set("v2", 0);
+        vals.set("v5", 0);
+        staged
+            .header_to_server
+            .attach(&mut pkt, FLAG_TO_SERVER, &vals)
+            .unwrap();
+        let out2 = server.process(pkt, 1).unwrap();
+        assert!(!out2.held_for_commit);
+        assert!(out2.sync_ops.is_empty());
+    }
+
+    #[test]
+    fn initial_sync_pushes_preinstalled_entries() {
+        let staged = minilb_staged();
+        let mut server = MiddleboxServer::new(staged.clone(), CostModel::calibrated());
+        let map = staged.prog.state_by_name("map").unwrap();
+        server.store_mut().map_put(map, vec![7], vec![70]).unwrap();
+        let ops = server.initial_sync();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            &ops[0],
+            ControlPlaneOp::TableInsert { table, key, value }
+                if table == "map" && key == &vec![7] && value == &vec![70]
+        ));
+    }
+
+    #[test]
+    fn reference_server_runs_whole_program() {
+        let staged = minilb_staged();
+        let mut reference =
+            ReferenceServer::new(staged.prog.clone(), CostModel::calibrated());
+        reference
+            .store
+            .vec_set_all(
+                staged.prog.state_by_name("backends").unwrap(),
+                vec![0xC0A80001],
+            )
+            .unwrap();
+        let pkt = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 3,
+                dport: 4,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::SYN),
+            100,
+        )
+        .build(PortId(0));
+        let (out, cycles) = reference.process(pkt, 0).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(cycles > CostModel::calibrated().fixed_per_packet);
+        // The baseline pays the full map cost on every packet.
+        let map = staged.prog.state_by_name("map").unwrap();
+        assert_eq!(reference.store.map_len(map).unwrap(), 1);
+    }
+
+    #[test]
+    fn malformed_frame_rejected() {
+        let staged = minilb_staged();
+        let mut server = MiddleboxServer::new(staged, CostModel::calibrated());
+        let pkt = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 1,
+                daddr: 2,
+                sport: 3,
+                dport: 4,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags::default(),
+            100,
+        )
+        .build(PortId::SERVER);
+        assert!(server.process(pkt, 0).is_err());
+    }
+}

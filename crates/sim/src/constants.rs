@@ -1,0 +1,87 @@
+//! Testbed latency/bandwidth model, calibrated to the paper.
+//!
+//! Calibration targets (see EXPERIMENTS.md):
+//!
+//! * Table 2, Gallium row: ≈ 15.9 µs end-to-end TCP latency. Our fast
+//!   path is `2 × host_stack + switch + 2 × (prop + serialization)`
+//!   ≈ 2 × 7 300 + 600 + 2 × (100 + ~120) ≈ 15.6–15.9 µs.
+//! * Table 2, FastClick row: ≈ 22.5 µs — adds the middlebox-server
+//!   detour: `2 × (prop + serialization) + 2 × server_nic + service`
+//!   ≈ 440 + 5 600 + ~500 ≈ +6.6 µs.
+//! * Link rate 100 Gbps (ConnectX-4 / Tofino ports).
+
+/// Fixed latency and bandwidth parameters of the simulated testbed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestbedModel {
+    /// Link bandwidth in bits/s (all links; 100 GbE).
+    pub link_bw_bps: f64,
+    /// End-host kernel/NIC stack latency per direction, ns.
+    pub host_stack_ns: u64,
+    /// Switch pipeline traversal latency, ns.
+    pub switch_ns: u64,
+    /// Middlebox-server NIC+PCIe+driver latency per direction, ns.
+    pub server_nic_ns: u64,
+    /// Per-link propagation delay, ns.
+    pub prop_ns: u64,
+    /// Middlebox-server CPU frequency, Hz.
+    pub cpu_hz: f64,
+}
+
+impl TestbedModel {
+    /// The calibrated testbed.
+    pub fn calibrated() -> Self {
+        TestbedModel {
+            link_bw_bps: 100e9,
+            host_stack_ns: 7_300,
+            switch_ns: 600,
+            server_nic_ns: 2_800,
+            prop_ns: 100,
+            cpu_hz: 2.5e9,
+        }
+    }
+
+    /// Serialization delay of `bytes` on a link, ns.
+    pub fn ser_ns(&self, bytes: usize) -> u64 {
+        ((bytes as f64) * 8.0 / self.link_bw_bps * 1e9).ceil() as u64
+    }
+
+    /// Convert server cycles to ns.
+    pub fn cycles_ns(&self, cycles: u64) -> u64 {
+        ((cycles as f64) / self.cpu_hz * 1e9).ceil() as u64
+    }
+}
+
+impl Default for TestbedModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_at_100g() {
+        let m = TestbedModel::calibrated();
+        assert_eq!(m.ser_ns(1500), 120);
+        assert_eq!(m.ser_ns(100), 8);
+        assert_eq!(m.ser_ns(0), 0);
+    }
+
+    #[test]
+    fn fast_path_sums_near_table2() {
+        let m = TestbedModel::calibrated();
+        let fast = 2 * m.host_stack_ns + m.switch_ns + 2 * (m.prop_ns + m.ser_ns(1500));
+        assert!(
+            (15_000..=16_500).contains(&fast),
+            "fast path {fast} ns vs paper ≈ 15.9 µs"
+        );
+    }
+
+    #[test]
+    fn cycles_conversion() {
+        let m = TestbedModel::calibrated();
+        assert_eq!(m.cycles_ns(2500), 1000);
+    }
+}

@@ -1,0 +1,502 @@
+//! The event-driven flow simulator.
+//!
+//! Ack-clocked fixed-window TCP flows traverse the testbed; every shared
+//! element (host uplinks/downlinks, the switch↔server link, the server
+//! cores) is a FIFO resource with a `next-free` horizon, so contention and
+//! queueing emerge naturally. The middlebox itself is represented by the
+//! measured [`MbProfile`]: the class of each packet
+//! decides whether it pays the server detour (and the output-commit hold)
+//! in offloaded mode, or which core serves it in FastClick mode.
+
+use crate::constants::TestbedModel;
+use crate::metrics::Measurements;
+use crate::profile::{MbProfile, PktClass};
+use gallium_workloads::FlowDesc;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Middlebox arrangement under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Gallium: switch + single-core server for the slow path.
+    Offloaded,
+    /// FastClick baseline on `cores` cores (RSS by flow hash).
+    Click {
+        /// Number of server cores.
+        cores: usize,
+    },
+}
+
+impl Mode {
+    /// Label used in figures ("Offloaded", "Click-4c", …).
+    pub fn label(self) -> String {
+        match self {
+            Mode::Offloaded => "Offloaded".to_string(),
+            Mode::Click { cores } => format!("Click-{cores}c"),
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Arrangement under test.
+    pub mode: Mode,
+    /// Measured middlebox profile.
+    pub profile: MbProfile,
+    /// Testbed latency model.
+    pub model: TestbedModel,
+    /// Sender window in packets (ack-clocked).
+    pub window_pkts: u64,
+    /// Delayed-ack factor (one ack per N data packets).
+    pub ack_every: u64,
+    /// Stop injecting new data after this simulated time (ns); in-flight
+    /// traffic drains. `u64::MAX` = run the workload to completion.
+    pub stop_at_ns: u64,
+    /// Measurement-window start (ns) for throughput accounting.
+    pub warmup_ns: u64,
+    /// Deterministic per-packet jitter amplitude (ns), modelling host
+    /// scheduling noise. 0 disables.
+    pub jitter_ns: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Reasonable defaults for a profile/mode pair.
+    pub fn new(mode: Mode, profile: MbProfile) -> Self {
+        SimConfig {
+            mode,
+            profile,
+            model: TestbedModel::calibrated(),
+            window_pkts: 64,
+            ack_every: 2,
+            stop_at_ns: u64::MAX,
+            warmup_ns: 0,
+            jitter_ns: 150,
+            seed: 1,
+        }
+    }
+}
+
+/// A FIFO resource (link or core).
+#[derive(Debug, Clone, Copy, Default)]
+struct Resource {
+    free_at: u64,
+    busy_ns: u64,
+}
+
+impl Resource {
+    /// Occupy for `dur` starting no earlier than `earliest`; returns the
+    /// completion time.
+    fn reserve(&mut self, earliest: u64, dur: u64) -> u64 {
+        let start = self.free_at.max(earliest);
+        self.free_at = start + dur;
+        self.busy_ns += dur;
+        self.free_at
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvKind {
+    /// Forward-path packet reaches the receiver.
+    Deliver { flow: usize, class: PktClass, last: bool },
+    /// Reverse-path ack reaches the sender; `acked` = cumulative data acked.
+    AckArrive { flow: usize, acked: u64, fin: bool, syn: bool },
+    /// Closed-loop worker starts its next flow.
+    WorkerNext { worker: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ev {
+    at: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    desc: FlowDesc,
+    data_total: u64,
+    sent: u64,
+    acked: u64,
+    delivered: u64,
+    started_at: u64,
+    fin_sent: bool,
+    done: bool,
+}
+
+/// The simulator.
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    flows: Vec<FlowState>,
+    worker_queues: Vec<Vec<usize>>, // flow indices, reversed (pop from back)
+    // Resources.
+    snd_up: Resource,
+    snd_down: Resource,
+    rcv_up: Resource,
+    rcv_down: Resource,
+    server_in: Resource,
+    server_out: Resource,
+    cores: Vec<Resource>,
+    /// Collected measurements.
+    pub metrics: Measurements,
+    jitter_state: u64,
+}
+
+impl Simulator {
+    /// Build a simulator over `flows` (grouped by their `worker` field).
+    pub fn new(cfg: SimConfig, flows: Vec<FlowDesc>) -> Self {
+        let cores = match cfg.mode {
+            Mode::Offloaded => 1,
+            Mode::Click { cores } => cores.max(1),
+        };
+        let n_workers = flows.iter().map(|f| f.worker).max().map_or(0, |w| w + 1);
+        let mut worker_queues: Vec<Vec<usize>> = vec![Vec::new(); n_workers];
+        let mut states = Vec::with_capacity(flows.len());
+        for (i, desc) in flows.into_iter().enumerate() {
+            worker_queues[desc.worker].push(i);
+            states.push(FlowState {
+                data_total: desc.data_packets(),
+                desc,
+                sent: 0,
+                acked: 0,
+                delivered: 0,
+                started_at: 0,
+                fin_sent: false,
+                done: false,
+            });
+        }
+        for q in &mut worker_queues {
+            q.reverse(); // pop() yields flows in order
+        }
+        let mut sim = Simulator {
+            cfg,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            flows: states,
+            worker_queues,
+            snd_up: Resource::default(),
+            snd_down: Resource::default(),
+            rcv_up: Resource::default(),
+            rcv_down: Resource::default(),
+            server_in: Resource::default(),
+            server_out: Resource::default(),
+            cores: vec![Resource::default(); cores],
+            metrics: Measurements::default(),
+            jitter_state: 0,
+        };
+        sim.jitter_state = sim.cfg.seed | 1;
+        for w in 0..sim.worker_queues.len() {
+            sim.push(0, EvKind::WorkerNext { worker: w });
+        }
+        sim
+    }
+
+    fn push(&mut self, at: u64, kind: EvKind) {
+        self.seq += 1;
+        let seq = self.seq;
+        self.heap.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    fn jitter(&mut self) -> u64 {
+        if self.cfg.jitter_ns == 0 {
+            return 0;
+        }
+        // xorshift64* — deterministic, cheap.
+        let mut x = self.jitter_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.jitter_state = x;
+        (x.wrapping_mul(0x2545F4914F6CDD1D) >> 33) % self.cfg.jitter_ns
+    }
+
+    /// Middlebox traversal (switch + optional server detour) for a packet
+    /// entering the switch at `t`. Returns the time it leaves the switch
+    /// toward its destination.
+    fn middlebox(&mut self, t: u64, class: PktClass, frame: usize) -> u64 {
+        let m = self.cfg.model;
+        let p = self.cfg.profile.class(class);
+        let mut t = t + m.switch_ns;
+        let (slow, cycles, sync_ns) = match self.cfg.mode {
+            Mode::Offloaded => {
+                if p.bypass {
+                    // The switch routes this class directly (e.g. DSR).
+                    return t;
+                }
+                (!p.fast, p.server_cycles, p.sync_ns)
+            }
+            // Baseline: the switch is configured to push *everything*
+            // through the FastClick server (§6.3).
+            Mode::Click { .. } => (true, p.click_cycles, 0),
+        };
+        if slow {
+            self.metrics.slow_path_pkts += 1;
+            let ser = m.ser_ns(frame);
+            t = self.server_in.reserve(t, ser) + m.prop_ns + m.server_nic_ns;
+            let core = self.pick_core(class);
+            let service = m.cycles_ns(cycles);
+            t = self.cores[core].reserve(t, service);
+            // Output commit: the packet is buffered until the switch has
+            // applied the state updates.
+            t += sync_ns;
+            t = self.server_out.reserve(t + m.server_nic_ns, ser) + m.prop_ns + m.switch_ns;
+        }
+        self.metrics.mb_pkts += 1;
+        t
+    }
+
+    fn pick_core(&mut self, _class: PktClass) -> usize {
+        if self.cores.len() == 1 {
+            return 0;
+        }
+        // RSS: data and reverse-direction acks hash independently (RSS on
+        // the reverse tuple lands on a different core), so a rotating hash
+        // models the steady-state spread.
+        let x = self
+            .jitter_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.jitter_state = x;
+        (x >> 33) as usize % self.cores.len()
+    }
+
+    /// Send one forward-path packet at `t_send`; schedules its delivery.
+    fn send_forward(&mut self, flow: usize, class: PktClass, t_send: u64, last: bool) {
+        let m = self.cfg.model;
+        let frame = match class {
+            PktClass::Data => self.flows[flow].desc.frame_len,
+            _ => 64,
+        };
+        let jit = self.jitter();
+        let mut t = t_send + m.host_stack_ns + jit;
+        t = self.snd_up.reserve(t, m.ser_ns(frame)) + m.prop_ns;
+        t = self.middlebox(t, class, frame);
+        t = self.rcv_down.reserve(t, m.ser_ns(frame)) + m.prop_ns + m.host_stack_ns;
+        if class == PktClass::Data {
+            self.metrics
+                .record_delivery(t, frame as u64, self.cfg.warmup_ns, self.cfg.stop_at_ns);
+        }
+        self.push(t, EvKind::Deliver { flow, class, last });
+    }
+
+    /// Send a reverse-path ack at `t`; schedules its arrival at the sender.
+    fn send_ack(&mut self, flow: usize, acked: u64, t: u64, fin: bool, syn: bool) {
+        let m = self.cfg.model;
+        let frame = 64;
+        let jit = self.jitter();
+        let mut t = t + m.host_stack_ns + jit;
+        t = self.rcv_up.reserve(t, m.ser_ns(frame)) + m.prop_ns;
+        t = self.middlebox(t, PktClass::Ack, frame);
+        t = self.snd_down.reserve(t, m.ser_ns(frame)) + m.prop_ns + m.host_stack_ns;
+        self.push(t, EvKind::AckArrive { flow, acked, fin, syn });
+    }
+
+    /// Pump the sender window of `flow` at time `now`.
+    fn pump(&mut self, flow: usize, now: u64) {
+        if now >= self.cfg.stop_at_ns {
+            return;
+        }
+        loop {
+            let f = &self.flows[flow];
+            if f.done || f.fin_sent {
+                return;
+            }
+            let in_flight = f.sent - f.acked;
+            if f.sent < f.data_total && in_flight < self.cfg.window_pkts {
+                let last = f.sent + 1 == f.data_total;
+                self.flows[flow].sent += 1;
+                self.send_forward(flow, PktClass::Data, now, last);
+            } else if f.sent == f.data_total && f.acked == f.data_total {
+                self.flows[flow].fin_sent = true;
+                self.send_forward(flow, PktClass::Fin, now, true);
+                return;
+            } else {
+                return;
+            }
+        }
+    }
+
+    /// Run to completion (or until only post-`stop_at` work remains).
+    pub fn run(&mut self) {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            let now = ev.at;
+            match ev.kind {
+                EvKind::WorkerNext { worker } => {
+                    if now >= self.cfg.stop_at_ns {
+                        continue;
+                    }
+                    if let Some(flow) = self.worker_queues[worker].pop() {
+                        self.flows[flow].started_at = now;
+                        self.send_forward(flow, PktClass::Syn, now, false);
+                    }
+                }
+                EvKind::Deliver { flow, class, last } => match class {
+                    PktClass::Syn => {
+                        self.send_ack(flow, 0, now, false, true);
+                    }
+                    PktClass::Data => {
+                        self.flows[flow].delivered += 1;
+                        let d = self.flows[flow].delivered;
+                        if last || d % self.cfg.ack_every == 0 {
+                            self.send_ack(flow, d, now, false, false);
+                        }
+                    }
+                    PktClass::Fin => {
+                        let d = self.flows[flow].delivered;
+                        self.send_ack(flow, d, now, true, false);
+                    }
+                    PktClass::Ack => unreachable!("acks travel the reverse path"),
+                },
+                EvKind::AckArrive { flow, acked, fin, syn } => {
+                    if syn {
+                        self.pump(flow, now);
+                        continue;
+                    }
+                    if fin {
+                        let f = &mut self.flows[flow];
+                        if !f.done {
+                            f.done = true;
+                            let fct = now - f.started_at;
+                            let bytes = f.desc.bytes;
+                            let worker = f.desc.worker;
+                            self.metrics.record_fct(bytes, fct);
+                            self.push(now, EvKind::WorkerNext { worker });
+                        }
+                        continue;
+                    }
+                    let f = &mut self.flows[flow];
+                    f.acked = f.acked.max(acked);
+                    self.pump(flow, now);
+                }
+            }
+        }
+        self.metrics.core_busy_ns = self.cores.iter().map(|c| c.busy_ns).collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{ClassProfile, MbKind};
+    use gallium_workloads::{microbench_flows, WorkerSchedule};
+
+    /// A synthetic profile: everything fast in offloaded mode, 1500
+    /// cycles/packet in click mode.
+    fn fast_profile() -> MbProfile {
+        let c = ClassProfile {
+            fast: true,
+            server_cycles: 0,
+            sync_ns: 0,
+            click_cycles: 1500,
+            bypass: false,
+        };
+        MbProfile {
+            kind: MbKind::Firewall,
+            syn: c,
+            data: c,
+            fin: c,
+            ack: c,
+        }
+    }
+
+    fn run(mode: Mode, frame: usize, stop_ms: u64) -> Measurements {
+        let flows = microbench_flows(10, frame, u64::MAX / 4);
+        let mut cfg = SimConfig::new(mode, fast_profile());
+        cfg.stop_at_ns = stop_ms * 1_000_000;
+        cfg.warmup_ns = cfg.stop_at_ns / 5;
+        let mut sim = Simulator::new(cfg, flows);
+        sim.run();
+        sim.metrics
+    }
+
+    #[test]
+    fn offloaded_saturates_link_at_1500() {
+        let m = run(Mode::Offloaded, 1500, 4);
+        let gbps = m.throughput_gbps();
+        assert!(
+            (80.0..=101.0).contains(&gbps),
+            "offloaded 1500B throughput {gbps} Gbps"
+        );
+    }
+
+    #[test]
+    fn click_single_core_is_cpu_bound() {
+        let m = run(Mode::Click { cores: 1 }, 1500, 4);
+        let gbps = m.throughput_gbps();
+        // 1 500 cycles/pkt at 2.5 GHz ≈ 1.67 Mpps; data share with acks
+        // contending lands well under 25 Gbps.
+        assert!(gbps < 30.0, "click-1c throughput {gbps} Gbps");
+        assert!(gbps > 2.0, "click-1c throughput {gbps} Gbps implausibly low");
+    }
+
+    #[test]
+    fn click_scales_with_cores() {
+        let g1 = run(Mode::Click { cores: 1 }, 1500, 4).throughput_gbps();
+        let g2 = run(Mode::Click { cores: 2 }, 1500, 4).throughput_gbps();
+        let g4 = run(Mode::Click { cores: 4 }, 1500, 4).throughput_gbps();
+        assert!(g2 > g1 * 1.5, "2 cores {g2} vs 1 core {g1}");
+        assert!(g4 > g2 * 1.3, "4 cores {g4} vs 2 cores {g2}");
+    }
+
+    #[test]
+    fn offloaded_beats_click_at_all_sizes() {
+        for frame in [100usize, 500, 1500] {
+            let off = run(Mode::Offloaded, frame, 3).throughput_gbps();
+            let click = run(Mode::Click { cores: 4 }, frame, 3).throughput_gbps();
+            assert!(
+                off > click,
+                "frame {frame}: offloaded {off} vs click-4c {click}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_workers_complete_all_flows() {
+        let sched = WorkerSchedule::build(&[5_000, 20_000, 5_000, 8_000], 2, 1500);
+        let flows: Vec<_> = sched.queues.into_iter().flatten().collect();
+        let mut sim = Simulator::new(
+            SimConfig::new(Mode::Offloaded, fast_profile()),
+            flows,
+        );
+        sim.run();
+        assert_eq!(sim.metrics.fcts.len(), 4, "all flows finished");
+        for (bytes, fct) in &sim.metrics.fcts {
+            assert!(*fct > 30_000, "flow of {bytes}B finished in {fct}ns");
+        }
+    }
+
+    #[test]
+    fn slow_path_profile_counts() {
+        // A profile where syn is slow: slow-path counter should equal the
+        // number of connections in offloaded mode.
+        let mut p = fast_profile();
+        p.syn = ClassProfile {
+            fast: false,
+            server_cycles: 1000,
+            sync_ns: 135_200,
+            click_cycles: 1500,
+            bypass: false,
+        };
+        let sched = WorkerSchedule::build(&[1_000; 20], 4, 1500);
+        let flows: Vec<_> = sched.queues.into_iter().flatten().collect();
+        let mut sim = Simulator::new(SimConfig::new(Mode::Offloaded, p), flows);
+        sim.run();
+        assert_eq!(sim.metrics.slow_path_pkts, 20);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gallium-sim — the discrete-event testbed
+//!
+//! The synthetic equivalent of the paper's hardware testbed (§6.3): "three
+//! servers and a Barefoot Tofino switch … Intel Xeon E5-2680 (2.5 GHz, 12
+//! cores) … Mellanox ConnectX-4 100 Gbps NIC", with one server dedicated
+//! to the middlebox. The simulator reproduces the two arrangements the
+//! evaluation compares:
+//!
+//! * **Offloaded (Gallium)** — packets traverse sender → switch
+//!   (pre-processing) → [middlebox server → switch (post-processing)] →
+//!   receiver; only slow-path packets pay the server detour and the
+//!   output-commit hold;
+//! * **FastClick baseline** — every packet traverses sender → switch →
+//!   middlebox server (1/2/4 cores, RSS by flow hash) → switch → receiver.
+//!
+//! Per-packet server costs are not invented: [`profile`] *measures* them
+//! by running representative packets of each class (SYN / data / FIN /
+//! reverse ACK) through the real [`gallium_core::Deployment`] and the real
+//! reference interpreter, so the simulator's numbers are anchored in the
+//! same code the correctness tests exercise. [`constants`] documents the
+//! latency calibration against the paper's Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod engine;
+pub mod metrics;
+pub mod profile;
+pub mod scenario;
+
+pub use constants::TestbedModel;
+pub use engine::{Mode, SimConfig, Simulator};
+pub use metrics::{FctBin, Measurements};
+pub use profile::{ClassProfile, MbKind, MbProfile, PktClass};
+pub use scenario::{latency_probe_ns, run_conga, run_microbench};

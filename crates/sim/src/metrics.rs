@@ -1,0 +1,173 @@
+//! Measurement collection: throughput, flow completion times, path mix.
+
+/// Figure 9's flow-size bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FctBin {
+    /// Flows up to 100 KB.
+    Small,
+    /// Flows between 100 KB and 10 MB.
+    Medium,
+    /// Flows above 10 MB.
+    Large,
+}
+
+impl FctBin {
+    /// Bin for a flow of `bytes`.
+    pub fn of(bytes: u64) -> FctBin {
+        if bytes < 100_000 {
+            FctBin::Small
+        } else if bytes < 10_000_000 {
+            FctBin::Medium
+        } else {
+            FctBin::Large
+        }
+    }
+
+    /// Axis label as printed in the paper's Figure 9.
+    pub fn label(self) -> &'static str {
+        match self {
+            FctBin::Small => "0-100K",
+            FctBin::Medium => "100K-10M",
+            FctBin::Large => "> 10M",
+        }
+    }
+
+    /// All bins in order.
+    pub const ALL: [FctBin; 3] = [FctBin::Small, FctBin::Medium, FctBin::Large];
+}
+
+/// Everything a simulation run measures.
+#[derive(Debug, Clone, Default)]
+pub struct Measurements {
+    /// Wire bytes delivered inside the measurement window.
+    pub window_bytes: u64,
+    /// First delivery inside the window (ns).
+    pub window_first_ns: Option<u64>,
+    /// Last delivery inside the window (ns).
+    pub window_last_ns: u64,
+    /// Completed flows: `(flow bytes, completion time ns)`.
+    pub fcts: Vec<(u64, u64)>,
+    /// Packets that took the server detour.
+    pub slow_path_pkts: u64,
+    /// Packets that traversed the middlebox at all.
+    pub mb_pkts: u64,
+    /// Busy ns per middlebox-server core.
+    pub core_busy_ns: Vec<u64>,
+}
+
+impl Measurements {
+    /// Record one data-packet delivery for throughput accounting.
+    pub fn record_delivery(&mut self, at_ns: u64, wire_bytes: u64, warmup: u64, stop: u64) {
+        if at_ns < warmup || at_ns > stop {
+            return;
+        }
+        self.window_bytes += wire_bytes;
+        if self.window_first_ns.is_none() {
+            self.window_first_ns = Some(at_ns);
+        }
+        self.window_last_ns = self.window_last_ns.max(at_ns);
+    }
+
+    /// Record a completed flow.
+    pub fn record_fct(&mut self, bytes: u64, fct_ns: u64) {
+        self.fcts.push((bytes, fct_ns));
+    }
+
+    /// Measured throughput over the window, Gbps.
+    pub fn throughput_gbps(&self) -> f64 {
+        let Some(first) = self.window_first_ns else {
+            return 0.0;
+        };
+        let dur = self.window_last_ns.saturating_sub(first);
+        if dur == 0 {
+            return 0.0;
+        }
+        (self.window_bytes as f64) * 8.0 / (dur as f64)
+    }
+
+    /// Mean FCT (ns) per Figure 9 bin; `None` when the bin is empty.
+    pub fn mean_fct_by_bin(&self) -> [(FctBin, Option<f64>); 3] {
+        let mut sums = [0u128; 3];
+        let mut counts = [0u64; 3];
+        for (bytes, fct) in &self.fcts {
+            let i = match FctBin::of(*bytes) {
+                FctBin::Small => 0,
+                FctBin::Medium => 1,
+                FctBin::Large => 2,
+            };
+            sums[i] += u128::from(*fct);
+            counts[i] += 1;
+        }
+        let mut out = [
+            (FctBin::Small, None),
+            (FctBin::Medium, None),
+            (FctBin::Large, None),
+        ];
+        for i in 0..3 {
+            if counts[i] > 0 {
+                out[i].1 = Some(sums[i] as f64 / counts[i] as f64);
+            }
+        }
+        out
+    }
+
+    /// Fraction of middlebox packets that visited the server.
+    pub fn slow_path_fraction(&self) -> f64 {
+        if self.mb_pkts == 0 {
+            return 0.0;
+        }
+        self.slow_path_pkts as f64 / self.mb_pkts as f64
+    }
+
+    /// Total server-core busy time, ns ("processing cycles" spent).
+    pub fn total_core_busy_ns(&self) -> u64 {
+        self.core_busy_ns.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_match_figure9() {
+        assert_eq!(FctBin::of(0), FctBin::Small);
+        assert_eq!(FctBin::of(99_999), FctBin::Small);
+        assert_eq!(FctBin::of(100_000), FctBin::Medium);
+        assert_eq!(FctBin::of(9_999_999), FctBin::Medium);
+        assert_eq!(FctBin::of(10_000_000), FctBin::Large);
+        assert_eq!(FctBin::Small.label(), "0-100K");
+    }
+
+    #[test]
+    fn throughput_over_window() {
+        let mut m = Measurements::default();
+        m.record_delivery(50, 1000, 100, 1000); // before warmup: ignored
+        m.record_delivery(100, 1500, 100, 1000);
+        m.record_delivery(900, 1500, 100, 1000);
+        m.record_delivery(2000, 1500, 100, 1000); // after stop: ignored
+        assert_eq!(m.window_bytes, 3000);
+        let gbps = m.throughput_gbps();
+        assert!((gbps - 3000.0 * 8.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_fct_bins() {
+        let mut m = Measurements::default();
+        m.record_fct(1_000, 100);
+        m.record_fct(2_000, 300);
+        m.record_fct(50_000_000, 1_000_000);
+        let bins = m.mean_fct_by_bin();
+        assert_eq!(bins[0].1, Some(200.0));
+        assert_eq!(bins[1].1, None);
+        assert_eq!(bins[2].1, Some(1_000_000.0));
+    }
+
+    #[test]
+    fn slow_fraction() {
+        let mut m = Measurements::default();
+        m.mb_pkts = 1000;
+        m.slow_path_pkts = 1;
+        assert!((m.slow_path_fraction() - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,353 @@
+//! Packet-class cost profiles, measured from the real pipeline.
+//!
+//! The simulator never invents a per-packet cost: for each middlebox and
+//! each packet class it runs a representative packet through
+//! (a) the real [`Deployment`] — switch simulator + server runtime +
+//! state-sync engine — and (b) the real reference interpreter (the
+//! FastClick baseline), and records what actually happened: fast path or
+//! slow path, server cycles, output-commit latency, baseline cycles.
+
+use gallium_core::{compile, CompiledMiddlebox, Deployment};
+use gallium_middleboxes::{firewall, lb, mazunat, proxy, trojan, INTERNAL_PORT};
+use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
+use gallium_partition::SwitchModel;
+use gallium_server::{CostModel, ReferenceServer};
+use gallium_switchsim::SwitchConfig;
+
+/// The five evaluated middleboxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MbKind {
+    /// MazuNAT.
+    MazuNat,
+    /// The L4 load balancer.
+    LoadBalancer,
+    /// The firewall.
+    Firewall,
+    /// The transparent proxy.
+    Proxy,
+    /// The Trojan detector.
+    Trojan,
+}
+
+impl MbKind {
+    /// All five, in Table 1 order.
+    pub const ALL: [MbKind; 5] = [
+        MbKind::MazuNat,
+        MbKind::LoadBalancer,
+        MbKind::Firewall,
+        MbKind::Proxy,
+        MbKind::Trojan,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            MbKind::MazuNat => "MazuNAT",
+            MbKind::LoadBalancer => "Load Balancer",
+            MbKind::Firewall => "Firewall",
+            MbKind::Proxy => "Proxy",
+            MbKind::Trojan => "Trojan Detector",
+        }
+    }
+}
+
+/// Traffic classes the flow simulator distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PktClass {
+    /// First packet of a new connection (SYN).
+    Syn,
+    /// Established-flow data packet.
+    Data,
+    /// Connection teardown (FIN/RST).
+    Fin,
+    /// Reverse-direction acknowledgement.
+    Ack,
+}
+
+/// Measured behaviour of one packet class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassProfile {
+    /// Offloaded mode: did the packet stay on the switch?
+    pub fast: bool,
+    /// Offloaded mode: server cycles when slow (0 when fast).
+    pub server_cycles: u64,
+    /// Offloaded mode: output-commit (state-sync) hold in ns.
+    pub sync_ns: u64,
+    /// Baseline mode: full-program cycles on the FastClick server.
+    pub click_cycles: u64,
+    /// In offloaded mode the packet does not traverse the middlebox at
+    /// all (the switch routes it directly — e.g. the load balancer's
+    /// reverse path). In FastClick mode the switch is configured to send
+    /// *all* packets through the server (§6.3), so `click_cycles` still
+    /// applies.
+    pub bypass: bool,
+}
+
+impl ClassProfile {
+    fn bypass() -> Self {
+        ClassProfile {
+            fast: true,
+            server_cycles: 0,
+            sync_ns: 0,
+            // Plain L2/L3 forwarding cost on the FastClick server (the
+            // switch forces every packet through it in baseline mode).
+            click_cycles: 450,
+            bypass: true,
+        }
+    }
+}
+
+/// Per-middlebox profile over all classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MbProfile {
+    /// Which middlebox this profiles.
+    pub kind: MbKind,
+    /// New-connection packets.
+    pub syn: ClassProfile,
+    /// Established data packets.
+    pub data: ClassProfile,
+    /// Teardown packets.
+    pub fin: ClassProfile,
+    /// Reverse-direction acks.
+    pub ack: ClassProfile,
+}
+
+impl MbProfile {
+    /// Profile for a class.
+    pub fn class(&self, c: PktClass) -> ClassProfile {
+        match c {
+            PktClass::Syn => self.syn,
+            PktClass::Data => self.data,
+            PktClass::Fin => self.fin,
+            PktClass::Ack => self.ack,
+        }
+    }
+}
+
+struct Harness {
+    deployment: Deployment,
+    reference: ReferenceServer,
+}
+
+impl Harness {
+    fn new(compiled: &CompiledMiddlebox) -> Self {
+        let deployment = Deployment::new(
+            compiled,
+            SwitchConfig::default(),
+            CostModel::calibrated(),
+        )
+        .expect("compiled program loads");
+        let reference =
+            ReferenceServer::new(compiled.staged.prog.clone(), CostModel::calibrated());
+        Harness {
+            deployment,
+            reference,
+        }
+    }
+
+    /// Run `pkt` through both systems; measure the class.
+    fn measure(&mut self, pkt: Packet) -> ClassProfile {
+        let before = self.deployment.stats;
+        self.deployment.inject(pkt.clone()).expect("pipeline runs");
+        let after = self.deployment.stats;
+        let (_, click_cycles) = self.reference.process(pkt, 0).expect("reference runs");
+        ClassProfile {
+            fast: after.slow_path == before.slow_path,
+            server_cycles: after.server_cycles - before.server_cycles,
+            sync_ns: after.sync_visible_ns - before.sync_visible_ns,
+            click_cycles,
+            bypass: false,
+        }
+    }
+}
+
+fn tcp(t: FiveTuple, flags: u8, frame: usize, ingress: u16) -> Packet {
+    PacketBuilder::tcp(t, TcpFlags(flags), frame).build(PortId(ingress))
+}
+
+/// Measure the profile of `kind` at data-packet size `frame_len`.
+pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
+    let model = SwitchModel::tofino_like();
+    match kind {
+        MbKind::MazuNat => {
+            let nat = mazunat::mazunat();
+            let compiled = compile(&nat.prog, &model).unwrap();
+            let mut h = Harness::new(&compiled);
+            let t = FiveTuple {
+                saddr: 0x0A000010,
+                daddr: 0x08080808,
+                sport: 40_000,
+                dport: 443,
+                proto: IpProtocol::Tcp,
+            };
+            let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, INTERNAL_PORT));
+            let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, INTERNAL_PORT));
+            // Reverse ack: from outside to the allocated external port.
+            let reply = FiveTuple {
+                saddr: 0x08080808,
+                daddr: mazunat::NAT_EXTERNAL_IP,
+                sport: 443,
+                dport: mazunat::NAT_PORT_BASE,
+                proto: IpProtocol::Tcp,
+            };
+            let ack = h.measure(tcp(reply, TcpFlags::ACK, 64, gallium_middleboxes::EXTERNAL_PORT));
+            // MazuNAT has no FIN special case: costed like data.
+            let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, INTERNAL_PORT));
+            MbProfile { kind, syn, data, fin, ack }
+        }
+        MbKind::LoadBalancer => {
+            let lb = lb::load_balancer();
+            let compiled = compile(&lb.prog, &model).unwrap();
+            let mut h = Harness::new(&compiled);
+            let backends = lb.backends;
+            h.deployment
+                .configure(|s| {
+                    s.vec_set_all(backends, vec![0xC0A80001, 0xC0A80002]).unwrap();
+                })
+                .unwrap();
+            h.reference
+                .store
+                .vec_set_all(backends, vec![0xC0A80001, 0xC0A80002])
+                .unwrap();
+            let t = FiveTuple {
+                saddr: 0x0A000011,
+                daddr: 0x0A0000FE,
+                sport: 40_001,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            };
+            let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, 1));
+            let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, 1));
+            let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, 1));
+            // Direct server return: backend replies bypass the LB.
+            MbProfile {
+                kind,
+                syn,
+                data,
+                fin,
+                ack: ClassProfile::bypass(),
+            }
+        }
+        MbKind::Firewall => {
+            let fw = firewall::firewall();
+            let compiled = compile(&fw.prog, &model).unwrap();
+            let mut h = Harness::new(&compiled);
+            let t = FiveTuple {
+                saddr: 0x0A000012,
+                daddr: 0x08080808,
+                sport: 40_002,
+                dport: 443,
+                proto: IpProtocol::Tcp,
+            };
+            let fw2 = fw.clone();
+            h.deployment
+                .configure(|s| fw2.allow(s, &t))
+                .unwrap();
+            fw.allow(&mut h.reference.store, &t);
+            let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, INTERNAL_PORT));
+            let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, INTERNAL_PORT));
+            let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, INTERNAL_PORT));
+            let ack = h.measure(tcp(
+                t.reversed(),
+                TcpFlags::ACK,
+                64,
+                gallium_middleboxes::EXTERNAL_PORT,
+            ));
+            MbProfile { kind, syn, data, fin, ack }
+        }
+        MbKind::Proxy => {
+            let px = proxy::proxy(0x0A090909, 3128);
+            let compiled = compile(&px.prog, &model).unwrap();
+            let mut h = Harness::new(&compiled);
+            let px2 = px.clone();
+            h.deployment.configure(|s| px2.intercept(s, 80)).unwrap();
+            px.intercept(&mut h.reference.store, 80);
+            let t = FiveTuple {
+                saddr: 0x0A000013,
+                daddr: 0x08080808,
+                sport: 40_003,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            };
+            let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, 1));
+            let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, 1));
+            let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, 1));
+            let ack = h.measure(tcp(t.reversed(), TcpFlags::ACK, 64, 1));
+            MbProfile { kind, syn, data, fin, ack }
+        }
+        MbKind::Trojan => {
+            let det = trojan::trojan_detector();
+            let compiled = compile(&det.prog, &model).unwrap();
+            let mut h = Harness::new(&compiled);
+            let t = FiveTuple {
+                saddr: 0x0A000014,
+                daddr: 0x08080808,
+                sport: 40_004,
+                dport: 443,
+                proto: IpProtocol::Tcp,
+            };
+            // SYN to a non-SSH port: control packet, checked on the server
+            // path only when it opens SSH; generic traffic stays fast after
+            // the lookup. Measure the real behaviours.
+            let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, 1));
+            let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, 1));
+            let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, 1));
+            let ack = h.measure(tcp(t.reversed(), TcpFlags::ACK, 64, 1));
+            MbProfile { kind, syn, data, fin, ack }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_profile_shapes() {
+        let p = profile_middlebox(MbKind::MazuNat, 1500);
+        assert!(!p.syn.fast, "first packet opens a mapping on the server");
+        assert!(p.syn.sync_ns > 0, "mapping insert is committed");
+        assert!(p.data.fast, "established data is switch-only");
+        assert_eq!(p.data.server_cycles, 0);
+        assert!(p.ack.fast, "reverse translation is switch-only");
+        assert!(p.syn.click_cycles > p.data.click_cycles / 2);
+    }
+
+    #[test]
+    fn firewall_and_proxy_always_fast() {
+        for kind in [MbKind::Firewall, MbKind::Proxy] {
+            let p = profile_middlebox(kind, 1500);
+            for c in [p.syn, p.data, p.fin, p.ack] {
+                assert!(c.fast, "{kind:?} class not fast");
+                assert_eq!(c.sync_ns, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn lb_profile_shapes() {
+        let p = profile_middlebox(MbKind::LoadBalancer, 1500);
+        assert!(!p.syn.fast);
+        assert!(p.data.fast);
+        assert!(!p.fin.fast, "FIN triggers GC on the server");
+        assert!(p.ack.bypass, "DSR");
+    }
+
+    #[test]
+    fn trojan_profile_shapes() {
+        let p = profile_middlebox(MbKind::Trojan, 1500);
+        // Generic data traffic from unknown hosts never leaves the switch.
+        assert!(p.data.fast);
+        assert!(p.ack.fast);
+    }
+
+    #[test]
+    fn click_costs_positive_everywhere() {
+        for kind in MbKind::ALL {
+            let p = profile_middlebox(kind, 500);
+            for c in [p.syn, p.data, p.fin] {
+                assert!(c.click_cycles > 0, "{kind:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Pre-wired experiment scenarios used by the benchmark binaries.
+
+use crate::constants::TestbedModel;
+use crate::engine::{Mode, SimConfig, Simulator};
+use crate::metrics::Measurements;
+use crate::profile::{MbProfile, PktClass};
+use gallium_workloads::{microbench_flows, CongaWorkload, FlowSizeDistribution, WorkerSchedule};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Run the §6.3 TCP microbenchmark: 10 parallel connections at
+/// `frame_len`, measured over a few milliseconds of steady state.
+pub fn run_microbench(profile: MbProfile, mode: Mode, frame_len: usize, seed: u64) -> Measurements {
+    let flows = microbench_flows(10, frame_len, u64::MAX / 4);
+    let mut cfg = SimConfig::new(mode, profile);
+    cfg.stop_at_ns = 4_000_000; // 4 ms of traffic
+    cfg.warmup_ns = 800_000;
+    cfg.seed = seed;
+    let mut sim = Simulator::new(cfg, flows);
+    sim.run();
+    sim.metrics
+}
+
+/// Run a CONGA-derived realistic workload: `n_flows` flows over 100
+/// closed-loop workers (§6.3's setup, scaled by the caller).
+pub fn run_conga(
+    profile: MbProfile,
+    mode: Mode,
+    workload: CongaWorkload,
+    n_flows: usize,
+    seed: u64,
+) -> Measurements {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = FlowSizeDistribution::conga(workload).sample_n(&mut rng, n_flows);
+    let sched = WorkerSchedule::build(&sizes, 100, 1500);
+    let flows: Vec<_> = sched.queues.into_iter().flatten().collect();
+    let mut cfg = SimConfig::new(mode, profile);
+    cfg.seed = seed;
+    let mut sim = Simulator::new(cfg, flows);
+    sim.run();
+    sim.metrics
+}
+
+/// The Nptcp-style latency probe of Table 2: the end-to-end latency of a
+/// small request through an otherwise idle middlebox (the steady-state
+/// class — established data packets — since Nptcp measures after the
+/// connection is up).
+pub fn latency_probe_ns(profile: &MbProfile, mode: Mode, model: &TestbedModel) -> u64 {
+    let frame = 64usize;
+    let p = profile.class(PktClass::Data);
+    let (slow, cycles) = match mode {
+        Mode::Offloaded => (!p.fast, p.server_cycles),
+        Mode::Click { .. } => (true, p.click_cycles),
+    };
+    let mut t = model.host_stack_ns + model.ser_ns(frame) + model.prop_ns + model.switch_ns;
+    if slow && !p.bypass {
+        t += model.ser_ns(frame)
+            + model.prop_ns
+            + model.server_nic_ns
+            + model.cycles_ns(cycles)
+            + model.server_nic_ns
+            + model.ser_ns(frame)
+            + model.prop_ns
+            + model.switch_ns;
+    }
+    t += model.ser_ns(frame) + model.prop_ns + model.host_stack_ns;
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{profile_middlebox, MbKind};
+
+    #[test]
+    fn table2_latency_shape() {
+        let model = TestbedModel::calibrated();
+        for kind in MbKind::ALL {
+            let p = profile_middlebox(kind, 1500);
+            let gallium = latency_probe_ns(&p, Mode::Offloaded, &model);
+            let click = latency_probe_ns(&p, Mode::Click { cores: 1 }, &model);
+            // Gallium ≈ 15–16 µs, FastClick ≈ 22–24 µs, ≈ 31 % reduction.
+            assert!(
+                (15_000..=16_500).contains(&gallium),
+                "{}: gallium {gallium} ns",
+                kind.name()
+            );
+            assert!(
+                (21_000..=24_500).contains(&click),
+                "{}: click {click} ns",
+                kind.name()
+            );
+            let reduction = 1.0 - gallium as f64 / click as f64;
+            assert!(
+                (0.22..=0.40).contains(&reduction),
+                "{}: latency reduction {reduction}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn microbench_offloaded_beats_click4_for_nat() {
+        let p = profile_middlebox(MbKind::MazuNat, 1500);
+        let off = run_microbench(p, Mode::Offloaded, 1500, 1).throughput_gbps();
+        let c4 = run_microbench(p, Mode::Click { cores: 4 }, 1500, 1).throughput_gbps();
+        assert!(off > c4, "offloaded {off} vs click-4c {c4}");
+        // Paper: 20–187 % advantage over 4 cores.
+        let adv = off / c4 - 1.0;
+        assert!(adv > 0.10, "advantage {adv}");
+    }
+
+    #[test]
+    fn fig9_fct_reduction_concentrates_on_long_flows() {
+        // The paper's Figure 9 claim: offloaded FCT beats the baseline in
+        // every bin, and the absolute reduction grows with flow size.
+        let p = profile_middlebox(MbKind::MazuNat, 1500);
+        let click = run_conga(p, Mode::Click { cores: 4 }, CongaWorkload::Enterprise, 900, 5);
+        let off = run_conga(p, Mode::Offloaded, CongaWorkload::Enterprise, 900, 5);
+        let cb = click.mean_fct_by_bin();
+        let ob = off.mean_fct_by_bin();
+        let mut last_reduction = 0.0f64;
+        for ((_, c), (_, o)) in cb.iter().zip(ob.iter()) {
+            let (Some(c), Some(o)) = (c, o) else { continue };
+            assert!(o < c, "offloaded bin FCT {o} must beat click {c}");
+            let reduction = c - o;
+            assert!(
+                reduction >= last_reduction * 0.5,
+                "absolute FCT reduction should grow toward the long-flow bins"
+            );
+            last_reduction = reduction;
+        }
+        // The large bin's absolute reduction dwarfs the small bin's.
+        if let ((_, Some(cs)), (_, Some(os))) = (cb[0], ob[0]) {
+            if let ((_, Some(cl)), (_, Some(ol))) = (cb[2], ob[2]) {
+                assert!((cl - ol) > 5.0 * (cs - os), "long-flow reduction dominates");
+            }
+        }
+    }
+
+    #[test]
+    fn conga_run_produces_fcts_and_low_slow_fraction() {
+        let p = profile_middlebox(MbKind::MazuNat, 1500);
+        let m = run_conga(p, Mode::Offloaded, CongaWorkload::Enterprise, 800, 3);
+        assert_eq!(m.fcts.len(), 800);
+        // "only 0.1% of the packets in TCP flows are processed by the
+        // middlebox server" — small flows make our mix a bit richer in
+        // SYNs, but the fraction stays far below a percent of... of data
+        // traffic for long-flow-dominated byte counts; assert the order.
+        assert!(
+            m.slow_path_fraction() < 0.25,
+            "slow fraction {}",
+            m.slow_path_fraction()
+        );
+    }
+}

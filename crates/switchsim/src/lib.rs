@@ -1,0 +1,32 @@
+//! # gallium-switchsim — the programmable-switch simulator
+//!
+//! A bmv2-class software switch standing in for the paper's Barefoot Tofino.
+//! It loads a generated [`gallium_p4::P4Program`], **enforces the abstract
+//! resource model at load time** (a program that exceeds table SRAM or
+//! pipeline depth fails to load, as on real silicon), and then processes
+//! packets through the parser → match-action pipeline → deparser path:
+//!
+//! * packets from the network run the **pre-processing** traversal;
+//!   packets from the server port run **post-processing** (the ingress
+//!   dispatch of §4.3.1);
+//! * a pre traversal that encounters later-stage work encapsulates the
+//!   packet in the synthesized transfer header and forwards it to the
+//!   middlebox server — otherwise the packet takes the **fast path** and
+//!   never leaves the data plane;
+//! * each offloaded table has a **write-back shadow** plus a global
+//!   visibility bit implementing the atomic-update protocol of §4.3.3;
+//! * the control-plane API ([`Switch::control`]) models the management-CPU
+//!   latency the paper measures in Table 3.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod loader;
+pub mod switch;
+pub mod table;
+
+pub use control::{control_op_latency_ns, ControlPlane};
+pub use loader::{load_check, LoadError};
+pub use switch::{Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST};
+pub use table::RtTable;

@@ -1,0 +1,171 @@
+//! Load-time resource validation.
+//!
+//! The switch re-checks the compiler's resource arithmetic independently —
+//! if a generated program oversubscribes the silicon the load fails, just
+//! as the Tofino SDK rejects oversized programs. This is the property-test
+//! anchor for invariant 3 in DESIGN.md: *every* program the partitioner
+//! emits for a model must load into a switch built with that model.
+
+use gallium_p4::P4Program;
+use gallium_partition::SwitchModel;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// Table SRAM demand exceeds the model (Constraint 1).
+    Memory {
+        /// Bits required.
+        needed: usize,
+        /// Bits available.
+        available: usize,
+    },
+    /// Longest traversal exceeds the pipeline depth (Constraint 2).
+    PipelineDepth {
+        /// Stages required.
+        needed: usize,
+        /// Stages available.
+        available: usize,
+    },
+    /// A transfer-header layout exceeds the MTU headroom budget
+    /// (Constraint 5).
+    TransferHeader {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Memory { needed, available } => {
+                write!(f, "table memory: need {needed} bits, have {available}")
+            }
+            LoadError::PipelineDepth { needed, available } => {
+                write!(f, "pipeline depth: need {needed} stages, have {available}")
+            }
+            LoadError::TransferHeader { needed, available } => {
+                write!(f, "transfer header: need {needed} bytes, budget {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Validate `prog` against `model`.
+///
+/// Per-packet metadata (Constraint 4) is not re-checked here: the hardware
+/// reuses scratchpad slots by live range (§4.3.1), so the loader would need
+/// the compiler's liveness information to reproduce the exact figure; the
+/// compiler enforces it before emitting the program.
+pub fn load_check(prog: &P4Program, model: &SwitchModel) -> Result<(), LoadError> {
+    let mem = prog.table_memory_bits();
+    if mem > model.memory_bits {
+        return Err(LoadError::Memory {
+            needed: mem,
+            available: model.memory_bits,
+        });
+    }
+    let depth = prog.pipeline_depth();
+    if depth > model.pipeline_depth {
+        return Err(LoadError::PipelineDepth {
+            needed: depth,
+            available: model.pipeline_depth,
+        });
+    }
+    for layout in [&prog.header_to_server, &prog.header_to_switch] {
+        if layout.wire_bytes() > model.transfer_budget_bytes && !layout.fields().is_empty() {
+            return Err(LoadError::TransferHeader {
+                needed: layout.wire_bytes(),
+                available: model.transfer_budget_bytes,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+    use gallium_partition::partition_program;
+
+    fn minilb_p4(model: &SwitchModel) -> P4Program {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let staged = partition_program(&p, model).unwrap();
+        gallium_p4::generate(&staged).unwrap()
+    }
+
+    #[test]
+    fn compiled_program_loads_into_its_model() {
+        let model = SwitchModel::tofino_like();
+        let p4 = minilb_p4(&model);
+        load_check(&p4, &model).unwrap();
+    }
+
+    #[test]
+    fn oversized_table_rejected() {
+        let model = SwitchModel::tofino_like();
+        let p4 = minilb_p4(&model);
+        let starved = SwitchModel::tiny(16, 1024, 800, 20);
+        assert!(matches!(
+            load_check(&p4, &starved),
+            Err(LoadError::Memory { .. })
+        ));
+    }
+
+    #[test]
+    fn too_shallow_pipeline_rejected() {
+        let model = SwitchModel::tofino_like();
+        let p4 = minilb_p4(&model);
+        let shallow = SwitchModel::tiny(1, usize::MAX / 2, 800, 20);
+        assert!(matches!(
+            load_check(&p4, &shallow),
+            Err(LoadError::PipelineDepth { .. })
+        ));
+    }
+
+    #[test]
+    fn compiler_and_loader_agree_for_constrained_models() {
+        // Whatever the partitioner produces for a model must load into it.
+        for model in [
+            SwitchModel::tofino_like(),
+            SwitchModel::tiny(8, usize::MAX / 2, 800, 20),
+            SwitchModel::tiny(16, usize::MAX / 2, 200, 12),
+        ] {
+            let p4 = minilb_p4(&model);
+            load_check(&p4, &model).unwrap_or_else(|e| {
+                panic!("program compiled for {model:?} failed to load: {e}")
+            });
+        }
+    }
+}

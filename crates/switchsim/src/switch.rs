@@ -1,0 +1,569 @@
+//! The data-plane execution engine.
+
+use crate::loader::{load_check, LoadError};
+use crate::table::RtTable;
+use gallium_mir::interp::{
+    hash_values, read_header_field, refresh_ip_checksum, write_header_field,
+};
+use gallium_mir::types::mask_to_width;
+use gallium_mir::HeaderField;
+use gallium_p4::{BlockNode, NodeNext, P4Expr, P4Program, P4Stmt};
+use gallium_partition::SwitchModel;
+use gallium_net::transfer::{FLAG_TO_SERVER, FLAG_TO_SWITCH};
+use gallium_net::{Packet, PortId, TransferValues};
+use std::collections::HashMap;
+
+/// Flag bit on server→switch packets: run the post-processing traversal.
+pub const FLAG_RUN_POST: u8 = 0x04;
+/// Flag bit on server→switch packets: the server already emitted this
+/// packet (a server-side `send`); forward it out without processing.
+pub const FLAG_PASSTHROUGH: u8 = 0x08;
+/// Flag bit on switch→server packets: a lookup missed in a *cached* table
+/// (§7 extension); the server must replay the whole program against its
+/// authoritative state.
+pub const FLAG_CACHE_MISS: u8 = 0x10;
+
+/// Static switch configuration.
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Port the middlebox server is attached to.
+    pub server_port: PortId,
+    /// Egress for destinations without an explicit route.
+    pub default_port: PortId,
+    /// Resource model enforced at load time.
+    pub model: SwitchModel,
+    /// Tables operated as FIFO caches of the server's authoritative map,
+    /// with the given entry capacity (§7 "reducing memory usage").
+    pub cached_tables: Vec<(String, usize)>,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            server_port: PortId::SERVER,
+            default_port: PortId(0),
+            model: SwitchModel::tofino_like(),
+            cached_tables: Vec::new(),
+        }
+    }
+}
+
+/// Data-plane counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets received from the network.
+    pub rx_network: u64,
+    /// Packets received from the server.
+    pub rx_server: u64,
+    /// Packets fully handled in the data plane (never saw the server).
+    pub fast_path: u64,
+    /// Packets encapsulated and forwarded to the server.
+    pub to_server: u64,
+    /// Packets emitted toward the network.
+    pub emitted: u64,
+    /// Packets dropped by `mark_to_drop`.
+    pub dropped: u64,
+    /// Pre-traversal lookups that missed in a cached table (each forces a
+    /// server replay).
+    pub cache_misses: u64,
+}
+
+/// The simulated switch: a loaded program plus its runtime state.
+#[derive(Debug)]
+pub struct Switch {
+    prog: P4Program,
+    cfg: SwitchConfig,
+    tables: Vec<RtTable>,
+    registers: Vec<u64>,
+    pub(crate) wb_active: bool,
+    routes: HashMap<u32, PortId>,
+    meta_bits: HashMap<String, u16>,
+    /// Set during a traversal when a cached table misses.
+    cache_missed: bool,
+    /// Data-plane counters.
+    pub stats: SwitchStats,
+}
+
+impl Switch {
+    /// Load `prog` after validating it against `cfg.model`.
+    pub fn load(prog: P4Program, cfg: SwitchConfig) -> Result<Self, LoadError> {
+        load_check(&prog, &cfg.model)?;
+        let mut tables: Vec<RtTable> = prog
+            .tables
+            .iter()
+            .map(|t| {
+                let mut rt = RtTable::new(t.size);
+                if t.match_kind == gallium_p4::TableMatchKind::Lpm {
+                    rt.make_lpm(t.key_widths.first().copied().unwrap_or(32));
+                }
+                rt
+            })
+            .collect();
+        for (name, entries) in &cfg.cached_tables {
+            if let Some(i) = prog.tables.iter().position(|t| &t.name == name) {
+                tables[i].make_cache(*entries);
+            }
+        }
+        let registers = vec![0; prog.registers.len()];
+        let meta_bits = prog
+            .metadata
+            .iter()
+            .map(|m| (m.name.clone(), m.bits))
+            .collect();
+        Ok(Switch {
+            prog,
+            cfg,
+            tables,
+            registers,
+            wb_active: false,
+            routes: HashMap::new(),
+            meta_bits,
+            cache_missed: false,
+            stats: SwitchStats::default(),
+        })
+    }
+
+    /// The loaded program.
+    pub fn program(&self) -> &P4Program {
+        &self.prog
+    }
+
+    /// Install a route: packets whose IPv4 destination equals `daddr`
+    /// egress on `port`.
+    pub fn add_route(&mut self, daddr: u32, port: PortId) {
+        self.routes.insert(daddr, port);
+    }
+
+    /// Runtime table access (tests and the control plane).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut RtTable> {
+        let i = self.prog.tables.iter().position(|t| t.name == name)?;
+        Some(&mut self.tables[i])
+    }
+
+    /// Read-only table access.
+    pub fn table(&self, name: &str) -> Option<&RtTable> {
+        let i = self.prog.tables.iter().position(|t| t.name == name)?;
+        Some(&self.tables[i])
+    }
+
+    /// Read a register by name.
+    pub fn register(&self, name: &str) -> Option<u64> {
+        let i = self.prog.registers.iter().position(|r| r.name == name)?;
+        Some(self.registers[i])
+    }
+
+    /// Set a register by name (control plane).
+    pub(crate) fn set_register(&mut self, name: &str, value: u64) -> bool {
+        if let Some(i) = self.prog.registers.iter().position(|r| r.name == name) {
+            self.registers[i] = mask_to_width(value, self.prog.registers[i].width);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether staged write-back entries are currently visible.
+    pub fn write_back_active(&self) -> bool {
+        self.wb_active
+    }
+
+    fn route(&self, pkt: &Packet) -> PortId {
+        let daddr = read_header_field(pkt.bytes(), HeaderField::IpDaddr) as u32;
+        self.routes
+            .get(&daddr)
+            .copied()
+            .unwrap_or(self.cfg.default_port)
+    }
+
+    /// Process one packet; returns `(egress port, frame)` pairs.
+    pub fn process(&mut self, mut pkt: Packet) -> Vec<(PortId, Packet)> {
+        if pkt.ingress == self.cfg.server_port {
+            self.stats.rx_server += 1;
+            let layout = self.prog.header_to_switch.clone();
+            let Ok((flags, values)) = layout.detach(&mut pkt) else {
+                // Malformed encapsulation: drop, as hardware would.
+                self.stats.dropped += 1;
+                return vec![];
+            };
+            if flags & FLAG_PASSTHROUGH != 0 {
+                self.stats.emitted += 1;
+                return vec![(self.route(&pkt), pkt)];
+            }
+            let mut meta: HashMap<String, u64> =
+                values.iter().map(|(k, v)| (k.to_string(), v)).collect();
+            let nodes = self.prog.post_nodes.clone();
+            let (out, _) = self.run_traversal(&nodes, &mut pkt, &mut meta, false);
+            out
+        } else {
+            self.stats.rx_network += 1;
+            // Cache mode: keep a pristine copy; a cached-table miss voids
+            // the traversal and the original packet is replayed on the
+            // server.
+            let pristine = self
+                .tables
+                .iter()
+                .any(|t| t.is_cache())
+                .then(|| pkt.clone());
+            self.cache_missed = false;
+            let mut meta = HashMap::new();
+            let nodes = self.prog.pre_nodes.clone();
+            let (mut out, needs_server) =
+                self.run_traversal(&nodes, &mut pkt, &mut meta, true);
+            if self.cache_missed {
+                self.stats.cache_misses += 1;
+                self.stats.to_server += 1;
+                let mut orig = pristine.expect("pristine kept in cache mode");
+                let layout = self.prog.header_to_server.clone();
+                layout
+                    .attach(
+                        &mut orig,
+                        FLAG_TO_SERVER | FLAG_CACHE_MISS,
+                        &TransferValues::default(),
+                    )
+                    .expect("plain frame");
+                return vec![(self.cfg.server_port, orig)];
+            }
+            if needs_server {
+                self.stats.to_server += 1;
+                let mut values = TransferValues::default();
+                for f in self.prog.header_to_server.fields() {
+                    values.set(&f.name, meta.get(&f.name).copied().unwrap_or(0));
+                }
+                let layout = self.prog.header_to_server.clone();
+                layout
+                    .attach(&mut pkt, FLAG_TO_SERVER, &values)
+                    .expect("plain frame");
+                out.push((self.cfg.server_port, pkt));
+            } else {
+                self.stats.fast_path += 1;
+            }
+            out
+        }
+    }
+
+    /// Walk one traversal. Returns emitted packets and (for pre) whether
+    /// later-stage work was encountered on the path.
+    fn run_traversal(
+        &mut self,
+        nodes: &[BlockNode],
+        pkt: &mut Packet,
+        meta: &mut HashMap<String, u64>,
+        is_pre: bool,
+    ) -> (Vec<(PortId, Packet)>, bool) {
+        let mut out = Vec::new();
+        let mut saw_foreign = false;
+        let mut cur = self.prog.entry;
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            assert!(
+                steps <= nodes.len() + 1,
+                "pipeline traversal revisited a node (loop in generated P4)"
+            );
+            let node = &nodes[cur];
+            saw_foreign |= is_pre && node.has_foreign_work;
+            for stmt in &node.stmts {
+                self.exec_stmt(stmt, pkt, meta, &mut out);
+            }
+            match &node.next {
+                NodeNext::Jump(n) => cur = *n,
+                NodeNext::Cond {
+                    meta: m,
+                    then_n,
+                    else_n,
+                } => {
+                    let v = meta.get(m).copied().unwrap_or(0);
+                    cur = if v != 0 { *then_n } else { *else_n };
+                }
+                NodeNext::SkipJoin {
+                    join,
+                    skipped_has_foreign,
+                } => {
+                    saw_foreign |= is_pre && *skipped_has_foreign;
+                    match join {
+                        Some(j) => cur = *j,
+                        None => break,
+                    }
+                }
+                NodeNext::End => break,
+            }
+        }
+        (out, saw_foreign)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &P4Stmt,
+        pkt: &mut Packet,
+        meta: &mut HashMap<String, u64>,
+        out: &mut Vec<(PortId, Packet)>,
+    ) {
+        match stmt {
+            P4Stmt::SetMeta(name, e) => {
+                let w = self.meta_bits.get(name).copied().unwrap_or(64);
+                let v = self.eval(e, pkt, meta);
+                meta.insert(name.clone(), mask_to_width(v, w.min(64) as u8));
+            }
+            P4Stmt::SetHeader(f, e) => {
+                let v = mask_to_width(self.eval(e, pkt, meta), f.bits());
+                write_header_field(pkt.bytes_mut(), *f, v);
+            }
+            P4Stmt::TableLookup {
+                table,
+                keys,
+                hit_meta,
+                value_metas,
+            } => {
+                let key: Vec<u64> = keys.iter().map(|k| self.eval(k, pkt, meta)).collect();
+                match self.tables[*table].lookup(&key, self.wb_active) {
+                    Some(vals) => {
+                        meta.insert(hit_meta.clone(), 1);
+                        for (m, v) in value_metas.iter().zip(vals) {
+                            meta.insert(m.clone(), v);
+                        }
+                    }
+                    None => {
+                        // A miss in a cached table is inconclusive — the
+                        // authoritative map may hold the entry.
+                        if self.tables[*table].is_cache() {
+                            self.cache_missed = true;
+                        }
+                        meta.insert(hit_meta.clone(), 0);
+                        for m in value_metas {
+                            meta.insert(m.clone(), 0);
+                        }
+                    }
+                }
+            }
+            P4Stmt::RegRead { reg, dst } => {
+                meta.insert(dst.clone(), self.registers[*reg]);
+            }
+            P4Stmt::RegWrite { reg, src } => {
+                let w = self.prog.registers[*reg].width;
+                self.registers[*reg] = mask_to_width(self.eval(src, pkt, meta), w);
+            }
+            P4Stmt::RegFetchAdd { reg, dst, delta } => {
+                let w = self.prog.registers[*reg].width;
+                let old = self.registers[*reg];
+                let d = self.eval(delta, pkt, meta);
+                self.registers[*reg] = mask_to_width(old.wrapping_add(d), w);
+                meta.insert(dst.clone(), old);
+            }
+            P4Stmt::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
+            P4Stmt::EmitCopy => {
+                self.stats.emitted += 1;
+                out.push((self.route(pkt), pkt.clone()));
+            }
+            P4Stmt::MarkDrop => {
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    fn eval(&self, e: &P4Expr, pkt: &Packet, meta: &HashMap<String, u64>) -> u64 {
+        match e {
+            P4Expr::Const(v, _) => *v,
+            P4Expr::Meta(n) => meta.get(n).copied().unwrap_or(0),
+            P4Expr::Header(f) => read_header_field(pkt.bytes(), *f),
+            P4Expr::IngressPort => u64::from(pkt.ingress.0),
+            P4Expr::Bin(op, a, b) => {
+                op.eval(self.eval(a, pkt, meta), self.eval(b, pkt, meta), 64)
+            }
+            P4Expr::Not(a) => !self.eval(a, pkt, meta),
+            P4Expr::Cast(a, w) => mask_to_width(self.eval(a, pkt, meta), *w),
+            P4Expr::Hash(parts, w) => {
+                let inputs: Vec<u64> = parts.iter().map(|p| self.eval(p, pkt, meta)).collect();
+                hash_values(&inputs, *w)
+            }
+        }
+    }
+}
+
+/// Build a server→switch frame: attach the post-traversal header.
+pub fn encapsulate_to_switch(
+    prog: &P4Program,
+    pkt: &mut Packet,
+    values: &TransferValues,
+    run_post: bool,
+    passthrough: bool,
+) {
+    let mut flags = FLAG_TO_SWITCH;
+    if run_post {
+        flags |= FLAG_RUN_POST;
+    }
+    if passthrough {
+        flags |= FLAG_PASSTHROUGH;
+    }
+    prog.header_to_switch
+        .attach(pkt, flags, values)
+        .expect("plain frame from server");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+    use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, TcpFlags};
+    use gallium_partition::partition_program;
+
+    fn minilb_switch() -> Switch {
+        let mut b = FuncBuilder::new("minilb");
+        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let backends = b.decl_vector("backends", 32, 16);
+        let saddr = b.read_field(HeaderField::IpSaddr);
+        let daddr = b.read_field(HeaderField::IpDaddr);
+        let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+        let mask = b.cnst(0xFFFF, 32);
+        let low = b.bin(BinOp::And, hash32, mask);
+        let key = b.cast(low, 16);
+        let res = b.map_get(map, vec![key]);
+        let null = b.is_null(res);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let bk = b.extract(res, 0);
+        b.write_field(HeaderField::IpDaddr, bk);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        let len = b.vec_len(backends);
+        let idx = b.bin(BinOp::Mod, hash32, len);
+        let bk2 = b.vec_get(backends, idx);
+        b.write_field(HeaderField::IpDaddr, bk2);
+        b.map_put(map, vec![key], vec![bk2]);
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
+        let p4 = gallium_p4::generate(&staged).unwrap();
+        Switch::load(p4, SwitchConfig::default()).unwrap()
+    }
+
+    fn tcp_pkt(saddr: u32, daddr: u32) -> Packet {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr,
+                daddr,
+                sport: 1000,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            100,
+        )
+        .build(PortId(1))
+    }
+
+    #[test]
+    fn miss_goes_to_server_with_header() {
+        let mut sw = minilb_switch();
+        let out = sw.process(tcp_pkt(0x0A000001, 0x0A000099));
+        assert_eq!(out.len(), 1);
+        let (port, pkt) = &out[0];
+        assert_eq!(*port, PortId::SERVER);
+        // The frame grew by the transfer header.
+        assert_eq!(
+            pkt.len(),
+            100 + sw.program().header_to_server.wire_bytes()
+        );
+        assert_eq!(sw.stats.to_server, 1);
+        assert_eq!(sw.stats.fast_path, 0);
+        // The header carries hash32 (saddr ^ daddr) and the miss bit.
+        let (flags, values) = {
+            let mut p = pkt.clone();
+            sw.program().header_to_server.detach(&mut p).unwrap()
+        };
+        assert_eq!(flags & FLAG_TO_SERVER, FLAG_TO_SERVER);
+        assert_eq!(values.get("v2"), Some(u64::from(0x0A000001u32 ^ 0x0A000099)));
+        assert_eq!(values.get("v7"), Some(1), "miss bit set");
+    }
+
+    #[test]
+    fn hit_takes_fast_path() {
+        let mut sw = minilb_switch();
+        // Install the connection entry the way the server's control plane
+        // would: key = low 16 bits of saddr ^ daddr.
+        let key = u64::from((0x0A000001u32 ^ 0x0A000099) & 0xFFFF);
+        sw.table_mut("map")
+            .unwrap()
+            .insert_main(vec![key], vec![0xC0A80001]);
+        sw.add_route(0xC0A80001, PortId(7));
+        let out = sw.process(tcp_pkt(0x0A000001, 0x0A000099));
+        assert_eq!(out.len(), 1);
+        let (port, pkt) = &out[0];
+        assert_eq!(*port, PortId(7));
+        assert_eq!(pkt.len(), 100, "no transfer header on the fast path");
+        assert_eq!(
+            read_header_field(pkt.bytes(), HeaderField::IpDaddr),
+            0xC0A80001
+        );
+        assert_eq!(sw.stats.fast_path, 1);
+        assert_eq!(sw.stats.emitted, 1);
+    }
+
+    #[test]
+    fn post_traversal_rewrites_and_emits() {
+        let mut sw = minilb_switch();
+        // Simulate the server's reply: branch bit set (miss path), backend
+        // chosen = v13.
+        let mut pkt = tcp_pkt(0x0A000001, 0x0A000099);
+        pkt.ingress = PortId::SERVER;
+        let mut values = TransferValues::default();
+        values.set("v7", 1);
+        values.set("v13", 0xC0A80002);
+        let prog = sw.program().clone();
+        encapsulate_to_switch(&prog, &mut pkt, &values, true, false);
+        let out = sw.process(pkt);
+        assert_eq!(out.len(), 1);
+        let (_, emitted) = &out[0];
+        assert_eq!(emitted.len(), 100, "header stripped");
+        assert_eq!(
+            read_header_field(emitted.bytes(), HeaderField::IpDaddr),
+            0xC0A80002
+        );
+    }
+
+    #[test]
+    fn passthrough_emits_without_processing() {
+        let mut sw = minilb_switch();
+        let mut pkt = tcp_pkt(1, 2);
+        pkt.ingress = PortId::SERVER;
+        let prog = sw.program().clone();
+        encapsulate_to_switch(&prog, &mut pkt, &TransferValues::default(), false, true);
+        let out = sw.process(pkt);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.len(), 100);
+        assert_eq!(sw.stats.emitted, 1);
+    }
+
+    #[test]
+    fn write_back_visibility_follows_bit() {
+        let mut sw = minilb_switch();
+        let key = u64::from((0x0A000001u32 ^ 0x0A000099) & 0xFFFF);
+        sw.table_mut("map")
+            .unwrap()
+            .stage(vec![key], Some(vec![0xC0A80003]));
+        // Bit clear: the staged entry is invisible, packet misses.
+        let out = sw.process(tcp_pkt(0x0A000001, 0x0A000099));
+        assert_eq!(out[0].0, PortId::SERVER);
+        // Bit set: the staged entry hits.
+        sw.wb_active = true;
+        let out = sw.process(tcp_pkt(0x0A000001, 0x0A000099));
+        assert_ne!(out[0].0, PortId::SERVER);
+        assert_eq!(
+            read_header_field(out[0].1.bytes(), HeaderField::IpDaddr),
+            0xC0A80003
+        );
+    }
+
+    #[test]
+    fn malformed_server_frame_dropped() {
+        let mut sw = minilb_switch();
+        let mut pkt = tcp_pkt(1, 2);
+        pkt.ingress = PortId::SERVER; // no gallium header attached
+        let out = sw.process(pkt);
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped, 1);
+    }
+}

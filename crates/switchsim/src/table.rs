@@ -1,0 +1,238 @@
+//! Runtime match-action tables with write-back shadows (§4.3.3).
+
+use std::collections::{HashMap, VecDeque};
+
+/// One exact-match table plus its write-back shadow.
+///
+/// The shadow holds *staged* updates: `Some(value)` overrides the main
+/// table, `None` is a tombstone that negates it. Lookups consult the shadow
+/// only while the switch-global write-back bit is set — flipping that bit
+/// is the single atomic operation that makes a whole batch of updates
+/// visible at once.
+#[derive(Debug, Clone, Default)]
+pub struct RtTable {
+    main: HashMap<Vec<u64>, Vec<u64>>,
+    shadow: HashMap<Vec<u64>, Option<Vec<u64>>>,
+    capacity: usize,
+    /// FIFO eviction on insert-at-capacity (cache mode, §7 extension).
+    evict_fifo: bool,
+    order: VecDeque<Vec<u64>>,
+    /// Longest-prefix-match mode (§7 extension): `(prefix, len, value)`
+    /// entries and the key width. Exact lookups are bypassed.
+    lpm: Option<(u8, Vec<(u64, u8, Vec<u64>)>)>,
+}
+
+impl RtTable {
+    /// Empty table sized to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        RtTable {
+            main: HashMap::new(),
+            shadow: HashMap::new(),
+            capacity,
+            evict_fifo: false,
+            order: VecDeque::new(),
+            lpm: None,
+        }
+    }
+
+    /// Switch the table into longest-prefix-match mode with the given key
+    /// width.
+    pub fn make_lpm(&mut self, key_width: u8) {
+        self.lpm = Some((key_width, Vec::new()));
+    }
+
+    /// Install an LPM entry (control plane).
+    pub fn lpm_insert(&mut self, prefix: u64, len: u8, value: Vec<u64>) -> bool {
+        let Some((_, entries)) = &mut self.lpm else {
+            return false;
+        };
+        entries.retain(|(p, l, _)| !(*p == prefix && *l == len));
+        if entries.len() >= self.capacity {
+            return false;
+        }
+        entries.push((prefix, len, value));
+        true
+    }
+
+    /// Turn the table into a FIFO-evicting cache of `capacity` entries
+    /// (the §7 "reducing memory usage" extension).
+    pub fn make_cache(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.evict_fifo = true;
+    }
+
+    /// Is this table operating as a cache?
+    pub fn is_cache(&self) -> bool {
+        self.evict_fifo
+    }
+
+    /// Data-plane lookup. `wb_active` is the global visibility bit.
+    pub fn lookup(&self, key: &[u64], wb_active: bool) -> Option<Vec<u64>> {
+        if let Some((key_width, entries)) = &self.lpm {
+            let k = key.first().copied().unwrap_or(0);
+            let mut best: Option<(u8, &Vec<u64>)> = None;
+            for (prefix, len, value) in entries {
+                let matches = if *len == 0 {
+                    true
+                } else {
+                    let shift = key_width.saturating_sub(*len);
+                    (k >> shift) == (*prefix >> shift)
+                };
+                if matches && best.map(|(bl, _)| *len > bl).unwrap_or(true) {
+                    best = Some((*len, value));
+                }
+            }
+            return best.map(|(_, v)| v.clone());
+        }
+        if wb_active {
+            if let Some(staged) = self.shadow.get(key) {
+                return staged.clone();
+            }
+        }
+        self.main.get(key).cloned()
+    }
+
+    /// Control-plane insert/overwrite into the main table. When the table
+    /// is full: caches evict their oldest entry; ordinary tables reject
+    /// the insert (returns false).
+    pub fn insert_main(&mut self, key: Vec<u64>, value: Vec<u64>) -> bool {
+        if !self.main.contains_key(&key) && self.main.len() >= self.capacity {
+            if !self.evict_fifo {
+                return false;
+            }
+            while self.main.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.main.remove(&old);
+                    }
+                    None => return false, // capacity 0
+                }
+            }
+        }
+        if self.evict_fifo && !self.main.contains_key(&key) {
+            self.order.push_back(key.clone());
+        }
+        self.main.insert(key, value);
+        true
+    }
+
+    /// Control-plane delete from the main table.
+    pub fn delete_main(&mut self, key: &[u64]) {
+        self.main.remove(key);
+        if self.evict_fifo {
+            self.order.retain(|k| k != key);
+        }
+    }
+
+    /// Stage an update (or a `None` tombstone) in the shadow.
+    pub fn stage(&mut self, key: Vec<u64>, value: Option<Vec<u64>>) {
+        self.shadow.insert(key, value);
+    }
+
+    /// Drain the shadow, returning the staged updates (used when folding
+    /// them into the main table).
+    pub fn drain_shadow(&mut self) -> Vec<(Vec<u64>, Option<Vec<u64>>)> {
+        self.shadow.drain().collect()
+    }
+
+    /// Snapshot of the main entries (sorted by key for determinism).
+    pub fn entries(&self) -> Vec<(Vec<u64>, Vec<u64>)> {
+        let mut v: Vec<_> = self
+            .main
+            .iter()
+            .map(|(k, val)| (k.clone(), val.clone()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Number of main entries.
+    pub fn len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// True when the main table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.main.is_empty()
+    }
+
+    /// Number of staged (shadow) entries.
+    pub fn shadow_len(&self) -> usize {
+        self.shadow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_ignores_shadow_when_bit_clear() {
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]);
+        t.stage(vec![1], Some(vec![99]));
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+        assert_eq!(t.lookup(&[1], true), Some(vec![99]));
+    }
+
+    #[test]
+    fn tombstone_negates_main() {
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]);
+        t.stage(vec![1], None);
+        assert_eq!(t.lookup(&[1], true), None);
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+    }
+
+    #[test]
+    fn shadow_provides_new_entries() {
+        let mut t = RtTable::new(8);
+        t.stage(vec![7], Some(vec![70]));
+        assert_eq!(t.lookup(&[7], true), Some(vec![70]));
+        assert_eq!(t.lookup(&[7], false), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t = RtTable::new(2);
+        assert!(t.insert_main(vec![1], vec![1]));
+        assert!(t.insert_main(vec![2], vec![2]));
+        assert!(!t.insert_main(vec![3], vec![3]));
+        // Overwriting an existing key is allowed at capacity.
+        assert!(t.insert_main(vec![2], vec![22]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_fifo() {
+        let mut t = RtTable::new(8);
+        t.make_cache(2);
+        assert!(t.insert_main(vec![1], vec![1]));
+        assert!(t.insert_main(vec![2], vec![2]));
+        assert!(t.insert_main(vec![3], vec![3])); // evicts key 1
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(&[1], false), None);
+        assert_eq!(t.lookup(&[2], false), Some(vec![2]));
+        assert_eq!(t.lookup(&[3], false), Some(vec![3]));
+        // Overwrite does not evict.
+        assert!(t.insert_main(vec![2], vec![22]));
+        assert_eq!(t.len(), 2);
+        // Deleting keeps the order queue consistent.
+        t.delete_main(&[2]);
+        assert!(t.insert_main(vec![4], vec![4]));
+        assert!(t.insert_main(vec![5], vec![5])); // evicts 3, not the gone 2
+        assert_eq!(t.lookup(&[3], false), None);
+        assert_eq!(t.lookup(&[4], false), Some(vec![4]));
+    }
+
+    #[test]
+    fn drain_shadow_empties_it() {
+        let mut t = RtTable::new(8);
+        t.stage(vec![1], Some(vec![1]));
+        t.stage(vec![2], None);
+        let mut drained = t.drain_shadow();
+        drained.sort();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(t.shadow_len(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Flow-size distributions after the CONGA datacenter workloads (§6.3).
+//!
+//! The paper draws flow sizes "from the CONGA work on datacenter traffic
+//! load balancing. These workloads have both short flows and long flows.
+//! The majority of flows in both … are small; 90% of the flows in both
+//! workloads contain less than ten packets" and the evaluation notes "the
+//! long flows [in data-mining] are longer than that in the enterprise
+//! workload." The piecewise log-linear CDFs below encode exactly those
+//! published properties.
+
+use rand::Rng;
+
+/// Which of the two CONGA-derived workloads to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongaWorkload {
+    /// The enterprise workload.
+    Enterprise,
+    /// The data-mining workload (heavier tail).
+    DataMining,
+}
+
+impl CongaWorkload {
+    /// Display name used in figure output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CongaWorkload::Enterprise => "Enterprise",
+            CongaWorkload::DataMining => "DataMining",
+        }
+    }
+}
+
+/// An inverse-transform sampler over a piecewise log-linear CDF of flow
+/// sizes in bytes.
+#[derive(Debug, Clone)]
+pub struct FlowSizeDistribution {
+    /// `(size_bytes, cumulative_probability)`, strictly increasing in both.
+    points: Vec<(f64, f64)>,
+}
+
+impl FlowSizeDistribution {
+    /// The distribution for `workload`.
+    pub fn conga(workload: CongaWorkload) -> Self {
+        // Anchors: ~10 packets ≈ 14.5 KB at the 90th percentile for both;
+        // data-mining is smaller at the low end and much heavier at the
+        // tail (flows up to 1 GB vs 100 MB).
+        let points = match workload {
+            CongaWorkload::Enterprise => vec![
+                (100.0, 0.0),
+                (500.0, 0.25),
+                (2_000.0, 0.55),
+                (6_000.0, 0.78),
+                (14_500.0, 0.90),
+                (100_000.0, 0.945),
+                (1_000_000.0, 0.975),
+                (10_000_000.0, 0.99),
+                (200_000_000.0, 1.0),
+            ],
+            CongaWorkload::DataMining => vec![
+                (80.0, 0.0),
+                (300.0, 0.45),
+                (1_200.0, 0.70),
+                (5_000.0, 0.83),
+                (14_500.0, 0.90),
+                (100_000.0, 0.93),
+                (1_000_000.0, 0.95),
+                (10_000_000.0, 0.97),
+                (100_000_000.0, 0.99),
+                (1_000_000_000.0, 1.0),
+            ],
+        };
+        FlowSizeDistribution { points }
+    }
+
+    /// Sample one flow size in bytes.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.quantile(u)
+    }
+
+    /// The `u`-quantile (inverse CDF), log-interpolated between anchors.
+    pub fn quantile(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0);
+        for w in self.points.windows(2) {
+            let (s0, p0) = w[0];
+            let (s1, p1) = w[1];
+            if u <= p1 {
+                let t = if p1 > p0 { (u - p0) / (p1 - p0) } else { 0.0 };
+                let log_size = s0.ln() + t * (s1.ln() - s0.ln());
+                return log_size.exp().round() as u64;
+            }
+        }
+        self.points.last().map(|(s, _)| *s as u64).unwrap_or(1)
+    }
+
+    /// Draw `n` sizes.
+    pub fn sample_n<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fraction_below(sizes: &[u64], threshold: u64) -> f64 {
+        sizes.iter().filter(|s| **s < threshold).count() as f64 / sizes.len() as f64
+    }
+
+    #[test]
+    fn ninety_percent_below_ten_packets() {
+        // The paper's load-bearing property: 90% of flows < 10 packets
+        // (≈ 14.5 KB at 1500-byte frames) in *both* workloads.
+        let mut rng = StdRng::seed_from_u64(7);
+        for wl in [CongaWorkload::Enterprise, CongaWorkload::DataMining] {
+            let sizes = FlowSizeDistribution::conga(wl).sample_n(&mut rng, 20_000);
+            let frac = fraction_below(&sizes, 14_500);
+            assert!(
+                (0.86..=0.93).contains(&frac),
+                "{}: {frac} of flows below 10 packets",
+                wl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn datamining_tail_is_heavier() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ent = FlowSizeDistribution::conga(CongaWorkload::Enterprise)
+            .sample_n(&mut rng, 50_000);
+        let dm = FlowSizeDistribution::conga(CongaWorkload::DataMining)
+            .sample_n(&mut rng, 50_000);
+        let ent_max = *ent.iter().max().unwrap();
+        let dm_max = *dm.iter().max().unwrap();
+        assert!(dm_max > ent_max, "dm tail {dm_max} vs ent {ent_max}");
+        // Bytes concentrate in the tail far more for data-mining.
+        let tail_share = |v: &[u64]| {
+            let total: u128 = v.iter().map(|s| u128::from(*s)).sum();
+            let tail: u128 = v
+                .iter()
+                .filter(|s| **s > 10_000_000)
+                .map(|s| u128::from(*s))
+                .sum();
+            tail as f64 / total as f64
+        };
+        assert!(tail_share(&dm) > tail_share(&ent));
+    }
+
+    #[test]
+    fn quantile_is_monotone() {
+        let d = FlowSizeDistribution::conga(CongaWorkload::Enterprise);
+        let mut last = 0u64;
+        for i in 0..=100 {
+            let q = d.quantile(i as f64 / 100.0);
+            assert!(q >= last, "quantile not monotone at {i}");
+            last = q;
+        }
+        assert_eq!(d.quantile(1.0), 200_000_000);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let d = FlowSizeDistribution::conga(CongaWorkload::DataMining);
+        let a = d.sample_n(&mut StdRng::seed_from_u64(3), 100);
+        let b = d.sample_n(&mut StdRng::seed_from_u64(3), 100);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+//! Flow descriptors and the closed-loop worker schedule.
+
+use gallium_net::{FiveTuple, IpProtocol};
+
+/// One TCP connection to be replayed through the middlebox.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDesc {
+    /// Stable flow id.
+    pub id: u64,
+    /// Application bytes to transfer.
+    pub bytes: u64,
+    /// Frame length used for full-size data packets.
+    pub frame_len: usize,
+    /// The five-tuple (unique per flow).
+    pub tuple: FiveTuple,
+    /// The closed-loop worker this flow belongs to.
+    pub worker: usize,
+}
+
+impl FlowDesc {
+    /// Data packets needed: MSS = frame minus Ethernet/IP/TCP headers.
+    pub fn data_packets(&self) -> u64 {
+        let mss = (self.frame_len.saturating_sub(54)).max(1) as u64;
+        self.bytes.div_ceil(mss).max(1)
+    }
+
+    /// Total packets on the forward path including SYN and FIN.
+    pub fn total_packets(&self) -> u64 {
+        self.data_packets() + 2
+    }
+}
+
+/// Flows grouped into per-worker queues: worker `w` runs its flows
+/// back-to-back, starting the next when the previous completes.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerSchedule {
+    /// `queues[w]` holds worker w's flows in start order.
+    pub queues: Vec<Vec<FlowDesc>>,
+}
+
+impl WorkerSchedule {
+    /// Distribute `sizes` (bytes per flow) round-robin over `workers`
+    /// closed-loop workers, assigning unique five-tuples.
+    pub fn build(sizes: &[u64], workers: usize, frame_len: usize) -> Self {
+        assert!(workers > 0);
+        let mut queues = vec![Vec::new(); workers];
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let worker = i % workers;
+            let tuple = unique_tuple(i as u64);
+            queues[worker].push(FlowDesc {
+                id: i as u64,
+                bytes,
+                frame_len,
+                tuple,
+                worker,
+            });
+        }
+        WorkerSchedule { queues }
+    }
+
+    /// Total number of flows.
+    pub fn total_flows(&self) -> usize {
+        self.queues.iter().map(Vec::len).sum()
+    }
+
+    /// Total application bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|f| f.bytes)
+            .sum()
+    }
+}
+
+/// Deterministic unique five-tuple for flow `i` (clients in 10.1.0.0/16,
+/// servers in 10.2.0.0/16).
+pub fn unique_tuple(i: u64) -> FiveTuple {
+    FiveTuple {
+        saddr: 0x0A01_0000 | ((i % 251) as u32 + 1),
+        daddr: 0x0A02_0000 | ((i % 13) as u32 + 1),
+        sport: 1024 + ((i / 251) % 60_000) as u16,
+        dport: 80,
+        proto: IpProtocol::Tcp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_counts() {
+        let f = FlowDesc {
+            id: 0,
+            bytes: 14_600,
+            frame_len: 1500,
+            tuple: unique_tuple(0),
+            worker: 0,
+        };
+        assert_eq!(f.data_packets(), 11); // 14600 / 1446 = 10.09 → 11
+        assert_eq!(f.total_packets(), 13);
+        let tiny = FlowDesc { bytes: 1, ..f };
+        assert_eq!(tiny.data_packets(), 1);
+    }
+
+    #[test]
+    fn schedule_round_robins() {
+        let sizes = vec![100, 200, 300, 400, 500];
+        let s = WorkerSchedule::build(&sizes, 2, 1500);
+        assert_eq!(s.queues[0].len(), 3);
+        assert_eq!(s.queues[1].len(), 2);
+        assert_eq!(s.total_flows(), 5);
+        assert_eq!(s.total_bytes(), 1500);
+        assert_eq!(s.queues[0][1].bytes, 300);
+    }
+
+    #[test]
+    fn tuples_unique_within_window() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(unique_tuple(i)), "tuple collision at {i}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # gallium-workloads — traffic generation for the evaluation
+//!
+//! Three workload families, matching §6.3:
+//!
+//! * [`microbench`] — the iperf-style TCP microbenchmark: "ten parallel
+//!   TCP connections … different packet sizes (e.g., 100, 500, and 1500
+//!   bytes)" (Figure 7, Table 2);
+//! * [`conga`] — flow-size distributions "drawn from the CONGA work on
+//!   datacenter traffic load balancing": an **enterprise** and a
+//!   **data-mining** workload where "90% of the flows in both workloads
+//!   contain less than ten packets" and the data-mining tail is heavier
+//!   (Figures 8 and 9);
+//! * [`flows`] — the 100-worker closed-loop driver: "100 threads … a
+//!   thread sends a single connection at a time and starts a new
+//!   connection when the current connection finishes."
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conga;
+pub mod flows;
+pub mod microbench;
+
+pub use conga::{CongaWorkload, FlowSizeDistribution};
+pub use flows::{FlowDesc, WorkerSchedule};
+pub use microbench::{microbench_flows, PACKET_SIZES};

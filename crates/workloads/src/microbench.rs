@@ -1,0 +1,42 @@
+//! The iperf-style TCP microbenchmark of §6.3.
+
+use crate::flows::{unique_tuple, FlowDesc};
+
+/// The packet sizes swept by Figure 7.
+pub const PACKET_SIZES: [usize; 3] = [100, 500, 1500];
+
+/// Build the microbenchmark flow set: `conns` parallel long-running TCP
+/// connections (the paper uses ten) at the given frame length. `bytes`
+/// bounds each connection (large enough to saturate for the measurement
+/// window).
+pub fn microbench_flows(conns: usize, frame_len: usize, bytes: u64) -> Vec<FlowDesc> {
+    (0..conns)
+        .map(|i| FlowDesc {
+            id: i as u64,
+            bytes,
+            frame_len,
+            tuple: unique_tuple(1_000_000 + i as u64),
+            worker: i, // each connection is its own worker: all run in parallel
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_parallel_connections() {
+        let flows = microbench_flows(10, 1500, 1 << 20);
+        assert_eq!(flows.len(), 10);
+        let tuples: std::collections::HashSet<_> = flows.iter().map(|f| f.tuple).collect();
+        assert_eq!(tuples.len(), 10, "distinct five-tuples");
+        let workers: std::collections::HashSet<_> = flows.iter().map(|f| f.worker).collect();
+        assert_eq!(workers.len(), 10, "fully parallel");
+    }
+
+    #[test]
+    fn sizes_cover_figure7() {
+        assert_eq!(PACKET_SIZES, [100, 500, 1500]);
+    }
+}

@@ -1,0 +1,60 @@
+//! # gallium — automated software middlebox offloading to programmable switches
+//!
+//! A from-scratch Rust reproduction of *Gallium: Automated Software
+//! Middlebox Offloading to Programmable Switches* (Zhang, Zhuo,
+//! Krishnamurthy — SIGCOMM 2020). The facade crate re-exports the pieces a
+//! downstream user composes:
+//!
+//! ```
+//! use gallium::prelude::*;
+//!
+//! // 1. Author a middlebox (here: the paper's MiniLB running example).
+//! let lb = gallium::middleboxes::minilb::minilb();
+//!
+//! // 2. Compile it for a Tofino-class switch.
+//! let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+//! assert!(compiled.p4_source.contains("table map"));
+//!
+//! // 3. Deploy: switch simulator + middlebox server + state sync.
+//! let mut d = Deployment::new(&compiled, SwitchConfig::default(),
+//!                             CostModel::calibrated()).unwrap();
+//! d.configure(|store| lb.configure(store, &[0xC0A8_0001, 0xC0A8_0002])).unwrap();
+//!
+//! // 4. Push packets through it.
+//! let pkt = PacketBuilder::tcp(
+//!     FiveTuple { saddr: 1, daddr: 2, sport: 3, dport: 80,
+//!                 proto: IpProtocol::Tcp },
+//!     TcpFlags(TcpFlags::SYN), 100).build(PortId(1));
+//! let out = d.inject(pkt).unwrap();
+//! assert_eq!(out.len(), 1);
+//! ```
+//!
+//! See DESIGN.md for the crate map and EXPERIMENTS.md for the
+//! paper-vs-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use gallium_analysis as analysis;
+pub use gallium_click as click;
+pub use gallium_core as core;
+pub use gallium_middleboxes as middleboxes;
+pub use gallium_mir as mir;
+pub use gallium_net as net;
+pub use gallium_p4 as p4;
+pub use gallium_partition as partition;
+pub use gallium_server as server;
+pub use gallium_sim as sim;
+pub use gallium_switchsim as switchsim;
+pub use gallium_workloads as workloads;
+
+/// The names almost every user of the library needs.
+pub mod prelude {
+    pub use gallium_core::{compile, CompiledMiddlebox, Deployment};
+    pub use gallium_mir::{FuncBuilder, Interpreter, Program, StateStore};
+    pub use gallium_net::{
+        FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags,
+    };
+    pub use gallium_partition::{Partition, StagedProgram, StatePlacement, SwitchModel};
+    pub use gallium_server::CostModel;
+    pub use gallium_switchsim::{Switch, SwitchConfig};
+}

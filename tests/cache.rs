@@ -1,0 +1,229 @@
+//! The §7 "reducing memory usage" extension: the switch stores only a
+//! fraction of a table; cache misses replay on the server. The invariant
+//! that must survive arbitrary eviction pressure is *semantic equivalence
+//! with the uncached deployment* — for the load balancer, connection
+//! consistency even when the cache is far smaller than the live
+//! connection count.
+
+use gallium::core::{compile, Deployment};
+use gallium::middleboxes::lb::load_balancer;
+use gallium::middleboxes::minilb::minilb;
+use gallium::mir::interp::read_header_field;
+use gallium::mir::{HeaderField, Interpreter, PacketAction, StateStore};
+use gallium::prelude::*;
+
+fn tcp(saddr: u32, sport: u16, flags: u8) -> Packet {
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr,
+            daddr: 0x0A00_00FE,
+            sport,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(flags),
+        120,
+    )
+    .build(PortId(1))
+}
+
+fn cached_lb(cache_entries: usize) -> (Deployment, gallium::middleboxes::lb::LoadBalancer) {
+    let lb = load_balancer();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new_cached(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &[(lb.conn, cache_entries)],
+    )
+    .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003])
+            .unwrap();
+    })
+    .unwrap();
+    (d, lb)
+}
+
+#[test]
+fn cache_hit_stays_on_fast_path() {
+    let (mut d, _) = cached_lb(8);
+    // First packet: replay (conn unknown anywhere).
+    let out1 = d.inject(tcp(1, 1000, TcpFlags::SYN)).unwrap();
+    assert_eq!(out1.len(), 1);
+    assert_eq!(d.switch.stats.cache_misses, 1);
+    // Second packet: the fill made it a pure switch hit.
+    let before = d.stats.slow_path;
+    let out2 = d.inject(tcp(1, 1000, TcpFlags::ACK)).unwrap();
+    assert_eq!(out2.len(), 1);
+    assert_eq!(d.stats.slow_path, before, "hit is switch-only");
+    // Both chose the same backend.
+    assert_eq!(
+        read_header_field(out1[0].1.bytes(), HeaderField::IpDaddr),
+        read_header_field(out2[0].1.bytes(), HeaderField::IpDaddr)
+    );
+}
+
+#[test]
+fn connection_consistency_survives_eviction_thrash() {
+    // Cache of 4 entries, 32 live connections: every flow keeps its
+    // backend across rounds even though its cache entry is regularly
+    // evicted and re-filled.
+    let (mut d, _lb) = cached_lb(4);
+    let mut assigned = std::collections::HashMap::new();
+    for round in 0..3 {
+        for i in 0..32u16 {
+            let out = d
+                .inject(tcp(0x0A00_0000 + u32::from(i), 2000 + i, TcpFlags::ACK))
+                .unwrap();
+            assert_eq!(out.len(), 1, "round {round} flow {i}");
+            let backend = read_header_field(out[0].1.bytes(), HeaderField::IpDaddr);
+            match assigned.get(&i) {
+                None => {
+                    assigned.insert(i, backend);
+                }
+                Some(prev) => assert_eq!(
+                    *prev, backend,
+                    "round {round} flow {i}: backend changed after eviction"
+                ),
+            }
+        }
+        assert!(d.replicated_consistent(), "round {round}");
+    }
+    // The cache never exceeded its capacity.
+    assert!(d.switch.table("conn").unwrap().len() <= 4);
+    // The authoritative map holds all 32 connections.
+    assert_eq!(d.server.store.map_len(_lb.conn).unwrap(), 32);
+    // Eviction produced real cache misses beyond the first-touch ones.
+    assert!(d.switch.stats.cache_misses > 32);
+}
+
+#[test]
+fn cached_equals_uncached_equals_reference() {
+    // Drive identical traffic through (a) the reference interpreter,
+    // (b) the normal deployment, (c) a 2-entry cached deployment; all
+    // three must emit identical packets.
+    let lb = load_balancer();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let backends = lb.backends;
+
+    let mut plain = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    plain
+        .configure(|s| {
+            s.vec_set_all(backends, vec![11, 22, 33]).unwrap();
+        })
+        .unwrap();
+    let mut cached = Deployment::new_cached(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &[(lb.conn, 2)],
+    )
+    .unwrap();
+    cached
+        .configure(|s| {
+            s.vec_set_all(backends, vec![11, 22, 33]).unwrap();
+        })
+        .unwrap();
+    let mut ref_store = StateStore::new(&lb.prog.states);
+    ref_store.vec_set_all(backends, vec![11, 22, 33]).unwrap();
+    let interp = Interpreter::new(&lb.prog);
+
+    for i in 0..40u16 {
+        let flags = if i % 7 == 6 {
+            TcpFlags::FIN | TcpFlags::ACK
+        } else {
+            TcpFlags::ACK
+        };
+        let p = tcp(u32::from(i % 9), 3000 + (i % 5), flags);
+        let mut rp = p.clone();
+        let r = interp.run(&mut rp, &mut ref_store, 0).unwrap();
+        let expected: Vec<_> = r
+            .actions
+            .iter()
+            .filter_map(|a| match a {
+                PacketAction::Send(s) => Some(s.clone()),
+                PacketAction::Drop => None,
+            })
+            .collect();
+        for (which, d) in [("plain", &mut plain), ("cached", &mut cached)] {
+            let got = d.inject(p.clone()).unwrap();
+            assert_eq!(got.len(), expected.len(), "{which} pkt {i}");
+            for ((_, g), e) in got.iter().zip(&expected) {
+                assert_eq!(g.bytes(), e.bytes(), "{which} pkt {i}");
+            }
+        }
+    }
+    // All three converged to identical connection state.
+    assert_eq!(
+        plain.server.store.map_entries(lb.conn).unwrap(),
+        ref_store.map_entries(lb.conn).unwrap()
+    );
+    assert_eq!(
+        cached.server.store.map_entries(lb.conn).unwrap(),
+        ref_store.map_entries(lb.conn).unwrap()
+    );
+    assert!(cached.replicated_consistent());
+}
+
+#[test]
+fn fin_removes_from_cache_and_authority() {
+    let (mut d, lb) = cached_lb(8);
+    d.inject(tcp(5, 4000, TcpFlags::SYN)).unwrap();
+    assert_eq!(d.switch.table("conn").unwrap().len(), 1);
+    d.inject(tcp(5, 4000, TcpFlags::FIN | TcpFlags::ACK)).unwrap();
+    assert_eq!(d.server.store.map_len(lb.conn).unwrap(), 0);
+    assert_eq!(d.switch.table("conn").unwrap().len(), 0, "cache entry gone");
+    assert!(d.replicated_consistent());
+}
+
+#[test]
+fn minilb_cache_mode_works_too() {
+    let lb = minilb();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new_cached(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &[(lb.map, 2)],
+    )
+    .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![7, 8, 9]).unwrap();
+    })
+    .unwrap();
+    let mut first = std::collections::HashMap::new();
+    for round in 0..2 {
+        for i in 0..10u32 {
+            let out = d.inject(tcp(100 + i, 500, TcpFlags::ACK)).unwrap();
+            let b = read_header_field(out[0].1.bytes(), HeaderField::IpDaddr);
+            match first.get(&i) {
+                None => {
+                    first.insert(i, b);
+                }
+                Some(prev) => assert_eq!(*prev, b, "round {round} flow {i}"),
+            }
+        }
+    }
+    assert!(d.switch.table("map").unwrap().len() <= 2);
+}
+
+#[test]
+fn cache_mode_rejected_for_switch_only_registers() {
+    // MazuNAT's port counter is a switch-only register: replay on the
+    // server would re-allocate differently, so cache mode must refuse.
+    let nat = gallium::middleboxes::mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+    let err = Deployment::new_cached(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &[(nat.nat_out, 16)],
+    )
+    .err()
+    .expect("must refuse");
+    assert!(err.contains("port_ctr"), "err: {err}");
+}

@@ -1,0 +1,182 @@
+//! Constraint 3 (§4.2.2): "each element of the global state maintained on
+//! the switch can only be accessed once during packet processing."
+//!
+//! The label-removing rules 3/4 only separate accesses connected by a
+//! dependency chain; two lookups of the same table in *disjoint branches*
+//! slip past them, and the paper handles those with an exhaustive
+//! placement search. This test builds exactly that shape and checks the
+//! outcome: at most one access offloaded per traversal, the packet still
+//! processed correctly, and the search picking a placement that maximizes
+//! the offloaded statement count.
+
+use gallium::core::{compile, Deployment};
+use gallium::mir::{BinOp, FuncBuilder, HeaderField, Interpreter, Op, Program, StateStore, ValueId};
+use gallium::partition::Partition;
+use gallium::prelude::*;
+
+/// Two disjoint branches, each doing a lookup in the SAME map: a service
+/// table consulted by dport for TCP and by sport for UDP.
+fn double_lookup() -> Program {
+    let mut b = FuncBuilder::new("double");
+    let m = b.decl_map("svc", vec![16], vec![32], Some(1024));
+    let proto = b.read_field(HeaderField::IpProto);
+    let tcp = b.cnst(6, 8);
+    let is_tcp = b.bin(BinOp::Eq, proto, tcp);
+    let t = b.new_block();
+    let u = b.new_block();
+    b.branch(is_tcp, t, u);
+
+    for (bb, field) in [(t, HeaderField::DstPort), (u, HeaderField::SrcPort)] {
+        b.switch_to(bb);
+        let k = b.read_field(field);
+        let r = b.map_get(m, vec![k]);
+        let null = b.is_null(r);
+        let hit = b.new_block();
+        let miss = b.new_block();
+        b.branch(null, miss, hit);
+        b.switch_to(hit);
+        let val = b.extract(r, 0);
+        b.write_field(HeaderField::IpDaddr, val);
+        b.send();
+        b.ret();
+        b.switch_to(miss);
+        b.drop_pkt();
+        b.ret();
+    }
+    b.finish().unwrap()
+}
+
+fn lookups(prog: &Program) -> Vec<ValueId> {
+    (0..prog.func.len() as u32)
+        .map(ValueId)
+        .filter(|v| matches!(prog.func.inst(*v).op, Op::MapGet { .. }))
+        .collect()
+}
+
+#[test]
+fn at_most_one_access_per_traversal() {
+    let prog = double_lookup();
+    let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
+    let gets = lookups(&prog);
+    assert_eq!(gets.len(), 2);
+    let offloaded: Vec<_> = gets
+        .iter()
+        .filter(|v| compiled.staged.partition_of(**v) == Partition::Pre)
+        .collect();
+    assert_eq!(
+        offloaded.len(),
+        1,
+        "exactly one of the two same-table lookups may run in pre-processing"
+    );
+    // The switch program exposes the table once.
+    assert_eq!(compiled.p4.tables.len(), 1);
+}
+
+#[test]
+fn both_branches_still_correct_end_to_end() {
+    let prog = double_lookup();
+    let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let svc = prog.state_by_name("svc").unwrap();
+    d.configure(|s| {
+        s.map_put(svc, vec![80], vec![0xAAAA]).unwrap();
+        s.map_put(svc, vec![53], vec![0xBBBB]).unwrap();
+    })
+    .unwrap();
+
+    let mut ref_store = StateStore::new(&prog.states);
+    ref_store.map_put(svc, vec![80], vec![0xAAAA]).unwrap();
+    ref_store.map_put(svc, vec![53], vec![0xBBBB]).unwrap();
+    let interp = Interpreter::new(&prog);
+
+    let cases = [
+        (IpProtocol::Tcp, 1000u16, 80u16),  // TCP: dport hit
+        (IpProtocol::Tcp, 1000, 9999),      // TCP: dport miss → drop
+        (IpProtocol::Udp, 53, 7777),        // UDP: sport hit
+        (IpProtocol::Udp, 54, 7777),        // UDP: sport miss → drop
+    ];
+    for (proto, sport, dport) in cases {
+        let t = FiveTuple {
+            saddr: 1,
+            daddr: 2,
+            sport,
+            dport,
+            proto,
+        };
+        let p = match proto {
+            IpProtocol::Udp => PacketBuilder::udp(t, 80).build(PortId(1)),
+            _ => PacketBuilder::tcp(t, TcpFlags(TcpFlags::ACK), 80).build(PortId(1)),
+        };
+        let mut rp = p.clone();
+        let r = interp.run(&mut rp, &mut ref_store, 0).unwrap();
+        let got = d.inject(p).unwrap();
+        match r.sent() {
+            Some(e) => {
+                assert_eq!(got.len(), 1, "{proto:?} {sport}->{dport}");
+                assert_eq!(got[0].1.bytes(), e.bytes());
+            }
+            None => assert!(got.is_empty(), "{proto:?} {sport}->{dport} drops"),
+        }
+    }
+}
+
+#[test]
+fn search_prefers_the_larger_branch() {
+    // Make one branch much heavier: keeping its lookup offloaded saves
+    // more statements, so the exhaustive search must choose it.
+    let mut b = FuncBuilder::new("asym");
+    let m = b.decl_map("svc", vec![16], vec![32], Some(1024));
+    let proto = b.read_field(HeaderField::IpProto);
+    let tcp = b.cnst(6, 8);
+    let is_tcp = b.bin(BinOp::Eq, proto, tcp);
+    let heavy = b.new_block();
+    let light = b.new_block();
+    b.branch(is_tcp, heavy, light);
+
+    // Heavy branch: lookup plus a pile of dependent ALU work.
+    b.switch_to(heavy);
+    let k = b.read_field(HeaderField::DstPort);
+    let r = b.map_get(m, vec![k]);
+    let null = b.is_null(r);
+    let hit = b.new_block();
+    let miss = b.new_block();
+    b.branch(null, miss, hit);
+    b.switch_to(hit);
+    let mut acc = b.extract(r, 0);
+    for i in 0..6 {
+        let c = b.cnst(i, 32);
+        acc = b.bin(BinOp::Xor, acc, c);
+    }
+    b.write_field(HeaderField::IpDaddr, acc);
+    b.send();
+    b.ret();
+    b.switch_to(miss);
+    b.drop_pkt();
+    b.ret();
+
+    // Light branch: lookup, null-check, send.
+    b.switch_to(light);
+    let k2 = b.read_field(HeaderField::SrcPort);
+    let r2 = b.map_get(m, vec![k2]);
+    let null2 = b.is_null(r2);
+    let h2 = b.new_block();
+    let m2 = b.new_block();
+    b.branch(null2, m2, h2);
+    b.switch_to(h2);
+    b.send();
+    b.ret();
+    b.switch_to(m2);
+    b.drop_pkt();
+    b.ret();
+
+    let prog = b.finish().unwrap();
+    let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
+    let gets = lookups(&prog);
+    let heavy_get = gets[0];
+    assert_eq!(
+        compiled.staged.partition_of(heavy_get),
+        Partition::Pre,
+        "the search keeps the lookup whose branch offloads more statements"
+    );
+}

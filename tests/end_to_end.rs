@@ -1,0 +1,205 @@
+//! Workspace-level end-to-end tests exercising the public facade: author →
+//! compile → deploy → traffic, across middleboxes and switch models.
+
+use gallium::middleboxes::{firewall, lb, mazunat, minilb, proxy};
+use gallium::middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium::mir::interp::read_header_field;
+use gallium::mir::HeaderField;
+use gallium::prelude::*;
+
+fn tcp(t: FiveTuple, flags: u8, ingress: u16) -> Packet {
+    PacketBuilder::tcp(t, TcpFlags(flags), 128).build(PortId(ingress))
+}
+
+#[test]
+fn all_five_compile_and_load_for_tofino() {
+    for (name, prog) in gallium::middleboxes::all_evaluated() {
+        let compiled = compile(&prog, &SwitchModel::tofino_like())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // The generated program must load into a switch built with the
+        // same model (invariant 3).
+        gallium::switchsim::load_check(&compiled.p4, &SwitchModel::tofino_like())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // And the artifacts must be non-trivial.
+        assert!(compiled.p4_loc() > 20, "{name}");
+        assert!(compiled.server_loc() > 5, "{name}");
+    }
+}
+
+#[test]
+fn all_five_compile_under_squeezed_models() {
+    // Whatever the model, partitioning must succeed (the server can always
+    // absorb everything) and the output must load.
+    let models = [
+        SwitchModel::tiny(4, 1 << 20, 400, 12),
+        SwitchModel::tiny(2, 1 << 10, 100, 6),
+        SwitchModel::tiny(16, usize::MAX / 2, 800, 20),
+    ];
+    for model in models {
+        for (name, prog) in gallium::middleboxes::all_evaluated() {
+            let compiled =
+                compile(&prog, &model).unwrap_or_else(|e| panic!("{name} @ {model:?}: {e}"));
+            gallium::switchsim::load_check(&compiled.p4, &model)
+                .unwrap_or_else(|e| panic!("{name} @ {model:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn nat_full_conversation() {
+    let nat = mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+
+    let t = FiveTuple {
+        saddr: 0x0A00_0009,
+        daddr: 0x0808_0404,
+        sport: 50_123,
+        dport: 443,
+        proto: IpProtocol::Tcp,
+    };
+    // Handshake out.
+    let syn_out = d.inject(tcp(t, TcpFlags::SYN, INTERNAL_PORT)).unwrap();
+    let ext_port =
+        read_header_field(syn_out[0].1.bytes(), HeaderField::SrcPort) as u16;
+    // Handshake back.
+    let reply = FiveTuple {
+        saddr: 0x0808_0404,
+        daddr: mazunat::NAT_EXTERNAL_IP,
+        sport: 443,
+        dport: ext_port,
+        proto: IpProtocol::Tcp,
+    };
+    let synack_out = d
+        .inject(tcp(reply, TcpFlags::SYN | TcpFlags::ACK, EXTERNAL_PORT))
+        .unwrap();
+    assert_eq!(
+        read_header_field(synack_out[0].1.bytes(), HeaderField::IpDaddr),
+        0x0A00_0009
+    );
+    // Steady-state data: both directions fast.
+    let before = d.stats.slow_path;
+    for _ in 0..20 {
+        d.inject(tcp(t, TcpFlags::ACK, INTERNAL_PORT)).unwrap();
+        d.inject(tcp(reply, TcpFlags::ACK, EXTERNAL_PORT)).unwrap();
+    }
+    assert_eq!(d.stats.slow_path, before, "steady state is switch-only");
+    assert!(d.replicated_consistent());
+}
+
+#[test]
+fn lb_gc_pushes_deletions_to_switch() {
+    let lb = lb::load_balancer();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![1, 2, 3]).unwrap();
+    })
+    .unwrap();
+    let t = FiveTuple {
+        saddr: 7,
+        daddr: 8,
+        sport: 9,
+        dport: 80,
+        proto: IpProtocol::Tcp,
+    };
+    d.inject(tcp(t, TcpFlags::SYN, 1)).unwrap();
+    assert_eq!(d.switch.table("conn").unwrap().len(), 1);
+    d.inject(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 1)).unwrap();
+    assert_eq!(d.switch.table("conn").unwrap().len(), 0, "GC replicated");
+    assert!(d.replicated_consistent());
+}
+
+#[test]
+fn firewall_and_proxy_never_touch_server() {
+    let fw = firewall::firewall();
+    let allowed = FiveTuple {
+        saddr: 1,
+        daddr: 2,
+        sport: 3,
+        dport: 4,
+        proto: IpProtocol::Tcp,
+    };
+    let compiled = compile(&fw.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let fw2 = fw.clone();
+    d.configure(move |s| fw2.allow(s, &allowed)).unwrap();
+    for _ in 0..50 {
+        d.inject(tcp(allowed, TcpFlags::ACK, INTERNAL_PORT)).unwrap();
+        d.inject(tcp(allowed.reversed(), TcpFlags::ACK, EXTERNAL_PORT))
+            .unwrap();
+    }
+    assert_eq!(d.stats.slow_path, 0);
+
+    let px = proxy::proxy(0xDEAD_BEEF, 8080);
+    let compiled = compile(&px.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let px2 = px.clone();
+    d.configure(move |s| px2.intercept(s, 80)).unwrap();
+    for dport in [80u16, 81, 443] {
+        let t = FiveTuple {
+            saddr: 5,
+            daddr: 6,
+            sport: 7,
+            dport,
+            proto: IpProtocol::Tcp,
+        };
+        d.inject(tcp(t, TcpFlags::SYN, 1)).unwrap();
+    }
+    assert_eq!(d.stats.slow_path, 0);
+}
+
+#[test]
+fn routes_steer_emissions() {
+    let lb = minilb::minilb();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![0xC0A8_0001]).unwrap();
+    })
+    .unwrap();
+    d.switch.add_route(0xC0A8_0001, PortId(9));
+    let t = FiveTuple {
+        saddr: 1,
+        daddr: 2,
+        sport: 3,
+        dport: 4,
+        proto: IpProtocol::Tcp,
+    };
+    d.inject(tcp(t, TcpFlags::SYN, 1)).unwrap();
+    let out = d.inject(tcp(t, TcpFlags::ACK, 1)).unwrap();
+    assert_eq!(out[0].0, PortId(9), "fast-path emission follows the route");
+}
+
+#[test]
+fn facade_doc_example_works() {
+    // Mirror of the crate-level doc example, kept as a real test.
+    let lb = minilb::minilb();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    assert!(compiled.p4_source.contains("table map"));
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    d.configure(|store| lb.configure(store, &[0xC0A8_0001, 0xC0A8_0002]))
+        .unwrap();
+    let pkt = PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 1,
+            daddr: 2,
+            sport: 3,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(TcpFlags::SYN),
+        100,
+    )
+    .build(PortId(1));
+    let out = d.inject(pkt).unwrap();
+    assert_eq!(out.len(), 1);
+}

@@ -1,0 +1,76 @@
+//! The operator pattern for the load balancer's idle-timeout GC (§6.1):
+//! the sweep runs out-of-band on the server's authoritative state, and the
+//! resulting deletions are pushed to the switch through the control plane
+//! so the replicated connection table stays consistent.
+
+use gallium::core::{compile, Deployment};
+use gallium::middleboxes::lb::{load_balancer, IDLE_TIMEOUT_NS};
+use gallium::p4::ControlPlaneOp;
+use gallium::prelude::*;
+use gallium::switchsim::ControlPlane;
+
+fn tcp(sport: u16, flags: u8) -> Packet {
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 0x0A00_0001,
+            daddr: 0x0A00_00FE,
+            sport,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(flags),
+        120,
+    )
+    .build(PortId(1))
+}
+
+#[test]
+fn idle_sweep_propagates_to_the_switch() {
+    let lb = load_balancer();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .unwrap();
+    let backends = lb.backends;
+    d.configure(|s| {
+        s.vec_set_all(backends, vec![1, 2]).unwrap();
+    })
+    .unwrap();
+
+    // Two connections: one at t=0, one at t≈timeout.
+    d.set_time_ns(0);
+    d.inject(tcp(1000, TcpFlags::SYN)).unwrap();
+    d.set_time_ns(IDLE_TIMEOUT_NS);
+    d.inject(tcp(2000, TcpFlags::SYN)).unwrap();
+    assert_eq!(d.switch.table("conn").unwrap().len(), 2);
+
+    // Operator sweep just past the first flow's deadline: the helper
+    // removes from the authoritative store and reports the keys; pushing
+    // the deletions through the control plane is the operator's (or the
+    // runtime's timer thread's) job.
+    let removed = lb.gc_expired(d.server.store_mut(), IDLE_TIMEOUT_NS + 1_000);
+    assert_eq!(removed.len(), 1);
+    let mut total_latency = 0u64;
+    for key in removed {
+        total_latency += d
+            .switch
+            .control(&ControlPlaneOp::TableDelete {
+                table: "conn".into(),
+                key,
+            })
+            .unwrap();
+    }
+    assert!(total_latency >= 131_300, "Table 3 delete latency applies");
+
+    // The switch mirrors the post-sweep state; the survivor still works.
+    assert_eq!(d.switch.table("conn").unwrap().len(), 1);
+    assert!(d.replicated_consistent());
+    let before = d.stats.slow_path;
+    d.inject(tcp(2000, TcpFlags::ACK)).unwrap();
+    assert_eq!(d.stats.slow_path, before, "survivor stays on the fast path");
+
+    // The expired flow's next packet re-enters as a new connection.
+    d.inject(tcp(1000, TcpFlags::ACK)).unwrap();
+    assert_eq!(d.stats.slow_path, before + 1, "expired flow reassigned");
+    assert_eq!(d.switch.table("conn").unwrap().len(), 2);
+    assert!(d.replicated_consistent());
+}

@@ -1,0 +1,335 @@
+//! Property tests over randomly generated middlebox programs — the
+//! invariants of DESIGN.md:
+//!
+//! 1. functional equivalence of the deployed pipeline vs the reference
+//!    interpreter, on random packet sequences;
+//! 2. partition soundness (dependency order, P4 expressiveness, loops);
+//! 3. resource safety (the generated P4 loads into the model it was
+//!    compiled for);
+//! 4. textual round-trips.
+
+use gallium::analysis::DepGraph;
+use gallium::mir::interp::PacketAction;
+use gallium::mir::{BinOp, FuncBuilder, HeaderField, Interpreter, Program, StateStore, ValueId};
+use gallium::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Random-program generator: a classify/act middlebox in the style of the
+// evaluated ones — header reads and ALU work, an optional annotated map
+// with a hit/miss branch, optional register/vector state, per-branch
+// header writes, state mutations, and a send/drop action.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PureOp {
+    ReadField(usize),
+    Const(u32),
+    Bin(u8, usize, usize),
+    Hash(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+enum BranchOp {
+    WriteField(usize, usize),
+    RegWrite(usize),
+    VecPick(usize),
+    MapInsert(usize),
+    Drop,
+}
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    map_annotated: bool,
+    use_map: bool,
+    use_reg: bool,
+    use_vec: bool,
+    pre: Vec<PureOp>,
+    hit: Vec<BranchOp>,
+    miss: Vec<BranchOp>,
+}
+
+const READ_FIELDS: [HeaderField; 5] = [
+    HeaderField::IpSaddr,
+    HeaderField::IpDaddr,
+    HeaderField::SrcPort,
+    HeaderField::DstPort,
+    HeaderField::TcpSeq,
+];
+const WRITE_FIELDS: [HeaderField; 4] = [
+    HeaderField::IpDaddr,
+    HeaderField::DstPort,
+    HeaderField::IpTtl,
+    HeaderField::TcpAck,
+];
+
+fn pure_op() -> impl Strategy<Value = PureOp> {
+    prop_oneof![
+        (0..READ_FIELDS.len()).prop_map(PureOp::ReadField),
+        any::<u32>().prop_map(PureOp::Const),
+        (0u8..7, 0usize..8, 0usize..8).prop_map(|(o, a, b)| PureOp::Bin(o, a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| PureOp::Hash(a, b)),
+    ]
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        (0..WRITE_FIELDS.len(), 0usize..8).prop_map(|(f, v)| BranchOp::WriteField(f, v)),
+        (0usize..8).prop_map(BranchOp::RegWrite),
+        (0usize..8).prop_map(BranchOp::VecPick),
+        (0usize..8).prop_map(BranchOp::MapInsert),
+        Just(BranchOp::Drop),
+    ]
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(pure_op(), 1..6),
+        proptest::collection::vec(branch_op(), 0..4),
+        proptest::collection::vec(branch_op(), 0..4),
+    )
+        .prop_map(
+            |(map_annotated, use_map, use_reg, use_vec, pre, hit, miss)| Recipe {
+                map_annotated,
+                use_map,
+                use_reg,
+                use_vec,
+                pre,
+                hit,
+                miss,
+            },
+        )
+}
+
+/// Materialize a recipe into a validated program.
+fn build(recipe: &Recipe) -> Program {
+    let mut b = FuncBuilder::new("generated");
+    let map = recipe.use_map.then(|| {
+        b.decl_map(
+            "m",
+            vec![16],
+            vec![32],
+            recipe.map_annotated.then_some(4096),
+        )
+    });
+    let reg = recipe.use_reg.then(|| b.decl_register("r", 32));
+    let vec = recipe.use_vec.then(|| b.decl_vector("v", 32, 8));
+
+    // Value pool of 32-bit values; indices wrap.
+    let mut pool: Vec<ValueId> = Vec::new();
+    let seed = b.read_field(HeaderField::IpSaddr);
+    pool.push(seed);
+    for op in &recipe.pre {
+        let v = match op {
+            PureOp::ReadField(i) => {
+                let f = b.read_field(READ_FIELDS[*i % READ_FIELDS.len()]);
+                b.cast(f, 32)
+            }
+            PureOp::Const(c) => b.cnst(u64::from(*c), 32),
+            PureOp::Bin(o, ai, bi) => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Mul,
+                    BinOp::Mod,
+                ];
+                let a = pool[*ai % pool.len()];
+                let c = pool[*bi % pool.len()];
+                let r = b.bin(ops[usize::from(*o) % ops.len()], a, c);
+                b.cast(r, 32)
+            }
+            PureOp::Hash(ai, bi) => {
+                let a = pool[*ai % pool.len()];
+                let c = pool[*bi % pool.len()];
+                b.hash(vec![a, c], 32)
+            }
+        };
+        pool.push(v);
+    }
+
+    // One branch op emitter shared by both arms.
+    let emit = |b: &mut FuncBuilder, pool: &[ValueId], ops: &[BranchOp], extra: Option<ValueId>| {
+        let mut dropped = false;
+        for op in ops {
+            match op {
+                BranchOp::WriteField(f, v) => {
+                    let field = WRITE_FIELDS[*f % WRITE_FIELDS.len()];
+                    let src = extra.unwrap_or(pool[*v % pool.len()]);
+                    let val = b.cast(src, field.bits());
+                    b.write_field(field, val);
+                }
+                BranchOp::RegWrite(v) => {
+                    if let Some(r) = reg {
+                        b.reg_write(r, pool[*v % pool.len()]);
+                    }
+                }
+                BranchOp::VecPick(v) => {
+                    if let Some(vecs) = vec {
+                        let len = b.vec_len(vecs);
+                        let idx = b.bin(BinOp::Mod, pool[*v % pool.len()], len);
+                        let elem = b.vec_get(vecs, idx);
+                        b.write_field(HeaderField::IpDaddr, elem);
+                    }
+                }
+                BranchOp::MapInsert(v) => {
+                    if let Some(m) = map {
+                        let key = b.cast(pool[*v % pool.len()], 16);
+                        let val = pool[(*v + 1) % pool.len()];
+                        b.map_put(m, vec![key], vec![val]);
+                    }
+                }
+                BranchOp::Drop => {
+                    if !dropped {
+                        b.drop_pkt();
+                        dropped = true;
+                    }
+                }
+            }
+        }
+        if !dropped {
+            b.send();
+        }
+        b.ret();
+    };
+
+    if let Some(m) = map {
+        let key_src = *pool.last().unwrap();
+        let key = b.cast(key_src, 16);
+        let res = b.map_get(m, vec![key]);
+        let null = b.is_null(res);
+        let hit_bb = b.new_block();
+        let miss_bb = b.new_block();
+        b.branch(null, miss_bb, hit_bb);
+        b.switch_to(hit_bb);
+        let found = b.extract(res, 0);
+        emit(&mut b, &pool, &recipe.hit, Some(found));
+        b.switch_to(miss_bb);
+        emit(&mut b, &pool, &recipe.miss, None);
+    } else {
+        emit(&mut b, &pool, &recipe.hit, None);
+    }
+    b.finish().expect("generator emits valid programs")
+}
+
+fn configure(prog: &Program, store: &mut StateStore) {
+    if let Some(v) = prog.state_by_name("v") {
+        store.vec_set_all(v, vec![10, 20, 30, 40]).unwrap();
+    }
+    if let Some(m) = prog.state_by_name("m") {
+        // A couple of pre-installed entries so hits occur.
+        store.map_put(m, vec![0], vec![111]).unwrap();
+        store.map_put(m, vec![7], vec![222]).unwrap();
+    }
+}
+
+fn packet(saddr: u32, daddr: u32, sport: u16, flags: u8) -> Packet {
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr,
+            daddr,
+            sport,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(flags),
+        96,
+    )
+    .build(PortId(1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: deployed pipeline ≡ reference interpreter.
+    #[test]
+    fn deployed_equals_reference(rec in recipe(),
+                                 pkts in proptest::collection::vec(
+                                     (any::<u32>(), any::<u32>(), any::<u16>(), any::<u8>()),
+                                     1..12)) {
+        let prog = build(&rec);
+        let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
+        let mut d = Deployment::new(&compiled, SwitchConfig::default(),
+                                    CostModel::calibrated()).unwrap();
+        d.configure(|s| configure(&prog, s)).unwrap();
+        let mut ref_store = StateStore::new(&prog.states);
+        configure(&prog, &mut ref_store);
+        let interp = Interpreter::new(&prog);
+
+        for (i, (sa, da, sp, fl)) in pkts.into_iter().enumerate() {
+            let p = packet(sa, da, sp, fl);
+            let mut rp = p.clone();
+            let r = interp.run(&mut rp, &mut ref_store, 0).unwrap();
+            let expected: Vec<_> = r.actions.iter().filter_map(|a| match a {
+                PacketAction::Send(s) => Some(s.clone()),
+                PacketAction::Drop => None,
+            }).collect();
+            let got = d.inject(p).unwrap();
+            prop_assert_eq!(got.len(), expected.len(), "packet {}", i);
+            for ((_, g), e) in got.iter().zip(&expected) {
+                prop_assert_eq!(g.bytes(), e.bytes(), "packet {}", i);
+            }
+        }
+        // Final state agrees on every map.
+        for (i, st) in prog.states.iter().enumerate() {
+            let sid = gallium::mir::StateId(i as u32);
+            if matches!(st.kind, gallium::mir::StateKind::Map { .. }) {
+                prop_assert_eq!(
+                    d.server.store.map_entries(sid).unwrap(),
+                    ref_store.map_entries(sid).unwrap()
+                );
+            }
+        }
+        prop_assert!(d.replicated_consistent());
+    }
+
+    /// Invariants 2+3: partition soundness and loader agreement, across
+    /// random switch models.
+    #[test]
+    fn partition_sound_and_loadable(rec in recipe(),
+                                    depth in 2usize..20,
+                                    mem_kb in 1usize..64,
+                                    budget in 6usize..24) {
+        let prog = build(&rec);
+        let model = SwitchModel::tiny(depth, mem_kb << 13, 800, budget);
+        let compiled = compile(&prog, &model).unwrap();
+        let staged = &compiled.staged;
+
+        // Every statement in exactly one partition (by construction of the
+        // Vec) and dependency edges flow forward.
+        let dep = DepGraph::build(&prog);
+        for v in 0..prog.func.len() {
+            for (t, _) in dep.deps_out(ValueId(v as u32)) {
+                prop_assert!(
+                    staged.partition_of(ValueId(v as u32)) <= staged.partition_of(*t),
+                    "edge v{} -> {} goes backwards", v, t
+                );
+            }
+            // Offloaded statements are P4-expressible and never loops.
+            let part = staged.partition_of(ValueId(v as u32));
+            if part.on_switch() {
+                prop_assert!(prog.func.inst(ValueId(v as u32)).op.p4_supported(&prog.states));
+                prop_assert!(!dep.in_loop(ValueId(v as u32)));
+            }
+        }
+        // Headers within budget; program loads.
+        prop_assert!(staged.header_to_server.wire_bytes() <= budget
+                     || staged.header_to_server.fields().is_empty());
+        gallium::switchsim::load_check(&compiled.p4, &model).unwrap();
+    }
+
+    /// Invariant 5: textual round-trip.
+    #[test]
+    fn print_parse_roundtrip(rec in recipe()) {
+        let prog = build(&rec);
+        let text = gallium::mir::printer::print_program(&prog);
+        let back = gallium::mir::parser::parse_program(&text).unwrap();
+        prop_assert_eq!(prog, back);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the packet substrate: header-view round-trips,
+//! transfer-header bit packing, checksums, and five-tuple encodings.
+
+use gallium::mir::interp::{read_header_field, write_header_field};
+use gallium::mir::types::mask_to_width;
+use gallium::mir::HeaderField;
+use gallium::net::checksum::{checksum, incremental_update, ones_complement_sum};
+use gallium::net::transfer::{TransferField, TransferHeaderLayout, TransferValues};
+use gallium::net::builder::extract_five_tuple;
+use gallium::prelude::*;
+use proptest::prelude::*;
+
+fn arb_tuple() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        prop_oneof![Just(IpProtocol::Tcp), Just(IpProtocol::Udp)],
+    )
+        .prop_map(|(saddr, daddr, sport, dport, proto)| FiveTuple {
+            saddr,
+            daddr,
+            sport,
+            dport,
+            proto,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn built_packets_parse_back(t in arb_tuple(), frame in 54usize..1500) {
+        let pkt = match t.proto {
+            IpProtocol::Udp => PacketBuilder::udp(t, frame.max(42)).build(PortId(0)),
+            _ => PacketBuilder::tcp(t, TcpFlags(TcpFlags::ACK), frame).build(PortId(0)),
+        };
+        prop_assert_eq!(extract_five_tuple(&pkt), Some(t));
+    }
+
+    #[test]
+    fn header_field_write_read_roundtrip(t in arb_tuple(), val in any::<u64>()) {
+        prop_assume!(t.proto == IpProtocol::Tcp);
+        let mut pkt = PacketBuilder::tcp(t, TcpFlags::default(), 128).build(PortId(0));
+        for field in HeaderField::ALL {
+            if field == HeaderField::EthType {
+                continue; // changing the ethertype re-types the packet
+            }
+            let v = mask_to_width(val, field.bits());
+            write_header_field(pkt.bytes_mut(), field, v);
+            prop_assert_eq!(read_header_field(pkt.bytes(), field), v);
+        }
+    }
+
+    #[test]
+    fn five_tuple_word_encoding_roundtrips(t in arb_tuple()) {
+        prop_assert_eq!(FiveTuple::from_words(t.to_words()), t);
+        prop_assert_eq!(t.reversed().reversed(), t);
+    }
+
+    #[test]
+    fn transfer_layout_roundtrips(widths in proptest::collection::vec(1u16..=64, 1..8),
+                                  values in proptest::collection::vec(any::<u64>(), 8),
+                                  ethertype in any::<u16>(),
+                                  flags in any::<u8>()) {
+        let fields: Vec<TransferField> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, w)| TransferField::new(format!("f{i}"), *w))
+            .collect();
+        let layout = TransferHeaderLayout::new(fields.clone()).unwrap();
+        let mut vals = TransferValues::default();
+        for (i, f) in fields.iter().enumerate() {
+            vals.set(&f.name, values[i % values.len()]);
+        }
+        let bytes = layout.encode(ethertype, flags, &vals);
+        prop_assert_eq!(bytes.len(), layout.wire_bytes());
+        let (et, fl, out) = layout.decode(&bytes).unwrap();
+        prop_assert_eq!(et, ethertype);
+        prop_assert_eq!(fl, flags);
+        for (i, f) in fields.iter().enumerate() {
+            let expect = mask_to_width(values[i % values.len()], f.bits.min(64) as u8);
+            prop_assert_eq!(out.get(&f.name), Some(expect), "field {}", f.name);
+        }
+    }
+
+    #[test]
+    fn transfer_attach_detach_identity(t in arb_tuple(),
+                                       widths in proptest::collection::vec(1u16..=32, 1..6),
+                                       flags in 1u8..255) {
+        prop_assume!(t.proto == IpProtocol::Tcp);
+        let fields: Vec<TransferField> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, w)| TransferField::new(format!("f{i}"), *w))
+            .collect();
+        let layout = TransferHeaderLayout::new(fields).unwrap();
+        let original = PacketBuilder::tcp(t, TcpFlags(TcpFlags::SYN), 200).build(PortId(3));
+        let mut pkt = original.clone();
+        layout.attach(&mut pkt, flags, &TransferValues::default()).unwrap();
+        prop_assert_eq!(pkt.len(), original.len() + layout.wire_bytes());
+        let (fl, _) = layout.detach(&mut pkt).unwrap();
+        prop_assert_eq!(fl, flags);
+        prop_assert_eq!(pkt.bytes(), original.bytes());
+    }
+
+    #[test]
+    fn checksum_verifies_and_incremental_agrees(data in proptest::collection::vec(any::<u8>(), 2..128),
+                                                at in 0usize..64,
+                                                new_word in any::<u16>()) {
+        // Filling in the checksum makes the buffer verify. (Only defined
+        // for even-length buffers: an odd tail byte would re-pair with the
+        // appended checksum's high byte.)
+        let mut buf = data.clone();
+        if buf.len() % 2 == 1 {
+            buf.push(0);
+        }
+        let c = checksum(&buf);
+        buf.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(ones_complement_sum(&buf), 0xFFFF);
+
+        // Incremental update equals full recomputation.
+        let mut d = data.clone();
+        if d.len() % 2 == 1 { d.push(0); }
+        let at = (at * 2) % d.len();
+        let before = checksum(&d);
+        let old_word = u16::from_be_bytes([d[at], d[at + 1]]);
+        d[at..at + 2].copy_from_slice(&new_word.to_be_bytes());
+        prop_assert_eq!(checksum(&d), incremental_update(before, old_word, new_word));
+    }
+}
