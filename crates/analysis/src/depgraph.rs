@@ -69,9 +69,9 @@ impl DepGraph {
 
         let mut edges: Vec<Vec<(ValueId, DepKind)>> = vec![Vec::new(); n];
         let add = |edges: &mut Vec<Vec<(ValueId, DepKind)>>,
-                       from: ValueId,
-                       to: ValueId,
-                       kind: DepKind| {
+                   from: ValueId,
+                   to: ValueId,
+                   kind: DepKind| {
             if !edges[from.0 as usize].contains(&(to, kind)) {
                 edges[from.0 as usize].push((to, kind));
             }
@@ -143,10 +143,7 @@ impl DepGraph {
         // reflected"). Statically: `Send`/`Drop` depends on every
         // state-writing statement that can happen before it.
         for s in 0..n {
-            if !matches!(
-                f.insts[s].op,
-                gallium_mir::Op::Send | gallium_mir::Op::Drop
-            ) {
+            if !matches!(f.insts[s].op, gallium_mir::Op::Send | gallium_mir::Op::Drop) {
                 continue;
             }
             let send = ValueId(s as u32);
@@ -293,11 +290,9 @@ impl DepGraph {
         // Longest path in the dependency DAG via memoized DFS; cycle members
         // are saturated to MAX (they can never be offloaded anyway).
         let mut memo: Vec<Option<usize>> = vec![None; self.n];
-        let mut dist = vec![0usize; self.n];
-        for v in 0..self.n {
-            dist[v] = self.longest(v, forward, &mut memo);
-        }
-        dist
+        (0..self.n)
+            .map(|v| self.longest(v, forward, &mut memo))
+            .collect()
     }
 
     fn longest(&self, v: usize, forward: bool, memo: &mut Vec<Option<usize>>) -> usize {

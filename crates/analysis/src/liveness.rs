@@ -45,9 +45,7 @@ impl Liveness {
                     let sb = f.block(s);
                     for &v in &live_in[s.0 as usize] {
                         // φ results are not live-in from predecessors.
-                        if !sb.insts.contains(&v)
-                            || !matches!(f.inst(v).op, Op::Phi { .. })
-                        {
+                        if !sb.insts.contains(&v) || !matches!(f.inst(v).op, Op::Phi { .. }) {
                             out.insert(v);
                         }
                     }

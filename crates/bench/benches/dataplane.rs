@@ -48,7 +48,10 @@ fn bench_fast_path(c: &mut Criterion) {
     // Warm the connection so the packet stays on the switch.
     d.inject(pkt(7, TcpFlags::SYN)).unwrap();
     c.bench_function("switch_fast_path_packet", |b| {
-        b.iter(|| d.inject(std::hint::black_box(pkt(7, TcpFlags::ACK))).unwrap());
+        b.iter(|| {
+            d.inject(std::hint::black_box(pkt(7, TcpFlags::ACK)))
+                .unwrap()
+        });
     });
 }
 
@@ -58,7 +61,8 @@ fn bench_slow_path(c: &mut Criterion) {
     c.bench_function("slow_path_packet_with_sync", |b| {
         b.iter(|| {
             s = s.wrapping_add(1); // a fresh flow every iteration
-            d.inject(std::hint::black_box(pkt(s, TcpFlags::SYN))).unwrap()
+            d.inject(std::hint::black_box(pkt(s, TcpFlags::SYN)))
+                .unwrap()
         });
     });
 }
@@ -98,7 +102,9 @@ fn bench_sync_batch(c: &mut Criterion) {
                     value: vec![9],
                 },
                 ControlPlaneOp::SetWriteBackBit(false),
-                ControlPlaneOp::WriteBackClear { table: "map".into() },
+                ControlPlaneOp::WriteBackClear {
+                    table: "map".into(),
+                },
             ];
             d.switch.control_batch(&ops).unwrap()
         });
@@ -113,14 +119,10 @@ fn bench_parallel_reference(c: &mut Criterion) {
             b.iter(|| {
                 let lb = minilb();
                 let backends = lb.backends;
-                let par = ParallelReference::spawn(
-                    &lb.prog,
-                    cores,
-                    CostModel::calibrated(),
-                    move |s| {
+                let par =
+                    ParallelReference::spawn(&lb.prog, cores, CostModel::calibrated(), move |s| {
                         s.vec_set_all(backends, vec![1, 2, 3, 4]).unwrap();
-                    },
-                );
+                    });
                 for i in 0..1000u32 {
                     par.feed(pkt(i % 97, TcpFlags::ACK));
                 }

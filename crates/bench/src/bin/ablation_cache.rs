@@ -64,15 +64,13 @@ fn main() {
                 dport: 80,
                 proto: IpProtocol::Tcp,
             };
-            let pkt =
-                PacketBuilder::tcp(t, TcpFlags(TcpFlags::ACK), 200).build(PortId(1));
+            let pkt = PacketBuilder::tcp(t, TcpFlags(TcpFlags::ACK), 200).build(PortId(1));
             d.inject(pkt).unwrap();
         }
 
         let entry_bits = 104 + 32; // (32+32+32+8) key + 32 value
         let sram_kb = cache_entries * entry_bits / 8 / 1024;
-        let miss_rate =
-            d.switch.stats.cache_misses as f64 / d.stats.injected as f64;
+        let miss_rate = d.switch.stats.cache_misses as f64 / d.stats.injected as f64;
         let per_1k = 1000.0 * d.stats.slow_path as f64 / d.stats.injected as f64;
         println!(
             "{}",

@@ -30,7 +30,10 @@ fn main() {
     for (name, prog) in all_evaluated() {
         let mut cells = vec![name.to_string()];
         for d in depths {
-            let model = SwitchModel { pipeline_depth: d, ..base };
+            let model = SwitchModel {
+                pipeline_depth: d,
+                ..base
+            };
             cells.push(offloaded_for(&prog, &model));
         }
         println!("{}", row(&cells, &widths));
@@ -50,7 +53,10 @@ fn main() {
     for (name, prog) in all_evaluated() {
         let mut cells = vec![name.to_string()];
         for (m, _) in mems {
-            let model = SwitchModel { memory_bits: m, ..base };
+            let model = SwitchModel {
+                memory_bits: m,
+                ..base
+            };
             cells.push(offloaded_for(&prog, &model));
         }
         println!("{}", row(&cells, &widths));

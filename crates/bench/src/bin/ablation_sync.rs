@@ -31,8 +31,7 @@ fn main() {
             dport: 443,
             proto: IpProtocol::Tcp,
         };
-        let syn =
-            PacketBuilder::tcp(t, TcpFlags(TcpFlags::SYN), 100).build(PortId(INTERNAL_PORT));
+        let syn = PacketBuilder::tcp(t, TcpFlags(TcpFlags::SYN), 100).build(PortId(INTERNAL_PORT));
         let reply_tuple = FiveTuple {
             saddr: 0x08080808,
             daddr: mazunat::NAT_EXTERNAL_IP,
@@ -45,12 +44,8 @@ fn main() {
 
         // --- with the full protocol (Deployment applies sync before
         // releasing the packet) -----------------------------------------
-        let mut d = Deployment::new(
-            &compiled,
-            SwitchConfig::default(),
-            CostModel::calibrated(),
-        )
-        .unwrap();
+        let mut d =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
         for j in 0..=i {
             // Re-open the first i connections so port allocation lines up.
             let tj = FiveTuple {
@@ -58,8 +53,8 @@ fn main() {
                 sport: 30_000 + (j % 1000) as u16,
                 ..t
             };
-            let s = PacketBuilder::tcp(tj, TcpFlags(TcpFlags::SYN), 100)
-                .build(PortId(INTERNAL_PORT));
+            let s =
+                PacketBuilder::tcp(tj, TcpFlags(TcpFlags::SYN), 100).build(PortId(INTERNAL_PORT));
             d.inject(s).unwrap();
         }
         let out = d.inject(synack.clone()).unwrap();
@@ -69,19 +64,14 @@ fn main() {
 
         // --- naive: drop the sync ops on the floor (simulating release
         // before the control plane finished) -----------------------------
-        let mut sw = gallium_switchsim::Switch::load(
-            compiled.p4.clone(),
-            SwitchConfig::default(),
-        )
-        .unwrap();
+        let mut sw =
+            gallium_switchsim::Switch::load(compiled.p4.clone(), SwitchConfig::default()).unwrap();
         // The switch never learns the mapping: the pre traversal of the
         // SYN allocates a port but the server's inserts are "in flight".
         let _ = sw.process(syn);
         let out = sw.process(synack);
         // Any emission that is not a drop means the reply got through.
-        let delivered = out
-            .iter()
-            .any(|(p, _)| *p != PortId::SERVER);
+        let delivered = out.iter().any(|(p, _)| *p != PortId::SERVER);
         if delivered {
             naive_ok += 1;
         }

@@ -38,11 +38,7 @@ fn main() {
             .lines()
             .filter(|l| !l.trim().is_empty())
             .count();
-        let offloaded = format!(
-            "{}/{}",
-            compiled.staged.offloaded_count(),
-            prog.func.len()
-        );
+        let offloaded = format!("{}/{}", compiled.staged.offloaded_count(), prog.func.len());
         println!(
             "{}",
             row(

@@ -60,9 +60,6 @@ mod tests {
     fn formatting() {
         assert_eq!(gbps(93.456), "93.5");
         assert_eq!(us(15_980), "15.98");
-        assert_eq!(
-            row(&["a".into(), "bb".into()], &[3, 4]),
-            "  a    bb"
-        );
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 4]), "  a    bb");
     }
 }

@@ -102,9 +102,9 @@ pub struct Classifier {
 }
 
 impl Classifier {
-    /// Build a classifier from ordered rules.
+    /// Build a classifier from ordered rules. An empty rule list is legal
+    /// and sends every packet to the single "no match" port.
     pub fn new(rules: Vec<ClassifyRule>) -> Self {
-        assert!(!rules.is_empty(), "classifier needs at least one rule");
         Classifier { rules }
     }
 }
@@ -305,10 +305,7 @@ mod tests {
             ClassifyRule::TcpFlagsAny(TcpFlags::SYN),
         ])));
         let drop22 = g.add(Box::new(Discard));
-        let rw = g.add(Box::new(HeaderRewrite::new(vec![(
-            HeaderField::IpTtl,
-            7,
-        )])));
+        let rw = g.add(Box::new(HeaderRewrite::new(vec![(HeaderField::IpTtl, 7)])));
         let out1 = g.add(Box::new(SendOut));
         let out2 = g.add(Box::new(SendOut));
         g.connect(cls, 0, drop22);
@@ -346,10 +343,7 @@ mod tests {
     fn tee_duplicates() {
         let mut g = Graph::new();
         let tee = g.add(Box::new(Tee));
-        let rw = g.add(Box::new(HeaderRewrite::new(vec![(
-            HeaderField::IpTtl,
-            1,
-        )])));
+        let rw = g.add(Box::new(HeaderRewrite::new(vec![(HeaderField::IpTtl, 1)])));
         let out = g.add(Box::new(SendOut));
         g.connect(tee, 0, rw);
         g.connect(rw, 0, out);
@@ -365,7 +359,9 @@ mod tests {
     #[test]
     fn ingress_port_rule() {
         let mut g = Graph::new();
-        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IngressPort(3)])));
+        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IngressPort(
+            3,
+        )])));
         let out = g.add(Box::new(SendOut));
         let drop = g.add(Box::new(Discard));
         g.connect(cls, 0, out);

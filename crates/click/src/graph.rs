@@ -14,6 +14,9 @@ pub struct Graph {
     elements: Vec<Box<dyn Element>>,
     edges: HashMap<(usize, usize), usize>,
     input: Option<usize>,
+    /// First wiring mistake, reported when the graph is lowered (the same
+    /// deferred-error discipline as [`FuncBuilder`]).
+    error: Option<MirError>,
 }
 
 impl Default for Graph {
@@ -29,7 +32,21 @@ impl Graph {
             elements: Vec::new(),
             edges: HashMap::new(),
             input: None,
+            error: None,
         }
+    }
+
+    /// Record the first wiring mistake; later calls keep building so the
+    /// whole graph can be diagnosed from one `lower` call.
+    fn poison(&mut self, msg: String) {
+        if self.error.is_none() {
+            self.error = Some(MirError::Invalid(msg));
+        }
+    }
+
+    /// The first wiring error recorded so far, if any.
+    pub fn error(&self) -> Option<&MirError> {
+        self.error.as_ref()
     }
 
     /// Add an element; returns its index. The first element added becomes
@@ -43,26 +60,50 @@ impl Graph {
         idx
     }
 
-    /// Connect `from`'s output `port` to element `to`.
+    /// Connect `from`'s output `port` to element `to`. Bad indices poison
+    /// the graph; the error surfaces from [`Graph::lower`].
     pub fn connect(&mut self, from: usize, port: usize, to: usize) {
-        assert!(from < self.elements.len(), "connect: bad source");
-        assert!(to < self.elements.len(), "connect: bad target");
-        assert!(
-            port < self.elements[from].n_outputs(),
-            "connect: element `{}` has no output {port}",
-            self.elements[from].name()
-        );
+        let n = self.elements.len();
+        if from >= n {
+            self.poison(format!(
+                "connect: source index {from} out of range ({n} elements)"
+            ));
+            return;
+        }
+        if to >= n {
+            self.poison(format!(
+                "connect: target index {to} out of range ({n} elements)"
+            ));
+            return;
+        }
+        if port >= self.elements[from].n_outputs() {
+            let msg = format!(
+                "connect: element `{}` has no output {port}",
+                self.elements[from].name()
+            );
+            self.poison(msg);
+            return;
+        }
         self.edges.insert((from, port), to);
     }
 
-    /// Override the entry element.
+    /// Override the entry element. An out-of-range index poisons the graph.
     pub fn set_input(&mut self, idx: usize) {
-        assert!(idx < self.elements.len());
+        if idx >= self.elements.len() {
+            self.poison(format!(
+                "set_input: index {idx} out of range ({} elements)",
+                self.elements.len()
+            ));
+            return;
+        }
         self.input = Some(idx);
     }
 
     /// Inline the graph into a single program named `name`.
     pub fn lower(&self, name: &str) -> Result<Program, MirError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
         let input = self
             .input
             .ok_or_else(|| MirError::Invalid("empty element graph".into()))?;
@@ -78,6 +119,7 @@ impl Graph {
             b,
             state_handles,
             depth: 0,
+            error: None,
         };
         ctx.lower_element(input);
         // Whatever block lowering left unterminated ends the program.
@@ -97,17 +139,39 @@ pub struct LowerCtx<'g> {
     /// Per-element state handles returned by `declare_state`.
     pub state_handles: Vec<Vec<gallium_mir::StateId>>,
     depth: usize,
+    error: Option<MirError>,
 }
 
 impl<'g> LowerCtx<'g> {
     /// Continue lowering at whatever is connected to `(from, port)`.
     /// Unconnected ports discard the packet, as in Click.
     pub fn lower_port(&mut self, from: usize, port: usize) {
+        if self.error.is_some() {
+            // Already poisoned: terminate the current block and stop
+            // descending, so unwinding stays linear in the graph size.
+            self.b.drop_pkt();
+            self.b.ret();
+            return;
+        }
         self.depth += 1;
-        assert!(
-            self.depth <= 10_000,
-            "element graph lowering too deep (cycle?)"
-        );
+        // Inlining depth bound: any acyclic graph re-enters an element at
+        // most once per (element, port) edge, so legitimate depth is tiny;
+        // a cycle would otherwise recurse (and emit blocks) forever. Kept
+        // well under the test-thread stack budget.
+        if self.depth > 512 {
+            // A cycle in the element graph: stop descending, close the
+            // current block so the builder stays consistent, and surface
+            // the diagnostic from `finish`.
+            if self.error.is_none() {
+                self.error = Some(MirError::Invalid(
+                    "element graph lowering too deep (cycle?)".into(),
+                ));
+            }
+            self.b.drop_pkt();
+            self.b.ret();
+            self.depth -= 1;
+            return;
+        }
         match self.graph.next_of(from, port) {
             Some(next) => self.lower_element(next),
             None => {
@@ -126,6 +190,9 @@ impl<'g> LowerCtx<'g> {
     }
 
     fn finish(self) -> Result<Program, MirError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
         self.b.finish()
     }
 }
@@ -140,6 +207,53 @@ mod tests {
     #[test]
     fn empty_graph_rejected() {
         assert!(Graph::new().lower("x").is_err());
+    }
+
+    #[test]
+    fn bad_connect_indices_poison_the_graph() {
+        let mut g = Graph::new();
+        let out = g.add(Box::new(SendOut));
+        g.connect(5, 0, out); // no element 5
+        let err = g.lower("broken").expect_err("must reject");
+        assert_eq!(
+            err,
+            MirError::Invalid("connect: source index 5 out of range (1 elements)".into())
+        );
+    }
+
+    #[test]
+    fn bad_output_port_poisons_the_graph() {
+        let mut g = Graph::new();
+        let out = g.add(Box::new(SendOut));
+        let discard = g.add(Box::new(Discard));
+        g.connect(out, 7, discard); // SendOut has no port 7
+        let err = g.lower("broken").expect_err("must reject");
+        assert!(
+            err.to_string().contains("has no output 7"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_input_poisons_the_graph() {
+        let mut g = Graph::new();
+        g.add(Box::new(SendOut));
+        g.set_input(9);
+        assert!(g.error().is_some());
+        assert!(g.lower("broken").is_err());
+    }
+
+    #[test]
+    fn cyclic_graph_reported_not_overflowed() {
+        let mut g = Graph::new();
+        let cls = g.add(Box::new(Classifier::new(vec![ClassifyRule::IpProto(6)])));
+        g.connect(cls, 0, cls); // direct self-loop
+        g.connect(cls, 1, cls);
+        let err = g.lower("looped").expect_err("must reject");
+        assert!(
+            err.to_string().contains("too deep"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

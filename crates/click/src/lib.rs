@@ -28,7 +28,5 @@ pub mod element;
 pub mod graph;
 
 pub use annotations::{annotation_table, Annotation};
-pub use element::{
-    Classifier, ClassifyRule, Counter, Discard, HeaderRewrite, SendOut, Tee,
-};
+pub use element::{Classifier, ClassifyRule, Counter, Discard, HeaderRewrite, SendOut, Tee};
 pub use graph::{Graph, LowerCtx};

@@ -1,29 +1,54 @@
 //! The end-to-end compiler.
 
 use crate::server_codegen::server_listing;
-use gallium_mir::Program;
+use gallium_mir::{MirError, Program};
 use gallium_p4::{generate, print_p4, CodegenError, P4Program};
 use gallium_partition::{partition_program, PartitionError, StagedProgram, SwitchModel};
+use gallium_switchsim::LoadError;
 
-/// Compilation failures.
+/// Compilation failures, tagged by pipeline stage. The `Display` form
+/// always leads with the stage name; MIR-stage errors carry the source
+/// span (line/column or instruction id) produced by the frontend.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CompileError {
+    /// The frontend failed to build or parse the MIR input (carries the
+    /// parser's line/column or the builder's instruction id).
+    Mir(MirError),
     /// Partitioning failed (validation or internal inconsistency).
     Partition(PartitionError),
     /// Code generation failed (always an internal bug).
     Codegen(CodegenError),
+    /// The generated program failed the switch's load-time re-check.
+    Load(LoadError),
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CompileError::Mir(e) => write!(f, "mir: {e}"),
             CompileError::Partition(e) => write!(f, "partitioning: {e}"),
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
+            CompileError::Load(e) => write!(f, "load: {e}"),
         }
     }
 }
 
-impl std::error::Error for CompileError {}
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Mir(e) => Some(e),
+            CompileError::Partition(e) => Some(e),
+            CompileError::Codegen(e) => Some(e),
+            CompileError::Load(e) => Some(e),
+        }
+    }
+}
+
+impl From<MirError> for CompileError {
+    fn from(e: MirError) -> Self {
+        CompileError::Mir(e)
+    }
+}
 
 impl From<PartitionError> for CompileError {
     fn from(e: PartitionError) -> Self {
@@ -34,6 +59,12 @@ impl From<PartitionError> for CompileError {
 impl From<CodegenError> for CompileError {
     fn from(e: CodegenError) -> Self {
         CompileError::Codegen(e)
+    }
+}
+
+impl From<LoadError> for CompileError {
+    fn from(e: LoadError) -> Self {
+        CompileError::Load(e)
     }
 }
 
@@ -53,7 +84,10 @@ pub struct CompiledMiddlebox {
 impl CompiledMiddlebox {
     /// Lines of the P4 listing (Table 1 metric).
     pub fn p4_loc(&self) -> usize {
-        self.p4_source.lines().filter(|l| !l.trim().is_empty()).count()
+        self.p4_source
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 
     /// Lines of the server listing (Table 1 metric).

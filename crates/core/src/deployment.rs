@@ -13,12 +13,87 @@
 //! 4. the packet returns to the switch and runs post-processing.
 
 use crate::compiler::CompiledMiddlebox;
-use gallium_mir::{MirError, StateStore};
+use gallium_mir::StateStore;
+use gallium_net::{Packet, PortId};
 use gallium_p4::ControlPlaneOp;
 use gallium_partition::StatePlacement;
-use gallium_server::{CostModel, MiddleboxServer};
-use gallium_switchsim::{ControlPlane, LoadError, Switch, SwitchConfig};
-use gallium_net::{Packet, PortId};
+use gallium_server::{CostModel, ExecError, MiddleboxServer};
+use gallium_switchsim::{ControlError, ControlPlane, LoadError, Switch, SwitchConfig};
+
+/// Why a deployment could not be stood up or provisioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The generated program failed the switch's load-time checks.
+    Load(LoadError),
+    /// A provisioning control-plane operation was rejected.
+    Control(ControlError),
+    /// Cache mode was requested for a program whose state cannot be
+    /// replayed on the server (e.g. a switch-only register).
+    CacheUnavailable {
+        /// Name of the offending state.
+        state: String,
+    },
+    /// A cache annotation named a state with no switch table.
+    MissingTable {
+        /// The state that has no table.
+        state: gallium_mir::StateId,
+    },
+    /// The server half rejected or faulted on a packet.
+    Exec(ExecError),
+    /// Post-processing forwarded a packet back to the server port — the
+    /// traversal dispatch is broken.
+    PostLoop,
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Load(e) => write!(f, "load: {e}"),
+            DeployError::Control(e) => write!(f, "control plane: {e}"),
+            DeployError::CacheUnavailable { state } => write!(
+                f,
+                "cache mode unavailable: register `{state}` is switch-only \
+                 and cannot be replayed on the server"
+            ),
+            DeployError::MissingTable { state } => {
+                write!(f, "state {state} has no switch table")
+            }
+            DeployError::Exec(e) => write!(f, "server: {e}"),
+            DeployError::PostLoop => {
+                write!(f, "post-processing looped back to the server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Load(e) => Some(e),
+            DeployError::Control(e) => Some(e),
+            DeployError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadError> for DeployError {
+    fn from(e: LoadError) -> Self {
+        DeployError::Load(e)
+    }
+}
+
+impl From<ControlError> for DeployError {
+    fn from(e: ControlError) -> Self {
+        DeployError::Control(e)
+    }
+}
+
+impl From<ExecError> for DeployError {
+    fn from(e: ExecError) -> Self {
+        DeployError::Exec(e)
+    }
+}
 
 /// Aggregated counters across both halves of the middlebox.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,13 +157,13 @@ impl Deployment {
     /// Precondition: every state of the program must be server-accessible
     /// (no switch-only stateful operations such as data-plane
     /// fetch-and-add), since the replay executes the full program on the
-    /// server. Violations are reported as an error string.
+    /// server. Violations are reported as a typed [`DeployError`].
     pub fn new_cached(
         compiled: &CompiledMiddlebox,
         mut cfg: SwitchConfig,
         cost: CostModel,
         caches: &[(gallium_mir::StateId, usize)],
-    ) -> Result<Self, String> {
+    ) -> Result<Self, DeployError> {
         let staged = &compiled.staged;
         // Replay feasibility: switch-only *mutable* state breaks replay.
         for (i, st) in staged.prog.states.iter().enumerate() {
@@ -96,11 +171,9 @@ impl Deployment {
             if staged.placement_of(sid) == StatePlacement::SwitchOnly
                 && matches!(st.kind, gallium_mir::StateKind::Register { .. })
             {
-                return Err(format!(
-                    "cache mode unavailable: register `{}` is switch-only and \
-                     cannot be replayed on the server",
-                    st.name
-                ));
+                return Err(DeployError::CacheUnavailable {
+                    state: st.name.clone(),
+                });
             }
         }
         // Shrink the cached tables in the loaded program so the loader's
@@ -108,14 +181,14 @@ impl Deployment {
         let mut p4 = compiled.p4.clone();
         for (state, entries) in caches {
             let Some(idx) = p4.table_for_state(*state) else {
-                return Err(format!("state {state} has no switch table"));
+                return Err(DeployError::MissingTable { state: *state });
             };
             p4.tables[idx].size = *entries;
             cfg.cached_tables
                 .push((p4.tables[idx].name.clone(), *entries));
         }
         let server_port = cfg.server_port;
-        let switch = Switch::load(p4, cfg).map_err(|e| e.to_string())?;
+        let switch = Switch::load(p4, cfg)?;
         let mut server = MiddleboxServer::new(staged.clone(), cost);
         server.set_cached_states(caches.iter().map(|(s, _)| *s).collect());
         Ok(Deployment {
@@ -130,7 +203,7 @@ impl Deployment {
     /// Configure middlebox state (backend lists, rules, …) on the server's
     /// authoritative store, then push replicated/switch-resident entries to
     /// the switch — the operator's provisioning step.
-    pub fn configure<F: FnOnce(&mut StateStore)>(&mut self, f: F) -> Result<(), String> {
+    pub fn configure<F: FnOnce(&mut StateStore)>(&mut self, f: F) -> Result<(), DeployError> {
         f(self.server.store_mut());
         let ops = self.server.initial_sync();
         for op in &ops {
@@ -147,7 +220,7 @@ impl Deployment {
     /// Inject one packet from the network and run it to completion through
     /// switch → (server → switch) as needed. Returns the frames emitted
     /// toward the network as `(egress port, packet)`.
-    pub fn inject(&mut self, pkt: Packet) -> Result<Vec<(PortId, Packet)>, MirError> {
+    pub fn inject(&mut self, pkt: Packet) -> Result<Vec<(PortId, Packet)>, DeployError> {
         self.stats.injected += 1;
         let mut emissions = Vec::new();
         let mut to_server: Vec<Packet> = Vec::new();
@@ -182,9 +255,7 @@ impl Deployment {
                 back.ingress = self.server_port;
                 for (port, final_pkt) in self.switch.process(back) {
                     if port == self.server_port {
-                        return Err(MirError::Fault(
-                            "post-processing looped back to the server".into(),
-                        ));
+                        return Err(DeployError::PostLoop);
                     }
                     emissions.push((port, final_pkt));
                 }
@@ -196,7 +267,7 @@ impl Deployment {
     /// Apply a sync batch; returns `(visible_ns, total_ns)` where
     /// `visible_ns` covers the operations up to and including the first
     /// `SetWriteBackBit(true)` — the output-commit release point.
-    fn apply_sync(&mut self, ops: &[ControlPlaneOp]) -> Result<(u64, u64), MirError> {
+    fn apply_sync(&mut self, ops: &[ControlPlaneOp]) -> Result<(u64, u64), DeployError> {
         if ops.is_empty() {
             return Ok((0, 0));
         }
@@ -205,14 +276,8 @@ impl Deployment {
             .position(|o| matches!(o, ControlPlaneOp::SetWriteBackBit(true)))
             .map(|i| i + 1)
             .unwrap_or(ops.len());
-        let visible = self
-            .switch
-            .control_batch(&ops[..flip])
-            .map_err(|e| MirError::Fault(format!("control plane: {e}")))?;
-        let rest = self
-            .switch
-            .control_batch(&ops[flip..])
-            .map_err(|e| MirError::Fault(format!("control plane: {e}")))?;
+        let visible = self.switch.control_batch(&ops[..flip])?;
+        let rest = self.switch.control_batch(&ops[flip..])?;
         Ok((visible, visible + rest))
     }
 
@@ -233,11 +298,7 @@ impl Deployment {
                 let Some(table) = self.switch.table(&st.name) else {
                     return false;
                 };
-                let server_entries = self
-                    .server
-                    .store
-                    .map_entries(sid)
-                    .expect("declared state");
+                let server_entries = self.server.store.map_entries(sid).expect("declared state");
                 if cached {
                     // Subset: every cached entry exists authoritatively
                     // with the same value (no staleness, no ghosts).
@@ -253,9 +314,7 @@ impl Deployment {
                         return false;
                     }
                     for (k, v) in &server_entries {
-                        if table.lookup(k, self.switch.write_back_active())
-                            != Some(v.clone())
-                        {
+                        if table.lookup(k, self.switch.write_back_active()) != Some(v.clone()) {
                             return false;
                         }
                     }
@@ -316,12 +375,8 @@ mod tests {
 
     fn deployment() -> Deployment {
         let compiled = compile(&minilb(), &SwitchModel::tofino_like()).unwrap();
-        let mut d = Deployment::new(
-            &compiled,
-            SwitchConfig::default(),
-            CostModel::calibrated(),
-        )
-        .unwrap();
+        let mut d =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
         d.configure(|store| {
             let backends = compiled.staged.prog.state_by_name("backends").unwrap();
             store
@@ -350,7 +405,9 @@ mod tests {
     #[test]
     fn first_packet_slow_then_fast() {
         let mut d = deployment();
-        let out1 = d.inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::SYN)).unwrap();
+        let out1 = d
+            .inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::SYN))
+            .unwrap();
         assert_eq!(out1.len(), 1);
         let d1 = read_header_field(out1[0].1.bytes(), HeaderField::IpDaddr) as u32;
         assert!((0xC0A80001..=0xC0A80003).contains(&d1));
@@ -359,7 +416,9 @@ mod tests {
         assert!(d.replicated_consistent());
 
         // Second packet of the same flow: pure fast path, same backend.
-        let out2 = d.inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::ACK)).unwrap();
+        let out2 = d
+            .inject(pkt(0x0A000001, 0x0A0000FE, TcpFlags::ACK))
+            .unwrap();
         assert_eq!(out2.len(), 1);
         let d2 = read_header_field(out2[0].1.bytes(), HeaderField::IpDaddr) as u32;
         assert_eq!(d1, d2);

@@ -112,7 +112,10 @@ impl LoadBalancer {
     /// Install the backend list.
     pub fn configure(&self, store: &mut StateStore, backends: &[u32]) {
         store
-            .vec_set_all(self.backends, backends.iter().map(|b| u64::from(*b)).collect())
+            .vec_set_all(
+                self.backends,
+                backends.iter().map(|b| u64::from(*b)).collect(),
+            )
             .expect("backends vector declared");
     }
 
@@ -162,10 +165,14 @@ mod tests {
         let mut store = StateStore::new(&lb.prog.states);
         lb.configure(&mut store, &[11, 22, 33]);
         let interp = Interpreter::new(&lb.prog);
-        let r1 = interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        let r1 = interp
+            .run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0)
+            .unwrap();
         let d1 = read_header_field(r1.sent().unwrap().bytes(), HeaderField::IpDaddr);
         assert!([11, 22, 33].contains(&d1));
-        let r2 = interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 1).unwrap();
+        let r2 = interp
+            .run(&mut pkt(1000, TcpFlags::ACK), &mut store, 1)
+            .unwrap();
         let d2 = read_header_field(r2.sent().unwrap().bytes(), HeaderField::IpDaddr);
         assert_eq!(d1, d2);
         assert_eq!(store.map_len(lb.conn).unwrap(), 1);
@@ -177,7 +184,9 @@ mod tests {
         let mut store = StateStore::new(&lb.prog.states);
         lb.configure(&mut store, &[11, 22, 33]);
         let interp = Interpreter::new(&lb.prog);
-        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        interp
+            .run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0)
+            .unwrap();
         assert_eq!(store.map_len(lb.conn).unwrap(), 1);
         let r = interp
             .run(&mut pkt(1000, TcpFlags::FIN | TcpFlags::ACK), &mut store, 1)
@@ -193,8 +202,12 @@ mod tests {
         let mut store = StateStore::new(&lb.prog.states);
         lb.configure(&mut store, &[11]);
         let interp = Interpreter::new(&lb.prog);
-        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
-        interp.run(&mut pkt(1000, TcpFlags::RST), &mut store, 1).unwrap();
+        interp
+            .run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0)
+            .unwrap();
+        interp
+            .run(&mut pkt(1000, TcpFlags::RST), &mut store, 1)
+            .unwrap();
         assert_eq!(store.map_len(lb.conn).unwrap(), 0);
     }
 
@@ -204,7 +217,9 @@ mod tests {
         let mut store = StateStore::new(&lb.prog.states);
         lb.configure(&mut store, &[11]);
         let interp = Interpreter::new(&lb.prog);
-        interp.run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0).unwrap();
+        interp
+            .run(&mut pkt(1000, TcpFlags::ACK), &mut store, 0)
+            .unwrap();
         interp
             .run(&mut pkt(2000, TcpFlags::ACK), &mut store, IDLE_TIMEOUT_NS)
             .unwrap();

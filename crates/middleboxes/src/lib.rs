@@ -41,7 +41,10 @@ pub fn all_evaluated() -> Vec<(&'static str, gallium_mir::Program)> {
         ("MazuNAT", mazunat::mazunat().prog),
         ("Load Balancer", lb::load_balancer().prog),
         ("Firewall", firewall::firewall().prog),
-        ("Proxy", proxy::proxy(gallium_net::ipv4::parse_addr("10.9.9.9").unwrap(), 3128).prog),
+        (
+            "Proxy",
+            proxy::proxy(gallium_net::ipv4::parse_addr("10.9.9.9").unwrap(), 3128).prog,
+        ),
         ("Trojan Detector", trojan::trojan_detector().prog),
     ]
 }

@@ -225,7 +225,13 @@ mod tests {
         // Reply to the allocated port.
         let r = interp
             .run(
-                &mut pkt(0x08080808, NAT_EXTERNAL_IP, 80, NAT_PORT_BASE, EXTERNAL_PORT),
+                &mut pkt(
+                    0x08080808,
+                    NAT_EXTERNAL_IP,
+                    80,
+                    NAT_PORT_BASE,
+                    EXTERNAL_PORT,
+                ),
                 &mut store,
                 1,
             )

@@ -71,7 +71,10 @@ impl MiniLb {
     /// Install the backend list.
     pub fn configure(&self, store: &mut StateStore, backends: &[u32]) {
         store
-            .vec_set_all(self.backends, backends.iter().map(|b| u64::from(*b)).collect())
+            .vec_set_all(
+                self.backends,
+                backends.iter().map(|b| u64::from(*b)).collect(),
+            )
             .expect("backends vector declared");
     }
 }
@@ -102,7 +105,10 @@ mod tests {
     fn connection_consistency() {
         let lb = minilb();
         let mut store = StateStore::new(&lb.prog.states);
-        lb.configure(&mut store, &[0xC0A80001, 0xC0A80002, 0xC0A80003, 0xC0A80004]);
+        lb.configure(
+            &mut store,
+            &[0xC0A80001, 0xC0A80002, 0xC0A80003, 0xC0A80004],
+        );
         let interp = Interpreter::new(&lb.prog);
         // Many packets of one flow all land on one backend.
         let mut first = None;

@@ -101,17 +101,14 @@ mod tests {
         let (r, mut store) = configured();
         let interp = Interpreter::new(&r.prog);
         for (dst, expect) in [
-            ("10.9.9.9", 0xAAu64),  // /8 only
-            ("10.1.9.9", 0xBB),     // /16 beats /8
-            ("10.1.2.3", 0xCC),     // /24 beats both
+            ("10.9.9.9", 0xAAu64), // /8 only
+            ("10.1.9.9", 0xBB),    // /16 beats /8
+            ("10.1.2.3", 0xCC),    // /24 beats both
         ] {
             let out = interp
                 .run(&mut pkt(parse_addr(dst).unwrap()), &mut store, 0)
                 .unwrap();
-            let mac = read_header_field(
-                out.sent().unwrap().bytes(),
-                HeaderField::EthDst,
-            );
+            let mac = read_header_field(out.sent().unwrap().bytes(), HeaderField::EthDst);
             assert_eq!(mac, expect, "dst {dst}");
         }
     }

@@ -267,7 +267,11 @@ mod tests {
         let interp = Interpreter::new(&det.prog);
         for i in 0..50u16 {
             let r = interp
-                .run(&mut tcp(443, TcpFlags::ACK, b"tls data"), &mut store, u64::from(i))
+                .run(
+                    &mut tcp(443, TcpFlags::ACK, b"tls data"),
+                    &mut store,
+                    u64::from(i),
+                )
                 .unwrap();
             assert!(r.sent().is_some());
         }

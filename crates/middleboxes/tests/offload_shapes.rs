@@ -28,16 +28,29 @@ fn mazunat_offload_shape() {
     let c = compiled(&nat.prog);
     // "MazuNAT's address translation tables ... are offloaded to the
     // programmable switch" — replicated, since the server inserts.
-    assert_eq!(c.staged.placement_of(nat.nat_out), StatePlacement::Replicated);
-    assert_eq!(c.staged.placement_of(nat.nat_in), StatePlacement::Replicated);
+    assert_eq!(
+        c.staged.placement_of(nat.nat_out),
+        StatePlacement::Replicated
+    );
+    assert_eq!(
+        c.staged.placement_of(nat.nat_in),
+        StatePlacement::Replicated
+    );
     // "the counter used for port allocation is also offloaded to the
     // switch as a P4 register".
-    assert_eq!(c.staged.placement_of(nat.port_ctr), StatePlacement::SwitchOnly);
+    assert_eq!(
+        c.staged.placement_of(nat.port_ctr),
+        StatePlacement::SwitchOnly
+    );
     assert_eq!(c.p4.registers.len(), 1);
     assert_eq!(c.p4.tables.len(), 2);
     // Both lookups run in pre-processing.
     for v in find_ops(&nat.prog, |op| matches!(op, Op::MapGet { .. })) {
-        assert_eq!(c.staged.partition_of(v), Partition::Pre, "{v} is a pre lookup");
+        assert_eq!(
+            c.staged.partition_of(v),
+            Partition::Pre,
+            "{v} is a pre lookup"
+        );
     }
     // The fetch-add runs on the switch and its value crosses to the server.
     let fadds = find_ops(&nat.prog, |op| matches!(op, Op::RegFetchAdd { .. }));
@@ -60,9 +73,15 @@ fn lb_offload_shape() {
     // backends vector server-only.
     assert_eq!(c.staged.placement_of(lb.conn), StatePlacement::Replicated);
     assert_eq!(c.staged.placement_of(lb.expiry), StatePlacement::ServerOnly);
-    assert_eq!(c.staged.placement_of(lb.backends), StatePlacement::ServerOnly);
+    assert_eq!(
+        c.staged.placement_of(lb.backends),
+        StatePlacement::ServerOnly
+    );
     // The connection lookup is offloaded.
-    let gets = find_ops(&lb.prog, |op| matches!(op, Op::MapGet { map, .. } if *map == lb.conn));
+    let gets = find_ops(
+        &lb.prog,
+        |op| matches!(op, Op::MapGet { map, .. } if *map == lb.conn),
+    );
     assert_eq!(gets.len(), 1);
     assert_eq!(c.staged.partition_of(gets[0]), Partition::Pre);
     // GC (map_del) and inserts are server work.
@@ -81,8 +100,14 @@ fn firewall_fully_offloaded_with_two_tables() {
     // match-action tables"; all packet processing happens on the switch.
     assert_eq!(c.p4.tables.len(), 2);
     assert!(c.staged.fully_offloaded(), "no per-packet server work");
-    assert_eq!(c.staged.placement_of(fw.allow_out), StatePlacement::SwitchOnly);
-    assert_eq!(c.staged.placement_of(fw.allow_in), StatePlacement::SwitchOnly);
+    assert_eq!(
+        c.staged.placement_of(fw.allow_out),
+        StatePlacement::SwitchOnly
+    );
+    assert_eq!(
+        c.staged.placement_of(fw.allow_in),
+        StatePlacement::SwitchOnly
+    );
     assert!(c.staged.header_to_server.fields().is_empty());
 }
 
@@ -124,9 +149,20 @@ fn minilb_matches_paper_figure4() {
     assert_eq!(
         c.staged.assignment,
         vec![
-            Pre, Pre, Pre, Pre, Pre, Pre, Pre, Pre, // entry
-            Pre, Pre, Pre, // hit branch
-            NonOffloaded, NonOffloaded, NonOffloaded, // idx & backends[idx]
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre, // entry
+            Pre,
+            Pre,
+            Pre, // hit branch
+            NonOffloaded,
+            NonOffloaded,
+            NonOffloaded, // idx & backends[idx]
             Post,         // daddr write (miss)
             NonOffloaded, // map.insert
             Post,         // send (miss)
@@ -216,7 +252,10 @@ fn mazunat_deployment_equivalence() {
             proto: IpProtocol::Tcp,
         };
         eq.step(tcp(t, TcpFlags::SYN, INTERNAL_PORT, b""), "nat out syn");
-        eq.step(tcp(t, TcpFlags::ACK, INTERNAL_PORT, b"data"), "nat out data");
+        eq.step(
+            tcp(t, TcpFlags::ACK, INTERNAL_PORT, b"data"),
+            "nat out data",
+        );
         // Reply from outside to the allocated port.
         let reply = FiveTuple {
             saddr: 0x08080808,
@@ -225,7 +264,10 @@ fn mazunat_deployment_equivalence() {
             dport: mazunat::NAT_PORT_BASE + i,
             proto: IpProtocol::Tcp,
         };
-        eq.step(tcp(reply, TcpFlags::ACK, EXTERNAL_PORT, b""), "nat in reply");
+        eq.step(
+            tcp(reply, TcpFlags::ACK, EXTERNAL_PORT, b""),
+            "nat in reply",
+        );
     }
     // Unsolicited inbound drops on both sides.
     let stray = FiveTuple {
@@ -335,7 +377,10 @@ fn trojan_deployment_equivalence() {
         eq.step(host(0xB2, 443, TcpFlags::ACK, b"tls"), "B bulk");
     }
     eq.step(host(0xA1, 80, TcpFlags::ACK, b"GET /x.html"), "A dl");
-    eq.step(host(0xA1, trojan::IRC_PORT, TcpFlags::ACK, b"NICK t"), "A irc");
+    eq.step(
+        host(0xA1, trojan::IRC_PORT, TcpFlags::ACK, b"NICK t"),
+        "A irc",
+    );
     eq.assert_state_equal();
     assert_eq!(
         eq.deployment

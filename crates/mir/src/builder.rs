@@ -3,6 +3,13 @@
 //! The Click-element frontend (`gallium-click`) and the hand-written
 //! middleboxes use this builder; it tracks the current insertion block,
 //! infers result types, and validates the finished function.
+//!
+//! Mistakes (type mismatches, appending to a terminated block, wrong
+//! state kinds) do not panic: the builder records the **first** error as
+//! a [`MirError::Build`] carrying the offending instruction index and
+//! keeps returning well-typed placeholder values so construction can
+//! continue structurally. [`FuncBuilder::finish`] surfaces the recorded
+//! error instead of a program.
 
 use crate::func::{BasicBlock, BlockId, Function, Program, Terminator, ValueId};
 use crate::inst::{BinOp, HeaderField, Inst, Op};
@@ -18,6 +25,8 @@ pub struct FuncBuilder {
     insts: Vec<Inst>,
     blocks: Vec<(BlockId, Vec<ValueId>, Option<Terminator>)>,
     current: BlockId,
+    /// First construction mistake, reported by [`FuncBuilder::finish`].
+    error: Option<MirError>,
 }
 
 impl FuncBuilder {
@@ -30,6 +39,24 @@ impl FuncBuilder {
             insts: Vec::new(),
             blocks: vec![(BlockId(0), Vec::new(), None)],
             current: BlockId(0),
+            error: None,
+        }
+    }
+
+    /// The first construction error recorded so far, if any.
+    pub fn error(&self) -> Option<&MirError> {
+        self.error.as_ref()
+    }
+
+    /// Record a construction mistake at the next instruction slot. Only
+    /// the first error is kept: later mistakes are usually cascades of
+    /// the placeholder values handed out after the first one.
+    fn fail(&mut self, msg: impl Into<String>) {
+        if self.error.is_none() {
+            self.error = Some(MirError::Build {
+                inst: self.insts.len() as u32,
+                msg: msg.into(),
+            });
         }
     }
 
@@ -94,6 +121,16 @@ impl FuncBuilder {
         StateId(self.states.len() as u32 - 1)
     }
 
+    fn state_kind(&mut self, s: StateId, ctx: &str) -> Option<StateKind> {
+        match self.states.get(s.0 as usize) {
+            Some(g) => Some(g.kind.clone()),
+            None => {
+                self.fail(format!("{ctx}: unknown state {s}"));
+                None
+            }
+        }
+    }
+
     // ---- blocks ---------------------------------------------------------
 
     /// Create a new (empty, unterminated) block.
@@ -105,10 +142,10 @@ impl FuncBuilder {
 
     /// Select the insertion block.
     pub fn switch_to(&mut self, b: BlockId) {
-        assert!(
-            (b.0 as usize) < self.blocks.len(),
-            "switch_to unknown block"
-        );
+        if (b.0 as usize) >= self.blocks.len() {
+            self.fail(format!("switch_to unknown block {b}"));
+            return;
+        }
         self.current = b;
     }
 
@@ -119,24 +156,33 @@ impl FuncBuilder {
 
     fn push(&mut self, op: Op, ty: Ty) -> ValueId {
         let id = ValueId(self.insts.len() as u32);
-        self.insts.push(Inst { op, ty });
         let cur = self.current.0 as usize;
-        assert!(
-            self.blocks[cur].2.is_none(),
-            "appending to a terminated block"
-        );
+        if self.blocks[cur].2.is_some() {
+            self.fail(format!("appending to terminated block {}", self.current));
+            // Still allocate the instruction so the returned id resolves;
+            // finish() will report the recorded error.
+            self.insts.push(Inst { op, ty });
+            return id;
+        }
+        self.insts.push(Inst { op, ty });
         self.blocks[cur].1.push(id);
         id
     }
 
-    fn ty_of(&self, v: ValueId) -> &Ty {
-        &self.insts[v.0 as usize].ty
+    fn ty_of(&self, v: ValueId) -> Option<&Ty> {
+        self.insts.get(v.0 as usize).map(|i| &i.ty)
     }
 
-    fn int_width(&self, v: ValueId, ctx: &str) -> u8 {
-        self.ty_of(v)
-            .int_width()
-            .unwrap_or_else(|| panic!("{ctx}: operand {v} is not an integer"))
+    /// Integer width of `v`, or 1 (with an error recorded) when `v` is
+    /// dangling or not an integer.
+    fn int_width(&mut self, v: ValueId, ctx: &str) -> u8 {
+        match self.ty_of(v).and_then(Ty::int_width) {
+            Some(w) => w,
+            None => {
+                self.fail(format!("{ctx}: operand {v} is not an integer"));
+                1
+            }
+        }
     }
 
     // ---- instructions ---------------------------------------------------
@@ -157,8 +203,11 @@ impl FuncBuilder {
     pub fn bin(&mut self, op: BinOp, a: ValueId, b: ValueId) -> ValueId {
         let wa = self.int_width(a, "bin");
         let wb = self.int_width(b, "bin");
-        if !matches!(op, BinOp::Shl | BinOp::Shr) {
-            assert_eq!(wa, wb, "bin {}: operand widths differ ({wa} vs {wb})", op.name());
+        if !matches!(op, BinOp::Shl | BinOp::Shr) && wa != wb {
+            self.fail(format!(
+                "bin {}: operand widths differ ({wa} vs {wb})",
+                op.name()
+            ));
         }
         let ty = if op.is_comparison() {
             Ty::BOOL
@@ -182,10 +231,22 @@ impl FuncBuilder {
 
     /// φ-node. All incoming values must share a type.
     pub fn phi(&mut self, incoming: Vec<(BlockId, ValueId)>) -> ValueId {
-        assert!(!incoming.is_empty(), "phi needs at least one incoming");
-        let ty = self.ty_of(incoming[0].1).clone();
+        let Some(first) = incoming.first() else {
+            self.fail("phi needs at least one incoming");
+            return self.push(Op::Phi { incoming }, Ty::Unit);
+        };
+        let ty = match self.ty_of(first.1) {
+            Some(t) => t.clone(),
+            None => {
+                self.fail(format!("phi: incoming {} is dangling", first.1));
+                Ty::Unit
+            }
+        };
         for (_, v) in &incoming {
-            assert_eq!(self.ty_of(*v), &ty, "phi incoming types differ");
+            if self.ty_of(*v) != Some(&ty) {
+                self.fail(format!("phi incoming types differ at {v}"));
+                break;
+            }
         }
         self.push(Op::Phi { incoming }, ty)
     }
@@ -218,38 +279,52 @@ impl FuncBuilder {
 
     /// Map lookup.
     pub fn map_get(&mut self, map: StateId, key: Vec<ValueId>) -> ValueId {
-        let value_widths = match &self.states[map.0 as usize].kind {
-            StateKind::Map { value_widths, .. } => value_widths.clone(),
-            _ => panic!("map_get on non-map state"),
+        let value_widths = match self.state_kind(map, "map_get") {
+            Some(StateKind::Map { value_widths, .. }) => value_widths,
+            Some(_) => {
+                self.fail("map_get on non-map state");
+                Vec::new()
+            }
+            None => Vec::new(),
         };
         self.push(Op::MapGet { map, key }, Ty::MapResult(value_widths))
     }
 
     /// Longest-prefix-match lookup.
     pub fn lpm_get(&mut self, table: StateId, key: ValueId) -> ValueId {
-        let value_widths = match &self.states[table.0 as usize].kind {
-            StateKind::LpmMap { value_widths, .. } => value_widths.clone(),
-            _ => panic!("lpm_get on non-LPM state"),
+        let value_widths = match self.state_kind(table, "lpm_get") {
+            Some(StateKind::LpmMap { value_widths, .. }) => value_widths,
+            Some(_) => {
+                self.fail("lpm_get on non-LPM state");
+                Vec::new()
+            }
+            None => Vec::new(),
         };
         self.push(Op::LpmGet { table, key }, Ty::MapResult(value_widths))
     }
 
     /// NULL check on a map-lookup result.
     pub fn is_null(&mut self, a: ValueId) -> ValueId {
-        assert!(
-            matches!(self.ty_of(a), Ty::MapResult(_)),
-            "is_null on non-mapresult"
-        );
+        if !matches!(self.ty_of(a), Some(Ty::MapResult(_))) {
+            self.fail(format!("is_null on non-mapresult {a}"));
+        }
         self.push(Op::IsNull { a }, Ty::BOOL)
     }
 
     /// Extract a component from a map-lookup result.
     pub fn extract(&mut self, a: ValueId, index: usize) -> ValueId {
         let w = match self.ty_of(a) {
-            Ty::MapResult(ws) => *ws
-                .get(index)
-                .unwrap_or_else(|| panic!("extract index {index} out of range")),
-            _ => panic!("extract on non-mapresult"),
+            Some(Ty::MapResult(ws)) => match ws.get(index) {
+                Some(w) => *w,
+                None => {
+                    self.fail(format!("extract index {index} out of range"));
+                    1
+                }
+            },
+            _ => {
+                self.fail(format!("extract on non-mapresult {a}"));
+                1
+            }
         };
         self.push(Op::Extract { a, index }, Ty::Int(w))
     }
@@ -266,27 +341,35 @@ impl FuncBuilder {
 
     /// Vector element read.
     pub fn vec_get(&mut self, vec: StateId, index: ValueId) -> ValueId {
-        let w = match &self.states[vec.0 as usize].kind {
-            StateKind::Vector { elem_width, .. } => *elem_width,
-            _ => panic!("vec_get on non-vector state"),
+        let w = match self.state_kind(vec, "vec_get") {
+            Some(StateKind::Vector { elem_width, .. }) => elem_width,
+            Some(_) => {
+                self.fail("vec_get on non-vector state");
+                1
+            }
+            None => 1,
         };
         self.push(Op::VecGet { vec, index }, Ty::Int(w))
     }
 
     /// Vector length.
     pub fn vec_len(&mut self, vec: StateId) -> ValueId {
-        assert!(
-            matches!(self.states[vec.0 as usize].kind, StateKind::Vector { .. }),
-            "vec_len on non-vector state"
-        );
+        match self.state_kind(vec, "vec_len") {
+            Some(StateKind::Vector { .. }) | None => {}
+            Some(_) => self.fail("vec_len on non-vector state"),
+        }
         self.push(Op::VecLen { vec }, Ty::Int(32))
     }
 
     /// Register read.
     pub fn reg_read(&mut self, reg: StateId) -> ValueId {
-        let w = match &self.states[reg.0 as usize].kind {
-            StateKind::Register { width } => *width,
-            _ => panic!("reg_read on non-register state"),
+        let w = match self.state_kind(reg, "reg_read") {
+            Some(StateKind::Register { width }) => width,
+            Some(_) => {
+                self.fail("reg_read on non-register state");
+                1
+            }
+            None => 1,
         };
         self.push(Op::RegRead { reg }, Ty::Int(w))
     }
@@ -298,9 +381,13 @@ impl FuncBuilder {
 
     /// Fused register fetch-and-add.
     pub fn reg_fetch_add(&mut self, reg: StateId, delta: ValueId) -> ValueId {
-        let w = match &self.states[reg.0 as usize].kind {
-            StateKind::Register { width } => *width,
-            _ => panic!("reg_fetch_add on non-register state"),
+        let w = match self.state_kind(reg, "reg_fetch_add") {
+            Some(StateKind::Register { width }) => width,
+            Some(_) => {
+                self.fail("reg_fetch_add on non-register state");
+                1
+            }
+            None => 1,
         };
         self.push(Op::RegFetchAdd { reg, delta }, Ty::Int(w))
     }
@@ -353,21 +440,23 @@ impl FuncBuilder {
 
     fn terminate(&mut self, t: Terminator) {
         let cur = self.current.0 as usize;
-        assert!(
-            self.blocks[cur].2.is_none(),
-            "block {} already terminated",
-            self.current
-        );
+        if self.blocks[cur].2.is_some() {
+            self.fail(format!("block {} already terminated", self.current));
+            return;
+        }
         self.blocks[cur].2 = Some(t);
     }
 
-    /// Finish and validate the program.
+    /// Finish and validate the program. Any mistake recorded during
+    /// construction is returned here instead of a program.
     pub fn finish(self) -> Result<Program> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for (id, insts, term) in self.blocks {
-            let term = term.ok_or_else(|| {
-                MirError::Invalid(format!("block {id} has no terminator"))
-            })?;
+            let term =
+                term.ok_or_else(|| MirError::Invalid(format!("block {id} has no terminator")))?;
             blocks.push(BasicBlock { id, insts, term });
         }
         let prog = Program {
@@ -397,7 +486,7 @@ mod tests {
         b.write_field(HeaderField::IpDaddr, x);
         b.send();
         b.ret();
-        let p = b.finish().unwrap();
+        let p = b.finish().expect("valid program");
         assert_eq!(p.func.len(), 5);
         assert_eq!(p.func.blocks.len(), 1);
     }
@@ -424,7 +513,7 @@ mod tests {
         b.write_field(HeaderField::DstPort, ph16);
         b.send();
         b.ret();
-        let p = b.finish().unwrap();
+        let p = b.finish().expect("valid program");
         assert_eq!(p.func.blocks.len(), 4);
     }
 
@@ -437,20 +526,27 @@ mod tests {
         let null = b.is_null(r);
         let v0 = b.extract(r, 0);
         let v1 = b.extract(r, 1);
-        assert_eq!(b.ty_of(v0), &Ty::Int(32));
-        assert_eq!(b.ty_of(v1), &Ty::Int(16));
-        assert_eq!(b.ty_of(null), &Ty::BOOL);
+        assert_eq!(b.ty_of(v0), Some(&Ty::Int(32)));
+        assert_eq!(b.ty_of(v1), Some(&Ty::Int(16)));
+        assert_eq!(b.ty_of(null), Some(&Ty::BOOL));
         b.ret();
-        b.finish().unwrap();
+        b.finish().expect("valid program");
     }
 
     #[test]
-    #[should_panic(expected = "operand widths differ")]
-    fn mismatched_widths_panic() {
+    fn mismatched_widths_reported_with_inst() {
         let mut b = FuncBuilder::new("t");
         let a = b.cnst(1, 16);
         let c = b.cnst(1, 32);
         b.bin(BinOp::Add, a, c);
+        b.ret();
+        let err = b.finish().expect_err("width mismatch must be rejected");
+        // The span is the `bin` instruction itself (index 2).
+        assert!(
+            matches!(err, MirError::Build { inst: 2, .. }),
+            "got {err:?}"
+        );
+        assert!(format!("{err}").contains("operand widths differ"), "{err}");
     }
 
     #[test]
@@ -460,10 +556,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already terminated")]
-    fn double_terminate_panics() {
+    fn double_terminate_reported() {
         let mut b = FuncBuilder::new("t");
         b.ret();
         b.ret();
+        let err = b.finish().expect_err("double terminate must be rejected");
+        assert!(matches!(err, MirError::Build { .. }), "got {err:?}");
+        assert!(format!("{err}").contains("already terminated"));
+    }
+
+    #[test]
+    fn wrong_state_kind_reported() {
+        let mut b = FuncBuilder::new("t");
+        let r = b.decl_register("r", 32);
+        let i = b.cnst(0, 32);
+        b.vec_get(r, i); // register used as a vector
+        b.ret();
+        let err = b.finish().expect_err("wrong state kind must be rejected");
+        assert!(format!("{err}").contains("vec_get on non-vector state"));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.cnst(1, 16);
+        let c = b.cnst(1, 32);
+        b.bin(BinOp::Add, a, c); // first mistake: widths differ
+        b.ret();
+        b.ret(); // second mistake: double terminate
+        let err = b.finish().expect_err("first error surfaces");
+        assert!(format!("{err}").contains("operand widths differ"), "{err}");
     }
 }

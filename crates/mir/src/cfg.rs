@@ -292,12 +292,7 @@ impl Cfg {
     }
 }
 
-fn intersect(
-    a: BlockId,
-    b: BlockId,
-    idom: &[Option<BlockId>],
-    rpo_index: &[usize],
-) -> BlockId {
+fn intersect(a: BlockId, b: BlockId, idom: &[Option<BlockId>], rpo_index: &[usize]) -> BlockId {
     let (mut fa, mut fb) = (a, b);
     while fa != fb {
         while rpo_index[fa.0 as usize] > rpo_index[fb.0 as usize] {
@@ -327,8 +322,8 @@ fn intersect_usize(a: usize, b: usize, idom: &[Option<usize>], rpo_index: &[usiz
 mod tests {
     use super::*;
     use crate::builder::FuncBuilder;
-    use crate::inst::{BinOp, HeaderField};
     use crate::func::Program;
+    use crate::inst::{BinOp, HeaderField};
 
     /// Diamond: b0 -> {b1, b2} -> b3.
     fn diamond() -> Program {

@@ -1,10 +1,10 @@
 //! Instructions, operations, and their static metadata (read/write sets,
 //! P4 supportability).
 
+use crate::func::BlockId;
 use crate::func::ValueId;
 use crate::state::{StateId, StateKind};
 use crate::types::Ty;
-use crate::func::BlockId;
 
 /// Packet-header fields addressable by the IR.
 ///
@@ -222,7 +222,13 @@ impl BinOp {
             BinOp::Or => a | b,
             BinOp::Xor => a ^ b,
             BinOp::Shl => mask(if b >= 64 { 0 } else { a << b }, width),
-            BinOp::Shr => if b >= 64 { 0 } else { a >> b },
+            BinOp::Shr => {
+                if b >= 64 {
+                    0
+                } else {
+                    a >> b
+                }
+            }
             BinOp::Eq => u64::from(a == b),
             BinOp::Ne => u64::from(a != b),
             BinOp::Lt => u64::from(a < b),
@@ -230,20 +236,8 @@ impl BinOp {
             BinOp::Gt => u64::from(a > b),
             BinOp::Ge => u64::from(a >= b),
             BinOp::Mul => mask(a.wrapping_mul(b), width),
-            BinOp::Div => {
-                if b == 0 {
-                    0
-                } else {
-                    a / b
-                }
-            }
-            BinOp::Mod => {
-                if b == 0 {
-                    0
-                } else {
-                    a % b
-                }
-            }
+            BinOp::Div => a.checked_div(b).unwrap_or(0),
+            BinOp::Mod => a.checked_rem(b).unwrap_or(0),
         }
     }
 }
@@ -459,9 +453,7 @@ impl Op {
             Op::RegFetchAdd { delta, .. } => vec![*delta],
             Op::MapGet { key, .. } | Op::MapDel { key, .. } => key.clone(),
             Op::LpmGet { key, .. } => vec![*key],
-            Op::MapPut { key, value, .. } => {
-                key.iter().chain(value.iter()).copied().collect()
-            }
+            Op::MapPut { key, value, .. } => key.iter().chain(value.iter()).copied().collect(),
             Op::VecGet { index, .. } => vec![*index],
             Op::Hash { inputs, .. } => inputs.clone(),
         }

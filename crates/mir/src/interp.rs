@@ -170,9 +170,7 @@ pub fn read_header_field(bytes: &[u8], field: HeaderField) -> u64 {
         SrcPort => TcpView::new(tp).map(|t| u64::from(t.sport())).unwrap_or(0),
         DstPort => TcpView::new(tp).map(|t| u64::from(t.dport())).unwrap_or(0),
         TcpSeq => TcpView::new(tp).map(|t| u64::from(t.seq())).unwrap_or(0),
-        TcpAck => TcpView::new(tp)
-            .map(|t| u64::from(t.ack_no()))
-            .unwrap_or(0),
+        TcpAck => TcpView::new(tp).map(|t| u64::from(t.ack_no())).unwrap_or(0),
         TcpFlags => TcpView::new(tp)
             .map(|t| u64::from(t.flags().0))
             .unwrap_or(0),
@@ -334,12 +332,7 @@ impl<'p> Interpreter<'p> {
     }
 
     /// Process one packet against `store` at time `now_ns`.
-    pub fn run(
-        &self,
-        pkt: &mut Packet,
-        store: &mut StateStore,
-        now_ns: u64,
-    ) -> Result<ExecResult> {
+    pub fn run(&self, pkt: &mut Packet, store: &mut StateStore, now_ns: u64) -> Result<ExecResult> {
         let f = &self.prog.func;
         let mut vals: Vec<Option<RtVal>> = vec![None; f.insts.len()];
         let mut result = ExecResult {
@@ -364,9 +357,7 @@ impl<'p> Interpreter<'p> {
                 let Op::Phi { incoming } = &f.inst(v).op else {
                     unreachable!()
                 };
-                let pb = prev.ok_or_else(|| {
-                    MirError::Fault(format!("{v}: phi in entry block"))
-                })?;
+                let pb = prev.ok_or_else(|| MirError::Fault(format!("{v}: phi in entry block")))?;
                 let (_, pv) = incoming
                     .iter()
                     .find(|(ib, _)| *ib == pb)
@@ -508,7 +499,10 @@ impl<'p> Interpreter<'p> {
             Op::MapDel { map, key } => {
                 let k: Vec<u64> = key.iter().map(|u| get_int(*u)).collect::<Result<_>>()?;
                 store.map_del(*map, &k)?;
-                result.mutations.push(StateMutation::MapDel { state: *map, key: k });
+                result.mutations.push(StateMutation::MapDel {
+                    state: *map,
+                    key: k,
+                });
                 RtVal::Unit
             }
             Op::VecGet { vec, index } => {
@@ -520,9 +514,10 @@ impl<'p> Interpreter<'p> {
             Op::RegWrite { reg, value } => {
                 let x = get_int(*value)?;
                 store.reg_write(*reg, x)?;
-                result
-                    .mutations
-                    .push(StateMutation::RegSet { state: *reg, value: x });
+                result.mutations.push(StateMutation::RegSet {
+                    state: *reg,
+                    value: x,
+                });
                 RtVal::Unit
             }
             Op::RegFetchAdd { reg, delta } => {

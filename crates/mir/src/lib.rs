@@ -61,6 +61,16 @@ pub enum MirError {
     Parse {
         /// 1-based line of the offending token.
         line: usize,
+        /// 1-based column of the offending token within that line.
+        col: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The builder was driven through an ill-typed or ill-formed sequence.
+    Build {
+        /// Index of the instruction at (or just after) which the mistake
+        /// occurred — the builder's equivalent of a source span.
+        inst: u32,
         /// Human-readable description.
         msg: String,
     },
@@ -75,7 +85,12 @@ impl std::fmt::Display for MirError {
         match self {
             MirError::DanglingRef(s) => write!(f, "dangling reference: {s}"),
             MirError::Invalid(s) => write!(f, "invalid MIR: {s}"),
-            MirError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            MirError::Parse { line, col, msg } => {
+                write!(f, "parse error at line {line}, column {col}: {msg}")
+            }
+            MirError::Build { inst, msg } => {
+                write!(f, "builder error at instruction %{inst}: {msg}")
+            }
             MirError::StepBudgetExceeded => write!(f, "interpreter step budget exceeded"),
             MirError::Fault(s) => write!(f, "runtime fault: {s}"),
         }

@@ -1,4 +1,9 @@
 //! Parser for the textual MIR form produced by [`crate::printer`].
+//!
+//! Every rejection is a [`MirError::Parse`] carrying a 1-based line *and*
+//! column: error sites hand the offending token (always a subslice of the
+//! raw input line) to [`At::err`], which recovers the column from the
+//! token's offset within the line.
 
 use crate::func::{BasicBlock, BlockId, Function, Program, Terminator, ValueId};
 use crate::inst::{BinOp, HeaderField, Inst, Op};
@@ -12,8 +17,45 @@ pub fn parse_program(text: &str) -> Result<Program> {
     Parser::new(text).parse()
 }
 
+/// A source location: 1-based line number plus the raw (untrimmed) line.
+#[derive(Copy, Clone)]
+struct At<'a> {
+    line: usize,
+    raw: &'a str,
+}
+
+impl At<'_> {
+    /// Build a parse error anchored at `tok`. When `tok` is a subslice of
+    /// this line (the common case — all parsing here slices the input),
+    /// the column is the token's 1-based offset; otherwise it falls back
+    /// to the line's first non-whitespace column.
+    fn error(self, tok: &str, msg: impl Into<String>) -> MirError {
+        MirError::Parse {
+            line: self.line,
+            col: self.col(tok),
+            msg: msg.into(),
+        }
+    }
+
+    /// [`At::error`] wrapped in `Err`.
+    fn err<T>(self, tok: &str, msg: impl Into<String>) -> Result<T> {
+        Err(self.error(tok, msg))
+    }
+
+    fn col(self, tok: &str) -> usize {
+        let r = self.raw.as_ptr() as usize;
+        let t = tok.as_ptr() as usize;
+        if t >= r && t.saturating_add(tok.len()) <= r + self.raw.len() {
+            t - r + 1
+        } else {
+            self.raw.len() - self.raw.trim_start().len() + 1
+        }
+    }
+}
+
 struct Parser<'a> {
-    lines: Vec<(usize, &'a str)>, // (1-based line number, trimmed content)
+    /// (location, trimmed content) for each non-blank, non-comment line.
+    lines: Vec<(At<'a>, &'a str)>,
     pos: usize,
 }
 
@@ -22,24 +64,17 @@ impl<'a> Parser<'a> {
         let lines = text
             .lines()
             .enumerate()
-            .map(|(i, l)| (i + 1, l.trim()))
+            .map(|(i, raw)| (At { line: i + 1, raw }, raw.trim()))
             .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
             .collect();
         Parser { lines, pos: 0 }
     }
 
-    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T> {
-        Err(MirError::Parse {
-            line,
-            msg: msg.into(),
-        })
-    }
-
-    fn peek(&self) -> Option<(usize, &'a str)> {
+    fn peek(&self) -> Option<(At<'a>, &'a str)> {
         self.lines.get(self.pos).copied()
     }
 
-    fn next(&mut self) -> Option<(usize, &'a str)> {
+    fn next(&mut self) -> Option<(At<'a>, &'a str)> {
         let l = self.peek();
         if l.is_some() {
             self.pos += 1;
@@ -47,31 +82,39 @@ impl<'a> Parser<'a> {
         l
     }
 
+    /// Location of the last line, for errors about truncated input.
+    fn eof_at(&self) -> At<'a> {
+        self.lines
+            .last()
+            .map(|(at, _)| *at)
+            .unwrap_or(At { line: 1, raw: "" })
+    }
+
     fn parse(mut self) -> Result<Program> {
-        let (ln, header) = self
-            .next()
-            .ok_or(MirError::Parse {
-                line: 0,
+        let Some((at, header)) = self.next() else {
+            return Err(MirError::Parse {
+                line: 1,
+                col: 1,
                 msg: "empty input".into(),
-            })?;
+            });
+        };
         let name = header
             .strip_prefix("program ")
             .and_then(|r| r.strip_suffix('{'))
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty());
         let Some(name) = name else {
-            return self.err(ln, "expected `program <name> {`");
+            return at.err(header, "expected `program <name> {`");
         };
 
         let mut states = Vec::new();
         let mut state_ids: HashMap<String, StateId> = HashMap::new();
-        while let Some((ln, l)) = self.peek() {
+        while let Some((at, l)) = self.peek() {
             if let Some(rest) = l.strip_prefix("state ") {
                 self.pos += 1;
-                let st = parse_state(rest).ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("bad state declaration `{l}`"),
-                })?;
+                let Some(st) = parse_state(rest) else {
+                    return at.err(rest, format!("bad state declaration `{l}`"));
+                };
                 state_ids.insert(st.name.clone(), StateId(states.len() as u32));
                 states.push(st);
             } else {
@@ -111,34 +154,34 @@ impl<'a> Parser<'a> {
         let mut cur: Option<(BlockId, Vec<ValueId>)> = None;
         let mut closed = false;
 
-        let lookup_state = |name: &str, ln: usize| -> Result<StateId> {
-            state_ids.get(name).copied().ok_or(MirError::Parse {
-                line: ln,
-                msg: format!("unknown state `{name}`"),
-            })
+        let lookup_state = |name: &str, at: At| -> Result<StateId> {
+            state_ids
+                .get(name)
+                .copied()
+                .ok_or_else(|| at.error(name, format!("unknown state `{name}`")))
         };
-        let lookup_value = |name: &str, ln: usize| -> Result<ValueId> {
-            value_ids.get(name).copied().ok_or(MirError::Parse {
-                line: ln,
-                msg: format!("unknown value `{name}`"),
-            })
+        let lookup_value = |name: &str, at: At| -> Result<ValueId> {
+            value_ids
+                .get(name)
+                .copied()
+                .ok_or_else(|| at.error(name, format!("unknown value `{name}`")))
         };
-        let lookup_block = |name: &str, ln: usize| -> Result<BlockId> {
-            block_ids.get(name).copied().ok_or(MirError::Parse {
-                line: ln,
-                msg: format!("unknown block `{name}`"),
-            })
+        let lookup_block = |name: &str, at: At| -> Result<BlockId> {
+            block_ids
+                .get(name)
+                .copied()
+                .ok_or_else(|| at.error(name, format!("unknown block `{name}`")))
         };
 
-        while let Some((ln, l)) = self.next() {
+        while let Some((at, l)) = self.next() {
             if l == "}" {
                 closed = true;
                 break;
             }
             if let Some(label) = l.strip_suffix(':') {
                 if let Some((id, is_insts)) = cur.take() {
-                    return self.err(
-                        ln,
+                    return at.err(
+                        l,
                         format!(
                             "block b{}({} insts) not terminated before `{label}`",
                             id.0,
@@ -146,52 +189,43 @@ impl<'a> Parser<'a> {
                         ),
                     );
                 }
-                cur = Some((lookup_block(label.trim(), ln)?, Vec::new()));
+                cur = Some((lookup_block(label.trim(), at)?, Vec::new()));
                 continue;
             }
-            let Some((_, ref mut block_insts)) = cur else {
-                return self.err(ln, format!("instruction `{l}` outside any block"));
-            };
-            // Terminators.
-            if l == "ret" {
-                let (id, insts_v) = cur.take().expect("checked above");
-                blocks.push(BasicBlock {
-                    id,
-                    insts: insts_v,
-                    term: Terminator::Return,
-                });
-                continue;
-            }
-            if let Some(rest) = l.strip_prefix("jmp ") {
-                let t = lookup_block(rest.trim(), ln)?;
-                let (id, insts_v) = cur.take().expect("checked above");
-                blocks.push(BasicBlock {
-                    id,
-                    insts: insts_v,
-                    term: Terminator::Jump(t),
-                });
-                continue;
-            }
-            if let Some(rest) = l.strip_prefix("br ") {
+
+            // Terminators close the current block.
+            let term = if l == "ret" {
+                Some(Terminator::Return)
+            } else if let Some(rest) = l.strip_prefix("jmp ") {
+                Some(Terminator::Jump(lookup_block(rest.trim(), at)?))
+            } else if let Some(rest) = l.strip_prefix("br ") {
                 let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
                 if parts.len() != 3 {
-                    return self.err(ln, "br expects `br v, bT, bE`");
+                    return at.err(rest, "br expects `br v, bT, bE`");
                 }
-                let cond = lookup_value(parts[0], ln)?;
-                let then_bb = lookup_block(parts[1], ln)?;
-                let else_bb = lookup_block(parts[2], ln)?;
-                let (id, insts_v) = cur.take().expect("checked above");
+                Some(Terminator::Branch {
+                    cond: lookup_value(parts[0], at)?,
+                    then_bb: lookup_block(parts[1], at)?,
+                    else_bb: lookup_block(parts[2], at)?,
+                })
+            } else {
+                None
+            };
+            if let Some(term) = term {
+                let Some((id, insts_v)) = cur.take() else {
+                    return at.err(l, format!("terminator `{l}` outside any block"));
+                };
                 blocks.push(BasicBlock {
                     id,
                     insts: insts_v,
-                    term: Terminator::Branch {
-                        cond,
-                        then_bb,
-                        else_bb,
-                    },
+                    term,
                 });
                 continue;
             }
+
+            let Some((_, ref mut block_insts)) = cur else {
+                return at.err(l, format!("instruction `{l}` outside any block"));
+            };
 
             // Instructions. Either `vN = <op...>` or a bare effect op.
             let (def, body) = match l.split_once('=') {
@@ -199,7 +233,7 @@ impl<'a> Parser<'a> {
                 None => (None, l),
             };
             let id = match def {
-                Some(d) => lookup_value(d, ln)?,
+                Some(d) => lookup_value(d, at)?,
                 None => {
                     // Effect instruction: its arena slot was reserved in the
                     // scan pass in file order; recover it by counting.
@@ -209,18 +243,14 @@ impl<'a> Parser<'a> {
             // Keep the arena aligned: instructions must appear in id order
             // because the scan pass numbered them by appearance.
             if id.0 as usize != insts.len() {
-                return self.err(
-                    ln,
-                    format!(
-                        "value {} out of order (expected v{})",
-                        id,
-                        insts.len()
-                    ),
+                return at.err(
+                    def.unwrap_or(l),
+                    format!("value {} out of order (expected v{})", id, insts.len()),
                 );
             }
-            let (op, ty) = self.parse_op(
+            let (op, ty) = parse_op(
                 body,
-                ln,
+                at,
                 &states,
                 &lookup_state,
                 &lookup_value,
@@ -232,13 +262,12 @@ impl<'a> Parser<'a> {
         }
 
         if !closed {
-            return self.err(
-                self.lines.last().map(|(n, _)| *n).unwrap_or(0),
-                "missing closing `}`",
-            );
+            let at = self.eof_at();
+            return at.err(at.raw, "missing closing `}`");
         }
         if let Some((id, _)) = cur {
-            return self.err(0, format!("block b{} not terminated", id.0));
+            let at = self.eof_at();
+            return at.err(at.raw, format!("block b{} not terminated", id.0));
         }
 
         let prog = Program {
@@ -253,308 +282,296 @@ impl<'a> Parser<'a> {
         crate::validate::validate(&prog)?;
         Ok(prog)
     }
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn parse_op(
-        &self,
-        body: &str,
-        ln: usize,
-        states: &[GlobalState],
-        lookup_state: &dyn Fn(&str, usize) -> Result<StateId>,
-        lookup_value: &dyn Fn(&str, usize) -> Result<ValueId>,
-        lookup_block: &dyn Fn(&str, usize) -> Result<BlockId>,
-        insts: &[Inst],
-    ) -> Result<(Op, Ty)> {
-        let ty_of = |v: ValueId| -> &Ty { &insts[v.0 as usize].ty };
-        let int_width = |v: ValueId| -> Result<u8> {
-            ty_of(v).int_width().ok_or(MirError::Parse {
-                line: ln,
-                msg: format!("{v} is not an integer"),
-            })
+#[allow(clippy::too_many_arguments)]
+fn parse_op<'a>(
+    body: &'a str,
+    at: At<'a>,
+    states: &[GlobalState],
+    lookup_state: &dyn Fn(&str, At<'a>) -> Result<StateId>,
+    lookup_value: &dyn Fn(&str, At<'a>) -> Result<ValueId>,
+    lookup_block: &dyn Fn(&str, At<'a>) -> Result<BlockId>,
+    insts: &[Inst],
+) -> Result<(Op, Ty)> {
+    let ty_of = |v: ValueId, tok: &str| -> Result<Ty> {
+        insts
+            .get(v.0 as usize)
+            .map(|i| i.ty.clone())
+            .ok_or_else(|| at.error(tok, format!("{v} used before definition")))
+    };
+    let int_width = |v: ValueId, tok: &str| -> Result<u8> {
+        ty_of(v, tok)?
+            .int_width()
+            .ok_or_else(|| at.error(tok, format!("{v} is not an integer")))
+    };
+    let (mnemonic, rest) = match body.split_once(' ') {
+        Some((m, r)) => (m, r.trim()),
+        None => (body, ""),
+    };
+    let parse_vlist = |s: &str| -> Result<Vec<ValueId>> {
+        let Some(inner) = s.strip_prefix('[').and_then(|x| x.strip_suffix(']')) else {
+            return at.err(s, format!("expected [v...], got `{s}`"));
         };
-        let (mnemonic, rest) = match body.split_once(' ') {
-            Some((m, r)) => (m, r.trim()),
-            None => (body, ""),
-        };
-        let parse_vlist = |s: &str| -> Result<Vec<ValueId>> {
-            let inner = s
-                .strip_prefix('[')
-                .and_then(|x| x.strip_suffix(']'))
-                .ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("expected [v...], got `{s}`"),
-                })?;
-            if inner.trim().is_empty() {
-                return Ok(vec![]);
-            }
-            inner
-                .split(',')
-                .map(|p| lookup_value(p.trim(), ln))
-                .collect()
-        };
+        if inner.trim().is_empty() {
+            return Ok(vec![]);
+        }
+        inner
+            .split(',')
+            .map(|p| lookup_value(p.trim(), at))
+            .collect()
+    };
 
-        Ok(match mnemonic {
-            "const" => {
-                let (val, w) = split_typed(rest, ln)?;
-                let value: u64 = parse_u64(val).ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("bad constant `{val}`"),
-                })?;
-                (
-                    Op::Const {
-                        value: mask_to_width(value, w),
-                        width: w,
-                    },
-                    Ty::Int(w),
-                )
-            }
-            "not" => {
-                let a = lookup_value(rest, ln)?;
-                let w = int_width(a)?;
-                (Op::Not { a }, Ty::Int(w))
-            }
-            "cast" => {
-                let (val, w) = split_typed(rest, ln)?;
-                let a = lookup_value(val, ln)?;
-                (Op::Cast { a, width: w }, Ty::Int(w))
-            }
-            "phi" => {
-                let inner = rest
-                    .strip_prefix('[')
-                    .and_then(|x| x.strip_suffix(']'))
-                    .ok_or(MirError::Parse {
-                        line: ln,
-                        msg: "phi expects [b: v, ...]".into(),
-                    })?;
-                let mut incoming = Vec::new();
-                for pair in inner.split(',') {
-                    let (b, v) = pair.split_once(':').ok_or(MirError::Parse {
-                        line: ln,
-                        msg: format!("bad phi edge `{pair}`"),
-                    })?;
-                    incoming.push((lookup_block(b.trim(), ln)?, lookup_value(v.trim(), ln)?));
-                }
-                let ty = incoming
-                    .first()
-                    .map(|(_, v)| ty_of(*v).clone())
-                    .unwrap_or(Ty::Unit);
-                (Op::Phi { incoming }, ty)
-            }
-            "readfield" => {
-                let field = HeaderField::from_name(rest).ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("unknown header field `{rest}`"),
-                })?;
-                (Op::ReadField { field }, Ty::Int(field.bits()))
-            }
-            "writefield" => {
-                let (fname, v) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "writefield expects `field, v`".into(),
-                })?;
-                let field = HeaderField::from_name(fname.trim()).ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("unknown header field `{fname}`"),
-                })?;
-                (
-                    Op::WriteField {
-                        field,
-                        value: lookup_value(v.trim(), ln)?,
-                    },
-                    Ty::Unit,
-                )
-            }
-            "readport" => (Op::ReadPort, Ty::Int(16)),
-            "payloadmatch" => {
-                let pattern = unescape_quoted(rest).ok_or(MirError::Parse {
-                    line: ln,
-                    msg: format!("bad pattern `{rest}`"),
-                })?;
-                (Op::PayloadMatch { pattern }, Ty::BOOL)
-            }
-            "mapget" => {
-                let (sname, keys) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "mapget expects `state, [keys]`".into(),
-                })?;
-                let map = lookup_state(sname.trim(), ln)?;
-                let key = parse_vlist(keys.trim())?;
-                let value_widths = match &states[map.0 as usize].kind {
-                    StateKind::Map { value_widths, .. } => value_widths.clone(),
-                    _ => {
-                        return self.err(ln, format!("state `{sname}` is not a map"));
-                    }
-                };
-                (Op::MapGet { map, key }, Ty::MapResult(value_widths))
-            }
-            "lpmget" => {
-                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "lpmget expects `state, v`".into(),
-                })?;
-                let table = lookup_state(sname.trim(), ln)?;
-                let value_widths = match &states[table.0 as usize].kind {
-                    StateKind::LpmMap { value_widths, .. } => value_widths.clone(),
-                    _ => {
-                        return self.err(ln, format!("state `{sname}` is not an LPM table"));
-                    }
-                };
-                (
-                    Op::LpmGet {
-                        table,
-                        key: lookup_value(v.trim(), ln)?,
-                    },
-                    Ty::MapResult(value_widths),
-                )
-            }
-            "isnull" => (
-                Op::IsNull {
-                    a: lookup_value(rest, ln)?,
+    Ok(match mnemonic {
+        "const" => {
+            let (val, w) = split_typed(rest, at)?;
+            let Some(value) = parse_u64(val) else {
+                return at.err(val, format!("bad constant `{val}`"));
+            };
+            (
+                Op::Const {
+                    value: mask_to_width(value, w),
+                    width: w,
                 },
-                Ty::BOOL,
-            ),
-            "extract" => {
-                let (v, idx) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "extract expects `v, index`".into(),
-                })?;
-                let a = lookup_value(v.trim(), ln)?;
-                let index: usize = idx.trim().parse().map_err(|_| MirError::Parse {
-                    line: ln,
-                    msg: format!("bad index `{idx}`"),
-                })?;
-                let w = match ty_of(a) {
-                    Ty::MapResult(ws) => ws.get(index).copied().ok_or(MirError::Parse {
-                        line: ln,
-                        msg: format!("extract index {index} out of range"),
-                    })?,
-                    _ => {
-                        return self.err(ln, format!("extract on non-mapresult {a}"));
-                    }
+                Ty::Int(w),
+            )
+        }
+        "not" => {
+            let a = lookup_value(rest, at)?;
+            let w = int_width(a, rest)?;
+            (Op::Not { a }, Ty::Int(w))
+        }
+        "cast" => {
+            let (val, w) = split_typed(rest, at)?;
+            let a = lookup_value(val, at)?;
+            (Op::Cast { a, width: w }, Ty::Int(w))
+        }
+        "phi" => {
+            let Some(inner) = rest.strip_prefix('[').and_then(|x| x.strip_suffix(']')) else {
+                return at.err(rest, "phi expects [b: v, ...]");
+            };
+            let mut incoming = Vec::new();
+            for pair in inner.split(',') {
+                let Some((b, v)) = pair.split_once(':') else {
+                    return at.err(pair, format!("bad phi edge `{pair}`"));
                 };
-                (Op::Extract { a, index }, Ty::Int(w))
+                incoming.push((lookup_block(b.trim(), at)?, lookup_value(v.trim(), at)?));
             }
-            "mapput" => {
-                let parts = split_top(rest);
-                if parts.len() != 3 {
-                    return self.err(ln, "mapput expects `state, [keys], [values]`");
-                }
-                (
-                    Op::MapPut {
-                        map: lookup_state(&parts[0], ln)?,
-                        key: parse_vlist(&parts[1])?,
-                        value: parse_vlist(&parts[2])?,
-                    },
-                    Ty::Unit,
-                )
-            }
-            "mapdel" => {
-                let parts = split_top(rest);
-                if parts.len() != 2 {
-                    return self.err(ln, "mapdel expects `state, [keys]`");
-                }
-                (
-                    Op::MapDel {
-                        map: lookup_state(&parts[0], ln)?,
-                        key: parse_vlist(&parts[1])?,
-                    },
-                    Ty::Unit,
-                )
-            }
-            "vecget" => {
-                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "vecget expects `state, v`".into(),
-                })?;
-                let vec = lookup_state(sname.trim(), ln)?;
-                let w = match &states[vec.0 as usize].kind {
-                    StateKind::Vector { elem_width, .. } => *elem_width,
-                    _ => {
-                        return self.err(ln, format!("state `{sname}` is not a vector"));
-                    }
-                };
-                (
-                    Op::VecGet {
-                        vec,
-                        index: lookup_value(v.trim(), ln)?,
-                    },
-                    Ty::Int(w),
-                )
-            }
-            "veclen" => (
-                Op::VecLen {
-                    vec: lookup_state(rest, ln)?,
+            let ty = match incoming.first() {
+                Some((_, v)) => ty_of(*v, rest)?,
+                None => Ty::Unit,
+            };
+            (Op::Phi { incoming }, ty)
+        }
+        "readfield" => {
+            let Some(field) = HeaderField::from_name(rest) else {
+                return at.err(rest, format!("unknown header field `{rest}`"));
+            };
+            (Op::ReadField { field }, Ty::Int(field.bits()))
+        }
+        "writefield" => {
+            let Some((fname, v)) = rest.split_once(',') else {
+                return at.err(rest, "writefield expects `field, v`");
+            };
+            let Some(field) = HeaderField::from_name(fname.trim()) else {
+                return at.err(fname.trim(), format!("unknown header field `{fname}`"));
+            };
+            (
+                Op::WriteField {
+                    field,
+                    value: lookup_value(v.trim(), at)?,
                 },
-                Ty::Int(32),
-            ),
-            "regread" => {
-                let reg = lookup_state(rest, ln)?;
-                let w = reg_width(states, reg, ln)?;
-                (Op::RegRead { reg }, Ty::Int(w))
+                Ty::Unit,
+            )
+        }
+        "readport" => (Op::ReadPort, Ty::Int(16)),
+        "payloadmatch" => {
+            let Some(pattern) = unescape_quoted(rest) else {
+                return at.err(rest, format!("bad pattern `{rest}`"));
+            };
+            (Op::PayloadMatch { pattern }, Ty::BOOL)
+        }
+        "mapget" => {
+            let Some((sname, keys)) = rest.split_once(',') else {
+                return at.err(rest, "mapget expects `state, [keys]`");
+            };
+            let sname = sname.trim();
+            let map = lookup_state(sname, at)?;
+            let key = parse_vlist(keys.trim())?;
+            let value_widths = match states.get(map.0 as usize).map(|s| &s.kind) {
+                Some(StateKind::Map { value_widths, .. }) => value_widths.clone(),
+                _ => {
+                    return at.err(sname, format!("state `{sname}` is not a map"));
+                }
+            };
+            (Op::MapGet { map, key }, Ty::MapResult(value_widths))
+        }
+        "lpmget" => {
+            let Some((sname, v)) = rest.split_once(',') else {
+                return at.err(rest, "lpmget expects `state, v`");
+            };
+            let sname = sname.trim();
+            let table = lookup_state(sname, at)?;
+            let value_widths = match states.get(table.0 as usize).map(|s| &s.kind) {
+                Some(StateKind::LpmMap { value_widths, .. }) => value_widths.clone(),
+                _ => {
+                    return at.err(sname, format!("state `{sname}` is not an LPM table"));
+                }
+            };
+            (
+                Op::LpmGet {
+                    table,
+                    key: lookup_value(v.trim(), at)?,
+                },
+                Ty::MapResult(value_widths),
+            )
+        }
+        "isnull" => (
+            Op::IsNull {
+                a: lookup_value(rest, at)?,
+            },
+            Ty::BOOL,
+        ),
+        "extract" => {
+            let Some((v, idx)) = rest.split_once(',') else {
+                return at.err(rest, "extract expects `v, index`");
+            };
+            let a = lookup_value(v.trim(), at)?;
+            let Ok(index) = idx.trim().parse::<usize>() else {
+                return at.err(idx.trim(), format!("bad index `{idx}`"));
+            };
+            let w = match ty_of(a, v.trim())? {
+                Ty::MapResult(ws) => match ws.get(index).copied() {
+                    Some(w) => w,
+                    None => {
+                        return at.err(idx.trim(), format!("extract index {index} out of range"));
+                    }
+                },
+                _ => {
+                    return at.err(v.trim(), format!("extract on non-mapresult {a}"));
+                }
+            };
+            (Op::Extract { a, index }, Ty::Int(w))
+        }
+        "mapput" => {
+            let parts = split_top(rest);
+            if parts.len() != 3 {
+                return at.err(rest, "mapput expects `state, [keys], [values]`");
             }
-            "regwrite" => {
-                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "regwrite expects `state, v`".into(),
-                })?;
-                (
-                    Op::RegWrite {
-                        reg: lookup_state(sname.trim(), ln)?,
-                        value: lookup_value(v.trim(), ln)?,
-                    },
-                    Ty::Unit,
-                )
+            (
+                Op::MapPut {
+                    map: lookup_state(&parts[0], at)?,
+                    key: parse_vlist(&parts[1])?,
+                    value: parse_vlist(&parts[2])?,
+                },
+                Ty::Unit,
+            )
+        }
+        "mapdel" => {
+            let parts = split_top(rest);
+            if parts.len() != 2 {
+                return at.err(rest, "mapdel expects `state, [keys]`");
             }
-            "regfetchadd" => {
-                let (sname, v) = rest.split_once(',').ok_or(MirError::Parse {
-                    line: ln,
-                    msg: "regfetchadd expects `state, v`".into(),
-                })?;
-                let reg = lookup_state(sname.trim(), ln)?;
-                let w = reg_width(states, reg, ln)?;
-                (
-                    Op::RegFetchAdd {
-                        reg,
-                        delta: lookup_value(v.trim(), ln)?,
-                    },
-                    Ty::Int(w),
-                )
-            }
-            "hash" => {
-                let (vs, w) = split_typed(rest, ln)?;
-                (
-                    Op::Hash {
-                        inputs: parse_vlist(vs.trim())?,
-                        width: w,
-                    },
-                    Ty::Int(w),
-                )
-            }
-            "now" => (Op::Now, Ty::Int(64)),
-            "updatechecksum" => (Op::UpdateChecksum, Ty::Unit),
-            "send" => (Op::Send, Ty::Unit),
-            "drop" => (Op::Drop, Ty::Unit),
-            _ => {
-                // Binary operators.
-                if let Some(op) = BinOp::from_name(mnemonic) {
-                    let (a, b) = rest.split_once(',').ok_or(MirError::Parse {
-                        line: ln,
-                        msg: format!("{mnemonic} expects two operands"),
-                    })?;
-                    let a = lookup_value(a.trim(), ln)?;
-                    let b = lookup_value(b.trim(), ln)?;
-                    let ty = if op.is_comparison() {
-                        Ty::BOOL
-                    } else {
-                        Ty::Int(int_width(a)?)
-                    };
-                    (Op::Bin { op, a, b }, ty)
+            (
+                Op::MapDel {
+                    map: lookup_state(&parts[0], at)?,
+                    key: parse_vlist(&parts[1])?,
+                },
+                Ty::Unit,
+            )
+        }
+        "vecget" => {
+            let Some((sname, v)) = rest.split_once(',') else {
+                return at.err(rest, "vecget expects `state, v`");
+            };
+            let sname = sname.trim();
+            let vec = lookup_state(sname, at)?;
+            let w = match states.get(vec.0 as usize).map(|s| &s.kind) {
+                Some(StateKind::Vector { elem_width, .. }) => *elem_width,
+                _ => {
+                    return at.err(sname, format!("state `{sname}` is not a vector"));
+                }
+            };
+            (
+                Op::VecGet {
+                    vec,
+                    index: lookup_value(v.trim(), at)?,
+                },
+                Ty::Int(w),
+            )
+        }
+        "veclen" => (
+            Op::VecLen {
+                vec: lookup_state(rest, at)?,
+            },
+            Ty::Int(32),
+        ),
+        "regread" => {
+            let reg = lookup_state(rest, at)?;
+            let w = reg_width(states, reg, rest, at)?;
+            (Op::RegRead { reg }, Ty::Int(w))
+        }
+        "regwrite" => {
+            let Some((sname, v)) = rest.split_once(',') else {
+                return at.err(rest, "regwrite expects `state, v`");
+            };
+            (
+                Op::RegWrite {
+                    reg: lookup_state(sname.trim(), at)?,
+                    value: lookup_value(v.trim(), at)?,
+                },
+                Ty::Unit,
+            )
+        }
+        "regfetchadd" => {
+            let Some((sname, v)) = rest.split_once(',') else {
+                return at.err(rest, "regfetchadd expects `state, v`");
+            };
+            let sname = sname.trim();
+            let reg = lookup_state(sname, at)?;
+            let w = reg_width(states, reg, sname, at)?;
+            (
+                Op::RegFetchAdd {
+                    reg,
+                    delta: lookup_value(v.trim(), at)?,
+                },
+                Ty::Int(w),
+            )
+        }
+        "hash" => {
+            let (vs, w) = split_typed(rest, at)?;
+            (
+                Op::Hash {
+                    inputs: parse_vlist(vs.trim())?,
+                    width: w,
+                },
+                Ty::Int(w),
+            )
+        }
+        "now" => (Op::Now, Ty::Int(64)),
+        "updatechecksum" => (Op::UpdateChecksum, Ty::Unit),
+        "send" => (Op::Send, Ty::Unit),
+        "drop" => (Op::Drop, Ty::Unit),
+        _ => {
+            // Binary operators.
+            if let Some(op) = BinOp::from_name(mnemonic) {
+                let Some((a, b)) = rest.split_once(',') else {
+                    return at.err(rest, format!("{mnemonic} expects two operands"));
+                };
+                let a_tok = a.trim();
+                let a = lookup_value(a_tok, at)?;
+                let b = lookup_value(b.trim(), at)?;
+                let ty = if op.is_comparison() {
+                    Ty::BOOL
                 } else {
-                    return self.err(ln, format!("unknown mnemonic `{mnemonic}`"));
-                }
+                    Ty::Int(int_width(a, a_tok)?)
+                };
+                (Op::Bin { op, a, b }, ty)
+            } else {
+                return at.err(mnemonic, format!("unknown mnemonic `{mnemonic}`"));
             }
-        })
-    }
+        }
+    })
 }
 
 /// Does this non-definition line consume an arena slot (i.e., is it an
@@ -577,21 +594,19 @@ fn parse_u64(s: &str) -> Option<u64> {
 }
 
 /// Split `"<lhs> : uW"` into the lhs and width.
-fn split_typed(s: &str, ln: usize) -> Result<(&str, u8)> {
-    let (lhs, ty) = s.rsplit_once(':').ok_or(MirError::Parse {
-        line: ln,
-        msg: format!("expected `... : uW` in `{s}`"),
-    })?;
+fn split_typed<'a>(s: &'a str, at: At<'a>) -> Result<(&'a str, u8)> {
+    let Some((lhs, ty)) = s.rsplit_once(':') else {
+        return at.err(s, format!("expected `... : uW` in `{s}`"));
+    };
     let w = ty
         .trim()
         .strip_prefix('u')
         .and_then(|x| x.parse::<u8>().ok())
-        .filter(|w| (1..=64).contains(w))
-        .ok_or(MirError::Parse {
-            line: ln,
-            msg: format!("bad width `{ty}`"),
-        })?;
-    Ok((lhs.trim(), w))
+        .filter(|w| (1..=64).contains(w));
+    match w {
+        Some(w) => Ok((lhs.trim(), w)),
+        None => at.err(ty.trim(), format!("bad width `{ty}`")),
+    }
 }
 
 /// Split on commas that are not inside brackets.
@@ -644,13 +659,10 @@ fn unescape_quoted(s: &str) -> Option<Vec<u8>> {
     Some(out)
 }
 
-fn reg_width(states: &[GlobalState], reg: StateId, ln: usize) -> Result<u8> {
-    match &states[reg.0 as usize].kind {
-        StateKind::Register { width } => Ok(*width),
-        _ => Err(MirError::Parse {
-            line: ln,
-            msg: format!("state {reg} is not a register"),
-        }),
+fn reg_width(states: &[GlobalState], reg: StateId, tok: &str, at: At) -> Result<u8> {
+    match states.get(reg.0 as usize).map(|s| &s.kind) {
+        Some(StateKind::Register { width }) => Ok(*width),
+        _ => at.err(tok, format!("state {reg} is not a register")),
     }
 }
 
@@ -773,7 +785,7 @@ program minilb {
 
     #[test]
     fn parses_minilb() {
-        let p = parse_program(MINILB).unwrap();
+        let p = parse_program(MINILB).expect("minilb parses");
         assert_eq!(p.name, "minilb");
         assert_eq!(p.states.len(), 2);
         assert_eq!(p.func.blocks.len(), 3);
@@ -782,9 +794,9 @@ program minilb {
 
     #[test]
     fn print_parse_roundtrip() {
-        let p = parse_program(MINILB).unwrap();
+        let p = parse_program(MINILB).expect("minilb parses");
         let text = print_program(&p);
-        let p2 = parse_program(&text).unwrap();
+        let p2 = parse_program(&text).expect("printed form parses");
         assert_eq!(p, p2);
     }
 
@@ -804,30 +816,37 @@ program looper {
     ret
 }
 "#;
-        let p = parse_program(text).unwrap();
+        let p = parse_program(text).expect("looper parses");
         let text2 = print_program(&p);
-        assert_eq!(parse_program(&text2).unwrap(), p);
+        assert_eq!(parse_program(&text2).expect("printed form parses"), p);
     }
 
     #[test]
     fn payload_pattern_roundtrip() {
         let text = "program dpi {\n  b0:\n    v0 = payloadmatch \"GET \\x00\"\n    ret\n}\n";
-        let p = parse_program(text).unwrap();
-        match &p.func.inst(crate::func::ValueId(0)).op {
-            Op::PayloadMatch { pattern } => assert_eq!(pattern, b"GET \x00"),
-            other => panic!("unexpected {other:?}"),
-        }
-        let p2 = parse_program(&print_program(&p)).unwrap();
+        let p = parse_program(text).expect("dpi parses");
+        assert_eq!(
+            p.func.inst(crate::func::ValueId(0)).op,
+            Op::PayloadMatch {
+                pattern: b"GET \x00".to_vec()
+            }
+        );
+        let p2 = parse_program(&print_program(&p)).expect("printed form parses");
         assert_eq!(p, p2);
     }
 
     #[test]
-    fn rejects_unknown_mnemonic() {
+    fn rejects_unknown_mnemonic_with_span() {
         let text = "program x {\n  b0:\n    v0 = frobnicate v1\n    ret\n}\n";
-        assert!(matches!(
-            parse_program(text),
-            Err(MirError::Parse { .. })
-        ));
+        let err = parse_program(text).expect_err("unknown mnemonic must be rejected");
+        assert_eq!(
+            err,
+            MirError::Parse {
+                line: 3,
+                col: 10, // `frobnicate` starts at column 10
+                msg: "unknown mnemonic `frobnicate`".into()
+            }
+        );
     }
 
     #[test]
@@ -837,9 +856,17 @@ program looper {
     }
 
     #[test]
-    fn rejects_unknown_state() {
+    fn rejects_unknown_state_with_span() {
         let text = "program x {\n  b0:\n    v0 = veclen nosuch\n    ret\n}\n";
-        assert!(matches!(parse_program(text), Err(MirError::Parse { .. })));
+        let err = parse_program(text).expect_err("unknown state must be rejected");
+        assert_eq!(
+            err,
+            MirError::Parse {
+                line: 3,
+                col: 17, // `nosuch` starts at column 17
+                msg: "unknown state `nosuch`".into()
+            }
+        );
     }
 
     #[test]
@@ -852,7 +879,7 @@ program looper {
     fn hex_and_decimal_constants() {
         let text =
             "program x {\n  b0:\n    v0 = const 0xff : u8\n    v1 = const 255 : u8\n    ret\n}\n";
-        let p = parse_program(text).unwrap();
+        let p = parse_program(text).expect("constants parse");
         assert_eq!(
             p.func.inst(crate::func::ValueId(0)).op,
             p.func.inst(crate::func::ValueId(1)).op

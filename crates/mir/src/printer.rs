@@ -35,7 +35,11 @@ pub fn print_program(prog: &Program) -> String {
                 elem_width,
                 capacity,
             } => {
-                let _ = writeln!(out, "  state {} : vec<u{elem_width}> cap {capacity}", s.name);
+                let _ = writeln!(
+                    out,
+                    "  state {} : vec<u{elem_width}> cap {capacity}",
+                    s.name
+                );
             }
             StateKind::Register { width } => {
                 let _ = writeln!(out, "  state {} : reg<u{width}>", s.name);

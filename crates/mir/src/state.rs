@@ -147,7 +147,9 @@ impl StateStore {
                     store.vectors.push(Vec::new());
                 }
                 StateKind::Register { .. } => {
-                    store.index.push((SlotKind::Register, store.registers.len()));
+                    store
+                        .index
+                        .push((SlotKind::Register, store.registers.len()));
                     store.registers.push(0);
                 }
                 StateKind::LpmMap { .. } => {
@@ -354,10 +356,7 @@ mod tests {
             s.map_get(StateId(1), &[0]),
             Err(MirError::Invalid(_))
         ));
-        assert!(matches!(
-            s.reg_read(StateId(0)),
-            Err(MirError::Invalid(_))
-        ));
+        assert!(matches!(s.reg_read(StateId(0)), Err(MirError::Invalid(_))));
         assert!(matches!(
             s.map_get(StateId(9), &[0]),
             Err(MirError::DanglingRef(_))

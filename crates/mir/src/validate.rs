@@ -152,22 +152,20 @@ fn check_op(prog: &Program, v: ValueId) -> Result<()> {
             .ok_or_else(|| MirError::DanglingRef(format!("{v} references state {s}")))
     };
     match &inst.op {
-        Op::MapGet { map, key } | Op::MapDel { map, key } => {
-            match &state(*map)?.kind {
-                StateKind::Map { key_widths, .. } => {
-                    if key.len() != key_widths.len() {
-                        return Err(MirError::Invalid(format!(
-                            "{v}: key arity {} does not match map declaration {}",
-                            key.len(),
-                            key_widths.len()
-                        )));
-                    }
-                }
-                _ => {
-                    return Err(MirError::Invalid(format!("{v}: state {map} is not a map")));
+        Op::MapGet { map, key } | Op::MapDel { map, key } => match &state(*map)?.kind {
+            StateKind::Map { key_widths, .. } => {
+                if key.len() != key_widths.len() {
+                    return Err(MirError::Invalid(format!(
+                        "{v}: key arity {} does not match map declaration {}",
+                        key.len(),
+                        key_widths.len()
+                    )));
                 }
             }
-        }
+            _ => {
+                return Err(MirError::Invalid(format!("{v}: state {map} is not a map")));
+            }
+        },
         Op::MapPut { map, key, value } => match &state(*map)?.kind {
             StateKind::Map {
                 key_widths,
@@ -184,26 +182,24 @@ fn check_op(prog: &Program, v: ValueId) -> Result<()> {
                 return Err(MirError::Invalid(format!("{v}: state {map} is not a map")));
             }
         },
-        Op::LpmGet { table, .. } => {
-            if !matches!(state(*table)?.kind, StateKind::LpmMap { .. }) {
-                return Err(MirError::Invalid(format!(
-                    "{v}: state {table} is not an LPM table"
-                )));
-            }
+        Op::LpmGet { table, .. } if !matches!(state(*table)?.kind, StateKind::LpmMap { .. }) => {
+            return Err(MirError::Invalid(format!(
+                "{v}: state {table} is not an LPM table"
+            )));
         }
-        Op::VecGet { vec, .. } | Op::VecLen { vec } => {
-            if !matches!(state(*vec)?.kind, StateKind::Vector { .. }) {
-                return Err(MirError::Invalid(format!(
-                    "{v}: state {vec} is not a vector"
-                )));
-            }
+        Op::VecGet { vec, .. } | Op::VecLen { vec }
+            if !matches!(state(*vec)?.kind, StateKind::Vector { .. }) =>
+        {
+            return Err(MirError::Invalid(format!(
+                "{v}: state {vec} is not a vector"
+            )));
         }
-        Op::RegRead { reg } | Op::RegWrite { reg, .. } | Op::RegFetchAdd { reg, .. } => {
-            if !matches!(state(*reg)?.kind, StateKind::Register { .. }) {
-                return Err(MirError::Invalid(format!(
-                    "{v}: state {reg} is not a register"
-                )));
-            }
+        Op::RegRead { reg } | Op::RegWrite { reg, .. } | Op::RegFetchAdd { reg, .. }
+            if !matches!(state(*reg)?.kind, StateKind::Register { .. }) =>
+        {
+            return Err(MirError::Invalid(format!(
+                "{v}: state {reg} is not a register"
+            )));
         }
         Op::Extract { a, index } => match &f.inst(*a).ty {
             Ty::MapResult(ws) => {
@@ -219,12 +215,10 @@ fn check_op(prog: &Program, v: ValueId) -> Result<()> {
                 )));
             }
         },
-        Op::IsNull { a } => {
-            if !matches!(f.inst(*a).ty, Ty::MapResult(_)) {
-                return Err(MirError::Invalid(format!(
-                    "{v}: is_null on non-map-result {a}"
-                )));
-            }
+        Op::IsNull { a } if !matches!(f.inst(*a).ty, Ty::MapResult(_)) => {
+            return Err(MirError::Invalid(format!(
+                "{v}: is_null on non-map-result {a}"
+            )));
         }
         _ => {}
     }

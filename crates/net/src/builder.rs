@@ -206,8 +206,12 @@ mod tests {
 
     #[test]
     fn frame_len_clamped_to_headers() {
-        let p = PacketBuilder::tcp(tuple(IpProtocol::Tcp), TcpFlags::default(), 10).build(PortId(0));
-        assert_eq!(p.len(), ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN);
+        let p =
+            PacketBuilder::tcp(tuple(IpProtocol::Tcp), TcpFlags::default(), 10).build(PortId(0));
+        assert_eq!(
+            p.len(),
+            ETHERNET_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN
+        );
     }
 
     #[test]

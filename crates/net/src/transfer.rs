@@ -342,7 +342,10 @@ mod tests {
         let l = minilb_layout();
         assert_eq!(l.locate("br_miss").unwrap(), (0, 1));
         assert_eq!(l.locate("hash32").unwrap(), (1, 32));
-        assert_eq!(l.locate("nope").unwrap_err(), NetError::UnknownTransferField);
+        assert_eq!(
+            l.locate("nope").unwrap_err(),
+            NetError::UnknownTransferField
+        );
     }
 
     fn sample_packet() -> Packet {
@@ -395,11 +398,9 @@ mod tests {
 
     #[test]
     fn bit_packing_is_msb_first() {
-        let l = TransferHeaderLayout::new(vec![
-            TransferField::new("a", 1),
-            TransferField::new("b", 7),
-        ])
-        .unwrap();
+        let l =
+            TransferHeaderLayout::new(vec![TransferField::new("a", 1), TransferField::new("b", 7)])
+                .unwrap();
         let mut vals = TransferValues::default();
         vals.set("a", 1);
         vals.set("b", 0x03);

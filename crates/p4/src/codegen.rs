@@ -3,8 +3,8 @@
 use crate::ast::*;
 use gallium_mir::cfg::Cfg;
 use gallium_mir::{Op, StateKind, Terminator, Ty, ValueId};
-use gallium_partition::{Partition, StagedProgram, StatePlacement};
 use gallium_partition::transfer::fields_for_value;
+use gallium_partition::{Partition, StagedProgram, StatePlacement};
 use std::collections::BTreeSet;
 
 /// Code-generation failures. All indicate internal compiler bugs — the
@@ -418,7 +418,10 @@ mod tests {
         // Miss block carries the daddr write + send.
         let miss = &p4.post_nodes[2];
         assert_eq!(miss.stmts.len(), 2);
-        assert!(matches!(miss.stmts[0], P4Stmt::SetHeader(HeaderField::IpDaddr, _)));
+        assert!(matches!(
+            miss.stmts[0],
+            P4Stmt::SetHeader(HeaderField::IpDaddr, _)
+        ));
         assert!(matches!(miss.stmts[1], P4Stmt::EmitCopy));
         // Hit block does nothing on the post traversal.
         assert!(p4.post_nodes[1].stmts.is_empty());

@@ -32,8 +32,8 @@ pub mod codegen;
 pub mod printer;
 
 pub use ast::{
-    BlockNode, ControlPlaneOp, MetaField, NodeNext, P4Expr, P4Program, P4Register, P4Stmt,
-    P4Table, TableMatchKind,
+    BlockNode, ControlPlaneOp, MetaField, NodeNext, P4Expr, P4Program, P4Register, P4Stmt, P4Table,
+    TableMatchKind,
 };
 pub use codegen::{generate, CodegenError};
 pub use printer::print_p4;

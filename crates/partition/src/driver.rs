@@ -102,18 +102,15 @@ pub fn partition_program(
         let mut changed = false;
         for s in 0..prog.states.len() {
             let sid = StateId(s as u32);
-            let server_touches = (0..n).any(|v| {
-                !labels[v].offloadable() && touches_specific(prog, v, sid)
-            });
+            let server_touches =
+                (0..n).any(|v| !labels[v].offloadable() && touches_specific(prog, v, sid));
             if !server_touches {
                 continue;
             }
-            for v in 0..n {
-                if labels[v].offloadable()
-                    && writes_specific(prog, v, sid)
-                {
-                    labels[v].pre = false;
-                    labels[v].post = false;
+            for (v, label) in labels.iter_mut().enumerate().take(n) {
+                if label.offloadable() && writes_specific(prog, v, sid) {
+                    label.pre = false;
+                    label.post = false;
                     changed = true;
                 }
             }
@@ -173,10 +170,10 @@ pub fn partition_program(
         let b = boundary_values(prog, &dep, &assignment);
         let h1 = make_layout(prog, &b.to_server);
         let h2 = make_layout(prog, &b.to_switch);
-        let pre_bad = pre_meta > model.metadata_bits
-            || h1.wire_bytes() > model.transfer_budget_bytes;
-        let post_bad = post_meta > model.metadata_bits
-            || h2.wire_bytes() > model.transfer_budget_bytes;
+        let pre_bad =
+            pre_meta > model.metadata_bits || h1.wire_bytes() > model.transfer_budget_bytes;
+        let post_bad =
+            post_meta > model.metadata_bits || h2.wire_bytes() > model.transfer_budget_bytes;
         if !pre_bad && !post_bad {
             break;
         }
@@ -279,11 +276,7 @@ fn switch_memory_bits(prog: &Program, labels: &[LabelSet]) -> usize {
 
 /// Constraint-4 metric: maximum concurrently-live metadata bits in the pre
 /// and post traversals.
-fn metadata_bits(
-    prog: &Program,
-    liveness: &Liveness,
-    assignment: &[Partition],
-) -> (usize, usize) {
+fn metadata_bits(prog: &Program, liveness: &Liveness, assignment: &[Partition]) -> (usize, usize) {
     let pre = liveness.max_live_bits(&prog.func, &|v: ValueId| {
         assignment[v.0 as usize] == Partition::Pre
     });
@@ -305,8 +298,7 @@ fn check_consistency(
             if assignment[v] > assignment[t.0 as usize] {
                 return Err(PartitionError::Unsatisfiable(format!(
                     "dependency v{v} -> {t} flows backwards ({:?} -> {:?})",
-                    assignment[v],
-                    assignment[t.0 as usize]
+                    assignment[v], assignment[t.0 as usize]
                 )));
             }
         }
@@ -321,9 +313,9 @@ fn compute_placements(prog: &Program, assignment: &[Partition]) -> Vec<StatePlac
             let sid = StateId(s as u32);
             let mut on_switch = false;
             let mut on_server = false;
-            for v in 0..prog.func.insts.len() {
+            for (v, part) in assignment.iter().enumerate() {
                 if touches_specific(prog, v, sid) {
-                    if assignment[v].on_switch() {
+                    if part.on_switch() {
                         on_switch = true;
                     } else {
                         on_server = true;
@@ -382,9 +374,20 @@ mod tests {
         let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
         use Partition::*;
         let expect = [
-            Pre, Pre, Pre, Pre, Pre, Pre, Pre, Pre, // entry block
-            Pre, Pre, Pre, // hit branch
-            NonOffloaded, NonOffloaded, NonOffloaded, // idx / backends[idx]
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre,
+            Pre, // entry block
+            Pre,
+            Pre,
+            Pre, // hit branch
+            NonOffloaded,
+            NonOffloaded,
+            NonOffloaded, // idx / backends[idx]
             Post,         // daddr write (miss)
             NonOffloaded, // map.insert
             Post,         // send (miss)

@@ -77,14 +77,14 @@ pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) 
     let mut removed = 0usize;
 
     // Rule 5 first: it is unconditional.
-    for v in 0..n {
+    for (v, label) in labels.iter_mut().enumerate().take(n) {
         if dep.in_loop(ValueId(v as u32)) {
-            if labels[v].pre {
-                labels[v].pre = false;
+            if label.pre {
+                label.pre = false;
                 removed += 1;
             }
-            if labels[v].post {
-                labels[v].post = false;
+            if label.post {
+                label.post = false;
                 removed += 1;
             }
         }
@@ -102,9 +102,8 @@ pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) 
             s
         })
         .collect();
-    let share_state = |a: usize, b: usize| -> bool {
-        touches[a].iter().any(|s| touches[b].contains(s))
-    };
+    let share_state =
+        |a: usize, b: usize| -> bool { touches[a].iter().any(|s| touches[b].contains(s)) };
 
     let mut changed = true;
     while changed {
@@ -299,8 +298,8 @@ program loopy {
         let mut labels = initial_labels(&p);
         run_label_rules(&p, &dep, &mut labels);
         // v0 precedes the loop (it may keep `pre`); v1..v4 are loop-resident.
-        for v in 1..5 {
-            assert!(!labels[v].offloadable(), "v{v} is loop-resident");
+        for (v, label) in labels.iter().enumerate().take(5).skip(1) {
+            assert!(!label.offloadable(), "v{v} is loop-resident");
         }
         assert!(!labels[0].post, "v0 feeds the loop, so it loses post");
         // The send after the loop depends on nothing in it except control;

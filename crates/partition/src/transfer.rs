@@ -60,20 +60,14 @@ pub fn needed_by(
     let my_branches: Vec<gallium_mir::BlockId> = f
         .blocks
         .iter()
-        .filter(|b| {
-            matches!(&b.term, gallium_mir::Terminator::Branch { cond, .. } if *cond == v)
-        })
+        .filter(|b| matches!(&b.term, gallium_mir::Terminator::Branch { cond, .. } if *cond == v))
         .map(|b| b.id)
         .collect();
     if my_branches.is_empty() {
         return false;
     }
     for b in &f.blocks {
-        if !b
-            .insts
-            .iter()
-            .any(|w| assignment[w.0 as usize] == x)
-        {
+        if !b.insts.iter().any(|w| assignment[w.0 as usize] == x) {
             continue;
         }
         // Transitive closure of block-level control dependence from b.
@@ -273,8 +267,14 @@ mod tests {
         assert!(b.to_switch.contains(&ValueId(13)), "bk_addr crosses back");
         assert!(b.to_switch.contains(&ValueId(7)), "branch bit crosses back");
         // Values never needed downstream stay home.
-        assert!(!b.to_server.contains(&ValueId(0)), "saddr is consumed in pre");
-        assert!(!b.to_server.contains(&ValueId(8)), "hit-branch extract stays");
+        assert!(
+            !b.to_server.contains(&ValueId(0)),
+            "saddr is consumed in pre"
+        );
+        assert!(
+            !b.to_server.contains(&ValueId(8)),
+            "hit-branch extract stays"
+        );
     }
 
     #[test]
@@ -288,8 +288,16 @@ mod tests {
         // The paper's Figure 5 header is 33 bits of payload; ours carries
         // the same information plus the explicit key and stays within the
         // 20-byte Constraint-5 budget.
-        assert!(l1.check_budget(20).is_ok(), "to-server layout {} bytes", l1.wire_bytes());
-        assert!(l2.check_budget(20).is_ok(), "to-switch layout {} bytes", l2.wire_bytes());
+        assert!(
+            l1.check_budget(20).is_ok(),
+            "to-server layout {} bytes",
+            l1.wire_bytes()
+        );
+        assert!(
+            l2.check_budget(20).is_ok(),
+            "to-switch layout {} bytes",
+            l2.wire_bytes()
+        );
     }
 
     #[test]
@@ -318,7 +326,10 @@ mod tests {
 
         let mut vals2 = TransferValues::default();
         store_rtval(&p, &mut vals2, ValueId(6), &RtVal::MapRes(None));
-        assert_eq!(load_rtval(&p, &vals2, ValueId(6)), Some(RtVal::MapRes(None)));
+        assert_eq!(
+            load_rtval(&p, &vals2, ValueId(6)),
+            Some(RtVal::MapRes(None))
+        );
     }
 
     #[test]

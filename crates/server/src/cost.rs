@@ -178,7 +178,9 @@ mod tests {
             100,
         )
         .build(PortId(0));
-        let r = Interpreter::new(&prog).run(&mut pkt, &mut store, 0).unwrap();
+        let r = Interpreter::new(&prog)
+            .run(&mut pkt, &mut store, 0)
+            .unwrap();
         let m = CostModel::calibrated();
         let cycles = m.packet_cycles(&prog, &r.executed);
         assert!(

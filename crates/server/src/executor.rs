@@ -14,14 +14,70 @@
 //!   protocol.
 
 use gallium_mir::cfg::Cfg;
-use gallium_mir::{MirError, Op, RtVal, StateId, StateStore, Terminator, ValueId};
 use gallium_mir::interp::{
     hash_values, read_header_field, refresh_ip_checksum, transport_payload, write_header_field,
 };
 use gallium_mir::types::mask_to_width;
+use gallium_mir::{MirError, Op, RtVal, StateId, StateStore, Terminator, ValueId};
 use gallium_net::{Packet, TransferValues};
 use gallium_partition::transfer::{load_rtval, store_rtval};
 use gallium_partition::{Partition, StagedProgram, StatePlacement};
+
+/// Errors raised while the server processes one offloaded packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The switch→server transfer header could not be detached.
+    Decap {
+        /// What the header parser reported.
+        reason: String,
+    },
+    /// The server→switch transfer header could not be attached.
+    Encap {
+        /// What the header writer reported.
+        reason: String,
+    },
+    /// A server instruction tried to mutate state the partitioner placed
+    /// exclusively on the switch. The write-back protocol (§4.3.3) has no
+    /// channel to reconcile such an update, so the executor rejects it
+    /// instead of silently desynchronizing the two halves.
+    UnexpectedUpdate {
+        /// The offending instruction.
+        value: ValueId,
+        /// Name of the switch-only state.
+        state: String,
+    },
+    /// The underlying MIR execution faulted.
+    Mir(MirError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Decap { reason } => write!(f, "decapsulation failed: {reason}"),
+            ExecError::Encap { reason } => write!(f, "encapsulation failed: {reason}"),
+            ExecError::UnexpectedUpdate { value, state } => write!(
+                f,
+                "{value}: unexpected update to switch-only state `{state}`"
+            ),
+            ExecError::Mir(e) => write!(f, "server execution: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Mir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MirError> for ExecError {
+    fn from(e: MirError) -> Self {
+        ExecError::Mir(e)
+    }
+}
 
 /// A recorded update to replicated state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,8 +130,18 @@ pub fn execute_server_partition(
     pkt: &mut Packet,
     in_values: &TransferValues,
     now_ns: u64,
-) -> Result<ServerExec, MirError> {
+) -> Result<ServerExec, ExecError> {
     let prog = &staged.prog;
+    // Reject mutations of switch-only state before touching the store.
+    let guard_update = |v: ValueId, sid: StateId| -> Result<(), ExecError> {
+        if staged.placement_of(sid) == StatePlacement::SwitchOnly {
+            return Err(ExecError::UnexpectedUpdate {
+                value: v,
+                state: prog.states[sid.0 as usize].name.clone(),
+            });
+        }
+        Ok(())
+    };
     let f = &prog.func;
     let cfg = Cfg::new(f);
     let ipdom = cfg.postdominators();
@@ -110,146 +176,155 @@ pub fn execute_server_partition(
         for &v in &block.insts {
             steps += 1;
             if steps > budget {
-                return Err(MirError::StepBudgetExceeded);
+                return Err(MirError::StepBudgetExceeded.into());
             }
             if staged.partition_of(v) != Partition::NonOffloaded {
                 continue;
             }
             let inst = f.inst(v);
-            let result: RtVal = match &inst.op {
-                Op::Phi { incoming } => {
-                    let pb = prev.ok_or_else(|| {
-                        MirError::Fault(format!("{v}: phi reached without predecessor"))
-                    })?;
-                    let (_, pv) = incoming.iter().find(|(b, _)| *b == pb).ok_or_else(|| {
-                        MirError::Fault(format!("{v}: no phi edge from {pb}"))
-                    })?;
-                    resolve!(vals, *pv)?
-                }
-                Op::Const { value, .. } => RtVal::Int(*value),
-                Op::Bin { op, a, b } => {
-                    let w = inst.ty.int_width().unwrap_or(64);
-                    RtVal::Int(op.eval(
-                        resolve!(vals, *a)?.as_int()?,
-                        resolve!(vals, *b)?.as_int()?,
-                        w,
-                    ))
-                }
-                Op::Not { a } => {
-                    let w = inst.ty.int_width().unwrap_or(64);
-                    RtVal::Int(mask_to_width(!resolve!(vals, *a)?.as_int()?, w))
-                }
-                Op::Cast { a, width } => {
-                    RtVal::Int(mask_to_width(resolve!(vals, *a)?.as_int()?, *width))
-                }
-                Op::ReadField { field } => RtVal::Int(read_header_field(pkt.bytes(), *field)),
-                Op::WriteField { field, value } => {
-                    let x = mask_to_width(resolve!(vals, *value)?.as_int()?, field.bits());
-                    write_header_field(pkt.bytes_mut(), *field, x);
-                    RtVal::Unit
-                }
-                Op::ReadPort => RtVal::Int(u64::from(pkt.ingress.0)),
-                Op::PayloadMatch { pattern } => {
-                    let payload = transport_payload(pkt.bytes());
-                    let found = !pattern.is_empty()
-                        && payload.windows(pattern.len()).any(|w| w == &pattern[..]);
-                    RtVal::Int(u64::from(found))
-                }
-                Op::MapGet { map, key } => {
-                    let k = resolve_ints(&vals, in_values, prog, key)?;
-                    RtVal::MapRes(store.map_get(*map, &k)?)
-                }
-                Op::LpmGet { table, key } => {
-                    let k = resolve!(vals, *key)?.as_int()?;
-                    let key_width = match &prog.states[table.0 as usize].kind {
-                        gallium_mir::StateKind::LpmMap { key_width, .. } => *key_width,
-                        _ => 64,
-                    };
-                    RtVal::MapRes(store.lpm_get(*table, k, key_width)?)
-                }
-                Op::IsNull { a } => match resolve!(vals, *a)? {
-                    RtVal::MapRes(r) => RtVal::Int(u64::from(r.is_none())),
-                    other => {
-                        return Err(MirError::Fault(format!("{v}: is_null on {other:?}")))
+            let result: RtVal =
+                match &inst.op {
+                    Op::Phi { incoming } => {
+                        let pb = prev.ok_or_else(|| {
+                            MirError::Fault(format!("{v}: phi reached without predecessor"))
+                        })?;
+                        let (_, pv) = incoming.iter().find(|(b, _)| *b == pb).ok_or_else(|| {
+                            MirError::Fault(format!("{v}: no phi edge from {pb}"))
+                        })?;
+                        resolve!(vals, *pv)?
                     }
-                },
-                Op::Extract { a, index } => match resolve!(vals, *a)? {
-                    RtVal::MapRes(Some(r)) => RtVal::Int(*r.get(*index).ok_or_else(|| {
-                        MirError::Fault(format!("{v}: extract out of range"))
-                    })?),
-                    RtVal::MapRes(None) => {
-                        return Err(MirError::Fault(format!("{v}: null dereference")))
+                    Op::Const { value, .. } => RtVal::Int(*value),
+                    Op::Bin { op, a, b } => {
+                        let w = inst.ty.int_width().unwrap_or(64);
+                        RtVal::Int(op.eval(
+                            resolve!(vals, *a)?.as_int()?,
+                            resolve!(vals, *b)?.as_int()?,
+                            w,
+                        ))
                     }
-                    other => {
-                        return Err(MirError::Fault(format!("{v}: extract on {other:?}")))
+                    Op::Not { a } => {
+                        let w = inst.ty.int_width().unwrap_or(64);
+                        RtVal::Int(mask_to_width(!resolve!(vals, *a)?.as_int()?, w))
                     }
-                },
-                Op::MapPut { map, key, value } => {
-                    let k = resolve_ints(&vals, in_values, prog, key)?;
-                    let val = resolve_ints(&vals, in_values, prog, value)?;
-                    store.map_put(*map, k.clone(), val.clone())?;
-                    if staged.placement_of(*map) == StatePlacement::Replicated {
-                        exec.replicated_updates.push(StateUpdate::MapPut {
-                            state: *map,
-                            key: k,
-                            value: val,
-                        });
+                    Op::Cast { a, width } => {
+                        RtVal::Int(mask_to_width(resolve!(vals, *a)?.as_int()?, *width))
                     }
-                    RtVal::Unit
-                }
-                Op::MapDel { map, key } => {
-                    let k = resolve_ints(&vals, in_values, prog, key)?;
-                    store.map_del(*map, &k)?;
-                    if staged.placement_of(*map) == StatePlacement::Replicated {
-                        exec.replicated_updates
-                            .push(StateUpdate::MapDel { state: *map, key: k });
+                    Op::ReadField { field } => RtVal::Int(read_header_field(pkt.bytes(), *field)),
+                    Op::WriteField { field, value } => {
+                        let x = mask_to_width(resolve!(vals, *value)?.as_int()?, field.bits());
+                        write_header_field(pkt.bytes_mut(), *field, x);
+                        RtVal::Unit
                     }
-                    RtVal::Unit
-                }
-                Op::VecGet { vec, index } => {
-                    let i = resolve!(vals, *index)?.as_int()? as usize;
-                    RtVal::Int(store.vec_get(*vec, i)?)
-                }
-                Op::VecLen { vec } => RtVal::Int(store.vec_len(*vec)? as u64),
-                Op::RegRead { reg } => RtVal::Int(store.reg_read(*reg)?),
-                Op::RegWrite { reg, value } => {
-                    let x = resolve!(vals, *value)?.as_int()?;
-                    store.reg_write(*reg, x)?;
-                    if staged.placement_of(*reg) == StatePlacement::Replicated {
-                        exec.replicated_updates
-                            .push(StateUpdate::RegSet { state: *reg, value: x });
+                    Op::ReadPort => RtVal::Int(u64::from(pkt.ingress.0)),
+                    Op::PayloadMatch { pattern } => {
+                        let payload = transport_payload(pkt.bytes());
+                        let found = !pattern.is_empty()
+                            && payload.windows(pattern.len()).any(|w| w == &pattern[..]);
+                        RtVal::Int(u64::from(found))
                     }
-                    RtVal::Unit
-                }
-                Op::RegFetchAdd { reg, delta } => {
-                    let d = resolve!(vals, *delta)?.as_int()?;
-                    let old = store.reg_fetch_add(*reg, d)?;
-                    if staged.placement_of(*reg) == StatePlacement::Replicated {
-                        exec.replicated_updates.push(StateUpdate::RegSet {
-                            state: *reg,
-                            value: store.reg_read(*reg)?,
-                        });
+                    Op::MapGet { map, key } => {
+                        let k = resolve_ints(&vals, in_values, prog, key)?;
+                        RtVal::MapRes(store.map_get(*map, &k)?)
                     }
-                    RtVal::Int(old)
-                }
-                Op::Hash { inputs, width } => {
-                    let ins = resolve_ints(&vals, in_values, prog, inputs)?;
-                    RtVal::Int(hash_values(&ins, *width))
-                }
-                Op::Now => RtVal::Int(now_ns),
-                Op::UpdateChecksum => {
-                    refresh_ip_checksum(pkt.bytes_mut());
-                    RtVal::Unit
-                }
-                Op::Send => {
-                    exec.emissions.push(pkt.clone());
-                    RtVal::Unit
-                }
-                Op::Drop => {
-                    exec.dropped = true;
-                    RtVal::Unit
-                }
-            };
+                    Op::LpmGet { table, key } => {
+                        let k = resolve!(vals, *key)?.as_int()?;
+                        let key_width = match &prog.states[table.0 as usize].kind {
+                            gallium_mir::StateKind::LpmMap { key_width, .. } => *key_width,
+                            _ => 64,
+                        };
+                        RtVal::MapRes(store.lpm_get(*table, k, key_width)?)
+                    }
+                    Op::IsNull { a } => match resolve!(vals, *a)? {
+                        RtVal::MapRes(r) => RtVal::Int(u64::from(r.is_none())),
+                        other => {
+                            return Err(MirError::Fault(format!("{v}: is_null on {other:?}")).into())
+                        }
+                    },
+                    Op::Extract { a, index } => match resolve!(vals, *a)? {
+                        RtVal::MapRes(Some(r)) => RtVal::Int(*r.get(*index).ok_or_else(|| {
+                            MirError::Fault(format!("{v}: extract out of range"))
+                        })?),
+                        RtVal::MapRes(None) => {
+                            return Err(MirError::Fault(format!("{v}: null dereference")).into())
+                        }
+                        other => {
+                            return Err(MirError::Fault(format!("{v}: extract on {other:?}")).into())
+                        }
+                    },
+                    Op::MapPut { map, key, value } => {
+                        guard_update(v, *map)?;
+                        let k = resolve_ints(&vals, in_values, prog, key)?;
+                        let val = resolve_ints(&vals, in_values, prog, value)?;
+                        store.map_put(*map, k.clone(), val.clone())?;
+                        if staged.placement_of(*map) == StatePlacement::Replicated {
+                            exec.replicated_updates.push(StateUpdate::MapPut {
+                                state: *map,
+                                key: k,
+                                value: val,
+                            });
+                        }
+                        RtVal::Unit
+                    }
+                    Op::MapDel { map, key } => {
+                        guard_update(v, *map)?;
+                        let k = resolve_ints(&vals, in_values, prog, key)?;
+                        store.map_del(*map, &k)?;
+                        if staged.placement_of(*map) == StatePlacement::Replicated {
+                            exec.replicated_updates.push(StateUpdate::MapDel {
+                                state: *map,
+                                key: k,
+                            });
+                        }
+                        RtVal::Unit
+                    }
+                    Op::VecGet { vec, index } => {
+                        let i = resolve!(vals, *index)?.as_int()? as usize;
+                        RtVal::Int(store.vec_get(*vec, i)?)
+                    }
+                    Op::VecLen { vec } => RtVal::Int(store.vec_len(*vec)? as u64),
+                    Op::RegRead { reg } => RtVal::Int(store.reg_read(*reg)?),
+                    Op::RegWrite { reg, value } => {
+                        guard_update(v, *reg)?;
+                        let x = resolve!(vals, *value)?.as_int()?;
+                        store.reg_write(*reg, x)?;
+                        if staged.placement_of(*reg) == StatePlacement::Replicated {
+                            exec.replicated_updates.push(StateUpdate::RegSet {
+                                state: *reg,
+                                value: x,
+                            });
+                        }
+                        RtVal::Unit
+                    }
+                    Op::RegFetchAdd { reg, delta } => {
+                        guard_update(v, *reg)?;
+                        let d = resolve!(vals, *delta)?.as_int()?;
+                        let old = store.reg_fetch_add(*reg, d)?;
+                        if staged.placement_of(*reg) == StatePlacement::Replicated {
+                            exec.replicated_updates.push(StateUpdate::RegSet {
+                                state: *reg,
+                                value: store.reg_read(*reg)?,
+                            });
+                        }
+                        RtVal::Int(old)
+                    }
+                    Op::Hash { inputs, width } => {
+                        let ins = resolve_ints(&vals, in_values, prog, inputs)?;
+                        RtVal::Int(hash_values(&ins, *width))
+                    }
+                    Op::Now => RtVal::Int(now_ns),
+                    Op::UpdateChecksum => {
+                        refresh_ip_checksum(pkt.bytes_mut());
+                        RtVal::Unit
+                    }
+                    Op::Send => {
+                        exec.emissions.push(pkt.clone());
+                        RtVal::Unit
+                    }
+                    Op::Drop => {
+                        exec.dropped = true;
+                        RtVal::Unit
+                    }
+                };
             vals[v.0 as usize] = Some(result);
             exec.executed.push(v);
         }
@@ -266,8 +341,8 @@ pub fn execute_server_partition(
                 then_bb,
                 else_bb,
             } => {
-                let available = vals[cond.0 as usize].is_some()
-                    || load_rtval(prog, in_values, *cond).is_some();
+                let available =
+                    vals[cond.0 as usize].is_some() || load_rtval(prog, in_values, *cond).is_some();
                 if available {
                     let c = resolve!(vals, *cond)?.as_int()?;
                     prev = Some(cur);
@@ -286,7 +361,7 @@ pub fn execute_server_partition(
         }
         steps += 1;
         if steps > budget {
-            return Err(MirError::StepBudgetExceeded);
+            return Err(MirError::StepBudgetExceeded.into());
         }
     }
 
@@ -357,8 +432,8 @@ mod tests {
         b.map_put(map, vec![key], vec![bk2]);
         b.send();
         b.ret();
-        let p = b.finish().unwrap();
-        partition_program(&p, &SwitchModel::tofino_like()).unwrap()
+        let p = b.finish().expect("minilb builds");
+        partition_program(&p, &SwitchModel::tofino_like()).expect("minilb partitions")
     }
 
     fn pkt() -> Packet {
@@ -380,10 +455,10 @@ mod tests {
     fn miss_path_computes_backend_and_records_update() {
         let staged = minilb_staged();
         let mut store = StateStore::new(&staged.prog.states);
-        let backends = staged.prog.state_by_name("backends").unwrap();
+        let backends = staged.prog.state_by_name("backends").expect("declared");
         store
             .vec_set_all(backends, vec![0xC0A80001, 0xC0A80002, 0xC0A80003])
-            .unwrap();
+            .expect("fits");
         // Header from the switch: miss bit + hash32 + key.
         let mut in_values = TransferValues::default();
         let hash32 = 0x0A000001u64 ^ 0x0A000099;
@@ -392,7 +467,7 @@ mod tests {
         in_values.set("v5", hash32 & 0xFFFF);
         let mut p = pkt();
         let exec =
-            execute_server_partition(&staged, &mut store, &mut p, &in_values, 0).unwrap();
+            execute_server_partition(&staged, &mut store, &mut p, &in_values, 0).expect("runs");
         // The server computed idx = hash % 3 and picked that backend.
         let expect = [0xC0A80001u64, 0xC0A80002, 0xC0A80003][(hash32 % 3) as usize];
         assert_eq!(exec.out_values.get("v13"), Some(expect));
@@ -400,16 +475,14 @@ mod tests {
         assert_eq!(exec.out_values.get("v7"), Some(1));
         // The replicated map update was recorded.
         assert_eq!(exec.replicated_updates.len(), 1);
-        match &exec.replicated_updates[0] {
-            StateUpdate::MapPut { key, value, .. } => {
-                assert_eq!(key, &vec![hash32 & 0xFFFF]);
-                assert_eq!(value, &vec![expect]);
-            }
-            other => panic!("unexpected update {other:?}"),
-        }
+        let StateUpdate::MapPut { key, value, .. } = &exec.replicated_updates[0] else {
+            unreachable!("update {:?} is not a MapPut", exec.replicated_updates[0]);
+        };
+        assert_eq!(key, &vec![hash32 & 0xFFFF]);
+        assert_eq!(value, &vec![expect]);
         // Local map updated too.
-        let map = staged.prog.state_by_name("map").unwrap();
-        assert_eq!(store.map_len(map).unwrap(), 1);
+        let map = staged.prog.state_by_name("map").expect("declared");
+        assert_eq!(store.map_len(map).expect("declared"), 1);
         // The server's own trace contains only non-offloaded statements.
         for v in &exec.executed {
             assert_eq!(staged.partition_of(*v), Partition::NonOffloaded);
@@ -426,15 +499,18 @@ mod tests {
         let staged = minilb_staged();
         let mut store = StateStore::new(&staged.prog.states);
         store
-            .vec_set_all(staged.prog.state_by_name("backends").unwrap(), vec![1])
-            .unwrap();
+            .vec_set_all(
+                staged.prog.state_by_name("backends").expect("declared"),
+                vec![1],
+            )
+            .expect("fits");
         let mut in_values = TransferValues::default();
         in_values.set("v7", 0); // hit
         in_values.set("v2", 0);
         in_values.set("v5", 0);
         let mut p = pkt();
         let exec =
-            execute_server_partition(&staged, &mut store, &mut p, &in_values, 0).unwrap();
+            execute_server_partition(&staged, &mut store, &mut p, &in_values, 0).expect("runs");
         assert!(exec.executed.is_empty());
         assert!(exec.replicated_updates.is_empty());
     }
@@ -444,14 +520,48 @@ mod tests {
         let staged = minilb_staged();
         let mut store = StateStore::new(&staged.prog.states);
         store
-            .vec_set_all(staged.prog.state_by_name("backends").unwrap(), vec![1])
-            .unwrap();
+            .vec_set_all(
+                staged.prog.state_by_name("backends").expect("declared"),
+                vec![1],
+            )
+            .expect("fits");
         let mut in_values = TransferValues::default();
         in_values.set("v7", 1); // miss, but hash32/key absent
         let mut p = pkt();
         assert!(matches!(
             execute_server_partition(&staged, &mut store, &mut p, &in_values, 0),
-            Err(MirError::Fault(_))
+            Err(ExecError::Mir(MirError::Fault(_)))
         ));
+    }
+
+    #[test]
+    fn update_to_switch_only_state_rejected() {
+        // Mangle the staging so the map the server writes on the miss path
+        // is declared switch-only: the executor must refuse the update
+        // rather than desynchronize the two halves.
+        let mut staged = minilb_staged();
+        let map = staged.prog.state_by_name("map").expect("declared");
+        staged.placements[map.0 as usize] = StatePlacement::SwitchOnly;
+        let mut store = StateStore::new(&staged.prog.states);
+        store
+            .vec_set_all(
+                staged.prog.state_by_name("backends").expect("declared"),
+                vec![1],
+            )
+            .expect("fits");
+        let mut in_values = TransferValues::default();
+        let hash32 = 0x0A000001u64 ^ 0x0A000099;
+        in_values.set("v7", 1);
+        in_values.set("v2", hash32);
+        in_values.set("v5", hash32 & 0xFFFF);
+        let mut p = pkt();
+        let err = execute_server_partition(&staged, &mut store, &mut p, &in_values, 0)
+            .expect_err("switch-only update must be rejected");
+        let ExecError::UnexpectedUpdate { state, .. } = &err else {
+            unreachable!("wrong error {err:?}");
+        };
+        assert_eq!(state, "map");
+        // The store must be untouched.
+        assert_eq!(store.map_len(map).expect("declared"), 0);
     }
 }

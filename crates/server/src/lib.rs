@@ -27,6 +27,6 @@ pub mod parallel;
 pub mod runtime;
 
 pub use cost::CostModel;
-pub use executor::{execute_server_partition, ServerExec};
+pub use executor::{execute_server_partition, ExecError, ServerExec};
 pub use parallel::{ParallelReference, ParallelStats};
 pub use runtime::{MiddleboxServer, ReferenceServer, ServerOutput, ServerStats};

@@ -1,7 +1,7 @@
 //! The server process: decap → execute → sync → encap.
 
 use crate::cost::CostModel;
-use crate::executor::{execute_server_partition, StateUpdate};
+use crate::executor::{execute_server_partition, ExecError, StateUpdate};
 use gallium_mir::{
     Interpreter, MirError, PacketAction, Program, StateId, StateMutation, StateStore,
 };
@@ -85,24 +85,21 @@ impl MiddleboxServer {
     }
 
     /// Process one encapsulated frame arriving from the switch.
-    pub fn process(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, MirError> {
+    pub fn process(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         self.stats.rx += 1;
-        let (flags, in_values) = self
-            .staged
-            .header_to_server
-            .detach(&mut pkt)
-            .map_err(|e| MirError::Fault(format!("decapsulation failed: {e}")))?;
+        let (flags, in_values) =
+            self.staged
+                .header_to_server
+                .detach(&mut pkt)
+                .map_err(|e| ExecError::Decap {
+                    reason: e.to_string(),
+                })?;
         if flags & gallium_switchsim::FLAG_CACHE_MISS != 0 {
             return self.process_replay(pkt, now_ns);
         }
 
-        let exec = execute_server_partition(
-            &self.staged,
-            &mut self.store,
-            &mut pkt,
-            &in_values,
-            now_ns,
-        )?;
+        let exec =
+            execute_server_partition(&self.staged, &mut self.store, &mut pkt, &in_values, now_ns)?;
         let cycles = self.cost.packet_cycles(&self.staged.prog, &exec.executed)
             // Encap/decap and header parsing on the server.
             + 2 * self.cost.header_op
@@ -125,7 +122,9 @@ impl MiddleboxServer {
                     FLAG_TO_SWITCH | FLAG_PASSTHROUGH,
                     &TransferValues::default(),
                 )
-                .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+                .map_err(|e| ExecError::Encap {
+                    reason: e.to_string(),
+                })?;
             to_switch.push(snapshot);
         }
         // The working packet continues to post-processing unless dropped.
@@ -133,7 +132,9 @@ impl MiddleboxServer {
             self.staged
                 .header_to_switch
                 .attach(&mut pkt, FLAG_TO_SWITCH | FLAG_RUN_POST, &exec.out_values)
-                .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+                .map_err(|e| ExecError::Encap {
+                    reason: e.to_string(),
+                })?;
             to_switch.push(pkt);
         }
 
@@ -151,7 +152,7 @@ impl MiddleboxServer {
     /// the program's outputs itself (as pass-through frames), pushes any
     /// replicated-state updates through the write-back protocol, and
     /// installs the queried entry into the switch cache.
-    fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, MirError> {
+    fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         let prog = self.staged.prog.clone();
         let r = Interpreter::new(&prog).run(&mut pkt, &mut self.store, now_ns)?;
         let cycles = self.cost.packet_cycles(&prog, &r.executed)
@@ -165,9 +166,7 @@ impl MiddleboxServer {
         let mut fills: Vec<ControlPlaneOp> = Vec::new();
         for m in &r.mutations {
             match m {
-                StateMutation::MapPut { state, key, value }
-                    if self.is_synced(*state) =>
-                {
+                StateMutation::MapPut { state, key, value } if self.is_synced(*state) => {
                     updates.push(StateUpdate::MapPut {
                         state: *state,
                         key: key.clone(),
@@ -220,7 +219,9 @@ impl MiddleboxServer {
                         FLAG_TO_SWITCH | FLAG_PASSTHROUGH,
                         &TransferValues::default(),
                     )
-                    .map_err(|e| MirError::Fault(format!("encapsulation failed: {e}")))?;
+                    .map_err(|e| ExecError::Encap {
+                        reason: e.to_string(),
+                    })?;
                 to_switch.push(snapshot);
             }
         }
@@ -583,8 +584,7 @@ mod tests {
     #[test]
     fn reference_server_runs_whole_program() {
         let staged = minilb_staged();
-        let mut reference =
-            ReferenceServer::new(staged.prog.clone(), CostModel::calibrated());
+        let mut reference = ReferenceServer::new(staged.prog.clone(), CostModel::calibrated());
         reference
             .store
             .vec_set_all(

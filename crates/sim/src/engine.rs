@@ -100,9 +100,18 @@ impl Resource {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
     /// Forward-path packet reaches the receiver.
-    Deliver { flow: usize, class: PktClass, last: bool },
+    Deliver {
+        flow: usize,
+        class: PktClass,
+        last: bool,
+    },
     /// Reverse-path ack reaches the sender; `acked` = cumulative data acked.
-    AckArrive { flow: usize, acked: u64, fin: bool, syn: bool },
+    AckArrive {
+        flow: usize,
+        acked: u64,
+        fin: bool,
+        syn: bool,
+    },
     /// Closed-loop worker starts its next flow.
     WorkerNext { worker: usize },
 }
@@ -304,7 +313,15 @@ impl Simulator {
         t = self.rcv_up.reserve(t, m.ser_ns(frame)) + m.prop_ns;
         t = self.middlebox(t, PktClass::Ack, frame);
         t = self.snd_down.reserve(t, m.ser_ns(frame)) + m.prop_ns + m.host_stack_ns;
-        self.push(t, EvKind::AckArrive { flow, acked, fin, syn });
+        self.push(
+            t,
+            EvKind::AckArrive {
+                flow,
+                acked,
+                fin,
+                syn,
+            },
+        );
     }
 
     /// Pump the sender window of `flow` at time `now`.
@@ -353,7 +370,7 @@ impl Simulator {
                     PktClass::Data => {
                         self.flows[flow].delivered += 1;
                         let d = self.flows[flow].delivered;
-                        if last || d % self.cfg.ack_every == 0 {
+                        if last || d.is_multiple_of(self.cfg.ack_every) {
                             self.send_ack(flow, d, now, false, false);
                         }
                     }
@@ -363,7 +380,12 @@ impl Simulator {
                     }
                     PktClass::Ack => unreachable!("acks travel the reverse path"),
                 },
-                EvKind::AckArrive { flow, acked, fin, syn } => {
+                EvKind::AckArrive {
+                    flow,
+                    acked,
+                    fin,
+                    syn,
+                } => {
                     if syn {
                         self.pump(flow, now);
                         continue;
@@ -442,7 +464,10 @@ mod tests {
         // 1 500 cycles/pkt at 2.5 GHz ≈ 1.67 Mpps; data share with acks
         // contending lands well under 25 Gbps.
         assert!(gbps < 30.0, "click-1c throughput {gbps} Gbps");
-        assert!(gbps > 2.0, "click-1c throughput {gbps} Gbps implausibly low");
+        assert!(
+            gbps > 2.0,
+            "click-1c throughput {gbps} Gbps implausibly low"
+        );
     }
 
     #[test]
@@ -470,10 +495,7 @@ mod tests {
     fn closed_loop_workers_complete_all_flows() {
         let sched = WorkerSchedule::build(&[5_000, 20_000, 5_000, 8_000], 2, 1500);
         let flows: Vec<_> = sched.queues.into_iter().flatten().collect();
-        let mut sim = Simulator::new(
-            SimConfig::new(Mode::Offloaded, fast_profile()),
-            flows,
-        );
+        let mut sim = Simulator::new(SimConfig::new(Mode::Offloaded, fast_profile()), flows);
         sim.run();
         assert_eq!(sim.metrics.fcts.len(), 4, "all flows finished");
         for (bytes, fct) in &sim.metrics.fcts {

@@ -165,9 +165,11 @@ mod tests {
 
     #[test]
     fn slow_fraction() {
-        let mut m = Measurements::default();
-        m.mb_pkts = 1000;
-        m.slow_path_pkts = 1;
+        let m = Measurements {
+            mb_pkts: 1000,
+            slow_path_pkts: 1,
+            ..Default::default()
+        };
         assert!((m.slow_path_fraction() - 0.001).abs() < 1e-12);
     }
 }

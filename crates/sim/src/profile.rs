@@ -131,14 +131,10 @@ struct Harness {
 
 impl Harness {
     fn new(compiled: &CompiledMiddlebox) -> Self {
-        let deployment = Deployment::new(
-            compiled,
-            SwitchConfig::default(),
-            CostModel::calibrated(),
-        )
-        .expect("compiled program loads");
-        let reference =
-            ReferenceServer::new(compiled.staged.prog.clone(), CostModel::calibrated());
+        let deployment =
+            Deployment::new(compiled, SwitchConfig::default(), CostModel::calibrated())
+                .expect("compiled program loads");
+        let reference = ReferenceServer::new(compiled.staged.prog.clone(), CostModel::calibrated());
         Harness {
             deployment,
             reference,
@@ -190,10 +186,21 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
                 dport: mazunat::NAT_PORT_BASE,
                 proto: IpProtocol::Tcp,
             };
-            let ack = h.measure(tcp(reply, TcpFlags::ACK, 64, gallium_middleboxes::EXTERNAL_PORT));
+            let ack = h.measure(tcp(
+                reply,
+                TcpFlags::ACK,
+                64,
+                gallium_middleboxes::EXTERNAL_PORT,
+            ));
             // MazuNAT has no FIN special case: costed like data.
             let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, INTERNAL_PORT));
-            MbProfile { kind, syn, data, fin, ack }
+            MbProfile {
+                kind,
+                syn,
+                data,
+                fin,
+                ack,
+            }
         }
         MbKind::LoadBalancer => {
             let lb = lb::load_balancer();
@@ -202,7 +209,8 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
             let backends = lb.backends;
             h.deployment
                 .configure(|s| {
-                    s.vec_set_all(backends, vec![0xC0A80001, 0xC0A80002]).unwrap();
+                    s.vec_set_all(backends, vec![0xC0A80001, 0xC0A80002])
+                        .unwrap();
                 })
                 .unwrap();
             h.reference
@@ -240,9 +248,7 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
                 proto: IpProtocol::Tcp,
             };
             let fw2 = fw.clone();
-            h.deployment
-                .configure(|s| fw2.allow(s, &t))
-                .unwrap();
+            h.deployment.configure(|s| fw2.allow(s, &t)).unwrap();
             fw.allow(&mut h.reference.store, &t);
             let syn = h.measure(tcp(t, TcpFlags::SYN, frame_len, INTERNAL_PORT));
             let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, INTERNAL_PORT));
@@ -253,7 +259,13 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
                 64,
                 gallium_middleboxes::EXTERNAL_PORT,
             ));
-            MbProfile { kind, syn, data, fin, ack }
+            MbProfile {
+                kind,
+                syn,
+                data,
+                fin,
+                ack,
+            }
         }
         MbKind::Proxy => {
             let px = proxy::proxy(0x0A090909, 3128);
@@ -273,7 +285,13 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
             let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, 1));
             let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, 1));
             let ack = h.measure(tcp(t.reversed(), TcpFlags::ACK, 64, 1));
-            MbProfile { kind, syn, data, fin, ack }
+            MbProfile {
+                kind,
+                syn,
+                data,
+                fin,
+                ack,
+            }
         }
         MbKind::Trojan => {
             let det = trojan::trojan_detector();
@@ -293,7 +311,13 @@ pub fn profile_middlebox(kind: MbKind, frame_len: usize) -> MbProfile {
             let data = h.measure(tcp(t, TcpFlags::ACK, frame_len, 1));
             let fin = h.measure(tcp(t, TcpFlags::FIN | TcpFlags::ACK, 64, 1));
             let ack = h.measure(tcp(t.reversed(), TcpFlags::ACK, 64, 1));
-            MbProfile { kind, syn, data, fin, ack }
+            MbProfile {
+                kind,
+                syn,
+                data,
+                fin,
+                ack,
+            }
         }
     }
 }

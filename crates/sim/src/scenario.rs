@@ -115,7 +115,13 @@ mod tests {
         // The paper's Figure 9 claim: offloaded FCT beats the baseline in
         // every bin, and the absolute reduction grows with flow size.
         let p = profile_middlebox(MbKind::MazuNat, 1500);
-        let click = run_conga(p, Mode::Click { cores: 4 }, CongaWorkload::Enterprise, 900, 5);
+        let click = run_conga(
+            p,
+            Mode::Click { cores: 4 },
+            CongaWorkload::Enterprise,
+            900,
+            5,
+        );
         let off = run_conga(p, Mode::Offloaded, CongaWorkload::Enterprise, 900, 5);
         let cb = click.mean_fct_by_bin();
         let ob = off.mean_fct_by_bin();

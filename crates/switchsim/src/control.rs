@@ -15,7 +15,51 @@
 //! reproduces the sub-linear 4-table row.
 
 use crate::switch::Switch;
+use crate::table::TableError;
 use gallium_p4::ControlPlaneOp;
+
+/// Why the control plane rejected an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// The operation named a table the loaded program does not declare.
+    UnknownTable(String),
+    /// The operation named a register the loaded program does not declare.
+    UnknownRegister(String),
+    /// An exact-match insert hit a full, non-evicting table.
+    TableFull {
+        /// Name of the full table.
+        table: String,
+    },
+    /// An LPM insert was rejected by the table; `source` says why.
+    Lpm {
+        /// Name of the target table.
+        table: String,
+        /// The underlying table-level rejection.
+        source: TableError,
+    },
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::UnknownTable(t) => write!(f, "no table `{t}`"),
+            ControlError::UnknownRegister(r) => write!(f, "no register `{r}`"),
+            ControlError::TableFull { table } => write!(f, "table `{table}` full"),
+            ControlError::Lpm { table, source } => {
+                write!(f, "LPM table `{table}` rejected the entry: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ControlError::Lpm { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Full (unpipelined) latency of one control-plane operation, in ns.
 pub fn control_op_latency_ns(op: &ControlPlaneOp) -> u64 {
@@ -69,10 +113,10 @@ pub fn batch_latency_ns(ops: &[ControlPlaneOp]) -> u64 {
 pub trait ControlPlane {
     /// Apply one operation, returning its modeled latency in ns. Unknown
     /// table/register names return an error.
-    fn control(&mut self, op: &ControlPlaneOp) -> Result<u64, String>;
+    fn control(&mut self, op: &ControlPlaneOp) -> Result<u64, ControlError>;
 
     /// Apply a batch, returning the total modeled latency in ns.
-    fn control_batch(&mut self, ops: &[ControlPlaneOp]) -> Result<u64, String> {
+    fn control_batch(&mut self, ops: &[ControlPlaneOp]) -> Result<u64, ControlError> {
         let mut i = 0usize;
         let mut total = 0u64;
         for op in ops {
@@ -87,30 +131,32 @@ pub trait ControlPlane {
 }
 
 impl ControlPlane for Switch {
-    fn control(&mut self, op: &ControlPlaneOp) -> Result<u64, String> {
+    fn control(&mut self, op: &ControlPlaneOp) -> Result<u64, ControlError> {
         match op {
             ControlPlaneOp::TableInsert { table, key, value }
             | ControlPlaneOp::TableModify { table, key, value } => {
                 let t = self
                     .table_mut(table)
-                    .ok_or_else(|| format!("no table `{table}`"))?;
+                    .ok_or_else(|| ControlError::UnknownTable(table.clone()))?;
                 if !t.insert_main(key.clone(), value.clone()) {
-                    return Err(format!("table `{table}` full"));
+                    return Err(ControlError::TableFull {
+                        table: table.clone(),
+                    });
                 }
             }
             ControlPlaneOp::TableDelete { table, key } => {
                 self.table_mut(table)
-                    .ok_or_else(|| format!("no table `{table}`"))?
+                    .ok_or_else(|| ControlError::UnknownTable(table.clone()))?
                     .delete_main(key);
             }
             ControlPlaneOp::RegisterSet { register, value } => {
                 if !self.set_register(register, *value) {
-                    return Err(format!("no register `{register}`"));
+                    return Err(ControlError::UnknownRegister(register.clone()));
                 }
             }
             ControlPlaneOp::WriteBackStage { table, key, value } => {
                 self.table_mut(table)
-                    .ok_or_else(|| format!("no table `{table}`"))?
+                    .ok_or_else(|| ControlError::UnknownTable(table.clone()))?
                     .stage(key.clone(), value.clone());
             }
             ControlPlaneOp::SetWriteBackBit(b) => {
@@ -118,7 +164,7 @@ impl ControlPlane for Switch {
             }
             ControlPlaneOp::WriteBackClear { table } => {
                 self.table_mut(table)
-                    .ok_or_else(|| format!("no table `{table}`"))?
+                    .ok_or_else(|| ControlError::UnknownTable(table.clone()))?
                     .drain_shadow();
             }
             ControlPlaneOp::LpmInsert {
@@ -129,10 +175,12 @@ impl ControlPlane for Switch {
             } => {
                 let t = self
                     .table_mut(table)
-                    .ok_or_else(|| format!("no table `{table}`"))?;
-                if !t.lpm_insert(*prefix, *prefix_len, value.clone()) {
-                    return Err(format!("LPM table `{table}` rejected the entry"));
-                }
+                    .ok_or_else(|| ControlError::UnknownTable(table.clone()))?;
+                t.lpm_insert(*prefix, *prefix_len, value.clone())
+                    .map_err(|source| ControlError::Lpm {
+                        table: table.clone(),
+                        source,
+                    })?;
             }
         }
         Ok(control_op_latency_ns(op))

@@ -26,7 +26,9 @@ pub mod loader;
 pub mod switch;
 pub mod table;
 
-pub use control::{control_op_latency_ns, ControlPlane};
+pub use control::{control_op_latency_ns, ControlError, ControlPlane};
 pub use loader::{load_check, LoadError};
-pub use switch::{Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST};
-pub use table::RtTable;
+pub use switch::{
+    Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
+};
+pub use table::{RtTable, TableError};

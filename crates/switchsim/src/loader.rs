@@ -6,7 +6,7 @@
 //! anchor for invariant 3 in DESIGN.md: *every* program the partitioner
 //! emits for a model must load into a switch built with that model.
 
-use gallium_p4::P4Program;
+use gallium_p4::{P4Program, P4Stmt};
 use gallium_partition::SwitchModel;
 
 /// Why a program was rejected.
@@ -34,6 +34,26 @@ pub enum LoadError {
         /// Bytes available.
         available: usize,
     },
+    /// A pipeline statement referenced a table the program never declares.
+    UnknownTable {
+        /// The out-of-range index into [`P4Program::tables`].
+        index: usize,
+        /// Number of declared tables.
+        declared: usize,
+    },
+    /// A pipeline statement referenced a register the program never
+    /// declares.
+    UnknownRegister {
+        /// The out-of-range index into [`P4Program::registers`].
+        index: usize,
+        /// Number of declared registers.
+        declared: usize,
+    },
+    /// The switch model itself is unusable.
+    InvalidModel {
+        /// What is wrong with the model.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -46,7 +66,25 @@ impl std::fmt::Display for LoadError {
                 write!(f, "pipeline depth: need {needed} stages, have {available}")
             }
             LoadError::TransferHeader { needed, available } => {
-                write!(f, "transfer header: need {needed} bytes, budget {available}")
+                write!(
+                    f,
+                    "transfer header: need {needed} bytes, budget {available}"
+                )
+            }
+            LoadError::UnknownTable { index, declared } => {
+                write!(
+                    f,
+                    "statement references table #{index}, but only {declared} declared"
+                )
+            }
+            LoadError::UnknownRegister { index, declared } => {
+                write!(
+                    f,
+                    "statement references register #{index}, but only {declared} declared"
+                )
+            }
+            LoadError::InvalidModel { reason } => {
+                write!(f, "invalid switch model: {reason}")
             }
         }
     }
@@ -61,6 +99,17 @@ impl std::error::Error for LoadError {}
 /// the compiler's liveness information to reproduce the exact figure; the
 /// compiler enforces it before emitting the program.
 pub fn load_check(prog: &P4Program, model: &SwitchModel) -> Result<(), LoadError> {
+    if model.pipeline_depth == 0 {
+        return Err(LoadError::InvalidModel {
+            reason: "pipeline depth is zero".into(),
+        });
+    }
+    if model.metadata_bits == 0 {
+        return Err(LoadError::InvalidModel {
+            reason: "metadata budget is zero".into(),
+        });
+    }
+    check_stmt_refs(prog)?;
     let mem = prog.table_memory_bits();
     if mem > model.memory_bits {
         return Err(LoadError::Memory {
@@ -81,6 +130,38 @@ pub fn load_check(prog: &P4Program, model: &SwitchModel) -> Result<(), LoadError
                 needed: layout.wire_bytes(),
                 available: model.transfer_budget_bytes,
             });
+        }
+    }
+    Ok(())
+}
+
+/// Every table/register index a pipeline statement carries must resolve
+/// against the program's declarations — a dangling index would make the
+/// data plane dereference a table that was never allocated.
+fn check_stmt_refs(prog: &P4Program) -> Result<(), LoadError> {
+    let tables = prog.tables.len();
+    let registers = prog.registers.len();
+    for node in prog.pre_nodes.iter().chain(prog.post_nodes.iter()) {
+        for stmt in &node.stmts {
+            match stmt {
+                P4Stmt::TableLookup { table, .. } if *table >= tables => {
+                    return Err(LoadError::UnknownTable {
+                        index: *table,
+                        declared: tables,
+                    });
+                }
+                P4Stmt::RegRead { reg, .. }
+                | P4Stmt::RegWrite { reg, .. }
+                | P4Stmt::RegFetchAdd { reg, .. }
+                    if *reg >= registers =>
+                {
+                    return Err(LoadError::UnknownRegister {
+                        index: *reg,
+                        declared: registers,
+                    });
+                }
+                _ => {}
+            }
         }
     }
     Ok(())
@@ -120,16 +201,16 @@ mod tests {
         b.map_put(map, vec![key], vec![bk2]);
         b.send();
         b.ret();
-        let p = b.finish().unwrap();
-        let staged = partition_program(&p, model).unwrap();
-        gallium_p4::generate(&staged).unwrap()
+        let p = b.finish().expect("minilb builds");
+        let staged = partition_program(&p, model).expect("minilb partitions");
+        gallium_p4::generate(&staged).expect("minilb generates")
     }
 
     #[test]
     fn compiled_program_loads_into_its_model() {
         let model = SwitchModel::tofino_like();
         let p4 = minilb_p4(&model);
-        load_check(&p4, &model).unwrap();
+        load_check(&p4, &model).expect("loads");
     }
 
     #[test]
@@ -163,9 +244,69 @@ mod tests {
             SwitchModel::tiny(16, usize::MAX / 2, 200, 12),
         ] {
             let p4 = minilb_p4(&model);
-            load_check(&p4, &model).unwrap_or_else(|e| {
-                panic!("program compiled for {model:?} failed to load: {e}")
+            let res = load_check(&p4, &model);
+            assert!(
+                res.is_ok(),
+                "program compiled for {model:?} failed to load: {res:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_table_index_rejected() {
+        let model = SwitchModel::tofino_like();
+        let mut p4 = minilb_p4(&model);
+        let bogus = p4.tables.len() + 3;
+        if let Some(node) = p4.pre_nodes.first_mut() {
+            node.stmts.push(gallium_p4::P4Stmt::TableLookup {
+                table: bogus,
+                keys: vec![],
+                hit_meta: "h".into(),
+                value_metas: vec![],
             });
         }
+        assert_eq!(
+            load_check(&p4, &model),
+            Err(LoadError::UnknownTable {
+                index: bogus,
+                declared: p4.tables.len(),
+            })
+        );
+    }
+
+    #[test]
+    fn dangling_register_index_rejected() {
+        let model = SwitchModel::tofino_like();
+        let mut p4 = minilb_p4(&model);
+        let bogus = p4.registers.len();
+        if let Some(node) = p4.post_nodes.first_mut() {
+            node.stmts.push(gallium_p4::P4Stmt::RegRead {
+                reg: bogus,
+                dst: "d".into(),
+            });
+        }
+        assert_eq!(
+            load_check(&p4, &model),
+            Err(LoadError::UnknownRegister {
+                index: bogus,
+                declared: p4.registers.len(),
+            })
+        );
+    }
+
+    #[test]
+    fn degenerate_model_rejected() {
+        let model = SwitchModel::tofino_like();
+        let p4 = minilb_p4(&model);
+        let zero_depth = SwitchModel::tiny(0, usize::MAX / 2, 800, 20);
+        assert!(matches!(
+            load_check(&p4, &zero_depth),
+            Err(LoadError::InvalidModel { .. })
+        ));
+        let zero_meta = SwitchModel::tiny(16, usize::MAX / 2, 0, 20);
+        assert!(matches!(
+            load_check(&p4, &zero_meta),
+            Err(LoadError::InvalidModel { .. })
+        ));
     }
 }

@@ -7,10 +7,10 @@ use gallium_mir::interp::{
 };
 use gallium_mir::types::mask_to_width;
 use gallium_mir::HeaderField;
-use gallium_p4::{BlockNode, NodeNext, P4Expr, P4Program, P4Stmt};
-use gallium_partition::SwitchModel;
 use gallium_net::transfer::{FLAG_TO_SERVER, FLAG_TO_SWITCH};
 use gallium_net::{Packet, PortId, TransferValues};
+use gallium_p4::{BlockNode, NodeNext, P4Expr, P4Program, P4Stmt};
+use gallium_partition::SwitchModel;
 use std::collections::HashMap;
 
 /// Flag bit on server→switch packets: run the post-processing traversal.
@@ -207,8 +207,7 @@ impl Switch {
             self.cache_missed = false;
             let mut meta = HashMap::new();
             let nodes = self.prog.pre_nodes.clone();
-            let (mut out, needs_server) =
-                self.run_traversal(&nodes, &mut pkt, &mut meta, true);
+            let (mut out, needs_server) = self.run_traversal(&nodes, &mut pkt, &mut meta, true);
             if self.cache_missed {
                 self.stats.cache_misses += 1;
                 self.stats.to_server += 1;
@@ -366,9 +365,7 @@ impl Switch {
             P4Expr::Meta(n) => meta.get(n).copied().unwrap_or(0),
             P4Expr::Header(f) => read_header_field(pkt.bytes(), *f),
             P4Expr::IngressPort => u64::from(pkt.ingress.0),
-            P4Expr::Bin(op, a, b) => {
-                op.eval(self.eval(a, pkt, meta), self.eval(b, pkt, meta), 64)
-            }
+            P4Expr::Bin(op, a, b) => op.eval(self.eval(a, pkt, meta), self.eval(b, pkt, meta), 64),
             P4Expr::Not(a) => !self.eval(a, pkt, meta),
             P4Expr::Cast(a, w) => mask_to_width(self.eval(a, pkt, meta), *w),
             P4Expr::Hash(parts, w) => {
@@ -463,10 +460,7 @@ mod tests {
         let (port, pkt) = &out[0];
         assert_eq!(*port, PortId::SERVER);
         // The frame grew by the transfer header.
-        assert_eq!(
-            pkt.len(),
-            100 + sw.program().header_to_server.wire_bytes()
-        );
+        assert_eq!(pkt.len(), 100 + sw.program().header_to_server.wire_bytes());
         assert_eq!(sw.stats.to_server, 1);
         assert_eq!(sw.stats.fast_path, 0);
         // The header carries hash32 (saddr ^ daddr) and the miss bit.
@@ -475,7 +469,10 @@ mod tests {
             sw.program().header_to_server.detach(&mut p).unwrap()
         };
         assert_eq!(flags & FLAG_TO_SERVER, FLAG_TO_SERVER);
-        assert_eq!(values.get("v2"), Some(u64::from(0x0A000001u32 ^ 0x0A000099)));
+        assert_eq!(
+            values.get("v2"),
+            Some(u64::from(0x0A000001u32 ^ 0x0A000099))
+        );
         assert_eq!(values.get("v7"), Some(1), "miss bit set");
     }
 

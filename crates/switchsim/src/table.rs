@@ -2,6 +2,41 @@
 
 use std::collections::{HashMap, VecDeque};
 
+/// Why a table rejected a control-plane mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// An LPM operation was issued against an exact-match table.
+    NotLpm,
+    /// The prefix length exceeds the table's key width.
+    PrefixTooLong {
+        /// Requested prefix length in bits.
+        len: u8,
+        /// The table's key width in bits.
+        key_width: u8,
+    },
+    /// The table is full and not in cache (evicting) mode.
+    CapacityExceeded {
+        /// Configured capacity in entries.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::NotLpm => write!(f, "LPM operation on exact-match table"),
+            TableError::PrefixTooLong { len, key_width } => {
+                write!(f, "prefix length {len} exceeds key width {key_width}")
+            }
+            TableError::CapacityExceeded { capacity } => {
+                write!(f, "table full ({capacity} entries)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
 /// One exact-match table plus its write-back shadow.
 ///
 /// The shadow holds *staged* updates: `Some(value)` overrides the main
@@ -19,8 +54,11 @@ pub struct RtTable {
     order: VecDeque<Vec<u64>>,
     /// Longest-prefix-match mode (§7 extension): `(prefix, len, value)`
     /// entries and the key width. Exact lookups are bypassed.
-    lpm: Option<(u8, Vec<(u64, u8, Vec<u64>)>)>,
+    lpm: Option<(u8, Vec<LpmEntry>)>,
 }
+
+/// One LPM entry: `(prefix, prefix_len, value)`.
+type LpmEntry = (u64, u8, Vec<u64>);
 
 impl RtTable {
     /// Empty table sized to `capacity` entries.
@@ -42,16 +80,40 @@ impl RtTable {
     }
 
     /// Install an LPM entry (control plane).
-    pub fn lpm_insert(&mut self, prefix: u64, len: u8, value: Vec<u64>) -> bool {
-        let Some((_, entries)) = &mut self.lpm else {
-            return false;
+    ///
+    /// Replaces an existing entry with the same `(prefix, len)`. At
+    /// capacity, cache-mode tables evict their oldest entry (FIFO, same
+    /// policy as [`RtTable::insert_main`]); ordinary tables reject the
+    /// insert with a typed error. Prefixes longer than the key width are
+    /// rejected outright — they could never match consistently.
+    pub fn lpm_insert(&mut self, prefix: u64, len: u8, value: Vec<u64>) -> Result<(), TableError> {
+        let capacity = self.capacity;
+        let evict = self.evict_fifo;
+        let Some((key_width, entries)) = &mut self.lpm else {
+            return Err(TableError::NotLpm);
         };
+        if len > *key_width {
+            return Err(TableError::PrefixTooLong {
+                len,
+                key_width: *key_width,
+            });
+        }
         entries.retain(|(p, l, _)| !(*p == prefix && *l == len));
-        if entries.len() >= self.capacity {
-            return false;
+        if entries.len() >= capacity {
+            if !evict {
+                return Err(TableError::CapacityExceeded { capacity });
+            }
+            // Cache mode: drop the oldest installed entries until one slot
+            // frees up (entries are kept in installation order).
+            while entries.len() >= capacity && !entries.is_empty() {
+                entries.remove(0);
+            }
+            if entries.len() >= capacity {
+                return Err(TableError::CapacityExceeded { capacity }); // capacity 0
+            }
         }
         entries.push((prefix, len, value));
-        true
+        Ok(())
     }
 
     /// Turn the table into a FIFO-evicting cache of `capacity` entries
@@ -74,8 +136,13 @@ impl RtTable {
             for (prefix, len, value) in entries {
                 let matches = if *len == 0 {
                     true
+                } else if *len > *key_width {
+                    // Over-long prefixes are rejected at insert; treat any
+                    // legacy entry as unmatchable rather than letting the
+                    // shift saturate to 0 and match everything.
+                    false
                 } else {
-                    let shift = key_width.saturating_sub(*len);
+                    let shift = key_width - len;
                     (k >> shift) == (*prefix >> shift)
                 };
                 if matches && best.map(|(bl, _)| *len > bl).unwrap_or(true) {
@@ -223,6 +290,79 @@ mod tests {
         assert!(t.insert_main(vec![5], vec![5])); // evicts 3, not the gone 2
         assert_eq!(t.lookup(&[3], false), None);
         assert_eq!(t.lookup(&[4], false), Some(vec![4]));
+    }
+
+    #[test]
+    fn lpm_insert_rejects_on_exact_match_table() {
+        let mut t = RtTable::new(4);
+        assert_eq!(t.lpm_insert(0, 8, vec![1]), Err(TableError::NotLpm));
+    }
+
+    #[test]
+    fn lpm_insert_rejects_over_long_prefix() {
+        let mut t = RtTable::new(4);
+        t.make_lpm(32);
+        assert_eq!(
+            t.lpm_insert(0, 40, vec![1]),
+            Err(TableError::PrefixTooLong {
+                len: 40,
+                key_width: 32
+            })
+        );
+        // A rejected entry must not have been installed.
+        assert_eq!(t.lookup(&[123], false), None);
+    }
+
+    #[test]
+    fn lpm_insert_rejects_at_capacity_without_cache_mode() {
+        let mut t = RtTable::new(2);
+        t.make_lpm(32);
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(()));
+        assert_eq!(
+            t.lpm_insert(0x0c00_0000, 8, vec![3]),
+            Err(TableError::CapacityExceeded { capacity: 2 })
+        );
+        // Re-inserting an existing (prefix, len) overwrites in place.
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![22]), Ok(()));
+        assert_eq!(t.lookup(&[0x0b01_0203], false), Some(vec![22]));
+    }
+
+    #[test]
+    fn lpm_cache_mode_evicts_oldest() {
+        let mut t = RtTable::new(8);
+        t.make_cache(2);
+        t.make_lpm(32);
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0c00_0000, 8, vec![3]), Ok(())); // evicts 0x0a/8
+        assert_eq!(t.lookup(&[0x0a01_0203], false), None);
+        assert_eq!(t.lookup(&[0x0b01_0203], false), Some(vec![2]));
+        assert_eq!(t.lookup(&[0x0c01_0203], false), Some(vec![3]));
+    }
+
+    #[test]
+    fn lpm_zero_capacity_cache_rejects() {
+        let mut t = RtTable::new(0);
+        t.make_cache(0);
+        t.make_lpm(32);
+        assert_eq!(
+            t.lpm_insert(0, 8, vec![1]),
+            Err(TableError::CapacityExceeded { capacity: 0 })
+        );
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins_and_full_width_is_exact() {
+        let mut t = RtTable::new(8);
+        t.make_lpm(32);
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![8]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0a0b_0000, 16, vec![16]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0a0b_0c0d, 32, vec![32]), Ok(()));
+        assert_eq!(t.lookup(&[0x0a0b_0c0d], false), Some(vec![32]));
+        assert_eq!(t.lookup(&[0x0a0b_ffff], false), Some(vec![16]));
+        assert_eq!(t.lookup(&[0x0aff_ffff], false), Some(vec![8]));
+        assert_eq!(t.lookup(&[0x0bff_ffff], false), None);
     }
 
     #[test]

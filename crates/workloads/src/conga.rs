@@ -127,10 +127,8 @@ mod tests {
     #[test]
     fn datamining_tail_is_heavier() {
         let mut rng = StdRng::seed_from_u64(11);
-        let ent = FlowSizeDistribution::conga(CongaWorkload::Enterprise)
-            .sample_n(&mut rng, 50_000);
-        let dm = FlowSizeDistribution::conga(CongaWorkload::DataMining)
-            .sample_n(&mut rng, 50_000);
+        let ent = FlowSizeDistribution::conga(CongaWorkload::Enterprise).sample_n(&mut rng, 50_000);
+        let dm = FlowSizeDistribution::conga(CongaWorkload::DataMining).sample_n(&mut rng, 50_000);
         let ent_max = *ent.iter().max().unwrap();
         let dm_max = *dm.iter().max().unwrap();
         assert!(dm_max > ent_max, "dm tail {dm_max} vs ent {ent_max}");

@@ -34,9 +34,7 @@ fn main() {
 
     let full_sram = 65536 * (104 + 32) / 8 / 1024;
     let cache_entries = 8usize;
-    println!(
-        "connection table annotation: 65536 entries (~{full_sram} KB of switch SRAM)"
-    );
+    println!("connection table annotation: 65536 entries (~{full_sram} KB of switch SRAM)");
     println!("deploying with an {cache_entries}-entry switch cache instead\n");
 
     let mut d = Deployment::new_cached(

@@ -47,12 +47,8 @@ fn main() {
         compiled.staged.fully_offloaded(),
     );
 
-    let mut d = Deployment::new(
-        &compiled,
-        SwitchConfig::default(),
-        CostModel::calibrated(),
-    )
-    .expect("loads");
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .expect("loads");
 
     let mk = |dport: u16| {
         PacketBuilder::tcp(

@@ -28,16 +28,15 @@ fn main() {
         compiled.p4.registers.len(),
     );
 
-    let mut d = Deployment::new(
-        &compiled,
-        SwitchConfig::default(),
-        CostModel::calibrated(),
-    )
-    .expect("loads");
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .expect("loads");
 
     // Three internal clients open connections to an external web server.
     let server = 0x0808_0808u32;
-    for (i, client) in [0x0A00_0005u32, 0x0A00_0006, 0x0A00_0007].iter().enumerate() {
+    for (i, client) in [0x0A00_0005u32, 0x0A00_0006, 0x0A00_0007]
+        .iter()
+        .enumerate()
+    {
         let t = FiveTuple {
             saddr: *client,
             daddr: server,
@@ -87,7 +86,11 @@ fn main() {
     let out = d.inject(tcp(stray, TcpFlags::SYN, EXTERNAL_PORT)).unwrap();
     println!(
         "unsolicited probe to port 60000 -> {} (dropped in the data plane)",
-        if out.is_empty() { "no emission" } else { "leaked!" }
+        if out.is_empty() {
+            "no emission"
+        } else {
+            "leaked!"
+        }
     );
 
     println!();

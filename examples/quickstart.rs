@@ -61,21 +61,23 @@ fn main() {
     }
     println!("  …");
     println!();
-    println!("=== generated server code ({} lines) ===", compiled.server_loc());
+    println!(
+        "=== generated server code ({} lines) ===",
+        compiled.server_loc()
+    );
     println!("{}", compiled.server_source);
 
     // 3. Deploy and run traffic.
-    let mut d = Deployment::new(
-        &compiled,
-        SwitchConfig::default(),
-        CostModel::calibrated(),
-    )
-    .expect("loads onto the switch");
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .expect("loads onto the switch");
     d.configure(|store| lb.configure(store, &[0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003]))
         .expect("configured");
 
     println!("=== traffic ===");
-    for (i, flags) in [TcpFlags::SYN, TcpFlags::ACK, TcpFlags::ACK].iter().enumerate() {
+    for (i, flags) in [TcpFlags::SYN, TcpFlags::ACK, TcpFlags::ACK]
+        .iter()
+        .enumerate()
+    {
         let pkt = PacketBuilder::tcp(
             FiveTuple {
                 saddr: 0x0A00_0001,
@@ -94,7 +96,11 @@ fn main() {
             "  packet {}: steered to backend {:#x} ({})",
             i + 1,
             daddr,
-            if i == 0 { "slow path — server assigned it" } else { "fast path — switch only" },
+            if i == 0 {
+                "slow path — server assigned it"
+            } else {
+                "fast path — switch only"
+            },
         );
     }
     println!();

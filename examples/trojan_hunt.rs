@@ -36,12 +36,8 @@ fn main() {
         det.prog.func.len()
     );
 
-    let mut d = Deployment::new(
-        &compiled,
-        SwitchConfig::default(),
-        CostModel::calibrated(),
-    )
-    .expect("loads");
+    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
+        .expect("loads");
 
     const MALLORY: u32 = 0x0A00_0066;
     const ALICE: u32 = 0x0A00_0001;

@@ -51,9 +51,7 @@ pub use gallium_workloads as workloads;
 pub mod prelude {
     pub use gallium_core::{compile, CompiledMiddlebox, Deployment};
     pub use gallium_mir::{FuncBuilder, Interpreter, Program, StateStore};
-    pub use gallium_net::{
-        FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags,
-    };
+    pub use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
     pub use gallium_partition::{Partition, StagedProgram, StatePlacement, SwitchModel};
     pub use gallium_server::CostModel;
     pub use gallium_switchsim::{Switch, SwitchConfig};

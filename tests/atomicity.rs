@@ -19,10 +19,8 @@ fn tcp(t: FiveTuple, flags: u8, ingress: u16) -> Packet {
 fn switch_and_batch() -> (Switch, Vec<ControlPlaneOp>, FiveTuple) {
     let nat = mazunat();
     let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut server = gallium::server::MiddleboxServer::new(
-        compiled.staged.clone(),
-        CostModel::calibrated(),
-    );
+    let mut server =
+        gallium::server::MiddleboxServer::new(compiled.staged.clone(), CostModel::calibrated());
     let mut sw = Switch::load(compiled.p4.clone(), SwitchConfig::default()).unwrap();
 
     let t = FiveTuple {
@@ -34,7 +32,11 @@ fn switch_and_batch() -> (Switch, Vec<ControlPlaneOp>, FiveTuple) {
     };
     // Run the SYN through the switch and the server to harvest the batch.
     let out = sw.process(tcp(t, TcpFlags::SYN, INTERNAL_PORT));
-    let mut frame = out.into_iter().find(|(p, _)| *p == PortId::SERVER).unwrap().1;
+    let mut frame = out
+        .into_iter()
+        .find(|(p, _)| *p == PortId::SERVER)
+        .unwrap()
+        .1;
     frame.ingress = PortId::SERVER;
     let server_out = server.process(frame, 0).unwrap();
     assert!(!server_out.sync_ops.is_empty());
@@ -122,8 +124,8 @@ fn output_commit_orders_causal_packets() {
     // for many connections in a row.
     let nat = mazunat();
     let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     for i in 0..30u16 {
         let t = FiveTuple {
             saddr: 0x0A00_0100 + u32::from(i),
@@ -144,7 +146,11 @@ fn output_commit_orders_causal_packets() {
         let out = d
             .inject(tcp(reply, TcpFlags::SYN | TcpFlags::ACK, EXTERNAL_PORT))
             .unwrap();
-        assert_eq!(out.len(), 1, "conn {i}: causally-dependent reply translated");
+        assert_eq!(
+            out.len(),
+            1,
+            "conn {i}: causally-dependent reply translated"
+        );
     }
     assert!(d.replicated_consistent());
 }

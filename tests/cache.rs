@@ -108,8 +108,8 @@ fn cached_equals_uncached_equals_reference() {
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
     let backends = lb.backends;
 
-    let mut plain = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut plain =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     plain
         .configure(|s| {
             s.vec_set_all(backends, vec![11, 22, 33]).unwrap();
@@ -173,7 +173,8 @@ fn fin_removes_from_cache_and_authority() {
     let (mut d, lb) = cached_lb(8);
     d.inject(tcp(5, 4000, TcpFlags::SYN)).unwrap();
     assert_eq!(d.switch.table("conn").unwrap().len(), 1);
-    d.inject(tcp(5, 4000, TcpFlags::FIN | TcpFlags::ACK)).unwrap();
+    d.inject(tcp(5, 4000, TcpFlags::FIN | TcpFlags::ACK))
+        .unwrap();
     assert_eq!(d.server.store.map_len(lb.conn).unwrap(), 0);
     assert_eq!(d.switch.table("conn").unwrap().len(), 0, "cache entry gone");
     assert!(d.replicated_consistent());
@@ -223,7 +224,9 @@ fn cache_mode_rejected_for_switch_only_registers() {
         CostModel::calibrated(),
         &[(nat.nat_out, 16)],
     )
-    .err()
-    .expect("must refuse");
-    assert!(err.contains("port_ctr"), "err: {err}");
+    .expect_err("must refuse");
+    assert!(
+        matches!(&err, gallium::core::DeployError::CacheUnavailable { state } if state == "port_ctr"),
+        "err: {err}"
+    );
 }

@@ -10,7 +10,9 @@
 //! the offloaded statement count.
 
 use gallium::core::{compile, Deployment};
-use gallium::mir::{BinOp, FuncBuilder, HeaderField, Interpreter, Op, Program, StateStore, ValueId};
+use gallium::mir::{
+    BinOp, FuncBuilder, HeaderField, Interpreter, Op, Program, StateStore, ValueId,
+};
 use gallium::partition::Partition;
 use gallium::prelude::*;
 
@@ -76,8 +78,8 @@ fn at_most_one_access_per_traversal() {
 fn both_branches_still_correct_end_to_end() {
     let prog = double_lookup();
     let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let svc = prog.state_by_name("svc").unwrap();
     d.configure(|s| {
         s.map_put(svc, vec![80], vec![0xAAAA]).unwrap();
@@ -91,10 +93,10 @@ fn both_branches_still_correct_end_to_end() {
     let interp = Interpreter::new(&prog);
 
     let cases = [
-        (IpProtocol::Tcp, 1000u16, 80u16),  // TCP: dport hit
-        (IpProtocol::Tcp, 1000, 9999),      // TCP: dport miss → drop
-        (IpProtocol::Udp, 53, 7777),        // UDP: sport hit
-        (IpProtocol::Udp, 54, 7777),        // UDP: sport miss → drop
+        (IpProtocol::Tcp, 1000u16, 80u16), // TCP: dport hit
+        (IpProtocol::Tcp, 1000, 9999),     // TCP: dport miss → drop
+        (IpProtocol::Udp, 53, 7777),       // UDP: sport hit
+        (IpProtocol::Udp, 54, 7777),       // UDP: sport miss → drop
     ];
     for (proto, sport, dport) in cases {
         let t = FiveTuple {

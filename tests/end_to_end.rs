@@ -14,8 +14,8 @@ fn tcp(t: FiveTuple, flags: u8, ingress: u16) -> Packet {
 #[test]
 fn all_five_compile_and_load_for_tofino() {
     for (name, prog) in gallium::middleboxes::all_evaluated() {
-        let compiled = compile(&prog, &SwitchModel::tofino_like())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let compiled =
+            compile(&prog, &SwitchModel::tofino_like()).unwrap_or_else(|e| panic!("{name}: {e}"));
         // The generated program must load into a switch built with the
         // same model (invariant 3).
         gallium::switchsim::load_check(&compiled.p4, &SwitchModel::tofino_like())
@@ -49,8 +49,8 @@ fn all_five_compile_under_squeezed_models() {
 fn nat_full_conversation() {
     let nat = mazunat::mazunat();
     let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
 
     let t = FiveTuple {
         saddr: 0x0A00_0009,
@@ -61,8 +61,7 @@ fn nat_full_conversation() {
     };
     // Handshake out.
     let syn_out = d.inject(tcp(t, TcpFlags::SYN, INTERNAL_PORT)).unwrap();
-    let ext_port =
-        read_header_field(syn_out[0].1.bytes(), HeaderField::SrcPort) as u16;
+    let ext_port = read_header_field(syn_out[0].1.bytes(), HeaderField::SrcPort) as u16;
     // Handshake back.
     let reply = FiveTuple {
         saddr: 0x0808_0404,
@@ -92,8 +91,8 @@ fn nat_full_conversation() {
 fn lb_gc_pushes_deletions_to_switch() {
     let lb = lb::load_balancer();
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let backends = lb.backends;
     d.configure(|s| {
         s.vec_set_all(backends, vec![1, 2, 3]).unwrap();
@@ -124,12 +123,13 @@ fn firewall_and_proxy_never_touch_server() {
         proto: IpProtocol::Tcp,
     };
     let compiled = compile(&fw.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let fw2 = fw.clone();
     d.configure(move |s| fw2.allow(s, &allowed)).unwrap();
     for _ in 0..50 {
-        d.inject(tcp(allowed, TcpFlags::ACK, INTERNAL_PORT)).unwrap();
+        d.inject(tcp(allowed, TcpFlags::ACK, INTERNAL_PORT))
+            .unwrap();
         d.inject(tcp(allowed.reversed(), TcpFlags::ACK, EXTERNAL_PORT))
             .unwrap();
     }
@@ -137,8 +137,8 @@ fn firewall_and_proxy_never_touch_server() {
 
     let px = proxy::proxy(0xDEAD_BEEF, 8080);
     let compiled = compile(&px.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let px2 = px.clone();
     d.configure(move |s| px2.intercept(s, 80)).unwrap();
     for dport in [80u16, 81, 443] {
@@ -158,8 +158,8 @@ fn firewall_and_proxy_never_touch_server() {
 fn routes_steer_emissions() {
     let lb = minilb::minilb();
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let backends = lb.backends;
     d.configure(|s| {
         s.vec_set_all(backends, vec![0xC0A8_0001]).unwrap();
@@ -184,8 +184,8 @@ fn facade_doc_example_works() {
     let lb = minilb::minilb();
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
     assert!(compiled.p4_source.contains("table map"));
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     d.configure(|store| lb.configure(store, &[0xC0A8_0001, 0xC0A8_0002]))
         .unwrap();
     let pkt = PacketBuilder::tcp(

@@ -28,8 +28,8 @@ fn tcp(sport: u16, flags: u8) -> Packet {
 fn idle_sweep_propagates_to_the_switch() {
     let lb = load_balancer();
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let backends = lb.backends;
     d.configure(|s| {
         s.vec_set_all(backends, vec![1, 2]).unwrap();

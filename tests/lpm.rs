@@ -40,8 +40,8 @@ fn router_fully_offloaded_with_lpm_table() {
 fn deployed_router_matches_reference() {
     let r = prefix_router();
     let compiled = compile(&r.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let r2 = r.clone();
     d.configure(move |s| {
         r2.add_route(s, parse_addr("10.0.0.0").unwrap(), 8, 0xAA);
@@ -85,8 +85,8 @@ fn deployed_router_matches_reference() {
 fn longest_prefix_resolution_on_switch() {
     let r = prefix_router();
     let compiled = compile(&r.prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let r2 = r.clone();
     d.configure(move |s| {
         r2.add_route(s, 0, 0, 0x11); // default route

@@ -53,8 +53,8 @@ fn phi_runs_entirely_on_the_switch() {
     let prog = phi_program();
     let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
     assert!(compiled.staged.fully_offloaded(), "φ is P4-expressible");
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let out = d.inject(pkt(443)).unwrap();
     assert_eq!(read_header_field(out[0].1.bytes(), HeaderField::IpTtl), 200);
     let out = d.inject(pkt(80)).unwrap();
@@ -66,8 +66,8 @@ fn phi_runs_entirely_on_the_switch() {
 fn phi_matches_reference_on_random_ports() {
     let prog = phi_program();
     let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
-    let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
-        .unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
     let mut store = StateStore::new(&prog.states);
     let interp = Interpreter::new(&prog);
     for dport in [0u16, 1, 80, 442, 443, 444, 65535] {
@@ -122,8 +122,14 @@ fn metadata_budget_forces_retreat_but_preserves_behaviour() {
     let mut store = StateStore::new(&prog.states);
     let interp = Interpreter::new(&prog);
     for compiled in [&full, &squeezed] {
-        let mut cfg = SwitchConfig::default();
-        cfg.model = if std::ptr::eq(compiled, &squeezed) { tight } else { roomy };
+        let cfg = SwitchConfig {
+            model: if std::ptr::eq(compiled, &squeezed) {
+                tight
+            } else {
+                roomy
+            },
+            ..Default::default()
+        };
         let mut d = Deployment::new(compiled, cfg, CostModel::calibrated()).unwrap();
         let p = pkt(5000);
         let mut rp = p.clone();

@@ -4,9 +4,9 @@
 use gallium::mir::interp::{read_header_field, write_header_field};
 use gallium::mir::types::mask_to_width;
 use gallium::mir::HeaderField;
+use gallium::net::builder::extract_five_tuple;
 use gallium::net::checksum::{checksum, incremental_update, ones_complement_sum};
 use gallium::net::transfer::{TransferField, TransferHeaderLayout, TransferValues};
-use gallium::net::builder::extract_five_tuple;
 use gallium::prelude::*;
 use proptest::prelude::*;
 

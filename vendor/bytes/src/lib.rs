@@ -1,0 +1,174 @@
+//! Minimal, hermetic stand-in for the `bytes` crate.
+//!
+//! The workspace builds offline; only the small subset of the real crate's
+//! API that `gallium-net` uses is provided. Both types are thin wrappers
+//! around `Vec<u8>` — contiguous, owned, no refcounted views.
+
+use std::ops::{Deref, DerefMut};
+
+/// Immutable byte buffer (frozen form of [`BytesMut`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Vec::new())
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(data.to_vec())
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(v.to_vec())
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// A buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut(vec![0; len])
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Split off and return the tail starting at `at`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut(self.0.split_off(at))
+    }
+
+    /// Resize to `new_len`, filling with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.0.resize(new_len, value);
+    }
+
+    /// Truncate to at most `len` bytes.
+    pub fn truncate(&mut self, len: usize) {
+        self.0.truncate(len);
+    }
+
+    /// Append a slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.0.extend_from_slice(extend);
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut(v.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_resize_extend_roundtrip() {
+        let mut b = BytesMut::from(&b"hello world"[..]);
+        let tail = b.split_off(5);
+        assert_eq!(&b[..], b"hello");
+        b.resize(7, 0);
+        b.extend_from_slice(&tail);
+        assert_eq!(&b[..], b"hello\0\0 world");
+        b.truncate(5);
+        assert_eq!(&b.freeze()[..], b"hello");
+    }
+
+    #[test]
+    fn zeroed_is_zero() {
+        let b = BytesMut::zeroed(4);
+        assert_eq!(&b[..], &[0, 0, 0, 0]);
+    }
+}

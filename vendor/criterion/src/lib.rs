@@ -1,0 +1,157 @@
+//! Minimal, hermetic stand-in for the `criterion` crate.
+//!
+//! Implements enough of the API for the workspace's `harness = false`
+//! benches to compile and run: `Criterion`, benchmark groups,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a fixed-iteration wall-clock
+//! average printed to stdout — no warmup, outlier analysis, or plots.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Iterations per measurement. Small: benches here gate compilation and
+/// smoke-run, not statistics.
+const ITERS: u32 = 50;
+
+/// Re-export of `std::hint::black_box` for callers that import it.
+pub use std::hint::black_box;
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a case by its parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identify a case by function name plus parameter.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = ITERS;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 1,
+    };
+    f(&mut b);
+    let mean = b.elapsed_ns / u128::from(b.iters.max(1));
+    println!("bench {label:<48} {mean:>12} ns/iter");
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain routine under this group.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a single routine.
+    pub fn bench_function<S: fmt::Display, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, v| {
+            b.iter(|| v + 1)
+        });
+        g.bench_function("plain", |b| b.iter(|| 2 + 2));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1)));
+    }
+}

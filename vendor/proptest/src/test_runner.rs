@@ -1,0 +1,72 @@
+//! The case runner: deterministic seeds, reject bookkeeping, failure
+//! reporting.
+
+use crate::strategy::TestRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// A `prop_assume!` precondition rejected this input.
+    Reject(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Fixed base seed: runs are reproducible across machines and time.
+const BASE_SEED: u64 = 0x0009_a111_u64;
+
+/// Execute up to `config.cases` accepted cases of `case`, panicking on
+/// the first failure with the case's seed for replay.
+pub fn run(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let max_rejects = config.cases.saturating_mul(64).max(1024);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let seed = BASE_SEED ^ attempt.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejects \
+                         ({rejected} rejects for {accepted} accepted cases)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property failed: `{name}` (case {accepted}, seed {seed:#x}): {msg}");
+            }
+        }
+        attempt += 1;
+    }
+}
