@@ -3,8 +3,9 @@
 //! 100/500/1500 B, offloaded (1 core) vs Click on 1/2/4 cores, ten trials
 //! with mean ± stddev.
 
-use gallium_bench::{gbps, row};
+use gallium_bench::{emit_snapshot, gbps, row};
 use gallium_sim::{run_microbench, MbKind, Mode};
+use gallium_telemetry::TelemetrySnapshot;
 use gallium_workloads::PACKET_SIZES;
 
 fn mean_std(xs: &[f64]) -> (f64, f64) {
@@ -16,6 +17,7 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
 
 fn main() {
     let trials = 10u64;
+    let mut telemetry = TelemetrySnapshot::default();
     let modes = [
         Mode::Offloaded,
         Mode::Click { cores: 4 },
@@ -34,7 +36,13 @@ fn main() {
             for &size in &PACKET_SIZES {
                 let profile = gallium_sim::profile::profile_middlebox(kind, size);
                 let runs: Vec<f64> = (0..trials)
-                    .map(|t| run_microbench(profile, mode, size, 100 + t).throughput_gbps())
+                    .map(|t| {
+                        let m = run_microbench(profile, mode, size, 100 + t);
+                        if mode == Mode::Offloaded {
+                            telemetry.merge(&m.to_snapshot("gallium.bench.fig7.offloaded"));
+                        }
+                        m.throughput_gbps()
+                    })
                     .collect();
                 let (m, s) = mean_std(&runs);
                 cells.push(format!("{} ± {}", gbps(m), gbps(s)));
@@ -45,4 +53,7 @@ fn main() {
     }
     println!("Paper shape: Offloaded(1 core) outperforms Click-4c by 20-187%");
     println!("across sizes; Click scales with cores; small packets hurt Click most.");
+    println!();
+    // Aggregate dataplane telemetry for every offloaded trial above.
+    emit_snapshot(&telemetry);
 }

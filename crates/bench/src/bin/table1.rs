@@ -10,7 +10,7 @@
 //! (firewall/proxy fully offloaded; NAT/LB/trojan mostly offloaded with a
 //! server slow path).
 
-use gallium_bench::row;
+use gallium_bench::{emit_snapshot, row};
 use gallium_core::compile;
 use gallium_middleboxes::all_evaluated;
 use gallium_mir::printer::print_program;
@@ -59,4 +59,8 @@ fn main() {
     println!("  MazuNAT 1687 -> 516 P4 + 579 C++ ; LB 1447 -> 522 + 602 ;");
     println!("  Firewall 1151 -> 506 + 403 ; Proxy 953 -> 292 + 279 ;");
     println!("  Trojan 882 -> 571 + 418");
+    println!();
+    // Compiler telemetry accumulated across the five compiles above: pass
+    // timings, partition decisions, and constraint-rejection counts.
+    emit_snapshot(&gallium_telemetry::global().snapshot());
 }

@@ -23,6 +23,14 @@
 #![warn(missing_docs)]
 
 use gallium_sim::{MbKind, MbProfile};
+use gallium_telemetry::TelemetrySnapshot;
+
+/// Print `snap` as the run's single machine-readable artifact, fenced by
+/// a marker line so scripts can split it from the human-readable tables.
+pub fn emit_snapshot(snap: &TelemetrySnapshot) {
+    println!("--- telemetry snapshot (json) ---");
+    print!("{}", snap.to_json());
+}
 
 /// Render a row of fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {

@@ -3,7 +3,9 @@
 use crate::server_codegen::server_listing;
 use gallium_mir::{MirError, Program};
 use gallium_p4::{generate, print_p4, CodegenError, P4Program};
-use gallium_partition::{partition_program, PartitionError, StagedProgram, SwitchModel};
+use gallium_partition::{
+    partition_program, ExplainReport, PartitionError, StagedProgram, SwitchModel,
+};
 use gallium_switchsim::LoadError;
 
 /// Compilation failures, tagged by pipeline stage. The `Display` form
@@ -79,6 +81,9 @@ pub struct CompiledMiddlebox {
     pub p4_source: String,
     /// Server program listing (Table 1's "Output (C++)" artifact).
     pub server_source: String,
+    /// Per-instruction partition explanation (§4 narrative): where every
+    /// statement landed and the first constraint that put it there.
+    pub explain: ExplainReport,
 }
 
 impl CompiledMiddlebox {
@@ -100,16 +105,47 @@ impl CompiledMiddlebox {
 }
 
 /// Compile `prog` for a switch described by `model`.
+///
+/// Every stage is timed into the global telemetry registry under
+/// `gallium.core.compiler.<stage>_ns` (partitioning additionally records
+/// its own decision counters under `gallium.partition.*`).
 pub fn compile(prog: &Program, model: &SwitchModel) -> Result<CompiledMiddlebox, CompileError> {
-    let staged = partition_program(prog, model)?;
-    let p4 = generate(&staged)?;
-    let p4_source = print_p4(&p4);
-    let server_source = server_listing(&staged);
+    let reg = gallium_telemetry::global();
+    let _total = reg.histogram("gallium.core.compiler.compile_ns").time();
+    reg.counter("gallium.core.compiler.compiles").inc();
+
+    let staged = {
+        let _t = reg.histogram("gallium.core.compiler.partition_ns").time();
+        partition_program(prog, model)?
+    };
+    let p4 = {
+        let _t = reg.histogram("gallium.core.compiler.p4_codegen_ns").time();
+        generate(&staged)?
+    };
+    let p4_source = {
+        let _t = reg.histogram("gallium.core.compiler.p4_print_ns").time();
+        print_p4(&p4)
+    };
+    let server_source = {
+        let _t = reg
+            .histogram("gallium.core.compiler.server_codegen_ns")
+            .time();
+        server_listing(&staged)
+    };
+    let explain = {
+        let _t = reg.histogram("gallium.core.compiler.explain_ns").time();
+        staged.explain()
+    };
+    reg.counter("gallium.core.compiler.p4_tables_allocated")
+        .add(p4.tables.len() as u64);
+    reg.counter("gallium.core.compiler.p4_registers_allocated")
+        .add(p4.registers.len() as u64);
     Ok(CompiledMiddlebox {
         staged,
         p4,
         p4_source,
         server_source,
+        explain,
     })
 }
 

@@ -115,6 +115,19 @@ pub struct DeploymentStats {
     pub server_cycles: u64,
 }
 
+/// Telemetry owned by the deployment itself (the composition layer):
+/// write-back acknowledgement counts and the output-commit hold time.
+#[derive(Debug, Default)]
+pub struct DeploymentTelemetry {
+    /// Control-plane sync operations applied (acked) by the switch.
+    pub sync_ops_acked: gallium_telemetry::Counter,
+    /// Packets held for output commit (§4.3.3).
+    pub held_for_commit: gallium_telemetry::Counter,
+    /// Distribution of per-packet output-commit hold time: the modeled ns
+    /// until the write-back visibility flip released the packet.
+    pub hold_for_commit_ns: gallium_telemetry::Histogram,
+}
+
 /// The composed switch+server middlebox.
 #[derive(Debug)]
 pub struct Deployment {
@@ -124,6 +137,8 @@ pub struct Deployment {
     pub server: MiddleboxServer,
     /// Counters.
     pub stats: DeploymentStats,
+    /// Composition-layer telemetry (sync acks, commit-hold latency).
+    pub telemetry: DeploymentTelemetry,
     server_port: PortId,
     clock_ns: u64,
 }
@@ -142,6 +157,7 @@ impl Deployment {
             switch,
             server,
             stats: DeploymentStats::default(),
+            telemetry: DeploymentTelemetry::default(),
             server_port,
             clock_ns: 0,
         })
@@ -195,6 +211,7 @@ impl Deployment {
             switch,
             server,
             stats: DeploymentStats::default(),
+            telemetry: DeploymentTelemetry::default(),
             server_port,
             clock_ns: 0,
         })
@@ -250,6 +267,11 @@ impl Deployment {
             let (visible, total) = self.apply_sync(&out.sync_ops)?;
             self.stats.sync_latency_ns += total;
             self.stats.sync_visible_ns += visible;
+            self.telemetry.sync_ops_acked.add(out.sync_ops.len() as u64);
+            if out.held_for_commit {
+                self.telemetry.held_for_commit.inc();
+                self.telemetry.hold_for_commit_ns.record(visible);
+            }
 
             for mut back in out.to_switch {
                 back.ingress = self.server_port;
@@ -330,6 +352,38 @@ impl Deployment {
             return 0.0;
         }
         self.stats.fast_path as f64 / self.stats.injected as f64
+    }
+
+    /// Export one merged snapshot for the whole deployment: switch-side
+    /// counters (`gallium.switchsim.*`), server-side counters
+    /// (`gallium.server.*`), composition-layer counters and the
+    /// output-commit hold histogram (`gallium.core.deployment.*`), plus
+    /// everything in the process-wide registry (compiler/partition
+    /// metrics).
+    pub fn telemetry_snapshot(&self) -> gallium_telemetry::TelemetrySnapshot {
+        let mut snap = gallium_telemetry::global().snapshot();
+        snap.merge(&self.switch.telemetry_snapshot());
+        snap.merge(&self.server.telemetry_snapshot());
+        let s = &self.stats;
+        snap.set_counter("gallium.core.deployment.injected", s.injected);
+        snap.set_counter("gallium.core.deployment.fast_path", s.fast_path);
+        snap.set_counter("gallium.core.deployment.slow_path", s.slow_path);
+        snap.set_counter("gallium.core.deployment.sync_latency_ns", s.sync_latency_ns);
+        snap.set_counter("gallium.core.deployment.sync_visible_ns", s.sync_visible_ns);
+        snap.set_counter("gallium.core.deployment.server_cycles", s.server_cycles);
+        snap.set_counter(
+            "gallium.core.deployment.sync_ops_acked",
+            self.telemetry.sync_ops_acked.get(),
+        );
+        snap.set_counter(
+            "gallium.core.deployment.held_for_commit",
+            self.telemetry.held_for_commit.get(),
+        );
+        snap.record_histogram(
+            "gallium.core.deployment.hold_for_commit_ns",
+            &self.telemetry.hold_for_commit_ns,
+        );
+        snap
     }
 }
 

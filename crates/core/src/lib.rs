@@ -29,5 +29,5 @@ pub mod deployment;
 pub mod server_codegen;
 
 pub use compiler::{compile, CompileError, CompiledMiddlebox};
-pub use deployment::{DeployError, Deployment, DeploymentStats};
+pub use deployment::{DeployError, Deployment, DeploymentStats, DeploymentTelemetry};
 pub use server_codegen::server_listing;

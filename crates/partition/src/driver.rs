@@ -1,5 +1,6 @@
 //! The partitioning driver: label rules + resource refinement (§4.2.2).
 
+use crate::explain::ExplainReason;
 use crate::labels::{initial_labels, run_label_rules, LabelSet};
 use crate::model::SwitchModel;
 use crate::staged::{Partition, StagedProgram, StatePlacement};
@@ -47,18 +48,70 @@ pub fn assign(labels: &[LabelSet]) -> Vec<Partition> {
         .collect()
 }
 
+/// Re-run the label rules, charging any instruction that newly lost its
+/// last offload label to `cause` (or to `LoopResident` when the rule-5
+/// loop check is what removed it). First cause wins: an instruction
+/// already explained keeps its original reason.
+fn relabel(
+    prog: &Program,
+    dep: &DepGraph,
+    labels: &mut [LabelSet],
+    reasons: &mut [ExplainReason],
+    cause: ExplainReason,
+) {
+    let before: Vec<bool> = labels.iter().map(|l| l.offloadable()).collect();
+    run_label_rules(prog, dep, labels);
+    for (v, was) in before.iter().enumerate() {
+        if *was && !labels[v].offloadable() && reasons[v] == ExplainReason::Offloaded {
+            reasons[v] = if dep.in_loop(ValueId(v as u32)) {
+                ExplainReason::LoopResident
+            } else {
+                cause
+            };
+        }
+    }
+}
+
+/// Charge instruction `v` to `cause` if a direct label clear just made it
+/// non-offloadable (first cause wins).
+fn mark(labels: &[LabelSet], reasons: &mut [ExplainReason], v: usize, cause: ExplainReason) {
+    if !labels[v].offloadable() && reasons[v] == ExplainReason::Offloaded {
+        reasons[v] = cause;
+    }
+}
+
 /// Partition `prog` for `model`, running the full §4.2 pipeline.
 pub fn partition_program(
     prog: &Program,
     model: &SwitchModel,
 ) -> Result<StagedProgram, PartitionError> {
+    let reg = gallium_telemetry::global();
+    let _span = reg.histogram("gallium.partition.partition_ns").time();
     gallium_mir::validate::validate(prog).map_err(PartitionError::Validation)?;
     let dep = DepGraph::build(prog);
     let n = prog.func.insts.len();
 
     // Phase 1: expressiveness + dependency labeling (§4.2.1).
     let mut labels = initial_labels(prog);
-    run_label_rules(prog, &dep, &mut labels);
+    // Reasons start from the expressiveness verdict; each later phase only
+    // explains instructions it newly evicts.
+    let mut reasons: Vec<ExplainReason> = labels
+        .iter()
+        .map(|l| {
+            if l.offloadable() {
+                ExplainReason::Offloaded
+            } else {
+                ExplainReason::NotExpressible
+            }
+        })
+        .collect();
+    relabel(
+        prog,
+        &dep,
+        &mut labels,
+        &mut reasons,
+        ExplainReason::DependencyRules,
+    );
 
     // Constraint 2: pipeline depth via dependency distance.
     let entry_d = dep.entry_distances();
@@ -70,8 +123,15 @@ pub fn partition_program(
         if exit_d[v] > model.pipeline_depth {
             labels[v].post = false;
         }
+        mark(&labels, &mut reasons, v, ExplainReason::PipelineDepth);
     }
-    run_label_rules(prog, &dep, &mut labels);
+    relabel(
+        prog,
+        &dep,
+        &mut labels,
+        &mut reasons,
+        ExplainReason::PipelineDepth,
+    );
 
     // Constraint 1: switch memory. Trim offloaded state accesses from the
     // edges of the program inward until the footprint fits.
@@ -87,12 +147,20 @@ pub fn partition_program(
             .find(|&v| labels[v].pre && touches_state(prog, v));
         if let Some(v) = last_pre {
             labels[v].pre = false;
+            mark(&labels, &mut reasons, v, ExplainReason::SwitchMemory);
         } else if let Some(v) = (0..n).find(|&v| labels[v].post && touches_state(prog, v)) {
             labels[v].post = false;
+            mark(&labels, &mut reasons, v, ExplainReason::SwitchMemory);
         } else {
             break; // no offloaded state left; footprint is zero
         }
-        run_label_rules(prog, &dep, &mut labels);
+        relabel(
+            prog,
+            &dep,
+            &mut labels,
+            &mut reasons,
+            ExplainReason::SwitchMemory,
+        );
     }
 
     // Replicated-state write restriction (§4.3.3): when a state is also
@@ -107,10 +175,11 @@ pub fn partition_program(
             if !server_touches {
                 continue;
             }
-            for (v, label) in labels.iter_mut().enumerate().take(n) {
-                if label.offloadable() && writes_specific(prog, v, sid) {
-                    label.pre = false;
-                    label.post = false;
+            for v in 0..n {
+                if labels[v].offloadable() && writes_specific(prog, v, sid) {
+                    labels[v].pre = false;
+                    labels[v].post = false;
+                    reasons[v] = ExplainReason::ReplicatedWrite;
                     changed = true;
                 }
             }
@@ -118,7 +187,13 @@ pub fn partition_program(
         if !changed {
             break;
         }
-        run_label_rules(prog, &dep, &mut labels);
+        relabel(
+            prog,
+            &dep,
+            &mut labels,
+            &mut reasons,
+            ExplainReason::ReplicatedWrite,
+        );
     }
 
     // Constraint 3: at most one offloaded access per state per traversal.
@@ -148,6 +223,14 @@ pub fn partition_program(
                 }
             }
             if let Some((_, chosen)) = best {
+                for v in 0..n {
+                    if labels[v].offloadable()
+                        && !chosen[v].offloadable()
+                        && reasons[v] == ExplainReason::Offloaded
+                    {
+                        reasons[v] = ExplainReason::SingleStateAccess;
+                    }
+                }
                 labels = chosen;
             }
         }
@@ -177,6 +260,18 @@ pub fn partition_program(
         if !pre_bad && !post_bad {
             break;
         }
+        // Which budget tripped decides the recorded reason: the metadata
+        // scratchpad (constraint 4) or the transfer header (constraint 5).
+        let pre_cause = if pre_meta > model.metadata_bits {
+            ExplainReason::MetadataBudget
+        } else {
+            ExplainReason::TransferBudget
+        };
+        let post_cause = if post_meta > model.metadata_bits {
+            ExplainReason::MetadataBudget
+        } else {
+            ExplainReason::TransferBudget
+        };
         if pre_bad {
             // Reverse topological (here: reverse source) order.
             let victim = (0..n)
@@ -186,12 +281,16 @@ pub fn partition_program(
                     PartitionError::Unsatisfiable("pre budget violated with empty pre".into())
                 })?;
             labels[victim].pre = false;
+            mark(&labels, &mut reasons, victim, pre_cause);
         }
         if post_bad {
             // Forward topological order: earliest post statements first.
             let victim = (0..n).find(|&v| assignment[v] == Partition::Post);
             match victim {
-                Some(v) => labels[v].post = false,
+                Some(v) => {
+                    labels[v].post = false;
+                    mark(&labels, &mut reasons, v, post_cause);
+                }
                 None if !pre_bad => {
                     return Err(PartitionError::Unsatisfiable(
                         "post budget violated with empty post".into(),
@@ -200,7 +299,13 @@ pub fn partition_program(
                 None => {}
             }
         }
-        run_label_rules(prog, &dep, &mut labels);
+        relabel(
+            prog,
+            &dep,
+            &mut labels,
+            &mut reasons,
+            if pre_bad { pre_cause } else { post_cause },
+        );
     }
 
     // Finalize.
@@ -211,9 +316,29 @@ pub fn partition_program(
     let header_to_server = make_layout(prog, &b.to_server);
     let header_to_switch = make_layout(prog, &b.to_switch);
 
+    // Decision counters for the process-wide registry: where instructions
+    // landed and which constraint rejected the server-bound ones.
+    reg.counter("gallium.partition.programs").inc();
+    for part in [Partition::Pre, Partition::NonOffloaded, Partition::Post] {
+        let count = assignment.iter().filter(|&&p| p == part).count() as u64;
+        reg.counter(&format!("gallium.partition.insts.{}", part.label()))
+            .add(count);
+    }
+    for reason in ExplainReason::ALL {
+        if reason == ExplainReason::Offloaded {
+            continue;
+        }
+        let count = reasons.iter().filter(|&&r| r == reason).count() as u64;
+        if count > 0 {
+            reg.counter(&format!("gallium.partition.rejections.{}", reason.key()))
+                .add(count);
+        }
+    }
+
     Ok(StagedProgram {
         prog: prog.clone(),
         assignment,
+        reasons,
         placements,
         header_to_server,
         header_to_switch,

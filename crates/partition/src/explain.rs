@@ -1,0 +1,275 @@
+//! Partition explain reports: *why* each instruction landed where it did.
+//!
+//! The driver records, per instruction, the first constraint that forced
+//! it off the switch (first cause wins — later phases never overwrite an
+//! earlier verdict). [`ExplainReport`] renders that record either as an
+//! aligned text table for humans or as JSON for tooling, using the
+//! paper's §4 vocabulary for the reasons.
+
+use crate::staged::{Partition, StagedProgram, StatePlacement};
+use gallium_mir::{printer, ValueId};
+use gallium_telemetry::json_escape;
+use std::fmt::Write as _;
+
+/// Why an instruction ended up in its partition, in the paper's terms.
+///
+/// [`ExplainReason::Offloaded`] marks instructions that stayed on the
+/// switch; every other variant names the first refinement phase (§4.2)
+/// that evicted the instruction to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExplainReason {
+    /// Survived every phase: runs on the switch (pre or post).
+    Offloaded,
+    /// P4 cannot express the operation at all (§4.2.1 initial labels).
+    NotExpressible,
+    /// Sits inside a loop, which the pipeline cannot execute (rule 5).
+    LoopResident,
+    /// Evicted by the dependency-consistency label rules 1–4 (§4.2.1),
+    /// i.e. it depends on (or feeds) a server-resident instruction.
+    DependencyRules,
+    /// Its dependency chain exceeds the pipeline depth (constraint 2).
+    PipelineDepth,
+    /// Its state does not fit in switch memory (constraint 1).
+    SwitchMemory,
+    /// It writes replicated state, and all updates to replicated state
+    /// must come from the server for write-back to serialize (§4.3.3).
+    ReplicatedWrite,
+    /// Lost the one-access-per-state-per-traversal search (constraint 3).
+    SingleStateAccess,
+    /// Evicted to fit the per-packet metadata budget (constraint 4).
+    MetadataBudget,
+    /// Evicted to fit the 20-byte transfer-header budget (constraint 5).
+    TransferBudget,
+}
+
+impl ExplainReason {
+    /// Every reason, in phase order (used for exhaustive reporting).
+    pub const ALL: [ExplainReason; 10] = [
+        ExplainReason::Offloaded,
+        ExplainReason::NotExpressible,
+        ExplainReason::LoopResident,
+        ExplainReason::DependencyRules,
+        ExplainReason::PipelineDepth,
+        ExplainReason::SwitchMemory,
+        ExplainReason::ReplicatedWrite,
+        ExplainReason::SingleStateAccess,
+        ExplainReason::MetadataBudget,
+        ExplainReason::TransferBudget,
+    ];
+
+    /// Stable snake_case key (used in JSON output and metric names).
+    pub fn key(self) -> &'static str {
+        match self {
+            ExplainReason::Offloaded => "offloaded",
+            ExplainReason::NotExpressible => "not_expressible",
+            ExplainReason::LoopResident => "loop_resident",
+            ExplainReason::DependencyRules => "dependency_rules",
+            ExplainReason::PipelineDepth => "pipeline_depth",
+            ExplainReason::SwitchMemory => "switch_memory",
+            ExplainReason::ReplicatedWrite => "replicated_write",
+            ExplainReason::SingleStateAccess => "single_state_access",
+            ExplainReason::MetadataBudget => "metadata_budget",
+            ExplainReason::TransferBudget => "transfer_budget",
+        }
+    }
+
+    /// One-line human explanation (used in the text report).
+    pub fn describe(self) -> &'static str {
+        match self {
+            ExplainReason::Offloaded => "runs on the switch",
+            ExplainReason::NotExpressible => "P4 cannot express this operation (§4.2.1)",
+            ExplainReason::LoopResident => "inside a loop; pipelines cannot loop (rule 5)",
+            ExplainReason::DependencyRules => "dependency on a server-resident value (rules 1-4)",
+            ExplainReason::PipelineDepth => {
+                "dependency chain exceeds pipeline depth (constraint 2)"
+            }
+            ExplainReason::SwitchMemory => "state does not fit switch memory (constraint 1)",
+            ExplainReason::ReplicatedWrite => {
+                "writes replicated state; server owns updates (§4.3.3)"
+            }
+            ExplainReason::SingleStateAccess => {
+                "second access to a state in one traversal (constraint 3)"
+            }
+            ExplainReason::MetadataBudget => "per-packet metadata budget exceeded (constraint 4)",
+            ExplainReason::TransferBudget => {
+                "20-byte transfer header budget exceeded (constraint 5)"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ExplainReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One row of the report: an instruction, its partition, and the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainEntry {
+    /// The instruction's SSA id.
+    pub value: ValueId,
+    /// Pretty-printed instruction text (from the MIR printer).
+    pub text: String,
+    /// Final partition assignment.
+    pub partition: Partition,
+    /// The first cause that fixed this assignment.
+    pub reason: ExplainReason,
+}
+
+/// A global state's placement, for the report's state section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateExplain {
+    /// Declared state name.
+    pub name: String,
+    /// Where it lives after partitioning (§4.3.1).
+    pub placement: StatePlacement,
+}
+
+/// The full per-program partition explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// Program name.
+    pub program: String,
+    /// One entry per instruction, in SSA order.
+    pub entries: Vec<ExplainEntry>,
+    /// One entry per declared global state.
+    pub states: Vec<StateExplain>,
+}
+
+impl ExplainReport {
+    /// Build the report for a staged program.
+    pub fn new(staged: &StagedProgram) -> Self {
+        let prog = &staged.prog;
+        let entries = (0..prog.func.insts.len())
+            .map(|v| {
+                let vid = ValueId(v as u32);
+                ExplainEntry {
+                    value: vid,
+                    text: printer::print_inst(prog, vid),
+                    partition: staged.partition_of(vid),
+                    reason: staged.reason_of(vid),
+                }
+            })
+            .collect();
+        let states = prog
+            .states
+            .iter()
+            .enumerate()
+            .map(|(s, st)| StateExplain {
+                name: st.name.clone(),
+                placement: staged.placements[s],
+            })
+            .collect();
+        ExplainReport {
+            program: prog.name.clone(),
+            entries,
+            states,
+        }
+    }
+
+    /// The entry for instruction `v`.
+    pub fn entry(&self, v: ValueId) -> &ExplainEntry {
+        &self.entries[v.0 as usize]
+    }
+
+    /// Number of instructions on the switch.
+    pub fn offloaded_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.partition.on_switch())
+            .count()
+    }
+
+    /// Number of instructions on the server.
+    pub fn server_count(&self) -> usize {
+        self.entries.len() - self.offloaded_count()
+    }
+
+    /// How many instructions carry each reason (phase order, zeros kept).
+    pub fn reason_counts(&self) -> Vec<(ExplainReason, usize)> {
+        ExplainReason::ALL
+            .iter()
+            .map(|&r| (r, self.entries.iter().filter(|e| e.reason == r).count()))
+            .collect()
+    }
+
+    /// Render the report as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "explain: {} ({} instructions: {} offloaded, {} on server)",
+            self.program,
+            self.entries.len(),
+            self.offloaded_count(),
+            self.server_count()
+        );
+        let id_w = self
+            .entries
+            .iter()
+            .map(|e| format!("v{}", e.value.0).len())
+            .max()
+            .unwrap_or(2);
+        let text_w = self.entries.iter().map(|e| e.text.len()).max().unwrap_or(0);
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "  {:<id_w$}  {:<7}  {:<text_w$}  {}",
+                format!("v{}", e.value.0),
+                e.partition.label(),
+                e.text,
+                e.reason.describe(),
+            );
+        }
+        if !self.states.is_empty() {
+            let _ = writeln!(out, "states:");
+            let name_w = self.states.iter().map(|s| s.name.len()).max().unwrap_or(0);
+            for s in &self.states {
+                let _ = writeln!(out, "  {:<name_w$}  {}", s.name, s.placement.label());
+            }
+        }
+        out
+    }
+
+    /// Serialize the report to JSON (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"program\": {},", json_escape(&self.program));
+        let _ = write!(
+            out,
+            "\n  \"summary\": {{\"instructions\": {}, \"offloaded\": {}, \"server\": {}}},",
+            self.entries.len(),
+            self.offloaded_count(),
+            self.server_count()
+        );
+        out.push_str("\n  \"instructions\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"value\": {}, \"partition\": {}, \"reason\": {}, \"inst\": {}}}",
+                e.value.0,
+                json_escape(e.partition.label()),
+                json_escape(e.reason.key()),
+                json_escape(&e.text)
+            );
+        }
+        out.push_str("\n  ],\n  \"states\": [");
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"placement\": {}}}",
+                json_escape(&s.name),
+                json_escape(s.placement.label())
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}

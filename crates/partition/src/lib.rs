@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod explain;
 pub mod labels;
 pub mod model;
 pub mod staged;
 pub mod transfer;
 
 pub use driver::{partition_program, PartitionError};
+pub use explain::{ExplainEntry, ExplainReason, ExplainReport, StateExplain};
 pub use labels::{initial_labels, run_label_rules, LabelSet};
 pub use model::SwitchModel;
 pub use staged::{Partition, StagedProgram, StatePlacement};

@@ -1,5 +1,6 @@
 //! The partitioned ("staged") program produced by the driver.
 
+use crate::explain::{ExplainReason, ExplainReport};
 use gallium_mir::{Program, StateId, ValueId};
 use gallium_net::TransferHeaderLayout;
 
@@ -19,6 +20,15 @@ impl Partition {
     pub fn on_switch(self) -> bool {
         matches!(self, Partition::Pre | Partition::Post)
     }
+
+    /// Short lowercase label ("pre" / "server" / "post") for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Partition::Pre => "pre",
+            Partition::NonOffloaded => "server",
+            Partition::Post => "post",
+        }
+    }
 }
 
 /// Where a global state lives after partitioning (§4.3.1).
@@ -36,6 +46,18 @@ pub enum StatePlacement {
     Unused,
 }
 
+impl StatePlacement {
+    /// Short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatePlacement::SwitchOnly => "switch-only",
+            StatePlacement::ServerOnly => "server-only",
+            StatePlacement::Replicated => "replicated",
+            StatePlacement::Unused => "unused",
+        }
+    }
+}
+
 /// A fully partitioned program plus everything code generation needs.
 #[derive(Debug, Clone)]
 pub struct StagedProgram {
@@ -43,6 +65,9 @@ pub struct StagedProgram {
     pub prog: Program,
     /// Partition of each instruction (indexed by [`ValueId`]).
     pub assignment: Vec<Partition>,
+    /// First cause that fixed each instruction's assignment (indexed by
+    /// [`ValueId`]) — the raw material for [`StagedProgram::explain`].
+    pub reasons: Vec<ExplainReason>,
     /// Placement of each global state (indexed by [`StateId`]).
     pub placements: Vec<StatePlacement>,
     /// Transfer header on the switch→server hop (pre results the server or
@@ -66,6 +91,16 @@ impl StagedProgram {
     /// Placement of state `s`.
     pub fn placement_of(&self, s: StateId) -> StatePlacement {
         self.placements[s.0 as usize]
+    }
+
+    /// The first cause that fixed instruction `v`'s assignment.
+    pub fn reason_of(&self, v: ValueId) -> ExplainReason {
+        self.reasons[v.0 as usize]
+    }
+
+    /// Build the per-instruction partition explanation (§4 narrative).
+    pub fn explain(&self) -> ExplainReport {
+        ExplainReport::new(self)
     }
 
     /// Number of instructions assigned to switch partitions.

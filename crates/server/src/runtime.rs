@@ -23,6 +23,11 @@ pub struct ServerStats {
     pub committed: u64,
     /// Total processing cycles spent.
     pub cycles: u64,
+    /// Cache-miss whole-program replays (§7 extension).
+    pub replays: u64,
+    /// Write-back control-plane operations issued (stage + flip + fold +
+    /// clear, §4.3.3).
+    pub sync_ops_issued: u64,
 }
 
 /// What the server produced for one packet.
@@ -107,6 +112,7 @@ impl MiddleboxServer {
         self.stats.cycles += cycles;
 
         let sync_ops = self.sync_ops_for(&exec);
+        self.stats.sync_ops_issued += sync_ops.len() as u64;
         let held_for_commit = !sync_ops.is_empty();
         if held_for_commit {
             self.stats.committed += 1;
@@ -153,6 +159,7 @@ impl MiddleboxServer {
     /// replicated-state updates through the write-back protocol, and
     /// installs the queried entry into the switch cache.
     fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
+        self.stats.replays += 1;
         let prog = self.staged.prog.clone();
         let r = Interpreter::new(&prog).run(&mut pkt, &mut self.store, now_ns)?;
         let cycles = self.cost.packet_cycles(&prog, &r.executed)
@@ -202,6 +209,7 @@ impl MiddleboxServer {
         }
         let mut sync_ops = self.sync_ops_for_updates(&updates);
         sync_ops.extend(fills);
+        self.stats.sync_ops_issued += sync_ops.len() as u64;
         let held_for_commit = !sync_ops.is_empty();
         if held_for_commit {
             self.stats.committed += 1;
@@ -323,6 +331,17 @@ impl MiddleboxServer {
     /// backend lists, firewall rules, …).
     pub fn store_mut(&mut self) -> &mut StateStore {
         &mut self.store
+    }
+
+    /// Export the server's runtime counters under `gallium.server.*`.
+    pub fn telemetry_snapshot(&self) -> gallium_telemetry::TelemetrySnapshot {
+        let mut snap = gallium_telemetry::TelemetrySnapshot::default();
+        snap.set_counter("gallium.server.slow_path_pkts", self.stats.rx);
+        snap.set_counter("gallium.server.committed_pkts", self.stats.committed);
+        snap.set_counter("gallium.server.cycles", self.stats.cycles);
+        snap.set_counter("gallium.server.replays", self.stats.replays);
+        snap.set_counter("gallium.server.sync_ops_issued", self.stats.sync_ops_issued);
+        snap
     }
 
     /// Initial control-plane programming: push the current contents of

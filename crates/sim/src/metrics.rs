@@ -1,5 +1,7 @@
 //! Measurement collection: throughput, flow completion times, path mix.
 
+use gallium_telemetry::{Histogram, TelemetrySnapshot};
+
 /// Figure 9's flow-size bins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FctBin {
@@ -123,6 +125,31 @@ impl Measurements {
     pub fn total_core_busy_ns(&self) -> u64 {
         self.core_busy_ns.iter().sum()
     }
+
+    /// Export the run as a telemetry snapshot under `<prefix>.*` (prefix
+    /// follows the `gallium.<crate>.<subsystem>` convention, e.g.
+    /// `gallium.sim.run`). Flow completion times are folded into a log2
+    /// histogram; throughput stays derivable from the window counters.
+    pub fn to_snapshot(&self, prefix: &str) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        snap.set_counter(&format!("{prefix}.window_bytes"), self.window_bytes);
+        snap.set_counter(
+            &format!("{prefix}.window_first_ns"),
+            self.window_first_ns.unwrap_or(0),
+        );
+        snap.set_counter(&format!("{prefix}.window_last_ns"), self.window_last_ns);
+        snap.set_counter(&format!("{prefix}.flows_completed"), self.fcts.len() as u64);
+        snap.set_counter(&format!("{prefix}.slow_path_pkts"), self.slow_path_pkts);
+        snap.set_counter(&format!("{prefix}.mb_pkts"), self.mb_pkts);
+        snap.set_counter(&format!("{prefix}.cores"), self.core_busy_ns.len() as u64);
+        snap.set_counter(&format!("{prefix}.core_busy_ns"), self.total_core_busy_ns());
+        let fct_hist = Histogram::new();
+        for (_, fct) in &self.fcts {
+            fct_hist.record(*fct);
+        }
+        snap.record_histogram(&format!("{prefix}.fct_ns"), &fct_hist);
+        snap
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +188,25 @@ mod tests {
         assert_eq!(bins[0].1, Some(200.0));
         assert_eq!(bins[1].1, None);
         assert_eq!(bins[2].1, Some(1_000_000.0));
+    }
+
+    #[test]
+    fn snapshot_exports_counters_and_fct_histogram() {
+        let mut m = Measurements {
+            mb_pkts: 10,
+            slow_path_pkts: 2,
+            ..Default::default()
+        };
+        m.record_delivery(100, 1500, 0, 1000);
+        m.record_fct(1_000, 100);
+        m.record_fct(2_000, 300);
+        let snap = m.to_snapshot("gallium.sim.run");
+        assert_eq!(snap.counter("gallium.sim.run.window_bytes"), Some(1500));
+        assert_eq!(snap.counter("gallium.sim.run.flows_completed"), Some(2));
+        assert_eq!(snap.counter("gallium.sim.run.slow_path_pkts"), Some(2));
+        let h = snap.histogram("gallium.sim.run.fct_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 400);
     }
 
     #[test]

@@ -138,11 +138,15 @@ impl ControlPlane for Switch {
                 let t = self
                     .table_mut(table)
                     .ok_or_else(|| ControlError::UnknownTable(table.clone()))?;
-                if !t.insert_main(key.clone(), value.clone()) {
-                    return Err(ControlError::TableFull {
+                let evicted = t.insert_main(key.clone(), value.clone()).map_err(|_| {
+                    ControlError::TableFull {
                         table: table.clone(),
-                    });
-                }
+                    }
+                })?;
+                // Cache-mode FIFO displacement: surface the evicted keys to
+                // whoever drives the control plane (drain_evictions).
+                self.evictions
+                    .extend(evicted.into_iter().map(|k| (table.clone(), k)));
             }
             ControlPlaneOp::TableDelete { table, key } => {
                 self.table_mut(table)
@@ -176,11 +180,17 @@ impl ControlPlane for Switch {
                 let t = self
                     .table_mut(table)
                     .ok_or_else(|| ControlError::UnknownTable(table.clone()))?;
-                t.lpm_insert(*prefix, *prefix_len, value.clone())
-                    .map_err(|source| ControlError::Lpm {
-                        table: table.clone(),
-                        source,
-                    })?;
+                let evicted =
+                    t.lpm_insert(*prefix, *prefix_len, value.clone())
+                        .map_err(|source| ControlError::Lpm {
+                            table: table.clone(),
+                            source,
+                        })?;
+                self.evictions.extend(
+                    evicted
+                        .into_iter()
+                        .map(|(p, l)| (table.clone(), vec![p, u64::from(l)])),
+                );
             }
         }
         Ok(control_op_latency_ns(op))

@@ -31,4 +31,4 @@ pub use loader::{load_check, LoadError};
 pub use switch::{
     Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
 };
-pub use table::{RtTable, TableError};
+pub use table::{RtTable, TableError, TableStats};

@@ -80,6 +80,10 @@ pub struct Switch {
     meta_bits: HashMap<String, u16>,
     /// Set during a traversal when a cached table misses.
     cache_missed: bool,
+    /// Keys displaced from cache-mode tables by control-plane inserts,
+    /// as `(table name, key)` pairs awaiting [`Switch::drain_evictions`].
+    /// LPM evictions are recorded as `[prefix, prefix_len]`.
+    pub(crate) evictions: Vec<(String, Vec<u64>)>,
     /// Data-plane counters.
     pub stats: SwitchStats,
 }
@@ -119,8 +123,17 @@ impl Switch {
             routes: HashMap::new(),
             meta_bits,
             cache_missed: false,
+            evictions: Vec::new(),
             stats: SwitchStats::default(),
         })
+    }
+
+    /// Take the keys evicted from cache-mode tables since the last drain,
+    /// as `(table name, key)` pairs in eviction order. The control plane
+    /// uses this to learn which entries fell out of a FIFO cache (§7);
+    /// LPM evictions are reported as `[prefix, prefix_len]`.
+    pub fn drain_evictions(&mut self) -> Vec<(String, Vec<u64>)> {
+        std::mem::take(&mut self.evictions)
     }
 
     /// The loaded program.
@@ -165,6 +178,40 @@ impl Switch {
     /// Whether staged write-back entries are currently visible.
     pub fn write_back_active(&self) -> bool {
         self.wb_active
+    }
+
+    /// Export the switch's runtime counters as a telemetry snapshot:
+    /// data-plane totals under `gallium.switchsim.switch.*`, per-table
+    /// hit/miss/eviction counters and occupancy under
+    /// `gallium.switchsim.table.<name>.*`, and register occupancy under
+    /// `gallium.switchsim.registers.*`.
+    pub fn telemetry_snapshot(&self) -> gallium_telemetry::TelemetrySnapshot {
+        let mut snap = gallium_telemetry::TelemetrySnapshot::default();
+        let s = &self.stats;
+        snap.set_counter("gallium.switchsim.switch.rx_network", s.rx_network);
+        snap.set_counter("gallium.switchsim.switch.rx_server", s.rx_server);
+        snap.set_counter("gallium.switchsim.switch.fast_path", s.fast_path);
+        snap.set_counter("gallium.switchsim.switch.to_server", s.to_server);
+        snap.set_counter("gallium.switchsim.switch.emitted", s.emitted);
+        snap.set_counter("gallium.switchsim.switch.dropped", s.dropped);
+        snap.set_counter("gallium.switchsim.switch.cache_misses", s.cache_misses);
+        for (decl, rt) in self.prog.tables.iter().zip(&self.tables) {
+            let p = format!("gallium.switchsim.table.{}", decl.name);
+            snap.set_counter(&format!("{p}.hits"), rt.stats.hits.get());
+            snap.set_counter(&format!("{p}.misses"), rt.stats.misses.get());
+            snap.set_counter(&format!("{p}.evictions"), rt.stats.evictions.get());
+            snap.set_counter(&format!("{p}.entries"), rt.len() as u64);
+            snap.set_counter(&format!("{p}.capacity"), decl.size as u64);
+        }
+        snap.set_counter(
+            "gallium.switchsim.registers.count",
+            self.registers.len() as u64,
+        );
+        snap.set_counter(
+            "gallium.switchsim.registers.nonzero",
+            self.registers.iter().filter(|&&v| v != 0).count() as u64,
+        );
+        snap
     }
 
     fn route(&self, pkt: &Packet) -> PortId {
@@ -484,7 +531,8 @@ mod tests {
         let key = u64::from((0x0A000001u32 ^ 0x0A000099) & 0xFFFF);
         sw.table_mut("map")
             .unwrap()
-            .insert_main(vec![key], vec![0xC0A80001]);
+            .insert_main(vec![key], vec![0xC0A80001])
+            .unwrap();
         sw.add_route(0xC0A80001, PortId(7));
         let out = sw.process(tcp_pkt(0x0A000001, 0x0A000099));
         assert_eq!(out.len(), 1);

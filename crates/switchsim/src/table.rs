@@ -1,6 +1,22 @@
 //! Runtime match-action tables with write-back shadows (§4.3.3).
 
+use gallium_telemetry::Counter;
 use std::collections::{HashMap, VecDeque};
+
+/// Per-table runtime counters.
+///
+/// Counters are relaxed atomics so the data-plane [`RtTable::lookup`]
+/// (which takes `&self`) can bump them without locks or allocation.
+/// Cloning a table snapshots the counter values.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Data-plane lookups that matched an entry.
+    pub hits: Counter,
+    /// Data-plane lookups that missed.
+    pub misses: Counter,
+    /// Entries displaced by cache-mode FIFO replacement (§7).
+    pub evictions: Counter,
+}
 
 /// Why a table rejected a control-plane mutation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +71,8 @@ pub struct RtTable {
     /// Longest-prefix-match mode (§7 extension): `(prefix, len, value)`
     /// entries and the key width. Exact lookups are bypassed.
     lpm: Option<(u8, Vec<LpmEntry>)>,
+    /// Hit/miss/eviction counters.
+    pub stats: TableStats,
 }
 
 /// One LPM entry: `(prefix, prefix_len, value)`.
@@ -70,6 +88,7 @@ impl RtTable {
             evict_fifo: false,
             order: VecDeque::new(),
             lpm: None,
+            stats: TableStats::default(),
         }
     }
 
@@ -83,10 +102,17 @@ impl RtTable {
     ///
     /// Replaces an existing entry with the same `(prefix, len)`. At
     /// capacity, cache-mode tables evict their oldest entry (FIFO, same
-    /// policy as [`RtTable::insert_main`]); ordinary tables reject the
+    /// policy as [`RtTable::insert_main`]) and report the displaced
+    /// `(prefix, len)` pairs back to the caller so the control plane can
+    /// track what fell out of the cache; ordinary tables reject the
     /// insert with a typed error. Prefixes longer than the key width are
     /// rejected outright — they could never match consistently.
-    pub fn lpm_insert(&mut self, prefix: u64, len: u8, value: Vec<u64>) -> Result<(), TableError> {
+    pub fn lpm_insert(
+        &mut self,
+        prefix: u64,
+        len: u8,
+        value: Vec<u64>,
+    ) -> Result<Vec<(u64, u8)>, TableError> {
         let capacity = self.capacity;
         let evict = self.evict_fifo;
         let Some((key_width, entries)) = &mut self.lpm else {
@@ -99,6 +125,7 @@ impl RtTable {
             });
         }
         entries.retain(|(p, l, _)| !(*p == prefix && *l == len));
+        let mut evicted = Vec::new();
         if entries.len() >= capacity {
             if !evict {
                 return Err(TableError::CapacityExceeded { capacity });
@@ -106,14 +133,16 @@ impl RtTable {
             // Cache mode: drop the oldest installed entries until one slot
             // frees up (entries are kept in installation order).
             while entries.len() >= capacity && !entries.is_empty() {
-                entries.remove(0);
+                let (p, l, _) = entries.remove(0);
+                evicted.push((p, l));
             }
             if entries.len() >= capacity {
                 return Err(TableError::CapacityExceeded { capacity }); // capacity 0
             }
         }
         entries.push((prefix, len, value));
-        Ok(())
+        self.stats.evictions.add(evicted.len() as u64);
+        Ok(evicted)
     }
 
     /// Turn the table into a FIFO-evicting cache of `capacity` entries
@@ -130,6 +159,16 @@ impl RtTable {
 
     /// Data-plane lookup. `wb_active` is the global visibility bit.
     pub fn lookup(&self, key: &[u64], wb_active: bool) -> Option<Vec<u64>> {
+        let result = self.lookup_inner(key, wb_active);
+        if result.is_some() {
+            self.stats.hits.inc();
+        } else {
+            self.stats.misses.inc();
+        }
+        result
+    }
+
+    fn lookup_inner(&self, key: &[u64], wb_active: bool) -> Option<Vec<u64>> {
         if let Some((key_width, entries)) = &self.lpm {
             let k = key.first().copied().unwrap_or(0);
             let mut best: Option<(u8, &Vec<u64>)> = None;
@@ -160,19 +199,32 @@ impl RtTable {
     }
 
     /// Control-plane insert/overwrite into the main table. When the table
-    /// is full: caches evict their oldest entry; ordinary tables reject
-    /// the insert (returns false).
-    pub fn insert_main(&mut self, key: Vec<u64>, value: Vec<u64>) -> bool {
+    /// is full: caches evict their oldest entry (FIFO) and return the
+    /// displaced keys so the control plane can track what fell out;
+    /// ordinary tables reject the insert with a typed error.
+    pub fn insert_main(
+        &mut self,
+        key: Vec<u64>,
+        value: Vec<u64>,
+    ) -> Result<Vec<Vec<u64>>, TableError> {
+        let mut evicted = Vec::new();
         if !self.main.contains_key(&key) && self.main.len() >= self.capacity {
             if !self.evict_fifo {
-                return false;
+                return Err(TableError::CapacityExceeded {
+                    capacity: self.capacity,
+                });
             }
             while self.main.len() >= self.capacity {
                 match self.order.pop_front() {
                     Some(old) => {
                         self.main.remove(&old);
+                        evicted.push(old);
                     }
-                    None => return false, // capacity 0
+                    None => {
+                        return Err(TableError::CapacityExceeded {
+                            capacity: self.capacity,
+                        }); // capacity 0
+                    }
                 }
             }
         }
@@ -180,7 +232,8 @@ impl RtTable {
             self.order.push_back(key.clone());
         }
         self.main.insert(key, value);
-        true
+        self.stats.evictions.add(evicted.len() as u64);
+        Ok(evicted)
     }
 
     /// Control-plane delete from the main table.
@@ -236,7 +289,7 @@ mod tests {
     #[test]
     fn lookup_ignores_shadow_when_bit_clear() {
         let mut t = RtTable::new(8);
-        t.insert_main(vec![1], vec![10]);
+        t.insert_main(vec![1], vec![10]).unwrap();
         t.stage(vec![1], Some(vec![99]));
         assert_eq!(t.lookup(&[1], false), Some(vec![10]));
         assert_eq!(t.lookup(&[1], true), Some(vec![99]));
@@ -245,7 +298,7 @@ mod tests {
     #[test]
     fn tombstone_negates_main() {
         let mut t = RtTable::new(8);
-        t.insert_main(vec![1], vec![10]);
+        t.insert_main(vec![1], vec![10]).unwrap();
         t.stage(vec![1], None);
         assert_eq!(t.lookup(&[1], true), None);
         assert_eq!(t.lookup(&[1], false), Some(vec![10]));
@@ -262,34 +315,58 @@ mod tests {
     #[test]
     fn capacity_enforced() {
         let mut t = RtTable::new(2);
-        assert!(t.insert_main(vec![1], vec![1]));
-        assert!(t.insert_main(vec![2], vec![2]));
-        assert!(!t.insert_main(vec![3], vec![3]));
+        assert_eq!(t.insert_main(vec![1], vec![1]), Ok(vec![]));
+        assert_eq!(t.insert_main(vec![2], vec![2]), Ok(vec![]));
+        assert_eq!(
+            t.insert_main(vec![3], vec![3]),
+            Err(TableError::CapacityExceeded { capacity: 2 })
+        );
         // Overwriting an existing key is allowed at capacity.
-        assert!(t.insert_main(vec![2], vec![22]));
+        assert_eq!(t.insert_main(vec![2], vec![22]), Ok(vec![]));
         assert_eq!(t.len(), 2);
+        assert_eq!(t.stats.evictions.get(), 0);
     }
 
     #[test]
     fn cache_evicts_fifo() {
         let mut t = RtTable::new(8);
         t.make_cache(2);
-        assert!(t.insert_main(vec![1], vec![1]));
-        assert!(t.insert_main(vec![2], vec![2]));
-        assert!(t.insert_main(vec![3], vec![3])); // evicts key 1
+        assert_eq!(t.insert_main(vec![1], vec![1]), Ok(vec![]));
+        assert_eq!(t.insert_main(vec![2], vec![2]), Ok(vec![]));
+        // Evicts key 1 — the displaced key comes back to the caller.
+        assert_eq!(t.insert_main(vec![3], vec![3]), Ok(vec![vec![1]]));
         assert_eq!(t.len(), 2);
+        assert_eq!(t.stats.evictions.get(), 1);
         assert_eq!(t.lookup(&[1], false), None);
         assert_eq!(t.lookup(&[2], false), Some(vec![2]));
         assert_eq!(t.lookup(&[3], false), Some(vec![3]));
         // Overwrite does not evict.
-        assert!(t.insert_main(vec![2], vec![22]));
+        assert_eq!(t.insert_main(vec![2], vec![22]), Ok(vec![]));
         assert_eq!(t.len(), 2);
         // Deleting keeps the order queue consistent.
         t.delete_main(&[2]);
-        assert!(t.insert_main(vec![4], vec![4]));
-        assert!(t.insert_main(vec![5], vec![5])); // evicts 3, not the gone 2
+        assert_eq!(t.insert_main(vec![4], vec![4]), Ok(vec![]));
+        // Evicts 3, not the already-deleted 2.
+        assert_eq!(t.insert_main(vec![5], vec![5]), Ok(vec![vec![3]]));
         assert_eq!(t.lookup(&[3], false), None);
         assert_eq!(t.lookup(&[4], false), Some(vec![4]));
+        assert_eq!(t.stats.evictions.get(), 2);
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]).unwrap();
+        assert!(t.lookup(&[1], false).is_some());
+        assert!(t.lookup(&[2], false).is_none());
+        assert!(t.lookup(&[1], false).is_some());
+        assert_eq!(t.stats.hits.get(), 2);
+        assert_eq!(t.stats.misses.get(), 1);
+        // Cloning snapshots the counters independently.
+        let snap = t.clone();
+        t.lookup(&[1], false);
+        assert_eq!(snap.stats.hits.get(), 2);
+        assert_eq!(t.stats.hits.get(), 3);
     }
 
     #[test]
@@ -317,14 +394,14 @@ mod tests {
     fn lpm_insert_rejects_at_capacity_without_cache_mode() {
         let mut t = RtTable::new(2);
         t.make_lpm(32);
-        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(()));
-        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(vec![]));
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(vec![]));
         assert_eq!(
             t.lpm_insert(0x0c00_0000, 8, vec![3]),
             Err(TableError::CapacityExceeded { capacity: 2 })
         );
         // Re-inserting an existing (prefix, len) overwrites in place.
-        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![22]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![22]), Ok(vec![]));
         assert_eq!(t.lookup(&[0x0b01_0203], false), Some(vec![22]));
     }
 
@@ -333,9 +410,14 @@ mod tests {
         let mut t = RtTable::new(8);
         t.make_cache(2);
         t.make_lpm(32);
-        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(()));
-        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(()));
-        assert_eq!(t.lpm_insert(0x0c00_0000, 8, vec![3]), Ok(())); // evicts 0x0a/8
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![1]), Ok(vec![]));
+        assert_eq!(t.lpm_insert(0x0b00_0000, 8, vec![2]), Ok(vec![]));
+        // Evicts 0x0a/8 and reports it.
+        assert_eq!(
+            t.lpm_insert(0x0c00_0000, 8, vec![3]),
+            Ok(vec![(0x0a00_0000, 8)])
+        );
+        assert_eq!(t.stats.evictions.get(), 1);
         assert_eq!(t.lookup(&[0x0a01_0203], false), None);
         assert_eq!(t.lookup(&[0x0b01_0203], false), Some(vec![2]));
         assert_eq!(t.lookup(&[0x0c01_0203], false), Some(vec![3]));
@@ -356,9 +438,9 @@ mod tests {
     fn lpm_longest_prefix_wins_and_full_width_is_exact() {
         let mut t = RtTable::new(8);
         t.make_lpm(32);
-        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![8]), Ok(()));
-        assert_eq!(t.lpm_insert(0x0a0b_0000, 16, vec![16]), Ok(()));
-        assert_eq!(t.lpm_insert(0x0a0b_0c0d, 32, vec![32]), Ok(()));
+        assert_eq!(t.lpm_insert(0x0a00_0000, 8, vec![8]), Ok(vec![]));
+        assert_eq!(t.lpm_insert(0x0a0b_0000, 16, vec![16]), Ok(vec![]));
+        assert_eq!(t.lpm_insert(0x0a0b_0c0d, 32, vec![32]), Ok(vec![]));
         assert_eq!(t.lookup(&[0x0a0b_0c0d], false), Some(vec![32]));
         assert_eq!(t.lookup(&[0x0a0b_ffff], false), Some(vec![16]));
         assert_eq!(t.lookup(&[0x0aff_ffff], false), Some(vec![8]));

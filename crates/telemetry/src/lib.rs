@@ -1,0 +1,44 @@
+//! # gallium-telemetry — observability primitives for the whole workspace
+//!
+//! Zero-dependency (std-only) metrics, consistent with the vendored
+//! offline build. Three primitives cover every layer of the system:
+//!
+//! * [`Counter`] — a relaxed atomic `u64`. One `fetch_add(Relaxed)` per
+//!   event: no locks, no allocation, safe on packet-processing paths.
+//! * [`Histogram`] — 65 log2 buckets (`0`, then one per bit position).
+//!   Recording a value is three relaxed atomic adds; bucketing is a
+//!   `leading_zeros` instruction.
+//! * [`SpanTimer`] — an RAII guard that records its lifetime (in ns) into
+//!   a histogram on drop. Used for compiler pass timing.
+//!
+//! Metrics can be owned per-instance (a switch table embeds its own
+//! counters) or registered process-wide in a [`Registry`] under dotted
+//! names following the `gallium.<crate>.<subsystem>.<metric>` convention.
+//! Either way they export into a [`TelemetrySnapshot`], which serializes
+//! to JSON through a small hand-rolled writer/parser (no serde).
+//!
+//! ```
+//! use gallium_telemetry::{global, Counter, Histogram, TelemetrySnapshot};
+//!
+//! let c = global().counter("gallium.example.events");
+//! c.inc();
+//! let h = global().histogram("gallium.example.latency_ns");
+//! {
+//!     let _t = h.time(); // records on drop
+//! }
+//! let snap = global().snapshot();
+//! assert!(snap.counter("gallium.example.events") >= Some(1));
+//! let round = TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+//! assert_eq!(round, snap);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod snapshot;
+
+pub use metrics::{Counter, Histogram, SpanTimer, NUM_BUCKETS};
+pub use registry::{global, Registry};
+pub use snapshot::{json_escape, HistogramSnapshot, JsonError, TelemetrySnapshot};

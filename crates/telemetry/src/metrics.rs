@@ -1,0 +1,243 @@
+//! The hot-path primitives: counters, log2 histograms, span timers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonically increasing event counter.
+///
+/// Every mutation is a single `fetch_add(Relaxed)` — no locks, no
+/// allocation — so counters are safe to bump from packet-processing
+/// paths and from `&self` contexts (data-plane lookups take `&self`).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Cloning a counter snapshots its current value into an independent
+/// counter (used by components that derive `Clone`, e.g. runtime tables).
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per bit position.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, so bucket 64 holds `[2^63, u64::MAX]`. Recording is
+/// three relaxed atomic adds (bucket, count, sum) — no locks, no
+/// allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value lands in.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (the value reported when
+    /// estimating percentiles).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating: a sum overflow must not wrap into nonsense.
+        let prev = self.sum.fetch_add(value, Ordering::Relaxed);
+        if prev.checked_add(value).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Start an RAII timer that records its elapsed nanoseconds into this
+    /// histogram when dropped.
+    pub fn time(&self) -> SpanTimer<'_> {
+        SpanTimer {
+            hist: self,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Cloning a histogram snapshots its current contents.
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let h = Histogram::new();
+        for i in 0..NUM_BUCKETS {
+            h.buckets[i].store(self.bucket(i), Ordering::Relaxed);
+        }
+        h.count.store(self.count(), Ordering::Relaxed);
+        h.sum.store(self.sum(), Ordering::Relaxed);
+        h
+    }
+}
+
+/// RAII span timer: records the span's duration (ns) into its histogram
+/// on drop. Obtain via [`Histogram::time`].
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos();
+        self.hist.record(u64::try_from(ns).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let c2 = c.clone();
+        c.inc();
+        assert_eq!(c2.get(), 42, "clone is an independent snapshot");
+        assert_eq!(c.get(), 43);
+    }
+
+    #[test]
+    fn bucket_of_zero() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+    }
+
+    #[test]
+    fn bucket_of_max() {
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // 1 is the sole inhabitant of bucket 1; powers of two open a new
+        // bucket; the value just below stays in the previous one.
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        for i in 1..64u32 {
+            let p = 1u64 << i;
+            assert_eq!(Histogram::bucket_of(p), i as usize + 1, "2^{i}");
+            assert_eq!(Histogram::bucket_of(p - 1), i as usize, "2^{i} - 1");
+        }
+        assert_eq!(Histogram::bucket_of(1u64 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_upper_bounds() {
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(10), 1023);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn record_edge_values() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(64), 1);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn timer_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _t = h.time();
+        }
+        assert_eq!(h.count(), 1);
+    }
+}

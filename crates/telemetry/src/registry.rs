@@ -1,0 +1,113 @@
+//! The metric registry: dotted names → leaked `&'static` metrics.
+//!
+//! Registration takes a mutex and may allocate — it happens once per
+//! metric, at setup time. The returned `&'static` handle is what hot
+//! paths hold; touching it is a relaxed atomic add with no registry
+//! involvement. Metrics live for the process lifetime (they are
+//! intentionally leaked), which is what makes the `&'static` handles
+//! possible without reference counting.
+
+use crate::metrics::{Counter, Histogram};
+use crate::snapshot::TelemetrySnapshot;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, &'static Counter>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+/// A named collection of metrics.
+///
+/// Use [`global`] for the process-wide registry (compiler passes,
+/// cross-cutting counters); components with per-instance state (switch
+/// tables, servers) own their metrics directly and export them through
+/// their own `telemetry_snapshot()` methods instead.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; the process normally uses
+    /// [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Names follow `gallium.<crate>.<subsystem>.<metric>`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(c) = inner.counters.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        inner.counters.insert(name.to_string(), c);
+        c
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(h) = inner.histograms.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        inner.histograms.insert(name.to_string(), h);
+        h
+    }
+
+    /// Export every registered metric into a snapshot.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        let mut snap = TelemetrySnapshot::default();
+        for (name, c) in &inner.counters {
+            snap.set_counter(name, c.get());
+        }
+        for (name, h) in &inner.histograms {
+            snap.record_histogram(name, h);
+        }
+        snap
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_counter() {
+        let r = Registry::new();
+        let a = r.counter("gallium.test.a");
+        let b = r.counter("gallium.test.a");
+        a.inc();
+        assert_eq!(b.get(), 1, "same registration");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn snapshot_contains_registered_metrics() {
+        let r = Registry::new();
+        r.counter("gallium.test.events").add(7);
+        r.histogram("gallium.test.lat_ns").record(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("gallium.test.events"), Some(7));
+        assert_eq!(s.histogram("gallium.test.lat_ns").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn global_is_stable() {
+        let c1 = global().counter("gallium.test.global_stable");
+        let c2 = global().counter("gallium.test.global_stable");
+        assert!(std::ptr::eq(c1, c2));
+    }
+}

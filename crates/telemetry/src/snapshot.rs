@@ -1,0 +1,524 @@
+//! Serializable metric snapshots and the hand-rolled JSON codec.
+//!
+//! The wire format is deliberately tiny — two string-keyed objects:
+//!
+//! ```json
+//! {
+//!   "counters": { "gallium.server.slow_path_pkts": 12 },
+//!   "histograms": {
+//!     "gallium.core.deployment.hold_for_commit_ns": {
+//!       "count": 3, "sum": 405600, "buckets": [[18, 3]]
+//!     }
+//!   }
+//! }
+//! ```
+//!
+//! `buckets` lists `[bucket_index, occupancy]` pairs for the non-empty
+//! log2 buckets only (see [`crate::Histogram`] for the bucket scheme).
+
+use crate::metrics::{Histogram, NUM_BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Frozen contents of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples (saturating).
+    pub sum: u64,
+    /// Non-empty `(bucket index, occupancy)` pairs, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Freeze a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        let mut buckets = Vec::new();
+        for i in 0..NUM_BUCKETS {
+            let n = h.bucket(i);
+            if n > 0 {
+                buckets.push((i as u8, n));
+            }
+        }
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            buckets,
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`): the
+    /// upper edge of the bucket containing that rank.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(*i as usize);
+            }
+        }
+        Histogram::bucket_upper_bound(64)
+    }
+
+    /// Fold another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        let mut merged: BTreeMap<u8, u64> = self.buckets.iter().copied().collect();
+        for (i, n) in &other.buckets {
+            *merged.entry(*i).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+/// A frozen, serializable view of a set of metrics — the single
+/// machine-readable artifact every example, sim run, and bench binary
+/// emits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Counter values by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram contents by dotted name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Set (or overwrite) a counter value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Freeze a live histogram under `name` (empty histograms are skipped
+    /// so snapshots only carry signal).
+    pub fn record_histogram(&mut self, name: &str, h: &Histogram) {
+        if h.count() > 0 {
+            self.histograms
+                .insert(name.to_string(), HistogramSnapshot::of(h));
+        }
+    }
+
+    /// Value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Fold `other` into `self`: counters add, histograms merge.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (k, v) in &other.counters {
+            let e = self.counters.entry(k.clone()).or_insert(0);
+            *e = e.saturating_add(*v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Are all `names` present (as counters or histograms)?
+    pub fn has_keys(&self, names: &[&str]) -> bool {
+        names
+            .iter()
+            .all(|n| self.counters.contains_key(*n) || self.histograms.contains_key(*n))
+    }
+
+    /// Names (counters then histograms) with the given dotted prefix.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<&str> {
+        self.counters
+            .keys()
+            .chain(self.histograms.keys())
+            .filter(|k| k.starts_with(prefix))
+            .map(String::as_str)
+            .collect()
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {v}", json_escape(k));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_escape(k),
+                h.count,
+                h.sum
+            );
+            for (j, (b, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{b}, {n}]");
+            }
+            out.push_str("]}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parse a snapshot back from [`TelemetrySnapshot::to_json`] output
+    /// (accepts arbitrary whitespace between tokens).
+    pub fn from_json(text: &str) -> Result<TelemetrySnapshot, JsonError> {
+        Parser {
+            text: text.as_bytes(),
+            pos: 0,
+        }
+        .snapshot()
+    }
+}
+
+/// Escape a string as a JSON string literal (quotes included). Exposed
+/// for the other hand-rolled JSON writers in the workspace (explain
+/// reports, bench output) so escaping lives in one place.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Why a snapshot failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What the parser expected.
+    pub expected: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid snapshot JSON at byte {}: expected {}",
+            self.at, self.expected
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Minimal recursive-descent parser for the snapshot subset of JSON.
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, expected: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            at: self.pos,
+            expected: expected.to_string(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.pos < self.text.len() && self.text[self.pos] == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("`{}`", c as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.text.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.text.get(self.pos) else {
+                return self.err("closing `\"`");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.text.get(self.pos) else {
+                        return self.err("escape character");
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .text
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("4 hex digits"),
+                            }
+                        }
+                        _ => return self.err("valid escape"),
+                    }
+                }
+                b => {
+                    // Re-sync to the char boundary for multi-byte UTF-8.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let Some(chunk) = self.text.get(start..start + len) else {
+                            return self.err("complete UTF-8 sequence");
+                        };
+                        let Ok(s) = std::str::from_utf8(chunk) else {
+                            return self.err("valid UTF-8");
+                        };
+                        out.push_str(s);
+                        self.pos = start + len;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("digit");
+        }
+        std::str::from_utf8(&self.text[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map_or_else(|| self.err("u64"), Ok)
+    }
+
+    fn histogram(&mut self) -> Result<HistogramSnapshot, JsonError> {
+        self.eat(b'{')?;
+        let mut h = HistogramSnapshot::default();
+        loop {
+            if self.peek() == Some(b'}') {
+                break;
+            }
+            let key = self.string()?;
+            self.eat(b':')?;
+            match key.as_str() {
+                "count" => h.count = self.number()?,
+                "sum" => h.sum = self.number()?,
+                "buckets" => {
+                    self.eat(b'[')?;
+                    while self.peek() != Some(b']') {
+                        self.eat(b'[')?;
+                        let b = self.number()?;
+                        self.eat(b',')?;
+                        let n = self.number()?;
+                        self.eat(b']')?;
+                        if b as usize >= NUM_BUCKETS {
+                            return self.err("bucket index < 65");
+                        }
+                        h.buckets.push((b as u8, n));
+                        if self.peek() == Some(b',') {
+                            self.eat(b',')?;
+                        }
+                    }
+                    self.eat(b']')?;
+                }
+                _ => return self.err("count/sum/buckets"),
+            }
+            if self.peek() == Some(b',') {
+                self.eat(b',')?;
+            }
+        }
+        self.eat(b'}')?;
+        Ok(h)
+    }
+
+    fn snapshot(&mut self) -> Result<TelemetrySnapshot, JsonError> {
+        self.eat(b'{')?;
+        let mut snap = TelemetrySnapshot::default();
+        loop {
+            if self.peek() == Some(b'}') {
+                break;
+            }
+            let section = self.string()?;
+            self.eat(b':')?;
+            self.eat(b'{')?;
+            loop {
+                if self.peek() == Some(b'}') {
+                    break;
+                }
+                let name = self.string()?;
+                self.eat(b':')?;
+                match section.as_str() {
+                    "counters" => {
+                        let v = self.number()?;
+                        snap.counters.insert(name, v);
+                    }
+                    "histograms" => {
+                        let h = self.histogram()?;
+                        snap.histograms.insert(name, h);
+                    }
+                    _ => return self.err("counters/histograms"),
+                }
+                if self.peek() == Some(b',') {
+                    self.eat(b',')?;
+                }
+            }
+            self.eat(b'}')?;
+            if self.peek() == Some(b',') {
+                self.eat(b',')?;
+            }
+        }
+        self.eat(b'}')?;
+        self.skip_ws();
+        if self.pos != self.text.len() {
+            return self.err("end of input");
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::default();
+        s.set_counter("gallium.test.a", 1);
+        s.set_counter("gallium.test.b", u64::MAX);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1000);
+        h.record(u64::MAX);
+        s.record_histogram("gallium.test.lat_ns", &h);
+        s
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let parsed = TelemetrySnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let s = TelemetrySnapshot::default();
+        let parsed = TelemetrySnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let mut s = TelemetrySnapshot::default();
+        s.set_counter("weird \"name\"\\with\nescapes", 3);
+        s.set_counter("unicode.名前", 4);
+        let parsed = TelemetrySnapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(TelemetrySnapshot::from_json("").is_err());
+        assert!(TelemetrySnapshot::from_json("{").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\": {\"a\": -1}}").is_err());
+        assert!(TelemetrySnapshot::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_buckets() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.counter("gallium.test.a"), Some(2));
+        assert_eq!(a.histogram("gallium.test.lat_ns").unwrap().count, 6);
+    }
+
+    #[test]
+    fn quantile_uses_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        h.record(1_000_000); // bucket 20
+        let s = HistogramSnapshot::of(&h);
+        assert_eq!(s.quantile(0.5), 127);
+        assert_eq!(s.quantile(1.0), (1u64 << 20) - 1);
+        assert!((s.mean() - (99.0 * 100.0 + 1_000_000.0) / 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn has_keys_spans_both_sections() {
+        let s = sample();
+        assert!(s.has_keys(&["gallium.test.a", "gallium.test.lat_ns"]));
+        assert!(!s.has_keys(&["gallium.test.missing"]));
+        assert_eq!(s.keys_with_prefix("gallium.test.").len(), 3);
+    }
+}

@@ -27,6 +27,9 @@ fn main() {
         compiled.p4.tables.len(),
         compiled.p4.registers.len(),
     );
+    println!();
+    println!("=== explain report ===");
+    println!("{}", compiled.explain.render_text());
 
     let mut d = Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated())
         .expect("loads");
@@ -100,4 +103,7 @@ fn main() {
         100.0 * d.fast_path_fraction(),
         d.stats.slow_path,
     );
+    println!();
+    println!("=== telemetry snapshot (json) ===");
+    print!("{}", d.telemetry_snapshot().to_json());
 }

@@ -18,18 +18,11 @@ fn main() {
     println!("=== input program (MIR) ===");
     println!("{}", gallium::mir::printer::print_program(&lb.prog));
 
-    // 2. Compile for a Tofino-class switch.
+    // 2. Compile for a Tofino-class switch. The explain report renders
+    //    each instruction's partition with the §4 reason it landed there.
     let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).expect("compiles");
-    println!("=== partitioning (Figure 4) ===");
-    for i in 0..lb.prog.func.len() {
-        let v = gallium::mir::ValueId(i as u32);
-        println!(
-            "  {:>14}  {}",
-            format!("{:?}", compiled.staged.partition_of(v)),
-            gallium::mir::printer::print_inst(&lb.prog, v)
-        );
-    }
-    println!();
+    println!("=== partitioning (Figure 4, explain report) ===");
+    println!("{}", compiled.explain.render_text());
     println!("=== transfer headers (Figure 5) ===");
     println!(
         "  switch -> server: {:?} ({} bytes on the wire)",
@@ -110,4 +103,11 @@ fn main() {
         d.stats.sync_visible_ns / 1000,
         d.replicated_consistent(),
     );
+
+    // 4. One machine-readable artifact for the whole run: compiler pass
+    //    timings, partition decisions, switch table hit/miss counters, and
+    //    server slow-path stats, merged into a single snapshot.
+    println!();
+    println!("=== telemetry snapshot (json) ===");
+    print!("{}", d.telemetry_snapshot().to_json());
 }

@@ -45,6 +45,7 @@ pub use gallium_partition as partition;
 pub use gallium_server as server;
 pub use gallium_sim as sim;
 pub use gallium_switchsim as switchsim;
+pub use gallium_telemetry as telemetry;
 pub use gallium_workloads as workloads;
 
 /// The names almost every user of the library needs.
@@ -55,4 +56,5 @@ pub mod prelude {
     pub use gallium_partition::{Partition, StagedProgram, StatePlacement, SwitchModel};
     pub use gallium_server::CostModel;
     pub use gallium_switchsim::{Switch, SwitchConfig};
+    pub use gallium_telemetry::TelemetrySnapshot;
 }

@@ -179,7 +179,9 @@ proptest! {
         for (prefix, len, wide) in ops {
             let value = if wide { vec![prefix, 1] } else { vec![prefix] };
             match t.lpm_insert(prefix, len, value) {
-                Ok(()) => {}
+                Ok(evicted) => {
+                    prop_assert!(evicted.is_empty() || cache, "only caches evict");
+                }
                 Err(TableError::PrefixTooLong { len: l, key_width }) => {
                     prop_assert!(l > key_width);
                 }
