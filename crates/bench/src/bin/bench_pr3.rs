@@ -1,0 +1,560 @@
+//! `BENCH_pr3.json` — the compiled-plan dataplane vs the AST interpreter.
+//!
+//! PR 3 lowers the loaded P4 program into a flat execution plan at load
+//! time ([`gallium_switchsim::ExecPlan`]) and makes it the default packet
+//! path. This bin is the proof obligation that comes with that change:
+//!
+//! 1. **Differential suite** — every packaged middlebox (MazuNAT, LB,
+//!    firewall, proxy, trojan detector, MiniLB) is deployed twice — once
+//!    on the compiled plan, once on the reference AST interpreter — and
+//!    driven with an identical pseudo-random packet stream. Emissions
+//!    (egress port + exact bytes), deployment/switch/server counters, and
+//!    the final authoritative state stores must all be identical. A
+//!    cache-mode deployment (4-entry FIFO cache under eviction thrash)
+//!    runs the same check over the §7 replay path.
+//! 2. **Fast path** — ns/pkt of a warm MazuNAT flow through
+//!    `Deployment::inject` on both engines, reported against the PR 2
+//!    baseline of 2064 ns/pkt (BENCH_pr2.json, pre-plan interpreter).
+//! 3. **Batch API** — ns/pkt of `Switch::process_batch` and
+//!    `ReferenceServer::process_batch` against their one-packet-at-a-time
+//!    equivalents.
+//!
+//! The process-global telemetry snapshot (which includes the
+//! `gallium.switchsim.plan.*` build-time histograms recorded by every
+//! `Switch::load`) is embedded under `"telemetry"`.
+//!
+//! Usage: `bench_pr3 [--quick] [OUT_PATH]`. `--quick` shrinks stream
+//! lengths and timing iterations for CI smoke runs; the differential
+//! checks still run in full for every middlebox. Exits non-zero if any
+//! differential check fails.
+
+use gallium_core::{compile, Deployment};
+use gallium_middleboxes::{firewall, lb, mazunat, minilb, proxy, trojan};
+use gallium_middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium_mir::{Program, StateStore};
+use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
+use gallium_partition::SwitchModel;
+use gallium_server::{CostModel, ReferenceServer};
+use gallium_switchsim::SwitchConfig;
+use gallium_telemetry::json_escape;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The PR 2 fast-path baseline this PR is measured against (ns/pkt for a
+/// warm MazuNAT-style flow through the pre-plan interpreter, from
+/// BENCH_pr2.json / the `switch_fast_path_packet` criterion bench).
+const PR2_BASELINE_NS_PER_PKT: f64 = 2064.0;
+
+/// Deterministic splitmix-style generator so both engines (and every CI
+/// run) see byte-identical traffic.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A pseudo-random mixed stream that exercises every packaged middlebox:
+/// repeated flows (fast-path hits), fresh flows (slow path / inserts),
+/// FIN teardowns (LB GC), the trojan stage ports (SSH/FTP/IRC), the proxy
+/// intercept port, both switch-facing networks, and periodic probes of the
+/// NAT's external mapping range.
+fn traffic(n: usize) -> Vec<Packet> {
+    let mut r = Rng(7);
+    let dports = [22u16, 21, 80, 80, 443, 6667, 3128];
+    (0..n)
+        .map(|i| {
+            let x = r.next();
+            if i % 7 == 3 {
+                // Probe the NAT external range (hits established mappings
+                // once the NAT has allocated ports; a miss otherwise).
+                return PacketBuilder::tcp(
+                    FiveTuple {
+                        saddr: 0x0808_0404,
+                        daddr: mazunat::NAT_EXTERNAL_IP,
+                        sport: 443,
+                        dport: mazunat::NAT_PORT_BASE + (x % 64) as u16,
+                        proto: IpProtocol::Tcp,
+                    },
+                    TcpFlags(TcpFlags::ACK),
+                    200,
+                )
+                .build(PortId(EXTERNAL_PORT));
+            }
+            let flags = match x % 5 {
+                0 => TcpFlags::SYN,
+                4 => TcpFlags::FIN | TcpFlags::ACK,
+                _ => TcpFlags::ACK,
+            };
+            let ingress = if x & 0x10 == 0 {
+                INTERNAL_PORT
+            } else {
+                EXTERNAL_PORT
+            };
+            PacketBuilder::tcp(
+                FiveTuple {
+                    saddr: 0x0A00_0000 + (x % 23) as u32,
+                    daddr: 0x0B00_0000 + ((x >> 8) % 11) as u32,
+                    sport: 1024 + ((x >> 16) % 13) as u16,
+                    dport: dports[(x >> 24) as usize % dports.len()],
+                    proto: IpProtocol::Tcp,
+                },
+                TcpFlags(flags),
+                64 + (x % 400) as usize,
+            )
+            .build(PortId(ingress))
+        })
+        .collect()
+}
+
+/// Outcome of one plan-vs-interpreter differential run.
+struct DiffResult {
+    name: String,
+    packets: usize,
+    emissions: usize,
+    ok: bool,
+    detail: String,
+}
+
+/// Drive `pkts` through two deployments and compare everything observable.
+fn compare_deployments(
+    name: &str,
+    mut plan: Deployment,
+    mut interp: Deployment,
+    configure: &dyn Fn(&mut StateStore),
+    pkts: &[Packet],
+) -> DiffResult {
+    let mut res = DiffResult {
+        name: name.to_string(),
+        packets: pkts.len(),
+        emissions: 0,
+        ok: true,
+        detail: String::new(),
+    };
+    let fail = |res: &mut DiffResult, msg: String| {
+        if res.ok {
+            res.ok = false;
+            res.detail = msg;
+        }
+    };
+    plan.configure(|s| configure(s)).expect("configure plan");
+    interp
+        .configure(|s| configure(s))
+        .expect("configure interp");
+    assert!(plan.switch.uses_plan() && !interp.switch.uses_plan());
+
+    for (i, p) in pkts.iter().enumerate() {
+        let a = plan.inject(p.clone());
+        let b = interp.inject(p.clone());
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                if a.len() != b.len() {
+                    fail(
+                        &mut res,
+                        format!("pkt {i}: {} vs {} emissions", a.len(), b.len()),
+                    );
+                    break;
+                }
+                for (j, ((pa, fa), (pb, fb))) in a.iter().zip(&b).enumerate() {
+                    if pa != pb {
+                        fail(
+                            &mut res,
+                            format!("pkt {i} emission {j}: port {pa:?} vs {pb:?}"),
+                        );
+                    }
+                    if fa.bytes() != fb.bytes() {
+                        fail(&mut res, format!("pkt {i} emission {j}: bytes diverge"));
+                    }
+                }
+                res.emissions += a.len();
+            }
+            (Err(ea), Err(eb)) => {
+                if format!("{ea}") != format!("{eb}") {
+                    fail(&mut res, format!("pkt {i}: errors diverge: {ea} vs {eb}"));
+                }
+            }
+            (a, b) => {
+                fail(
+                    &mut res,
+                    format!(
+                        "pkt {i}: one engine errored: {:?} vs {:?}",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                );
+                break;
+            }
+        }
+        if !res.ok {
+            break;
+        }
+    }
+    if res.ok {
+        if plan.stats != interp.stats {
+            fail(
+                &mut res,
+                format!(
+                    "deployment stats diverge: {:?} vs {:?}",
+                    plan.stats, interp.stats
+                ),
+            );
+        }
+        if plan.switch.stats != interp.switch.stats {
+            fail(
+                &mut res,
+                format!(
+                    "switch stats diverge: {:?} vs {:?}",
+                    plan.switch.stats, interp.switch.stats
+                ),
+            );
+        }
+        if plan.server.stats != interp.server.stats {
+            fail(&mut res, "server stats diverge".to_string());
+        }
+        if plan.server.store != interp.server.store {
+            fail(&mut res, "authoritative state stores diverge".to_string());
+        }
+        if plan.switch.drain_evictions() != interp.switch.drain_evictions() {
+            fail(&mut res, "cache evictions diverge".to_string());
+        }
+        if !plan.replicated_consistent() || !interp.replicated_consistent() {
+            fail(&mut res, "replicated state inconsistent".to_string());
+        }
+    }
+    res
+}
+
+/// Plan-vs-interpreter differential for one middlebox program.
+fn differential(
+    name: &str,
+    prog: &Program,
+    configure: &dyn Fn(&mut StateStore),
+    pkts: &[Packet],
+) -> DiffResult {
+    let compiled = compile(prog, &SwitchModel::tofino_like()).expect("compiles");
+    let plan =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    let interp =
+        Deployment::new_interpreter(&compiled, SwitchConfig::default(), CostModel::calibrated())
+            .unwrap();
+    compare_deployments(name, plan, interp, configure, pkts)
+}
+
+/// Cache-mode differential: 4-entry FIFO cache on the LB connection table,
+/// small enough that the stream thrashes it (evictions + §7 replays).
+fn differential_cached(pkts: &[Packet]) -> DiffResult {
+    let lb = lb::load_balancer();
+    let compiled = compile(&lb.prog, &SwitchModel::tofino_like()).expect("compiles");
+    let caches = [(lb.conn, 4usize)];
+    let plan = Deployment::new_cached(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &caches,
+    )
+    .unwrap();
+    let interp = Deployment::new_cached_interpreter(
+        &compiled,
+        SwitchConfig::default(),
+        CostModel::calibrated(),
+        &caches,
+    )
+    .unwrap();
+    let backends = lb.backends;
+    let configure = move |s: &mut StateStore| {
+        s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003])
+            .unwrap();
+    };
+    let mut res = compare_deployments("LB cached(4)", plan, interp, &configure, pkts);
+    if res.ok && res.emissions == 0 {
+        res.ok = false;
+        res.detail = "cache differential saw no emissions".to_string();
+    }
+    res
+}
+
+/// A MazuNAT deployment with one warm outbound flow; returns the
+/// deployment plus an ACK packet of that flow (a pure fast-path probe).
+fn warm_nat(use_plan: bool) -> (Deployment, Packet) {
+    let nat = mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d = if use_plan {
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap()
+    } else {
+        Deployment::new_interpreter(&compiled, SwitchConfig::default(), CostModel::calibrated())
+            .unwrap()
+    };
+    let t = FiveTuple {
+        saddr: 0x0A00_0009,
+        daddr: 0x0808_0404,
+        sport: 50_123,
+        dport: 443,
+        proto: IpProtocol::Tcp,
+    };
+    let syn = PacketBuilder::tcp(t, TcpFlags(TcpFlags::SYN), 200).build(PortId(INTERNAL_PORT));
+    d.inject(syn).unwrap();
+    let probe = PacketBuilder::tcp(t, TcpFlags(TcpFlags::ACK), 200).build(PortId(INTERNAL_PORT));
+    // Prove the probe is fast-path before timing it.
+    let before = d.stats.slow_path;
+    d.inject(probe.clone()).unwrap();
+    assert_eq!(d.stats.slow_path, before, "probe must stay on the switch");
+    (d, probe)
+}
+
+/// Median ns/pkt over `trials` timed loops of `iters` injections.
+fn time_fast_path(d: &mut Deployment, probe: &Packet, iters: u64, trials: usize) -> f64 {
+    let mut runs: Vec<u64> = (0..trials)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(d.inject(black_box(probe.clone())).unwrap());
+            }
+            t0.elapsed().as_nanos() as u64 / iters
+        })
+        .collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2] as f64
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        if a == "--quick" {
+            quick = true;
+        } else {
+            out_path = Some(a);
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let stream_len = if quick { 600 } else { 2_000 };
+    let iters: u64 = if quick { 5_000 } else { 50_000 };
+    let trials = if quick { 3 } else { 5 };
+
+    // ---- 1. Differential suite ------------------------------------------
+    let pkts = traffic(stream_len);
+    let mut results: Vec<DiffResult> = Vec::new();
+
+    let nat = mazunat::mazunat();
+    results.push(differential("MazuNAT", &nat.prog, &|_| {}, &pkts));
+
+    let l = lb::load_balancer();
+    let lb_backends = l.backends;
+    results.push(differential(
+        "Load Balancer",
+        &l.prog,
+        &move |s: &mut StateStore| {
+            s.vec_set_all(lb_backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003])
+                .unwrap();
+        },
+        &pkts,
+    ));
+
+    let fw = firewall::firewall();
+    let fw_cfg = fw.clone();
+    results.push(differential(
+        "Firewall",
+        &fw.prog,
+        &move |s: &mut StateStore| {
+            // Whitelist a slice of the generator's flow space so the
+            // stream mixes hits with drops.
+            for saddr in 0..8u32 {
+                for daddr in 0..11u32 {
+                    for sport in 0..13u16 {
+                        fw_cfg.allow(
+                            s,
+                            &FiveTuple {
+                                saddr: 0x0A00_0000 + saddr,
+                                daddr: 0x0B00_0000 + daddr,
+                                sport: 1024 + sport,
+                                dport: 80,
+                                proto: IpProtocol::Tcp,
+                            },
+                        );
+                    }
+                }
+            }
+        },
+        &pkts,
+    ));
+
+    let px = proxy::proxy(0x0A09_0909, 3128);
+    let px_cfg = px.clone();
+    results.push(differential(
+        "Proxy",
+        &px.prog,
+        &move |s: &mut StateStore| px_cfg.intercept(s, 80),
+        &pkts,
+    ));
+
+    let tr = trojan::trojan_detector();
+    results.push(differential("Trojan Detector", &tr.prog, &|_| {}, &pkts));
+
+    let ml = minilb::minilb();
+    let ml_backends = ml.backends;
+    results.push(differential(
+        "MiniLB",
+        &ml.prog,
+        &move |s: &mut StateStore| {
+            s.vec_set_all(ml_backends, vec![0xC0A8_0001, 0xC0A8_0002])
+                .unwrap();
+        },
+        &pkts,
+    ));
+
+    results.push(differential_cached(&pkts));
+
+    let all_ok = results.iter().all(|r| r.ok);
+    for r in &results {
+        if r.ok {
+            println!(
+                "differential {}: OK ({} pkts, {} emissions)",
+                r.name, r.packets, r.emissions
+            );
+        } else {
+            eprintln!("differential {}: FAILED — {}", r.name, r.detail);
+        }
+    }
+
+    // ---- 2. MazuNAT fast path: plan vs interpreter ----------------------
+    let (mut d_plan, probe) = warm_nat(true);
+    let (mut d_interp, probe_i) = warm_nat(false);
+    let plan_ns = time_fast_path(&mut d_plan, &probe, iters, trials);
+    let interp_ns = time_fast_path(&mut d_interp, &probe_i, iters, trials);
+    let speedup = interp_ns / plan_ns;
+    let speedup_vs_pr2 = PR2_BASELINE_NS_PER_PKT / plan_ns;
+    println!(
+        "fast path mazunat: plan {plan_ns:.0} ns/pkt, interpreter {interp_ns:.0} ns/pkt \
+         ({speedup:.2}x), vs PR2 baseline {PR2_BASELINE_NS_PER_PKT:.0} ns/pkt \
+         ({speedup_vs_pr2:.2}x)"
+    );
+
+    // ---- 3. Batch APIs ---------------------------------------------------
+    const BURST: usize = 64;
+    let burst: Vec<Packet> = (0..BURST).map(|_| probe.clone()).collect();
+    let mut out = Vec::with_capacity(BURST);
+    let batch_iters = (iters as usize / BURST).max(8);
+    let switch_single_ns = {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            for p in &burst {
+                black_box(d_plan.switch.process(black_box(p.clone())));
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (batch_iters * BURST) as f64
+    };
+    let switch_batch_ns = {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            out.clear();
+            d_plan.switch.process_batch(burst.iter().cloned(), &mut out);
+            black_box(out.len());
+        }
+        t0.elapsed().as_nanos() as f64 / (batch_iters * BURST) as f64
+    };
+
+    let mk_ref = || {
+        let ml = minilb::minilb();
+        let mut r = ReferenceServer::new(ml.prog.clone(), CostModel::calibrated());
+        r.store.vec_set_all(ml.backends, vec![1, 2, 3, 4]).unwrap();
+        r
+    };
+    let ref_probe = PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 7,
+            daddr: 0x0A00_00FE,
+            sport: 1234,
+            dport: 80,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(TcpFlags::ACK),
+        200,
+    )
+    .build(PortId(1));
+    let ref_burst: Vec<Packet> = (0..BURST).map(|_| ref_probe.clone()).collect();
+    let mut r1 = mk_ref();
+    let ref_single_ns = {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            for p in &ref_burst {
+                black_box(r1.process(black_box(p.clone()), 0).unwrap());
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / (batch_iters * BURST) as f64
+    };
+    let mut r2 = mk_ref();
+    let ref_batch_ns = {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            black_box(r2.process_batch(ref_burst.iter().cloned(), 0).unwrap());
+        }
+        t0.elapsed().as_nanos() as f64 / (batch_iters * BURST) as f64
+    };
+    println!(
+        "batch: switch {switch_single_ns:.0} -> {switch_batch_ns:.0} ns/pkt, \
+         reference {ref_single_ns:.0} -> {ref_batch_ns:.0} ns/pkt"
+    );
+
+    // ---- JSON -------------------------------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{\n  \"bench\": \"pr3\",\n  \"quick\": {quick},");
+    json.push_str("  \"differential\": {");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {}: {{\"packets\": {}, \"emissions\": {}, \"ok\": {}{}}}",
+            json_escape(&r.name),
+            r.packets,
+            r.emissions,
+            r.ok,
+            if r.ok {
+                String::new()
+            } else {
+                format!(", \"detail\": {}", json_escape(&r.detail))
+            }
+        );
+    }
+    let _ = writeln!(json, "\n  }},\n  \"differential_ok\": {all_ok},");
+    let _ = writeln!(
+        json,
+        "  \"fast_path\": {{\"middlebox\": \"mazunat\", \"iters\": {iters}, \
+         \"plan_ns_per_pkt\": {plan_ns:.1}, \"interp_ns_per_pkt\": {interp_ns:.1}, \
+         \"speedup\": {speedup:.3}, \"pr2_baseline_ns_per_pkt\": {PR2_BASELINE_NS_PER_PKT:.0}, \
+         \"speedup_vs_pr2\": {speedup_vs_pr2:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch\": {{\"burst\": {BURST}, \
+         \"switch_single_ns_per_pkt\": {switch_single_ns:.1}, \
+         \"switch_batch_ns_per_pkt\": {switch_batch_ns:.1}, \
+         \"reference_single_ns_per_pkt\": {ref_single_ns:.1}, \
+         \"reference_batch_ns_per_pkt\": {ref_batch_ns:.1}}},"
+    );
+    json.push_str("  \"telemetry\": ");
+    let snap = gallium_telemetry::global().snapshot();
+    for line in snap.to_json().lines() {
+        json.push_str(line);
+        json.push('\n');
+        json.push_str("  ");
+    }
+    while json.ends_with(' ') {
+        json.pop();
+    }
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_pr3.json");
+    println!("wrote {out_path}");
+    if !all_ok {
+        eprintln!("differential suite FAILED");
+        std::process::exit(1);
+    }
+}

@@ -144,14 +144,39 @@ pub struct Deployment {
 }
 
 impl Deployment {
-    /// Stand up a deployment: load the P4 program and start the server.
+    /// Stand up a deployment: load the P4 program (compiled-plan data
+    /// plane, the default) and start the server.
     pub fn new(
         compiled: &CompiledMiddlebox,
         cfg: SwitchConfig,
         cost: CostModel,
     ) -> Result<Self, LoadError> {
+        Self::new_inner(compiled, cfg, cost, true)
+    }
+
+    /// Stand up a deployment on the switch's AST-interpreter path — the
+    /// reference semantics the compiled plan is differentially tested
+    /// against. Production callers should use [`Deployment::new`].
+    pub fn new_interpreter(
+        compiled: &CompiledMiddlebox,
+        cfg: SwitchConfig,
+        cost: CostModel,
+    ) -> Result<Self, LoadError> {
+        Self::new_inner(compiled, cfg, cost, false)
+    }
+
+    fn new_inner(
+        compiled: &CompiledMiddlebox,
+        cfg: SwitchConfig,
+        cost: CostModel,
+        use_plan: bool,
+    ) -> Result<Self, LoadError> {
         let server_port = cfg.server_port;
-        let switch = Switch::load(compiled.p4.clone(), cfg)?;
+        let switch = if use_plan {
+            Switch::load(compiled.p4.clone(), cfg)?
+        } else {
+            Switch::load_interpreter(compiled.p4.clone(), cfg)?
+        };
         let server = MiddleboxServer::new(compiled.staged.clone(), cost);
         Ok(Deployment {
             switch,
@@ -176,9 +201,30 @@ impl Deployment {
     /// server. Violations are reported as a typed [`DeployError`].
     pub fn new_cached(
         compiled: &CompiledMiddlebox,
+        cfg: SwitchConfig,
+        cost: CostModel,
+        caches: &[(gallium_mir::StateId, usize)],
+    ) -> Result<Self, DeployError> {
+        Self::new_cached_inner(compiled, cfg, cost, caches, true)
+    }
+
+    /// Cache-mode deployment on the switch's AST-interpreter path (see
+    /// [`Deployment::new_interpreter`]); used by the differential tests.
+    pub fn new_cached_interpreter(
+        compiled: &CompiledMiddlebox,
+        cfg: SwitchConfig,
+        cost: CostModel,
+        caches: &[(gallium_mir::StateId, usize)],
+    ) -> Result<Self, DeployError> {
+        Self::new_cached_inner(compiled, cfg, cost, caches, false)
+    }
+
+    fn new_cached_inner(
+        compiled: &CompiledMiddlebox,
         mut cfg: SwitchConfig,
         cost: CostModel,
         caches: &[(gallium_mir::StateId, usize)],
+        use_plan: bool,
     ) -> Result<Self, DeployError> {
         let staged = &compiled.staged;
         // Replay feasibility: switch-only *mutable* state breaks replay.
@@ -204,7 +250,11 @@ impl Deployment {
                 .push((p4.tables[idx].name.clone(), *entries));
         }
         let server_port = cfg.server_port;
-        let switch = Switch::load(p4, cfg)?;
+        let switch = if use_plan {
+            Switch::load(p4, cfg)?
+        } else {
+            Switch::load_interpreter(p4, cfg)?
+        };
         let mut server = MiddleboxServer::new(staged.clone(), cost);
         server.set_cached_states(caches.iter().map(|(s, _)| *s).collect());
         Ok(Deployment {
@@ -284,6 +334,19 @@ impl Deployment {
             }
         }
         Ok(emissions)
+    }
+
+    /// Inject a burst of packets, concatenating every emission in arrival
+    /// order (see [`Deployment::inject`]).
+    pub fn inject_batch(
+        &mut self,
+        pkts: impl IntoIterator<Item = Packet>,
+    ) -> Result<Vec<(PortId, Packet)>, DeployError> {
+        let mut out = Vec::new();
+        for pkt in pkts {
+            out.extend(self.inject(pkt)?);
+        }
+        Ok(out)
     }
 
     /// Apply a sync batch; returns `(visible_ns, total_ns)` where

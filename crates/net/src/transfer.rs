@@ -172,6 +172,20 @@ impl TransferHeaderLayout {
     /// Splice this header into `packet` right after the Ethernet header,
     /// rewriting the EtherType to [`GALLIUM_ETHERTYPE`].
     pub fn attach(&self, packet: &mut Packet, flags: u8, values: &TransferValues) -> Result<()> {
+        self.attach_with(packet, flags, |_, f| values.get(&f.name).unwrap_or(0))
+    }
+
+    /// Allocation-free variant of [`TransferHeaderLayout::attach`]: field
+    /// values are pulled through `get(field_index, field)` instead of a
+    /// [`TransferValues`] map, and the header is packed directly into the
+    /// spliced gap. The compiled data-plane plan uses this with
+    /// pre-resolved metadata slot indices.
+    pub fn attach_with(
+        &self,
+        packet: &mut Packet,
+        flags: u8,
+        mut get: impl FnMut(usize, &TransferField) -> u64,
+    ) -> Result<()> {
         let eth = EthernetView::new(packet.bytes())?;
         let orig: u16 = eth.ethertype().into();
         if orig == GALLIUM_ETHERTYPE {
@@ -180,10 +194,23 @@ impl TransferHeaderLayout {
                 expected: "non-Gallium frame",
             });
         }
-        let hdr = self.encode(orig, flags, values);
-        packet.insert_gap(ETHERNET_HEADER_LEN, hdr.len());
-        packet.bytes_mut()[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + hdr.len()]
-            .copy_from_slice(&hdr);
+        let n = self.wire_bytes();
+        packet.insert_gap(ETHERNET_HEADER_LEN, n);
+        let hdr = &mut packet.bytes_mut()[ETHERNET_HEADER_LEN..ETHERNET_HEADER_LEN + n];
+        hdr[0..2].copy_from_slice(&orig.to_be_bytes());
+        hdr[2] = flags;
+        let area = &mut hdr[3..];
+        let mut bit_off = 0usize;
+        for (i, f) in self.fields.iter().enumerate() {
+            let v = get(i, f);
+            let masked = if f.bits == 64 {
+                v
+            } else {
+                v & ((1u64 << f.bits) - 1)
+            };
+            write_bits(area, bit_off, f.bits, masked);
+            bit_off += usize::from(f.bits);
+        }
         let mut eth = EthernetView::new(packet.bytes_mut())?;
         eth.set_ethertype(EtherType::Gallium);
         Ok(())
@@ -193,17 +220,47 @@ impl TransferHeaderLayout {
     ///
     /// Returns `(flags, values)`.
     pub fn detach(&self, packet: &mut Packet) -> Result<(u8, TransferValues)> {
+        let mut values = TransferValues::default();
+        let flags = self.detach_with(packet, |_, f, v| values.set(&f.name, v))?;
+        Ok((flags, values))
+    }
+
+    /// Allocation-free variant of [`TransferHeaderLayout::detach`]: each
+    /// decoded field is handed to `sink(field_index, field, value)` instead
+    /// of being collected into a [`TransferValues`] map. Returns the flags
+    /// byte. The compiled data-plane plan uses this to scatter header
+    /// fields straight into its metadata scratch buffer.
+    pub fn detach_with(
+        &self,
+        packet: &mut Packet,
+        mut sink: impl FnMut(usize, &TransferField, u64),
+    ) -> Result<u8> {
         let eth = EthernetView::new(packet.bytes())?;
         if eth.ethertype() != EtherType::Gallium {
             return Err(NetError::WrongProtocol {
                 expected: "Gallium transfer header",
             });
         }
-        let (orig, flags, values) = self.decode(eth.payload())?;
-        packet.remove_range(ETHERNET_HEADER_LEN, self.wire_bytes());
+        let data = eth.payload();
+        let needed = self.wire_bytes();
+        if data.len() < needed {
+            return Err(NetError::Truncated {
+                needed,
+                available: data.len(),
+            });
+        }
+        let orig = u16::from_be_bytes([data[0], data[1]]);
+        let flags = data[2];
+        let area = &data[3..needed];
+        let mut bit_off = 0usize;
+        for (i, f) in self.fields.iter().enumerate() {
+            sink(i, f, read_bits(area, bit_off, f.bits));
+            bit_off += usize::from(f.bits);
+        }
+        packet.remove_range(ETHERNET_HEADER_LEN, needed);
         let mut eth = EthernetView::new(packet.bytes_mut())?;
         eth.set_ethertype(EtherType::from(orig));
-        Ok((flags, values))
+        Ok(flags)
     }
 }
 
@@ -394,6 +451,30 @@ mod tests {
         let l = minilb_layout();
         let mut p = sample_packet();
         assert!(l.detach(&mut p).is_err());
+    }
+
+    #[test]
+    fn with_variants_match_map_variants() {
+        let l = minilb_layout();
+        let mut vals = TransferValues::default();
+        vals.set("br_miss", 1);
+        vals.set("hash32", 0xDEADBEEF);
+
+        let mut via_map = sample_packet();
+        l.attach(&mut via_map, FLAG_TO_SERVER, &vals).unwrap();
+        let mut via_slots = sample_packet();
+        let slot_values = [1u64, 0xDEADBEEF];
+        l.attach_with(&mut via_slots, FLAG_TO_SERVER, |i, _| slot_values[i])
+            .unwrap();
+        assert_eq!(via_map.bytes(), via_slots.bytes());
+
+        let mut decoded = [0u64; 2];
+        let flags = l
+            .detach_with(&mut via_slots, |i, _, v| decoded[i] = v)
+            .unwrap();
+        assert_eq!(flags, FLAG_TO_SERVER);
+        assert_eq!(decoded, slot_values);
+        assert_eq!(via_slots.bytes(), sample_packet().bytes());
     }
 
     #[test]

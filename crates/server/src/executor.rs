@@ -13,7 +13,7 @@
 //!   so the runtime can push them to the switch through the write-back
 //!   protocol.
 
-use gallium_mir::cfg::Cfg;
+use crate::plan::ServerPlan;
 use gallium_mir::interp::{
     hash_values, read_header_field, refresh_ip_checksum, transport_payload, write_header_field,
 };
@@ -21,7 +21,7 @@ use gallium_mir::types::mask_to_width;
 use gallium_mir::{MirError, Op, RtVal, StateId, StateStore, Terminator, ValueId};
 use gallium_net::{Packet, TransferValues};
 use gallium_partition::transfer::{load_rtval, store_rtval};
-use gallium_partition::{Partition, StagedProgram, StatePlacement};
+use gallium_partition::{StagedProgram, StatePlacement};
 
 /// Errors raised while the server processes one offloaded packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,8 +124,28 @@ pub struct ServerExec {
 
 /// Run the non-offloaded partition. `pkt` must already be decapsulated;
 /// `in_values` holds the switch→server header contents.
+///
+/// Builds a transient [`ServerPlan`] per call; packet-rate callers should
+/// build the plan once and use
+/// [`execute_server_partition_planned`] instead (as
+/// [`crate::MiddleboxServer`] does).
 pub fn execute_server_partition(
     staged: &StagedProgram,
+    store: &mut StateStore,
+    pkt: &mut Packet,
+    in_values: &TransferValues,
+    now_ns: u64,
+) -> Result<ServerExec, ExecError> {
+    let plan = ServerPlan::build(staged);
+    execute_server_partition_planned(staged, &plan, store, pkt, in_values, now_ns)
+}
+
+/// Run the non-offloaded partition against a pre-built [`ServerPlan`]
+/// (the postdominator tree and the per-block partition filter are reused
+/// across packets instead of being recomputed).
+pub fn execute_server_partition_planned(
+    staged: &StagedProgram,
+    plan: &ServerPlan,
     store: &mut StateStore,
     pkt: &mut Packet,
     in_values: &TransferValues,
@@ -143,8 +163,7 @@ pub fn execute_server_partition(
         Ok(())
     };
     let f = &prog.func;
-    let cfg = Cfg::new(f);
-    let ipdom = cfg.postdominators();
+    let ipdom = &plan.ipdom;
 
     let mut vals: Vec<Option<RtVal>> = vec![None; f.insts.len()];
     let mut exec = ServerExec {
@@ -173,13 +192,10 @@ pub fn execute_server_partition(
     let budget = 100_000usize;
     loop {
         let block = f.block(cur);
-        for &v in &block.insts {
+        for &v in &plan.block_insts[cur.0 as usize] {
             steps += 1;
             if steps > budget {
                 return Err(MirError::StepBudgetExceeded.into());
-            }
-            if staged.partition_of(v) != Partition::NonOffloaded {
-                continue;
             }
             let inst = f.inst(v);
             let result: RtVal =
@@ -402,7 +418,7 @@ mod tests {
     use super::*;
     use gallium_mir::{BinOp, FuncBuilder, HeaderField};
     use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, PortId, TcpFlags};
-    use gallium_partition::{partition_program, SwitchModel};
+    use gallium_partition::{partition_program, Partition, SwitchModel};
 
     fn minilb_staged() -> StagedProgram {
         let mut b = FuncBuilder::new("minilb");

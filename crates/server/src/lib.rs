@@ -24,9 +24,13 @@
 pub mod cost;
 pub mod executor;
 pub mod parallel;
+pub mod plan;
 pub mod runtime;
 
 pub use cost::CostModel;
-pub use executor::{execute_server_partition, ExecError, ServerExec};
+pub use executor::{
+    execute_server_partition, execute_server_partition_planned, ExecError, ServerExec,
+};
 pub use parallel::{ParallelReference, ParallelStats};
+pub use plan::ServerPlan;
 pub use runtime::{MiddleboxServer, ReferenceServer, ServerOutput, ServerStats};

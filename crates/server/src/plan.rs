@@ -1,0 +1,51 @@
+//! Pre-lowered execution plan for the server partition.
+//!
+//! [`crate::executor::execute_server_partition`] used to rebuild the CFG,
+//! recompute the postdominator tree, and re-filter every block's
+//! instruction list against the partition map for *every packet*. All of
+//! that is a pure function of the staged program, so [`ServerPlan`]
+//! computes it once — at [`crate::MiddleboxServer`] construction — and the
+//! per-packet walk just indexes into it.
+
+use gallium_mir::cfg::Cfg;
+use gallium_mir::{BlockId, ValueId};
+use gallium_partition::{Partition, StagedProgram};
+
+/// The per-program constants the server's packet walk needs: the
+/// postdominator tree (for skipping branches that steer only offloaded
+/// statements) and, per block, the instructions assigned to the
+/// non-offloaded partition.
+#[derive(Debug, Clone)]
+pub struct ServerPlan {
+    /// Immediate postdominator per block (`cfg.postdominators()` output).
+    pub(crate) ipdom: Vec<Option<BlockId>>,
+    /// Per block, the instructions the server actually executes — the
+    /// block's instruction list pre-filtered to `Partition::NonOffloaded`.
+    pub(crate) block_insts: Vec<Vec<ValueId>>,
+}
+
+impl ServerPlan {
+    /// Lower `staged` into a server execution plan.
+    pub fn build(staged: &StagedProgram) -> Self {
+        let f = &staged.prog.func;
+        let cfg = Cfg::new(f);
+        let ipdom = cfg.postdominators();
+        let block_insts = f
+            .blocks
+            .iter()
+            .map(|b| {
+                b.insts
+                    .iter()
+                    .copied()
+                    .filter(|&v| staged.partition_of(v) == Partition::NonOffloaded)
+                    .collect()
+            })
+            .collect();
+        ServerPlan { ipdom, block_insts }
+    }
+
+    /// Total server-assigned instructions across all blocks.
+    pub fn inst_count(&self) -> usize {
+        self.block_insts.iter().map(Vec::len).sum()
+    }
+}

@@ -1,7 +1,8 @@
 //! The server process: decap → execute → sync → encap.
 
 use crate::cost::CostModel;
-use crate::executor::{execute_server_partition, ExecError, StateUpdate};
+use crate::executor::{execute_server_partition_planned, ExecError, StateUpdate};
+use crate::plan::ServerPlan;
 use gallium_mir::{
     Interpreter, MirError, PacketAction, Program, StateId, StateMutation, StateStore,
 };
@@ -50,6 +51,9 @@ pub struct ServerOutput {
 #[derive(Debug)]
 pub struct MiddleboxServer {
     staged: StagedProgram,
+    /// Pre-lowered walk constants (postdominators, per-block partition
+    /// filter), built once at construction.
+    plan: ServerPlan,
     /// The server's authoritative state store.
     pub store: StateStore,
     cost: CostModel,
@@ -64,8 +68,10 @@ impl MiddleboxServer {
     /// Build a server for a compiled middlebox.
     pub fn new(staged: StagedProgram, cost: CostModel) -> Self {
         let store = StateStore::new(&staged.prog.states);
+        let plan = ServerPlan::build(&staged);
         MiddleboxServer {
             staged,
+            plan,
             store,
             cost,
             cached_states: Vec::new(),
@@ -103,8 +109,14 @@ impl MiddleboxServer {
             return self.process_replay(pkt, now_ns);
         }
 
-        let exec =
-            execute_server_partition(&self.staged, &mut self.store, &mut pkt, &in_values, now_ns)?;
+        let exec = execute_server_partition_planned(
+            &self.staged,
+            &self.plan,
+            &mut self.store,
+            &mut pkt,
+            &in_values,
+            now_ns,
+        )?;
         let cycles = self.cost.packet_cycles(&self.staged.prog, &exec.executed)
             // Encap/decap and header parsing on the server.
             + 2 * self.cost.header_op
@@ -160,9 +172,10 @@ impl MiddleboxServer {
     /// installs the queried entry into the switch cache.
     fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         self.stats.replays += 1;
-        let prog = self.staged.prog.clone();
-        let r = Interpreter::new(&prog).run(&mut pkt, &mut self.store, now_ns)?;
-        let cycles = self.cost.packet_cycles(&prog, &r.executed)
+        // `staged` and `store` are disjoint fields, so the interpreter can
+        // borrow the program directly — no per-replay clone.
+        let r = Interpreter::new(&self.staged.prog).run(&mut pkt, &mut self.store, now_ns)?;
+        let cycles = self.cost.packet_cycles(&self.staged.prog, &r.executed)
             + 2 * self.cost.header_op
             + self.cost.fixed_per_packet / 4;
         self.stats.cycles += cycles;
@@ -428,24 +441,33 @@ impl ReferenceServer {
 
     /// Process one plain packet; returns emitted packets and the cycles
     /// spent.
-    pub fn process(
+    pub fn process(&mut self, pkt: Packet, now_ns: u64) -> Result<(Vec<Packet>, u64), MirError> {
+        self.process_batch(std::iter::once(pkt), now_ns)
+    }
+
+    /// Process a burst of plain packets, constructing the interpreter once
+    /// for the whole batch. Returns all emitted packets in arrival order
+    /// and the total cycles spent.
+    pub fn process_batch(
         &mut self,
-        mut pkt: Packet,
+        pkts: impl IntoIterator<Item = Packet>,
         now_ns: u64,
     ) -> Result<(Vec<Packet>, u64), MirError> {
-        self.stats.rx += 1;
-        let r = Interpreter::new(&self.prog).run(&mut pkt, &mut self.store, now_ns)?;
-        let cycles = self.cost.packet_cycles(&self.prog, &r.executed);
-        self.stats.cycles += cycles;
-        let out = r
-            .actions
-            .into_iter()
-            .filter_map(|a| match a {
+        let interp = Interpreter::new(&self.prog);
+        let mut out = Vec::new();
+        let mut total_cycles = 0u64;
+        for mut pkt in pkts {
+            self.stats.rx += 1;
+            let r = interp.run(&mut pkt, &mut self.store, now_ns)?;
+            let cycles = self.cost.packet_cycles(&self.prog, &r.executed);
+            self.stats.cycles += cycles;
+            total_cycles += cycles;
+            out.extend(r.actions.into_iter().filter_map(|a| match a {
                 PacketAction::Send(p) => Some(p),
                 PacketAction::Drop => None,
-            })
-            .collect();
-        Ok((out, cycles))
+            }));
+        }
+        Ok((out, total_cycles))
     }
 }
 

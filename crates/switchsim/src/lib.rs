@@ -23,11 +23,13 @@
 
 pub mod control;
 pub mod loader;
+pub mod plan;
 pub mod switch;
 pub mod table;
 
 pub use control::{control_op_latency_ns, ControlError, ControlPlane};
 pub use loader::{load_check, LoadError};
+pub use plan::{ExecPlan, PlanError};
 pub use switch::{
     Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
 };

@@ -54,6 +54,13 @@ pub enum LoadError {
         /// What is wrong with the model.
         reason: String,
     },
+    /// The program passed resource validation but could not be lowered to
+    /// a compiled execution plan (malformed control flow — dangling node
+    /// targets or a cyclic pipeline graph).
+    Plan {
+        /// What the plan compiler rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -85,6 +92,9 @@ impl std::fmt::Display for LoadError {
             }
             LoadError::InvalidModel { reason } => {
                 write!(f, "invalid switch model: {reason}")
+            }
+            LoadError::Plan { reason } => {
+                write!(f, "plan compilation: {reason}")
             }
         }
     }

@@ -1,0 +1,730 @@
+//! The compiled dataplane execution plan.
+//!
+//! Real RMT backends do not interpret a program AST per packet: the
+//! compiler lowers the match-action pipeline into a fixed stage program
+//! before any packet arrives. This module is that lowering for the
+//! simulator. [`ExecPlan::build`] runs once at [`crate::Switch`] load time
+//! and produces, per traversal (pre/post):
+//!
+//! * **Interned metadata** — every metadata field name is assigned a dense
+//!   slot index; per-packet metadata becomes one reusable `Vec<u64>`
+//!   scratch buffer instead of a `HashMap<String, u64>`.
+//! * **Flattened expressions** — every [`P4Expr`] tree is compiled to a
+//!   postfix opcode run evaluated with a reusable value stack (no
+//!   recursion, no per-packet allocation).
+//! * **A linear instruction stream** — the control-flow node DAG becomes
+//!   one opcode vector with resolved jump targets, executed by a tight
+//!   loop. Cyclic node graphs are rejected at build time (the interpreter
+//!   only catches them mid-packet).
+//! * **Pre-resolved transfer layouts** — each transfer-header field is
+//!   mapped to its metadata slot, so encap/decap read and write the
+//!   scratch buffer directly instead of going through name-keyed maps.
+//!
+//! Equivalence with the AST interpreter in [`crate::switch`] is enforced
+//! by the differential suites (`tests/prop_plan.rs`, `bench_pr3`): both
+//! paths share `BinOp::eval`, `hash_values`, header field access, and the
+//! table runtime, and the lowering preserves statement order, branch
+//! semantics (missing metadata reads as zero), and foreign-work tracking.
+
+use crate::switch::SwitchStats;
+use crate::table::RtTable;
+use gallium_mir::interp::{
+    hash_values, read_header_field, refresh_ip_checksum, write_header_field,
+};
+use gallium_mir::types::mask_to_width;
+use gallium_mir::{BinOp, HeaderField};
+use gallium_net::{Packet, PortId};
+use gallium_p4::{NodeNext, P4Expr, P4Program, P4Stmt};
+use std::collections::HashMap;
+
+/// Why a program could not be lowered to an execution plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A node's control transfer targets a node the traversal does not
+    /// declare.
+    BadNodeTarget {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// The out-of-range node index.
+        target: usize,
+        /// Number of declared nodes.
+        declared: usize,
+    },
+    /// The node graph contains a cycle — the generated pipeline must be a
+    /// DAG (the interpreter would abort mid-packet on this input).
+    CyclicPipeline {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// A node on the cycle.
+        node: usize,
+    },
+    /// The entry node index is out of range.
+    BadEntry {
+        /// The entry index.
+        entry: usize,
+        /// Number of declared nodes.
+        declared: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadNodeTarget {
+                traversal,
+                target,
+                declared,
+            } => write!(
+                f,
+                "{traversal} traversal jumps to node #{target}, but only {declared} declared"
+            ),
+            PlanError::CyclicPipeline { traversal, node } => {
+                write!(f, "{traversal} traversal has a cycle through node #{node}")
+            }
+            PlanError::BadEntry { entry, declared } => {
+                write!(f, "entry node #{entry} out of range ({declared} declared)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One postfix expression opcode.
+#[derive(Debug, Clone, Copy)]
+enum EOp {
+    Const(u64),
+    Meta(u16),
+    Header(HeaderField),
+    Ingress,
+    Bin(BinOp),
+    Not,
+    Cast(u8),
+    Hash { arity: u16, width: u8 },
+}
+
+/// A compiled expression: a contiguous postfix run in the expression pool.
+#[derive(Debug, Clone, Copy)]
+struct ExprRef {
+    start: u32,
+    len: u32,
+}
+
+/// One lowered statement/control opcode.
+#[derive(Debug, Clone, Copy)]
+enum PlanOp {
+    SetMeta {
+        slot: u16,
+        width: u8,
+        expr: ExprRef,
+    },
+    SetHeader {
+        field: HeaderField,
+        expr: ExprRef,
+    },
+    TableLookup {
+        table: u16,
+        keys_start: u32,
+        keys_len: u16,
+        hit_slot: u16,
+        vals_start: u32,
+        vals_len: u16,
+    },
+    RegRead {
+        reg: u16,
+        dst: u16,
+    },
+    RegWrite {
+        reg: u16,
+        width: u8,
+        expr: ExprRef,
+    },
+    RegFetchAdd {
+        reg: u16,
+        width: u8,
+        dst: u16,
+        expr: ExprRef,
+    },
+    UpdateChecksum,
+    EmitCopy,
+    MarkDrop,
+    /// Record that this path encountered later-stage work (pre only).
+    Foreign,
+    Jump(u32),
+    Branch {
+        slot: u16,
+        then_ip: u32,
+        else_ip: u32,
+    },
+    Halt,
+}
+
+/// One compiled traversal: the opcode stream plus its constant pools.
+#[derive(Debug, Default)]
+pub(crate) struct TraversalPlan {
+    ops: Vec<PlanOp>,
+    exprs: Vec<EOp>,
+    /// Key expressions for `TableLookup` ops, referenced by range.
+    key_exprs: Vec<ExprRef>,
+    /// Value destination slots for `TableLookup` ops, referenced by range.
+    value_slots: Vec<u16>,
+    entry_ip: u32,
+}
+
+/// The complete pre-lowered program: both traversals plus the transfer
+/// slot maps and the interned slot space.
+#[derive(Debug)]
+pub struct ExecPlan {
+    pub(crate) pre: TraversalPlan,
+    pub(crate) post: TraversalPlan,
+    /// Metadata slot per `header_to_server` field, in field order.
+    pub(crate) to_server_slots: Vec<u16>,
+    /// Metadata slot per `header_to_switch` field, in field order.
+    pub(crate) from_server_slots: Vec<u16>,
+    /// Total interned metadata slots (sizes the scratch buffer).
+    pub(crate) n_slots: usize,
+}
+
+impl ExecPlan {
+    /// Lower `prog` into an execution plan. Fails on malformed control
+    /// flow (dangling node targets, cyclic node graphs) — conditions the
+    /// AST interpreter only detects mid-packet.
+    pub fn build(prog: &P4Program) -> Result<ExecPlan, PlanError> {
+        let mut interner = Interner::default();
+        let meta_bits: HashMap<&str, u16> = prog
+            .metadata
+            .iter()
+            .map(|m| (m.name.as_str(), m.bits))
+            .collect();
+        let reg_widths: Vec<u8> = prog.registers.iter().map(|r| r.width).collect();
+        let pre = compile_traversal(prog, true, "pre", &mut interner, &meta_bits, &reg_widths)?;
+        let post = compile_traversal(prog, false, "post", &mut interner, &meta_bits, &reg_widths)?;
+        let to_server_slots = prog
+            .header_to_server
+            .fields()
+            .iter()
+            .map(|f| interner.slot(&f.name))
+            .collect();
+        let from_server_slots = prog
+            .header_to_switch
+            .fields()
+            .iter()
+            .map(|f| interner.slot(&f.name))
+            .collect();
+        Ok(ExecPlan {
+            pre,
+            post,
+            to_server_slots,
+            from_server_slots,
+            n_slots: interner.len(),
+        })
+    }
+
+    /// Total lowered opcodes across both traversals (telemetry).
+    pub fn op_count(&self) -> usize {
+        self.pre.ops.len() + self.post.ops.len()
+    }
+
+    /// Number of interned metadata slots (telemetry).
+    pub fn slot_count(&self) -> usize {
+        self.n_slots
+    }
+}
+
+/// Metadata-name interner: dense slot indices assigned in first-seen order.
+#[derive(Debug, Default)]
+struct Interner {
+    slots: HashMap<String, u16>,
+}
+
+impl Interner {
+    fn slot(&mut self, name: &str) -> u16 {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = u16::try_from(self.slots.len()).expect("metadata slot space");
+        self.slots.insert(name.to_string(), s);
+        s
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Verify the node graph reachable from `entry` is a DAG with in-range
+/// targets (iterative three-color DFS).
+fn check_dag(prog: &P4Program, is_pre: bool, traversal: &'static str) -> Result<(), PlanError> {
+    let nodes = if is_pre {
+        &prog.pre_nodes
+    } else {
+        &prog.post_nodes
+    };
+    let n = nodes.len();
+    if prog.entry >= n {
+        return Err(PlanError::BadEntry {
+            entry: prog.entry,
+            declared: n,
+        });
+    }
+    let succs = |i: usize| -> Vec<usize> {
+        match &nodes[i].next {
+            NodeNext::Jump(t) => vec![*t],
+            NodeNext::Cond { then_n, else_n, .. } => vec![*then_n, *else_n],
+            NodeNext::SkipJoin { join: Some(j), .. } => vec![*j],
+            NodeNext::SkipJoin { join: None, .. } | NodeNext::End => vec![],
+        }
+    };
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut stack: Vec<(usize, usize)> = vec![(prog.entry, 0)];
+    color[prog.entry] = 1;
+    while let Some(&mut (node, ref mut next_child)) = stack.last_mut() {
+        let ss = succs(node);
+        if *next_child >= ss.len() {
+            color[node] = 2;
+            stack.pop();
+            continue;
+        }
+        let t = ss[*next_child];
+        *next_child += 1;
+        if t >= n {
+            return Err(PlanError::BadNodeTarget {
+                traversal,
+                target: t,
+                declared: n,
+            });
+        }
+        match color[t] {
+            0 => {
+                color[t] = 1;
+                stack.push((t, 0));
+            }
+            1 => {
+                return Err(PlanError::CyclicPipeline { traversal, node: t });
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn compile_traversal(
+    prog: &P4Program,
+    is_pre: bool,
+    traversal: &'static str,
+    interner: &mut Interner,
+    meta_bits: &HashMap<&str, u16>,
+    reg_widths: &[u8],
+) -> Result<TraversalPlan, PlanError> {
+    check_dag(prog, is_pre, traversal)?;
+    let nodes = if is_pre {
+        &prog.pre_nodes
+    } else {
+        &prog.post_nodes
+    };
+    let mut plan = TraversalPlan::default();
+    let mut node_ip = vec![0u32; nodes.len()];
+    // (op index, target node) pairs patched once every node has an address.
+    let mut fixups: Vec<(usize, usize)> = Vec::new();
+    let width_of = |name: &str| -> u8 { meta_bits.get(name).copied().unwrap_or(64).min(64) as u8 };
+
+    for (i, node) in nodes.iter().enumerate() {
+        node_ip[i] = plan.ops.len() as u32;
+        if is_pre && node.has_foreign_work {
+            plan.ops.push(PlanOp::Foreign);
+        }
+        for stmt in &node.stmts {
+            match stmt {
+                P4Stmt::SetMeta(name, e) => {
+                    let expr = compile_expr(e, &mut plan.exprs, interner);
+                    plan.ops.push(PlanOp::SetMeta {
+                        slot: interner.slot(name),
+                        width: width_of(name),
+                        expr,
+                    });
+                }
+                P4Stmt::SetHeader(f, e) => {
+                    let expr = compile_expr(e, &mut plan.exprs, interner);
+                    plan.ops.push(PlanOp::SetHeader { field: *f, expr });
+                }
+                P4Stmt::TableLookup {
+                    table,
+                    keys,
+                    hit_meta,
+                    value_metas,
+                } => {
+                    let keys_start = plan.key_exprs.len() as u32;
+                    for k in keys {
+                        let e = compile_expr(k, &mut plan.exprs, interner);
+                        plan.key_exprs.push(e);
+                    }
+                    let vals_start = plan.value_slots.len() as u32;
+                    for m in value_metas {
+                        let s = interner.slot(m);
+                        plan.value_slots.push(s);
+                    }
+                    plan.ops.push(PlanOp::TableLookup {
+                        table: *table as u16,
+                        keys_start,
+                        keys_len: keys.len() as u16,
+                        hit_slot: interner.slot(hit_meta),
+                        vals_start,
+                        vals_len: value_metas.len() as u16,
+                    });
+                }
+                P4Stmt::RegRead { reg, dst } => {
+                    plan.ops.push(PlanOp::RegRead {
+                        reg: *reg as u16,
+                        dst: interner.slot(dst),
+                    });
+                }
+                P4Stmt::RegWrite { reg, src } => {
+                    let expr = compile_expr(src, &mut plan.exprs, interner);
+                    plan.ops.push(PlanOp::RegWrite {
+                        reg: *reg as u16,
+                        width: reg_widths[*reg],
+                        expr,
+                    });
+                }
+                P4Stmt::RegFetchAdd { reg, dst, delta } => {
+                    let expr = compile_expr(delta, &mut plan.exprs, interner);
+                    plan.ops.push(PlanOp::RegFetchAdd {
+                        reg: *reg as u16,
+                        width: reg_widths[*reg],
+                        dst: interner.slot(dst),
+                        expr,
+                    });
+                }
+                P4Stmt::UpdateChecksum => plan.ops.push(PlanOp::UpdateChecksum),
+                P4Stmt::EmitCopy => plan.ops.push(PlanOp::EmitCopy),
+                P4Stmt::MarkDrop => plan.ops.push(PlanOp::MarkDrop),
+            }
+        }
+        match &node.next {
+            NodeNext::Jump(t) => {
+                fixups.push((plan.ops.len(), *t));
+                plan.ops.push(PlanOp::Jump(u32::MAX));
+            }
+            NodeNext::Cond {
+                meta,
+                then_n,
+                else_n,
+            } => {
+                // Branch carries two fixups; encode the else target in the
+                // fixup list right after the then target.
+                fixups.push((plan.ops.len(), *then_n));
+                fixups.push((plan.ops.len(), *else_n));
+                plan.ops.push(PlanOp::Branch {
+                    slot: interner.slot(meta),
+                    then_ip: u32::MAX,
+                    else_ip: u32::MAX,
+                });
+            }
+            NodeNext::SkipJoin {
+                join,
+                skipped_has_foreign,
+            } => {
+                if is_pre && *skipped_has_foreign {
+                    plan.ops.push(PlanOp::Foreign);
+                }
+                match join {
+                    Some(j) => {
+                        fixups.push((plan.ops.len(), *j));
+                        plan.ops.push(PlanOp::Jump(u32::MAX));
+                    }
+                    None => plan.ops.push(PlanOp::Halt),
+                }
+            }
+            NodeNext::End => plan.ops.push(PlanOp::Halt),
+        }
+    }
+    // Patch jump targets now that every node has an instruction address.
+    // Branch ops consume two consecutive fixup entries (then, else).
+    let mut it = fixups.into_iter().peekable();
+    while let Some((op_idx, target)) = it.next() {
+        let ip = node_ip[target];
+        match &mut plan.ops[op_idx] {
+            PlanOp::Jump(t) => *t = ip,
+            PlanOp::Branch {
+                then_ip, else_ip, ..
+            } => {
+                *then_ip = ip;
+                let (_, else_target) = it.next().expect("branch has two fixups");
+                *else_ip = node_ip[else_target];
+            }
+            other => unreachable!("fixup on non-jump op {other:?}"),
+        }
+    }
+    plan.entry_ip = node_ip[prog.entry];
+    Ok(plan)
+}
+
+/// Lower an expression tree to postfix opcodes appended to `pool`.
+fn compile_expr(e: &P4Expr, pool: &mut Vec<EOp>, interner: &mut Interner) -> ExprRef {
+    let start = pool.len() as u32;
+    emit_expr(e, pool, interner);
+    ExprRef {
+        start,
+        len: pool.len() as u32 - start,
+    }
+}
+
+fn emit_expr(e: &P4Expr, pool: &mut Vec<EOp>, interner: &mut Interner) {
+    match e {
+        P4Expr::Const(v, _) => pool.push(EOp::Const(*v)),
+        P4Expr::Meta(n) => pool.push(EOp::Meta(interner.slot(n))),
+        P4Expr::Header(f) => pool.push(EOp::Header(*f)),
+        P4Expr::IngressPort => pool.push(EOp::Ingress),
+        P4Expr::Bin(op, a, b) => {
+            emit_expr(a, pool, interner);
+            emit_expr(b, pool, interner);
+            pool.push(EOp::Bin(*op));
+        }
+        P4Expr::Not(a) => {
+            emit_expr(a, pool, interner);
+            pool.push(EOp::Not);
+        }
+        P4Expr::Cast(a, w) => {
+            emit_expr(a, pool, interner);
+            pool.push(EOp::Cast(*w));
+        }
+        P4Expr::Hash(parts, w) => {
+            for p in parts {
+                emit_expr(p, pool, interner);
+            }
+            pool.push(EOp::Hash {
+                arity: parts.len() as u16,
+                width: *w,
+            });
+        }
+    }
+}
+
+/// Reusable per-switch scratch buffers: zero allocation per packet.
+#[derive(Debug, Default)]
+pub(crate) struct PlanScratch {
+    /// Dense metadata (one word per interned slot).
+    pub meta: Vec<u64>,
+    /// Expression evaluation stack.
+    pub stack: Vec<u64>,
+    /// Table key assembly buffer.
+    pub key: Vec<u64>,
+}
+
+impl PlanScratch {
+    pub(crate) fn sized_for(plan: &ExecPlan) -> Self {
+        PlanScratch {
+            meta: vec![0; plan.n_slots],
+            stack: Vec::with_capacity(16),
+            key: Vec::with_capacity(8),
+        }
+    }
+}
+
+/// The mutable runtime state a traversal touches, borrowed field-by-field
+/// from the [`crate::Switch`] so the plan (borrowed from the same switch)
+/// stays immutably shared.
+pub(crate) struct PlanCtx<'a> {
+    pub tables: &'a [RtTable],
+    pub registers: &'a mut [u64],
+    pub wb_active: bool,
+    pub routes: &'a HashMap<u32, PortId>,
+    pub default_port: PortId,
+    pub stats: &'a mut SwitchStats,
+}
+
+/// What a plan traversal reported.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PlanRun {
+    /// Pre only: the path crossed later-stage work (slow path).
+    pub saw_foreign: bool,
+    /// A lookup missed in a cache-mode table (voids the traversal).
+    pub cache_missed: bool,
+}
+
+/// Route a packet by IPv4 destination, falling back to the default port.
+#[inline]
+pub(crate) fn route_for(
+    routes: &HashMap<u32, PortId>,
+    default_port: PortId,
+    pkt: &Packet,
+) -> PortId {
+    let daddr = read_header_field(pkt.bytes(), HeaderField::IpDaddr) as u32;
+    routes.get(&daddr).copied().unwrap_or(default_port)
+}
+
+/// Evaluate one postfix expression run against the metadata scratch.
+#[inline]
+fn eval_expr(eops: &[EOp], stack: &mut Vec<u64>, meta: &[u64], pkt: &Packet) -> u64 {
+    stack.clear();
+    for op in eops {
+        match op {
+            EOp::Const(v) => stack.push(*v),
+            EOp::Meta(s) => stack.push(meta[*s as usize]),
+            EOp::Header(f) => stack.push(read_header_field(pkt.bytes(), *f)),
+            EOp::Ingress => stack.push(u64::from(pkt.ingress.0)),
+            EOp::Bin(op) => {
+                let b = stack.pop().expect("postfix arity");
+                let a = stack.pop().expect("postfix arity");
+                stack.push(op.eval(a, b, 64));
+            }
+            EOp::Not => {
+                let a = stack.pop().expect("postfix arity");
+                stack.push(!a);
+            }
+            EOp::Cast(w) => {
+                let a = stack.pop().expect("postfix arity");
+                stack.push(mask_to_width(a, *w));
+            }
+            EOp::Hash { arity, width } => {
+                let at = stack.len() - usize::from(*arity);
+                let h = hash_values(&stack[at..], *width);
+                stack.truncate(at);
+                stack.push(h);
+            }
+        }
+    }
+    stack.pop().unwrap_or(0)
+}
+
+/// Execute one compiled traversal over `pkt`. Emitted copies are appended
+/// to `out`; metadata lives in `scratch.meta` (caller zeroes or pre-seeds
+/// it). The node graph was proven acyclic at build time, so the loop needs
+/// no step guard.
+pub(crate) fn run_plan(
+    plan: &TraversalPlan,
+    ctx: &mut PlanCtx<'_>,
+    scratch: &mut PlanScratch,
+    pkt: &mut Packet,
+    out: &mut Vec<(PortId, Packet)>,
+) -> PlanRun {
+    let mut run = PlanRun::default();
+    let meta = &mut scratch.meta;
+    let stack = &mut scratch.stack;
+    let key = &mut scratch.key;
+    let mut ip = plan.entry_ip as usize;
+    loop {
+        match &plan.ops[ip] {
+            PlanOp::SetMeta { slot, width, expr } => {
+                let v = eval_expr(
+                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
+                    stack,
+                    meta,
+                    pkt,
+                );
+                meta[*slot as usize] = mask_to_width(v, *width);
+            }
+            PlanOp::SetHeader { field, expr } => {
+                let v = eval_expr(
+                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
+                    stack,
+                    meta,
+                    pkt,
+                );
+                write_header_field(pkt.bytes_mut(), *field, mask_to_width(v, field.bits()));
+            }
+            PlanOp::TableLookup {
+                table,
+                keys_start,
+                keys_len,
+                hit_slot,
+                vals_start,
+                vals_len,
+            } => {
+                key.clear();
+                let krange = &plan.key_exprs
+                    [*keys_start as usize..(*keys_start + u32::from(*keys_len)) as usize];
+                for kref in krange {
+                    let v = eval_expr(
+                        &plan.exprs[kref.start as usize..(kref.start + kref.len) as usize],
+                        stack,
+                        meta,
+                        pkt,
+                    );
+                    key.push(v);
+                }
+                let slots = &plan.value_slots
+                    [*vals_start as usize..(*vals_start + u32::from(*vals_len)) as usize];
+                let t = &ctx.tables[*table as usize];
+                match t.lookup_ref(key, ctx.wb_active) {
+                    Some(vals) => {
+                        meta[*hit_slot as usize] = 1;
+                        for (s, v) in slots.iter().zip(vals) {
+                            meta[*s as usize] = *v;
+                        }
+                    }
+                    None => {
+                        // A miss in a cached table is inconclusive — the
+                        // authoritative map may hold the entry.
+                        if t.is_cache() {
+                            run.cache_missed = true;
+                        }
+                        meta[*hit_slot as usize] = 0;
+                        for s in slots {
+                            meta[*s as usize] = 0;
+                        }
+                    }
+                }
+            }
+            PlanOp::RegRead { reg, dst } => {
+                meta[*dst as usize] = ctx.registers[*reg as usize];
+            }
+            PlanOp::RegWrite { reg, width, expr } => {
+                let v = eval_expr(
+                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
+                    stack,
+                    meta,
+                    pkt,
+                );
+                ctx.registers[*reg as usize] = mask_to_width(v, *width);
+            }
+            PlanOp::RegFetchAdd {
+                reg,
+                width,
+                dst,
+                expr,
+            } => {
+                let d = eval_expr(
+                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
+                    stack,
+                    meta,
+                    pkt,
+                );
+                let old = ctx.registers[*reg as usize];
+                ctx.registers[*reg as usize] = mask_to_width(old.wrapping_add(d), *width);
+                meta[*dst as usize] = old;
+            }
+            PlanOp::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
+            PlanOp::EmitCopy => {
+                ctx.stats.emitted += 1;
+                out.push((route_for(ctx.routes, ctx.default_port, pkt), pkt.clone()));
+            }
+            PlanOp::MarkDrop => {
+                ctx.stats.dropped += 1;
+            }
+            PlanOp::Foreign => {
+                run.saw_foreign = true;
+            }
+            PlanOp::Jump(t) => {
+                ip = *t as usize;
+                continue;
+            }
+            PlanOp::Branch {
+                slot,
+                then_ip,
+                else_ip,
+            } => {
+                ip = if meta[*slot as usize] != 0 {
+                    *then_ip as usize
+                } else {
+                    *else_ip as usize
+                };
+                continue;
+            }
+            PlanOp::Halt => break,
+        }
+        ip += 1;
+    }
+    run
+}

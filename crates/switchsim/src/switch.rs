@@ -1,15 +1,24 @@
 //! The data-plane execution engine.
+//!
+//! Two packet paths share the same runtime state (tables, registers,
+//! routes, counters):
+//!
+//! * the **compiled plan** (default, [`Switch::load`]) — the program is
+//!   lowered once at load time by [`crate::plan`] and each packet runs a
+//!   flat opcode stream with a reusable scratch buffer;
+//! * the **AST interpreter** ([`Switch::load_interpreter`]) — the original
+//!   reference semantics, retained as the differential-testing oracle.
 
 use crate::loader::{load_check, LoadError};
+use crate::plan::{route_for, run_plan, ExecPlan, PlanCtx, PlanScratch};
 use crate::table::RtTable;
 use gallium_mir::interp::{
     hash_values, read_header_field, refresh_ip_checksum, write_header_field,
 };
 use gallium_mir::types::mask_to_width;
-use gallium_mir::HeaderField;
 use gallium_net::transfer::{FLAG_TO_SERVER, FLAG_TO_SWITCH};
 use gallium_net::{Packet, PortId, TransferValues};
-use gallium_p4::{BlockNode, NodeNext, P4Expr, P4Program, P4Stmt};
+use gallium_p4::{NodeNext, P4Expr, P4Program, P4Stmt};
 use gallium_partition::SwitchModel;
 use std::collections::HashMap;
 
@@ -73,6 +82,10 @@ pub struct SwitchStats {
 pub struct Switch {
     prog: P4Program,
     cfg: SwitchConfig,
+    /// The compiled execution plan; `None` on the interpreter path.
+    plan: Option<ExecPlan>,
+    /// Per-switch scratch reused across packets on the plan path.
+    scratch: PlanScratch,
     tables: Vec<RtTable>,
     registers: Vec<u64>,
     pub(crate) wb_active: bool,
@@ -89,9 +102,46 @@ pub struct Switch {
 }
 
 impl Switch {
-    /// Load `prog` after validating it against `cfg.model`.
+    /// Load `prog` after validating it against `cfg.model`, lowering it to
+    /// a compiled execution plan (the default packet path).
     pub fn load(prog: P4Program, cfg: SwitchConfig) -> Result<Self, LoadError> {
+        Self::load_inner(prog, cfg, true)
+    }
+
+    /// Load `prog` on the AST-interpreter path (no plan compilation).
+    ///
+    /// The interpreter is the reference semantics the plan is validated
+    /// against; production paths should use [`Switch::load`].
+    pub fn load_interpreter(prog: P4Program, cfg: SwitchConfig) -> Result<Self, LoadError> {
+        Self::load_inner(prog, cfg, false)
+    }
+
+    fn load_inner(
+        prog: P4Program,
+        cfg: SwitchConfig,
+        compile_plan: bool,
+    ) -> Result<Self, LoadError> {
         load_check(&prog, &cfg.model)?;
+        let plan = if compile_plan {
+            let reg = gallium_telemetry::global();
+            let timer = reg.histogram("gallium.switchsim.plan.build_ns").time();
+            let built = ExecPlan::build(&prog).map_err(|e| LoadError::Plan {
+                reason: e.to_string(),
+            })?;
+            drop(timer);
+            reg.counter("gallium.switchsim.plan.compiled").inc();
+            reg.histogram("gallium.switchsim.plan.ops")
+                .record(built.op_count() as u64);
+            reg.histogram("gallium.switchsim.plan.meta_slots")
+                .record(built.slot_count() as u64);
+            Some(built)
+        } else {
+            None
+        };
+        let scratch = plan
+            .as_ref()
+            .map(PlanScratch::sized_for)
+            .unwrap_or_default();
         let mut tables: Vec<RtTable> = prog
             .tables
             .iter()
@@ -117,6 +167,8 @@ impl Switch {
         Ok(Switch {
             prog,
             cfg,
+            plan,
+            scratch,
             tables,
             registers,
             wb_active: false,
@@ -126,6 +178,13 @@ impl Switch {
             evictions: Vec::new(),
             stats: SwitchStats::default(),
         })
+    }
+
+    /// Whether packets run through the compiled execution plan (`true`
+    /// after [`Switch::load`]) or the AST interpreter (`false` after
+    /// [`Switch::load_interpreter`]).
+    pub fn uses_plan(&self) -> bool {
+        self.plan.is_some()
     }
 
     /// Take the keys evicted from cache-mode tables since the last drain,
@@ -214,211 +273,367 @@ impl Switch {
         snap
     }
 
-    fn route(&self, pkt: &Packet) -> PortId {
-        let daddr = read_header_field(pkt.bytes(), HeaderField::IpDaddr) as u32;
-        self.routes
-            .get(&daddr)
-            .copied()
-            .unwrap_or(self.cfg.default_port)
+    /// Process one packet; returns `(egress port, frame)` pairs.
+    pub fn process(&mut self, pkt: Packet) -> Vec<(PortId, Packet)> {
+        let mut out = Vec::new();
+        self.process_into(pkt, &mut out);
+        out
     }
 
-    /// Process one packet; returns `(egress port, frame)` pairs.
-    pub fn process(&mut self, mut pkt: Packet) -> Vec<(PortId, Packet)> {
-        if pkt.ingress == self.cfg.server_port {
-            self.stats.rx_server += 1;
-            let layout = self.prog.header_to_switch.clone();
-            let Ok((flags, values)) = layout.detach(&mut pkt) else {
+    /// Process one packet, appending `(egress port, frame)` pairs to
+    /// `out` — the allocation-reusing core of [`Switch::process`].
+    pub fn process_into(&mut self, pkt: Packet, out: &mut Vec<(PortId, Packet)>) {
+        if self.plan.is_some() {
+            self.process_planned(pkt, out);
+        } else {
+            self.process_interp(pkt, out);
+        }
+    }
+
+    /// Process a burst of packets, appending every emission to `out` in
+    /// arrival order. Amortizes dispatch and lets callers reuse one output
+    /// buffer across bursts.
+    pub fn process_batch(
+        &mut self,
+        pkts: impl IntoIterator<Item = Packet>,
+        out: &mut Vec<(PortId, Packet)>,
+    ) {
+        for pkt in pkts {
+            self.process_into(pkt, out);
+        }
+    }
+
+    /// The compiled-plan packet path.
+    fn process_planned(&mut self, mut pkt: Packet, out: &mut Vec<(PortId, Packet)>) {
+        let Switch {
+            prog,
+            cfg,
+            plan,
+            scratch,
+            tables,
+            registers,
+            wb_active,
+            routes,
+            stats,
+            ..
+        } = self;
+        let plan = plan
+            .as_ref()
+            .expect("planned path requires a compiled plan");
+        if pkt.ingress == cfg.server_port {
+            stats.rx_server += 1;
+            scratch.meta.fill(0);
+            let meta = &mut scratch.meta;
+            let slots = &plan.from_server_slots;
+            let Ok(flags) = prog
+                .header_to_switch
+                .detach_with(&mut pkt, |i, _, v| meta[usize::from(slots[i])] = v)
+            else {
                 // Malformed encapsulation: drop, as hardware would.
-                self.stats.dropped += 1;
-                return vec![];
+                stats.dropped += 1;
+                return;
             };
             if flags & FLAG_PASSTHROUGH != 0 {
-                self.stats.emitted += 1;
-                return vec![(self.route(&pkt), pkt)];
+                stats.emitted += 1;
+                out.push((route_for(routes, cfg.default_port, &pkt), pkt));
+                return;
             }
-            let mut meta: HashMap<String, u64> =
-                values.iter().map(|(k, v)| (k.to_string(), v)).collect();
-            let nodes = self.prog.post_nodes.clone();
-            let (out, _) = self.run_traversal(&nodes, &mut pkt, &mut meta, false);
-            out
+            let mut ctx = PlanCtx {
+                tables: tables.as_slice(),
+                registers: registers.as_mut_slice(),
+                wb_active: *wb_active,
+                routes,
+                default_port: cfg.default_port,
+                stats,
+            };
+            run_plan(&plan.post, &mut ctx, scratch, &mut pkt, out);
         } else {
-            self.stats.rx_network += 1;
+            stats.rx_network += 1;
             // Cache mode: keep a pristine copy; a cached-table miss voids
             // the traversal and the original packet is replayed on the
             // server.
-            let pristine = self
-                .tables
-                .iter()
-                .any(|t| t.is_cache())
-                .then(|| pkt.clone());
-            self.cache_missed = false;
-            let mut meta = HashMap::new();
-            let nodes = self.prog.pre_nodes.clone();
-            let (mut out, needs_server) = self.run_traversal(&nodes, &mut pkt, &mut meta, true);
-            if self.cache_missed {
-                self.stats.cache_misses += 1;
-                self.stats.to_server += 1;
+            let pristine = tables.iter().any(|t| t.is_cache()).then(|| pkt.clone());
+            scratch.meta.fill(0);
+            let mark = out.len();
+            let run = {
+                let mut ctx = PlanCtx {
+                    tables: tables.as_slice(),
+                    registers: registers.as_mut_slice(),
+                    wb_active: *wb_active,
+                    routes,
+                    default_port: cfg.default_port,
+                    stats: &mut *stats,
+                };
+                run_plan(&plan.pre, &mut ctx, scratch, &mut pkt, out)
+            };
+            if run.cache_missed {
+                out.truncate(mark);
+                stats.cache_misses += 1;
+                stats.to_server += 1;
                 let mut orig = pristine.expect("pristine kept in cache mode");
-                let layout = self.prog.header_to_server.clone();
-                layout
+                prog.header_to_server
+                    .attach_with(&mut orig, FLAG_TO_SERVER | FLAG_CACHE_MISS, |_, _| 0)
+                    .expect("plain frame");
+                out.push((cfg.server_port, orig));
+                return;
+            }
+            if run.saw_foreign {
+                stats.to_server += 1;
+                let meta = &scratch.meta;
+                let slots = &plan.to_server_slots;
+                prog.header_to_server
+                    .attach_with(&mut pkt, FLAG_TO_SERVER, |i, _| meta[usize::from(slots[i])])
+                    .expect("plain frame");
+                out.push((cfg.server_port, pkt));
+            } else {
+                stats.fast_path += 1;
+            }
+        }
+    }
+
+    /// The legacy AST-interpreter path (differential-testing oracle).
+    fn process_interp(&mut self, mut pkt: Packet, out: &mut Vec<(PortId, Packet)>) {
+        let Switch {
+            prog,
+            cfg,
+            tables,
+            registers,
+            wb_active,
+            routes,
+            meta_bits,
+            cache_missed,
+            stats,
+            ..
+        } = self;
+        let prog = &*prog;
+        if pkt.ingress == cfg.server_port {
+            stats.rx_server += 1;
+            let Ok((flags, values)) = prog.header_to_switch.detach(&mut pkt) else {
+                // Malformed encapsulation: drop, as hardware would.
+                stats.dropped += 1;
+                return;
+            };
+            if flags & FLAG_PASSTHROUGH != 0 {
+                stats.emitted += 1;
+                out.push((route_for(routes, cfg.default_port, &pkt), pkt));
+                return;
+            }
+            let mut meta: HashMap<String, u64> =
+                values.iter().map(|(k, v)| (k.to_string(), v)).collect();
+            let mut ctx = InterpCtx {
+                tables: tables.as_slice(),
+                registers: registers.as_mut_slice(),
+                meta_bits,
+                routes,
+                default_port: cfg.default_port,
+                wb_active: *wb_active,
+                stats: &mut *stats,
+                cache_missed: &mut *cache_missed,
+            };
+            run_traversal(prog, false, &mut ctx, &mut pkt, &mut meta, out);
+        } else {
+            stats.rx_network += 1;
+            // Cache mode: keep a pristine copy; a cached-table miss voids
+            // the traversal and the original packet is replayed on the
+            // server.
+            let pristine = tables.iter().any(|t| t.is_cache()).then(|| pkt.clone());
+            *cache_missed = false;
+            let mut meta = HashMap::new();
+            let mark = out.len();
+            let needs_server = {
+                let mut ctx = InterpCtx {
+                    tables: tables.as_slice(),
+                    registers: registers.as_mut_slice(),
+                    meta_bits,
+                    routes,
+                    default_port: cfg.default_port,
+                    wb_active: *wb_active,
+                    stats: &mut *stats,
+                    cache_missed: &mut *cache_missed,
+                };
+                run_traversal(prog, true, &mut ctx, &mut pkt, &mut meta, out)
+            };
+            if *cache_missed {
+                out.truncate(mark);
+                stats.cache_misses += 1;
+                stats.to_server += 1;
+                let mut orig = pristine.expect("pristine kept in cache mode");
+                prog.header_to_server
                     .attach(
                         &mut orig,
                         FLAG_TO_SERVER | FLAG_CACHE_MISS,
                         &TransferValues::default(),
                     )
                     .expect("plain frame");
-                return vec![(self.cfg.server_port, orig)];
+                out.push((cfg.server_port, orig));
+                return;
             }
             if needs_server {
-                self.stats.to_server += 1;
-                let mut values = TransferValues::default();
-                for f in self.prog.header_to_server.fields() {
-                    values.set(&f.name, meta.get(&f.name).copied().unwrap_or(0));
-                }
-                let layout = self.prog.header_to_server.clone();
-                layout
-                    .attach(&mut pkt, FLAG_TO_SERVER, &values)
+                stats.to_server += 1;
+                prog.header_to_server
+                    .attach_with(&mut pkt, FLAG_TO_SERVER, |_, f| {
+                        meta.get(&f.name).copied().unwrap_or(0)
+                    })
                     .expect("plain frame");
-                out.push((self.cfg.server_port, pkt));
+                out.push((cfg.server_port, pkt));
             } else {
-                self.stats.fast_path += 1;
-            }
-            out
-        }
-    }
-
-    /// Walk one traversal. Returns emitted packets and (for pre) whether
-    /// later-stage work was encountered on the path.
-    fn run_traversal(
-        &mut self,
-        nodes: &[BlockNode],
-        pkt: &mut Packet,
-        meta: &mut HashMap<String, u64>,
-        is_pre: bool,
-    ) -> (Vec<(PortId, Packet)>, bool) {
-        let mut out = Vec::new();
-        let mut saw_foreign = false;
-        let mut cur = self.prog.entry;
-        let mut steps = 0usize;
-        loop {
-            steps += 1;
-            assert!(
-                steps <= nodes.len() + 1,
-                "pipeline traversal revisited a node (loop in generated P4)"
-            );
-            let node = &nodes[cur];
-            saw_foreign |= is_pre && node.has_foreign_work;
-            for stmt in &node.stmts {
-                self.exec_stmt(stmt, pkt, meta, &mut out);
-            }
-            match &node.next {
-                NodeNext::Jump(n) => cur = *n,
-                NodeNext::Cond {
-                    meta: m,
-                    then_n,
-                    else_n,
-                } => {
-                    let v = meta.get(m).copied().unwrap_or(0);
-                    cur = if v != 0 { *then_n } else { *else_n };
-                }
-                NodeNext::SkipJoin {
-                    join,
-                    skipped_has_foreign,
-                } => {
-                    saw_foreign |= is_pre && *skipped_has_foreign;
-                    match join {
-                        Some(j) => cur = *j,
-                        None => break,
-                    }
-                }
-                NodeNext::End => break,
+                stats.fast_path += 1;
             }
         }
-        (out, saw_foreign)
     }
+}
 
-    fn exec_stmt(
-        &mut self,
-        stmt: &P4Stmt,
-        pkt: &mut Packet,
-        meta: &mut HashMap<String, u64>,
-        out: &mut Vec<(PortId, Packet)>,
-    ) {
-        match stmt {
-            P4Stmt::SetMeta(name, e) => {
-                let w = self.meta_bits.get(name).copied().unwrap_or(64);
-                let v = self.eval(e, pkt, meta);
-                meta.insert(name.clone(), mask_to_width(v, w.min(64) as u8));
-            }
-            P4Stmt::SetHeader(f, e) => {
-                let v = mask_to_width(self.eval(e, pkt, meta), f.bits());
-                write_header_field(pkt.bytes_mut(), *f, v);
-            }
-            P4Stmt::TableLookup {
-                table,
-                keys,
-                hit_meta,
-                value_metas,
+/// The mutable runtime state the AST interpreter touches, borrowed
+/// field-by-field so the program's node lists need no per-packet clone.
+struct InterpCtx<'a> {
+    tables: &'a [RtTable],
+    registers: &'a mut [u64],
+    meta_bits: &'a HashMap<String, u16>,
+    routes: &'a HashMap<u32, PortId>,
+    default_port: PortId,
+    wb_active: bool,
+    stats: &'a mut SwitchStats,
+    cache_missed: &'a mut bool,
+}
+
+/// Walk one traversal of `prog` (pre or post). Emitted packets are
+/// appended to `out`; returns whether later-stage work was encountered on
+/// the path (meaningful for pre only).
+fn run_traversal(
+    prog: &P4Program,
+    is_pre: bool,
+    ctx: &mut InterpCtx<'_>,
+    pkt: &mut Packet,
+    meta: &mut HashMap<String, u64>,
+    out: &mut Vec<(PortId, Packet)>,
+) -> bool {
+    let nodes = if is_pre {
+        &prog.pre_nodes
+    } else {
+        &prog.post_nodes
+    };
+    let mut saw_foreign = false;
+    let mut cur = prog.entry;
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        assert!(
+            steps <= nodes.len() + 1,
+            "pipeline traversal revisited a node (loop in generated P4)"
+        );
+        let node = &nodes[cur];
+        saw_foreign |= is_pre && node.has_foreign_work;
+        for stmt in &node.stmts {
+            exec_stmt(prog, stmt, ctx, pkt, meta, out);
+        }
+        match &node.next {
+            NodeNext::Jump(n) => cur = *n,
+            NodeNext::Cond {
+                meta: m,
+                then_n,
+                else_n,
             } => {
-                let key: Vec<u64> = keys.iter().map(|k| self.eval(k, pkt, meta)).collect();
-                match self.tables[*table].lookup(&key, self.wb_active) {
-                    Some(vals) => {
-                        meta.insert(hit_meta.clone(), 1);
-                        for (m, v) in value_metas.iter().zip(vals) {
-                            meta.insert(m.clone(), v);
-                        }
+                let v = meta.get(m).copied().unwrap_or(0);
+                cur = if v != 0 { *then_n } else { *else_n };
+            }
+            NodeNext::SkipJoin {
+                join,
+                skipped_has_foreign,
+            } => {
+                saw_foreign |= is_pre && *skipped_has_foreign;
+                match join {
+                    Some(j) => cur = *j,
+                    None => break,
+                }
+            }
+            NodeNext::End => break,
+        }
+    }
+    saw_foreign
+}
+
+fn exec_stmt(
+    prog: &P4Program,
+    stmt: &P4Stmt,
+    ctx: &mut InterpCtx<'_>,
+    pkt: &mut Packet,
+    meta: &mut HashMap<String, u64>,
+    out: &mut Vec<(PortId, Packet)>,
+) {
+    match stmt {
+        P4Stmt::SetMeta(name, e) => {
+            let w = ctx.meta_bits.get(name).copied().unwrap_or(64);
+            let v = eval_ast(e, pkt, meta);
+            meta.insert(name.clone(), mask_to_width(v, w.min(64) as u8));
+        }
+        P4Stmt::SetHeader(f, e) => {
+            let v = mask_to_width(eval_ast(e, pkt, meta), f.bits());
+            write_header_field(pkt.bytes_mut(), *f, v);
+        }
+        P4Stmt::TableLookup {
+            table,
+            keys,
+            hit_meta,
+            value_metas,
+        } => {
+            let key: Vec<u64> = keys.iter().map(|k| eval_ast(k, pkt, meta)).collect();
+            match ctx.tables[*table].lookup_ref(&key, ctx.wb_active) {
+                Some(vals) => {
+                    meta.insert(hit_meta.clone(), 1);
+                    for (m, v) in value_metas.iter().zip(vals) {
+                        meta.insert(m.clone(), *v);
                     }
-                    None => {
-                        // A miss in a cached table is inconclusive — the
-                        // authoritative map may hold the entry.
-                        if self.tables[*table].is_cache() {
-                            self.cache_missed = true;
-                        }
-                        meta.insert(hit_meta.clone(), 0);
-                        for m in value_metas {
-                            meta.insert(m.clone(), 0);
-                        }
+                }
+                None => {
+                    // A miss in a cached table is inconclusive — the
+                    // authoritative map may hold the entry.
+                    if ctx.tables[*table].is_cache() {
+                        *ctx.cache_missed = true;
+                    }
+                    meta.insert(hit_meta.clone(), 0);
+                    for m in value_metas {
+                        meta.insert(m.clone(), 0);
                     }
                 }
             }
-            P4Stmt::RegRead { reg, dst } => {
-                meta.insert(dst.clone(), self.registers[*reg]);
-            }
-            P4Stmt::RegWrite { reg, src } => {
-                let w = self.prog.registers[*reg].width;
-                self.registers[*reg] = mask_to_width(self.eval(src, pkt, meta), w);
-            }
-            P4Stmt::RegFetchAdd { reg, dst, delta } => {
-                let w = self.prog.registers[*reg].width;
-                let old = self.registers[*reg];
-                let d = self.eval(delta, pkt, meta);
-                self.registers[*reg] = mask_to_width(old.wrapping_add(d), w);
-                meta.insert(dst.clone(), old);
-            }
-            P4Stmt::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
-            P4Stmt::EmitCopy => {
-                self.stats.emitted += 1;
-                out.push((self.route(pkt), pkt.clone()));
-            }
-            P4Stmt::MarkDrop => {
-                self.stats.dropped += 1;
-            }
+        }
+        P4Stmt::RegRead { reg, dst } => {
+            meta.insert(dst.clone(), ctx.registers[*reg]);
+        }
+        P4Stmt::RegWrite { reg, src } => {
+            let w = prog.registers[*reg].width;
+            ctx.registers[*reg] = mask_to_width(eval_ast(src, pkt, meta), w);
+        }
+        P4Stmt::RegFetchAdd { reg, dst, delta } => {
+            let w = prog.registers[*reg].width;
+            let old = ctx.registers[*reg];
+            let d = eval_ast(delta, pkt, meta);
+            ctx.registers[*reg] = mask_to_width(old.wrapping_add(d), w);
+            meta.insert(dst.clone(), old);
+        }
+        P4Stmt::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
+        P4Stmt::EmitCopy => {
+            ctx.stats.emitted += 1;
+            out.push((route_for(ctx.routes, ctx.default_port, pkt), pkt.clone()));
+        }
+        P4Stmt::MarkDrop => {
+            ctx.stats.dropped += 1;
         }
     }
+}
 
-    fn eval(&self, e: &P4Expr, pkt: &Packet, meta: &HashMap<String, u64>) -> u64 {
-        match e {
-            P4Expr::Const(v, _) => *v,
-            P4Expr::Meta(n) => meta.get(n).copied().unwrap_or(0),
-            P4Expr::Header(f) => read_header_field(pkt.bytes(), *f),
-            P4Expr::IngressPort => u64::from(pkt.ingress.0),
-            P4Expr::Bin(op, a, b) => op.eval(self.eval(a, pkt, meta), self.eval(b, pkt, meta), 64),
-            P4Expr::Not(a) => !self.eval(a, pkt, meta),
-            P4Expr::Cast(a, w) => mask_to_width(self.eval(a, pkt, meta), *w),
-            P4Expr::Hash(parts, w) => {
-                let inputs: Vec<u64> = parts.iter().map(|p| self.eval(p, pkt, meta)).collect();
-                hash_values(&inputs, *w)
-            }
+fn eval_ast(e: &P4Expr, pkt: &Packet, meta: &HashMap<String, u64>) -> u64 {
+    match e {
+        P4Expr::Const(v, _) => *v,
+        P4Expr::Meta(n) => meta.get(n).copied().unwrap_or(0),
+        P4Expr::Header(f) => read_header_field(pkt.bytes(), *f),
+        P4Expr::IngressPort => u64::from(pkt.ingress.0),
+        P4Expr::Bin(op, a, b) => op.eval(eval_ast(a, pkt, meta), eval_ast(b, pkt, meta), 64),
+        P4Expr::Not(a) => !eval_ast(a, pkt, meta),
+        P4Expr::Cast(a, w) => mask_to_width(eval_ast(a, pkt, meta), *w),
+        P4Expr::Hash(parts, w) => {
+            let inputs: Vec<u64> = parts.iter().map(|p| eval_ast(p, pkt, meta)).collect();
+            hash_values(&inputs, *w)
         }
     }
 }
@@ -450,7 +665,7 @@ mod tests {
     use gallium_net::{FiveTuple, IpProtocol, PacketBuilder, TcpFlags};
     use gallium_partition::partition_program;
 
-    fn minilb_switch() -> Switch {
+    fn minilb_p4() -> P4Program {
         let mut b = FuncBuilder::new("minilb");
         let map = b.decl_map("map", vec![16], vec![32], Some(65536));
         let backends = b.decl_vector("backends", 32, 16);
@@ -480,8 +695,11 @@ mod tests {
         b.ret();
         let p = b.finish().unwrap();
         let staged = partition_program(&p, &SwitchModel::tofino_like()).unwrap();
-        let p4 = gallium_p4::generate(&staged).unwrap();
-        Switch::load(p4, SwitchConfig::default()).unwrap()
+        gallium_p4::generate(&staged).unwrap()
+    }
+
+    fn minilb_switch() -> Switch {
+        Switch::load(minilb_p4(), SwitchConfig::default()).unwrap()
     }
 
     fn tcp_pkt(saddr: u32, daddr: u32) -> Packet {
@@ -497,6 +715,16 @@ mod tests {
             100,
         )
         .build(PortId(1))
+    }
+
+    #[test]
+    fn plan_is_the_default_path() {
+        assert!(minilb_switch().uses_plan());
+        assert!(
+            !Switch::load_interpreter(minilb_p4(), SwitchConfig::default())
+                .unwrap()
+                .uses_plan()
+        );
     }
 
     #[test]
@@ -610,5 +838,50 @@ mod tests {
         let out = sw.process(pkt);
         assert!(out.is_empty());
         assert_eq!(sw.stats.dropped, 1);
+    }
+
+    /// Drive the same packet mix through a planned and an interpreted
+    /// switch and demand identical emissions, state, and counters.
+    #[test]
+    fn interpreter_and_plan_agree_on_minilb() {
+        let mut planned = minilb_switch();
+        let mut interp = Switch::load_interpreter(minilb_p4(), SwitchConfig::default()).unwrap();
+        for sw in [&mut planned, &mut interp] {
+            sw.add_route(0xC0A80001, PortId(7));
+            let key = u64::from((0x0A000001u32 ^ 0x0A000099) & 0xFFFF);
+            sw.table_mut("map")
+                .unwrap()
+                .insert_main(vec![key], vec![0xC0A80001])
+                .unwrap();
+        }
+        let flows = [
+            (0x0A000001, 0x0A000099), // table hit → fast path
+            (0x0A000002, 0x0A000098), // miss → server
+            (0x0A000001, 0x0A000099), // hit again
+        ];
+        for (s, d) in flows {
+            let a = planned.process(tcp_pkt(s, d));
+            let b = interp.process(tcp_pkt(s, d));
+            assert_eq!(a, b);
+        }
+        assert_eq!(planned.stats, interp.stats);
+        assert_eq!(planned.registers, interp.registers);
+    }
+
+    #[test]
+    fn process_batch_matches_sequential() {
+        let mut one = minilb_switch();
+        let mut batch = minilb_switch();
+        let pkts: Vec<Packet> = (0..8)
+            .map(|i| tcp_pkt(0x0A000001 + i, 0x0A000099))
+            .collect();
+        let mut expect = Vec::new();
+        for p in pkts.clone() {
+            expect.extend(one.process(p));
+        }
+        let mut got = Vec::new();
+        batch.process_batch(pkts, &mut got);
+        assert_eq!(expect, got);
+        assert_eq!(one.stats, batch.stats);
     }
 }

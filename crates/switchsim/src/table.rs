@@ -158,7 +158,21 @@ impl RtTable {
     }
 
     /// Data-plane lookup. `wb_active` is the global visibility bit.
+    ///
+    /// Returns an owned copy of the value — the control-plane-friendly
+    /// variant. The packet hot path uses [`RtTable::lookup_ref`] instead,
+    /// which borrows the stored value and never allocates.
     pub fn lookup(&self, key: &[u64], wb_active: bool) -> Option<Vec<u64>> {
+        self.lookup_ref(key, wb_active).map(<[u64]>::to_vec)
+    }
+
+    /// Data-plane lookup returning a *borrowed* value slice.
+    ///
+    /// Identical match semantics (LPM best-match, write-back shadow,
+    /// tombstones) and identical hit/miss accounting as
+    /// [`RtTable::lookup`], but without cloning the value per hit — this
+    /// is what the compiled execution plan calls per packet.
+    pub fn lookup_ref(&self, key: &[u64], wb_active: bool) -> Option<&[u64]> {
         let result = self.lookup_inner(key, wb_active);
         if result.is_some() {
             self.stats.hits.inc();
@@ -168,10 +182,10 @@ impl RtTable {
         result
     }
 
-    fn lookup_inner(&self, key: &[u64], wb_active: bool) -> Option<Vec<u64>> {
+    fn lookup_inner(&self, key: &[u64], wb_active: bool) -> Option<&[u64]> {
         if let Some((key_width, entries)) = &self.lpm {
             let k = key.first().copied().unwrap_or(0);
-            let mut best: Option<(u8, &Vec<u64>)> = None;
+            let mut best: Option<(u8, &[u64])> = None;
             for (prefix, len, value) in entries {
                 let matches = if *len == 0 {
                     true
@@ -185,17 +199,17 @@ impl RtTable {
                     (k >> shift) == (*prefix >> shift)
                 };
                 if matches && best.map(|(bl, _)| *len > bl).unwrap_or(true) {
-                    best = Some((*len, value));
+                    best = Some((*len, value.as_slice()));
                 }
             }
-            return best.map(|(_, v)| v.clone());
+            return best.map(|(_, v)| v);
         }
         if wb_active {
             if let Some(staged) = self.shadow.get(key) {
-                return staged.clone();
+                return staged.as_deref();
             }
         }
-        self.main.get(key).cloned()
+        self.main.get(key).map(Vec::as_slice)
     }
 
     /// Control-plane insert/overwrite into the main table. When the table
@@ -351,6 +365,34 @@ mod tests {
         assert_eq!(t.lookup(&[3], false), None);
         assert_eq!(t.lookup(&[4], false), Some(vec![4]));
         assert_eq!(t.stats.evictions.get(), 2);
+    }
+
+    #[test]
+    fn lookup_ref_agrees_with_owned_lookup() {
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10, 11]).unwrap();
+        t.stage(vec![2], Some(vec![20]));
+        t.stage(vec![1], None);
+        for (key, wb) in [(1u64, false), (1, true), (2, false), (2, true), (3, false)] {
+            assert_eq!(
+                t.lookup_ref(&[key], wb).map(<[u64]>::to_vec),
+                t.lookup(&[key], wb),
+                "key {key} wb {wb}"
+            );
+        }
+        // Both variants bump the same counters (5 keys probed twice each).
+        assert_eq!(t.stats.hits.get() + t.stats.misses.get(), 10);
+
+        let mut l = RtTable::new(8);
+        l.make_lpm(32);
+        l.lpm_insert(0x0a00_0000, 8, vec![8]).unwrap();
+        l.lpm_insert(0x0a0b_0000, 16, vec![16]).unwrap();
+        for probe in [0x0a0b_0c0du64, 0x0aff_0000, 0x0c00_0000] {
+            assert_eq!(
+                l.lookup_ref(&[probe], false).map(<[u64]>::to_vec),
+                l.lookup(&[probe], false)
+            );
+        }
     }
 
     #[test]

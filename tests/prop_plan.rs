@@ -1,0 +1,286 @@
+//! Property-based differential testing of the compiled dataplane plan.
+//!
+//! The PR 3 plan compiler ([`gallium::switchsim::ExecPlan`]) lowers the
+//! loaded P4 program into a flat opcode stream at load time; this suite is
+//! the correctness contract behind making it the default path. For random
+//! packet streams over random flow mixes, a deployment on the compiled
+//! plan and one on the reference AST interpreter must be observationally
+//! identical for every packaged middlebox:
+//!
+//! * emitted packets — egress ports and exact bytes, in order;
+//! * deployment / switch / server counters (fast vs slow path, drops,
+//!   cache misses);
+//! * per-table telemetry hit/miss/eviction counters;
+//! * the final authoritative state store and switch-replicated state;
+//! * cache mode (§7): FIFO eviction order and replay behaviour under a
+//!   deliberately thrashed 2-entry cache.
+
+use gallium::middleboxes::{firewall, lb, mazunat, minilb, proxy, trojan};
+use gallium::middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium::mir::StateId;
+use gallium::prelude::*;
+use proptest::prelude::*;
+
+/// One generated packet: indices into small pools, so streams mix
+/// repeated flows (hits) with fresh ones (misses/inserts).
+type Desc = (u32, u32, u16, usize, usize, u8);
+
+const DPORTS: [u16; 7] = [22, 21, 80, 80, 443, 6667, 3128];
+const FLAGS: [u8; 5] = [
+    TcpFlags::SYN,
+    TcpFlags::ACK,
+    TcpFlags::ACK,
+    TcpFlags::FIN | TcpFlags::ACK,
+    TcpFlags::RST,
+];
+
+fn desc() -> impl Strategy<Value = Desc> {
+    (0u32..9, 0u32..5, 0u16..4, 0usize..7, 0usize..5, 0u8..8)
+}
+
+fn stream(max: usize) -> impl Strategy<Value = Vec<Desc>> {
+    proptest::collection::vec(desc(), 1..max)
+}
+
+fn packet(d: &Desc) -> Packet {
+    let &(s, da, sp, dp, fl, misc) = d;
+    // One descriptor pattern in eight probes the NAT's external mapping
+    // range from the outside; the rest are forward-direction traffic from
+    // either network.
+    if misc == 7 {
+        return PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0808_0404,
+                daddr: mazunat::NAT_EXTERNAL_IP,
+                sport: 443,
+                dport: mazunat::NAT_PORT_BASE + sp,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            96,
+        )
+        .build(PortId(EXTERNAL_PORT));
+    }
+    let ingress = if misc & 1 == 0 {
+        INTERNAL_PORT
+    } else {
+        EXTERNAL_PORT
+    };
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 0x0A00_0000 + s,
+            daddr: 0x0B00_0000 + da,
+            sport: 1024 + sp,
+            dport: DPORTS[dp],
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(FLAGS[fl]),
+        64 + 8 * usize::from(misc),
+    )
+    .build(PortId(ingress))
+}
+
+/// Stand up plan + interpreter deployments of `prog` (optionally in cache
+/// mode), drive the identical stream through both, and assert every
+/// observable artifact matches.
+fn assert_equiv(
+    prog: &Program,
+    configure: impl Fn(&mut StateStore),
+    caches: &[(StateId, usize)],
+    descs: &[Desc],
+) -> TestCaseResult {
+    let compiled = compile(prog, &SwitchModel::tofino_like()).expect("compiles");
+    let (mut plan, mut interp) = if caches.is_empty() {
+        (
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap(),
+            Deployment::new_interpreter(
+                &compiled,
+                SwitchConfig::default(),
+                CostModel::calibrated(),
+            )
+            .unwrap(),
+        )
+    } else {
+        (
+            Deployment::new_cached(
+                &compiled,
+                SwitchConfig::default(),
+                CostModel::calibrated(),
+                caches,
+            )
+            .unwrap(),
+            Deployment::new_cached_interpreter(
+                &compiled,
+                SwitchConfig::default(),
+                CostModel::calibrated(),
+                caches,
+            )
+            .unwrap(),
+        )
+    };
+    prop_assert!(plan.switch.uses_plan(), "plan deployment compiled a plan");
+    prop_assert!(!interp.switch.uses_plan(), "interpreter stayed on the AST");
+    plan.configure(|s| configure(s)).unwrap();
+    interp.configure(|s| configure(s)).unwrap();
+
+    for (i, d) in descs.iter().enumerate() {
+        let p = packet(d);
+        let a = plan.inject(p.clone());
+        let b = interp.inject(p);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.len(), b.len(), "pkt {}: emission count", i);
+                for (j, ((pa, fa), (pb, fb))) in a.iter().zip(&b).enumerate() {
+                    prop_assert_eq!(pa, pb, "pkt {} emission {}: egress port", i, j);
+                    prop_assert_eq!(fa.bytes(), fb.bytes(), "pkt {} emission {}: bytes", i, j);
+                }
+            }
+            (Err(ea), Err(eb)) => {
+                prop_assert_eq!(
+                    ea.to_string(),
+                    eb.to_string(),
+                    "pkt {}: both errored but differently",
+                    i
+                );
+            }
+            (a, b) => {
+                prop_assert!(
+                    false,
+                    "pkt {}: one engine errored (plan ok={}, interp ok={})",
+                    i,
+                    a.is_ok(),
+                    b.is_ok()
+                );
+            }
+        }
+    }
+
+    prop_assert_eq!(plan.stats, interp.stats, "deployment stats");
+    prop_assert_eq!(plan.switch.stats, interp.switch.stats, "switch stats");
+    prop_assert_eq!(plan.server.stats, interp.server.stats, "server stats");
+    prop_assert!(
+        plan.server.store == interp.server.store,
+        "authoritative state stores diverge"
+    );
+    // Per-table telemetry counters must agree: the plan's lookup path and
+    // the interpreter's must count the same hits/misses/evictions.
+    let table_names: Vec<String> = plan
+        .switch
+        .program()
+        .tables
+        .iter()
+        .map(|t| t.name.clone())
+        .collect();
+    for name in &table_names {
+        let a = &plan.switch.table(name).unwrap().stats;
+        let b = &interp.switch.table(name).unwrap().stats;
+        prop_assert_eq!(a.hits.get(), b.hits.get(), "table {}: hits", name);
+        prop_assert_eq!(a.misses.get(), b.misses.get(), "table {}: misses", name);
+        prop_assert_eq!(
+            a.evictions.get(),
+            b.evictions.get(),
+            "table {}: evictions",
+            name
+        );
+    }
+    prop_assert_eq!(
+        plan.switch.drain_evictions(),
+        interp.switch.drain_evictions(),
+        "eviction queues"
+    );
+    prop_assert!(plan.replicated_consistent(), "plan replicated state");
+    prop_assert!(interp.replicated_consistent(), "interp replicated state");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mazunat_plan_equals_interpreter(descs in stream(40)) {
+        let nat = mazunat::mazunat();
+        assert_equiv(&nat.prog, |_| {}, &[], &descs)?;
+    }
+
+    #[test]
+    fn lb_plan_equals_interpreter(descs in stream(40)) {
+        let l = lb::load_balancer();
+        let backends = l.backends;
+        assert_equiv(
+            &l.prog,
+            move |s| s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003]).unwrap(),
+            &[],
+            &descs,
+        )?;
+    }
+
+    #[test]
+    fn firewall_plan_equals_interpreter(descs in stream(40)) {
+        let fw = firewall::firewall();
+        let cfg = fw.clone();
+        assert_equiv(
+            &fw.prog,
+            move |s| {
+                // Whitelist part of the generator's flow space so streams
+                // mix passes with drops.
+                for saddr in 0..4u32 {
+                    for daddr in 0..5u32 {
+                        for sport in 0..4u16 {
+                            cfg.allow(s, &FiveTuple {
+                                saddr: 0x0A00_0000 + saddr,
+                                daddr: 0x0B00_0000 + daddr,
+                                sport: 1024 + sport,
+                                dport: 80,
+                                proto: IpProtocol::Tcp,
+                            });
+                        }
+                    }
+                }
+            },
+            &[],
+            &descs,
+        )?;
+    }
+
+    #[test]
+    fn proxy_plan_equals_interpreter(descs in stream(40)) {
+        let px = proxy::proxy(0x0A09_0909, 3128);
+        let cfg = px.clone();
+        assert_equiv(&px.prog, move |s| cfg.intercept(s, 80), &[], &descs)?;
+    }
+
+    #[test]
+    fn trojan_plan_equals_interpreter(descs in stream(40)) {
+        let tr = trojan::trojan_detector();
+        assert_equiv(&tr.prog, |_| {}, &[], &descs)?;
+    }
+
+    #[test]
+    fn minilb_plan_equals_interpreter(descs in stream(40)) {
+        let ml = minilb::minilb();
+        let backends = ml.backends;
+        assert_equiv(
+            &ml.prog,
+            move |s| s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002]).unwrap(),
+            &[],
+            &descs,
+        )?;
+    }
+
+    /// Cache mode (§7): a 2-entry FIFO cache on the LB connection table.
+    /// Any stream with ≥3 distinct flows thrashes it, exercising eviction
+    /// on the control-plane fill path and cache-miss→replay on the data
+    /// path — both must match the interpreter event for event.
+    #[test]
+    fn lb_cached_eviction_and_replay(descs in stream(60)) {
+        let l = lb::load_balancer();
+        let backends = l.backends;
+        let caches = [(l.conn, 2usize)];
+        assert_equiv(
+            &l.prog,
+            move |s| s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003]).unwrap(),
+            &caches,
+            &descs,
+        )?;
+    }
+}
