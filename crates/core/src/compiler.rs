@@ -7,6 +7,7 @@ use gallium_partition::{
     partition_program, ExplainReport, PartitionError, StagedProgram, SwitchModel,
 };
 use gallium_switchsim::LoadError;
+use gallium_verify::{VerifyError, VerifyReport};
 
 /// Compilation failures, tagged by pipeline stage. The `Display` form
 /// always leads with the stage name; MIR-stage errors carry the source
@@ -22,6 +23,9 @@ pub enum CompileError {
     Codegen(CodegenError),
     /// The generated program failed the switch's load-time re-check.
     Load(LoadError),
+    /// The independent verifier rejected the compiler's own output (a
+    /// compiler bug or an unloadable program the earlier stages missed).
+    Verify(VerifyError),
 }
 
 impl std::fmt::Display for CompileError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for CompileError {
             CompileError::Partition(e) => write!(f, "partitioning: {e}"),
             CompileError::Codegen(e) => write!(f, "codegen: {e}"),
             CompileError::Load(e) => write!(f, "load: {e}"),
+            CompileError::Verify(e) => write!(f, "verify: {e}"),
         }
     }
 }
@@ -42,6 +47,7 @@ impl std::error::Error for CompileError {
             CompileError::Partition(e) => Some(e),
             CompileError::Codegen(e) => Some(e),
             CompileError::Load(e) => Some(e),
+            CompileError::Verify(e) => Some(e),
         }
     }
 }
@@ -70,6 +76,30 @@ impl From<LoadError> for CompileError {
     }
 }
 
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
+    }
+}
+
+/// Knobs for [`compile_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Run the independent verifier on the compiler's output and fail the
+    /// compilation on any hard finding. Defaults to on in debug builds
+    /// (and therefore in tests) and off in release builds, where the
+    /// translation-validation cost is usually not wanted per compile.
+    pub verify: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            verify: cfg!(debug_assertions),
+        }
+    }
+}
+
 /// Everything the compiler emits for one middlebox.
 #[derive(Debug, Clone)]
 pub struct CompiledMiddlebox {
@@ -84,6 +114,9 @@ pub struct CompiledMiddlebox {
     /// Per-instruction partition explanation (§4 narrative): where every
     /// statement landed and the first constraint that put it there.
     pub explain: ExplainReport,
+    /// The independent verifier's report (translation validation,
+    /// resource audit, lints). `None` when compiled with `verify: false`.
+    pub verify: Option<VerifyReport>,
 }
 
 impl CompiledMiddlebox {
@@ -110,6 +143,22 @@ impl CompiledMiddlebox {
 /// `gallium.core.compiler.<stage>_ns` (partitioning additionally records
 /// its own decision counters under `gallium.partition.*`).
 pub fn compile(prog: &Program, model: &SwitchModel) -> Result<CompiledMiddlebox, CompileError> {
+    compile_with(prog, model, CompileOptions::default())
+}
+
+/// [`compile`] with explicit [`CompileOptions`].
+///
+/// With `verify: true`, the independent verifier of `gallium-verify` runs
+/// over the staged program and the generated P4 after code generation;
+/// any hard finding aborts the compilation with
+/// [`CompileError::Verify`]. The full [`VerifyReport`] (including the
+/// per-stage resource audit and warning lints) rides along on the
+/// successful output.
+pub fn compile_with(
+    prog: &Program,
+    model: &SwitchModel,
+    opts: CompileOptions,
+) -> Result<CompiledMiddlebox, CompileError> {
     let reg = gallium_telemetry::global();
     let _total = reg.histogram("gallium.core.compiler.compile_ns").time();
     reg.counter("gallium.core.compiler.compiles").inc();
@@ -136,6 +185,16 @@ pub fn compile(prog: &Program, model: &SwitchModel) -> Result<CompiledMiddlebox,
         let _t = reg.histogram("gallium.core.compiler.explain_ns").time();
         staged.explain()
     };
+    let verify = if opts.verify {
+        let _t = reg.histogram("gallium.core.compiler.verify_ns").time();
+        let report = gallium_verify::verify(&staged, &p4, model);
+        if let Some(e) = report.errors.first() {
+            return Err(CompileError::Verify(e.clone()));
+        }
+        Some(report)
+    } else {
+        None
+    };
     reg.counter("gallium.core.compiler.p4_tables_allocated")
         .add(p4.tables.len() as u64);
     reg.counter("gallium.core.compiler.p4_registers_allocated")
@@ -146,6 +205,7 @@ pub fn compile(prog: &Program, model: &SwitchModel) -> Result<CompiledMiddlebox,
         p4_source,
         server_source,
         explain,
+        verify,
     })
 }
 

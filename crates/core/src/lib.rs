@@ -28,6 +28,6 @@ pub mod compiler;
 pub mod deployment;
 pub mod server_codegen;
 
-pub use compiler::{compile, CompileError, CompiledMiddlebox};
+pub use compiler::{compile, compile_with, CompileError, CompileOptions, CompiledMiddlebox};
 pub use deployment::{DeployError, Deployment, DeploymentStats, DeploymentTelemetry};
 pub use server_codegen::server_listing;

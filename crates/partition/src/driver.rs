@@ -1,7 +1,9 @@
 //! The partitioning driver: label rules + resource refinement (§4.2.2).
 
 use crate::explain::ExplainReason;
-use crate::labels::{initial_labels, run_label_rules, LabelSet};
+use crate::labels::{
+    initial_labels, run_label_rules, run_label_rules_traced, LabelSet, LabelTrace, RuleId,
+};
 use crate::model::SwitchModel;
 use crate::staged::{Partition, StagedProgram, StatePlacement};
 use crate::transfer::{boundary_values, make_layout};
@@ -57,10 +59,11 @@ fn relabel(
     dep: &DepGraph,
     labels: &mut [LabelSet],
     reasons: &mut [ExplainReason],
+    trace: &mut [LabelTrace],
     cause: ExplainReason,
 ) {
     let before: Vec<bool> = labels.iter().map(|l| l.offloadable()).collect();
-    run_label_rules(prog, dep, labels);
+    run_label_rules_traced(prog, dep, labels, trace);
     for (v, was) in before.iter().enumerate() {
         if *was && !labels[v].offloadable() && reasons[v] == ExplainReason::Offloaded {
             reasons[v] = if dep.in_loop(ValueId(v as u32)) {
@@ -93,6 +96,7 @@ pub fn partition_program(
 
     // Phase 1: expressiveness + dependency labeling (§4.2.1).
     let mut labels = initial_labels(prog);
+    let mut trace = vec![LabelTrace::default(); n];
     // Reasons start from the expressiveness verdict; each later phase only
     // explains instructions it newly evicts.
     let mut reasons: Vec<ExplainReason> = labels
@@ -110,18 +114,24 @@ pub fn partition_program(
         &dep,
         &mut labels,
         &mut reasons,
+        &mut trace,
         ExplainReason::DependencyRules,
     );
+    // Snapshot the pure §4.2.1 result before any resource refinement: the
+    // independent verifier re-derives exactly this and diffs against it.
+    let phase1_labels = labels.clone();
 
     // Constraint 2: pipeline depth via dependency distance.
     let entry_d = dep.entry_distances();
     let exit_d = dep.exit_distances();
     for v in 0..n {
-        if entry_d[v] > model.pipeline_depth {
+        if entry_d[v] > model.pipeline_depth && labels[v].pre {
             labels[v].pre = false;
+            trace[v].note_pre(RuleId::Constraint2PipelineDepth);
         }
-        if exit_d[v] > model.pipeline_depth {
+        if exit_d[v] > model.pipeline_depth && labels[v].post {
             labels[v].post = false;
+            trace[v].note_post(RuleId::Constraint2PipelineDepth);
         }
         mark(&labels, &mut reasons, v, ExplainReason::PipelineDepth);
     }
@@ -130,6 +140,7 @@ pub fn partition_program(
         &dep,
         &mut labels,
         &mut reasons,
+        &mut trace,
         ExplainReason::PipelineDepth,
     );
 
@@ -147,9 +158,11 @@ pub fn partition_program(
             .find(|&v| labels[v].pre && touches_state(prog, v));
         if let Some(v) = last_pre {
             labels[v].pre = false;
+            trace[v].note_pre(RuleId::Constraint1Memory);
             mark(&labels, &mut reasons, v, ExplainReason::SwitchMemory);
         } else if let Some(v) = (0..n).find(|&v| labels[v].post && touches_state(prog, v)) {
             labels[v].post = false;
+            trace[v].note_post(RuleId::Constraint1Memory);
             mark(&labels, &mut reasons, v, ExplainReason::SwitchMemory);
         } else {
             break; // no offloaded state left; footprint is zero
@@ -159,6 +172,7 @@ pub fn partition_program(
             &dep,
             &mut labels,
             &mut reasons,
+            &mut trace,
             ExplainReason::SwitchMemory,
         );
     }
@@ -177,6 +191,12 @@ pub fn partition_program(
             }
             for v in 0..n {
                 if labels[v].offloadable() && writes_specific(prog, v, sid) {
+                    if labels[v].pre {
+                        trace[v].note_pre(RuleId::ReplicatedWrite);
+                    }
+                    if labels[v].post {
+                        trace[v].note_post(RuleId::ReplicatedWrite);
+                    }
                     labels[v].pre = false;
                     labels[v].post = false;
                     reasons[v] = ExplainReason::ReplicatedWrite;
@@ -192,6 +212,7 @@ pub fn partition_program(
             &dep,
             &mut labels,
             &mut reasons,
+            &mut trace,
             ExplainReason::ReplicatedWrite,
         );
     }
@@ -224,6 +245,12 @@ pub fn partition_program(
             }
             if let Some((_, chosen)) = best {
                 for v in 0..n {
+                    if labels[v].pre && !chosen[v].pre {
+                        trace[v].note_pre(RuleId::Constraint3SingleAccess);
+                    }
+                    if labels[v].post && !chosen[v].post {
+                        trace[v].note_post(RuleId::Constraint3SingleAccess);
+                    }
                     if labels[v].offloadable()
                         && !chosen[v].offloadable()
                         && reasons[v] == ExplainReason::Offloaded
@@ -281,6 +308,11 @@ pub fn partition_program(
                     PartitionError::Unsatisfiable("pre budget violated with empty pre".into())
                 })?;
             labels[victim].pre = false;
+            trace[victim].note_pre(if pre_cause == ExplainReason::MetadataBudget {
+                RuleId::Constraint4Metadata
+            } else {
+                RuleId::Constraint5Transfer
+            });
             mark(&labels, &mut reasons, victim, pre_cause);
         }
         if post_bad {
@@ -289,6 +321,11 @@ pub fn partition_program(
             match victim {
                 Some(v) => {
                     labels[v].post = false;
+                    trace[v].note_post(if post_cause == ExplainReason::MetadataBudget {
+                        RuleId::Constraint4Metadata
+                    } else {
+                        RuleId::Constraint5Transfer
+                    });
                     mark(&labels, &mut reasons, v, post_cause);
                 }
                 None if !pre_bad => {
@@ -304,6 +341,7 @@ pub fn partition_program(
             &dep,
             &mut labels,
             &mut reasons,
+            &mut trace,
             if pre_bad { pre_cause } else { post_cause },
         );
     }
@@ -335,6 +373,12 @@ pub fn partition_program(
         }
     }
 
+    // Per-instruction rule attribution: the reason's canonical rule when
+    // one-to-one, otherwise the first label removal the trace recorded.
+    let rules: Vec<Option<RuleId>> = (0..n)
+        .map(|v| reasons[v].rule_hint().or_else(|| trace[v].first()))
+        .collect();
+
     Ok(StagedProgram {
         prog: prog.clone(),
         assignment,
@@ -344,6 +388,8 @@ pub fn partition_program(
         header_to_switch,
         to_server_values: b.to_server,
         to_switch_values: b.to_switch,
+        phase1_labels,
+        rules,
     })
 }
 

@@ -6,6 +6,7 @@
 //! aligned text table for humans or as JSON for tooling, using the
 //! paper's §4 vocabulary for the reasons.
 
+use crate::labels::RuleId;
 use crate::staged::{Partition, StagedProgram, StatePlacement};
 use gallium_mir::{printer, ValueId};
 use gallium_telemetry::json_escape;
@@ -96,6 +97,24 @@ impl ExplainReason {
             }
         }
     }
+
+    /// The canonical [`RuleId`] this reason corresponds to, when the
+    /// mapping is one-to-one. `Offloaded` has no rule, and
+    /// `DependencyRules` covers rules 1–4 — for those the driver falls
+    /// back to the per-label trace recorded during the fixpoint.
+    pub fn rule_hint(self) -> Option<RuleId> {
+        match self {
+            ExplainReason::Offloaded | ExplainReason::DependencyRules => None,
+            ExplainReason::NotExpressible => Some(RuleId::NotExpressible),
+            ExplainReason::LoopResident => Some(RuleId::Rule5),
+            ExplainReason::PipelineDepth => Some(RuleId::Constraint2PipelineDepth),
+            ExplainReason::SwitchMemory => Some(RuleId::Constraint1Memory),
+            ExplainReason::ReplicatedWrite => Some(RuleId::ReplicatedWrite),
+            ExplainReason::SingleStateAccess => Some(RuleId::Constraint3SingleAccess),
+            ExplainReason::MetadataBudget => Some(RuleId::Constraint4Metadata),
+            ExplainReason::TransferBudget => Some(RuleId::Constraint5Transfer),
+        }
+    }
 }
 
 impl std::fmt::Display for ExplainReason {
@@ -115,6 +134,11 @@ pub struct ExplainEntry {
     pub partition: Partition,
     /// The first cause that fixed this assignment.
     pub reason: ExplainReason,
+    /// The specific §4 rule that first constrained this instruction, when
+    /// one was recorded (first label removal for `DependencyRules`, the
+    /// constraint itself for resource evictions, `None` for instructions
+    /// that kept every label).
+    pub rule: Option<RuleId>,
 }
 
 /// A global state's placement, for the report's state section.
@@ -149,6 +173,7 @@ impl ExplainReport {
                     text: printer::print_inst(prog, vid),
                     partition: staged.partition_of(vid),
                     reason: staged.reason_of(vid),
+                    rule: staged.rule_of(vid),
                 }
             })
             .collect();
@@ -213,13 +238,18 @@ impl ExplainReport {
             .unwrap_or(2);
         let text_w = self.entries.iter().map(|e| e.text.len()).max().unwrap_or(0);
         for e in &self.entries {
+            let rule = match e.rule {
+                Some(r) => format!("  [{}]", r.key()),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  {:<id_w$}  {:<7}  {:<text_w$}  {}",
+                "  {:<id_w$}  {:<7}  {:<text_w$}  {}{}",
                 format!("v{}", e.value.0),
                 e.partition.label(),
                 e.text,
                 e.reason.describe(),
+                rule,
             );
         }
         if !self.states.is_empty() {
@@ -248,12 +278,17 @@ impl ExplainReport {
             if i > 0 {
                 out.push(',');
             }
+            let rule = match e.rule {
+                Some(r) => json_escape(r.key()),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
-                "\n    {{\"value\": {}, \"partition\": {}, \"reason\": {}, \"inst\": {}}}",
+                "\n    {{\"value\": {}, \"partition\": {}, \"reason\": {}, \"rule\": {}, \"inst\": {}}}",
                 e.value.0,
                 json_escape(e.partition.label()),
                 json_escape(e.reason.key()),
+                rule,
                 json_escape(&e.text)
             );
         }

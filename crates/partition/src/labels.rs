@@ -3,6 +3,119 @@
 use gallium_analysis::DepGraph;
 use gallium_mir::{Program, ValueId};
 
+/// The specific §4 rule or constraint that removed a label.
+///
+/// This is the shared, non-stringly vocabulary used by both the
+/// partitioner's explain report (first-cause attribution) and the
+/// independent verifier's re-derivation, so the two can be diffed
+/// mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// §4.2.1 initial labels: P4 cannot express the operation.
+    NotExpressible,
+    /// Rule 1: a dependency-later statement cannot run in post.
+    Rule1,
+    /// Rule 2: a dependency-earlier statement cannot run in pre.
+    Rule2,
+    /// Rule 3: second `pre` access to a shared state on a chain.
+    Rule3,
+    /// Rule 4: earlier `post` access to a shared state on a chain.
+    Rule4,
+    /// Rule 5: the statement sits inside a loop.
+    Rule5,
+    /// Constraint 1 (§4.2.2): state does not fit switch memory.
+    Constraint1Memory,
+    /// Constraint 2 (§4.2.2): dependency chain exceeds pipeline depth.
+    Constraint2PipelineDepth,
+    /// Constraint 3 (§4.2.2): lost the one-access-per-state search.
+    Constraint3SingleAccess,
+    /// Constraint 4 (§4.2.2): per-packet metadata budget exceeded.
+    Constraint4Metadata,
+    /// Constraint 5 (§4.2.2): transfer-header budget exceeded.
+    Constraint5Transfer,
+    /// §4.3.3: writes replicated state; the server owns all updates.
+    ReplicatedWrite,
+}
+
+impl RuleId {
+    /// Stable snake_case key (used in JSON output).
+    pub fn key(self) -> &'static str {
+        match self {
+            RuleId::NotExpressible => "not_expressible",
+            RuleId::Rule1 => "rule1",
+            RuleId::Rule2 => "rule2",
+            RuleId::Rule3 => "rule3",
+            RuleId::Rule4 => "rule4",
+            RuleId::Rule5 => "rule5",
+            RuleId::Constraint1Memory => "constraint1_memory",
+            RuleId::Constraint2PipelineDepth => "constraint2_pipeline_depth",
+            RuleId::Constraint3SingleAccess => "constraint3_single_access",
+            RuleId::Constraint4Metadata => "constraint4_metadata",
+            RuleId::Constraint5Transfer => "constraint5_transfer",
+            RuleId::ReplicatedWrite => "replicated_write",
+        }
+    }
+
+    /// One-line description in the paper's vocabulary.
+    pub fn describe(self) -> &'static str {
+        match self {
+            RuleId::NotExpressible => "initial labels: not expressible in P4 (§4.2.1)",
+            RuleId::Rule1 => "rule 1: a transitive dependent cannot run in post",
+            RuleId::Rule2 => "rule 2: a transitive dependency cannot run in pre",
+            RuleId::Rule3 => "rule 3: second pre access to a shared state",
+            RuleId::Rule4 => "rule 4: earlier post access to a shared state",
+            RuleId::Rule5 => "rule 5: loop-resident",
+            RuleId::Constraint1Memory => "constraint 1: switch memory",
+            RuleId::Constraint2PipelineDepth => "constraint 2: pipeline depth",
+            RuleId::Constraint3SingleAccess => "constraint 3: single state access",
+            RuleId::Constraint4Metadata => "constraint 4: metadata budget",
+            RuleId::Constraint5Transfer => "constraint 5: transfer budget",
+            RuleId::ReplicatedWrite => "replicated-state write (§4.3.3)",
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Which rule first removed each of a statement's labels.
+///
+/// First cause wins: once a slot is recorded, later removals of the same
+/// label never overwrite it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelTrace {
+    /// The rule that removed `pre`, if it was ever removed.
+    pub pre: Option<RuleId>,
+    /// The rule that removed `post`, if it was ever removed.
+    pub post: Option<RuleId>,
+}
+
+impl LabelTrace {
+    /// Record that `rule` removed the `pre` label (first cause wins).
+    pub fn note_pre(&mut self, rule: RuleId) {
+        self.pre.get_or_insert(rule);
+    }
+
+    /// Record that `rule` removed the `post` label (first cause wins).
+    pub fn note_post(&mut self, rule: RuleId) {
+        self.post.get_or_insert(rule);
+    }
+
+    /// The earliest-phase rule to have removed either label (phase order
+    /// of [`RuleId`]; both slots record their own first cause).
+    pub fn first(&self) -> Option<RuleId> {
+        match (self.pre, self.post) {
+            (Some(p), Some(q)) => Some(p.min(q)),
+            (Some(p), None) => Some(p),
+            (None, Some(q)) => Some(q),
+            (None, None) => None,
+        }
+    }
+}
+
 /// The set of partitions a statement may still be assigned to.
 ///
 /// `non_off` is always a member — executing everything on the server
@@ -72,8 +185,23 @@ pub fn initial_labels(prog: &Program) -> Vec<LabelSet> {
 /// removed. The fixpoint exists because the label count is monotonically
 /// decreasing.
 pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) -> usize {
+    let mut trace = vec![LabelTrace::default(); labels.len()];
+    run_label_rules_traced(prog, dep, labels, &mut trace)
+}
+
+/// [`run_label_rules`], additionally recording in `trace` which rule
+/// first removed each label (first cause wins; pre-existing trace entries
+/// are never overwritten, so the driver can call this repeatedly across
+/// refinement phases).
+pub fn run_label_rules_traced(
+    prog: &Program,
+    dep: &DepGraph,
+    labels: &mut [LabelSet],
+    trace: &mut [LabelTrace],
+) -> usize {
     let n = prog.func.insts.len();
     debug_assert_eq!(labels.len(), n);
+    debug_assert_eq!(trace.len(), n);
     let mut removed = 0usize;
 
     // Rule 5 first: it is unconditional.
@@ -81,10 +209,12 @@ pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) 
         if dep.in_loop(ValueId(v as u32)) {
             if label.pre {
                 label.pre = false;
+                trace[v].note_pre(RuleId::Rule5);
                 removed += 1;
             }
             if label.post {
                 label.post = false;
+                trace[v].note_post(RuleId::Rule5);
                 removed += 1;
             }
         }
@@ -120,12 +250,14 @@ pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) 
                 // Rule 1.
                 if !labels[s2].post && labels[s1].post {
                     labels[s1].post = false;
+                    trace[s1].note_post(RuleId::Rule1);
                     removed += 1;
                     changed = true;
                 }
                 // Rule 2.
                 if !labels[s1].pre && labels[s2].pre {
                     labels[s2].pre = false;
+                    trace[s2].note_pre(RuleId::Rule2);
                     removed += 1;
                     changed = true;
                 }
@@ -133,12 +265,14 @@ pub fn run_label_rules(prog: &Program, dep: &DepGraph, labels: &mut [LabelSet]) 
                     // Rule 3.
                     if labels[s1].pre && labels[s2].pre {
                         labels[s2].pre = false;
+                        trace[s2].note_pre(RuleId::Rule3);
                         removed += 1;
                         changed = true;
                     }
                     // Rule 4.
                     if labels[s2].post && labels[s1].post {
                         labels[s1].post = false;
+                        trace[s1].note_post(RuleId::Rule4);
                         removed += 1;
                         changed = true;
                     }

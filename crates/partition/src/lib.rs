@@ -34,7 +34,9 @@ pub mod transfer;
 
 pub use driver::{partition_program, PartitionError};
 pub use explain::{ExplainEntry, ExplainReason, ExplainReport, StateExplain};
-pub use labels::{initial_labels, run_label_rules, LabelSet};
-pub use model::SwitchModel;
+pub use labels::{
+    initial_labels, run_label_rules, run_label_rules_traced, LabelSet, LabelTrace, RuleId,
+};
+pub use model::{ModelError, SwitchModel};
 pub use staged::{Partition, StagedProgram, StatePlacement};
 pub use transfer::{boundary_values, BoundarySets};

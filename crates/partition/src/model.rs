@@ -1,5 +1,53 @@
 //! The abstract switch resource model (§2.2).
 
+/// Why a [`SwitchModel`] is unusable as a compilation target.
+///
+/// Returned by [`SwitchModel::validate`]; callers that must tolerate
+/// degenerate models (the partitioner routes everything to the server and
+/// lets the loader reject the deployment) simply skip validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelError {
+    /// `pipeline_depth == 0`: no match-action stage could ever execute.
+    ZeroPipelineDepth,
+    /// `memory_bits == 0`: no table could ever be allocated.
+    ZeroMemory,
+    /// `metadata_bits == 0`: no intermediate value could ever be carried
+    /// between stages.
+    ZeroMetadata,
+    /// `transfer_budget_bytes == 0`: no value could ever cross the
+    /// switch/server boundary.
+    ZeroTransferBudget,
+    /// `memory_bits < pipeline_depth`: the per-stage SRAM share
+    /// (`memory_bits / pipeline_depth`) rounds down to zero bits, so the
+    /// budgets are mutually inconsistent.
+    PerStageMemoryZero {
+        /// Total table SRAM in bits.
+        memory_bits: usize,
+        /// Number of stages the SRAM is divided across.
+        pipeline_depth: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::ZeroPipelineDepth => write!(f, "pipeline depth is zero"),
+            ModelError::ZeroMemory => write!(f, "table memory budget is zero"),
+            ModelError::ZeroMetadata => write!(f, "metadata budget is zero"),
+            ModelError::ZeroTransferBudget => write!(f, "transfer-header budget is zero"),
+            ModelError::PerStageMemoryZero {
+                memory_bits,
+                pipeline_depth,
+            } => write!(
+                f,
+                "per-stage memory is zero: {memory_bits} total bits over {pipeline_depth} stages"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
 /// Resource limits of the target programmable switch.
 ///
 /// The values of [`SwitchModel::tofino_like`] follow the paper: 10–20
@@ -7,15 +55,37 @@
 /// does in §4.2.2 footnote 3), a few tens of MBs of table SRAM, under a
 /// hundred bytes of per-packet metadata scratchpad, and a 20-byte budget
 /// for the synthesized transfer header (Constraint 5).
+///
+/// # Unit conventions
+///
+/// | Field                   | Unit  | Scope                                  |
+/// |-------------------------|-------|----------------------------------------|
+/// | `pipeline_depth`        | stages| whole pipeline (one packet traversal)  |
+/// | `memory_bits`           | bits  | **total** across all stages            |
+/// | `metadata_bits`         | bits  | per packet, shared by all stages       |
+/// | `transfer_budget_bytes` | bytes | per synthesized transfer header        |
+///
+/// `memory_bits` is the only *total* budget: real hardware banks SRAM per
+/// stage, and the even split `memory_bits / pipeline_depth` is exposed as
+/// [`SwitchModel::per_stage_memory_bits`] for per-stage auditing. Memory
+/// and metadata are in **bits** (matching `Ty::meta_bits` and
+/// `StateKind::memory_bits`); only the transfer budget is in bytes,
+/// because it bounds wire bytes of the encapsulation header (§4.3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchModel {
-    /// Number of sequential pipeline stages (Constraint 2 bound).
+    /// Number of sequential match-action stages one packet traversal may
+    /// use (Constraint 2 bound). Unit: stages, whole pipeline.
     pub pipeline_depth: usize,
-    /// Total stateful memory in bits (Constraint 1 bound).
+    /// Stateful table SRAM in **bits**, summed across every stage
+    /// (Constraint 1 bound). Divide by `pipeline_depth` for the per-stage
+    /// share.
     pub memory_bits: usize,
-    /// Per-packet metadata scratchpad in bits (Constraint 4 bound).
+    /// Per-packet metadata scratchpad in **bits** (Constraint 4 bound).
+    /// One shared budget per packet, not per stage: slots are reused by
+    /// live range (§4.3.1).
     pub metadata_bits: usize,
-    /// Maximum transfer-header size in bytes (Constraint 5 bound).
+    /// Maximum synthesized transfer-header size in **bytes** (Constraint 5
+    /// bound), counted on the wire including the preamble.
     pub transfer_budget_bytes: usize,
 }
 
@@ -39,6 +109,44 @@ impl SwitchModel {
             transfer_budget_bytes: budget,
         }
     }
+
+    /// The even per-stage share of the total table SRAM, in bits.
+    ///
+    /// Zero-depth models report zero rather than dividing by zero; such
+    /// models are rejected by [`SwitchModel::validate`] anyway.
+    pub fn per_stage_memory_bits(&self) -> usize {
+        self.memory_bits
+            .checked_div(self.pipeline_depth)
+            .unwrap_or(0)
+    }
+
+    /// Reject zero or mutually inconsistent budgets with a typed error.
+    ///
+    /// The partitioner deliberately does *not* call this — degenerate
+    /// models must still partition (everything lands on the server) so
+    /// that the loader, not the compiler, owns deployment rejection. The
+    /// verifier and tooling front ends call it to fail fast.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.pipeline_depth == 0 {
+            return Err(ModelError::ZeroPipelineDepth);
+        }
+        if self.memory_bits == 0 {
+            return Err(ModelError::ZeroMemory);
+        }
+        if self.metadata_bits == 0 {
+            return Err(ModelError::ZeroMetadata);
+        }
+        if self.transfer_budget_bytes == 0 {
+            return Err(ModelError::ZeroTransferBudget);
+        }
+        if self.per_stage_memory_bits() == 0 {
+            return Err(ModelError::PerStageMemoryZero {
+                memory_bits: self.memory_bits,
+                pipeline_depth: self.pipeline_depth,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for SwitchModel {
@@ -59,5 +167,38 @@ mod tests {
         assert!((10..=20).contains(&m.pipeline_depth));
         assert!(m.memory_bits >= 10 * 8 * 1024 * 1024 * 8);
         assert_eq!(SwitchModel::default(), m);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.per_stage_memory_bits(), m.memory_bits / 16);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_budgets() {
+        assert_eq!(
+            SwitchModel::tiny(0, 1024, 800, 20).validate(),
+            Err(ModelError::ZeroPipelineDepth)
+        );
+        assert_eq!(
+            SwitchModel::tiny(16, 0, 800, 20).validate(),
+            Err(ModelError::ZeroMemory)
+        );
+        assert_eq!(
+            SwitchModel::tiny(16, 1024, 0, 20).validate(),
+            Err(ModelError::ZeroMetadata)
+        );
+        assert_eq!(
+            SwitchModel::tiny(16, 1024, 800, 0).validate(),
+            Err(ModelError::ZeroTransferBudget)
+        );
+        assert_eq!(
+            SwitchModel::tiny(16, 7, 800, 20).validate(),
+            Err(ModelError::PerStageMemoryZero {
+                memory_bits: 7,
+                pipeline_depth: 16,
+            })
+        );
+        assert_eq!(
+            SwitchModel::tiny(0, 1024, 800, 20).per_stage_memory_bits(),
+            0
+        );
     }
 }

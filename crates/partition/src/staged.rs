@@ -1,6 +1,7 @@
 //! The partitioned ("staged") program produced by the driver.
 
 use crate::explain::{ExplainReason, ExplainReport};
+use crate::labels::{LabelSet, RuleId};
 use gallium_mir::{Program, StateId, ValueId};
 use gallium_net::TransferHeaderLayout;
 
@@ -80,6 +81,15 @@ pub struct StagedProgram {
     pub to_server_values: Vec<ValueId>,
     /// Values carried by `header_to_switch`.
     pub to_switch_values: Vec<ValueId>,
+    /// Label sets right after the first dependency-rule fixpoint (§4.2.1,
+    /// before any resource refinement) — the translation-validation anchor
+    /// the independent verifier diffs its own derivation against. Empty
+    /// when the staged program was built without the driver (tests).
+    pub phase1_labels: Vec<LabelSet>,
+    /// The §4 rule that first constrained each instruction, if any
+    /// (indexed by [`ValueId`]; `None` for instructions that kept every
+    /// label). Empty when built without the driver.
+    pub rules: Vec<Option<RuleId>>,
 }
 
 impl StagedProgram {
@@ -96,6 +106,11 @@ impl StagedProgram {
     /// The first cause that fixed instruction `v`'s assignment.
     pub fn reason_of(&self, v: ValueId) -> ExplainReason {
         self.reasons[v.0 as usize]
+    }
+
+    /// The §4 rule that first constrained instruction `v`, if recorded.
+    pub fn rule_of(&self, v: ValueId) -> Option<RuleId> {
+        self.rules.get(v.0 as usize).copied().flatten()
     }
 
     /// Build the per-instruction partition explanation (§4 narrative).

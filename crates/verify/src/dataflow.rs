@@ -1,0 +1,413 @@
+//! A reusable worklist dataflow framework over MIR.
+//!
+//! The verifier must not trust the analyses in `gallium-analysis` — its
+//! whole point is to re-derive every fact independently and diff. This
+//! module is the re-derivation substrate: a direction-parametric worklist
+//! solver plus the three instances the checkers need (liveness, taint from
+//! non-offloadable sources, reaching header writes).
+//!
+//! Facts form a join-semilattice; `solve` iterates block transfer functions
+//! to the least fixpoint. Because every instance here uses set-union joins
+//! with monotone transfers, the least fixpoint is unique — which is what
+//! lets the property tests demand *equality* (not mere soundness) against
+//! the compiler's own analyses.
+
+use gallium_mir::{BlockId, Function, GlobalState, Op, Terminator, ValueId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which way facts propagate through the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block toward the exits.
+    Forward,
+    /// Facts flow from the exits toward the entry block.
+    Backward,
+}
+
+/// A dataflow analysis: a fact lattice plus transfer functions.
+pub trait Analysis {
+    /// The per-program-point fact.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// The lattice bottom (the neutral element of [`Analysis::join`]).
+    fn bottom(&self, f: &Function) -> Self::Fact;
+
+    /// The fact at the boundary (entry block for forward analyses, every
+    /// exit for backward ones). Defaults to bottom.
+    fn boundary_fact(&self, f: &Function) -> Self::Fact {
+        self.bottom(f)
+    }
+
+    /// Merge `from` into `into`.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact);
+
+    /// Push the fact through one instruction (in the analysis direction).
+    fn transfer_inst(&self, f: &Function, v: ValueId, fact: &mut Self::Fact);
+
+    /// Push the fact through a block terminator. For backward analyses this
+    /// runs *before* the instructions (the terminator executes last).
+    fn transfer_term(&self, _f: &Function, _b: BlockId, _fact: &mut Self::Fact) {}
+
+    /// Adjust a fact as it crosses the CFG edge `from → to` (e.g. SSA
+    /// φ-edge adjustments). Defaults to the identity.
+    fn edge_fact(
+        &self,
+        _f: &Function,
+        _from: BlockId,
+        _to: BlockId,
+        fact: &Self::Fact,
+    ) -> Self::Fact {
+        fact.clone()
+    }
+}
+
+/// The fixpoint: one fact pair per block.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at block entry (before the first instruction).
+    pub entry: Vec<F>,
+    /// Fact at block exit (after the terminator).
+    pub exit: Vec<F>,
+}
+
+/// Run `a` to its least fixpoint with a worklist.
+pub fn solve<A: Analysis>(f: &Function, a: &A) -> Solution<A::Fact> {
+    let n = f.blocks.len();
+    let mut entry: Vec<A::Fact> = (0..n).map(|_| a.bottom(f)).collect();
+    let mut exit: Vec<A::Fact> = (0..n).map(|_| a.bottom(f)).collect();
+
+    // Successor / predecessor maps from the terminators alone.
+    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for b in &f.blocks {
+        for s in b.term.successors() {
+            succs[b.id.0 as usize].push(s);
+            preds[s.0 as usize].push(b.id);
+        }
+    }
+
+    let mut work: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(bi) = work.pop_front() {
+        queued[bi] = false;
+        let b = &f.blocks[bi];
+        match a.direction() {
+            Direction::Forward => {
+                let mut inb = if b.id == f.entry {
+                    a.boundary_fact(f)
+                } else {
+                    a.bottom(f)
+                };
+                for p in &preds[bi] {
+                    let along = a.edge_fact(f, *p, b.id, &exit[p.0 as usize]);
+                    a.join(&mut inb, &along);
+                }
+                let mut fact = inb.clone();
+                for &v in &b.insts {
+                    a.transfer_inst(f, v, &mut fact);
+                }
+                a.transfer_term(f, b.id, &mut fact);
+                let changed = entry[bi] != inb || exit[bi] != fact;
+                entry[bi] = inb;
+                exit[bi] = fact;
+                if changed {
+                    for s in &succs[bi] {
+                        let si = s.0 as usize;
+                        if !queued[si] {
+                            queued[si] = true;
+                            work.push_back(si);
+                        }
+                    }
+                }
+            }
+            Direction::Backward => {
+                let mut out = if succs[bi].is_empty() {
+                    a.boundary_fact(f)
+                } else {
+                    a.bottom(f)
+                };
+                for s in &succs[bi] {
+                    let along = a.edge_fact(f, b.id, *s, &entry[s.0 as usize]);
+                    a.join(&mut out, &along);
+                }
+                let mut fact = out.clone();
+                a.transfer_term(f, b.id, &mut fact);
+                for &v in b.insts.iter().rev() {
+                    a.transfer_inst(f, v, &mut fact);
+                }
+                let changed = exit[bi] != out || entry[bi] != fact;
+                exit[bi] = out;
+                entry[bi] = fact;
+                if changed {
+                    for p in &preds[bi] {
+                        let pi = p.0 as usize;
+                        if !queued[pi] {
+                            queued[pi] = true;
+                            work.push_back(pi);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Solution { entry, exit }
+}
+
+// ---------------------------------------------------------------------
+// Instance 1: SSA-value liveness (backward, union join).
+// ---------------------------------------------------------------------
+
+/// Live SSA values, with φ operands counted live at the tail of the
+/// corresponding predecessor (standard SSA liveness). The `exit` facts of
+/// the solution are the live-out sets, `entry` the live-in sets.
+pub struct LiveValues;
+
+impl Analysis for LiveValues {
+    type Fact = HashSet<ValueId>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        into.extend(from.iter().copied());
+    }
+
+    fn transfer_inst(&self, f: &Function, v: ValueId, fact: &mut Self::Fact) {
+        fact.remove(&v);
+        match &f.inst(v).op {
+            Op::Phi { .. } => {} // operands are handled on the edges
+            op => fact.extend(op.uses()),
+        }
+    }
+
+    fn transfer_term(&self, f: &Function, b: BlockId, fact: &mut Self::Fact) {
+        if let Terminator::Branch { cond, .. } = &f.block(b).term {
+            fact.insert(*cond);
+        }
+    }
+
+    fn edge_fact(&self, f: &Function, from: BlockId, to: BlockId, fact: &Self::Fact) -> Self::Fact {
+        let tb = f.block(to);
+        // φ results defined in `to` are not live into the predecessor…
+        let mut out: HashSet<ValueId> = fact
+            .iter()
+            .copied()
+            .filter(|v| !tb.insts.contains(v) || !matches!(f.inst(*v).op, Op::Phi { .. }))
+            .collect();
+        // …but the φ operand arriving along this edge is.
+        for &pv in &tb.insts {
+            if let Op::Phi { incoming } = &f.inst(pv).op {
+                for (pred, val) in incoming {
+                    if *pred == from {
+                        out.insert(*val);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The maximum number of concurrently-live metadata bits in `f`, counting
+/// only values `counts` accepts (the verifier's Constraint-4 metric).
+pub fn max_live_bits(
+    f: &Function,
+    live: &Solution<HashSet<ValueId>>,
+    counts: &dyn Fn(ValueId) -> bool,
+) -> usize {
+    let bits = |set: &HashSet<ValueId>| -> usize {
+        set.iter()
+            .filter(|v| counts(**v))
+            .map(|v| f.inst(*v).ty.meta_bits())
+            .sum()
+    };
+    let mut max = 0usize;
+    for b in &f.blocks {
+        let mut cur = live.exit[b.id.0 as usize].clone();
+        if let Terminator::Branch { cond, .. } = &b.term {
+            cur.insert(*cond);
+        }
+        max = max.max(bits(&cur));
+        for &v in b.insts.iter().rev() {
+            cur.remove(&v);
+            match &f.inst(v).op {
+                Op::Phi { .. } => {}
+                op => cur.extend(op.uses()),
+            }
+            max = max.max(bits(&cur));
+        }
+    }
+    max
+}
+
+// ---------------------------------------------------------------------
+// Instance 2: taint from non-offloadable sources (forward, union join).
+// ---------------------------------------------------------------------
+
+/// Marks every value that is, or transitively consumes, an operation P4
+/// cannot express. A `Pre`-assigned instruction must never be tainted: its
+/// inputs would not exist on the switch yet.
+pub struct Taint<'a> {
+    /// State declarations (P4 support of a map lookup depends on the size
+    /// annotation).
+    pub states: &'a [GlobalState],
+}
+
+impl Analysis for Taint<'_> {
+    type Fact = HashSet<ValueId>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        into.extend(from.iter().copied());
+    }
+
+    fn transfer_inst(&self, f: &Function, v: ValueId, fact: &mut Self::Fact) {
+        let op = &f.inst(v).op;
+        if !op.p4_supported(self.states) || op.uses().iter().any(|u| fact.contains(u)) {
+            fact.insert(v);
+        }
+    }
+}
+
+/// All values tainted anywhere in the (reachable part of the) function.
+/// Taint only ever grows along flow, so the union of block-exit facts
+/// covers every tainted definition.
+pub fn tainted_values(f: &Function, states: &[GlobalState]) -> HashSet<ValueId> {
+    let sol = solve(f, &Taint { states });
+    let mut all = HashSet::new();
+    for fact in &sol.exit {
+        all.extend(fact.iter().copied());
+    }
+    all
+}
+
+// ---------------------------------------------------------------------
+// Instance 3: reaching header writes (forward, per-key union join).
+// ---------------------------------------------------------------------
+
+/// For each header field, the set of `WriteField` instructions whose value
+/// may still be the field's current content. Drives the writes-never-read
+/// lint.
+pub struct ReachingHeaderWrites;
+
+impl Analysis for ReachingHeaderWrites {
+    type Fact = HashMap<gallium_mir::HeaderField, HashSet<ValueId>>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _f: &Function) -> Self::Fact {
+        HashMap::new()
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        for (field, writers) in from {
+            into.entry(*field)
+                .or_default()
+                .extend(writers.iter().copied());
+        }
+    }
+
+    fn transfer_inst(&self, f: &Function, v: ValueId, fact: &mut Self::Fact) {
+        if let Op::WriteField { field, .. } = &f.inst(v).op {
+            let mut only = HashSet::new();
+            only.insert(v);
+            fact.insert(*field, only);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    #[test]
+    fn liveness_peak_on_straight_line() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.read_field(HeaderField::IpSaddr);
+        let c = b.read_field(HeaderField::IpDaddr);
+        let x = b.bin(BinOp::Xor, a, c);
+        b.write_field(HeaderField::IpDaddr, x);
+        b.ret();
+        let p = b.finish().unwrap();
+        let sol = solve(&p.func, &LiveValues);
+        assert!(sol.entry[0].is_empty());
+        assert!(sol.exit[0].is_empty());
+        assert_eq!(max_live_bits(&p.func, &sol, &|_| true), 64);
+    }
+
+    #[test]
+    fn liveness_respects_branches() {
+        let mut b = FuncBuilder::new("t");
+        let a = b.read_field(HeaderField::IpSaddr); // v0
+        let z = b.cnst(0, 32); // v1
+        let c = b.bin(BinOp::Eq, a, z); // v2
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.write_field(HeaderField::IpDaddr, a);
+        b.send();
+        b.ret();
+        b.switch_to(e);
+        b.drop_pkt();
+        b.ret();
+        let p = b.finish().unwrap();
+        let sol = solve(&p.func, &LiveValues);
+        assert!(sol.entry[1].contains(&ValueId(0)));
+        assert!(!sol.entry[2].contains(&ValueId(0)));
+        assert!(sol.exit[0].contains(&ValueId(0)));
+    }
+
+    #[test]
+    fn taint_propagates_through_uses() {
+        let mut b = FuncBuilder::new("t");
+        let x = b.read_field(HeaderField::IpSaddr); // v0 clean
+        let m = b.payload_match(b"X"); // v1 tainted (payload access)
+        let x1 = b.cast(x, 1); // v2 clean
+        let both = b.bin(BinOp::And, x1, m); // v3 tainted via v1
+        let both8 = b.cast(both, 8); // v4 tainted via v3
+        b.write_field(HeaderField::IpTtl, both8); // v5 tainted via v4
+        b.ret();
+        let p = b.finish().unwrap();
+        let tainted = tainted_values(&p.func, &p.states);
+        assert!(!tainted.contains(&ValueId(0)));
+        assert!(!tainted.contains(&ValueId(2)));
+        for v in [1u32, 3, 4, 5] {
+            assert!(tainted.contains(&ValueId(v)), "v{v} should be tainted");
+        }
+    }
+
+    #[test]
+    fn reaching_writes_are_killed_by_overwrites() {
+        let mut b = FuncBuilder::new("t");
+        let one = b.cnst(1, 8); // v0
+        let two = b.cnst(2, 8); // v1
+        b.write_field(HeaderField::IpTtl, one); // v2 (overwritten below)
+        b.write_field(HeaderField::IpTtl, two); // v3
+        b.send();
+        b.ret();
+        let p = b.finish().unwrap();
+        let sol = solve(&p.func, &ReachingHeaderWrites);
+        let at_exit = &sol.exit[0][&HeaderField::IpTtl];
+        assert!(at_exit.contains(&ValueId(3)));
+        assert!(!at_exit.contains(&ValueId(2)));
+    }
+}

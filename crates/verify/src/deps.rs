@@ -1,0 +1,443 @@
+//! Independent re-derivation of the §4.1 statement dependency graph.
+//!
+//! This module deliberately re-implements what `gallium-analysis` computes
+//! — control flow, postdominance, control dependence, and the six §4.1
+//! dependency-edge families — without calling into it, using different
+//! algorithms where a choice exists (postdominator *sets* by greatest
+//! fixpoint instead of immediate-postdominator chains; per-node DFS
+//! reachability instead of bitset closure iteration). Translation
+//! validation then diffs the two derivations: any disagreement is a
+//! compiler bug, not a modeling choice.
+
+use gallium_mir::{BlockId, Loc, Op, Program, Terminator, ValueId};
+use std::collections::HashSet;
+
+/// Why one statement must run after another (mirror of the compiler's
+/// dependency-kind vocabulary, re-declared to keep the crates decoupled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepEdgeKind {
+    /// RAW/WAW on a location, SSA use-def, or output commit.
+    Data,
+    /// WAR on a location.
+    ReverseData,
+    /// Branch condition steering execution (or a φ's incoming edge).
+    Control,
+}
+
+/// Block-level control flow derived straight from the terminators.
+pub struct FlowGraph {
+    /// Successors of each block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors of each block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// `reach[b]` = blocks reachable from `b`, *including* `b` itself.
+    pub reach: Vec<HashSet<BlockId>>,
+    /// Reflexive postdominator set of each block w.r.t. a virtual exit
+    /// (blocks that cannot reach any exit postdominate only themselves).
+    pub pdoms: Vec<HashSet<BlockId>>,
+    /// `control_deps[b]` = branch blocks `b` is control-dependent on.
+    pub control_deps: Vec<Vec<BlockId>>,
+}
+
+impl FlowGraph {
+    /// Build the flow facts for `f`.
+    pub fn build(f: &gallium_mir::Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in &f.blocks {
+            for s in b.term.successors() {
+                succs[b.id.0 as usize].push(s);
+                preds[s.0 as usize].push(b.id);
+            }
+        }
+
+        // Inclusive forward reachability, one DFS per block.
+        let mut reach: Vec<HashSet<BlockId>> = Vec::with_capacity(n);
+        for b in 0..n {
+            let mut seen = HashSet::new();
+            let mut stack = vec![BlockId(b as u32)];
+            while let Some(cur) = stack.pop() {
+                if seen.insert(cur) {
+                    stack.extend(succs[cur.0 as usize].iter().copied());
+                }
+            }
+            reach.push(seen);
+        }
+
+        // Which blocks reach an exit (a block with no successors)?
+        let reaches_exit: Vec<bool> = (0..n)
+            .map(|b| reach[b].iter().any(|r| succs[r.0 as usize].is_empty()))
+            .collect();
+
+        // Reflexive postdominator sets by greatest fixpoint:
+        //   pdoms(exit) = {exit}
+        //   pdoms(b)    = {b} ∪ ⋂ { pdoms(s) : s ∈ succs(b), s reaches an exit }
+        // A block that cannot reach any exit postdominates only itself.
+        // Initialize non-exit sets to "everything" and shrink to stability.
+        let all: HashSet<BlockId> = (0..n).map(|b| BlockId(b as u32)).collect();
+        let mut pdoms: Vec<HashSet<BlockId>> = (0..n)
+            .map(|b| {
+                let me = BlockId(b as u32);
+                if succs[b].is_empty() || !reaches_exit[b] {
+                    HashSet::from([me])
+                } else {
+                    all.clone()
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..n {
+                if succs[b].is_empty() || !reaches_exit[b] {
+                    continue;
+                }
+                let mut inter: Option<HashSet<BlockId>> = None;
+                for s in &succs[b] {
+                    let si = s.0 as usize;
+                    if !reaches_exit[si] {
+                        continue;
+                    }
+                    inter = Some(match inter {
+                        None => pdoms[si].clone(),
+                        Some(acc) => acc.intersection(&pdoms[si]).copied().collect(),
+                    });
+                }
+                let mut next = inter.unwrap_or_default();
+                next.insert(BlockId(b as u32));
+                if next != pdoms[b] {
+                    pdoms[b] = next;
+                    changed = true;
+                }
+            }
+        }
+
+        // Control dependence from the postdominator sets: X ∈ cd(B) for a
+        // branch block B iff some successor s of B has X ∈ pdoms(s) while X
+        // does not strictly postdominate B (X == B gives loop headers their
+        // self-dependence).
+        let mut control_deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in &f.blocks {
+            if !matches!(b.term, Terminator::Branch { .. }) {
+                continue;
+            }
+            let bi = b.id.0 as usize;
+            for s in &succs[bi] {
+                for x in &pdoms[s.0 as usize] {
+                    let strictly_postdominates_b = *x != b.id && pdoms[bi].contains(x);
+                    if !strictly_postdominates_b {
+                        let slot = &mut control_deps[x.0 as usize];
+                        if !slot.contains(&b.id) {
+                            slot.push(b.id);
+                        }
+                    }
+                }
+            }
+        }
+
+        FlowGraph {
+            succs,
+            preds,
+            reach,
+            pdoms,
+            control_deps,
+        }
+    }
+
+    /// Can control reach `to` from `from` via at least one edge?
+    pub fn reaches_nonempty(&self, from: BlockId, to: BlockId) -> bool {
+        self.succs[from.0 as usize]
+            .iter()
+            .any(|s| self.reach[s.0 as usize].contains(&to))
+    }
+}
+
+/// The re-derived dependency graph over SSA values.
+pub struct VDeps {
+    n: usize,
+    edges: Vec<Vec<(ValueId, DepEdgeKind)>>,
+    /// `closure[v]` = values reachable from `v` via ≥ 1 dependency edge.
+    closure: Vec<HashSet<ValueId>>,
+    in_loop: Vec<bool>,
+    /// Block-level control dependence (shared with the boundary mirror).
+    pub flow: FlowGraph,
+}
+
+impl VDeps {
+    /// Re-derive all six §4.1 edge families for `prog`.
+    pub fn build(prog: &Program) -> Self {
+        let f = &prog.func;
+        let n = f.insts.len();
+        let flow = FlowGraph::build(f);
+
+        let mut position = vec![(BlockId(0), 0usize); n];
+        for (b, i, v) in f.iter_insts() {
+            position[v.0 as usize] = (b, i);
+        }
+        let can_happen_after = |s2: ValueId, s1: ValueId| -> bool {
+            let (b1, i1) = position[s1.0 as usize];
+            let (b2, i2) = position[s2.0 as usize];
+            if b1 == b2 {
+                if i2 > i1 {
+                    return true;
+                }
+                return flow.reaches_nonempty(b1, b2);
+            }
+            flow.reach[b1.0 as usize].contains(&b2)
+        };
+
+        let mut edges: Vec<Vec<(ValueId, DepEdgeKind)>> = vec![Vec::new(); n];
+        let add = |edges: &mut Vec<Vec<(ValueId, DepEdgeKind)>>,
+                   from: ValueId,
+                   to: ValueId,
+                   kind: DepEdgeKind| {
+            let slot = &mut edges[from.0 as usize];
+            if !slot.contains(&(to, kind)) {
+                slot.push((to, kind));
+            }
+        };
+
+        // (1) SSA use-def.
+        for v in 0..n {
+            let vid = ValueId(v as u32);
+            for u in f.insts[v].op.uses() {
+                add(&mut edges, u, vid, DepEdgeKind::Data);
+            }
+        }
+
+        // (2)+(3) Location conflicts, including self-conflicts in loops.
+        let reads: Vec<Vec<Loc>> = f.insts.iter().map(|i| i.op.reads()).collect();
+        let writes: Vec<Vec<Loc>> = f.insts.iter().map(|i| i.op.writes()).collect();
+        let overlaps =
+            |a: &[Loc], b: &[Loc]| -> bool { a.iter().any(|la| b.iter().any(|lb| la == lb)) };
+        for s1 in 0..n {
+            for s2 in 0..n {
+                let v1 = ValueId(s1 as u32);
+                let v2 = ValueId(s2 as u32);
+                if s1 == s2 {
+                    // A statement self-conflicts exactly when it writes
+                    // anything: writes ∩ writes ≠ ∅ reduces to "writes
+                    // nonempty", and writes ∩ reads is then subsumed.
+                    if !writes[s1].is_empty() && can_happen_after(v1, v1) {
+                        add(&mut edges, v1, v1, DepEdgeKind::Data);
+                    }
+                    continue;
+                }
+                if !can_happen_after(v2, v1) {
+                    continue;
+                }
+                if overlaps(&writes[s1], &reads[s2]) || overlaps(&writes[s1], &writes[s2]) {
+                    add(&mut edges, v1, v2, DepEdgeKind::Data);
+                }
+                if overlaps(&reads[s1], &writes[s2]) {
+                    add(&mut edges, v1, v2, DepEdgeKind::ReverseData);
+                }
+            }
+        }
+
+        // (4) Control: every instruction of a control-dependent block
+        // depends on the branch condition.
+        for b in &f.blocks {
+            for &br_block in &flow.control_deps[b.id.0 as usize] {
+                let Terminator::Branch { cond, .. } = &f.block(br_block).term else {
+                    continue;
+                };
+                for &inst in &b.insts {
+                    if inst != *cond {
+                        add(&mut edges, *cond, inst, DepEdgeKind::Control);
+                    }
+                }
+            }
+        }
+
+        // (5) Output commit: Send/Drop observes every state write that can
+        // precede it (§4.3.3).
+        for s in 0..n {
+            if !matches!(f.insts[s].op, Op::Send | Op::Drop) {
+                continue;
+            }
+            let send = ValueId(s as u32);
+            for (w, wlocs) in writes.iter().enumerate() {
+                if w == s {
+                    continue;
+                }
+                let wid = ValueId(w as u32);
+                let writes_state = wlocs.iter().any(|l| matches!(l, Loc::State(_)));
+                if writes_state && can_happen_after(send, wid) {
+                    add(&mut edges, wid, send, DepEdgeKind::Data);
+                }
+            }
+        }
+
+        // (6) φ steering: a branch that can reach the φ's block through two
+        // or more different predecessors decides which incoming edge wins.
+        for b in &f.blocks {
+            for &v in &b.insts {
+                if !matches!(f.inst(v).op, Op::Phi { .. }) {
+                    continue;
+                }
+                for br in &f.blocks {
+                    let Terminator::Branch { cond, .. } = &br.term else {
+                        continue;
+                    };
+                    let preds_reached = flow.preds[b.id.0 as usize]
+                        .iter()
+                        .filter(|p| flow.reach[br.id.0 as usize].contains(p))
+                        .count();
+                    if preds_reached >= 2 {
+                        add(&mut edges, *cond, v, DepEdgeKind::Control);
+                    }
+                }
+            }
+        }
+
+        // ≥1-edge transitive closure by DFS from each value.
+        let mut closure: Vec<HashSet<ValueId>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut seen: HashSet<ValueId> = HashSet::new();
+            let mut stack: Vec<ValueId> = edges[v].iter().map(|(t, _)| *t).collect();
+            while let Some(cur) = stack.pop() {
+                if seen.insert(cur) {
+                    stack.extend(edges[cur.0 as usize].iter().map(|(t, _)| *t));
+                }
+            }
+            closure.push(seen);
+        }
+
+        let mut in_loop = vec![false; n];
+        for v in 0..n {
+            let (b, _) = position[v];
+            let vid = ValueId(v as u32);
+            in_loop[v] = flow.reaches_nonempty(b, b) || closure[v].contains(&vid);
+        }
+
+        VDeps {
+            n,
+            edges,
+            closure,
+            in_loop,
+            flow,
+        }
+    }
+
+    /// Number of instructions covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direct dependency edges out of `from`.
+    pub fn edges_out(&self, from: ValueId) -> &[(ValueId, DepEdgeKind)] {
+        &self.edges[from.0 as usize]
+    }
+
+    /// `from ⇝* to` over at least one edge.
+    pub fn depends_transitively(&self, from: ValueId, to: ValueId) -> bool {
+        self.closure[from.0 as usize].contains(&to)
+    }
+
+    /// CFG-cycle or dependency-cycle membership (label rule 5).
+    pub fn in_loop(&self, v: ValueId) -> bool {
+        self.in_loop[v.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gallium_mir::{BinOp, FuncBuilder, HeaderField};
+
+    fn branchy() -> Program {
+        let mut b = FuncBuilder::new("t");
+        let a = b.read_field(HeaderField::IpSaddr); // v0
+        let z = b.cnst(0, 32); // v1
+        let c = b.bin(BinOp::Eq, a, z); // v2
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.write_field(HeaderField::IpDaddr, a); // v3
+        b.send(); // v4
+        b.ret();
+        b.switch_to(e);
+        b.drop_pkt(); // v5
+        b.ret();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn control_dependence_covers_both_arms() {
+        let p = branchy();
+        let d = VDeps::build(&p);
+        for v in [3u32, 4, 5] {
+            assert!(
+                d.edges_out(ValueId(2))
+                    .contains(&(ValueId(v), DepEdgeKind::Control)),
+                "v{v} should control-depend on the branch condition"
+            );
+        }
+        // Entry-block statements do not control-depend on their own branch.
+        assert!(!d
+            .edges_out(ValueId(2))
+            .contains(&(ValueId(0), DepEdgeKind::Control)));
+    }
+
+    #[test]
+    fn war_edge_between_read_and_write() {
+        let p = branchy();
+        let d = VDeps::build(&p);
+        // v0 reads ip.saddr — no conflict; but v0's read of the header
+        // region and v3's write of ip.daddr touch different fields, so no
+        // edge. The send v4 reads all headers after v3 writes: Data v3→v4.
+        assert!(d
+            .edges_out(ValueId(3))
+            .contains(&(ValueId(4), DepEdgeKind::Data)));
+        assert!(d.depends_transitively(ValueId(0), ValueId(4)));
+    }
+
+    #[test]
+    fn loop_membership_via_cfg_cycle() {
+        let text = r#"
+program loopy {
+  b0:
+    v0 = const 0 : u32
+    jmp b1
+  b1:
+    v1 = phi [b0: v0, b2: v4]
+    v2 = const 10 : u32
+    v3 = lt v1, v2
+    br v3, b2, b3
+  b2:
+    v4 = add v1, v2
+    jmp b1
+  b3:
+    send
+    ret
+}
+"#;
+        let p = gallium_mir::parser::parse_program(text).unwrap();
+        let d = VDeps::build(&p);
+        for v in [1u32, 2, 3, 4] {
+            assert!(d.in_loop(ValueId(v)), "v{v} is loop-resident");
+        }
+        assert!(!d.in_loop(ValueId(0)));
+        assert!(!d.in_loop(ValueId(5)));
+    }
+
+    #[test]
+    fn pdom_sets_are_reflexive_and_chain_shaped() {
+        let p = branchy();
+        let g = FlowGraph::build(&p.func);
+        for b in 0..3usize {
+            assert!(g.pdoms[b].contains(&BlockId(b as u32)));
+        }
+        // Neither arm postdominates the entry (they are alternatives).
+        assert!(!g.pdoms[0].contains(&BlockId(1)));
+        assert!(!g.pdoms[0].contains(&BlockId(2)));
+    }
+}

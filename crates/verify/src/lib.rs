@@ -1,0 +1,491 @@
+//! # gallium-verify — independent partition verifier
+//!
+//! A second, deliberately redundant implementation of the facts the
+//! Gallium compiler relies on, used as a *translation validator*: after
+//! `compile()` produces a [`StagedProgram`] and a P4 program, this crate
+//! re-derives the §4 analysis results from scratch — its own dataflow
+//! framework ([`dataflow`]), its own dependency graph ([`deps`]) — and
+//! diffs them against the compiler's output:
+//!
+//! * **Partition soundness** ([`soundness`]) — phase-1 labels re-derived
+//!   and diffed, every offloaded assignment justified, dependency edges
+//!   flowing forward, boundary transfer sets and header layouts
+//!   reproduced, state placements and the one-access-per-traversal
+//!   discipline checked.
+//! * **Resource audit** ([`resources`]) — the generated P4 program laid
+//!   into match-action stages and checked against the [`SwitchModel`]
+//!   budgets, with a per-stage utilization report.
+//! * **MIR lints** ([`lints`]) — dead instructions, unreachable blocks,
+//!   unused state, unobserved header writes, replicated-write hazards.
+//!
+//! Any disagreement between the verifier and the compiler is a hard
+//! [`VerifyError`]; the lints are structured warnings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod deps;
+pub mod lints;
+pub mod resources;
+pub mod soundness;
+
+pub use dataflow::{
+    max_live_bits, solve, tainted_values, Analysis, Direction, LiveValues, ReachingHeaderWrites,
+    Solution, Taint,
+};
+pub use deps::{DepEdgeKind, FlowGraph, VDeps};
+pub use lints::{Lint, LintKind, Severity, Span};
+pub use resources::{ResourceReport, StageRow};
+pub use soundness::{derive_phase1_labels, DerivedLabels};
+
+use gallium_p4::P4Program;
+use gallium_partition::{ModelError, Partition, StagedProgram, StatePlacement, SwitchModel};
+use gallium_telemetry::json_escape;
+use std::fmt;
+
+use gallium_mir::ValueId;
+
+/// The two partition boundaries a value can cross.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Boundary {
+    /// Switch → server (end of the pre traversal).
+    ToServer,
+    /// Server → switch (start of the post traversal).
+    ToSwitch,
+}
+
+impl Boundary {
+    /// Stable lowercase key.
+    pub fn label(self) -> &'static str {
+        match self {
+            Boundary::ToServer => "to-server",
+            Boundary::ToSwitch => "to-switch",
+        }
+    }
+}
+
+/// The two switch traversals of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// Pre-processing traversal.
+    Pre,
+    /// Post-processing traversal.
+    Post,
+}
+
+impl Traversal {
+    /// Stable lowercase key.
+    pub fn label(self) -> &'static str {
+        match self {
+            Traversal::Pre => "pre",
+            Traversal::Post => "post",
+        }
+    }
+}
+
+/// A hard verification failure: either the compiler's output disagrees
+/// with the verifier's independent re-derivation (a compiler bug), or the
+/// generated program does not fit the switch model (unloadable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The switch model itself is degenerate.
+    Model(ModelError),
+    /// The re-derived phase-1 labels differ from the driver's snapshot.
+    LabelDisagreement {
+        /// Instruction in disagreement.
+        value: ValueId,
+        /// Pretty-printed instruction text.
+        inst: String,
+        /// Compiler's `pre` label after phase 1.
+        compiler_pre: bool,
+        /// Compiler's `post` label after phase 1.
+        compiler_post: bool,
+        /// Verifier's re-derived `pre` label.
+        derived_pre: bool,
+        /// Verifier's re-derived `post` label.
+        derived_post: bool,
+    },
+    /// An offloaded assignment the re-derived labels cannot justify.
+    AssignmentNotDerivable {
+        /// Instruction in question.
+        value: ValueId,
+        /// Pretty-printed instruction text.
+        inst: String,
+        /// The partition the compiler assigned.
+        assigned: Partition,
+    },
+    /// A dependency edge that flows backwards through the pipeline.
+    BackwardDependency {
+        /// Dependency (earlier) endpoint.
+        from: ValueId,
+        /// Dependent (later) endpoint.
+        to: ValueId,
+        /// Partition of `from`.
+        from_partition: Partition,
+        /// Partition of `to`.
+        to_partition: Partition,
+    },
+    /// A pre-partition value transitively computed from something P4
+    /// cannot express.
+    NonExpressibleOnSwitch {
+        /// Instruction in question.
+        value: ValueId,
+        /// Pretty-printed instruction text.
+        inst: String,
+    },
+    /// A value the verifier proves must cross a boundary but the
+    /// compiler's transfer set omits.
+    MissingTransfer {
+        /// The value that must cross.
+        value: ValueId,
+        /// Which boundary it must cross.
+        boundary: Boundary,
+    },
+    /// A synthesized transfer header whose payload width differs from the
+    /// re-derived boundary set's.
+    LayoutMismatch {
+        /// Which boundary.
+        boundary: Boundary,
+        /// Payload bits the verifier derived.
+        expected_bits: usize,
+        /// Payload bits the compiler's header carries.
+        actual_bits: usize,
+    },
+    /// A transfer header over the Constraint-5 wire budget.
+    TransferBudgetExceeded {
+        /// Which boundary.
+        boundary: Boundary,
+        /// Wire bytes of the synthesized header.
+        wire_bytes: usize,
+        /// The model's budget in bytes.
+        budget_bytes: usize,
+    },
+    /// A state placement differing from the §4.3.1 rule.
+    PlacementMismatch {
+        /// State name.
+        state: String,
+        /// The compiler's placement.
+        compiler: StatePlacement,
+        /// The verifier's re-derived placement.
+        derived: StatePlacement,
+    },
+    /// More than one access to a state object in one traversal
+    /// (Constraint 3).
+    MultipleStateAccess {
+        /// State name.
+        state: String,
+        /// Which traversal.
+        traversal: Traversal,
+        /// How many accesses the traversal makes.
+        accesses: usize,
+    },
+    /// A traversal needing more stages than the pipeline has
+    /// (Constraint 2).
+    StageOverflow {
+        /// Which traversal.
+        traversal: Traversal,
+        /// Stages the traversal needs.
+        depth: usize,
+        /// Stages the model provides.
+        budget: usize,
+    },
+    /// A cycle in the generated pipeline DAG (must never happen).
+    PipelineCycle {
+        /// Which traversal.
+        traversal: Traversal,
+    },
+    /// Tables plus registers over the SRAM budget (Constraint 1).
+    TableMemoryExceeded {
+        /// SRAM bits the program needs.
+        used_bits: usize,
+        /// SRAM bits the model provides.
+        budget_bits: usize,
+    },
+    /// Peak live metadata over the per-packet budget (Constraint 4).
+    MetadataOverflow {
+        /// Which traversal.
+        traversal: Traversal,
+        /// Peak concurrently-live bits.
+        live_bits: usize,
+        /// The model's budget in bits.
+        budget_bits: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Model(e) => write!(f, "invalid switch model: {e}"),
+            VerifyError::LabelDisagreement {
+                value,
+                inst,
+                compiler_pre,
+                compiler_post,
+                derived_pre,
+                derived_post,
+            } => write!(
+                f,
+                "label disagreement on v{} ({inst}): compiler derived pre={compiler_pre} \
+                 post={compiler_post}, verifier derived pre={derived_pre} post={derived_post}",
+                value.0
+            ),
+            VerifyError::AssignmentNotDerivable {
+                value,
+                inst,
+                assigned,
+            } => write!(
+                f,
+                "v{} ({inst}) is assigned to {} but the re-derived labels forbid it",
+                value.0,
+                assigned.label()
+            ),
+            VerifyError::BackwardDependency {
+                from,
+                to,
+                from_partition,
+                to_partition,
+            } => write!(
+                f,
+                "dependency v{} -> v{} flows backwards through the pipeline ({} -> {})",
+                from.0,
+                to.0,
+                from_partition.label(),
+                to_partition.label()
+            ),
+            VerifyError::NonExpressibleOnSwitch { value, inst } => write!(
+                f,
+                "v{} ({inst}) runs in pre but transitively depends on a value P4 cannot express",
+                value.0
+            ),
+            VerifyError::MissingTransfer { value, boundary } => write!(
+                f,
+                "v{} must cross the {} boundary but is missing from the transfer set",
+                value.0,
+                boundary.label()
+            ),
+            VerifyError::LayoutMismatch {
+                boundary,
+                expected_bits,
+                actual_bits,
+            } => write!(
+                f,
+                "{} header carries {actual_bits} payload bits; the re-derived boundary \
+                 set needs {expected_bits}",
+                boundary.label()
+            ),
+            VerifyError::TransferBudgetExceeded {
+                boundary,
+                wire_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "{} header is {wire_bytes} bytes on the wire, over the {budget_bytes}-byte \
+                 budget (constraint 5)",
+                boundary.label()
+            ),
+            VerifyError::PlacementMismatch {
+                state,
+                compiler,
+                derived,
+            } => write!(
+                f,
+                "state '{state}' placed {} by the compiler but the assignment implies {}",
+                compiler.label(),
+                derived.label()
+            ),
+            VerifyError::MultipleStateAccess {
+                state,
+                traversal,
+                accesses,
+            } => write!(
+                f,
+                "the {} traversal accesses state '{state}' {accesses} times; a pipeline \
+                 visits each table once (constraint 3)",
+                traversal.label()
+            ),
+            VerifyError::StageOverflow {
+                traversal,
+                depth,
+                budget,
+            } => write!(
+                f,
+                "the {} traversal needs {depth} stages but the pipeline has {budget} \
+                 (constraint 2)",
+                traversal.label()
+            ),
+            VerifyError::PipelineCycle { traversal } => write!(
+                f,
+                "the generated {} pipeline contains a cycle",
+                traversal.label()
+            ),
+            VerifyError::TableMemoryExceeded {
+                used_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "tables and registers need {used_bits} SRAM bits, over the {budget_bits}-bit \
+                 budget (constraint 1)",
+            ),
+            VerifyError::MetadataOverflow {
+                traversal,
+                live_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "the {} traversal keeps {live_bits} metadata bits live, over the \
+                 {budget_bits}-bit budget (constraint 4)",
+                traversal.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The complete verification outcome for one program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// Program name.
+    pub program: String,
+    /// Hard failures (empty for a clean program).
+    pub errors: Vec<VerifyError>,
+    /// Structured warnings.
+    pub lints: Vec<Lint>,
+    /// The resource audit, when the model was valid enough to run it.
+    pub resources: Option<ResourceReport>,
+}
+
+impl VerifyReport {
+    /// No hard errors (lints may still be present).
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Number of error-severity findings (hard errors plus error lints).
+    pub fn error_count(&self) -> usize {
+        self.errors.len()
+            + self
+                .lints
+                .iter()
+                .filter(|l| l.severity == Severity::Error)
+                .count()
+    }
+
+    /// Render the outcome as text: verdict, errors, lints, then the
+    /// per-stage resource table.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "verify: {} — {} ({} errors, {} lints)",
+            self.program,
+            if self.is_clean() { "ok" } else { "FAILED" },
+            self.errors.len(),
+            self.lints.len()
+        );
+        for e in &self.errors {
+            let _ = writeln!(out, "  error: {e}");
+        }
+        for l in &self.lints {
+            let _ = writeln!(out, "  {l}");
+        }
+        if let Some(r) = &self.resources {
+            for line in r.render_text().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out
+    }
+
+    /// Serialize the outcome to JSON (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"program\": {},", json_escape(&self.program));
+        let _ = write!(out, "\n  \"clean\": {},", self.is_clean());
+        out.push_str("\n  \"errors\": [");
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}", json_escape(&e.to_string()));
+        }
+        out.push_str("\n  ],\n  \"lints\": [");
+        for (i, l) in self.lints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"kind\": {}, \"severity\": {}, \"span\": {}, \"message\": {}}}",
+                json_escape(l.kind.key()),
+                json_escape(l.severity.label()),
+                json_escape(&l.span.to_string()),
+                json_escape(&l.message)
+            );
+        }
+        out.push_str("\n  ]");
+        if let Some(r) = &self.resources {
+            out.push_str(",\n  \"resources\": ");
+            for (i, line) in r.to_json().trim_end().lines().enumerate() {
+                if i > 0 {
+                    out.push('\n');
+                }
+                out.push_str(line);
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Verify one compiled program against the model it was compiled for.
+///
+/// Order: the model is validated first (a degenerate model short-circuits
+/// everything else with [`VerifyError::Model`]); then partition
+/// soundness, the resource audit, and the MIR lints, each under its own
+/// `gallium.verify.*` timer.
+pub fn verify(staged: &StagedProgram, p4: &P4Program, model: &SwitchModel) -> VerifyReport {
+    let reg = gallium_telemetry::global();
+    let _whole = reg.histogram("gallium.verify.verify_ns").time();
+    reg.counter("gallium.verify.runs").inc();
+
+    let mut errors = Vec::new();
+    let mut lints = Vec::new();
+    let mut resources = None;
+    if let Err(e) = model.validate() {
+        errors.push(VerifyError::Model(e));
+    } else {
+        {
+            let _t = reg.histogram("gallium.verify.soundness_ns").time();
+            soundness::check(staged, &mut errors);
+        }
+        {
+            let _t = reg.histogram("gallium.verify.resources_ns").time();
+            resources = Some(resources::check(staged, p4, model, &mut errors, &mut lints));
+        }
+    }
+    {
+        let _t = reg.histogram("gallium.verify.lints_ns").time();
+        lints.extend(lints::run(staged));
+    }
+
+    reg.counter("gallium.verify.errors")
+        .add(errors.len() as u64);
+    reg.counter("gallium.verify.lints").add(lints.len() as u64);
+    VerifyReport {
+        program: staged.prog.name.clone(),
+        errors,
+        lints,
+        resources,
+    }
+}

@@ -1,0 +1,578 @@
+//! Resource audit of the generated P4 program (§4.2.2 Constraints 1, 2,
+//! 4, 5 as the *switch loader* would see them).
+//!
+//! The auditor independently lays the generated match-action program into
+//! pipeline stages with the same dataflow metric the hardware uses (an
+//! operation runs one stage after its latest input is ready; each
+//! table/register access is itself a stage), then checks stage depth,
+//! SRAM, per-packet metadata, and the transfer-header budgets against the
+//! [`SwitchModel`], producing a per-stage utilization report.
+
+use crate::dataflow::{self, LiveValues};
+use crate::lints::{Lint, LintKind, Severity, Span};
+use crate::{Traversal, VerifyError};
+use gallium_mir::ValueId;
+use gallium_p4::{BlockNode, NodeNext, P4Program, P4Stmt};
+use gallium_partition::{Partition, StagedProgram, SwitchModel};
+use gallium_telemetry::json_escape;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Utilization of one pipeline stage (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Stage number, starting at 1.
+    pub stage: usize,
+    /// Statements the pre traversal executes at this stage.
+    pub pre_stmts: usize,
+    /// Statements the post traversal executes at this stage.
+    pub post_stmts: usize,
+    /// Tables homed at this stage (a table lives at the deepest stage
+    /// that applies it).
+    pub tables: Vec<String>,
+    /// Registers homed at this stage.
+    pub registers: Vec<String>,
+    /// SRAM bits the tables and registers of this stage require.
+    pub memory_bits: usize,
+}
+
+/// The full per-program resource audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceReport {
+    /// Program name.
+    pub program: String,
+    /// Deepest stage either traversal uses.
+    pub depth_used: usize,
+    /// The model's pipeline depth.
+    pub depth_budget: usize,
+    /// One row per *used* stage, in order.
+    pub stages: Vec<StageRow>,
+    /// Total table SRAM, in bits.
+    pub table_memory_bits: usize,
+    /// Total register SRAM, in bits.
+    pub register_bits: usize,
+    /// The model's total SRAM budget, in bits.
+    pub memory_budget_bits: usize,
+    /// The model's per-stage SRAM share, in bits.
+    pub per_stage_memory_bits: usize,
+    /// Peak concurrently-live metadata in the pre traversal, in bits.
+    pub pre_live_meta_bits: usize,
+    /// Peak concurrently-live metadata in the post traversal, in bits.
+    pub post_live_meta_bits: usize,
+    /// Total *declared* metadata, in bits (upper bound; the liveness
+    /// figures above are what the hard check uses).
+    pub declared_meta_bits: usize,
+    /// The model's per-packet metadata budget, in bits.
+    pub metadata_budget_bits: usize,
+    /// Wire size of the switch→server transfer header, in bytes.
+    pub to_server_wire_bytes: usize,
+    /// Wire size of the server→switch transfer header, in bytes.
+    pub to_switch_wire_bytes: usize,
+    /// The model's transfer-header budget, in bytes.
+    pub transfer_budget_bytes: usize,
+}
+
+impl ResourceReport {
+    /// Percentage helper (0 when the budget is 0).
+    fn pct(used: usize, budget: usize) -> usize {
+        (used * 100).checked_div(budget).unwrap_or(0)
+    }
+
+    /// Render the audit as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "resources: {} (depth {}/{} stages, memory {}/{} bits, metadata pre {} post {} / {} bits)",
+            self.program,
+            self.depth_used,
+            self.depth_budget,
+            self.table_memory_bits + self.register_bits,
+            self.memory_budget_bits,
+            self.pre_live_meta_bits,
+            self.post_live_meta_bits,
+            self.metadata_budget_bits,
+        );
+        let _ = writeln!(out, "  stage  pre-ops  post-ops  sram(bits)  homed");
+        for row in &self.stages {
+            let mut homed: Vec<&str> = row.tables.iter().map(String::as_str).collect();
+            homed.extend(row.registers.iter().map(String::as_str));
+            let _ = writeln!(
+                out,
+                "  {:<5}  {:<7}  {:<8}  {:<10}  {}",
+                row.stage,
+                row.pre_stmts,
+                row.post_stmts,
+                row.memory_bits,
+                if homed.is_empty() {
+                    "-".to_string()
+                } else {
+                    homed.join(", ")
+                },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  memory: {} table + {} register = {} / {} bits ({}%), per-stage share {} bits",
+            self.table_memory_bits,
+            self.register_bits,
+            self.table_memory_bits + self.register_bits,
+            self.memory_budget_bits,
+            Self::pct(
+                self.table_memory_bits + self.register_bits,
+                self.memory_budget_bits
+            ),
+            self.per_stage_memory_bits,
+        );
+        let _ = writeln!(
+            out,
+            "  metadata: pre {} / post {} live bits, {} declared, budget {} bits ({}%)",
+            self.pre_live_meta_bits,
+            self.post_live_meta_bits,
+            self.declared_meta_bits,
+            self.metadata_budget_bits,
+            Self::pct(
+                self.pre_live_meta_bits.max(self.post_live_meta_bits),
+                self.metadata_budget_bits
+            ),
+        );
+        let _ = writeln!(
+            out,
+            "  transfer: to-server {} B, to-switch {} B, budget {} B",
+            self.to_server_wire_bytes, self.to_switch_wire_bytes, self.transfer_budget_bytes,
+        );
+        out
+    }
+
+    /// Serialize the audit to JSON (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\n  \"program\": {},", json_escape(&self.program));
+        let _ = write!(
+            out,
+            "\n  \"depth\": {{\"used\": {}, \"budget\": {}}},",
+            self.depth_used, self.depth_budget
+        );
+        out.push_str("\n  \"stages\": [");
+        for (i, row) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let tables: Vec<String> = row.tables.iter().map(|t| json_escape(t)).collect();
+            let regs: Vec<String> = row.registers.iter().map(|r| json_escape(r)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"stage\": {}, \"pre_stmts\": {}, \"post_stmts\": {}, \
+                 \"memory_bits\": {}, \"tables\": [{}], \"registers\": [{}]}}",
+                row.stage,
+                row.pre_stmts,
+                row.post_stmts,
+                row.memory_bits,
+                tables.join(", "),
+                regs.join(", ")
+            );
+        }
+        out.push_str("\n  ],");
+        let _ = write!(
+            out,
+            "\n  \"memory\": {{\"table_bits\": {}, \"register_bits\": {}, \"budget_bits\": {}, \"per_stage_bits\": {}}},",
+            self.table_memory_bits, self.register_bits, self.memory_budget_bits, self.per_stage_memory_bits
+        );
+        let _ = write!(
+            out,
+            "\n  \"metadata\": {{\"pre_live_bits\": {}, \"post_live_bits\": {}, \"declared_bits\": {}, \"budget_bits\": {}}},",
+            self.pre_live_meta_bits, self.post_live_meta_bits, self.declared_meta_bits, self.metadata_budget_bits
+        );
+        let _ = write!(
+            out,
+            "\n  \"transfer\": {{\"to_server_bytes\": {}, \"to_switch_bytes\": {}, \"budget_bytes\": {}}}\n}}\n",
+            self.to_server_wire_bytes, self.to_switch_wire_bytes, self.transfer_budget_bytes
+        );
+        out
+    }
+}
+
+/// Per-traversal facts from the stage replay.
+struct TraversalStages {
+    /// Deepest stage used.
+    depth: usize,
+    /// `stmts_at[s-1]` = statements executing at stage `s`.
+    stmts_at: Vec<usize>,
+    /// Deepest stage at which each table is applied.
+    table_stage: HashMap<usize, usize>,
+    /// Deepest stage at which each register is accessed.
+    reg_stage: HashMap<usize, usize>,
+}
+
+/// Metadata fields an expression reads (mirror of the codegen metric).
+fn expr_reads(e: &gallium_p4::P4Expr, out: &mut Vec<String>) {
+    use gallium_p4::P4Expr;
+    match e {
+        P4Expr::Meta(n) => out.push(n.clone()),
+        P4Expr::Bin(_, a, b) => {
+            expr_reads(a, out);
+            expr_reads(b, out);
+        }
+        P4Expr::Not(a) | P4Expr::Cast(a, _) => expr_reads(a, out),
+        P4Expr::Hash(parts, _) => {
+            for p in parts {
+                expr_reads(p, out);
+            }
+        }
+        P4Expr::Const(..) | P4Expr::Header(_) | P4Expr::IngressPort => {}
+    }
+}
+
+#[derive(Clone, Default)]
+struct Levels {
+    meta: HashMap<String, usize>,
+    max: usize,
+}
+
+fn merge(a: &mut Levels, b: &Levels) -> bool {
+    let mut changed = false;
+    for (k, v) in &b.meta {
+        let e = a.meta.entry(k.clone()).or_insert(0);
+        if *v > *e {
+            *e = *v;
+            changed = true;
+        }
+    }
+    if b.max > a.max {
+        a.max = b.max;
+        changed = true;
+    }
+    changed
+}
+
+/// The stage one statement executes at, given the input levels; updates
+/// the levels in place.
+fn stmt_stage(stmt: &P4Stmt, lv: &mut Levels) -> (usize, Option<(bool, usize)>) {
+    let mut reads = Vec::new();
+    let mut writes: Vec<&String> = Vec::new();
+    // (is_table, index) of the stateful resource this statement accesses.
+    let mut stateful: Option<(bool, usize)> = None;
+    match stmt {
+        P4Stmt::SetMeta(name, e) => {
+            expr_reads(e, &mut reads);
+            writes.push(name);
+        }
+        P4Stmt::SetHeader(_, e) => expr_reads(e, &mut reads),
+        P4Stmt::TableLookup {
+            table,
+            keys,
+            hit_meta,
+            value_metas,
+        } => {
+            for k in keys {
+                expr_reads(k, &mut reads);
+            }
+            writes.push(hit_meta);
+            writes.extend(value_metas.iter());
+            stateful = Some((true, *table));
+        }
+        P4Stmt::RegRead { reg, dst } => {
+            writes.push(dst);
+            stateful = Some((false, *reg));
+        }
+        P4Stmt::RegWrite { reg, src } => {
+            expr_reads(src, &mut reads);
+            stateful = Some((false, *reg));
+        }
+        P4Stmt::RegFetchAdd { reg, dst, delta } => {
+            expr_reads(delta, &mut reads);
+            writes.push(dst);
+            stateful = Some((false, *reg));
+        }
+        P4Stmt::UpdateChecksum | P4Stmt::EmitCopy | P4Stmt::MarkDrop => {}
+    }
+    let in_level = reads
+        .iter()
+        .map(|r| lv.meta.get(r).copied().unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    let stage = in_level + 1;
+    for w in writes {
+        lv.meta.insert(w.clone(), stage);
+    }
+    lv.max = lv.max.max(stage);
+    (stage, stateful)
+}
+
+/// Lay one traversal into stages: run the level propagation to a
+/// fixpoint, then replay every node once with its converged input levels
+/// to attribute statements, tables, and registers to stages.
+fn lay_out(
+    nodes: &[BlockNode],
+    entry: usize,
+    traversal: Traversal,
+    errors: &mut Vec<VerifyError>,
+) -> Option<TraversalStages> {
+    let n = nodes.len();
+    if n == 0 {
+        return Some(TraversalStages {
+            depth: 0,
+            stmts_at: Vec::new(),
+            table_stage: HashMap::new(),
+            reg_stage: HashMap::new(),
+        });
+    }
+    let succs = |node: &BlockNode| -> Vec<usize> {
+        match &node.next {
+            NodeNext::Jump(t) => vec![*t],
+            NodeNext::Cond { then_n, else_n, .. } => vec![*then_n, *else_n],
+            NodeNext::SkipJoin { join: Some(j), .. } => vec![*j],
+            _ => vec![],
+        }
+    };
+    let mut inbox: Vec<Option<Levels>> = vec![None; n];
+    inbox[entry] = Some(Levels::default());
+    let mut changed = true;
+    let mut rounds = 0usize;
+    while changed {
+        changed = false;
+        rounds += 1;
+        if rounds > n + 2 {
+            errors.push(VerifyError::PipelineCycle { traversal });
+            return None;
+        }
+        for i in 0..n {
+            let Some(level_in) = inbox[i].clone() else {
+                continue;
+            };
+            let mut lv = level_in;
+            for stmt in &nodes[i].stmts {
+                stmt_stage(stmt, &mut lv);
+            }
+            for s in succs(&nodes[i]) {
+                match &mut inbox[s] {
+                    Some(existing) => changed |= merge(existing, &lv),
+                    slot @ None => {
+                        *slot = Some(lv.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Replay with the converged inboxes (monotone transfer functions, so
+    // the replay sees exactly the final-iteration stages).
+    let mut depth = 0usize;
+    let mut stmts_at: Vec<usize> = Vec::new();
+    let mut table_stage: HashMap<usize, usize> = HashMap::new();
+    let mut reg_stage: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        let Some(level_in) = inbox[i].clone() else {
+            continue;
+        };
+        let mut lv = level_in;
+        for stmt in &nodes[i].stmts {
+            let (stage, stateful) = stmt_stage(stmt, &mut lv);
+            if stmts_at.len() < stage {
+                stmts_at.resize(stage, 0);
+            }
+            stmts_at[stage - 1] += 1;
+            match stateful {
+                Some((true, t)) => {
+                    let e = table_stage.entry(t).or_insert(0);
+                    *e = (*e).max(stage);
+                }
+                Some((false, r)) => {
+                    let e = reg_stage.entry(r).or_insert(0);
+                    *e = (*e).max(stage);
+                }
+                None => {}
+            }
+        }
+        depth = depth.max(lv.max);
+    }
+    Some(TraversalStages {
+        depth,
+        stmts_at,
+        table_stage,
+        reg_stage,
+    })
+}
+
+/// Run the resource audit, appending hard findings to `errors` and
+/// pressure warnings to `lints`; always returns the report.
+pub(crate) fn check(
+    staged: &StagedProgram,
+    p4: &P4Program,
+    model: &SwitchModel,
+    errors: &mut Vec<VerifyError>,
+    lints: &mut Vec<Lint>,
+) -> ResourceReport {
+    let pre = lay_out(&p4.pre_nodes, p4.entry, Traversal::Pre, errors);
+    let post = lay_out(&p4.post_nodes, p4.entry, Traversal::Post, errors);
+
+    let mut depth_used = 0usize;
+    let mut table_stage: HashMap<usize, usize> = HashMap::new();
+    let mut reg_stage: HashMap<usize, usize> = HashMap::new();
+    let mut pre_stmts: Vec<usize> = Vec::new();
+    let mut post_stmts: Vec<usize> = Vec::new();
+    for (t, stages, traversal) in [
+        (&pre, &mut pre_stmts, Traversal::Pre),
+        (&post, &mut post_stmts, Traversal::Post),
+    ] {
+        if let Some(t) = t {
+            depth_used = depth_used.max(t.depth);
+            *stages = t.stmts_at.clone();
+            for (&k, &s) in &t.table_stage {
+                let e = table_stage.entry(k).or_insert(0);
+                *e = (*e).max(s);
+            }
+            for (&k, &s) in &t.reg_stage {
+                let e = reg_stage.entry(k).or_insert(0);
+                *e = (*e).max(s);
+            }
+            if t.depth > model.pipeline_depth {
+                errors.push(VerifyError::StageOverflow {
+                    traversal,
+                    depth: t.depth,
+                    budget: model.pipeline_depth,
+                });
+            }
+        }
+    }
+
+    // Constraint 1: total SRAM.
+    let table_memory_bits = p4.table_memory_bits();
+    let register_bits: usize = p4.registers.iter().map(|r| usize::from(r.width)).sum();
+    if table_memory_bits + register_bits > model.memory_bits {
+        errors.push(VerifyError::TableMemoryExceeded {
+            used_bits: table_memory_bits + register_bits,
+            budget_bits: model.memory_bits,
+        });
+    }
+
+    // Per-stage rows and the per-stage SRAM share.
+    let table_bits = |t: &gallium_p4::P4Table| -> usize {
+        let entry: usize = t
+            .key_widths
+            .iter()
+            .chain(t.value_widths.iter())
+            .map(|w| usize::from(*w))
+            .sum();
+        entry * t.size
+    };
+    let mut stages = Vec::new();
+    for stage in 1..=depth_used {
+        let tables: Vec<String> = p4
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| table_stage.get(i) == Some(&stage))
+            .map(|(_, t)| t.name.clone())
+            .collect();
+        let registers: Vec<String> = p4
+            .registers
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| reg_stage.get(i) == Some(&stage))
+            .map(|(_, r)| r.name.clone())
+            .collect();
+        let memory_bits: usize = p4
+            .tables
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| table_stage.get(i) == Some(&stage))
+            .map(|(_, t)| table_bits(t))
+            .sum::<usize>()
+            + p4.registers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| reg_stage.get(i) == Some(&stage))
+                .map(|(_, r)| usize::from(r.width))
+                .sum::<usize>();
+        if memory_bits > model.per_stage_memory_bits() {
+            lints.push(Lint {
+                kind: LintKind::StagePressure,
+                severity: Severity::Warning,
+                span: Span::Program,
+                message: format!(
+                    "stage {stage} homes {memory_bits} SRAM bits, above the equal per-stage share of {} bits",
+                    model.per_stage_memory_bits()
+                ),
+            });
+        }
+        stages.push(StageRow {
+            stage,
+            pre_stmts: pre_stmts.get(stage - 1).copied().unwrap_or(0),
+            post_stmts: post_stmts.get(stage - 1).copied().unwrap_or(0),
+            tables,
+            registers,
+            memory_bits,
+        });
+    }
+
+    // Constraint 4: peak live metadata per traversal, re-derived with the
+    // verifier's own liveness solver.
+    let f = &staged.prog.func;
+    let live = dataflow::solve(f, &LiveValues);
+    let pre_live_meta_bits = dataflow::max_live_bits(f, &live, &|v: ValueId| {
+        staged.assignment[v.0 as usize] == Partition::Pre
+    });
+    let post_live_meta_bits = dataflow::max_live_bits(f, &live, &|v: ValueId| {
+        staged.assignment[v.0 as usize] == Partition::Post
+    });
+    for (bits, traversal) in [
+        (pre_live_meta_bits, Traversal::Pre),
+        (post_live_meta_bits, Traversal::Post),
+    ] {
+        if bits > model.metadata_bits {
+            errors.push(VerifyError::MetadataOverflow {
+                traversal,
+                live_bits: bits,
+                budget_bits: model.metadata_bits,
+            });
+        }
+    }
+    let declared_meta_bits = p4.metadata_bits();
+    if declared_meta_bits > model.metadata_bits {
+        lints.push(Lint {
+            kind: LintKind::DeclaredMetadataPressure,
+            severity: Severity::Warning,
+            span: Span::Program,
+            message: format!(
+                "{declared_meta_bits} metadata bits declared against a budget of {} (peak liveness fits; the allocator may still pack fields)",
+                model.metadata_bits
+            ),
+        });
+    }
+
+    // Constraint 5: both transfer headers on the wire.
+    let to_server_wire_bytes = staged.header_to_server.wire_bytes();
+    let to_switch_wire_bytes = staged.header_to_switch.wire_bytes();
+    for (bytes, boundary) in [
+        (to_server_wire_bytes, crate::Boundary::ToServer),
+        (to_switch_wire_bytes, crate::Boundary::ToSwitch),
+    ] {
+        if bytes > model.transfer_budget_bytes {
+            errors.push(VerifyError::TransferBudgetExceeded {
+                boundary,
+                wire_bytes: bytes,
+                budget_bytes: model.transfer_budget_bytes,
+            });
+        }
+    }
+
+    ResourceReport {
+        program: staged.prog.name.clone(),
+        depth_used,
+        depth_budget: model.pipeline_depth,
+        stages,
+        table_memory_bits,
+        register_bits,
+        memory_budget_bits: model.memory_bits,
+        per_stage_memory_bits: model.per_stage_memory_bits(),
+        pre_live_meta_bits,
+        post_live_meta_bits,
+        declared_meta_bits,
+        metadata_budget_bits: model.metadata_bits,
+        to_server_wire_bytes,
+        to_switch_wire_bytes,
+        transfer_budget_bytes: model.transfer_budget_bytes,
+    }
+}

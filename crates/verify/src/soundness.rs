@@ -1,0 +1,369 @@
+//! Translation validation of the partitioner (§4.2).
+//!
+//! Every check here re-derives a fact the partitioner also computed —
+//! phase-1 labels, dependency direction, boundary sets, state placements,
+//! the single-access discipline — from the MIR program and the re-derived
+//! dependency graph of [`crate::deps`], then diffs it against what the
+//! compiler actually emitted. Agreement is required; any delta is a
+//! [`VerifyError`], not a warning.
+
+use crate::dataflow;
+use crate::deps::{DepEdgeKind, VDeps};
+use crate::{Boundary, Traversal, VerifyError};
+use gallium_mir::{printer, Program, Terminator, Ty, ValueId};
+use gallium_partition::{Partition, StagedProgram};
+use std::collections::HashSet;
+
+/// Independently re-derived label set (deliberately not
+/// `gallium_partition::LabelSet`, so a bug there cannot leak in here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DerivedLabels {
+    /// May still run in the pre-processing partition.
+    pub pre: bool,
+    /// May still run in the post-processing partition.
+    pub post: bool,
+}
+
+/// Re-run the §4.2.1 label-removing algorithm from first principles:
+/// initial labels from P4 expressibility, then rules 1–5 to a fixpoint
+/// over the re-derived dependency graph.
+pub fn derive_phase1_labels(prog: &Program, dep: &VDeps) -> Vec<DerivedLabels> {
+    let n = prog.func.insts.len();
+    let mut labels: Vec<DerivedLabels> = prog
+        .func
+        .insts
+        .iter()
+        .map(|i| {
+            let ok = i.op.p4_supported(&prog.states);
+            DerivedLabels { pre: ok, post: ok }
+        })
+        .collect();
+
+    // Rule 5 first: loop-resident statements lose both labels outright.
+    for (v, label) in labels.iter_mut().enumerate() {
+        if dep.in_loop(ValueId(v as u32)) {
+            label.pre = false;
+            label.post = false;
+        }
+    }
+
+    let touches: Vec<Vec<gallium_mir::StateId>> = prog
+        .func
+        .insts
+        .iter()
+        .map(|i| {
+            let mut s = i.op.states_touched();
+            s.sort();
+            s.dedup();
+            s
+        })
+        .collect();
+    let share_state =
+        |a: usize, b: usize| -> bool { touches[a].iter().any(|s| touches[b].contains(s)) };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s1 in 0..n {
+            for s2 in 0..n {
+                if s1 == s2 {
+                    continue;
+                }
+                if !dep.depends_transitively(ValueId(s1 as u32), ValueId(s2 as u32)) {
+                    continue;
+                }
+                // Rule 1: a dependency-later statement barred from post
+                // bars its dependency from post too.
+                if !labels[s2].post && labels[s1].post {
+                    labels[s1].post = false;
+                    changed = true;
+                }
+                // Rule 2: a dependency-earlier statement barred from pre
+                // bars its dependents from pre.
+                if !labels[s1].pre && labels[s2].pre {
+                    labels[s2].pre = false;
+                    changed = true;
+                }
+                if share_state(s1, s2) {
+                    // Rule 3: at most one pre access per state on a chain.
+                    if labels[s1].pre && labels[s2].pre {
+                        labels[s2].pre = false;
+                        changed = true;
+                    }
+                    // Rule 4: at most one post access per state on a chain.
+                    if labels[s2].post && labels[s1].post {
+                        labels[s1].post = false;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    labels
+}
+
+/// Mirror of the boundary-liveness test: is `v` needed by partition `x` —
+/// as data, as a recorded control dependence, or to navigate the CFG to an
+/// `x`-instruction?
+fn needed_by(
+    prog: &Program,
+    dep: &VDeps,
+    assignment: &[Partition],
+    v: ValueId,
+    x: Partition,
+) -> bool {
+    let f = &prog.func;
+    for (_, _, wid) in f.iter_insts() {
+        if assignment[wid.0 as usize] == x && f.inst(wid).op.uses().contains(&v) {
+            return true;
+        }
+    }
+    if dep
+        .edges_out(v)
+        .iter()
+        .any(|(t, k)| *k == DepEdgeKind::Control && assignment[t.0 as usize] == x)
+    {
+        return true;
+    }
+    let my_branches: Vec<gallium_mir::BlockId> = f
+        .blocks
+        .iter()
+        .filter(|b| matches!(&b.term, Terminator::Branch { cond, .. } if *cond == v))
+        .map(|b| b.id)
+        .collect();
+    if my_branches.is_empty() {
+        return false;
+    }
+    for b in &f.blocks {
+        if !b.insts.iter().any(|w| assignment[w.0 as usize] == x) {
+            continue;
+        }
+        let mut stack = vec![b.id];
+        let mut seen = HashSet::new();
+        while let Some(blk) = stack.pop() {
+            if !seen.insert(blk) {
+                continue;
+            }
+            for dep_block in &dep.flow.control_deps[blk.0 as usize] {
+                if my_branches.contains(dep_block) {
+                    return true;
+                }
+                stack.push(*dep_block);
+            }
+        }
+    }
+    false
+}
+
+/// Re-derive both boundary value sets from the final assignment.
+fn derive_boundaries(
+    prog: &Program,
+    dep: &VDeps,
+    assignment: &[Partition],
+) -> (Vec<ValueId>, Vec<ValueId>) {
+    let mut to_server = Vec::new();
+    let mut to_switch = Vec::new();
+    for i in 0..prog.func.insts.len() {
+        let v = ValueId(i as u32);
+        if prog.func.inst(v).ty == Ty::Unit {
+            continue;
+        }
+        match assignment[i] {
+            Partition::Pre => {
+                let need_server = needed_by(prog, dep, assignment, v, Partition::NonOffloaded);
+                let need_post = needed_by(prog, dep, assignment, v, Partition::Post);
+                if need_server || need_post {
+                    to_server.push(v);
+                }
+                if need_post {
+                    to_switch.push(v);
+                }
+            }
+            Partition::NonOffloaded => {
+                if needed_by(prog, dep, assignment, v, Partition::Post) {
+                    to_switch.push(v);
+                }
+            }
+            Partition::Post => {}
+        }
+    }
+    (to_server, to_switch)
+}
+
+/// Bits one SSA value occupies in a transfer header (presence bit plus
+/// components for map results, the plain width for scalars).
+fn value_header_bits(prog: &Program, v: ValueId) -> usize {
+    match &prog.func.inst(v).ty {
+        Ty::Int(w) => usize::from(*w),
+        Ty::MapResult(ws) => 1 + ws.iter().map(|w| usize::from(*w)).sum::<usize>(),
+        Ty::Unit => 0,
+    }
+}
+
+/// Run every soundness check, appending findings to `errors`.
+pub(crate) fn check(staged: &StagedProgram, errors: &mut Vec<VerifyError>) {
+    let prog = &staged.prog;
+    let n = prog.func.insts.len();
+    let dep = VDeps::build(prog);
+    let derived = derive_phase1_labels(prog, &dep);
+
+    // Translation validation of phase 1: diff the re-derived labels
+    // against the driver's snapshot (absent when the program was staged by
+    // hand in tests — nothing to diff then).
+    if staged.phase1_labels.len() == n {
+        for (v, d) in derived.iter().enumerate() {
+            let c = staged.phase1_labels[v];
+            if c.pre != d.pre || c.post != d.post {
+                errors.push(VerifyError::LabelDisagreement {
+                    value: ValueId(v as u32),
+                    inst: printer::print_inst(prog, ValueId(v as u32)),
+                    compiler_pre: c.pre,
+                    compiler_post: c.post,
+                    derived_pre: d.pre,
+                    derived_post: d.post,
+                });
+            }
+        }
+    }
+
+    // Refinement only removes labels, so every offloaded assignment must
+    // still be justified by the phase-1 labels we derived ourselves.
+    for (v, d) in derived.iter().enumerate() {
+        let bad = match staged.assignment[v] {
+            Partition::Pre => !d.pre,
+            Partition::Post => !d.post,
+            Partition::NonOffloaded => false,
+        };
+        if bad {
+            errors.push(VerifyError::AssignmentNotDerivable {
+                value: ValueId(v as u32),
+                inst: printer::print_inst(prog, ValueId(v as u32)),
+                assigned: staged.assignment[v],
+            });
+        }
+    }
+
+    // Every dependency edge must flow forward through the pipeline:
+    // Pre ≤ NonOffloaded ≤ Post.
+    for v in 0..n {
+        let vid = ValueId(v as u32);
+        for (t, _) in dep.edges_out(vid) {
+            if staged.assignment[v] > staged.assignment[t.0 as usize] {
+                errors.push(VerifyError::BackwardDependency {
+                    from: vid,
+                    to: *t,
+                    from_partition: staged.assignment[v],
+                    to_partition: staged.assignment[t.0 as usize],
+                });
+            }
+        }
+    }
+
+    // Taint: anything transitively computed from a P4-inexpressible value
+    // cannot run in pre (the pre traversal executes before the server
+    // ever sees the packet).
+    let tainted = dataflow::tainted_values(&prog.func, &prog.states);
+    for v in 0..n {
+        let vid = ValueId(v as u32);
+        if staged.assignment[v] == Partition::Pre && tainted.contains(&vid) {
+            errors.push(VerifyError::NonExpressibleOnSwitch {
+                value: vid,
+                inst: printer::print_inst(prog, vid),
+            });
+        }
+    }
+
+    // Boundary liveness: every value our analysis says must cross a
+    // boundary has to appear in the compiler's transfer set, and the
+    // synthesized headers must carry exactly the derived payload.
+    let (to_server, to_switch) = derive_boundaries(prog, &dep, &staged.assignment);
+    for (derived_set, staged_set, layout, boundary) in [
+        (
+            &to_server,
+            &staged.to_server_values,
+            &staged.header_to_server,
+            Boundary::ToServer,
+        ),
+        (
+            &to_switch,
+            &staged.to_switch_values,
+            &staged.header_to_switch,
+            Boundary::ToSwitch,
+        ),
+    ] {
+        for v in derived_set {
+            if !staged_set.contains(v) {
+                errors.push(VerifyError::MissingTransfer {
+                    value: *v,
+                    boundary,
+                });
+            }
+        }
+        let expected_bits: usize = derived_set
+            .iter()
+            .map(|v| value_header_bits(prog, *v))
+            .sum();
+        if layout.bits() != expected_bits {
+            errors.push(VerifyError::LayoutMismatch {
+                boundary,
+                expected_bits,
+                actual_bits: layout.bits(),
+            });
+        }
+    }
+
+    // Placements (§4.3.1) from the final assignment.
+    for (s, st) in prog.states.iter().enumerate() {
+        let sid = gallium_mir::StateId(s as u32);
+        let mut on_switch = false;
+        let mut on_server = false;
+        for (v, part) in staged.assignment.iter().enumerate() {
+            if prog.func.insts[v].op.states_touched().contains(&sid) {
+                if part.on_switch() {
+                    on_switch = true;
+                } else {
+                    on_server = true;
+                }
+            }
+        }
+        let derived_placement = match (on_switch, on_server) {
+            (true, true) => gallium_partition::StatePlacement::Replicated,
+            (true, false) => gallium_partition::StatePlacement::SwitchOnly,
+            (false, true) => gallium_partition::StatePlacement::ServerOnly,
+            (false, false) => gallium_partition::StatePlacement::Unused,
+        };
+        if staged.placements[s] != derived_placement {
+            errors.push(VerifyError::PlacementMismatch {
+                state: st.name.clone(),
+                compiler: staged.placements[s],
+                derived: derived_placement,
+            });
+        }
+    }
+
+    // Constraint 3 as an invariant of the *output*: each traversal may
+    // touch each state object at most once.
+    for (s, st) in prog.states.iter().enumerate() {
+        let sid = gallium_mir::StateId(s as u32);
+        for (part, traversal) in [
+            (Partition::Pre, Traversal::Pre),
+            (Partition::Post, Traversal::Post),
+        ] {
+            let accesses = staged
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|(v, p)| {
+                    **p == part && prog.func.insts[*v].op.states_touched().contains(&sid)
+                })
+                .count();
+            if accesses > 1 {
+                errors.push(VerifyError::MultipleStateAccess {
+                    state: st.name.clone(),
+                    traversal,
+                    accesses,
+                });
+            }
+        }
+    }
+}

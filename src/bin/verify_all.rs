@@ -1,0 +1,41 @@
+//! verify_all — compile every packaged middlebox (plus MiniLB) with the
+//! independent verifier forced on, print each program's verification
+//! verdict and per-stage resource audit, and exit nonzero if any
+//! error-severity finding (or compile failure) occurred.
+//!
+//! ```text
+//! cargo run --bin verify_all
+//! ```
+
+use gallium::prelude::*;
+
+fn main() {
+    let model = SwitchModel::tofino_like();
+    let mut programs = gallium::middleboxes::all_evaluated();
+    programs.push(("MiniLB", gallium::middleboxes::minilb::minilb().prog));
+
+    let mut error_findings = 0usize;
+    for (name, prog) in &programs {
+        match compile_with(prog, &model, CompileOptions { verify: true }) {
+            Ok(compiled) => {
+                let report = compiled.verify.expect("verification was requested");
+                print!("{}", report.render_text());
+                error_findings += report.error_count();
+            }
+            Err(e) => {
+                println!("verify: {name} — COMPILE FAILED: {e}");
+                error_findings += 1;
+            }
+        }
+        println!();
+    }
+
+    let snapshot = gallium::telemetry::global().snapshot();
+    println!("=== telemetry snapshot (json) ===");
+    print!("{}", snapshot.to_json());
+
+    if error_findings > 0 {
+        eprintln!("verify_all: {error_findings} error-severity findings");
+        std::process::exit(1);
+    }
+}

@@ -46,15 +46,17 @@ pub use gallium_server as server;
 pub use gallium_sim as sim;
 pub use gallium_switchsim as switchsim;
 pub use gallium_telemetry as telemetry;
+pub use gallium_verify as verify;
 pub use gallium_workloads as workloads;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use gallium_core::{compile, CompiledMiddlebox, Deployment};
+    pub use gallium_core::{compile, compile_with, CompileOptions, CompiledMiddlebox, Deployment};
     pub use gallium_mir::{FuncBuilder, Interpreter, Program, StateStore};
     pub use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
     pub use gallium_partition::{Partition, StagedProgram, StatePlacement, SwitchModel};
     pub use gallium_server::CostModel;
     pub use gallium_switchsim::{Switch, SwitchConfig};
     pub use gallium_telemetry::TelemetrySnapshot;
+    pub use gallium_verify::{VerifyError, VerifyReport};
 }

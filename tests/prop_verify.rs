@@ -1,0 +1,316 @@
+//! Property tests for the independent verifier: its re-derived dataflow
+//! facts must agree with `gallium-analysis` on randomized programs (the
+//! two implementations share no code), and every compiled program —
+//! random or packaged — must verify clean under any model the compiler
+//! accepted it for.
+
+use gallium::analysis::{DepGraph, DepKind, Liveness};
+use gallium::mir::{BinOp, FuncBuilder, HeaderField, Program, ValueId};
+use gallium::prelude::*;
+use gallium::verify::{dataflow, deps::DepEdgeKind, deps::VDeps};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------
+// Random-program generator (same classify/act shape the compiler prop
+// tests use: ALU pre-work, optional annotated map with a hit/miss
+// branch, optional register/vector state, per-branch actions).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PureOp {
+    ReadField(usize),
+    Const(u32),
+    Bin(u8, usize, usize),
+    Hash(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+enum BranchOp {
+    WriteField(usize, usize),
+    RegWrite(usize),
+    VecPick(usize),
+    MapInsert(usize),
+    Drop,
+}
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    map_annotated: bool,
+    use_map: bool,
+    use_reg: bool,
+    use_vec: bool,
+    pre: Vec<PureOp>,
+    hit: Vec<BranchOp>,
+    miss: Vec<BranchOp>,
+}
+
+const READ_FIELDS: [HeaderField; 5] = [
+    HeaderField::IpSaddr,
+    HeaderField::IpDaddr,
+    HeaderField::SrcPort,
+    HeaderField::DstPort,
+    HeaderField::TcpSeq,
+];
+const WRITE_FIELDS: [HeaderField; 4] = [
+    HeaderField::IpDaddr,
+    HeaderField::DstPort,
+    HeaderField::IpTtl,
+    HeaderField::TcpAck,
+];
+
+fn pure_op() -> impl Strategy<Value = PureOp> {
+    prop_oneof![
+        (0..READ_FIELDS.len()).prop_map(PureOp::ReadField),
+        any::<u32>().prop_map(PureOp::Const),
+        (0u8..7, 0usize..8, 0usize..8).prop_map(|(o, a, b)| PureOp::Bin(o, a, b)),
+        (0usize..8, 0usize..8).prop_map(|(a, b)| PureOp::Hash(a, b)),
+    ]
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        (0..WRITE_FIELDS.len(), 0usize..8).prop_map(|(f, v)| BranchOp::WriteField(f, v)),
+        (0usize..8).prop_map(BranchOp::RegWrite),
+        (0usize..8).prop_map(BranchOp::VecPick),
+        (0usize..8).prop_map(BranchOp::MapInsert),
+        Just(BranchOp::Drop),
+    ]
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::collection::vec(pure_op(), 1..6),
+        proptest::collection::vec(branch_op(), 0..4),
+        proptest::collection::vec(branch_op(), 0..4),
+    )
+        .prop_map(
+            |(map_annotated, use_map, use_reg, use_vec, pre, hit, miss)| Recipe {
+                map_annotated,
+                use_map,
+                use_reg,
+                use_vec,
+                pre,
+                hit,
+                miss,
+            },
+        )
+}
+
+fn build(recipe: &Recipe) -> Program {
+    let mut b = FuncBuilder::new("generated");
+    let map = recipe.use_map.then(|| {
+        b.decl_map(
+            "m",
+            vec![16],
+            vec![32],
+            recipe.map_annotated.then_some(4096),
+        )
+    });
+    let reg = recipe.use_reg.then(|| b.decl_register("r", 32));
+    let vec = recipe.use_vec.then(|| b.decl_vector("v", 32, 8));
+
+    let mut pool: Vec<ValueId> = Vec::new();
+    let seed = b.read_field(HeaderField::IpSaddr);
+    pool.push(seed);
+    for op in &recipe.pre {
+        let v = match op {
+            PureOp::ReadField(i) => {
+                let f = b.read_field(READ_FIELDS[*i % READ_FIELDS.len()]);
+                b.cast(f, 32)
+            }
+            PureOp::Const(c) => b.cnst(u64::from(*c), 32),
+            PureOp::Bin(o, ai, bi) => {
+                let ops = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Xor,
+                    BinOp::Mul,
+                    BinOp::Mod,
+                ];
+                let a = pool[*ai % pool.len()];
+                let c = pool[*bi % pool.len()];
+                let r = b.bin(ops[usize::from(*o) % ops.len()], a, c);
+                b.cast(r, 32)
+            }
+            PureOp::Hash(ai, bi) => {
+                let a = pool[*ai % pool.len()];
+                let c = pool[*bi % pool.len()];
+                b.hash(vec![a, c], 32)
+            }
+        };
+        pool.push(v);
+    }
+
+    let emit = |b: &mut FuncBuilder, pool: &[ValueId], ops: &[BranchOp], extra: Option<ValueId>| {
+        let mut dropped = false;
+        for op in ops {
+            match op {
+                BranchOp::WriteField(f, v) => {
+                    let field = WRITE_FIELDS[*f % WRITE_FIELDS.len()];
+                    let src = extra.unwrap_or(pool[*v % pool.len()]);
+                    let val = b.cast(src, field.bits());
+                    b.write_field(field, val);
+                }
+                BranchOp::RegWrite(v) => {
+                    if let Some(r) = reg {
+                        b.reg_write(r, pool[*v % pool.len()]);
+                    }
+                }
+                BranchOp::VecPick(v) => {
+                    if let Some(vecs) = vec {
+                        let len = b.vec_len(vecs);
+                        let idx = b.bin(BinOp::Mod, pool[*v % pool.len()], len);
+                        let elem = b.vec_get(vecs, idx);
+                        b.write_field(HeaderField::IpDaddr, elem);
+                    }
+                }
+                BranchOp::MapInsert(v) => {
+                    if let Some(m) = map {
+                        let key = b.cast(pool[*v % pool.len()], 16);
+                        let val = pool[(*v + 1) % pool.len()];
+                        b.map_put(m, vec![key], vec![val]);
+                    }
+                }
+                BranchOp::Drop => {
+                    if !dropped {
+                        b.drop_pkt();
+                        dropped = true;
+                    }
+                }
+            }
+        }
+        if !dropped {
+            b.send();
+        }
+        b.ret();
+    };
+
+    if let Some(m) = map {
+        let key_src = *pool.last().unwrap();
+        let key = b.cast(key_src, 16);
+        let res = b.map_get(m, vec![key]);
+        let null = b.is_null(res);
+        let hit_bb = b.new_block();
+        let miss_bb = b.new_block();
+        b.branch(null, miss_bb, hit_bb);
+        b.switch_to(hit_bb);
+        let found = b.extract(res, 0);
+        emit(&mut b, &pool, &recipe.hit, Some(found));
+        b.switch_to(miss_bb);
+        emit(&mut b, &pool, &recipe.miss, None);
+    } else {
+        emit(&mut b, &pool, &recipe.hit, None);
+    }
+    b.finish().expect("generator emits valid programs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The verifier's worklist liveness agrees bit-for-bit with the
+    /// compiler's fixpoint liveness on every block of every random
+    /// program — and so does the derived metadata metric.
+    #[test]
+    fn liveness_agrees_with_analysis(rec in recipe()) {
+        let prog = build(&rec);
+        let f = &prog.func;
+        let reference = Liveness::compute(f);
+        let ours = dataflow::solve(f, &dataflow::LiveValues);
+        for b in 0..f.blocks.len() {
+            prop_assert_eq!(&ours.entry[b], &reference.live_in[b], "live_in of b{}", b);
+            prop_assert_eq!(&ours.exit[b], &reference.live_out[b], "live_out of b{}", b);
+        }
+        let everything = |_v: ValueId| true;
+        prop_assert_eq!(
+            dataflow::max_live_bits(f, &ours, &everything),
+            reference.max_live_bits(f, &everything)
+        );
+    }
+
+    /// The re-derived dependency graph has exactly the compiler's edges
+    /// (as sets — the two builders may order them differently).
+    #[test]
+    fn dependency_edges_agree_with_analysis(rec in recipe()) {
+        let prog = build(&rec);
+        let reference = DepGraph::build(&prog);
+        let ours = VDeps::build(&prog);
+        let map_kind = |k: DepEdgeKind| match k {
+            DepEdgeKind::Data => DepKind::Data,
+            DepEdgeKind::ReverseData => DepKind::ReverseData,
+            DepEdgeKind::Control => DepKind::Control,
+        };
+        for v in 0..prog.func.len() {
+            let vid = ValueId(v as u32);
+            let theirs: HashSet<(ValueId, DepKind)> =
+                reference.deps_out(vid).iter().copied().collect();
+            let mine: HashSet<(ValueId, DepKind)> = ours
+                .edges_out(vid)
+                .iter()
+                .map(|(t, k)| (*t, map_kind(*k)))
+                .collect();
+            prop_assert_eq!(&mine, &theirs, "edges out of v{}", v);
+            prop_assert_eq!(ours.in_loop(vid), reference.in_loop(vid), "in_loop of v{}", v);
+            for t in 0..prog.func.len() {
+                let tid = ValueId(t as u32);
+                prop_assert_eq!(
+                    ours.depends_transitively(vid, tid),
+                    reference.depends_transitively(vid, tid),
+                    "closure v{} -> v{}", v, t
+                );
+            }
+        }
+    }
+
+    /// Whatever model the compiler accepts a random program for, the
+    /// independent verifier must also accept the output.
+    #[test]
+    fn compiled_random_programs_verify_clean(rec in recipe(),
+                                             depth in 2usize..20,
+                                             mem_kb in 1usize..64,
+                                             budget in 6usize..24) {
+        let prog = build(&rec);
+        let model = SwitchModel::tiny(depth, mem_kb << 13, 800, budget);
+        let compiled = compile_with(&prog, &model, CompileOptions { verify: true }).unwrap();
+        let report = compiled.verify.expect("verification requested");
+        prop_assert!(report.is_clean(), "verifier errors: {:?}", report.errors);
+    }
+}
+
+#[test]
+fn middleboxes_verify_clean_under_tofino_and_tiny() {
+    let mut programs = gallium::middleboxes::all_evaluated();
+    programs.push(("MiniLB", gallium::middleboxes::minilb::minilb().prog));
+    // A valid but cramped model: the partitioner must evict until the
+    // program fits, and the verifier must agree with whatever is left.
+    let tiny = SwitchModel::tiny(4, 1 << 16, 160, 8);
+    for (name, prog) in programs {
+        for model in [SwitchModel::tofino_like(), tiny] {
+            let c = compile_with(&prog, &model, CompileOptions { verify: true })
+                .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+            let report = c.verify.expect("verification requested");
+            assert!(
+                report.is_clean(),
+                "{name} under {model:?}: {:?}",
+                report.errors
+            );
+        }
+    }
+    // The cramped model really does force rejections somewhere.
+    let c = compile_with(
+        &gallium::middleboxes::mazunat::mazunat().prog,
+        &tiny,
+        CompileOptions { verify: true },
+    )
+    .unwrap();
+    assert!(
+        c.staged.server_count() > 0,
+        "tiny model forces statements off the switch"
+    );
+}

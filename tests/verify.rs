@@ -1,0 +1,194 @@
+//! Negative tests for the independent verifier: tamper with the
+//! compiler's output in specific ways and assert the verifier reports the
+//! specific typed error; plus the clean-bill check for every packaged
+//! middlebox.
+
+use gallium::middleboxes::{self, minilb::minilb};
+use gallium::mir::{FuncBuilder, HeaderField, ValueId};
+use gallium::net::TransferHeaderLayout;
+use gallium::prelude::*;
+use gallium::verify::{verify, Boundary, LintKind, VerifyError};
+
+fn compiled_minilb() -> CompiledMiddlebox {
+    compile_with(
+        &minilb().prog,
+        &SwitchModel::tofino_like(),
+        CompileOptions { verify: true },
+    )
+    .expect("minilb compiles clean")
+}
+
+#[test]
+fn tampered_phase1_label_is_a_label_disagreement() {
+    let mut c = compiled_minilb();
+    // v15 is MiniLB's `map_put` — P4 cannot express it, so the derived
+    // phase-1 labels are {non_off}. Claiming it kept `pre` must be caught.
+    assert!(!c.staged.phase1_labels[15].pre);
+    c.staged.phase1_labels[15].pre = true;
+    let report = verify(&c.staged, &c.p4, &SwitchModel::tofino_like());
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            VerifyError::LabelDisagreement { value, compiler_pre: true, derived_pre: false, .. }
+                if *value == ValueId(15)
+        )),
+        "expected a LabelDisagreement on v15, got {:?}",
+        report.errors
+    );
+}
+
+#[test]
+fn dropped_transfer_value_is_a_missing_transfer() {
+    let mut c = compiled_minilb();
+    // The branch bit (v7) must cross to the server; silently dropping it
+    // from the transfer set loses the miss/hit decision.
+    let v7 = ValueId(7);
+    assert!(c.staged.to_server_values.contains(&v7));
+    c.staged.to_server_values.retain(|v| *v != v7);
+    let report = verify(&c.staged, &c.p4, &SwitchModel::tofino_like());
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            VerifyError::MissingTransfer { value, boundary: Boundary::ToServer }
+                if *value == v7
+        )),
+        "expected a MissingTransfer for v7, got {:?}",
+        report.errors
+    );
+}
+
+#[test]
+fn shrunk_header_is_a_layout_mismatch() {
+    let mut c = compiled_minilb();
+    c.staged.header_to_switch = TransferHeaderLayout::new(vec![]).unwrap();
+    let report = verify(&c.staged, &c.p4, &SwitchModel::tofino_like());
+    assert!(
+        report.errors.iter().any(|e| matches!(
+            e,
+            VerifyError::LayoutMismatch {
+                boundary: Boundary::ToSwitch,
+                actual_bits: 0,
+                ..
+            }
+        )),
+        "expected a LayoutMismatch on the to-switch header, got {:?}",
+        report.errors
+    );
+}
+
+#[test]
+fn inflated_table_is_a_memory_error() {
+    let mut c = compiled_minilb();
+    // 48 bits/entry × 10^8 entries blows the 160 Mb tofino_like budget.
+    c.p4.tables[0].size = 100_000_000;
+    let report = verify(&c.staged, &c.p4, &SwitchModel::tofino_like());
+    assert!(
+        report
+            .errors
+            .iter()
+            .any(|e| matches!(e, VerifyError::TableMemoryExceeded { .. })),
+        "expected TableMemoryExceeded, got {:?}",
+        report.errors
+    );
+}
+
+#[test]
+fn degenerate_model_short_circuits() {
+    let c = compiled_minilb();
+    let broken = SwitchModel::tiny(0, 1024, 800, 20);
+    let report = verify(&c.staged, &c.p4, &broken);
+    assert_eq!(report.errors.len(), 1);
+    assert!(matches!(report.errors[0], VerifyError::Model(_)));
+    assert!(report.resources.is_none());
+}
+
+#[test]
+fn dead_code_and_unused_state_are_linted() {
+    let mut b = FuncBuilder::new("linty");
+    let _unused_reg = b.decl_register("never_touched", 32);
+    let saddr = b.read_field(HeaderField::IpSaddr); // v0, used
+    let dead = b.cnst(42, 32); // v1, never consumed
+    b.write_field(HeaderField::IpDaddr, saddr); // v2
+    b.send(); // v3
+    b.ret();
+    let prog = b.finish().unwrap();
+    let _ = dead;
+
+    let c = compile_with(
+        &prog,
+        &SwitchModel::tofino_like(),
+        CompileOptions { verify: true },
+    )
+    .unwrap();
+    let report = c.verify.expect("verification requested");
+    assert!(report.is_clean(), "lints are warnings, not errors");
+    assert!(report
+        .lints
+        .iter()
+        .any(|l| l.kind == LintKind::DeadInstruction));
+    assert!(report.lints.iter().any(|l| l.kind == LintKind::UnusedState));
+}
+
+#[test]
+fn overwritten_header_write_is_linted() {
+    let mut b = FuncBuilder::new("shadowed");
+    let a = b.cnst(1, 32); // v0
+    let c2 = b.cnst(2, 32); // v1
+    b.write_field(HeaderField::IpDaddr, a); // v2: shadowed before any read
+    b.write_field(HeaderField::IpDaddr, c2); // v3: observed by send
+    b.send(); // v4
+    b.ret();
+    let prog = b.finish().unwrap();
+    let c = compile_with(
+        &prog,
+        &SwitchModel::tofino_like(),
+        CompileOptions { verify: true },
+    )
+    .unwrap();
+    let report = c.verify.unwrap();
+    let shadowed: Vec<_> = report
+        .lints
+        .iter()
+        .filter(|l| l.kind == LintKind::WriteNeverRead)
+        .collect();
+    assert_eq!(
+        shadowed.len(),
+        1,
+        "exactly the shadowed write: {shadowed:?}"
+    );
+}
+
+#[test]
+fn all_middleboxes_verify_clean_with_resource_reports() {
+    let model = SwitchModel::tofino_like();
+    let mut programs = middleboxes::all_evaluated();
+    programs.push(("MiniLB", minilb().prog));
+    for (name, prog) in programs {
+        let c = compile_with(&prog, &model, CompileOptions { verify: true })
+            .unwrap_or_else(|e| panic!("{name} failed to compile: {e}"));
+        let report = c.verify.expect("verification requested");
+        assert!(
+            report.is_clean(),
+            "{name} has verifier errors: {:?}",
+            report.errors
+        );
+        let resources = report.resources.as_ref().expect("resource audit ran");
+        assert!(resources.depth_used <= resources.depth_budget);
+        assert!(!resources.stages.is_empty(), "{name} uses at least 1 stage");
+        let text = report.render_text();
+        assert!(text.contains("resources:"), "report renders the audit");
+        let json = report.to_json();
+        assert!(json.contains("\"clean\": true"));
+    }
+}
+
+#[test]
+fn verify_off_skips_the_report() {
+    let c = compile_with(
+        &minilb().prog,
+        &SwitchModel::tofino_like(),
+        CompileOptions { verify: false },
+    )
+    .unwrap();
+    assert!(c.verify.is_none());
+}
