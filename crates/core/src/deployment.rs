@@ -126,6 +126,20 @@ pub struct DeploymentTelemetry {
     /// Distribution of per-packet output-commit hold time: the modeled ns
     /// until the write-back visibility flip released the packet.
     pub hold_for_commit_ns: gallium_telemetry::Histogram,
+    /// Bursts drained through [`Deployment::inject_batch_into`].
+    pub batches: gallium_telemetry::Counter,
+    /// Packets fully processed by those bursts (a burst aborted by an
+    /// error counts only the packets that completed before it).
+    pub batch_pkts: gallium_telemetry::Counter,
+}
+
+/// Reusable buffers threaded through the inject path: allocated once per
+/// deployment, recycled across packets and batches so the warm fast path
+/// performs no per-packet heap allocation.
+#[derive(Debug, Default)]
+struct DeployScratch {
+    /// Frames the pre traversal diverted to the middlebox server.
+    to_server: Vec<Packet>,
 }
 
 /// The composed switch+server middlebox.
@@ -141,6 +155,7 @@ pub struct Deployment {
     pub telemetry: DeploymentTelemetry,
     server_port: PortId,
     clock_ns: u64,
+    scratch: DeployScratch,
 }
 
 impl Deployment {
@@ -185,6 +200,7 @@ impl Deployment {
             telemetry: DeploymentTelemetry::default(),
             server_port,
             clock_ns: 0,
+            scratch: DeployScratch::default(),
         })
     }
 
@@ -264,6 +280,7 @@ impl Deployment {
             telemetry: DeploymentTelemetry::default(),
             server_port,
             clock_ns: 0,
+            scratch: DeployScratch::default(),
         })
     }
 
@@ -288,65 +305,131 @@ impl Deployment {
     /// switch → (server → switch) as needed. Returns the frames emitted
     /// toward the network as `(egress port, packet)`.
     pub fn inject(&mut self, pkt: Packet) -> Result<Vec<(PortId, Packet)>, DeployError> {
-        self.stats.injected += 1;
         let mut emissions = Vec::new();
-        let mut to_server: Vec<Packet> = Vec::new();
+        self.inject_into(pkt, &mut emissions)?;
+        Ok(emissions)
+    }
 
-        for (port, out) in self.switch.process(pkt) {
-            if port == self.server_port {
-                to_server.push(out);
+    /// [`Deployment::inject`] appending into a caller-owned emissions
+    /// buffer (not cleared first) — the allocation-reusing core of the
+    /// inject path. On the warm fast path (switch-only, buffer capacity
+    /// already grown) this performs no heap allocation.
+    ///
+    /// On error, emissions the failing packet produced before the fault
+    /// remain in `out`; callers that need all-or-nothing behavior should
+    /// truncate back to their own mark (as [`Deployment::inject`] does by
+    /// handing in a fresh buffer).
+    pub fn inject_into(
+        &mut self,
+        pkt: Packet,
+        out: &mut Vec<(PortId, Packet)>,
+    ) -> Result<(), DeployError> {
+        self.stats.injected += 1;
+        let mark = out.len();
+        self.switch.process_into(pkt, out);
+        // Divert server-bound frames out of the emissions. The fast path —
+        // no server frame — is a pure scan; the slow path pays an O(n)
+        // extraction on the handful of packets that leave the data plane.
+        let mut i = mark;
+        while i < out.len() {
+            if out[i].0 == self.server_port {
+                let (_, frame) = out.remove(i);
+                self.scratch.to_server.push(frame);
             } else {
-                emissions.push((port, out));
+                i += 1;
             }
         }
-        if to_server.is_empty() {
+        if self.scratch.to_server.is_empty() {
             self.stats.fast_path += 1;
-        } else {
-            self.stats.slow_path += 1;
+            return Ok(());
         }
+        self.stats.slow_path += 1;
 
-        for mut frame in to_server {
+        // Move the scratch out so the loop can borrow `self` freely; it is
+        // returned (empty, capacity intact) after the loop. Because it is
+        // taken up front, a `?` abort cannot leak stale frames into the
+        // next inject — only the warm capacity is lost on that cold path.
+        let mut to_server = std::mem::take(&mut self.scratch.to_server);
+        for mut frame in to_server.drain(..) {
             frame.ingress = self.server_port;
-            let out = self.server.process(frame, self.clock_ns)?;
-            self.stats.server_cycles += out.cycles;
+            let srv = self.server.process(frame, self.clock_ns)?;
+            self.stats.server_cycles += srv.cycles;
 
             // Output commit: apply the sync batch *before* the packet is
             // released back into the switch. The packet is released at the
             // visibility flip; the fold into the main tables continues off
             // the packet's critical path.
-            let (visible, total) = self.apply_sync(&out.sync_ops)?;
+            let (visible, total) = self.apply_sync(&srv.sync_ops)?;
             self.stats.sync_latency_ns += total;
             self.stats.sync_visible_ns += visible;
-            self.telemetry.sync_ops_acked.add(out.sync_ops.len() as u64);
-            if out.held_for_commit {
+            self.telemetry.sync_ops_acked.add(srv.sync_ops.len() as u64);
+            if srv.held_for_commit {
                 self.telemetry.held_for_commit.inc();
                 self.telemetry.hold_for_commit_ns.record(visible);
             }
 
-            for mut back in out.to_switch {
+            for mut back in srv.to_switch {
                 back.ingress = self.server_port;
-                for (port, final_pkt) in self.switch.process(back) {
-                    if port == self.server_port {
-                        return Err(DeployError::PostLoop);
-                    }
-                    emissions.push((port, final_pkt));
+                let back_mark = out.len();
+                self.switch.process_into(back, out);
+                if out[back_mark..].iter().any(|(p, _)| *p == self.server_port) {
+                    return Err(DeployError::PostLoop);
                 }
             }
         }
-        Ok(emissions)
+        self.scratch.to_server = to_server;
+        Ok(())
     }
 
     /// Inject a burst of packets, concatenating every emission in arrival
     /// order (see [`Deployment::inject`]).
+    ///
+    /// **Error semantics:** processing stops at the first failing packet
+    /// and its error is returned; emissions already produced by earlier
+    /// packets of the burst are dropped with the return. Callers that need
+    /// the partial output should use [`Deployment::inject_batch_into`],
+    /// which leaves it in the caller's buffer.
     pub fn inject_batch(
         &mut self,
         pkts: impl IntoIterator<Item = Packet>,
     ) -> Result<Vec<(PortId, Packet)>, DeployError> {
         let mut out = Vec::new();
-        for pkt in pkts {
-            out.extend(self.inject(pkt)?);
-        }
+        self.inject_batch_into(pkts, &mut out)?;
         Ok(out)
+    }
+
+    /// Inject a burst, threading one reusable emissions buffer through
+    /// switch → server → switch instead of allocating per packet: every
+    /// emission is appended to `out` (not cleared first) in arrival order,
+    /// and the per-packet observable behavior — emissions, counters,
+    /// state — is identical to calling [`Deployment::inject`] in a loop.
+    /// Returns the number of packets fully processed.
+    ///
+    /// **Partial-failure semantics:** on `Err`, `out` retains every
+    /// emission produced by the packets that completed before the failure
+    /// — they are real transmissions that cannot be recalled — while the
+    /// failing packet's own partial emissions are removed; packets after
+    /// the failing one are not processed.
+    pub fn inject_batch_into(
+        &mut self,
+        pkts: impl IntoIterator<Item = Packet>,
+        out: &mut Vec<(PortId, Packet)>,
+    ) -> Result<usize, DeployError> {
+        self.telemetry.batches.inc();
+        let mut done = 0usize;
+        for pkt in pkts {
+            let mark = out.len();
+            match self.inject_into(pkt, out) {
+                Ok(()) => done += 1,
+                Err(e) => {
+                    out.truncate(mark);
+                    self.telemetry.batch_pkts.add(done as u64);
+                    return Err(e);
+                }
+            }
+        }
+        self.telemetry.batch_pkts.add(done as u64);
+        Ok(done)
     }
 
     /// Apply a sync batch; returns `(visible_ns, total_ns)` where
@@ -399,7 +482,9 @@ impl Deployment {
                         return false;
                     }
                     for (k, v) in &server_entries {
-                        if table.lookup(k, self.switch.write_back_active()) != Some(v.clone()) {
+                        if table.lookup_ref(k, self.switch.write_back_active())
+                            != Some(v.as_slice())
+                        {
                             return false;
                         }
                     }
@@ -446,6 +531,14 @@ impl Deployment {
             "gallium.core.deployment.hold_for_commit_ns",
             &self.telemetry.hold_for_commit_ns,
         );
+        snap.set_counter(
+            "gallium.core.deployment.batches",
+            self.telemetry.batches.get(),
+        );
+        snap.set_counter(
+            "gallium.core.deployment.batch_pkts",
+            self.telemetry.batch_pkts.get(),
+        );
         snap
     }
 }
@@ -460,8 +553,12 @@ mod tests {
     use gallium_partition::SwitchModel;
 
     fn minilb() -> Program {
+        minilb_cap(Some(65536))
+    }
+
+    fn minilb_cap(cap: Option<usize>) -> Program {
         let mut b = FuncBuilder::new("minilb");
-        let map = b.decl_map("map", vec![16], vec![32], Some(65536));
+        let map = b.decl_map("map", vec![16], vec![32], cap);
         let backends = b.decl_vector("backends", 32, 16);
         let saddr = b.read_field(HeaderField::IpSaddr);
         let daddr = b.read_field(HeaderField::IpDaddr);
@@ -602,5 +699,88 @@ mod tests {
         assert_eq!(d.stats.slow_path, 1);
         assert_eq!(d.stats.fast_path, 2);
         assert!((d.fast_path_fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    fn burst(n: u32) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                pkt(
+                    0x0A000001 + (i % 5),
+                    0x0A0000F0 + (i % 3),
+                    if i % 2 == 0 {
+                        TcpFlags::SYN
+                    } else {
+                        TcpFlags::ACK
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_equals_per_packet_inject() {
+        let mut seq = deployment();
+        let mut expected = Vec::new();
+        for p in burst(24) {
+            expected.extend(seq.inject(p).unwrap());
+        }
+
+        let mut bat = deployment();
+        let mut out = Vec::new();
+        let done = bat.inject_batch_into(burst(24), &mut out).unwrap();
+        assert_eq!(done, 24);
+        assert_eq!(out.len(), expected.len());
+        for ((pa, a), (pb, b)) in out.iter().zip(&expected) {
+            assert_eq!(pa, pb);
+            assert_eq!(a.bytes(), b.bytes());
+        }
+        assert_eq!(seq.stats, bat.stats);
+        assert!(bat.replicated_consistent());
+    }
+
+    #[test]
+    fn batch_error_retains_completed_packets_emissions() {
+        // A 2-entry replicated map: the third distinct flow's sync-fold
+        // insert is rejected by the control plane with `TableFull`.
+        let compiled = compile(&minilb_cap(Some(2)), &SwitchModel::tofino_like()).unwrap();
+        let mut d =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+        d.configure(|store| {
+            let backends = compiled.staged.prog.state_by_name("backends").unwrap();
+            store
+                .vec_set_all(backends, vec![0xC0A80001, 0xC0A80002, 0xC0A80003])
+                .unwrap();
+        })
+        .unwrap();
+
+        let flows: Vec<Packet> = (0..4)
+            .map(|i| pkt(0x0A000001 + i, 0x0A0000FE, TcpFlags::SYN))
+            .collect();
+        let mut out = Vec::new();
+        // Seed the buffer to check the batch appends rather than clears.
+        out.push((PortId(9), pkt(1, 2, TcpFlags::ACK)));
+        let err = d.inject_batch_into(flows, &mut out).unwrap_err();
+        assert!(matches!(err, DeployError::Control(_)), "got {err:?}");
+        // The sentinel plus one emission per completed packet survive; the
+        // failing third flow's partial emissions were truncated away and
+        // the fourth flow was never attempted.
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, PortId(9));
+        assert_eq!(d.stats.injected, 3, "fourth packet never injected");
+
+        // The Vec-returning wrapper drops partial output with the error.
+        let mut d2 =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+        d2.configure(|store| {
+            let backends = compiled.staged.prog.state_by_name("backends").unwrap();
+            store
+                .vec_set_all(backends, vec![0xC0A80001, 0xC0A80002, 0xC0A80003])
+                .unwrap();
+        })
+        .unwrap();
+        let flows: Vec<Packet> = (0..4)
+            .map(|i| pkt(0x0A000001 + i, 0x0A0000FE, TcpFlags::SYN))
+            .collect();
+        assert!(d2.inject_batch(flows).is_err());
     }
 }

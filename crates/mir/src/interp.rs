@@ -309,6 +309,36 @@ pub fn refresh_ip_checksum(bytes: &mut [u8]) {
     }
 }
 
+/// A reusable register file for [`Interpreter::run_with`].
+///
+/// The interpreter stores one `Option<RtVal>` per MIR instruction while a
+/// packet executes. Allocating that vector per packet dominates the
+/// per-packet heap traffic of batch callers (`ReferenceServer::
+/// process_batch`, cache-miss replay), so the file lives outside the
+/// interpreter: callers hold one and thread it through every `run_with`,
+/// paying the allocation once and a `clear`+`resize` (capacity reuse)
+/// thereafter. The φ-node staging buffer is pooled here for the same
+/// reason.
+#[derive(Debug, Default)]
+pub struct RegFile {
+    vals: Vec<Option<RtVal>>,
+    phi_scratch: Vec<(ValueId, RtVal)>,
+}
+
+impl RegFile {
+    /// Empty register file; sized lazily on first use.
+    pub fn new() -> Self {
+        RegFile::default()
+    }
+
+    /// Reset to `n` unset slots, reusing existing capacity.
+    fn reset(&mut self, n: usize) {
+        self.vals.clear();
+        self.vals.resize(n, None);
+        self.phi_scratch.clear();
+    }
+}
+
 /// The reference interpreter.
 #[derive(Debug)]
 pub struct Interpreter<'p> {
@@ -332,9 +362,26 @@ impl<'p> Interpreter<'p> {
     }
 
     /// Process one packet against `store` at time `now_ns`.
+    ///
+    /// Allocates a fresh [`RegFile`] per call; batch callers should hold
+    /// one and use [`Interpreter::run_with`] instead.
     pub fn run(&self, pkt: &mut Packet, store: &mut StateStore, now_ns: u64) -> Result<ExecResult> {
+        self.run_with(pkt, store, now_ns, &mut RegFile::new())
+    }
+
+    /// Process one packet, reusing `regs` as the per-instruction value
+    /// file. Behaviorally identical to [`Interpreter::run`]; the register
+    /// file's contents on entry are discarded.
+    pub fn run_with(
+        &self,
+        pkt: &mut Packet,
+        store: &mut StateStore,
+        now_ns: u64,
+        regs: &mut RegFile,
+    ) -> Result<ExecResult> {
         let f = &self.prog.func;
-        let mut vals: Vec<Option<RtVal>> = vec![None; f.insts.len()];
+        regs.reset(f.insts.len());
+        let RegFile { vals, phi_scratch } = regs;
         let mut result = ExecResult {
             actions: Vec::new(),
             executed: Vec::new(),
@@ -352,7 +399,7 @@ impl<'p> Interpreter<'p> {
                 .iter()
                 .take_while(|v| matches!(f.inst(**v).op, Op::Phi { .. }))
                 .count();
-            let mut phi_vals = Vec::with_capacity(leading_phis);
+            phi_scratch.clear();
             for &v in &block.insts[..leading_phis] {
                 let Op::Phi { incoming } = &f.inst(v).op else {
                     unreachable!()
@@ -365,9 +412,9 @@ impl<'p> Interpreter<'p> {
                 let val = vals[pv.0 as usize]
                     .clone()
                     .ok_or_else(|| MirError::Fault(format!("{v}: phi operand {pv} unset")))?;
-                phi_vals.push((v, val));
+                phi_scratch.push((v, val));
             }
-            for (v, val) in phi_vals {
+            for (v, val) in phi_scratch.drain(..) {
                 vals[v.0 as usize] = Some(val);
                 result.executed.push(v);
                 steps += 1;
@@ -377,7 +424,7 @@ impl<'p> Interpreter<'p> {
                 if steps > self.step_budget {
                     return Err(MirError::StepBudgetExceeded);
                 }
-                let val = self.eval(v, &vals, pkt, store, now_ns, &mut result)?;
+                let val = self.eval(v, vals, pkt, store, now_ns, &mut result)?;
                 vals[v.0 as usize] = Some(val);
                 result.executed.push(v);
             }

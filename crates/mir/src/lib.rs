@@ -46,7 +46,7 @@ pub mod validate;
 pub use builder::FuncBuilder;
 pub use func::{BasicBlock, BlockId, Function, Program, Terminator, ValueId};
 pub use inst::{BinOp, HeaderField, Inst, Loc, Op};
-pub use interp::{ExecResult, Interpreter, PacketAction, RtVal, StateMutation};
+pub use interp::{ExecResult, Interpreter, PacketAction, RegFile, RtVal, StateMutation};
 pub use state::{GlobalState, StateId, StateKind, StateStore};
 pub use types::Ty;
 

@@ -1,6 +1,7 @@
 //! Owned packet buffers with ingress metadata.
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
+use std::sync::Arc;
 
 /// Identifier of a physical port on the switch or a queue on the server.
 ///
@@ -22,23 +23,31 @@ impl std::fmt::Display for PortId {
     }
 }
 
-/// An owned, mutable packet.
+/// A packet with a copy-on-write frame buffer.
 ///
 /// The buffer holds the full frame starting at the Ethernet header. Metadata
 /// (ingress port) travels alongside the bytes but is never serialized — it
 /// models what switch hardware knows about a packet out-of-band.
+///
+/// The frame is reference-counted: [`Packet::clone`] is O(1) and shares the
+/// buffer, which makes emission fan-out (`EmitCopy`), the cache-mode
+/// pristine snapshot, and the switch↔server hand-off allocation-free.
+/// Mutation goes through [`Packet::bytes_mut`] (or the splice helpers),
+/// which copy the buffer first *only* when it is shared — a uniquely owned
+/// packet mutates in place, so a drain-style hot path that hands packets
+/// over by value never pays for a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
-    data: BytesMut,
+    data: Arc<Vec<u8>>,
     /// Port the packet arrived on (meaningful inside a switch/server).
     pub ingress: PortId,
 }
 
 impl Packet {
-    /// Wrap an existing frame.
+    /// Wrap an existing frame (takes ownership; no copy).
     pub fn from_vec(data: Vec<u8>, ingress: PortId) -> Self {
         Packet {
-            data: BytesMut::from(&data[..]),
+            data: Arc::new(data),
             ingress,
         }
     }
@@ -46,7 +55,7 @@ impl Packet {
     /// Allocate a zero-filled frame of `len` bytes.
     pub fn zeroed(len: usize, ingress: PortId) -> Self {
         Packet {
-            data: BytesMut::zeroed(len),
+            data: Arc::new(vec![0; len]),
             ingress,
         }
     }
@@ -67,39 +76,64 @@ impl Packet {
     }
 
     /// Mutable access to the frame bytes.
+    ///
+    /// Copy-on-write: if the buffer is shared with other `Packet` handles
+    /// this detaches a private copy first; a uniquely owned buffer is
+    /// handed out in place with no allocation.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+        Arc::make_mut(&mut self.data).as_mut_slice()
+    }
+
+    /// A clone whose buffer is guaranteed uniquely owned (always copies).
+    ///
+    /// Use when a subsequent mutation must not be billed a copy-on-write
+    /// detach — e.g. pre-building packet bursts outside a timed region.
+    pub fn deep_clone(&self) -> Self {
+        Packet {
+            data: Arc::new((*self.data).clone()),
+            ingress: self.ingress,
+        }
+    }
+
+    /// Do two packets share one underlying buffer?
+    pub fn shares_buffer(&self, other: &Packet) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Freeze into an immutable [`Bytes`] handle (cheap to clone, used when a
     /// packet is fanned out to multiple measurement sinks).
     pub fn freeze(self) -> Bytes {
-        self.data.freeze()
+        match Arc::try_unwrap(self.data) {
+            Ok(v) => Bytes::from(v),
+            Err(shared) => Bytes::from((*shared).clone()),
+        }
     }
 
     /// Insert `extra` zero bytes at byte offset `at`, shifting the tail.
     ///
     /// Used to splice the Gallium transfer header in between the Ethernet
-    /// and IP headers (§4.3.2).
+    /// and IP headers (§4.3.2). On a uniquely owned buffer with spare
+    /// capacity this is a pure in-place shift.
     pub fn insert_gap(&mut self, at: usize, extra: usize) {
         assert!(at <= self.data.len(), "insert_gap past end of packet");
-        let tail = self.data.split_off(at);
-        self.data.resize(at + extra, 0);
-        self.data.extend_from_slice(&tail);
+        let v = Arc::make_mut(&mut self.data);
+        let old_len = v.len();
+        v.resize(old_len + extra, 0);
+        v.copy_within(at..old_len, at + extra);
+        v[at..at + extra].fill(0);
     }
 
     /// Remove `count` bytes at byte offset `at`, shifting the tail left.
     ///
     /// Inverse of [`Packet::insert_gap`]; used when the transfer header is
-    /// stripped before a packet leaves the middlebox.
+    /// stripped before a packet leaves the middlebox. Never allocates on a
+    /// uniquely owned buffer.
     pub fn remove_range(&mut self, at: usize, count: usize) {
         assert!(
             at + count <= self.data.len(),
             "remove_range past end of packet"
         );
-        let tail = self.data.split_off(at + count);
-        self.data.truncate(at);
-        self.data.extend_from_slice(&tail);
+        Arc::make_mut(&mut self.data).drain(at..at + count);
     }
 }
 
@@ -149,5 +183,39 @@ mod tests {
         let p = Packet::from_vec(vec![7, 8], PortId(3));
         let b = p.clone().freeze();
         assert_eq!(&b[..], p.bytes());
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let a = Packet::from_vec(vec![1, 2, 3], PortId(0));
+        let mut b = a.clone();
+        assert!(a.shares_buffer(&b));
+        // Mutating the clone detaches it; the original is untouched.
+        b.bytes_mut()[0] = 99;
+        assert!(!a.shares_buffer(&b));
+        assert_eq!(a.bytes(), &[1, 2, 3]);
+        assert_eq!(b.bytes(), &[99, 2, 3]);
+    }
+
+    #[test]
+    fn deep_clone_never_shares() {
+        let a = Packet::from_vec(vec![5, 6], PortId(2));
+        let b = a.deep_clone();
+        assert!(!a.shares_buffer(&b));
+        assert_eq!(a, b);
+        assert_eq!(b.ingress, PortId(2));
+    }
+
+    #[test]
+    fn splices_on_shared_buffer_leave_original_intact() {
+        let a = Packet::from_vec(vec![1, 2, 3, 4], PortId(0));
+        let mut b = a.clone();
+        b.insert_gap(2, 2);
+        assert_eq!(a.bytes(), &[1, 2, 3, 4]);
+        assert_eq!(b.bytes(), &[1, 2, 0, 0, 3, 4]);
+        let mut c = a.clone();
+        c.remove_range(1, 2);
+        assert_eq!(a.bytes(), &[1, 2, 3, 4]);
+        assert_eq!(c.bytes(), &[1, 4]);
     }
 }

@@ -140,9 +140,34 @@ pub fn execute_server_partition(
     execute_server_partition_planned(staged, &plan, store, pkt, in_values, now_ns)
 }
 
+/// Reusable per-instruction value scratch for
+/// [`execute_server_partition_into`]: one slot per MIR instruction,
+/// allocated once per server and recycled across packets (`clear` +
+/// `resize` keep the capacity).
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    vals: Vec<Option<RtVal>>,
+}
+
+impl ExecScratch {
+    /// Empty scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.vals.clear();
+        self.vals.resize(n, None);
+    }
+}
+
 /// Run the non-offloaded partition against a pre-built [`ServerPlan`]
 /// (the postdominator tree and the per-block partition filter are reused
 /// across packets instead of being recomputed).
+///
+/// Allocates a fresh [`ExecScratch`] per call; packet-rate callers should
+/// hold one and use [`execute_server_partition_into`] instead (as
+/// [`crate::MiddleboxServer`] does).
 pub fn execute_server_partition_planned(
     staged: &StagedProgram,
     plan: &ServerPlan,
@@ -150,6 +175,29 @@ pub fn execute_server_partition_planned(
     pkt: &mut Packet,
     in_values: &TransferValues,
     now_ns: u64,
+) -> Result<ServerExec, ExecError> {
+    execute_server_partition_into(
+        staged,
+        plan,
+        store,
+        pkt,
+        in_values,
+        now_ns,
+        &mut ExecScratch::new(),
+    )
+}
+
+/// [`execute_server_partition_planned`] with a caller-owned value scratch,
+/// so steady-state execution performs no per-packet value-file allocation.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_server_partition_into(
+    staged: &StagedProgram,
+    plan: &ServerPlan,
+    store: &mut StateStore,
+    pkt: &mut Packet,
+    in_values: &TransferValues,
+    now_ns: u64,
+    scratch: &mut ExecScratch,
 ) -> Result<ServerExec, ExecError> {
     let prog = &staged.prog;
     // Reject mutations of switch-only state before touching the store.
@@ -165,7 +213,8 @@ pub fn execute_server_partition_planned(
     let f = &prog.func;
     let ipdom = &plan.ipdom;
 
-    let mut vals: Vec<Option<RtVal>> = vec![None; f.insts.len()];
+    scratch.reset(f.insts.len());
+    let vals = &mut scratch.vals;
     let mut exec = ServerExec {
         emissions: Vec::new(),
         dropped: false,
@@ -239,7 +288,7 @@ pub fn execute_server_partition_planned(
                         RtVal::Int(u64::from(found))
                     }
                     Op::MapGet { map, key } => {
-                        let k = resolve_ints(&vals, in_values, prog, key)?;
+                        let k = resolve_ints(vals, in_values, prog, key)?;
                         RtVal::MapRes(store.map_get(*map, &k)?)
                     }
                     Op::LpmGet { table, key } => {
@@ -269,8 +318,8 @@ pub fn execute_server_partition_planned(
                     },
                     Op::MapPut { map, key, value } => {
                         guard_update(v, *map)?;
-                        let k = resolve_ints(&vals, in_values, prog, key)?;
-                        let val = resolve_ints(&vals, in_values, prog, value)?;
+                        let k = resolve_ints(vals, in_values, prog, key)?;
+                        let val = resolve_ints(vals, in_values, prog, value)?;
                         store.map_put(*map, k.clone(), val.clone())?;
                         if staged.placement_of(*map) == StatePlacement::Replicated {
                             exec.replicated_updates.push(StateUpdate::MapPut {
@@ -283,7 +332,7 @@ pub fn execute_server_partition_planned(
                     }
                     Op::MapDel { map, key } => {
                         guard_update(v, *map)?;
-                        let k = resolve_ints(&vals, in_values, prog, key)?;
+                        let k = resolve_ints(vals, in_values, prog, key)?;
                         store.map_del(*map, &k)?;
                         if staged.placement_of(*map) == StatePlacement::Replicated {
                             exec.replicated_updates.push(StateUpdate::MapDel {
@@ -324,7 +373,7 @@ pub fn execute_server_partition_planned(
                         RtVal::Int(old)
                     }
                     Op::Hash { inputs, width } => {
-                        let ins = resolve_ints(&vals, in_values, prog, inputs)?;
+                        let ins = resolve_ints(vals, in_values, prog, inputs)?;
                         RtVal::Int(hash_values(&ins, *width))
                     }
                     Op::Now => RtVal::Int(now_ns),

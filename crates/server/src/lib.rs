@@ -29,7 +29,8 @@ pub mod runtime;
 
 pub use cost::CostModel;
 pub use executor::{
-    execute_server_partition, execute_server_partition_planned, ExecError, ServerExec,
+    execute_server_partition, execute_server_partition_into, execute_server_partition_planned,
+    ExecError, ExecScratch, ServerExec,
 };
 pub use parallel::{ParallelReference, ParallelStats};
 pub use plan::ServerPlan;

@@ -63,9 +63,14 @@ impl ParallelReference {
                 configure(&mut server.store);
                 let mut emitted = 0u64;
                 let mut packets = 0u64;
+                // One emissions buffer per shard, recycled across bursts
+                // (the server's interpreter register file is likewise
+                // reused inside `process_batch_into`).
+                let mut out: Vec<Packet> = Vec::new();
                 while let Ok(burst) = rx.recv() {
                     packets += burst.len() as u64;
-                    if let Ok((out, _)) = server.process_batch(burst, 0) {
+                    out.clear();
+                    if server.process_batch_into(burst, 0, &mut out).is_ok() {
                         emitted += out.len() as u64;
                     }
                 }

@@ -1,10 +1,10 @@
 //! The server process: decap → execute → sync → encap.
 
 use crate::cost::CostModel;
-use crate::executor::{execute_server_partition_planned, ExecError, StateUpdate};
+use crate::executor::{execute_server_partition_into, ExecError, ExecScratch, StateUpdate};
 use crate::plan::ServerPlan;
 use gallium_mir::{
-    Interpreter, MirError, PacketAction, Program, StateId, StateMutation, StateStore,
+    Interpreter, MirError, PacketAction, Program, RegFile, StateId, StateMutation, StateStore,
 };
 use gallium_net::transfer::FLAG_TO_SWITCH;
 use gallium_net::{Packet, TransferValues};
@@ -60,6 +60,10 @@ pub struct MiddleboxServer {
     /// States whose switch table is a cache of the authoritative map
     /// (§7 extension); cache misses trigger whole-program replay here.
     cached_states: Vec<StateId>,
+    /// Per-instruction value scratch, reused across packets.
+    scratch: ExecScratch,
+    /// Interpreter register file for cache-miss replays, reused likewise.
+    regs: RegFile,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -75,6 +79,8 @@ impl MiddleboxServer {
             store,
             cost,
             cached_states: Vec::new(),
+            scratch: ExecScratch::new(),
+            regs: RegFile::new(),
             stats: ServerStats::default(),
         }
     }
@@ -109,13 +115,14 @@ impl MiddleboxServer {
             return self.process_replay(pkt, now_ns);
         }
 
-        let exec = execute_server_partition_planned(
+        let exec = execute_server_partition_into(
             &self.staged,
             &self.plan,
             &mut self.store,
             &mut pkt,
             &in_values,
             now_ns,
+            &mut self.scratch,
         )?;
         let cycles = self.cost.packet_cycles(&self.staged.prog, &exec.executed)
             // Encap/decap and header parsing on the server.
@@ -172,9 +179,15 @@ impl MiddleboxServer {
     /// installs the queried entry into the switch cache.
     fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         self.stats.replays += 1;
-        // `staged` and `store` are disjoint fields, so the interpreter can
-        // borrow the program directly — no per-replay clone.
-        let r = Interpreter::new(&self.staged.prog).run(&mut pkt, &mut self.store, now_ns)?;
+        // `staged`, `store`, and `regs` are disjoint fields, so the
+        // interpreter can borrow the program directly — no per-replay
+        // clone, and the register file is recycled across replays.
+        let r = Interpreter::new(&self.staged.prog).run_with(
+            &mut pkt,
+            &mut self.store,
+            now_ns,
+            &mut self.regs,
+        )?;
         let cycles = self.cost.packet_cycles(&self.staged.prog, &r.executed)
             + 2 * self.cost.header_op
             + self.cost.fixed_per_packet / 4;
@@ -418,6 +431,8 @@ pub struct ReferenceServer {
     /// The reference state store.
     pub store: StateStore,
     cost: CostModel,
+    /// Interpreter register file, reused across packets and batches.
+    regs: RegFile,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -430,6 +445,7 @@ impl ReferenceServer {
             prog,
             store,
             cost,
+            regs: RegFile::new(),
             stats: ServerStats::default(),
         }
     }
@@ -446,19 +462,33 @@ impl ReferenceServer {
     }
 
     /// Process a burst of plain packets, constructing the interpreter once
-    /// for the whole batch. Returns all emitted packets in arrival order
-    /// and the total cycles spent.
+    /// for the whole batch and reusing the server's register file per
+    /// packet. Returns all emitted packets in arrival order and the total
+    /// cycles spent.
     pub fn process_batch(
         &mut self,
         pkts: impl IntoIterator<Item = Packet>,
         now_ns: u64,
     ) -> Result<(Vec<Packet>, u64), MirError> {
-        let interp = Interpreter::new(&self.prog);
         let mut out = Vec::new();
+        let cycles = self.process_batch_into(pkts, now_ns, &mut out)?;
+        Ok((out, cycles))
+    }
+
+    /// [`ReferenceServer::process_batch`] appending into a caller-owned
+    /// emissions buffer (not cleared first), so a drain loop reuses one
+    /// buffer's capacity across bursts. Returns the total cycles spent.
+    pub fn process_batch_into(
+        &mut self,
+        pkts: impl IntoIterator<Item = Packet>,
+        now_ns: u64,
+        out: &mut Vec<Packet>,
+    ) -> Result<u64, MirError> {
+        let interp = Interpreter::new(&self.prog);
         let mut total_cycles = 0u64;
         for mut pkt in pkts {
             self.stats.rx += 1;
-            let r = interp.run(&mut pkt, &mut self.store, now_ns)?;
+            let r = interp.run_with(&mut pkt, &mut self.store, now_ns, &mut self.regs)?;
             let cycles = self.cost.packet_cycles(&self.prog, &r.executed);
             self.stats.cycles += cycles;
             total_cycles += cycles;
@@ -467,7 +497,7 @@ impl ReferenceServer {
                 PacketAction::Drop => None,
             }));
         }
-        Ok((out, total_cycles))
+        Ok(total_cycles)
     }
 }
 

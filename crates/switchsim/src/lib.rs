@@ -22,15 +22,17 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod fasthash;
 pub mod loader;
 pub mod plan;
 pub mod switch;
 pub mod table;
 
 pub use control::{control_op_latency_ns, ControlError, ControlPlane};
+pub use fasthash::{FastBuildHasher, FxHasher64};
 pub use loader::{load_check, LoadError};
 pub use plan::{ExecPlan, PlanError};
 pub use switch::{
     Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
 };
-pub use table::{RtTable, TableError, TableStats};
+pub use table::{KeyBuf, RtTable, TableError, TableKey, TableStats, INLINE_KEY_WORDS};

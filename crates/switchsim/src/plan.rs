@@ -26,8 +26,9 @@
 //! table runtime, and the lowering preserves statement order, branch
 //! semantics (missing metadata reads as zero), and foreign-work tracking.
 
+use crate::fasthash::FastBuildHasher;
 use crate::switch::SwitchStats;
-use crate::table::RtTable;
+use crate::table::{KeyBuf, RtTable};
 use gallium_mir::interp::{
     hash_values, read_header_field, refresh_ip_checksum, write_header_field,
 };
@@ -508,8 +509,9 @@ pub(crate) struct PlanScratch {
     pub meta: Vec<u64>,
     /// Expression evaluation stack.
     pub stack: Vec<u64>,
-    /// Table key assembly buffer.
-    pub key: Vec<u64>,
+    /// Table key assembly buffer — inline up to [`crate::INLINE_KEY_WORDS`]
+    /// words, matching the fixed-width match keys of the table layer.
+    pub key: KeyBuf,
 }
 
 impl PlanScratch {
@@ -517,7 +519,7 @@ impl PlanScratch {
         PlanScratch {
             meta: vec![0; plan.n_slots],
             stack: Vec::with_capacity(16),
-            key: Vec::with_capacity(8),
+            key: KeyBuf::new(),
         }
     }
 }
@@ -529,7 +531,7 @@ pub(crate) struct PlanCtx<'a> {
     pub tables: &'a [RtTable],
     pub registers: &'a mut [u64],
     pub wb_active: bool,
-    pub routes: &'a HashMap<u32, PortId>,
+    pub routes: &'a HashMap<u32, PortId, FastBuildHasher>,
     pub default_port: PortId,
     pub stats: &'a mut SwitchStats,
 }
@@ -546,7 +548,7 @@ pub(crate) struct PlanRun {
 /// Route a packet by IPv4 destination, falling back to the default port.
 #[inline]
 pub(crate) fn route_for(
-    routes: &HashMap<u32, PortId>,
+    routes: &HashMap<u32, PortId, FastBuildHasher>,
     default_port: PortId,
     pkt: &Packet,
 ) -> PortId {
@@ -554,9 +556,48 @@ pub(crate) fn route_for(
     routes.get(&daddr).copied().unwrap_or(default_port)
 }
 
+/// Evaluate a leaf opcode (no operands) directly; `None` for operators.
+#[inline]
+fn eval_leaf(op: &EOp, meta: &[u64], pkt: &Packet) -> Option<u64> {
+    match op {
+        EOp::Const(v) => Some(*v),
+        EOp::Meta(s) => Some(meta[*s as usize]),
+        EOp::Header(f) => Some(read_header_field(pkt.bytes(), *f)),
+        EOp::Ingress => Some(u64::from(pkt.ingress.0)),
+        _ => None,
+    }
+}
+
 /// Evaluate one postfix expression run against the metadata scratch.
 #[inline]
 fn eval_expr(eops: &[EOp], stack: &mut Vec<u64>, meta: &[u64], pkt: &Packet) -> u64 {
+    // The overwhelming majority of compiled expressions are tiny: a leaf
+    // load, a cast of a leaf, or a binary op over two leaves (key fields,
+    // branch predicates). Evaluate those shapes without touching the
+    // stack; anything deeper falls through to the general machine.
+    match eops {
+        [op] => {
+            if let Some(v) = eval_leaf(op, meta, pkt) {
+                return v;
+            }
+        }
+        [a, EOp::Cast(w)] => {
+            if let Some(v) = eval_leaf(a, meta, pkt) {
+                return mask_to_width(v, *w);
+            }
+        }
+        [a, EOp::Not] => {
+            if let Some(v) = eval_leaf(a, meta, pkt) {
+                return !v;
+            }
+        }
+        [a, b, EOp::Bin(op)] => {
+            if let (Some(x), Some(y)) = (eval_leaf(a, meta, pkt), eval_leaf(b, meta, pkt)) {
+                return op.eval(x, y, 64);
+            }
+        }
+        _ => {}
+    }
     stack.clear();
     for op in eops {
         match op {
@@ -647,7 +688,7 @@ pub(crate) fn run_plan(
                 let slots = &plan.value_slots
                     [*vals_start as usize..(*vals_start + u32::from(*vals_len)) as usize];
                 let t = &ctx.tables[*table as usize];
-                match t.lookup_ref(key, ctx.wb_active) {
+                match t.lookup_ref(key.as_slice(), ctx.wb_active) {
                     Some(vals) => {
                         meta[*hit_slot as usize] = 1;
                         for (s, v) in slots.iter().zip(vals) {

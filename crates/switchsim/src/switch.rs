@@ -9,6 +9,7 @@
 //! * the **AST interpreter** ([`Switch::load_interpreter`]) — the original
 //!   reference semantics, retained as the differential-testing oracle.
 
+use crate::fasthash::FastBuildHasher;
 use crate::loader::{load_check, LoadError};
 use crate::plan::{route_for, run_plan, ExecPlan, PlanCtx, PlanScratch};
 use crate::table::RtTable;
@@ -89,7 +90,7 @@ pub struct Switch {
     tables: Vec<RtTable>,
     registers: Vec<u64>,
     pub(crate) wb_active: bool,
-    routes: HashMap<u32, PortId>,
+    routes: HashMap<u32, PortId, FastBuildHasher>,
     meta_bits: HashMap<String, u16>,
     /// Set during a traversal when a cached table misses.
     cache_missed: bool,
@@ -172,7 +173,7 @@ impl Switch {
             tables,
             registers,
             wb_active: false,
-            routes: HashMap::new(),
+            routes: HashMap::default(),
             meta_bits,
             cache_missed: false,
             evictions: Vec::new(),
@@ -489,7 +490,7 @@ struct InterpCtx<'a> {
     tables: &'a [RtTable],
     registers: &'a mut [u64],
     meta_bits: &'a HashMap<String, u16>,
-    routes: &'a HashMap<u32, PortId>,
+    routes: &'a HashMap<u32, PortId, FastBuildHasher>,
     default_port: PortId,
     wb_active: bool,
     stats: &'a mut SwitchStats,

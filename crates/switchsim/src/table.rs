@@ -1,7 +1,173 @@
 //! Runtime match-action tables with write-back shadows (§4.3.3).
 
+use crate::fasthash::FastBuildHasher;
 use gallium_telemetry::Counter;
+use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+
+/// Number of key words a [`TableKey`] stores inline (without heap
+/// indirection). RMT-style hardware matches on fixed-width keys; four
+/// 64-bit words cover every packaged middlebox (the widest key, a
+/// five-tuple, packs into 5×≤32-bit fields lowered to ≤4 words).
+pub const INLINE_KEY_WORDS: usize = 4;
+
+/// A match key stored inline — the software analogue of a fixed-width
+/// RMT match key.
+///
+/// Keys of up to [`INLINE_KEY_WORDS`] words (every packaged middlebox)
+/// live directly in the enum with no heap allocation; wider keys take the
+/// typed `Spilled` fallback. Equality and hashing are defined over
+/// [`TableKey::as_slice`], and `TableKey: Borrow<[u64]>`, so a
+/// `HashMap<TableKey, V>` can be probed with a plain `&[u64]` — the data
+/// plane never materializes a key to look one up.
+#[derive(Debug, Clone)]
+pub enum TableKey {
+    /// Up to [`INLINE_KEY_WORDS`] words stored in place.
+    Inline {
+        /// Number of meaningful words in `words`.
+        len: u8,
+        /// The key words; entries at index ≥ `len` are zero padding.
+        words: [u64; INLINE_KEY_WORDS],
+    },
+    /// Typed fallback for keys wider than [`INLINE_KEY_WORDS`] words.
+    Spilled(Box<[u64]>),
+}
+
+impl TableKey {
+    /// The key words as a slice (only the meaningful prefix for inline
+    /// keys).
+    pub fn as_slice(&self) -> &[u64] {
+        match self {
+            TableKey::Inline { len, words } => &words[..usize::from(*len)],
+            TableKey::Spilled(words) => words,
+        }
+    }
+
+    /// Number of key words.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True for the zero-width key.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// Owned copy of the key words.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl From<&[u64]> for TableKey {
+    fn from(slice: &[u64]) -> Self {
+        if slice.len() <= INLINE_KEY_WORDS {
+            let mut words = [0u64; INLINE_KEY_WORDS];
+            words[..slice.len()].copy_from_slice(slice);
+            TableKey::Inline {
+                len: slice.len() as u8,
+                words,
+            }
+        } else {
+            TableKey::Spilled(slice.into())
+        }
+    }
+}
+
+impl From<Vec<u64>> for TableKey {
+    fn from(v: Vec<u64>) -> Self {
+        if v.len() <= INLINE_KEY_WORDS {
+            TableKey::from(v.as_slice())
+        } else {
+            TableKey::Spilled(v.into_boxed_slice())
+        }
+    }
+}
+
+impl PartialEq for TableKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TableKey {}
+
+impl Hash for TableKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must agree with `<[u64] as Hash>` so `Borrow<[u64]>` probes hash
+        // to the same bucket.
+        self.as_slice().hash(state);
+    }
+}
+
+impl Borrow<[u64]> for TableKey {
+    fn borrow(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl PartialOrd for TableKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TableKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+/// Reusable key-assembly buffer for the packet hot path.
+///
+/// The compiled plan evaluates key expressions into this buffer before
+/// probing a table. Words accumulate into a fixed inline array; keys wider
+/// than [`INLINE_KEY_WORDS`] spill into a `Vec` that is retained (and its
+/// capacity reused) across packets, so steady-state key assembly never
+/// allocates regardless of width.
+#[derive(Debug, Clone, Default)]
+pub struct KeyBuf {
+    len: usize,
+    words: [u64; INLINE_KEY_WORDS],
+    spill: Vec<u64>,
+}
+
+impl KeyBuf {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        KeyBuf::default()
+    }
+
+    /// Reset for the next key (spill capacity is retained).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// Append one key word.
+    pub fn push(&mut self, word: u64) {
+        if self.spill.is_empty() && self.len < INLINE_KEY_WORDS {
+            self.words[self.len] = word;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                // First word past the inline capacity: migrate what we have.
+                self.spill.extend_from_slice(&self.words[..self.len]);
+            }
+            self.spill.push(word);
+        }
+    }
+
+    /// The assembled key words.
+    pub fn as_slice(&self) -> &[u64] {
+        if self.spill.is_empty() {
+            &self.words[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
 
 /// Per-table runtime counters.
 ///
@@ -62,12 +228,12 @@ impl std::error::Error for TableError {}
 /// visible at once.
 #[derive(Debug, Clone, Default)]
 pub struct RtTable {
-    main: HashMap<Vec<u64>, Vec<u64>>,
-    shadow: HashMap<Vec<u64>, Option<Vec<u64>>>,
+    main: HashMap<TableKey, Vec<u64>, FastBuildHasher>,
+    shadow: HashMap<TableKey, Option<Vec<u64>>, FastBuildHasher>,
     capacity: usize,
     /// FIFO eviction on insert-at-capacity (cache mode, §7 extension).
     evict_fifo: bool,
-    order: VecDeque<Vec<u64>>,
+    order: VecDeque<TableKey>,
     /// Longest-prefix-match mode (§7 extension): `(prefix, len, value)`
     /// entries and the key width. Exact lookups are bypassed.
     lpm: Option<(u8, Vec<LpmEntry>)>,
@@ -82,8 +248,8 @@ impl RtTable {
     /// Empty table sized to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         RtTable {
-            main: HashMap::new(),
-            shadow: HashMap::new(),
+            main: HashMap::default(),
+            shadow: HashMap::default(),
             capacity,
             evict_fifo: false,
             order: VecDeque::new(),
@@ -222,7 +388,11 @@ impl RtTable {
         value: Vec<u64>,
     ) -> Result<Vec<Vec<u64>>, TableError> {
         let mut evicted = Vec::new();
-        if !self.main.contains_key(&key) && self.main.len() >= self.capacity {
+        // One containment probe up front: the eviction loop below only runs
+        // when `key` is absent and can only displace *other* keys, so the
+        // answer cannot change before the insert.
+        let present = self.main.contains_key(key.as_slice());
+        if !present && self.main.len() >= self.capacity {
             if !self.evict_fifo {
                 return Err(TableError::CapacityExceeded {
                     capacity: self.capacity,
@@ -231,8 +401,8 @@ impl RtTable {
             while self.main.len() >= self.capacity {
                 match self.order.pop_front() {
                     Some(old) => {
-                        self.main.remove(&old);
-                        evicted.push(old);
+                        self.main.remove(old.as_slice());
+                        evicted.push(old.to_vec());
                     }
                     None => {
                         return Err(TableError::CapacityExceeded {
@@ -242,7 +412,11 @@ impl RtTable {
                 }
             }
         }
-        if self.evict_fifo && !self.main.contains_key(&key) {
+        let key = TableKey::from(key);
+        if self.evict_fifo && !present {
+            // FIFO position is fixed at *first* insert: re-inserting or
+            // overwriting an existing key must not refresh (or duplicate)
+            // its slot in the order queue.
             self.order.push_back(key.clone());
         }
         self.main.insert(key, value);
@@ -254,19 +428,19 @@ impl RtTable {
     pub fn delete_main(&mut self, key: &[u64]) {
         self.main.remove(key);
         if self.evict_fifo {
-            self.order.retain(|k| k != key);
+            self.order.retain(|k| k.as_slice() != key);
         }
     }
 
     /// Stage an update (or a `None` tombstone) in the shadow.
     pub fn stage(&mut self, key: Vec<u64>, value: Option<Vec<u64>>) {
-        self.shadow.insert(key, value);
+        self.shadow.insert(TableKey::from(key), value);
     }
 
     /// Drain the shadow, returning the staged updates (used when folding
     /// them into the main table).
     pub fn drain_shadow(&mut self) -> Vec<(Vec<u64>, Option<Vec<u64>>)> {
-        self.shadow.drain().collect()
+        self.shadow.drain().map(|(k, v)| (k.to_vec(), v)).collect()
     }
 
     /// Snapshot of the main entries (sorted by key for determinism).
@@ -274,7 +448,7 @@ impl RtTable {
         let mut v: Vec<_> = self
             .main
             .iter()
-            .map(|(k, val)| (k.clone(), val.clone()))
+            .map(|(k, val)| (k.to_vec(), val.clone()))
             .collect();
         v.sort();
         v
@@ -487,6 +661,91 @@ mod tests {
         assert_eq!(t.lookup(&[0x0a0b_ffff], false), Some(vec![16]));
         assert_eq!(t.lookup(&[0x0aff_ffff], false), Some(vec![8]));
         assert_eq!(t.lookup(&[0x0bff_ffff], false), None);
+    }
+
+    #[test]
+    fn cache_reinsert_does_not_duplicate_order_slot() {
+        // Regression: a key's FIFO position is fixed at its *first* insert.
+        // Re-inserting (overwriting) it must neither refresh nor duplicate
+        // its slot in the eviction order queue.
+        let mut t = RtTable::new(8);
+        t.make_cache(2);
+        assert_eq!(t.insert_main(vec![10], vec![1]), Ok(vec![]));
+        assert_eq!(t.insert_main(vec![20], vec![2]), Ok(vec![]));
+        // Overwrite the oldest key twice; its order slot must not move.
+        assert_eq!(t.insert_main(vec![10], vec![11]), Ok(vec![]));
+        assert_eq!(t.insert_main(vec![10], vec![12]), Ok(vec![]));
+        assert_eq!(t.len(), 2);
+        // Next distinct key evicts 10 (first-insert order), not 20.
+        assert_eq!(t.insert_main(vec![30], vec![3]), Ok(vec![vec![10]]));
+        // And the following one evicts exactly 20 — if the overwrite had
+        // duplicated 10's slot, a stale queue entry would surface here.
+        assert_eq!(t.insert_main(vec![40], vec![4]), Ok(vec![vec![20]]));
+        assert_eq!(t.insert_main(vec![50], vec![5]), Ok(vec![vec![30]]));
+        assert_eq!(t.lookup(&[40], false), Some(vec![4]));
+        assert_eq!(t.lookup(&[50], false), Some(vec![5]));
+        assert_eq!(t.stats.evictions.get(), 3);
+    }
+
+    #[test]
+    fn table_key_inline_and_spilled_agree_with_slices() {
+        use std::collections::hash_map::DefaultHasher;
+
+        let narrow = TableKey::from(vec![1, 2, 3]);
+        assert!(matches!(narrow, TableKey::Inline { len: 3, .. }));
+        let wide = TableKey::from(vec![1, 2, 3, 4, 5, 6]);
+        assert!(matches!(wide, TableKey::Spilled(_)));
+        assert_eq!(narrow.as_slice(), &[1, 2, 3]);
+        assert_eq!(wide.as_slice(), &[1, 2, 3, 4, 5, 6]);
+        assert!(!narrow.is_empty());
+        assert_eq!(TableKey::from(vec![]).len(), 0);
+
+        // Hash must agree with `<[u64] as Hash>` (the Borrow contract).
+        for key in [narrow, wide] {
+            let mut a = DefaultHasher::new();
+            key.hash(&mut a);
+            let mut b = DefaultHasher::new();
+            key.as_slice().hash(&mut b);
+            assert_eq!(a.finish(), b.finish());
+        }
+
+        // Padding words beyond `len` never leak into equality.
+        let k2 = TableKey::from(vec![1, 2]);
+        let k3 = TableKey::from(vec![1, 2, 0]);
+        assert_ne!(k2, k3);
+    }
+
+    #[test]
+    fn key_buf_spills_past_inline_capacity() {
+        let mut kb = KeyBuf::new();
+        for w in 0..3u64 {
+            kb.push(w);
+        }
+        assert_eq!(kb.as_slice(), &[0, 1, 2]);
+        kb.clear();
+        for w in 0..7u64 {
+            kb.push(w);
+        }
+        assert_eq!(kb.as_slice(), &[0, 1, 2, 3, 4, 5, 6]);
+        // Clearing after a spill returns to the inline path.
+        kb.clear();
+        kb.push(9);
+        assert_eq!(kb.as_slice(), &[9]);
+    }
+
+    #[test]
+    fn wide_keys_round_trip_through_table() {
+        // Keys wider than INLINE_KEY_WORDS take the Spilled fallback but
+        // behave identically.
+        let mut t = RtTable::new(4);
+        let k = vec![1u64, 2, 3, 4, 5, 6];
+        t.insert_main(k.clone(), vec![42]).unwrap();
+        assert_eq!(t.lookup(&k, false), Some(vec![42]));
+        assert_eq!(t.entries(), vec![(k.clone(), vec![42])]);
+        t.stage(k.clone(), None);
+        assert_eq!(t.lookup(&k, true), None);
+        t.delete_main(&k);
+        assert!(t.is_empty());
     }
 
     #[test]

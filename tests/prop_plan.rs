@@ -267,6 +267,110 @@ proptest! {
         )?;
     }
 
+    /// The inline-key table ([`TableKey`]'s `[u64; 4]` fast path plus the
+    /// spilled fallback for wider keys) must be observationally identical
+    /// to a plain `Vec<u64>`-keyed map with an explicit FIFO queue — the
+    /// exact data structure it replaced. Random op streams over a small
+    /// key domain (widths 1..=6, so both representations are exercised)
+    /// drive a 3-entry cache-mode table and the model side by side.
+    #[test]
+    fn inline_key_table_equals_vec_keyed_model(
+        ops in proptest::collection::vec(
+            (0u8..3, proptest::collection::vec(0u64..4, 1..=6), 0u64..100),
+            1..120,
+        )
+    ) {
+        use std::collections::{HashMap, VecDeque};
+
+        const CAP: usize = 3;
+        let mut table = gallium::switchsim::RtTable::new(CAP);
+        table.make_cache(CAP);
+
+        let mut model: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
+        let mut order: VecDeque<Vec<u64>> = VecDeque::new();
+
+        for (i, (op, key, val)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let evicted = table
+                        .insert_main(key.clone(), vec![*val])
+                        .expect("cache-mode insert cannot fail");
+                    // Model: FIFO position fixed at first insert.
+                    let mut model_evicted = Vec::new();
+                    if !model.contains_key(key) {
+                        while model.len() >= CAP {
+                            let old = order.pop_front().unwrap();
+                            model.remove(&old);
+                            model_evicted.push(old);
+                        }
+                        order.push_back(key.clone());
+                    }
+                    model.insert(key.clone(), vec![*val]);
+                    prop_assert_eq!(&evicted, &model_evicted, "op {}: evictions", i);
+                }
+                1 => {
+                    let got = table.lookup_ref(key, false);
+                    prop_assert_eq!(
+                        got,
+                        model.get(key).map(Vec::as_slice),
+                        "op {}: lookup", i
+                    );
+                }
+                _ => {
+                    table.delete_main(key);
+                    model.remove(key);
+                    order.retain(|k| k != key);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len(), "op {}: len", i);
+        }
+
+        let mut got: Vec<_> = table.entries();
+        let mut want: Vec<_> = model.into_iter().collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want, "final entry sets");
+    }
+
+    /// `inject_batch_into` must be observationally identical to calling
+    /// `inject` per packet: same emissions (ports and bytes, in order),
+    /// same counters, same authoritative state. The batch side is driven
+    /// in chunks through one reused buffer to exercise the append (not
+    /// clear) contract across calls.
+    #[test]
+    fn inject_batch_equals_per_packet_inject(descs in stream(40)) {
+        let nat = mazunat::mazunat();
+        let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).expect("compiles");
+        let mut seq =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+        let mut bat =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+
+        let mut expected = Vec::new();
+        for d in &descs {
+            expected.extend(seq.inject(packet(d)).unwrap());
+        }
+
+        let mut out = Vec::new();
+        let mut done = 0;
+        for chunk in descs.chunks(8) {
+            done += bat
+                .inject_batch_into(chunk.iter().map(packet), &mut out)
+                .unwrap();
+        }
+        prop_assert_eq!(done, descs.len(), "all packets processed");
+        prop_assert_eq!(out.len(), expected.len(), "emission count");
+        for (i, ((pa, fa), (pb, fb))) in out.iter().zip(&expected).enumerate() {
+            prop_assert_eq!(pa, pb, "emission {}: egress port", i);
+            prop_assert_eq!(fa.bytes(), fb.bytes(), "emission {}: bytes", i);
+        }
+        prop_assert_eq!(seq.stats, bat.stats, "deployment stats");
+        prop_assert_eq!(seq.switch.stats, bat.switch.stats, "switch stats");
+        prop_assert_eq!(seq.server.stats, bat.server.stats, "server stats");
+        prop_assert!(seq.server.store == bat.server.store, "state stores diverge");
+        prop_assert!(bat.replicated_consistent(), "batch replicated state");
+    }
+
     /// Cache mode (§7): a 2-entry FIFO cache on the LB connection table.
     /// Any stream with ≥3 distinct flows thrashes it, exercising eviction
     /// on the control-plane fill path and cache-miss→replay on the data
