@@ -7,6 +7,7 @@ use gallium_partition::{
     partition_program, ExplainReport, PartitionError, StagedProgram, SwitchModel,
 };
 use gallium_switchsim::LoadError;
+use gallium_telemetry::names;
 use gallium_verify::{VerifyError, VerifyReport};
 
 /// Compilation failures, tagged by pipeline stage. The `Display` form
@@ -160,33 +161,31 @@ pub fn compile_with(
     opts: CompileOptions,
 ) -> Result<CompiledMiddlebox, CompileError> {
     let reg = gallium_telemetry::global();
-    let _total = reg.histogram("gallium.core.compiler.compile_ns").time();
-    reg.counter("gallium.core.compiler.compiles").inc();
+    let _total = reg.histogram(names::COMPILER_COMPILE_NS).time();
+    reg.counter(names::COMPILER_COMPILES).inc();
 
     let staged = {
-        let _t = reg.histogram("gallium.core.compiler.partition_ns").time();
+        let _t = reg.histogram(names::COMPILER_PARTITION_NS).time();
         partition_program(prog, model)?
     };
     let p4 = {
-        let _t = reg.histogram("gallium.core.compiler.p4_codegen_ns").time();
+        let _t = reg.histogram(names::COMPILER_P4_CODEGEN_NS).time();
         generate(&staged)?
     };
     let p4_source = {
-        let _t = reg.histogram("gallium.core.compiler.p4_print_ns").time();
+        let _t = reg.histogram(names::COMPILER_P4_PRINT_NS).time();
         print_p4(&p4)
     };
     let server_source = {
-        let _t = reg
-            .histogram("gallium.core.compiler.server_codegen_ns")
-            .time();
+        let _t = reg.histogram(names::COMPILER_SERVER_CODEGEN_NS).time();
         server_listing(&staged)
     };
     let explain = {
-        let _t = reg.histogram("gallium.core.compiler.explain_ns").time();
+        let _t = reg.histogram(names::COMPILER_EXPLAIN_NS).time();
         staged.explain()
     };
     let verify = if opts.verify {
-        let _t = reg.histogram("gallium.core.compiler.verify_ns").time();
+        let _t = reg.histogram(names::COMPILER_VERIFY_NS).time();
         let report = gallium_verify::verify(&staged, &p4, model);
         if let Some(e) = report.errors.first() {
             return Err(CompileError::Verify(e.clone()));
@@ -195,9 +194,9 @@ pub fn compile_with(
     } else {
         None
     };
-    reg.counter("gallium.core.compiler.p4_tables_allocated")
+    reg.counter(names::COMPILER_P4_TABLES_ALLOCATED)
         .add(p4.tables.len() as u64);
-    reg.counter("gallium.core.compiler.p4_registers_allocated")
+    reg.counter(names::COMPILER_P4_REGISTERS_ALLOCATED)
         .add(p4.registers.len() as u64);
     Ok(CompiledMiddlebox {
         staged,

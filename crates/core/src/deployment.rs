@@ -19,6 +19,10 @@ use gallium_p4::ControlPlaneOp;
 use gallium_partition::StatePlacement;
 use gallium_server::{CostModel, ExecError, MiddleboxServer};
 use gallium_switchsim::{ControlError, ControlPlane, LoadError, Switch, SwitchConfig};
+use gallium_telemetry::names;
+use gallium_telemetry::trace::{DropReason, EventKind, Hop, Tracer};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a deployment could not be stood up or provisioned.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -113,6 +117,15 @@ pub struct DeploymentStats {
     pub sync_visible_ns: u64,
     /// Server cycles consumed.
     pub server_cycles: u64,
+    /// Packets lost because the server slow path returned a typed
+    /// execution error ([`DeployError::Exec`]).
+    pub drop_server_error: u64,
+    /// Packets lost because a state-sync operation was rejected by the
+    /// switch control plane ([`DeployError::Control`] during inject).
+    pub drop_sync_rejected: u64,
+    /// Packets lost to a post-processing traversal loop
+    /// ([`DeployError::PostLoop`]).
+    pub drop_post_loop: u64,
 }
 
 /// Telemetry owned by the deployment itself (the composition layer):
@@ -131,6 +144,19 @@ pub struct DeploymentTelemetry {
     /// Packets fully processed by those bursts (a burst aborted by an
     /// error counts only the packets that completed before it).
     pub batch_pkts: gallium_telemetry::Counter,
+    /// Warm fast-path wall time (ns) of *sampled* switch-only packets.
+    /// All `stage_*` histograms record only flight-recorder-sampled
+    /// packets: the untraced path takes no timestamps at all.
+    pub stage_fast_path_ns: gallium_telemetry::Histogram,
+    /// Switch pre-processing wall time (ns) of sampled slow-path packets.
+    pub stage_switch_pre_ns: gallium_telemetry::Histogram,
+    /// Boundary-crossing wall time (ns): diverting encapsulated frames
+    /// out of the emission stream and handing them to the server.
+    pub stage_transfer_ns: gallium_telemetry::Histogram,
+    /// Server slow-path wall time (ns), including the output-commit sync.
+    pub stage_server_ns: gallium_telemetry::Histogram,
+    /// Re-injection (switch post-processing) wall time (ns).
+    pub stage_reinject_ns: gallium_telemetry::Histogram,
 }
 
 /// Reusable buffers threaded through the inject path: allocated once per
@@ -156,6 +182,9 @@ pub struct Deployment {
     server_port: PortId,
     clock_ns: u64,
     scratch: DeployScratch,
+    /// Flight recorder shared with both halves; `None` until
+    /// [`Deployment::enable_flight_recorder`] installs one.
+    recorder: Option<Arc<Tracer>>,
 }
 
 impl Deployment {
@@ -201,6 +230,7 @@ impl Deployment {
             server_port,
             clock_ns: 0,
             scratch: DeployScratch::default(),
+            recorder: None,
         })
     }
 
@@ -281,7 +311,37 @@ impl Deployment {
             server_port,
             clock_ns: 0,
             scratch: DeployScratch::default(),
+            recorder: None,
         })
+    }
+
+    /// Install a packet flight recorder: deterministic 1-in-`sample_one_in`
+    /// sampling into a preallocated ring of `capacity` events, shared by
+    /// the switch, the server, and the deployment's own boundary hooks.
+    /// All memory is allocated here; sampled-packet emission on the
+    /// dataplane is lock-free and alloc-free, and unsampled packets pay
+    /// one shared-counter increment.
+    ///
+    /// Returns the installed tracer (also reachable via
+    /// [`Deployment::recorder`]) so tests and reports can snapshot it.
+    pub fn enable_flight_recorder(&mut self, sample_one_in: u64, capacity: usize) -> Arc<Tracer> {
+        let rec = Arc::new(Tracer::new(sample_one_in, capacity));
+        self.switch.set_tracer(Some(Arc::clone(&rec)));
+        self.server.set_tracer(Some(Arc::clone(&rec)));
+        self.recorder = Some(Arc::clone(&rec));
+        rec
+    }
+
+    /// Remove the flight recorder (subsequent packets are untraced).
+    pub fn disable_flight_recorder(&mut self) {
+        self.switch.set_tracer(None);
+        self.server.set_tracer(None);
+        self.recorder = None;
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Tracer>> {
+        self.recorder.as_ref()
     }
 
     /// Configure middlebox state (backend lists, rules, …) on the server's
@@ -325,8 +385,66 @@ impl Deployment {
         out: &mut Vec<(PortId, Packet)>,
     ) -> Result<(), DeployError> {
         self.stats.injected += 1;
+        // Flight-recorder sampling. With no recorder installed this is a
+        // single `None` branch; with one installed but the packet
+        // unsampled it is one relaxed counter increment. Only sampled
+        // packets arm the per-hop hooks and stage timestamps below.
+        let trace = match &self.recorder {
+            Some(rec) => rec.try_sample().map(|id| (Arc::clone(rec), id)),
+            None => None,
+        };
+        if let Some((rec, id)) = &trace {
+            rec.emit(
+                *id,
+                Hop::SwitchPre,
+                EventKind::Ingress,
+                u64::from(pkt.ingress.0),
+            );
+            self.switch.set_active_trace(Some(*id));
+            self.server.set_active_trace(Some(*id));
+        }
+        let res = self.inject_inner(pkt, out, trace.as_ref().map(|(r, id)| (r.as_ref(), *id)));
+        if trace.is_some() {
+            self.switch.set_active_trace(None);
+            self.server.set_active_trace(None);
+        }
+        if let Err(e) = &res {
+            // Fault attribution is always on (no recorder required):
+            // every inject error lands in exactly one typed drop counter.
+            let reason = match e {
+                DeployError::Exec(_) => Some(DropReason::DeployServerError),
+                DeployError::Control(_) => Some(DropReason::DeploySyncRejected),
+                DeployError::PostLoop => Some(DropReason::DeployPostLoop),
+                _ => None,
+            };
+            match reason {
+                Some(DropReason::DeployServerError) => self.stats.drop_server_error += 1,
+                Some(DropReason::DeploySyncRejected) => self.stats.drop_sync_rejected += 1,
+                Some(DropReason::DeployPostLoop) => self.stats.drop_post_loop += 1,
+                _ => {}
+            }
+            if let (Some((rec, id)), Some(r)) = (&trace, reason) {
+                rec.emit(*id, Hop::Transfer, EventKind::Drop, r as u64);
+            }
+        }
+        res
+    }
+
+    /// The traversal core of [`Deployment::inject_into`], with the
+    /// flight-recorder bracketing (sampling, active-trace arming, error
+    /// attribution) peeled off into the wrapper. `trace` is `Some` only
+    /// for sampled packets; every timestamp below is gated on it, so the
+    /// untraced path reads no clocks.
+    fn inject_inner(
+        &mut self,
+        pkt: Packet,
+        out: &mut Vec<(PortId, Packet)>,
+        trace: Option<(&Tracer, u32)>,
+    ) -> Result<(), DeployError> {
+        let t_in = trace.map(|_| Instant::now());
         let mark = out.len();
         self.switch.process_into(pkt, out);
+        let t_pre = trace.map(|_| Instant::now());
         // Divert server-bound frames out of the emissions. The fast path —
         // no server frame — is a pure scan; the slow path pays an O(n)
         // extraction on the handful of packets that leave the data plane.
@@ -341,9 +459,16 @@ impl Deployment {
         }
         if self.scratch.to_server.is_empty() {
             self.stats.fast_path += 1;
+            if let Some(t) = t_in {
+                self.telemetry.stage_fast_path_ns.record(elapsed_ns(t));
+            }
             return Ok(());
         }
         self.stats.slow_path += 1;
+        if let (Some(t0), Some(t1)) = (t_in, t_pre) {
+            self.telemetry.stage_switch_pre_ns.record(span_ns(t0, t1));
+            self.telemetry.stage_transfer_ns.record(elapsed_ns(t1));
+        }
 
         // Move the scratch out so the loop can borrow `self` freely; it is
         // returned (empty, capacity intact) after the loop. Because it is
@@ -352,6 +477,11 @@ impl Deployment {
         let mut to_server = std::mem::take(&mut self.scratch.to_server);
         for mut frame in to_server.drain(..) {
             frame.ingress = self.server_port;
+            let t_srv = trace.map(|_| Instant::now());
+            let evictions_before = match trace {
+                Some(_) => self.switch.eviction_count(),
+                None => 0,
+            };
             let srv = self.server.process(frame, self.clock_ns)?;
             self.stats.server_cycles += srv.cycles;
 
@@ -367,14 +497,33 @@ impl Deployment {
                 self.telemetry.held_for_commit.inc();
                 self.telemetry.hold_for_commit_ns.record(visible);
             }
+            if let Some((rec, id)) = trace {
+                if srv.held_for_commit {
+                    rec.emit(id, Hop::Transfer, EventKind::HoldForCommit, visible);
+                }
+                let evicted = self.switch.eviction_count() - evictions_before;
+                if evicted > 0 {
+                    rec.emit(id, Hop::Transfer, EventKind::TableEvict, evicted as u64);
+                }
+                self.telemetry
+                    .stage_server_ns
+                    .record(elapsed_ns(t_srv.expect("timestamped with trace")));
+            }
 
+            let t_back = trace.map(|_| Instant::now());
             for mut back in srv.to_switch {
                 back.ingress = self.server_port;
+                if let Some((rec, id)) = trace {
+                    rec.emit(id, Hop::Transfer, EventKind::Reinject, back.len() as u64);
+                }
                 let back_mark = out.len();
                 self.switch.process_into(back, out);
                 if out[back_mark..].iter().any(|(p, _)| *p == self.server_port) {
                     return Err(DeployError::PostLoop);
                 }
+            }
+            if let Some(t) = t_back {
+                self.telemetry.stage_reinject_ns.record(elapsed_ns(t));
             }
         }
         self.scratch.to_server = to_server;
@@ -513,34 +662,57 @@ impl Deployment {
         snap.merge(&self.switch.telemetry_snapshot());
         snap.merge(&self.server.telemetry_snapshot());
         let s = &self.stats;
-        snap.set_counter("gallium.core.deployment.injected", s.injected);
-        snap.set_counter("gallium.core.deployment.fast_path", s.fast_path);
-        snap.set_counter("gallium.core.deployment.slow_path", s.slow_path);
-        snap.set_counter("gallium.core.deployment.sync_latency_ns", s.sync_latency_ns);
-        snap.set_counter("gallium.core.deployment.sync_visible_ns", s.sync_visible_ns);
-        snap.set_counter("gallium.core.deployment.server_cycles", s.server_cycles);
-        snap.set_counter(
-            "gallium.core.deployment.sync_ops_acked",
-            self.telemetry.sync_ops_acked.get(),
-        );
-        snap.set_counter(
-            "gallium.core.deployment.held_for_commit",
-            self.telemetry.held_for_commit.get(),
-        );
-        snap.record_histogram(
-            "gallium.core.deployment.hold_for_commit_ns",
-            &self.telemetry.hold_for_commit_ns,
-        );
-        snap.set_counter(
-            "gallium.core.deployment.batches",
-            self.telemetry.batches.get(),
-        );
-        snap.set_counter(
-            "gallium.core.deployment.batch_pkts",
-            self.telemetry.batch_pkts.get(),
-        );
+        snap.set_counter(names::DEPLOY_INJECTED, s.injected);
+        snap.set_counter(names::DEPLOY_FAST_PATH, s.fast_path);
+        snap.set_counter(names::DEPLOY_SLOW_PATH, s.slow_path);
+        snap.set_counter(names::DEPLOY_SYNC_LATENCY_NS, s.sync_latency_ns);
+        snap.set_counter(names::DEPLOY_SYNC_VISIBLE_NS, s.sync_visible_ns);
+        snap.set_counter(names::DEPLOY_SERVER_CYCLES, s.server_cycles);
+        snap.set_counter(names::DROP_DEPLOY_SERVER_ERROR, s.drop_server_error);
+        snap.set_counter(names::DROP_DEPLOY_SYNC_REJECTED, s.drop_sync_rejected);
+        snap.set_counter(names::DROP_DEPLOY_POST_LOOP, s.drop_post_loop);
+        let t = &self.telemetry;
+        snap.set_counter(names::DEPLOY_SYNC_OPS_ACKED, t.sync_ops_acked.get());
+        snap.set_counter(names::DEPLOY_HELD_FOR_COMMIT, t.held_for_commit.get());
+        snap.record_histogram(names::DEPLOY_HOLD_FOR_COMMIT_NS, &t.hold_for_commit_ns);
+        snap.set_counter(names::DEPLOY_BATCHES, t.batches.get());
+        snap.set_counter(names::DEPLOY_BATCH_PKTS, t.batch_pkts.get());
+        snap.record_histogram(names::STAGE_FAST_PATH_NS, &t.stage_fast_path_ns);
+        snap.record_histogram(names::STAGE_SWITCH_PRE_NS, &t.stage_switch_pre_ns);
+        snap.record_histogram(names::STAGE_TRANSFER_NS, &t.stage_transfer_ns);
+        snap.record_histogram(names::STAGE_SERVER_NS, &t.stage_server_ns);
+        snap.record_histogram(names::STAGE_REINJECT_NS, &t.stage_reinject_ns);
+        if let Some(rec) = &self.recorder {
+            snap.set_counter(names::TRACE_SAMPLED, rec.sampled());
+            snap.set_counter(names::TRACE_EVENTS, rec.events());
+            snap.set_counter(names::TRACE_OVERWRITTEN, rec.overwritten());
+            snap.set_counter(names::TRACE_RING_CAPACITY, rec.capacity() as u64);
+        }
         snap
     }
+
+    /// Resolve the flight recorder's ring against the deployed programs:
+    /// per-sampled-packet hop journeys with table, state, and block names
+    /// filled in. `None` until [`Deployment::enable_flight_recorder`].
+    pub fn trace_report(&self) -> Option<crate::trace_report::TraceReport> {
+        self.recorder.as_ref().map(|rec| {
+            crate::trace_report::TraceReport::build(
+                rec,
+                self.switch.program(),
+                self.server.staged(),
+            )
+        })
+    }
+}
+
+/// Nanoseconds elapsed since `t`, saturating into `u64`.
+fn elapsed_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds between two ordered instants, saturating into `u64`.
+fn span_ns(from: Instant, to: Instant) -> u64 {
+    u64::try_from(to.saturating_duration_since(from).as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

@@ -27,7 +27,9 @@
 pub mod compiler;
 pub mod deployment;
 pub mod server_codegen;
+pub mod trace_report;
 
 pub use compiler::{compile, compile_with, CompileError, CompileOptions, CompiledMiddlebox};
 pub use deployment::{DeployError, Deployment, DeploymentStats, DeploymentTelemetry};
 pub use server_codegen::server_listing;
+pub use trace_report::{PacketTrace, TraceRecord, TraceReport};

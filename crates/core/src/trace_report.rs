@@ -1,0 +1,222 @@
+//! Rendering for the packet flight recorder: resolve compact
+//! [`TraceEvent`]s into named tables, states, blocks, and ports, grouped
+//! per sampled packet.
+//!
+//! The recorder itself ([`gallium_telemetry::trace::Tracer`]) is
+//! deliberately domain-agnostic — its events carry raw indices. This
+//! module is the deployment-side half that knows the loaded P4 program
+//! (table names), the staged MIR program (state names), and renders each
+//! sampled packet's switch→server→switch journey either as aligned text
+//! for humans or as JSON for tooling, in the style of
+//! [`gallium_partition::ExplainReport`].
+
+use gallium_p4::P4Program;
+use gallium_partition::StagedProgram;
+use gallium_telemetry::json_escape;
+use gallium_telemetry::trace::{DropReason, EventKind, Hop, TraceEvent, Tracer};
+use std::fmt::Write as _;
+
+/// One resolved flight-recorder record: the raw event plus its
+/// human-readable argument (table name, state name, port, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// The raw ring event.
+    pub event: TraceEvent,
+    /// The event's `arg` resolved against the deployed programs
+    /// (e.g. `"table nat_map"`, `"state flows"`, `"port 2"`).
+    pub detail: String,
+}
+
+/// Every recorded event of one sampled packet, in emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketTrace {
+    /// The packet's dense sample id (0, 1, 2, … in injection order).
+    pub trace_id: u32,
+    /// Resolved events, oldest first.
+    pub records: Vec<TraceRecord>,
+}
+
+impl PacketTrace {
+    /// The packet's hop path with consecutive repeats collapsed — e.g. a
+    /// slow-path packet yields `switch.pre → transfer → server →
+    /// transfer → switch.post`, a fast-path packet just `switch.pre`.
+    pub fn hop_path(&self) -> Vec<Hop> {
+        let mut path = Vec::new();
+        for r in &self.records {
+            if path.last() != Some(&r.event.hop) {
+                path.push(r.event.hop);
+            }
+        }
+        path
+    }
+
+    /// Whether any recorded event is of `kind`.
+    pub fn has(&self, kind: EventKind) -> bool {
+        self.records.iter().any(|r| r.event.kind == kind)
+    }
+}
+
+/// The rendered flight-recorder contents: every sampled packet still in
+/// the ring, with indices resolved to names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Program name (from the loaded P4 program).
+    pub program: String,
+    /// Sampling period N (one packet in N).
+    pub sample_one_in: u64,
+    /// Ring capacity in events.
+    pub ring_capacity: usize,
+    /// Packets sampled over the recorder's lifetime.
+    pub sampled: u64,
+    /// Events emitted over the recorder's lifetime.
+    pub events_total: u64,
+    /// Events lost to ring overwrites.
+    pub overwritten: u64,
+    /// Per-packet traces, ordered by trace id.
+    pub traces: Vec<PacketTrace>,
+}
+
+impl TraceReport {
+    /// Resolve the recorder's current ring against the deployed programs.
+    pub fn build(rec: &Tracer, p4: &P4Program, staged: &StagedProgram) -> Self {
+        let events = rec.snapshot();
+        let mut traces: Vec<PacketTrace> = Vec::new();
+        for event in events {
+            let detail = resolve_arg(&event, p4, staged);
+            match traces.iter_mut().find(|t| t.trace_id == event.trace_id) {
+                Some(t) => t.records.push(TraceRecord { event, detail }),
+                None => traces.push(PacketTrace {
+                    trace_id: event.trace_id,
+                    records: vec![TraceRecord { event, detail }],
+                }),
+            }
+        }
+        traces.sort_by_key(|t| t.trace_id);
+        TraceReport {
+            program: p4.name.clone(),
+            sample_one_in: rec.sample_one_in(),
+            ring_capacity: rec.capacity(),
+            sampled: rec.sampled(),
+            events_total: rec.events(),
+            overwritten: rec.overwritten(),
+            traces,
+        }
+    }
+
+    /// The trace for one sampled packet, if its events are still in the
+    /// ring.
+    pub fn trace(&self, trace_id: u32) -> Option<&PacketTrace> {
+        self.traces.iter().find(|t| t.trace_id == trace_id)
+    }
+
+    /// Render as an aligned text table, one section per sampled packet.
+    /// Timestamps are shown relative to each trace's first event.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flight recorder: {} ({} traces in ring; sampled {}, \
+             1-in-{}, ring {} events, {} overwritten)",
+            self.program,
+            self.traces.len(),
+            self.sampled,
+            self.sample_one_in,
+            self.ring_capacity,
+            self.overwritten,
+        );
+        for t in &self.traces {
+            let path: Vec<&str> = t.hop_path().into_iter().map(Hop::label).collect();
+            let _ = writeln!(out, "trace {}: {}", t.trace_id, path.join(" -> "));
+            let t0 = t.records.first().map_or(0, |r| r.event.ts_ns);
+            let kind_w = t
+                .records
+                .iter()
+                .map(|r| r.event.kind.label().len())
+                .max()
+                .unwrap_or(0);
+            for r in &t.records {
+                let _ = writeln!(
+                    out,
+                    "  [{:<11}] +{:<8} {:<kind_w$}  {}",
+                    r.event.hop.label(),
+                    format!("{}ns", r.event.ts_ns.saturating_sub(t0)),
+                    r.event.kind.label(),
+                    r.detail,
+                );
+            }
+        }
+        out
+    }
+
+    /// Serialize the report to JSON (hand-rolled; no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"program\": {},\n  \"sample_one_in\": {},\n  \
+             \"ring_capacity\": {},\n  \"sampled\": {},\n  \
+             \"events\": {},\n  \"overwritten\": {},",
+            json_escape(&self.program),
+            self.sample_one_in,
+            self.ring_capacity,
+            self.sampled,
+            self.events_total,
+            self.overwritten,
+        );
+        out.push_str("\n  \"traces\": [");
+        for (i, t) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{\"trace_id\": {}, \"events\": [", t.trace_id);
+            for (j, r) in t.records.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"seq\": {}, \"hop\": {}, \"kind\": {}, \
+                     \"arg\": {}, \"detail\": {}, \"ts_ns\": {}}}",
+                    r.event.seq,
+                    json_escape(r.event.hop.label()),
+                    json_escape(r.event.kind.label()),
+                    r.event.arg,
+                    json_escape(&r.detail),
+                    r.event.ts_ns,
+                );
+            }
+            out.push_str("\n    ]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Resolve one event's kind-dependent `arg` to a human-readable string.
+fn resolve_arg(e: &TraceEvent, p4: &P4Program, staged: &StagedProgram) -> String {
+    let table_name = |idx: u64| -> String {
+        p4.tables
+            .get(idx as usize)
+            .map_or_else(|| format!("table #{idx}"), |t| format!("table {}", t.name))
+    };
+    match e.kind {
+        EventKind::Ingress | EventKind::Emit => format!("port {}", e.arg),
+        EventKind::TableHit | EventKind::TableMiss | EventKind::CacheMiss => table_name(e.arg),
+        EventKind::TableEvict => format!("{} entries evicted", e.arg),
+        EventKind::Drop => match DropReason::from_u64(e.arg) {
+            Some(r) => format!("reason {}", r.label()),
+            None => format!("reason #{}", e.arg),
+        },
+        EventKind::ToServer | EventKind::Reinject | EventKind::ServerRx => {
+            format!("{} bytes", e.arg)
+        }
+        EventKind::SyncOps => format!("{} ops", e.arg),
+        EventKind::HoldForCommit => format!("{} ns visible", e.arg),
+        EventKind::ServerBlock => format!("block b{}", e.arg),
+        EventKind::ServerStateOp => staged.prog.states.get(e.arg as usize).map_or_else(
+            || format!("state #{}", e.arg),
+            |s| format!("state {}", s.name),
+        ),
+        EventKind::ServerReplay => format!("{} instructions replayed", e.arg),
+    }
+}

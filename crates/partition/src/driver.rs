@@ -9,6 +9,7 @@ use crate::staged::{Partition, StagedProgram, StatePlacement};
 use crate::transfer::{boundary_values, make_layout};
 use gallium_analysis::{DepGraph, Liveness};
 use gallium_mir::{MirError, Program, StateId, ValueId};
+use gallium_telemetry::names;
 
 /// Partitioning failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +90,7 @@ pub fn partition_program(
     model: &SwitchModel,
 ) -> Result<StagedProgram, PartitionError> {
     let reg = gallium_telemetry::global();
-    let _span = reg.histogram("gallium.partition.partition_ns").time();
+    let _span = reg.histogram(names::PARTITION_NS).time();
     gallium_mir::validate::validate(prog).map_err(PartitionError::Validation)?;
     let dep = DepGraph::build(prog);
     let n = prog.func.insts.len();
@@ -356,11 +357,15 @@ pub fn partition_program(
 
     // Decision counters for the process-wide registry: where instructions
     // landed and which constraint rejected the server-bound ones.
-    reg.counter("gallium.partition.programs").inc();
+    reg.counter(names::PARTITION_PROGRAMS).inc();
     for part in [Partition::Pre, Partition::NonOffloaded, Partition::Post] {
         let count = assignment.iter().filter(|&&p| p == part).count() as u64;
-        reg.counter(&format!("gallium.partition.insts.{}", part.label()))
-            .add(count);
+        reg.counter(&format!(
+            "{}{}",
+            names::PARTITION_INSTS_PREFIX,
+            part.label()
+        ))
+        .add(count);
     }
     for reason in ExplainReason::ALL {
         if reason == ExplainReason::Offloaded {
@@ -368,8 +373,12 @@ pub fn partition_program(
         }
         let count = reasons.iter().filter(|&&r| r == reason).count() as u64;
         if count > 0 {
-            reg.counter(&format!("gallium.partition.rejections.{}", reason.key()))
-                .add(count);
+            reg.counter(&format!(
+                "{}{}",
+                names::PARTITION_REJECTIONS_PREFIX,
+                reason.key()
+            ))
+            .add(count);
         }
     }
 

@@ -22,6 +22,11 @@ pub struct ServerPlan {
     /// Per block, the instructions the server actually executes — the
     /// block's instruction list pre-filtered to `Partition::NonOffloaded`.
     pub(crate) block_insts: Vec<Vec<ValueId>>,
+    /// Owning block per server-executed instruction (`u32::MAX` for
+    /// instructions the server never runs). Lets the flight recorder turn
+    /// an executed-instruction list back into block-level events without
+    /// touching the executor's walk.
+    inst_block: Vec<u32>,
 }
 
 impl ServerPlan {
@@ -30,7 +35,7 @@ impl ServerPlan {
         let f = &staged.prog.func;
         let cfg = Cfg::new(f);
         let ipdom = cfg.postdominators();
-        let block_insts = f
+        let block_insts: Vec<Vec<ValueId>> = f
             .blocks
             .iter()
             .map(|b| {
@@ -41,11 +46,35 @@ impl ServerPlan {
                     .collect()
             })
             .collect();
-        ServerPlan { ipdom, block_insts }
+        let max_inst = block_insts
+            .iter()
+            .flatten()
+            .map(|v| v.0 as usize)
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut inst_block = vec![u32::MAX; max_inst];
+        for (bi, insts) in block_insts.iter().enumerate() {
+            for v in insts {
+                inst_block[v.0 as usize] = bi as u32;
+            }
+        }
+        ServerPlan {
+            ipdom,
+            block_insts,
+            inst_block,
+        }
     }
 
     /// Total server-assigned instructions across all blocks.
     pub fn inst_count(&self) -> usize {
         self.block_insts.iter().map(Vec::len).sum()
+    }
+
+    /// The block owning a server-executed instruction, if any.
+    pub fn block_of(&self, v: ValueId) -> Option<u32> {
+        match self.inst_block.get(v.0 as usize) {
+            Some(&b) if b != u32::MAX => Some(b),
+            _ => None,
+        }
     }
 }

@@ -12,7 +12,10 @@ use gallium_p4::ControlPlaneOp;
 use gallium_partition::{StagedProgram, StatePlacement};
 use gallium_switchsim::FLAG_PASSTHROUGH;
 use gallium_switchsim::FLAG_RUN_POST;
+use gallium_telemetry::names;
+use gallium_telemetry::trace::{DropReason, EventKind, Hop, Tracer};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Counters for the server process.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,6 +32,9 @@ pub struct ServerStats {
     /// Write-back control-plane operations issued (stage + flip + fold +
     /// clear, §4.3.3).
     pub sync_ops_issued: u64,
+    /// Drop attribution: packets the program explicitly dropped on the
+    /// server (slow-path executions and replays alike).
+    pub drops_program: u64,
 }
 
 /// What the server produced for one packet.
@@ -64,6 +70,10 @@ pub struct MiddleboxServer {
     scratch: ExecScratch,
     /// Interpreter register file for cache-miss replays, reused likewise.
     regs: RegFile,
+    /// Flight recorder shared with the rest of the deployment.
+    tracer: Option<Arc<Tracer>>,
+    /// Trace id of the packet currently in flight, when sampled.
+    active_trace: Option<u32>,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -81,8 +91,24 @@ impl MiddleboxServer {
             cached_states: Vec::new(),
             scratch: ExecScratch::new(),
             regs: RegFile::new(),
+            tracer: None,
+            active_trace: None,
             stats: ServerStats::default(),
         }
+    }
+
+    /// Attach (or detach, with `None`) a flight recorder. Events are only
+    /// emitted while a sampled packet is marked in flight via
+    /// [`MiddleboxServer::set_active_trace`].
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Mark the packet currently being processed as sampled under the
+    /// given trace id (or clear with `None`).
+    #[inline]
+    pub fn set_active_trace(&mut self, id: Option<u32>) {
+        self.active_trace = id;
     }
 
     /// Mark `states` as switch-cached (their misses replay here and their
@@ -104,6 +130,10 @@ impl MiddleboxServer {
     /// Process one encapsulated frame arriving from the switch.
     pub fn process(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         self.stats.rx += 1;
+        let trace = match (&self.tracer, self.active_trace) {
+            (Some(t), Some(id)) => Some((Arc::clone(t), id)),
+            _ => None,
+        };
         let (flags, in_values) =
             self.staged
                 .header_to_server
@@ -111,6 +141,9 @@ impl MiddleboxServer {
                 .map_err(|e| ExecError::Decap {
                     reason: e.to_string(),
                 })?;
+        if let Some((t, id)) = &trace {
+            t.emit(*id, Hop::Server, EventKind::ServerRx, pkt.len() as u64);
+        }
         if flags & gallium_switchsim::FLAG_CACHE_MISS != 0 {
             return self.process_replay(pkt, now_ns);
         }
@@ -124,6 +157,43 @@ impl MiddleboxServer {
             now_ns,
             &mut self.scratch,
         )?;
+        if let Some((t, id)) = &trace {
+            // Reconstruct block-level flow from the executed-instruction
+            // list: one event per block transition.
+            let mut last = u32::MAX;
+            for v in &exec.executed {
+                if let Some(b) = self.plan.block_of(*v) {
+                    if b != last {
+                        t.emit(*id, Hop::Server, EventKind::ServerBlock, u64::from(b));
+                        last = b;
+                    }
+                }
+            }
+            for u in &exec.replicated_updates {
+                let state = match u {
+                    StateUpdate::MapPut { state, .. }
+                    | StateUpdate::MapDel { state, .. }
+                    | StateUpdate::RegSet { state, .. } => *state,
+                };
+                t.emit(
+                    *id,
+                    Hop::Server,
+                    EventKind::ServerStateOp,
+                    u64::from(state.0),
+                );
+            }
+        }
+        if exec.dropped {
+            self.stats.drops_program += 1;
+            if let Some((t, id)) = &trace {
+                t.emit(
+                    *id,
+                    Hop::Server,
+                    EventKind::Drop,
+                    DropReason::ServerProgram as u64,
+                );
+            }
+        }
         let cycles = self.cost.packet_cycles(&self.staged.prog, &exec.executed)
             // Encap/decap and header parsing on the server.
             + 2 * self.cost.header_op
@@ -132,6 +202,11 @@ impl MiddleboxServer {
 
         let sync_ops = self.sync_ops_for(&exec);
         self.stats.sync_ops_issued += sync_ops.len() as u64;
+        if let Some((t, id)) = &trace {
+            if !sync_ops.is_empty() {
+                t.emit(*id, Hop::Server, EventKind::SyncOps, sync_ops.len() as u64);
+            }
+        }
         let held_for_commit = !sync_ops.is_empty();
         if held_for_commit {
             self.stats.committed += 1;
@@ -179,6 +254,10 @@ impl MiddleboxServer {
     /// installs the queried entry into the switch cache.
     fn process_replay(&mut self, mut pkt: Packet, now_ns: u64) -> Result<ServerOutput, ExecError> {
         self.stats.replays += 1;
+        let trace = match (&self.tracer, self.active_trace) {
+            (Some(t), Some(id)) => Some((Arc::clone(t), id)),
+            _ => None,
+        };
         // `staged`, `store`, and `regs` are disjoint fields, so the
         // interpreter can borrow the program directly — no per-replay
         // clone, and the register file is recycled across replays.
@@ -188,6 +267,27 @@ impl MiddleboxServer {
             now_ns,
             &mut self.regs,
         )?;
+        if let Some((t, id)) = &trace {
+            t.emit(
+                *id,
+                Hop::Server,
+                EventKind::ServerReplay,
+                r.executed.len() as u64,
+            );
+        }
+        for action in &r.actions {
+            if matches!(action, PacketAction::Drop) {
+                self.stats.drops_program += 1;
+                if let Some((t, id)) = &trace {
+                    t.emit(
+                        *id,
+                        Hop::Server,
+                        EventKind::Drop,
+                        DropReason::ServerProgram as u64,
+                    );
+                }
+            }
+        }
         let cycles = self.cost.packet_cycles(&self.staged.prog, &r.executed)
             + 2 * self.cost.header_op
             + self.cost.fixed_per_packet / 4;
@@ -233,9 +333,29 @@ impl MiddleboxServer {
                 _ => {}
             }
         }
+        if let Some((t, id)) = &trace {
+            for u in &updates {
+                let state = match u {
+                    StateUpdate::MapPut { state, .. }
+                    | StateUpdate::MapDel { state, .. }
+                    | StateUpdate::RegSet { state, .. } => *state,
+                };
+                t.emit(
+                    *id,
+                    Hop::Server,
+                    EventKind::ServerStateOp,
+                    u64::from(state.0),
+                );
+            }
+        }
         let mut sync_ops = self.sync_ops_for_updates(&updates);
         sync_ops.extend(fills);
         self.stats.sync_ops_issued += sync_ops.len() as u64;
+        if let Some((t, id)) = &trace {
+            if !sync_ops.is_empty() {
+                t.emit(*id, Hop::Server, EventKind::SyncOps, sync_ops.len() as u64);
+            }
+        }
         let held_for_commit = !sync_ops.is_empty();
         if held_for_commit {
             self.stats.committed += 1;
@@ -362,11 +482,12 @@ impl MiddleboxServer {
     /// Export the server's runtime counters under `gallium.server.*`.
     pub fn telemetry_snapshot(&self) -> gallium_telemetry::TelemetrySnapshot {
         let mut snap = gallium_telemetry::TelemetrySnapshot::default();
-        snap.set_counter("gallium.server.slow_path_pkts", self.stats.rx);
-        snap.set_counter("gallium.server.committed_pkts", self.stats.committed);
-        snap.set_counter("gallium.server.cycles", self.stats.cycles);
-        snap.set_counter("gallium.server.replays", self.stats.replays);
-        snap.set_counter("gallium.server.sync_ops_issued", self.stats.sync_ops_issued);
+        snap.set_counter(names::SERVER_SLOW_PATH_PKTS, self.stats.rx);
+        snap.set_counter(names::SERVER_COMMITTED_PKTS, self.stats.committed);
+        snap.set_counter(names::SERVER_CYCLES, self.stats.cycles);
+        snap.set_counter(names::SERVER_REPLAYS, self.stats.replays);
+        snap.set_counter(names::SERVER_SYNC_OPS_ISSUED, self.stats.sync_ops_issued);
+        snap.set_counter(names::DROP_SERVER_PROGRAM, self.stats.drops_program);
         snap
     }
 

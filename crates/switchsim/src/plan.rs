@@ -36,6 +36,7 @@ use gallium_mir::types::mask_to_width;
 use gallium_mir::{BinOp, HeaderField};
 use gallium_net::{Packet, PortId};
 use gallium_p4::{NodeNext, P4Expr, P4Program, P4Stmt};
+use gallium_telemetry::trace::{DropReason, EventKind, Hop, Tracer};
 use std::collections::HashMap;
 
 /// Why a program could not be lowered to an execution plan.
@@ -533,6 +534,9 @@ pub(crate) struct PlanCtx<'a> {
     pub wb_active: bool,
     pub routes: &'a HashMap<u32, PortId, FastBuildHasher>,
     pub default_port: PortId,
+    /// Flight-recorder hook for the sampled packet in flight, with the
+    /// hop label of this traversal. `None` keeps the loop trace-free.
+    pub trace: Option<(&'a Tracer, u32, Hop)>,
     pub stats: &'a mut SwitchStats,
 }
 
@@ -690,6 +694,9 @@ pub(crate) fn run_plan(
                 let t = &ctx.tables[*table as usize];
                 match t.lookup_ref(key.as_slice(), ctx.wb_active) {
                     Some(vals) => {
+                        if let Some((tr, id, hop)) = ctx.trace {
+                            tr.emit(id, hop, EventKind::TableHit, u64::from(*table));
+                        }
                         meta[*hit_slot as usize] = 1;
                         for (s, v) in slots.iter().zip(vals) {
                             meta[*s as usize] = *v;
@@ -698,8 +705,17 @@ pub(crate) fn run_plan(
                     None => {
                         // A miss in a cached table is inconclusive — the
                         // authoritative map may hold the entry.
-                        if t.is_cache() {
+                        let cached = t.is_cache();
+                        if cached {
                             run.cache_missed = true;
+                        }
+                        if let Some((tr, id, hop)) = ctx.trace {
+                            let kind = if cached {
+                                EventKind::CacheMiss
+                            } else {
+                                EventKind::TableMiss
+                            };
+                            tr.emit(id, hop, kind, u64::from(*table));
                         }
                         meta[*hit_slot as usize] = 0;
                         for s in slots {
@@ -739,10 +755,18 @@ pub(crate) fn run_plan(
             PlanOp::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
             PlanOp::EmitCopy => {
                 ctx.stats.emitted += 1;
-                out.push((route_for(ctx.routes, ctx.default_port, pkt), pkt.clone()));
+                let port = route_for(ctx.routes, ctx.default_port, pkt);
+                if let Some((tr, id, hop)) = ctx.trace {
+                    tr.emit(id, hop, EventKind::Emit, u64::from(port.0));
+                }
+                out.push((port, pkt.clone()));
             }
             PlanOp::MarkDrop => {
                 ctx.stats.dropped += 1;
+                ctx.stats.drop_marked += 1;
+                if let Some((tr, id, hop)) = ctx.trace {
+                    tr.emit(id, hop, EventKind::Drop, DropReason::SwitchMarked as u64);
+                }
             }
             PlanOp::Foreign => {
                 run.saw_foreign = true;

@@ -21,7 +21,10 @@ use gallium_net::transfer::{FLAG_TO_SERVER, FLAG_TO_SWITCH};
 use gallium_net::{Packet, PortId, TransferValues};
 use gallium_p4::{NodeNext, P4Expr, P4Program, P4Stmt};
 use gallium_partition::SwitchModel;
+use gallium_telemetry::names;
+use gallium_telemetry::trace::{DropReason, EventKind, Hop, Tracer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Flag bit on server→switch packets: run the post-processing traversal.
 pub const FLAG_RUN_POST: u8 = 0x04;
@@ -76,6 +79,13 @@ pub struct SwitchStats {
     /// Pre-traversal lookups that missed in a cached table (each forces a
     /// server replay).
     pub cache_misses: u64,
+    /// Drop attribution: drops from an explicit program `mark_to_drop`.
+    /// Together with [`SwitchStats::drop_malformed`] this partitions
+    /// [`SwitchStats::dropped`] — every switch drop has exactly one reason.
+    pub drop_marked: u64,
+    /// Drop attribution: server-origin frames that failed encapsulation
+    /// sanity checks.
+    pub drop_malformed: u64,
 }
 
 /// The simulated switch: a loaded program plus its runtime state.
@@ -98,6 +108,12 @@ pub struct Switch {
     /// as `(table name, key)` pairs awaiting [`Switch::drain_evictions`].
     /// LPM evictions are recorded as `[prefix, prefix_len]`.
     pub(crate) evictions: Vec<(String, Vec<u64>)>,
+    /// Flight recorder shared with the rest of the deployment; `None`
+    /// (the default) keeps the packet path free of trace checks beyond
+    /// one branch.
+    tracer: Option<Arc<Tracer>>,
+    /// Trace id of the packet currently in flight, when sampled.
+    active_trace: Option<u32>,
     /// Data-plane counters.
     pub stats: SwitchStats,
 }
@@ -125,15 +141,15 @@ impl Switch {
         load_check(&prog, &cfg.model)?;
         let plan = if compile_plan {
             let reg = gallium_telemetry::global();
-            let timer = reg.histogram("gallium.switchsim.plan.build_ns").time();
+            let timer = reg.histogram(names::PLAN_BUILD_NS).time();
             let built = ExecPlan::build(&prog).map_err(|e| LoadError::Plan {
                 reason: e.to_string(),
             })?;
             drop(timer);
-            reg.counter("gallium.switchsim.plan.compiled").inc();
-            reg.histogram("gallium.switchsim.plan.ops")
+            reg.counter(names::PLAN_COMPILED).inc();
+            reg.histogram(names::PLAN_OPS)
                 .record(built.op_count() as u64);
-            reg.histogram("gallium.switchsim.plan.meta_slots")
+            reg.histogram(names::PLAN_META_SLOTS)
                 .record(built.slot_count() as u64);
             Some(built)
         } else {
@@ -177,6 +193,8 @@ impl Switch {
             meta_bits,
             cache_missed: false,
             evictions: Vec::new(),
+            tracer: None,
+            active_trace: None,
             stats: SwitchStats::default(),
         })
     }
@@ -186,6 +204,28 @@ impl Switch {
     /// [`Switch::load_interpreter`]).
     pub fn uses_plan(&self) -> bool {
         self.plan.is_some()
+    }
+
+    /// Attach (or detach, with `None`) a flight recorder. Events are only
+    /// emitted while a sampled packet is marked in flight via
+    /// [`Switch::set_active_trace`].
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
+    }
+
+    /// Mark the packet currently being processed as sampled under the
+    /// given trace id (or clear with `None`). Set by the deployment
+    /// around each sampled packet's flight.
+    #[inline]
+    pub fn set_active_trace(&mut self, id: Option<u32>) {
+        self.active_trace = id;
+    }
+
+    /// Number of cache-eviction records awaiting
+    /// [`Switch::drain_evictions`] — lets observers detect eviction
+    /// activity across a window without consuming the records.
+    pub fn eviction_count(&self) -> usize {
+        self.evictions.len()
     }
 
     /// Take the keys evicted from cache-mode tables since the last drain,
@@ -248,27 +288,37 @@ impl Switch {
     pub fn telemetry_snapshot(&self) -> gallium_telemetry::TelemetrySnapshot {
         let mut snap = gallium_telemetry::TelemetrySnapshot::default();
         let s = &self.stats;
-        snap.set_counter("gallium.switchsim.switch.rx_network", s.rx_network);
-        snap.set_counter("gallium.switchsim.switch.rx_server", s.rx_server);
-        snap.set_counter("gallium.switchsim.switch.fast_path", s.fast_path);
-        snap.set_counter("gallium.switchsim.switch.to_server", s.to_server);
-        snap.set_counter("gallium.switchsim.switch.emitted", s.emitted);
-        snap.set_counter("gallium.switchsim.switch.dropped", s.dropped);
-        snap.set_counter("gallium.switchsim.switch.cache_misses", s.cache_misses);
+        snap.set_counter(names::SWITCH_RX_NETWORK, s.rx_network);
+        snap.set_counter(names::SWITCH_RX_SERVER, s.rx_server);
+        snap.set_counter(names::SWITCH_FAST_PATH, s.fast_path);
+        snap.set_counter(names::SWITCH_TO_SERVER, s.to_server);
+        snap.set_counter(names::SWITCH_EMITTED, s.emitted);
+        snap.set_counter(names::SWITCH_DROPPED, s.dropped);
+        snap.set_counter(names::SWITCH_CACHE_MISSES, s.cache_misses);
+        snap.set_counter(names::DROP_SWITCH_MARKED, s.drop_marked);
+        snap.set_counter(names::DROP_SWITCH_MALFORMED_ENCAP, s.drop_malformed);
         for (decl, rt) in self.prog.tables.iter().zip(&self.tables) {
-            let p = format!("gallium.switchsim.table.{}", decl.name);
-            snap.set_counter(&format!("{p}.hits"), rt.stats.hits.get());
-            snap.set_counter(&format!("{p}.misses"), rt.stats.misses.get());
-            snap.set_counter(&format!("{p}.evictions"), rt.stats.evictions.get());
-            snap.set_counter(&format!("{p}.entries"), rt.len() as u64);
-            snap.set_counter(&format!("{p}.capacity"), decl.size as u64);
+            snap.set_counter(
+                &names::table_metric(&decl.name, "hits"),
+                rt.stats.hits.get(),
+            );
+            snap.set_counter(
+                &names::table_metric(&decl.name, "misses"),
+                rt.stats.misses.get(),
+            );
+            snap.set_counter(
+                &names::table_metric(&decl.name, "evictions"),
+                rt.stats.evictions.get(),
+            );
+            snap.set_counter(&names::table_metric(&decl.name, "entries"), rt.len() as u64);
+            snap.set_counter(
+                &names::table_metric(&decl.name, "capacity"),
+                decl.size as u64,
+            );
         }
+        snap.set_counter(names::SWITCH_REGISTERS_COUNT, self.registers.len() as u64);
         snap.set_counter(
-            "gallium.switchsim.registers.count",
-            self.registers.len() as u64,
-        );
-        snap.set_counter(
-            "gallium.switchsim.registers.nonzero",
+            names::SWITCH_REGISTERS_NONZERO,
             self.registers.iter().filter(|&&v| v != 0).count() as u64,
         );
         snap
@@ -315,9 +365,17 @@ impl Switch {
             registers,
             wb_active,
             routes,
+            tracer,
+            active_trace,
             stats,
             ..
         } = self;
+        // One option construction per packet; `None` whenever tracing is
+        // disabled or this packet was not sampled.
+        let trace = match (tracer.as_deref(), *active_trace) {
+            (Some(t), Some(id)) => Some((t, id)),
+            _ => None,
+        };
         let plan = plan
             .as_ref()
             .expect("planned path requires a compiled plan");
@@ -332,11 +390,24 @@ impl Switch {
             else {
                 // Malformed encapsulation: drop, as hardware would.
                 stats.dropped += 1;
+                stats.drop_malformed += 1;
+                if let Some((t, id)) = trace {
+                    t.emit(
+                        id,
+                        Hop::SwitchPost,
+                        EventKind::Drop,
+                        DropReason::SwitchMalformedEncap as u64,
+                    );
+                }
                 return;
             };
             if flags & FLAG_PASSTHROUGH != 0 {
                 stats.emitted += 1;
-                out.push((route_for(routes, cfg.default_port, &pkt), pkt));
+                let port = route_for(routes, cfg.default_port, &pkt);
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::SwitchPost, EventKind::Emit, u64::from(port.0));
+                }
+                out.push((port, pkt));
                 return;
             }
             let mut ctx = PlanCtx {
@@ -345,6 +416,7 @@ impl Switch {
                 wb_active: *wb_active,
                 routes,
                 default_port: cfg.default_port,
+                trace: trace.map(|(t, id)| (t, id, Hop::SwitchPost)),
                 stats,
             };
             run_plan(&plan.post, &mut ctx, scratch, &mut pkt, out);
@@ -363,6 +435,7 @@ impl Switch {
                     wb_active: *wb_active,
                     routes,
                     default_port: cfg.default_port,
+                    trace: trace.map(|(t, id)| (t, id, Hop::SwitchPre)),
                     stats: &mut *stats,
                 };
                 run_plan(&plan.pre, &mut ctx, scratch, &mut pkt, out)
@@ -375,6 +448,9 @@ impl Switch {
                 prog.header_to_server
                     .attach_with(&mut orig, FLAG_TO_SERVER | FLAG_CACHE_MISS, |_, _| 0)
                     .expect("plain frame");
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::Transfer, EventKind::ToServer, orig.len() as u64);
+                }
                 out.push((cfg.server_port, orig));
                 return;
             }
@@ -385,6 +461,9 @@ impl Switch {
                 prog.header_to_server
                     .attach_with(&mut pkt, FLAG_TO_SERVER, |i, _| meta[usize::from(slots[i])])
                     .expect("plain frame");
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::Transfer, EventKind::ToServer, pkt.len() as u64);
+                }
                 out.push((cfg.server_port, pkt));
             } else {
                 stats.fast_path += 1;
@@ -403,20 +482,39 @@ impl Switch {
             routes,
             meta_bits,
             cache_missed,
+            tracer,
+            active_trace,
             stats,
             ..
         } = self;
+        let trace = match (tracer.as_deref(), *active_trace) {
+            (Some(t), Some(id)) => Some((t, id)),
+            _ => None,
+        };
         let prog = &*prog;
         if pkt.ingress == cfg.server_port {
             stats.rx_server += 1;
             let Ok((flags, values)) = prog.header_to_switch.detach(&mut pkt) else {
                 // Malformed encapsulation: drop, as hardware would.
                 stats.dropped += 1;
+                stats.drop_malformed += 1;
+                if let Some((t, id)) = trace {
+                    t.emit(
+                        id,
+                        Hop::SwitchPost,
+                        EventKind::Drop,
+                        DropReason::SwitchMalformedEncap as u64,
+                    );
+                }
                 return;
             };
             if flags & FLAG_PASSTHROUGH != 0 {
                 stats.emitted += 1;
-                out.push((route_for(routes, cfg.default_port, &pkt), pkt));
+                let port = route_for(routes, cfg.default_port, &pkt);
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::SwitchPost, EventKind::Emit, u64::from(port.0));
+                }
+                out.push((port, pkt));
                 return;
             }
             let mut meta: HashMap<String, u64> =
@@ -428,6 +526,7 @@ impl Switch {
                 routes,
                 default_port: cfg.default_port,
                 wb_active: *wb_active,
+                trace: trace.map(|(t, id)| (t, id, Hop::SwitchPost)),
                 stats: &mut *stats,
                 cache_missed: &mut *cache_missed,
             };
@@ -449,6 +548,7 @@ impl Switch {
                     routes,
                     default_port: cfg.default_port,
                     wb_active: *wb_active,
+                    trace: trace.map(|(t, id)| (t, id, Hop::SwitchPre)),
                     stats: &mut *stats,
                     cache_missed: &mut *cache_missed,
                 };
@@ -466,6 +566,9 @@ impl Switch {
                         &TransferValues::default(),
                     )
                     .expect("plain frame");
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::Transfer, EventKind::ToServer, orig.len() as u64);
+                }
                 out.push((cfg.server_port, orig));
                 return;
             }
@@ -476,6 +579,9 @@ impl Switch {
                         meta.get(&f.name).copied().unwrap_or(0)
                     })
                     .expect("plain frame");
+                if let Some((t, id)) = trace {
+                    t.emit(id, Hop::Transfer, EventKind::ToServer, pkt.len() as u64);
+                }
                 out.push((cfg.server_port, pkt));
             } else {
                 stats.fast_path += 1;
@@ -493,6 +599,9 @@ struct InterpCtx<'a> {
     routes: &'a HashMap<u32, PortId, FastBuildHasher>,
     default_port: PortId,
     wb_active: bool,
+    /// Flight-recorder hook for the sampled packet in flight, with the
+    /// hop label of this traversal.
+    trace: Option<(&'a Tracer, u32, Hop)>,
     stats: &'a mut SwitchStats,
     cache_missed: &'a mut bool,
 }
@@ -580,6 +689,9 @@ fn exec_stmt(
             let key: Vec<u64> = keys.iter().map(|k| eval_ast(k, pkt, meta)).collect();
             match ctx.tables[*table].lookup_ref(&key, ctx.wb_active) {
                 Some(vals) => {
+                    if let Some((t, id, hop)) = ctx.trace {
+                        t.emit(id, hop, EventKind::TableHit, *table as u64);
+                    }
                     meta.insert(hit_meta.clone(), 1);
                     for (m, v) in value_metas.iter().zip(vals) {
                         meta.insert(m.clone(), *v);
@@ -588,8 +700,17 @@ fn exec_stmt(
                 None => {
                     // A miss in a cached table is inconclusive — the
                     // authoritative map may hold the entry.
-                    if ctx.tables[*table].is_cache() {
+                    let cached = ctx.tables[*table].is_cache();
+                    if cached {
                         *ctx.cache_missed = true;
+                    }
+                    if let Some((t, id, hop)) = ctx.trace {
+                        let kind = if cached {
+                            EventKind::CacheMiss
+                        } else {
+                            EventKind::TableMiss
+                        };
+                        t.emit(id, hop, kind, *table as u64);
                     }
                     meta.insert(hit_meta.clone(), 0);
                     for m in value_metas {
@@ -615,10 +736,18 @@ fn exec_stmt(
         P4Stmt::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
         P4Stmt::EmitCopy => {
             ctx.stats.emitted += 1;
-            out.push((route_for(ctx.routes, ctx.default_port, pkt), pkt.clone()));
+            let port = route_for(ctx.routes, ctx.default_port, pkt);
+            if let Some((t, id, hop)) = ctx.trace {
+                t.emit(id, hop, EventKind::Emit, u64::from(port.0));
+            }
+            out.push((port, pkt.clone()));
         }
         P4Stmt::MarkDrop => {
             ctx.stats.dropped += 1;
+            ctx.stats.drop_marked += 1;
+            if let Some((t, id, hop)) = ctx.trace {
+                t.emit(id, hop, EventKind::Drop, DropReason::SwitchMarked as u64);
+            }
         }
     }
 }

@@ -36,9 +36,12 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod names;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use metrics::{Counter, Histogram, SpanTimer, NUM_BUCKETS};
 pub use registry::{global, Registry};
 pub use snapshot::{json_escape, HistogramSnapshot, JsonError, TelemetrySnapshot};
+pub use trace::{DropReason, EventKind, Hop, TraceEvent, Tracer};

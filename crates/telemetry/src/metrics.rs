@@ -34,6 +34,12 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
     }
+
+    /// Zero the counter (tests asserting exact deltas; see
+    /// [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Cloning a counter snapshots its current value into an independent
@@ -119,6 +125,16 @@ impl Histogram {
     /// Occupancy of bucket `i`.
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Clear all buckets, the count, and the sum (tests asserting exact
+    /// deltas; see [`crate::Registry::reset`]).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
     }
 
     /// Start an RAII timer that records its elapsed nanoseconds into this

@@ -59,6 +59,24 @@ impl Registry {
         h
     }
 
+    /// Zero every registered counter and clear every registered
+    /// histogram, keeping the registrations (and therefore every
+    /// `&'static` handle hot paths already hold) intact.
+    ///
+    /// Intended for tests that want exact counter deltas instead of
+    /// monotonic lower bounds. On the *global* registry this races with
+    /// concurrently running tests — prefer a scoped `Registry::new()`
+    /// (or per-instance metrics) when the code under test allows it.
+    pub fn reset(&self) {
+        let inner = self.inner.lock().expect("registry poisoned");
+        for c in inner.counters.values() {
+            c.reset();
+        }
+        for h in inner.histograms.values() {
+            h.reset();
+        }
+    }
+
     /// Export every registered metric into a snapshot.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.inner.lock().expect("registry poisoned");
@@ -102,6 +120,31 @@ mod tests {
         let s = r.snapshot();
         assert_eq!(s.counter("gallium.test.events"), Some(7));
         assert_eq!(s.histogram("gallium.test.lat_ns").map(|h| h.count), Some(1));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registrations() {
+        let r = Registry::new();
+        let c = r.counter("gallium.test.resettable");
+        let h = r.histogram("gallium.test.resettable_ns");
+        c.add(5);
+        h.record(1024);
+        r.reset();
+        // Existing handles stay live and zeroed — exact deltas from here.
+        assert_eq!(c.get(), 0);
+        c.add(2);
+        let s = r.snapshot();
+        assert_eq!(s.counter("gallium.test.resettable"), Some(2));
+        // Cleared histograms drop back out of snapshots (empty ones are
+        // skipped) until the still-live handle records again.
+        assert!(s.histogram("gallium.test.resettable_ns").is_none());
+        h.record(2048);
+        let s = r.snapshot();
+        assert_eq!(
+            s.histogram("gallium.test.resettable_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert!(std::ptr::eq(c, r.counter("gallium.test.resettable")));
     }
 
     #[test]

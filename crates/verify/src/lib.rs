@@ -42,6 +42,7 @@ pub use soundness::{derive_phase1_labels, DerivedLabels};
 use gallium_p4::P4Program;
 use gallium_partition::{ModelError, Partition, StagedProgram, StatePlacement, SwitchModel};
 use gallium_telemetry::json_escape;
+use gallium_telemetry::names;
 use std::fmt;
 
 use gallium_mir::ValueId;
@@ -456,8 +457,8 @@ impl VerifyReport {
 /// `gallium.verify.*` timer.
 pub fn verify(staged: &StagedProgram, p4: &P4Program, model: &SwitchModel) -> VerifyReport {
     let reg = gallium_telemetry::global();
-    let _whole = reg.histogram("gallium.verify.verify_ns").time();
-    reg.counter("gallium.verify.runs").inc();
+    let _whole = reg.histogram(names::VERIFY_NS).time();
+    reg.counter(names::VERIFY_RUNS).inc();
 
     let mut errors = Vec::new();
     let mut lints = Vec::new();
@@ -466,22 +467,21 @@ pub fn verify(staged: &StagedProgram, p4: &P4Program, model: &SwitchModel) -> Ve
         errors.push(VerifyError::Model(e));
     } else {
         {
-            let _t = reg.histogram("gallium.verify.soundness_ns").time();
+            let _t = reg.histogram(names::VERIFY_SOUNDNESS_NS).time();
             soundness::check(staged, &mut errors);
         }
         {
-            let _t = reg.histogram("gallium.verify.resources_ns").time();
+            let _t = reg.histogram(names::VERIFY_RESOURCES_NS).time();
             resources = Some(resources::check(staged, p4, model, &mut errors, &mut lints));
         }
     }
     {
-        let _t = reg.histogram("gallium.verify.lints_ns").time();
+        let _t = reg.histogram(names::VERIFY_LINTS_NS).time();
         lints.extend(lints::run(staged));
     }
 
-    reg.counter("gallium.verify.errors")
-        .add(errors.len() as u64);
-    reg.counter("gallium.verify.lints").add(lints.len() as u64);
+    reg.counter(names::VERIFY_ERRORS).add(errors.len() as u64);
+    reg.counter(names::VERIFY_LINTS).add(lints.len() as u64);
     VerifyReport {
         program: staged.prog.name.clone(),
         errors,

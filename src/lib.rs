@@ -51,7 +51,9 @@ pub use gallium_workloads as workloads;
 
 /// The names almost every user of the library needs.
 pub mod prelude {
-    pub use gallium_core::{compile, compile_with, CompileOptions, CompiledMiddlebox, Deployment};
+    pub use gallium_core::{
+        compile, compile_with, CompileOptions, CompiledMiddlebox, Deployment, TraceReport,
+    };
     pub use gallium_mir::{FuncBuilder, Interpreter, Program, StateStore};
     pub use gallium_net::{FiveTuple, IpProtocol, Packet, PacketBuilder, PortId, TcpFlags};
     pub use gallium_partition::{Partition, StagedProgram, StatePlacement, SwitchModel};

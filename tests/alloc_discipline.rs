@@ -113,6 +113,40 @@ fn warm_fast_path_is_allocation_free() {
 }
 
 #[test]
+fn warm_fast_path_with_recorder_is_allocation_free() {
+    // The flight-recorder contract: sampling every packet (1-in-1) into
+    // the preallocated ring is lock-free and alloc-free, so the warm
+    // fast path stays at zero allocations with tracing fully on.
+    let (mut d, probe) = warm_nat_deployment();
+    d.enable_flight_recorder(1, 4096);
+
+    let build_burst = || -> Vec<Packet> { (0..BURST).map(|_| probe.deep_clone()).collect() };
+    let mut out: Vec<(PortId, Packet)> = Vec::with_capacity(BURST * 2);
+
+    // Warm pass with the recorder installed.
+    let done = d.inject_batch_into(build_burst(), &mut out).unwrap();
+    assert_eq!(done, BURST);
+
+    let burst = build_burst();
+    out.clear();
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let done = d.inject_batch_into(burst, &mut out).unwrap();
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(done, BURST);
+    assert_eq!(
+        after - before,
+        0,
+        "traced warm fast path allocated {} times over a {BURST}-packet burst",
+        after - before
+    );
+    // The burst really was recorded: every packet sampled, events ringed.
+    let rec = d.recorder().unwrap();
+    assert_eq!(rec.sampled(), 2 * BURST as u64);
+    assert!(rec.events() >= 2 * BURST as u64);
+}
+
+#[test]
 fn shared_packets_detach_instead_of_corrupting() {
     // The counterpart guarantee: when the injected packet *is* shared
     // (refcount > 1), copy-on-write pays one detach copy rather than

@@ -5,6 +5,7 @@ use gallium::middleboxes::mazunat::mazunat;
 use gallium::mir::{Loc, Op, ValueId};
 use gallium::partition::{ExplainReason, Partition};
 use gallium::prelude::*;
+use gallium::telemetry::names;
 
 fn compiled_nat() -> (gallium::mir::Program, CompiledMiddlebox) {
     let nat = mazunat();
@@ -105,11 +106,11 @@ fn deployment_snapshot_round_trips_and_counts_traffic() {
     d.inject(pkt).unwrap();
 
     let snap = d.telemetry_snapshot();
-    assert_eq!(snap.counter("gallium.core.deployment.injected"), Some(1));
-    assert_eq!(snap.counter("gallium.switchsim.switch.rx_network"), Some(1));
-    assert_eq!(snap.counter("gallium.server.slow_path_pkts"), Some(1));
+    assert_eq!(snap.counter(names::DEPLOY_INJECTED), Some(1));
+    assert_eq!(snap.counter(names::SWITCH_RX_NETWORK), Some(1));
+    assert_eq!(snap.counter(names::SERVER_SLOW_PATH_PKTS), Some(1));
     assert!(
-        snap.counter("gallium.server.sync_ops_issued").unwrap_or(0) > 0,
+        snap.counter(names::SERVER_SYNC_OPS_ISSUED).unwrap_or(0) > 0,
         "NAT insertion must sync state back to the switch"
     );
 
@@ -159,7 +160,7 @@ fn cache_evictions_surface_to_the_control_plane() {
     assert!(evicted.iter().all(|(table, _)| table == "conn"));
     let snap = d.telemetry_snapshot();
     assert_eq!(
-        snap.counter("gallium.switchsim.table.conn.evictions"),
+        snap.counter(&names::table_metric("conn", "evictions")),
         Some(evicted.len() as u64)
     );
     // Draining is destructive: a second drain is empty.

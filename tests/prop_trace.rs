@@ -1,0 +1,247 @@
+//! Property-based testing of the packet flight recorder.
+//!
+//! Two families of properties over random packet streams:
+//!
+//! * **Trace/outcome consistency** — for every packaged middlebox, a
+//!   1-in-1-sampled deployment's per-packet trace must agree with the
+//!   packet's observable outcome: the traced `emit` ports equal the real
+//!   emissions in order, boundary events (`to_server`, `server.rx`)
+//!   appear iff the packet took the slow path, a `drop` event appears iff
+//!   a drop counter moved, and every trace opens with `ingress`.
+//! * **Sampling exactness** — a 1-in-N recorder over P packets samples
+//!   exactly ⌈P/N⌉ of them, with dense deterministic trace ids.
+
+use gallium::middleboxes::{firewall, lb, mazunat, minilb, proxy, trojan};
+use gallium::middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium::prelude::*;
+use gallium::telemetry::trace::{EventKind, Hop};
+use proptest::prelude::*;
+
+/// One generated packet: indices into small pools, so streams mix
+/// repeated flows (hits) with fresh ones (misses/inserts).
+type Desc = (u32, u32, u16, usize, usize, u8);
+
+const DPORTS: [u16; 7] = [22, 21, 80, 80, 443, 6667, 3128];
+const FLAGS: [u8; 5] = [
+    TcpFlags::SYN,
+    TcpFlags::ACK,
+    TcpFlags::ACK,
+    TcpFlags::FIN | TcpFlags::ACK,
+    TcpFlags::RST,
+];
+
+fn desc() -> impl Strategy<Value = Desc> {
+    (0u32..9, 0u32..5, 0u16..4, 0usize..7, 0usize..5, 0u8..8)
+}
+
+fn stream(max: usize) -> impl Strategy<Value = Vec<Desc>> {
+    proptest::collection::vec(desc(), 1..max)
+}
+
+fn packet(d: &Desc) -> Packet {
+    let &(s, da, sp, dp, fl, misc) = d;
+    if misc == 7 {
+        return PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0808_0404,
+                daddr: mazunat::NAT_EXTERNAL_IP,
+                sport: 443,
+                dport: mazunat::NAT_PORT_BASE + sp,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::ACK),
+            96,
+        )
+        .build(PortId(EXTERNAL_PORT));
+    }
+    let ingress = if misc & 1 == 0 {
+        INTERNAL_PORT
+    } else {
+        EXTERNAL_PORT
+    };
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 0x0A00_0000 + s,
+            daddr: 0x0B00_0000 + da,
+            sport: 1024 + sp,
+            dport: DPORTS[dp],
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(FLAGS[fl]),
+        64 + 8 * usize::from(misc),
+    )
+    .build(PortId(ingress))
+}
+
+/// Deploy `prog`, record every packet (1-in-1), and check each packet's
+/// trace against what the deployment observably did with it.
+fn assert_trace_consistent(
+    prog: &Program,
+    configure: impl Fn(&mut StateStore),
+    descs: &[Desc],
+) -> Result<(), TestCaseError> {
+    let compiled = compile(prog, &SwitchModel::tofino_like()).expect("compiles");
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    d.configure(|s| configure(s)).unwrap();
+    // Ring sized so no event of this stream is ever overwritten.
+    d.enable_flight_recorder(1, 16384);
+    let server_port = SwitchConfig::default().server_port;
+
+    for (i, desc) in descs.iter().enumerate() {
+        let p = packet(desc);
+        let ingress = u64::from(p.ingress.0);
+        let slow0 = d.stats.slow_path;
+        let marked0 = d.switch.stats.drop_marked;
+        let server_drops0 = d.server.stats.drops_program;
+        let out = d.inject(p).unwrap();
+
+        let report = d.trace_report().unwrap();
+        let t = report
+            .trace(i as u32)
+            .expect("1-in-1 sampling: every packet has a trace");
+
+        // Every trace opens at the switch with the real ingress port.
+        prop_assert_eq!(t.records[0].event.kind, EventKind::Ingress, "pkt {}", i);
+        prop_assert_eq!(t.records[0].event.hop, Hop::SwitchPre, "pkt {}", i);
+        prop_assert_eq!(t.records[0].event.arg, ingress, "pkt {}: ingress port", i);
+
+        // Traced emissions (excluding the internal server port, which the
+        // deployment diverts) equal the real ones, in order.
+        let traced_ports: Vec<u64> = t
+            .records
+            .iter()
+            .filter(|r| r.event.kind == EventKind::Emit)
+            .map(|r| r.event.arg)
+            .filter(|&p| p != u64::from(server_port.0))
+            .collect();
+        let real_ports: Vec<u64> = out.iter().map(|(p, _)| u64::from(p.0)).collect();
+        prop_assert_eq!(traced_ports, real_ports, "pkt {}: emit ports", i);
+
+        // Boundary events appear iff the packet left the data plane.
+        let went_slow = d.stats.slow_path > slow0;
+        prop_assert_eq!(
+            t.has(EventKind::ToServer),
+            went_slow,
+            "pkt {}: to_server",
+            i
+        );
+        prop_assert_eq!(
+            t.has(EventKind::ServerRx),
+            went_slow,
+            "pkt {}: server.rx",
+            i
+        );
+        prop_assert_eq!(
+            t.hop_path().contains(&Hop::Server),
+            went_slow,
+            "pkt {}: server hop",
+            i
+        );
+
+        // A drop event appears iff a drop counter moved — and the trace
+        // of a dropped packet carries exactly one drop.
+        let dropped =
+            d.switch.stats.drop_marked > marked0 || d.server.stats.drops_program > server_drops0;
+        let drop_events = t
+            .records
+            .iter()
+            .filter(|r| r.event.kind == EventKind::Drop)
+            .count();
+        prop_assert_eq!(drop_events, usize::from(dropped), "pkt {}: drop events", i);
+        if dropped {
+            prop_assert!(out.is_empty(), "pkt {}: dropped packets emit nothing", i);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn mazunat_traces_match_outcomes(descs in stream(30)) {
+        let nat = mazunat::mazunat();
+        assert_trace_consistent(&nat.prog, |_| {}, &descs)?;
+    }
+
+    #[test]
+    fn lb_traces_match_outcomes(descs in stream(30)) {
+        let l = lb::load_balancer();
+        let backends = l.backends;
+        assert_trace_consistent(
+            &l.prog,
+            move |s| s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003]).unwrap(),
+            &descs,
+        )?;
+    }
+
+    #[test]
+    fn firewall_traces_match_outcomes(descs in stream(30)) {
+        let fw = firewall::firewall();
+        let cfg = fw.clone();
+        assert_trace_consistent(
+            &fw.prog,
+            move |s| {
+                for saddr in 0..4u32 {
+                    for daddr in 0..5u32 {
+                        for sport in 0..4u16 {
+                            cfg.allow(s, &FiveTuple {
+                                saddr: 0x0A00_0000 + saddr,
+                                daddr: 0x0B00_0000 + daddr,
+                                sport: 1024 + sport,
+                                dport: 80,
+                                proto: IpProtocol::Tcp,
+                            });
+                        }
+                    }
+                }
+            },
+            &descs,
+        )?;
+    }
+
+    #[test]
+    fn proxy_traces_match_outcomes(descs in stream(30)) {
+        let px = proxy::proxy(0x0A09_0909, 3128);
+        let cfg = px.clone();
+        assert_trace_consistent(&px.prog, move |s| cfg.intercept(s, 80), &descs)?;
+    }
+
+    #[test]
+    fn trojan_traces_match_outcomes(descs in stream(30)) {
+        let tr = trojan::trojan_detector();
+        assert_trace_consistent(&tr.prog, |_| {}, &descs)?;
+    }
+
+    #[test]
+    fn minilb_traces_match_outcomes(descs in stream(30)) {
+        let ml = minilb::minilb();
+        let backends = ml.backends;
+        assert_trace_consistent(
+            &ml.prog,
+            move |s| s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002]).unwrap(),
+            &descs,
+        )?;
+    }
+
+    /// 1-in-N sampling over P packets yields exactly ⌈P/N⌉ traces with
+    /// dense ids 0..⌈P/N⌉, regardless of the stream's contents.
+    #[test]
+    fn sampling_is_exact_for_any_stream(descs in stream(40), n in 1u64..8) {
+        let nat = mazunat::mazunat();
+        let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).expect("compiles");
+        let mut d =
+            Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+        let rec = d.enable_flight_recorder(n, 16384);
+        for desc in &descs {
+            d.inject(packet(desc)).unwrap();
+        }
+        let expect = (descs.len() as u64).div_ceil(n);
+        prop_assert_eq!(rec.sampled(), expect, "P={} N={}", descs.len(), n);
+        let report = d.trace_report().unwrap();
+        let ids: Vec<u32> = report.traces.iter().map(|t| t.trace_id).collect();
+        let want: Vec<u32> = (0..expect as u32).collect();
+        prop_assert_eq!(ids, want, "dense deterministic trace ids");
+    }
+}

@@ -1,0 +1,361 @@
+//! The packet flight recorder, end to end: sampled per-hop traces across
+//! switch → server → switch, per-stage latency histograms, and typed
+//! drop attribution — driven through real deployments of the packaged
+//! middleboxes.
+
+use gallium::core::DeployError;
+use gallium::middleboxes::{firewall, mazunat, INTERNAL_PORT};
+use gallium::mir::{BinOp, HeaderField};
+use gallium::prelude::*;
+use gallium::telemetry::names;
+use gallium::telemetry::trace::{EventKind, Hop};
+
+fn nat_deployment() -> Deployment {
+    let nat = mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+    Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap()
+}
+
+fn nat_pkt(flags: u8) -> Packet {
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 0x0A00_0009,
+            daddr: 0x0808_0404,
+            sport: 50_123,
+            dport: 443,
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(flags),
+        200,
+    )
+    .build(PortId(INTERNAL_PORT))
+}
+
+/// The acceptance scenario: a sampled MazuNAT slow-path packet's rendered
+/// trace reconstructs the full switch→server→switch hop sequence.
+#[test]
+fn mazunat_slow_path_trace_reconstructs_journey() {
+    let mut d = nat_deployment();
+    d.enable_flight_recorder(1, 1024);
+    let out = d.inject(nat_pkt(TcpFlags::SYN)).unwrap();
+    assert_eq!(out.len(), 1, "NAT'd SYN leaves on one port");
+    assert_eq!(d.stats.slow_path, 1, "first packet of a flow goes slow");
+
+    let report = d.trace_report().expect("recorder installed");
+    let t = report.trace(0).expect("first packet sampled as trace 0");
+
+    // The hop journey, in order, with consecutive repeats collapsed:
+    // pre-processing, boundary crossing, server partition, boundary
+    // crossing back, post-processing.
+    assert_eq!(
+        t.hop_path(),
+        vec![
+            Hop::SwitchPre,
+            Hop::Transfer,
+            Hop::Server,
+            Hop::Transfer,
+            Hop::SwitchPost
+        ],
+        "hop sequence:\n{}",
+        report.render_text()
+    );
+
+    // The journey's load-bearing events are all present.
+    assert_eq!(t.records[0].event.kind, EventKind::Ingress);
+    assert_eq!(t.records[0].detail, format!("port {INTERNAL_PORT}"));
+    for kind in [
+        EventKind::ToServer,
+        EventKind::ServerRx,
+        EventKind::ServerBlock,
+        EventKind::ServerStateOp,
+        EventKind::SyncOps,
+        EventKind::Reinject,
+        EventKind::Emit,
+    ] {
+        assert!(t.has(kind), "missing {kind:?}:\n{}", report.render_text());
+    }
+    // The NAT insert synced replicated state, so the packet was held for
+    // output commit (§4.3.3) and the hold shows up in the trace.
+    assert!(t.has(EventKind::HoldForCommit));
+    // seq strictly increases within the trace (emission order is exact).
+    for w in t.records.windows(2) {
+        assert!(w[0].event.seq < w[1].event.seq);
+    }
+
+    // Rendered text names the journey and resolves tables/states.
+    let text = report.render_text();
+    assert!(text.contains("trace 0: switch.pre -> transfer -> server -> transfer -> switch.post"));
+    assert!(text.contains("to_server"));
+    assert!(
+        text.contains("state "),
+        "state ops resolve to names:\n{text}"
+    );
+    assert!(text.contains("table "), "lookups resolve to names:\n{text}");
+
+    // And the JSON form carries the same structure.
+    let json = report.to_json();
+    assert!(json.contains("\"trace_id\": 0"));
+    assert!(json.contains("\"kind\": \"server.rx\""));
+    assert!(json.contains("\"hop\": \"switch.post\""));
+}
+
+#[test]
+fn fast_path_trace_is_switch_only() {
+    let mut d = nat_deployment();
+    d.inject(nat_pkt(TcpFlags::SYN)).unwrap(); // warm: install mapping
+    d.enable_flight_recorder(1, 1024);
+    d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+    assert_eq!(d.stats.fast_path, 1);
+
+    let report = d.trace_report().unwrap();
+    let t = report.trace(0).unwrap();
+    assert_eq!(t.hop_path(), vec![Hop::SwitchPre], "never left the switch");
+    assert!(t.has(EventKind::TableHit), "warm NAT lookup hits");
+    assert!(t.has(EventKind::Emit));
+    assert!(!t.has(EventKind::ToServer));
+    assert!(!t.has(EventKind::ServerRx));
+}
+
+#[test]
+fn sampling_period_and_stage_histograms() {
+    let mut d = nat_deployment();
+    d.inject(nat_pkt(TcpFlags::SYN)).unwrap(); // warm before recording
+    let rec = d.enable_flight_recorder(4, 1024);
+    for _ in 0..10 {
+        d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+    }
+    // Deterministic 1-in-4: packets 0, 4, 8 of the recorded window.
+    assert_eq!(rec.sampled(), 3);
+    let report = d.trace_report().unwrap();
+    let ids: Vec<u32> = report.traces.iter().map(|t| t.trace_id).collect();
+    assert_eq!(ids, vec![0, 1, 2], "dense trace ids");
+
+    let snap = d.telemetry_snapshot();
+    assert_eq!(snap.counter(names::TRACE_SAMPLED), Some(3));
+    assert_eq!(snap.counter(names::TRACE_RING_CAPACITY), Some(1024));
+    assert!(snap.counter(names::TRACE_EVENTS).unwrap() > 0);
+    // Stage histograms record sampled packets only: all ten were warm
+    // fast path, three were sampled.
+    let fast = snap.histogram(names::STAGE_FAST_PATH_NS).unwrap();
+    assert_eq!(fast.count, 3);
+    // Empty histograms are omitted from snapshots: nothing went slow.
+    assert!(snap.histogram(names::STAGE_SERVER_NS).is_none());
+}
+
+#[test]
+fn slow_path_stages_are_timed() {
+    let mut d = nat_deployment();
+    d.enable_flight_recorder(1, 1024);
+    d.inject(nat_pkt(TcpFlags::SYN)).unwrap(); // slow, sampled
+    d.inject(nat_pkt(TcpFlags::ACK)).unwrap(); // fast, sampled
+    let snap = d.telemetry_snapshot();
+    for (name, want) in [
+        (names::STAGE_FAST_PATH_NS, 1),
+        (names::STAGE_SWITCH_PRE_NS, 1),
+        (names::STAGE_TRANSFER_NS, 1),
+        (names::STAGE_SERVER_NS, 1),
+        (names::STAGE_REINJECT_NS, 1),
+    ] {
+        assert_eq!(snap.histogram(name).map(|h| h.count), Some(want), "{name}");
+    }
+}
+
+#[test]
+fn recorder_disabled_is_invisible() {
+    let mut d = nat_deployment();
+    d.inject(nat_pkt(TcpFlags::SYN)).unwrap();
+    d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+    assert!(d.trace_report().is_none());
+    let snap = d.telemetry_snapshot();
+    assert_eq!(snap.counter(names::TRACE_SAMPLED), None);
+    // Stage histograms record nothing without sampling (and empty
+    // histograms are omitted from snapshots entirely).
+    assert!(snap.histogram(names::STAGE_FAST_PATH_NS).is_none());
+
+    // And a recorder can be turned off again.
+    let rec = d.enable_flight_recorder(1, 1024);
+    d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+    assert_eq!(rec.sampled(), 1);
+    d.disable_flight_recorder();
+    d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+    assert_eq!(rec.sampled(), 1, "no sampling after disable");
+}
+
+/// A switch-marked drop (firewall deny) lands in exactly one typed drop
+/// counter and shows up in the sampled trace with its reason.
+#[test]
+fn marked_drop_attributed_and_traced() {
+    let fw = firewall::firewall();
+    let compiled = compile(&fw.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    let allowed = FiveTuple {
+        saddr: 0x0A00_0001,
+        daddr: 0x0808_0808,
+        sport: 5000,
+        dport: 443,
+        proto: IpProtocol::Tcp,
+    };
+    d.configure(|s| fw.allow(s, &allowed)).unwrap();
+    d.enable_flight_recorder(1, 1024);
+
+    let mut denied = allowed;
+    denied.dport = 80;
+    let pass = d
+        .inject(
+            PacketBuilder::tcp(allowed, TcpFlags(TcpFlags::ACK), 100).build(PortId(INTERNAL_PORT)),
+        )
+        .unwrap();
+    assert_eq!(pass.len(), 1);
+    let drop = d
+        .inject(
+            PacketBuilder::tcp(denied, TcpFlags(TcpFlags::ACK), 100).build(PortId(INTERNAL_PORT)),
+        )
+        .unwrap();
+    assert!(drop.is_empty(), "denied flow emits nothing");
+
+    let snap = d.telemetry_snapshot();
+    let drops: Vec<u64> = [
+        names::DROP_SWITCH_MARKED,
+        names::DROP_SWITCH_MALFORMED_ENCAP,
+        names::DROP_SERVER_PROGRAM,
+        names::DROP_DEPLOY_SERVER_ERROR,
+        names::DROP_DEPLOY_SYNC_REJECTED,
+        names::DROP_DEPLOY_POST_LOOP,
+    ]
+    .iter()
+    .map(|n| snap.counter(n).unwrap_or(0))
+    .collect();
+    assert_eq!(snap.counter(names::DROP_SWITCH_MARKED), Some(1));
+    assert_eq!(
+        drops.iter().sum::<u64>(),
+        1,
+        "exactly one reason: {drops:?}"
+    );
+
+    let report = d.trace_report().unwrap();
+    let t = report.trace(1).unwrap();
+    let dropped: Vec<_> = t
+        .records
+        .iter()
+        .filter(|r| r.event.kind == EventKind::Drop)
+        .collect();
+    assert_eq!(dropped.len(), 1);
+    assert_eq!(dropped[0].event.hop, Hop::SwitchPre);
+    assert_eq!(dropped[0].detail, "reason marked");
+    // The allowed packet's trace has no drop.
+    assert!(!report.trace(0).unwrap().has(EventKind::Drop));
+}
+
+/// A control-plane sync rejection (table full during write-back) is
+/// attributed to `drop.sync_rejected` and traced at the transfer hop.
+#[test]
+fn sync_rejected_drop_attributed_and_traced() {
+    // MiniLB with a 2-entry replicated map: the third distinct flow's
+    // write-back insert is rejected by the control plane.
+    let mut b = FuncBuilder::new("minilb_tiny");
+    let map = b.decl_map("map", vec![16], vec![32], Some(2));
+    let backends = b.decl_vector("backends", 32, 16);
+    let saddr = b.read_field(HeaderField::IpSaddr);
+    let daddr = b.read_field(HeaderField::IpDaddr);
+    let hash32 = b.bin(BinOp::Xor, saddr, daddr);
+    let mask = b.cnst(0xFFFF, 32);
+    let low = b.bin(BinOp::And, hash32, mask);
+    let key = b.cast(low, 16);
+    let res = b.map_get(map, vec![key]);
+    let null = b.is_null(res);
+    let hit = b.new_block();
+    let miss = b.new_block();
+    b.branch(null, miss, hit);
+    b.switch_to(hit);
+    let bk = b.extract(res, 0);
+    b.write_field(HeaderField::IpDaddr, bk);
+    b.send();
+    b.ret();
+    b.switch_to(miss);
+    let len = b.vec_len(backends);
+    let idx = b.bin(BinOp::Mod, hash32, len);
+    let bk2 = b.vec_get(backends, idx);
+    b.write_field(HeaderField::IpDaddr, bk2);
+    b.map_put(map, vec![key], vec![bk2]);
+    b.send();
+    b.ret();
+    let prog = b.finish().unwrap();
+
+    let compiled = compile(&prog, &SwitchModel::tofino_like()).unwrap();
+    let mut d =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    d.configure(|s| {
+        let backends = compiled.staged.prog.state_by_name("backends").unwrap();
+        s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002])
+            .unwrap();
+    })
+    .unwrap();
+    d.enable_flight_recorder(1, 1024);
+
+    let flow = |i: u32| {
+        PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A00_0001 + i,
+                daddr: 0x0A00_00FE,
+                sport: 40000,
+                dport: 80,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::SYN),
+            120,
+        )
+        .build(PortId(1))
+    };
+    d.inject(flow(0)).unwrap();
+    d.inject(flow(1)).unwrap();
+    let err = d.inject(flow(2)).unwrap_err();
+    assert!(matches!(err, DeployError::Control(_)), "got {err:?}");
+
+    assert_eq!(d.stats.drop_sync_rejected, 1);
+    assert_eq!(d.stats.drop_server_error, 0);
+    assert_eq!(d.stats.drop_post_loop, 0);
+    let snap = d.telemetry_snapshot();
+    assert_eq!(snap.counter(names::DROP_DEPLOY_SYNC_REJECTED), Some(1));
+
+    let report = d.trace_report().unwrap();
+    let t = report.trace(2).unwrap();
+    let dropped: Vec<_> = t
+        .records
+        .iter()
+        .filter(|r| r.event.kind == EventKind::Drop)
+        .collect();
+    assert_eq!(dropped.len(), 1);
+    assert_eq!(dropped[0].event.hop, Hop::Transfer);
+    assert_eq!(dropped[0].detail, "reason sync_rejected");
+}
+
+/// Flight-recorder semantics under pressure: the ring keeps the newest
+/// events and counts what it lost.
+#[test]
+fn ring_overwrites_keep_newest_traces() {
+    let mut d = nat_deployment();
+    let rec = d.enable_flight_recorder(1, 16); // minimum ring
+    for i in 0..40u32 {
+        let p = PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0A00_0000 + i,
+                daddr: 0x0808_0404,
+                sport: 50_000,
+                dport: 443,
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(TcpFlags::SYN),
+            96,
+        )
+        .build(PortId(INTERNAL_PORT));
+        d.inject(p).unwrap();
+    }
+    assert_eq!(rec.sampled(), 40);
+    assert!(rec.overwritten() > 0);
+    let report = d.trace_report().unwrap();
+    // Whatever survives is the newest tail, and ids are still coherent.
+    assert!(!report.traces.is_empty());
+    let max_id = report.traces.iter().map(|t| t.trace_id).max().unwrap();
+    assert_eq!(max_id, 39, "newest trace survives overwrites");
+}
