@@ -124,6 +124,13 @@ impl ExecResult {
 /// interpreter and the switch simulator so both sides compute identical
 /// values (FNV-1a over the operand words).
 pub fn hash_values(inputs: &[u64], width: u8) -> u64 {
+    hash_values_iter(inputs.iter().copied(), width)
+}
+
+/// Streaming form of [`hash_values`]: identical digest, but inputs arrive
+/// from an iterator so callers (e.g. the switch plan's register file) need
+/// not materialize a slice.
+pub fn hash_values_iter(inputs: impl IntoIterator<Item = u64>, width: u8) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for v in inputs {
         for b in v.to_le_bytes() {

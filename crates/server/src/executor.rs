@@ -260,7 +260,7 @@ pub fn execute_server_partition_into(
                     }
                     Op::Const { value, .. } => RtVal::Int(*value),
                     Op::Bin { op, a, b } => {
-                        let w = inst.ty.int_width().unwrap_or(64);
+                        let w = plan.width_of(v);
                         RtVal::Int(op.eval(
                             resolve!(vals, *a)?.as_int()?,
                             resolve!(vals, *b)?.as_int()?,
@@ -268,7 +268,7 @@ pub fn execute_server_partition_into(
                         ))
                     }
                     Op::Not { a } => {
-                        let w = inst.ty.int_width().unwrap_or(64);
+                        let w = plan.width_of(v);
                         RtVal::Int(mask_to_width(!resolve!(vals, *a)?.as_int()?, w))
                     }
                     Op::Cast { a, width } => {

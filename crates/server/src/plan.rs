@@ -27,6 +27,10 @@ pub struct ServerPlan {
     /// an executed-instruction list back into block-level events without
     /// touching the executor's walk.
     inst_block: Vec<u32>,
+    /// Evaluation width per instruction (`inst.ty.int_width()` defaulted
+    /// to 64), cached so the per-packet arithmetic path never re-derives
+    /// it from the type.
+    widths: Vec<u8>,
 }
 
 impl ServerPlan {
@@ -58,11 +62,23 @@ impl ServerPlan {
                 inst_block[v.0 as usize] = bi as u32;
             }
         }
+        let widths = f
+            .insts
+            .iter()
+            .map(|i| i.ty.int_width().unwrap_or(64))
+            .collect();
         ServerPlan {
             ipdom,
             block_insts,
             inst_block,
+            widths,
         }
+    }
+
+    /// Cached evaluation width of an instruction.
+    #[inline]
+    pub fn width_of(&self, v: ValueId) -> u8 {
+        self.widths.get(v.0 as usize).copied().unwrap_or(64)
     }
 
     /// Total server-assigned instructions across all blocks.

@@ -31,7 +31,7 @@ pub mod table;
 pub use control::{control_op_latency_ns, ControlError, ControlPlane};
 pub use fasthash::{FastBuildHasher, FxHasher64};
 pub use loader::{load_check, LoadError};
-pub use plan::{ExecPlan, PlanError};
+pub use plan::{expr_check, ExecPlan, PlanError, PlanExprStats, PlanOptions};
 pub use switch::{
     Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
 };

@@ -9,33 +9,53 @@
 //! * **Interned metadata** — every metadata field name is assigned a dense
 //!   slot index; per-packet metadata becomes one reusable `Vec<u64>`
 //!   scratch buffer instead of a `HashMap<String, u64>`.
-//! * **Flattened expressions** — every [`P4Expr`] tree is compiled to a
-//!   postfix opcode run evaluated with a reusable value stack (no
-//!   recursion, no per-packet allocation).
+//! * **Register-compiled expressions** — every [`P4Expr`] tree is lowered
+//!   to a flat three-address micro-op stream ([`MOp`]) over a small
+//!   virtual register file (reused via [`PlanScratch`]). The compiler
+//!   folds constants, reuses common subexpressions within a node (value
+//!   numbering keyed on resolved operands, so invalidation cascades
+//!   automatically), eliminates dead values, and compacts the register
+//!   file with a linear-scan allocation, all at build time.
+//! * **Fused superinstructions** — the `SetMeta` runs that build table
+//!   keys are absorbed into a single [`PlanOp::BuildKeyProbe`] that
+//!   evaluates the pending micro-ops, applies the surviving metadata
+//!   stores, assembles the `KeyBuf` straight from registers/immediates,
+//!   and probes the table. Branch conditions materialized in the same
+//!   node read their register directly (or constant-fold the branch into
+//!   a jump); metadata stores whose value is never read outside the
+//!   defining node are elided entirely.
 //! * **A linear instruction stream** — the control-flow node DAG becomes
 //!   one opcode vector with resolved jump targets, executed by a tight
 //!   loop. Cyclic node graphs are rejected at build time (the interpreter
-//!   only catches them mid-packet).
+//!   only catches them mid-packet), and every register reference is
+//!   validated def-before-use at build time, so execution never consults
+//!   arity or bounds.
 //! * **Pre-resolved transfer layouts** — each transfer-header field is
 //!   mapped to its metadata slot, so encap/decap read and write the
 //!   scratch buffer directly instead of going through name-keyed maps.
 //!
 //! Equivalence with the AST interpreter in [`crate::switch`] is enforced
-//! by the differential suites (`tests/prop_plan.rs`, `bench_pr3`): both
+//! by the differential suites (`tests/prop_plan.rs`, `bench_pr8`): both
 //! paths share `BinOp::eval`, `hash_values`, header field access, and the
 //! table runtime, and the lowering preserves statement order, branch
 //! semantics (missing metadata reads as zero), and foreign-work tracking.
+//! Dead-store elimination only ever removes writes to metadata slots that
+//! are provably never read outside the defining node (and never packed
+//! into a transfer header) — metadata is not externally observable, so
+//! the differential surface (emissions, stats, state, transfers) is
+//! untouched. [`PlanOptions`] can disable the fusion/elision layer, which
+//! the fused ≡ unfused property tests exploit.
 
 use crate::fasthash::FastBuildHasher;
 use crate::switch::SwitchStats;
 use crate::table::{KeyBuf, RtTable};
 use gallium_mir::interp::{
-    hash_values, read_header_field, refresh_ip_checksum, write_header_field,
+    hash_values, hash_values_iter, read_header_field, refresh_ip_checksum, write_header_field,
 };
 use gallium_mir::types::mask_to_width;
 use gallium_mir::{BinOp, HeaderField};
 use gallium_net::{Packet, PortId};
-use gallium_p4::{NodeNext, P4Expr, P4Program, P4Stmt};
+use gallium_p4::{BlockNode, NodeNext, P4Expr, P4Program, P4Stmt};
 use gallium_telemetry::trace::{DropReason, EventKind, Hop, Tracer};
 use std::collections::HashMap;
 
@@ -67,6 +87,31 @@ pub enum PlanError {
         /// Number of declared nodes.
         declared: usize,
     },
+    /// A single node needed more virtual registers than the register file
+    /// can address.
+    RegisterOverflow {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// The node that overflowed.
+        node: usize,
+    },
+    /// The build-time validator found a micro-op reading a register before
+    /// any micro-op defines it (a compiler invariant violation — caught at
+    /// load instead of panicking mid-packet).
+    UndefinedRegister {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// The node with the malformed micro-op stream.
+        node: usize,
+    },
+    /// A compiled pool (micro-ops, stores, keys, hash args) outgrew its
+    /// index width.
+    PoolOverflow {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// Which pool overflowed.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -86,66 +131,223 @@ impl std::fmt::Display for PlanError {
             PlanError::BadEntry { entry, declared } => {
                 write!(f, "entry node #{entry} out of range ({declared} declared)")
             }
+            PlanError::RegisterOverflow { traversal, node } => write!(
+                f,
+                "{traversal} traversal node #{node} exceeds the virtual register file"
+            ),
+            PlanError::UndefinedRegister { traversal, node } => write!(
+                f,
+                "{traversal} traversal node #{node} reads a register before it is defined"
+            ),
+            PlanError::PoolOverflow { traversal, what } => {
+                write!(f, "{traversal} traversal overflowed the {what} pool")
+            }
         }
     }
 }
 
 impl std::error::Error for PlanError {}
 
-/// One postfix expression opcode.
+/// Build-time switches for the expression compiler.
 #[derive(Debug, Clone, Copy)]
-enum EOp {
+pub struct PlanOptions {
+    /// Enable the optimizing layer: cross-statement CSE, store fusion into
+    /// host ops, dead-store/dead-value elimination, and branch folding.
+    /// With `fuse: false` every statement compiles to a standalone op with
+    /// its own metadata store and table keys reload metadata — the
+    /// "unfused sequence" baseline the property tests compare against.
+    pub fuse: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { fuse: true }
+    }
+}
+
+/// Build-time statistics from the expression compiler (telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlanExprStats {
+    /// Micro-ops in the committed pools (both traversals).
+    pub micro_ops: u64,
+    /// Constants folded / algebraic identities applied at build time.
+    pub folded: u64,
+    /// Common-subexpression table hits.
+    pub cse_hits: u64,
+    /// Fused superinstructions: key probes that absorbed builder stores,
+    /// plus branches reading a register or folded to a jump.
+    pub fused: u64,
+    /// Micro-ops and metadata stores removed as dead.
+    pub dead: u64,
+    /// Virtual register file size (max over all nodes).
+    pub regs: u64,
+}
+
+/// A compiled value handle: a build-time constant or a virtual register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprVal {
     Const(u64),
-    Meta(u16),
-    Header(HeaderField),
-    Ingress,
-    Bin(BinOp),
-    Not,
-    Cast(u8),
-    Hash { arity: u16, width: u8 },
+    Reg(u16),
 }
 
-/// A compiled expression: a contiguous postfix run in the expression pool.
+/// Resolve a value handle against the register file.
+#[inline(always)]
+fn resolve(v: ExprVal, regs: &[u64]) -> u64 {
+    match v {
+        ExprVal::Const(c) => c,
+        ExprVal::Reg(r) => regs[usize::from(r)],
+    }
+}
+
+/// One three-address micro-op. Operands and destinations are virtual
+/// registers in the per-packet file; immediates are folded in at build
+/// time. All arithmetic evaluates at width 64, exactly like the AST
+/// interpreter (`BinOp::eval(a, b, 64)`).
 #[derive(Debug, Clone, Copy)]
-struct ExprRef {
-    start: u32,
-    len: u32,
+enum MOp {
+    LoadMeta {
+        dst: u16,
+        slot: u16,
+    },
+    LoadHeader {
+        dst: u16,
+        field: HeaderField,
+    },
+    LoadIngress {
+        dst: u16,
+    },
+    BinRR {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        b: u16,
+    },
+    BinRI {
+        op: BinOp,
+        dst: u16,
+        a: u16,
+        imm: u64,
+    },
+    BinIR {
+        op: BinOp,
+        dst: u16,
+        imm: u64,
+        b: u16,
+    },
+    NotR {
+        dst: u16,
+        a: u16,
+    },
+    MaskR {
+        dst: u16,
+        a: u16,
+        width: u8,
+    },
+    Hash {
+        dst: u16,
+        args_start: u32,
+        args_len: u16,
+        width: u8,
+    },
 }
 
-/// One lowered statement/control opcode.
+impl MOp {
+    fn dst(&self) -> u16 {
+        match *self {
+            MOp::LoadMeta { dst, .. }
+            | MOp::LoadHeader { dst, .. }
+            | MOp::LoadIngress { dst }
+            | MOp::BinRR { dst, .. }
+            | MOp::BinRI { dst, .. }
+            | MOp::BinIR { dst, .. }
+            | MOp::NotR { dst, .. }
+            | MOp::MaskR { dst, .. }
+            | MOp::Hash { dst, .. } => dst,
+        }
+    }
+}
+
+/// A contiguous range into one of the per-traversal pools.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoolRef {
+    start: u32,
+    len: u16,
+}
+
+impl PoolRef {
+    #[inline(always)]
+    fn range(self) -> std::ops::Range<usize> {
+        self.start as usize..self.start as usize + usize::from(self.len)
+    }
+
+    fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// One pending metadata store: `meta[slot] = resolve(src)`. The source is
+/// already masked to the slot width at build time.
+#[derive(Debug, Clone, Copy)]
+struct StoreSlot {
+    slot: u16,
+    src: ExprVal,
+}
+
+/// Where a branch reads its condition: a register defined in the same
+/// node (fused) or the metadata slot (fallback for conditions set in an
+/// earlier node).
+#[derive(Debug, Clone, Copy)]
+enum BranchSrc {
+    Reg(u16),
+    Slot(u16),
+}
+
+/// One lowered statement/control opcode. Expression-bearing ops carry the
+/// micro-op run to execute first (`run`) and the metadata stores to apply
+/// after it (`stores`) — fused work from preceding `SetMeta` statements
+/// rides along in both.
 #[derive(Debug, Clone, Copy)]
 enum PlanOp {
-    SetMeta {
-        slot: u16,
-        width: u8,
-        expr: ExprRef,
+    /// Execute micro-ops and apply stores, no other effect (flush point
+    /// before non-hosting ops and node exits).
+    Eval {
+        run: PoolRef,
+        stores: PoolRef,
     },
     SetHeader {
+        run: PoolRef,
+        stores: PoolRef,
         field: HeaderField,
-        expr: ExprRef,
+        out: ExprVal,
     },
-    TableLookup {
+    /// The fused `SetMeta`+`TableLookup` superinstruction: run the pending
+    /// micro-ops, apply the surviving builder stores, assemble the key
+    /// buffer from registers/immediates, and probe the table.
+    BuildKeyProbe {
+        run: PoolRef,
+        stores: PoolRef,
         table: u16,
-        keys_start: u32,
-        keys_len: u16,
+        keys: PoolRef,
         hit_slot: u16,
-        vals_start: u32,
-        vals_len: u16,
+        vals: PoolRef,
     },
     RegRead {
         reg: u16,
         dst: u16,
     },
     RegWrite {
+        run: PoolRef,
+        stores: PoolRef,
         reg: u16,
-        width: u8,
-        expr: ExprRef,
+        out: ExprVal,
     },
     RegFetchAdd {
+        run: PoolRef,
+        stores: PoolRef,
         reg: u16,
         width: u8,
         dst: u16,
-        expr: ExprRef,
+        out: ExprVal,
     },
     UpdateChecksum,
     EmitCopy,
@@ -154,7 +356,9 @@ enum PlanOp {
     Foreign,
     Jump(u32),
     Branch {
-        slot: u16,
+        run: PoolRef,
+        stores: PoolRef,
+        src: BranchSrc,
         then_ip: u32,
         else_ip: u32,
     },
@@ -165,10 +369,15 @@ enum PlanOp {
 #[derive(Debug, Default)]
 pub(crate) struct TraversalPlan {
     ops: Vec<PlanOp>,
-    exprs: Vec<EOp>,
-    /// Key expressions for `TableLookup` ops, referenced by range.
-    key_exprs: Vec<ExprRef>,
-    /// Value destination slots for `TableLookup` ops, referenced by range.
+    /// The micro-op pool; each op's `run` is a contiguous range.
+    micro: Vec<MOp>,
+    /// Metadata stores, referenced by range.
+    stores: Vec<StoreSlot>,
+    /// Table key sources for `BuildKeyProbe`, referenced by range.
+    keys: Vec<ExprVal>,
+    /// Hash inputs for `MOp::Hash`, referenced by range.
+    hash_args: Vec<ExprVal>,
+    /// Value destination slots for `BuildKeyProbe`, referenced by range.
     value_slots: Vec<u16>,
     entry_ip: u32,
 }
@@ -185,13 +394,24 @@ pub struct ExecPlan {
     pub(crate) from_server_slots: Vec<u16>,
     /// Total interned metadata slots (sizes the scratch buffer).
     pub(crate) n_slots: usize,
+    /// Virtual register file size (sizes the scratch buffer).
+    pub(crate) n_regs: usize,
+    /// Interned slot per metadata name (debugging / test hooks).
+    pub(crate) slots: HashMap<String, u16>,
+    expr_stats: PlanExprStats,
 }
 
 impl ExecPlan {
-    /// Lower `prog` into an execution plan. Fails on malformed control
-    /// flow (dangling node targets, cyclic node graphs) — conditions the
-    /// AST interpreter only detects mid-packet.
+    /// Lower `prog` into an execution plan with default options. Fails on
+    /// malformed control flow (dangling node targets, cyclic node graphs)
+    /// or compiler invariant violations — conditions the AST interpreter
+    /// only detects mid-packet, if at all.
     pub fn build(prog: &P4Program) -> Result<ExecPlan, PlanError> {
+        Self::build_with(prog, PlanOptions::default())
+    }
+
+    /// Lower `prog` with explicit [`PlanOptions`].
+    pub fn build_with(prog: &P4Program, opts: PlanOptions) -> Result<ExecPlan, PlanError> {
         let mut interner = Interner::default();
         let meta_bits: HashMap<&str, u16> = prog
             .metadata
@@ -199,26 +419,56 @@ impl ExecPlan {
             .map(|m| (m.name.as_str(), m.bits))
             .collect();
         let reg_widths: Vec<u8> = prog.registers.iter().map(|r| r.width).collect();
-        let pre = compile_traversal(prog, true, "pre", &mut interner, &meta_bits, &reg_widths)?;
-        let post = compile_traversal(prog, false, "post", &mut interner, &meta_bits, &reg_widths)?;
-        let to_server_slots = prog
+        // Intern the transfer slots up front: the pre traversal must treat
+        // to-server fields as externally read (attach_with reads them from
+        // the scratch after the run), which pins their metadata stores.
+        let to_server_slots: Vec<u16> = prog
             .header_to_server
             .fields()
             .iter()
             .map(|f| interner.slot(&f.name))
             .collect();
-        let from_server_slots = prog
+        let from_server_slots: Vec<u16> = prog
             .header_to_switch
             .fields()
             .iter()
             .map(|f| interner.slot(&f.name))
             .collect();
+        let mut stats = PlanExprStats::default();
+        let (pre, pre_regs) = compile_traversal(
+            prog,
+            true,
+            "pre",
+            &mut interner,
+            &meta_bits,
+            &reg_widths,
+            &to_server_slots,
+            opts,
+            &mut stats,
+        )?;
+        let (post, post_regs) = compile_traversal(
+            prog,
+            false,
+            "post",
+            &mut interner,
+            &meta_bits,
+            &reg_widths,
+            &[],
+            opts,
+            &mut stats,
+        )?;
+        let n_regs = usize::from(pre_regs.max(post_regs));
+        stats.micro_ops = (pre.micro.len() + post.micro.len()) as u64;
+        stats.regs = n_regs as u64;
         Ok(ExecPlan {
             pre,
             post,
             to_server_slots,
             from_server_slots,
             n_slots: interner.len(),
+            n_regs,
+            slots: interner.slots,
+            expr_stats: stats,
         })
     }
 
@@ -230,6 +480,21 @@ impl ExecPlan {
     /// Number of interned metadata slots (telemetry).
     pub fn slot_count(&self) -> usize {
         self.n_slots
+    }
+
+    /// Total micro-ops across both traversals (telemetry).
+    pub fn micro_op_count(&self) -> usize {
+        self.pre.micro.len() + self.post.micro.len()
+    }
+
+    /// Virtual register file size (telemetry).
+    pub fn reg_count(&self) -> usize {
+        self.n_regs
+    }
+
+    /// Build-time expression compiler statistics.
+    pub fn expr_stats(&self) -> PlanExprStats {
+        self.expr_stats
     }
 }
 
@@ -311,6 +576,1188 @@ fn check_dag(prog: &P4Program, is_pre: bool, traversal: &'static str) -> Result<
     Ok(())
 }
 
+/// Which nodes read each metadata slot. Drives dead-store elimination: a
+/// write in node `n` needs a memory store only if the slot is read by a
+/// different node or by the transfer attach after the run.
+#[derive(Debug, Default)]
+struct MetaReaders {
+    map: HashMap<u16, Readers>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Readers {
+    One(usize),
+    Many,
+}
+
+impl MetaReaders {
+    fn note(&mut self, slot: u16, node: usize) {
+        match self.map.get(&slot) {
+            None => {
+                self.map.insert(slot, Readers::One(node));
+            }
+            Some(Readers::One(n)) if *n == node => {}
+            Some(_) => {
+                self.map.insert(slot, Readers::Many);
+            }
+        }
+    }
+
+    fn mark_external(&mut self, slot: u16) {
+        self.map.insert(slot, Readers::Many);
+    }
+
+    fn needs_store(&self, slot: u16, node: usize) -> bool {
+        match self.map.get(&slot) {
+            None => false,
+            Some(Readers::One(n)) => *n != node,
+            Some(Readers::Many) => true,
+        }
+    }
+}
+
+/// Walk the metadata names an expression reads.
+fn visit_meta_reads(e: &P4Expr, f: &mut impl FnMut(&str)) {
+    match e {
+        P4Expr::Meta(n) => f(n),
+        P4Expr::Bin(_, a, b) => {
+            visit_meta_reads(a, f);
+            visit_meta_reads(b, f);
+        }
+        P4Expr::Not(a) | P4Expr::Cast(a, _) => visit_meta_reads(a, f),
+        P4Expr::Hash(parts, _) => {
+            for p in parts {
+                visit_meta_reads(p, f);
+            }
+        }
+        P4Expr::Const(..) | P4Expr::Header(_) | P4Expr::IngressPort => {}
+    }
+}
+
+/// Collect every metadata read site across a traversal (expression leaves
+/// and branch conditions), plus the externally read transfer slots.
+fn scan_reads(nodes: &[BlockNode], interner: &mut Interner, external: &[u16]) -> MetaReaders {
+    let mut readers = MetaReaders::default();
+    for &slot in external {
+        readers.mark_external(slot);
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        let mut note = |interner: &mut Interner, e: &P4Expr| {
+            visit_meta_reads(e, &mut |name| {
+                let slot = interner.slot(name);
+                readers.note(slot, i);
+            });
+        };
+        for stmt in &node.stmts {
+            match stmt {
+                P4Stmt::SetMeta(_, e) | P4Stmt::SetHeader(_, e) => note(interner, e),
+                P4Stmt::TableLookup { keys, .. } => {
+                    for k in keys {
+                        note(interner, k);
+                    }
+                }
+                P4Stmt::RegWrite { src, .. } => note(interner, src),
+                P4Stmt::RegFetchAdd { delta, .. } => note(interner, delta),
+                P4Stmt::RegRead { .. }
+                | P4Stmt::UpdateChecksum
+                | P4Stmt::EmitCopy
+                | P4Stmt::MarkDrop => {}
+            }
+        }
+        if let NodeNext::Cond { meta, .. } = &node.next {
+            let slot = interner.slot(meta);
+            readers.note(slot, i);
+        }
+    }
+    readers
+}
+
+/// Value-numbering key: derived entries are keyed on *resolved* operands
+/// (registers/constants), so invalidating a leaf automatically invalidates
+/// everything built on top of it — a re-resolved leaf lands in a fresh
+/// register and derived keys stop matching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum MKey {
+    Meta(u16),
+    Header(HeaderField),
+    Ingress,
+    Bin(BinOp, ExprVal, ExprVal),
+    Not(u16),
+    Mask(u16, u8),
+    Hash(Vec<ExprVal>, u8),
+}
+
+/// Node-local action skeleton; becomes a [`PlanOp`] at commit.
+#[derive(Debug)]
+enum ActKind {
+    Eval,
+    SetHeader {
+        field: HeaderField,
+        out: ExprVal,
+    },
+    Probe {
+        table: u16,
+        keys: (u32, u32),
+        hit_slot: u16,
+        vals: (u32, u32),
+    },
+    RegRead {
+        reg: u16,
+        dst: u16,
+    },
+    RegWrite {
+        reg: u16,
+        out: ExprVal,
+    },
+    RegFetchAdd {
+        reg: u16,
+        width: u8,
+        dst: u16,
+        out: ExprVal,
+    },
+    UpdateChecksum,
+    EmitCopy,
+    MarkDrop,
+    Foreign,
+    Jump {
+        node: usize,
+    },
+    Branch {
+        src: BranchSrc,
+        then_node: usize,
+        else_node: usize,
+    },
+    Halt,
+}
+
+#[derive(Debug)]
+struct ActionRec {
+    /// Range into the node-local store list.
+    stores: (u32, u32),
+    kind: ActKind,
+}
+
+/// Number of significant bits a constant needs.
+fn const_bits(v: u64) -> u8 {
+    (64 - v.leading_zeros()) as u8
+}
+
+/// Compiles one control-flow node: forward pass with folding and value
+/// numbering into SSA micro-ops, then dead-value elimination, def-before-
+/// use validation, linear-scan register allocation, and commit into the
+/// traversal pools.
+struct NodeCompiler<'a> {
+    interner: &'a mut Interner,
+    meta_bits: &'a HashMap<&'a str, u16>,
+    reg_widths: &'a [u8],
+    readers: &'a MetaReaders,
+    opts: PlanOptions,
+    stats: &'a mut PlanExprStats,
+    traversal: &'static str,
+    node: usize,
+    /// SSA micro-ops (destinations numbered 0..bits.len()).
+    ops: Vec<MOp>,
+    /// Owning action index per op (assigned when the action is emitted).
+    op_owner: Vec<usize>,
+    /// Node-local hash-arg pool (SSA refs; remapped at commit).
+    hash_args: Vec<ExprVal>,
+    /// Node-local key pool (SSA refs).
+    keys: Vec<ExprVal>,
+    /// Node-local value-slot pool.
+    val_slots: Vec<u16>,
+    /// Node-local committed stores (SSA refs).
+    stores: Vec<StoreSlot>,
+    actions: Vec<ActionRec>,
+    /// Stores awaiting a host action.
+    pending_stores: Vec<StoreSlot>,
+    /// First op index not yet owned by an action.
+    pending_op_start: usize,
+    cse: HashMap<MKey, ExprVal>,
+    /// Per-SSA-register conservative bound on significant bits (used to
+    /// elide redundant width masks).
+    bits: Vec<u8>,
+}
+
+impl<'a> NodeCompiler<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        interner: &'a mut Interner,
+        meta_bits: &'a HashMap<&'a str, u16>,
+        reg_widths: &'a [u8],
+        readers: &'a MetaReaders,
+        opts: PlanOptions,
+        stats: &'a mut PlanExprStats,
+        traversal: &'static str,
+        node: usize,
+    ) -> Self {
+        NodeCompiler {
+            interner,
+            meta_bits,
+            reg_widths,
+            readers,
+            opts,
+            stats,
+            traversal,
+            node,
+            ops: Vec::new(),
+            op_owner: Vec::new(),
+            hash_args: Vec::new(),
+            keys: Vec::new(),
+            val_slots: Vec::new(),
+            stores: Vec::new(),
+            actions: Vec::new(),
+            pending_stores: Vec::new(),
+            pending_op_start: 0,
+            cse: HashMap::new(),
+            bits: Vec::new(),
+        }
+    }
+
+    fn width_of(&self, name: &str) -> u8 {
+        self.meta_bits.get(name).copied().unwrap_or(64).min(64) as u8
+    }
+
+    fn fresh(&mut self, bits: u8) -> Result<u16, PlanError> {
+        let r = u16::try_from(self.bits.len()).map_err(|_| PlanError::RegisterOverflow {
+            traversal: self.traversal,
+            node: self.node,
+        })?;
+        self.bits.push(bits.min(64));
+        Ok(r)
+    }
+
+    fn val_bits(&self, v: ExprVal) -> u8 {
+        match v {
+            ExprVal::Const(c) => const_bits(c),
+            ExprVal::Reg(r) => self.bits[usize::from(r)],
+        }
+    }
+
+    /// Emit-or-reuse: value-numbered emission of a single micro-op.
+    fn cached(
+        &mut self,
+        key: MKey,
+        bits: u8,
+        f: impl FnOnce(u16) -> MOp,
+    ) -> Result<ExprVal, PlanError> {
+        if let Some(v) = self.cse.get(&key) {
+            self.stats.cse_hits += 1;
+            return Ok(*v);
+        }
+        let dst = self.fresh(bits)?;
+        self.ops.push(f(dst));
+        self.op_owner.push(usize::MAX);
+        let v = ExprVal::Reg(dst);
+        self.cse.insert(key, v);
+        Ok(v)
+    }
+
+    /// Mask `v` to `width`, eliding the op when the value provably fits.
+    fn masked(&mut self, v: ExprVal, width: u8) -> Result<ExprVal, PlanError> {
+        if width >= 64 {
+            return Ok(v);
+        }
+        match v {
+            ExprVal::Const(c) => Ok(ExprVal::Const(mask_to_width(c, width))),
+            ExprVal::Reg(r) => {
+                if self.bits[usize::from(r)] <= width {
+                    self.stats.folded += 1;
+                    return Ok(v);
+                }
+                self.cached(MKey::Mask(r, width), width, |dst| MOp::MaskR {
+                    dst,
+                    a: r,
+                    width,
+                })
+            }
+        }
+    }
+
+    /// Conservative bound on the significant bits of a binary result.
+    fn bin_bits(&self, op: BinOp, va: ExprVal, vb: ExprVal) -> u8 {
+        let (a, b) = (self.val_bits(va), self.val_bits(vb));
+        match op {
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1,
+            BinOp::And => a.min(b),
+            BinOp::Or | BinOp::Xor => a.max(b),
+            BinOp::Add => (a.max(b) + 1).min(64),
+            BinOp::Sub => 64,
+            BinOp::Mul => (a + b).min(64),
+            BinOp::Div => a,
+            BinOp::Mod => a.min(b),
+            BinOp::Shl => match vb {
+                ExprVal::Const(c) if c < 64 => (a + c as u8).min(64),
+                ExprVal::Const(_) => 0,
+                ExprVal::Reg(_) => 64,
+            },
+            BinOp::Shr => match vb {
+                ExprVal::Const(c) if c < 64 => a.saturating_sub(c as u8),
+                ExprVal::Const(_) => 0,
+                ExprVal::Reg(_) => a,
+            },
+        }
+    }
+
+    /// Compile a binary op: fold constants, apply algebraic identities
+    /// (these can orphan already-emitted operand ops — dead-value
+    /// elimination sweeps them), then emit with immediates folded in.
+    fn bin(&mut self, op: BinOp, va: ExprVal, vb: ExprVal) -> Result<ExprVal, PlanError> {
+        use ExprVal::{Const, Reg};
+        if let (Const(a), Const(b)) = (va, vb) {
+            self.stats.folded += 1;
+            return Ok(Const(op.eval(a, b, 64)));
+        }
+        // Identical operands: registers are immutable within a node, so
+        // `x op x` identities are exact.
+        if va == vb {
+            let folded = match op {
+                BinOp::Sub | BinOp::Xor | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Mod => {
+                    Some(Const(0))
+                }
+                BinOp::Eq | BinOp::Le | BinOp::Ge => Some(Const(1)),
+                BinOp::And | BinOp::Or => Some(va),
+                _ => None,
+            };
+            if let Some(v) = folded {
+                self.stats.folded += 1;
+                return Ok(v);
+            }
+        }
+        // One-constant identities, matching `BinOp::eval` at width 64
+        // exactly (including div/mod-by-zero → 0 and shift-≥64 → 0).
+        let ident = match (op, va, vb) {
+            (BinOp::And, _, Const(0)) | (BinOp::And, Const(0), _) => Some(Const(0)),
+            (BinOp::And, v, Const(u64::MAX)) | (BinOp::And, Const(u64::MAX), v) => Some(v),
+            (BinOp::Or, v, Const(0)) | (BinOp::Or, Const(0), v) => Some(v),
+            (BinOp::Or, _, Const(u64::MAX)) | (BinOp::Or, Const(u64::MAX), _) => {
+                Some(Const(u64::MAX))
+            }
+            (BinOp::Xor, v, Const(0)) | (BinOp::Xor, Const(0), v) => Some(v),
+            (BinOp::Add, v, Const(0)) | (BinOp::Add, Const(0), v) => Some(v),
+            (BinOp::Sub, v, Const(0)) => Some(v),
+            (BinOp::Mul, _, Const(0)) | (BinOp::Mul, Const(0), _) => Some(Const(0)),
+            (BinOp::Mul, v, Const(1)) | (BinOp::Mul, Const(1), v) => Some(v),
+            (BinOp::Shl | BinOp::Shr, v, Const(0)) => Some(v),
+            (BinOp::Shl | BinOp::Shr, _, Const(c)) if c >= 64 => Some(Const(0)),
+            (BinOp::Div | BinOp::Mod, _, Const(0)) => Some(Const(0)),
+            (BinOp::Div, v, Const(1)) => Some(v),
+            (BinOp::Mod, _, Const(1)) => Some(Const(0)),
+            (BinOp::Div | BinOp::Mod, Const(0), _) => Some(Const(0)),
+            _ => None,
+        };
+        if let Some(v) = ident {
+            self.stats.folded += 1;
+            return Ok(v);
+        }
+        // Canonicalize commutative const-left to const-right so CSE keys
+        // and the emitted form agree.
+        let commutative = matches!(
+            op,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Eq | BinOp::Ne
+        );
+        let (va, vb) = match (va, vb) {
+            (Const(i), Reg(r)) if commutative => (Reg(r), Const(i)),
+            other => other,
+        };
+        let bits = self.bin_bits(op, va, vb);
+        match (va, vb) {
+            (Reg(a), Reg(b)) => self.cached(MKey::Bin(op, va, vb), bits, |dst| MOp::BinRR {
+                op,
+                dst,
+                a,
+                b,
+            }),
+            (Reg(a), Const(imm)) => self.cached(MKey::Bin(op, va, vb), bits, |dst| MOp::BinRI {
+                op,
+                dst,
+                a,
+                imm,
+            }),
+            (Const(imm), Reg(b)) => self.cached(MKey::Bin(op, va, vb), bits, |dst| MOp::BinIR {
+                op,
+                dst,
+                imm,
+                b,
+            }),
+            (Const(_), Const(_)) => unreachable!("const-const folded above"),
+        }
+    }
+
+    /// Lower an expression tree to a value handle, emitting micro-ops on
+    /// demand.
+    fn compile_expr(&mut self, e: &P4Expr) -> Result<ExprVal, PlanError> {
+        match e {
+            P4Expr::Const(v, _) => Ok(ExprVal::Const(*v)),
+            P4Expr::Meta(n) => {
+                let slot = self.interner.slot(n);
+                // Slot contents are not guaranteed masked to the declared
+                // width (table values and register reads land unmasked),
+                // so a metadata load has unknown significant bits.
+                self.cached(MKey::Meta(slot), 64, |dst| MOp::LoadMeta { dst, slot })
+            }
+            P4Expr::Header(f) => {
+                let field = *f;
+                self.cached(MKey::Header(field), field.bits(), |dst| MOp::LoadHeader {
+                    dst,
+                    field,
+                })
+            }
+            P4Expr::IngressPort => self.cached(MKey::Ingress, 16, |dst| MOp::LoadIngress { dst }),
+            P4Expr::Bin(op, a, b) => {
+                let va = self.compile_expr(a)?;
+                let vb = self.compile_expr(b)?;
+                self.bin(*op, va, vb)
+            }
+            P4Expr::Not(a) => {
+                let va = self.compile_expr(a)?;
+                match va {
+                    ExprVal::Const(c) => {
+                        self.stats.folded += 1;
+                        Ok(ExprVal::Const(!c))
+                    }
+                    ExprVal::Reg(r) => self.cached(MKey::Not(r), 64, |dst| MOp::NotR { dst, a: r }),
+                }
+            }
+            P4Expr::Cast(a, w) => {
+                let va = self.compile_expr(a)?;
+                self.masked(va, *w)
+            }
+            P4Expr::Hash(parts, w) => {
+                let mut vals = Vec::with_capacity(parts.len());
+                for p in parts {
+                    vals.push(self.compile_expr(p)?);
+                }
+                if vals.iter().all(|v| matches!(v, ExprVal::Const(_))) {
+                    let ins: Vec<u64> = vals
+                        .iter()
+                        .map(|v| match v {
+                            ExprVal::Const(c) => *c,
+                            ExprVal::Reg(_) => 0,
+                        })
+                        .collect();
+                    self.stats.folded += 1;
+                    return Ok(ExprVal::Const(hash_values(&ins, *w)));
+                }
+                let key = MKey::Hash(vals.clone(), *w);
+                if let Some(v) = self.cse.get(&key) {
+                    self.stats.cse_hits += 1;
+                    return Ok(*v);
+                }
+                let args_start =
+                    u32::try_from(self.hash_args.len()).map_err(|_| PlanError::PoolOverflow {
+                        traversal: self.traversal,
+                        what: "hash args",
+                    })?;
+                let args_len = u16::try_from(vals.len()).map_err(|_| PlanError::PoolOverflow {
+                    traversal: self.traversal,
+                    what: "hash args",
+                })?;
+                self.hash_args.extend_from_slice(&vals);
+                let width = *w;
+                let dst = self.fresh(width.min(64))?;
+                self.ops.push(MOp::Hash {
+                    dst,
+                    args_start,
+                    args_len,
+                    width,
+                });
+                self.op_owner.push(usize::MAX);
+                let v = ExprVal::Reg(dst);
+                self.cse.insert(key, v);
+                Ok(v)
+            }
+        }
+    }
+
+    /// Emit an action, absorbing all pending micro-ops and stores.
+    fn emit_action(&mut self, kind: ActKind) -> Result<(), PlanError> {
+        let idx = self.actions.len();
+        for owner in &mut self.op_owner[self.pending_op_start..] {
+            *owner = idx;
+        }
+        self.pending_op_start = self.ops.len();
+        let s_start = u32::try_from(self.stores.len()).map_err(|_| PlanError::PoolOverflow {
+            traversal: self.traversal,
+            what: "stores",
+        })?;
+        self.stores.append(&mut self.pending_stores);
+        let s_end = self.stores.len() as u32;
+        self.actions.push(ActionRec {
+            stores: (s_start, s_end),
+            kind,
+        });
+        Ok(())
+    }
+
+    /// Flush pending micro-ops/stores into a standalone `Eval` before an
+    /// op that cannot host them.
+    fn flush(&mut self) -> Result<(), PlanError> {
+        if self.pending_op_start < self.ops.len() || !self.pending_stores.is_empty() {
+            self.emit_action(ActKind::Eval)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &P4Stmt) -> Result<(), PlanError> {
+        match stmt {
+            P4Stmt::SetMeta(name, e) => {
+                let raw = self.compile_expr(e)?;
+                let val = self.masked(raw, self.width_of(name))?;
+                let slot = self.interner.slot(name);
+                self.cse.remove(&MKey::Meta(slot));
+                self.cse.insert(MKey::Meta(slot), val);
+                if !self.opts.fuse || self.readers.needs_store(slot, self.node) {
+                    self.pending_stores.push(StoreSlot { slot, src: val });
+                } else {
+                    self.stats.dead += 1;
+                }
+                if !self.opts.fuse {
+                    self.flush()?;
+                    self.cse.clear();
+                }
+            }
+            P4Stmt::SetHeader(f, e) => {
+                let raw = self.compile_expr(e)?;
+                let val = self.masked(raw, f.bits())?;
+                self.cse.remove(&MKey::Header(*f));
+                self.emit_action(ActKind::SetHeader {
+                    field: *f,
+                    out: val,
+                })?;
+                if !self.opts.fuse {
+                    self.cse.clear();
+                }
+            }
+            P4Stmt::TableLookup {
+                table,
+                keys,
+                hit_meta,
+                value_metas,
+            } => {
+                let k_start = self.keys.len() as u32;
+                for k in keys {
+                    let v = self.compile_expr(k)?;
+                    self.keys.push(v);
+                }
+                let k_end = self.keys.len() as u32;
+                let hit_slot = self.interner.slot(hit_meta);
+                self.cse.remove(&MKey::Meta(hit_slot));
+                let v_start = self.val_slots.len() as u32;
+                for m in value_metas {
+                    let s = self.interner.slot(m);
+                    self.cse.remove(&MKey::Meta(s));
+                    self.val_slots.push(s);
+                }
+                let v_end = self.val_slots.len() as u32;
+                let had_stores = !self.pending_stores.is_empty();
+                self.emit_action(ActKind::Probe {
+                    table: *table as u16,
+                    keys: (k_start, k_end),
+                    hit_slot,
+                    vals: (v_start, v_end),
+                })?;
+                if self.opts.fuse && had_stores {
+                    // A true SetMeta+TableLookup fusion: the key builders'
+                    // stores ride the probe superinstruction.
+                    self.stats.fused += 1;
+                }
+                if !self.opts.fuse {
+                    self.cse.clear();
+                }
+            }
+            P4Stmt::RegRead { reg, dst } => {
+                self.flush()?;
+                let dst_slot = self.interner.slot(dst);
+                self.cse.remove(&MKey::Meta(dst_slot));
+                self.emit_action(ActKind::RegRead {
+                    reg: *reg as u16,
+                    dst: dst_slot,
+                })?;
+            }
+            P4Stmt::RegWrite { reg, src } => {
+                let raw = self.compile_expr(src)?;
+                // Register writes mask to the register width; fold the
+                // mask into the compiled value.
+                let width = self.reg_width(*reg);
+                let val = self.masked(raw, width)?;
+                self.emit_action(ActKind::RegWrite {
+                    reg: *reg as u16,
+                    out: val,
+                })?;
+                if !self.opts.fuse {
+                    self.cse.clear();
+                }
+            }
+            P4Stmt::RegFetchAdd { reg, dst, delta } => {
+                let val = self.compile_expr(delta)?;
+                let dst_slot = self.interner.slot(dst);
+                self.cse.remove(&MKey::Meta(dst_slot));
+                self.emit_action(ActKind::RegFetchAdd {
+                    reg: *reg as u16,
+                    width: self.reg_width(*reg),
+                    dst: dst_slot,
+                    out: val,
+                })?;
+                if !self.opts.fuse {
+                    self.cse.clear();
+                }
+            }
+            P4Stmt::UpdateChecksum => {
+                self.flush()?;
+                // The checksum refresh rewrites the IP checksum field;
+                // drop every cached header load rather than tracking which
+                // field it was.
+                self.cse.retain(|k, _| !matches!(k, MKey::Header(_)));
+                self.emit_action(ActKind::UpdateChecksum)?;
+            }
+            P4Stmt::EmitCopy => {
+                self.flush()?;
+                self.emit_action(ActKind::EmitCopy)?;
+            }
+            P4Stmt::MarkDrop => {
+                self.flush()?;
+                self.emit_action(ActKind::MarkDrop)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn reg_width(&self, reg: usize) -> u8 {
+        self.reg_widths.get(reg).copied().unwrap_or(64)
+    }
+
+    fn terminator(&mut self, next: &NodeNext, is_pre: bool) -> Result<(), PlanError> {
+        match next {
+            NodeNext::Jump(t) => {
+                self.flush()?;
+                self.emit_action(ActKind::Jump { node: *t })?;
+            }
+            NodeNext::Cond {
+                meta,
+                then_n,
+                else_n,
+            } => {
+                let slot = self.interner.slot(meta);
+                match self.cse.get(&MKey::Meta(slot)).copied() {
+                    Some(ExprVal::Const(c)) => {
+                        // The condition is a build-time constant within
+                        // this node: the branch folds to a jump.
+                        self.stats.fused += 1;
+                        let t = if c != 0 { *then_n } else { *else_n };
+                        self.flush()?;
+                        self.emit_action(ActKind::Jump { node: t })?;
+                    }
+                    Some(ExprVal::Reg(r)) => {
+                        self.stats.fused += 1;
+                        self.emit_action(ActKind::Branch {
+                            src: BranchSrc::Reg(r),
+                            then_node: *then_n,
+                            else_node: *else_n,
+                        })?;
+                    }
+                    None => {
+                        self.emit_action(ActKind::Branch {
+                            src: BranchSrc::Slot(slot),
+                            then_node: *then_n,
+                            else_node: *else_n,
+                        })?;
+                    }
+                }
+            }
+            NodeNext::SkipJoin {
+                join,
+                skipped_has_foreign,
+            } => {
+                self.flush()?;
+                if is_pre && *skipped_has_foreign {
+                    self.emit_action(ActKind::Foreign)?;
+                }
+                match join {
+                    Some(j) => self.emit_action(ActKind::Jump { node: *j })?,
+                    None => self.emit_action(ActKind::Halt)?,
+                }
+            }
+            NodeNext::End => {
+                self.flush()?;
+                self.emit_action(ActKind::Halt)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Mark the registers an action consumes.
+    fn mark_action_refs(&self, a: &ActionRec, mut mark: impl FnMut(ExprVal)) {
+        for s in &self.stores[a.stores.0 as usize..a.stores.1 as usize] {
+            mark(s.src);
+        }
+        match &a.kind {
+            ActKind::SetHeader { out, .. }
+            | ActKind::RegWrite { out, .. }
+            | ActKind::RegFetchAdd { out, .. } => mark(*out),
+            ActKind::Probe { keys, .. } => {
+                for k in &self.keys[keys.0 as usize..keys.1 as usize] {
+                    mark(*k);
+                }
+            }
+            ActKind::Branch {
+                src: BranchSrc::Reg(r),
+                ..
+            } => mark(ExprVal::Reg(*r)),
+            _ => {}
+        }
+    }
+
+    /// Dead-value elimination: drop micro-ops whose results feed nothing
+    /// (orphaned by algebraic identities or elided stores).
+    fn dve(&mut self) {
+        let n = self.bits.len();
+        let mut used = vec![false; n];
+        for i in 0..self.actions.len() {
+            let a = &self.actions[i];
+            let mut marks: Vec<u16> = Vec::new();
+            self.mark_action_refs(a, |v| {
+                if let ExprVal::Reg(r) = v {
+                    marks.push(r);
+                }
+            });
+            for r in marks {
+                used[usize::from(r)] = true;
+            }
+        }
+        for op in self.ops.iter().rev() {
+            if !used[usize::from(op.dst())] {
+                continue;
+            }
+            match *op {
+                MOp::BinRR { a, b, .. } => {
+                    used[usize::from(a)] = true;
+                    used[usize::from(b)] = true;
+                }
+                MOp::BinRI { a, .. } | MOp::NotR { a, .. } | MOp::MaskR { a, .. } => {
+                    used[usize::from(a)] = true;
+                }
+                MOp::BinIR { b, .. } => used[usize::from(b)] = true,
+                MOp::Hash {
+                    args_start,
+                    args_len,
+                    ..
+                } => {
+                    let range = args_start as usize..args_start as usize + usize::from(args_len);
+                    for v in &self.hash_args[range] {
+                        if let ExprVal::Reg(r) = v {
+                            used[usize::from(*r)] = true;
+                        }
+                    }
+                }
+                MOp::LoadMeta { .. } | MOp::LoadHeader { .. } | MOp::LoadIngress { .. } => {}
+            }
+        }
+        let before = self.ops.len();
+        let mut kept_owner = Vec::with_capacity(self.op_owner.len());
+        let mut kept_ops = Vec::with_capacity(self.ops.len());
+        for (op, owner) in self.ops.iter().zip(&self.op_owner) {
+            if used[usize::from(op.dst())] {
+                kept_ops.push(*op);
+                kept_owner.push(*owner);
+            }
+        }
+        self.stats.dead += (before - kept_ops.len()) as u64;
+        self.ops = kept_ops;
+        self.op_owner = kept_owner;
+    }
+
+    /// Def-before-use validation over the surviving SSA stream: every
+    /// register an op or action reads must have been defined by an earlier
+    /// op in this node. Guards compiler invariants with a typed error so
+    /// the execution loop never needs bounds or arity checks.
+    fn validate(&self) -> Result<(), PlanError> {
+        let err = || PlanError::UndefinedRegister {
+            traversal: self.traversal,
+            node: self.node,
+        };
+        let n = self.bits.len();
+        let mut defined = vec![false; n];
+        let check = |defined: &[bool], r: u16| -> Result<(), PlanError> {
+            if defined.get(usize::from(r)).copied().unwrap_or(false) {
+                Ok(())
+            } else {
+                Err(err())
+            }
+        };
+        let check_val = |defined: &[bool], v: ExprVal| -> Result<(), PlanError> {
+            match v {
+                ExprVal::Const(_) => Ok(()),
+                ExprVal::Reg(r) => check(defined, r),
+            }
+        };
+        let mut op_ptr = 0usize;
+        for (i, a) in self.actions.iter().enumerate() {
+            while op_ptr < self.ops.len() && self.op_owner[op_ptr] == i {
+                let op = &self.ops[op_ptr];
+                match *op {
+                    MOp::BinRR { a, b, .. } => {
+                        check(&defined, a)?;
+                        check(&defined, b)?;
+                    }
+                    MOp::BinRI { a, .. } | MOp::NotR { a, .. } | MOp::MaskR { a, .. } => {
+                        check(&defined, a)?;
+                    }
+                    MOp::BinIR { b, .. } => check(&defined, b)?,
+                    MOp::Hash {
+                        args_start,
+                        args_len,
+                        ..
+                    } => {
+                        let range =
+                            args_start as usize..args_start as usize + usize::from(args_len);
+                        for v in &self.hash_args[range] {
+                            check_val(&defined, *v)?;
+                        }
+                    }
+                    MOp::LoadMeta { .. } | MOp::LoadHeader { .. } | MOp::LoadIngress { .. } => {}
+                }
+                defined[usize::from(op.dst())] = true;
+                op_ptr += 1;
+            }
+            let mut bad = false;
+            self.mark_action_refs(a, |v| {
+                if let ExprVal::Reg(r) = v {
+                    if !defined.get(usize::from(r)).copied().unwrap_or(false) {
+                        bad = true;
+                    }
+                }
+            });
+            if bad {
+                return Err(err());
+            }
+        }
+        // Every op must be owned (the terminator flushes the tail).
+        if op_ptr != self.ops.len() {
+            return Err(err());
+        }
+        Ok(())
+    }
+
+    /// Linear-scan register allocation: compute each SSA value's last use,
+    /// then map SSA ids onto a compact physical file with a free list.
+    /// Rewrites ops, stores, keys, hash args, and action refs in place.
+    /// Returns the physical file size this node needs.
+    fn allocate(&mut self) -> Result<u16, PlanError> {
+        let n = self.bits.len();
+        // Event index: op k is event 2k, action i's consumption is the
+        // event right after its last op. Simpler: walk ops and actions in
+        // the same interleaved order twice, counting a monotonic clock.
+        let mut last_use = vec![0usize; n];
+        let mut def_at = vec![usize::MAX; n];
+        let mut clock = 0usize;
+        let mut op_ptr = 0usize;
+        for (i, a) in self.actions.iter().enumerate() {
+            while op_ptr < self.ops.len() && self.op_owner[op_ptr] == i {
+                let op = &self.ops[op_ptr];
+                let mut touch = |r: u16| last_use[usize::from(r)] = clock;
+                match *op {
+                    MOp::BinRR { a, b, .. } => {
+                        touch(a);
+                        touch(b);
+                    }
+                    MOp::BinRI { a, .. } | MOp::NotR { a, .. } | MOp::MaskR { a, .. } => touch(a),
+                    MOp::BinIR { b, .. } => touch(b),
+                    MOp::Hash {
+                        args_start,
+                        args_len,
+                        ..
+                    } => {
+                        let range =
+                            args_start as usize..args_start as usize + usize::from(args_len);
+                        for v in &self.hash_args[range] {
+                            if let ExprVal::Reg(r) = v {
+                                last_use[usize::from(*r)] = clock;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                let d = usize::from(op.dst());
+                def_at[d] = clock;
+                last_use[d] = last_use[d].max(clock);
+                clock += 1;
+                op_ptr += 1;
+            }
+            self.mark_action_refs(a, |v| {
+                if let ExprVal::Reg(r) = v {
+                    last_use[usize::from(r)] = clock;
+                }
+            });
+            clock += 1;
+        }
+        // Assignment pass.
+        let mut phys = vec![u16::MAX; n];
+        let mut free: Vec<u16> = Vec::new();
+        let mut high: u16 = 0;
+        let mut clock = 0usize;
+        let mut op_ptr = 0usize;
+        let release = |phys: &[u16], free: &mut Vec<u16>, last: &[usize], r: u16, now: usize| {
+            if last[usize::from(r)] == now && phys[usize::from(r)] != u16::MAX {
+                free.push(phys[usize::from(r)]);
+            }
+        };
+        for (i, a) in self.actions.iter().enumerate() {
+            while op_ptr < self.ops.len() && self.op_owner[op_ptr] == i {
+                let op = self.ops[op_ptr];
+                match op {
+                    MOp::BinRR { a, b, .. } => {
+                        release(&phys, &mut free, &last_use, a, clock);
+                        if b != a {
+                            release(&phys, &mut free, &last_use, b, clock);
+                        }
+                    }
+                    MOp::BinRI { a, .. } | MOp::NotR { a, .. } | MOp::MaskR { a, .. } => {
+                        release(&phys, &mut free, &last_use, a, clock);
+                    }
+                    MOp::BinIR { b, .. } => release(&phys, &mut free, &last_use, b, clock),
+                    MOp::Hash {
+                        args_start,
+                        args_len,
+                        ..
+                    } => {
+                        let range =
+                            args_start as usize..args_start as usize + usize::from(args_len);
+                        let mut seen: Vec<u16> = Vec::new();
+                        for v in self.hash_args[range].iter() {
+                            if let ExprVal::Reg(r) = v {
+                                if !seen.contains(r) {
+                                    seen.push(*r);
+                                    release(&phys, &mut free, &last_use, *r, clock);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                let d = usize::from(op.dst());
+                let p = match free.pop() {
+                    Some(p) => p,
+                    None => {
+                        let p = high;
+                        high = high.checked_add(1).ok_or(PlanError::RegisterOverflow {
+                            traversal: self.traversal,
+                            node: self.node,
+                        })?;
+                        p
+                    }
+                };
+                phys[d] = p;
+                // A value never read frees its register immediately.
+                if last_use[d] == clock {
+                    free.push(p);
+                }
+                clock += 1;
+                op_ptr += 1;
+            }
+            // Action consumption frees operands at their last use so later
+            // actions in the node can reuse their registers.
+            let mut consumed: Vec<u16> = Vec::new();
+            self.mark_action_refs(a, |v| {
+                if let ExprVal::Reg(r) = v {
+                    if !consumed.contains(&r) {
+                        consumed.push(r);
+                    }
+                }
+            });
+            for r in consumed {
+                release(&phys, &mut free, &last_use, r, clock);
+            }
+            clock += 1;
+        }
+        // Rewrite SSA ids to physical registers everywhere.
+        let map = |r: u16| phys[usize::from(r)];
+        let map_val = |v: ExprVal| match v {
+            ExprVal::Reg(r) => ExprVal::Reg(map(r)),
+            c => c,
+        };
+        for op in &mut self.ops {
+            match op {
+                MOp::LoadMeta { dst, .. }
+                | MOp::LoadHeader { dst, .. }
+                | MOp::LoadIngress { dst }
+                | MOp::Hash { dst, .. } => *dst = map(*dst),
+                MOp::BinRR { dst, a, b, .. } => {
+                    *a = map(*a);
+                    *b = map(*b);
+                    *dst = map(*dst);
+                }
+                MOp::BinRI { dst, a, .. } | MOp::NotR { dst, a } | MOp::MaskR { dst, a, .. } => {
+                    *a = map(*a);
+                    *dst = map(*dst);
+                }
+                MOp::BinIR { dst, b, .. } => {
+                    *b = map(*b);
+                    *dst = map(*dst);
+                }
+            }
+        }
+        for v in &mut self.hash_args {
+            *v = map_val(*v);
+        }
+        for v in &mut self.keys {
+            *v = map_val(*v);
+        }
+        for s in &mut self.stores {
+            s.src = map_val(s.src);
+        }
+        for a in &mut self.actions {
+            match &mut a.kind {
+                ActKind::SetHeader { out, .. }
+                | ActKind::RegWrite { out, .. }
+                | ActKind::RegFetchAdd { out, .. } => *out = map_val(*out),
+                ActKind::Branch {
+                    src: BranchSrc::Reg(r),
+                    ..
+                } => *r = map(*r),
+                _ => {}
+            }
+        }
+        Ok(high)
+    }
+
+    /// Append the node's actions to the traversal, remapping node-local
+    /// pool ranges to the global pools and recording jump fixups.
+    fn commit(
+        self,
+        plan: &mut TraversalPlan,
+        fixups: &mut Vec<(usize, usize)>,
+    ) -> Result<(), PlanError> {
+        let overflow = |what: &'static str| PlanError::PoolOverflow {
+            traversal: self.traversal,
+            what,
+        };
+        let pool_ref =
+            |start: usize, end: usize, what: &'static str| -> Result<PoolRef, PlanError> {
+                Ok(PoolRef {
+                    start: u32::try_from(start).map_err(|_| overflow(what))?,
+                    len: u16::try_from(end - start).map_err(|_| overflow(what))?,
+                })
+            };
+        let mut op_ptr = 0usize;
+        for (i, a) in self.actions.iter().enumerate() {
+            // Copy this action's micro-ops, remapping hash-arg ranges.
+            let run_start = plan.micro.len();
+            while op_ptr < self.ops.len() && self.op_owner[op_ptr] == i {
+                let mut op = self.ops[op_ptr];
+                if let MOp::Hash {
+                    args_start,
+                    args_len,
+                    ..
+                } = &mut op
+                {
+                    let local = *args_start as usize..*args_start as usize + usize::from(*args_len);
+                    let new_start =
+                        u32::try_from(plan.hash_args.len()).map_err(|_| overflow("hash args"))?;
+                    plan.hash_args.extend_from_slice(&self.hash_args[local]);
+                    *args_start = new_start;
+                }
+                plan.micro.push(op);
+                op_ptr += 1;
+            }
+            let run = pool_ref(run_start, plan.micro.len(), "micro-ops")?;
+            let st_start = plan.stores.len();
+            plan.stores
+                .extend_from_slice(&self.stores[a.stores.0 as usize..a.stores.1 as usize]);
+            let stores = pool_ref(st_start, plan.stores.len(), "stores")?;
+            match &a.kind {
+                ActKind::Eval => {
+                    if !run.is_empty() || !stores.is_empty() {
+                        plan.ops.push(PlanOp::Eval { run, stores });
+                    }
+                }
+                ActKind::SetHeader { field, out } => plan.ops.push(PlanOp::SetHeader {
+                    run,
+                    stores,
+                    field: *field,
+                    out: *out,
+                }),
+                ActKind::Probe {
+                    table,
+                    keys,
+                    hit_slot,
+                    vals,
+                } => {
+                    let gk_start = plan.keys.len();
+                    plan.keys
+                        .extend_from_slice(&self.keys[keys.0 as usize..keys.1 as usize]);
+                    let gkeys = pool_ref(gk_start, plan.keys.len(), "table keys")?;
+                    let gv_start = plan.value_slots.len();
+                    plan.value_slots
+                        .extend_from_slice(&self.val_slots[vals.0 as usize..vals.1 as usize]);
+                    let gvals = pool_ref(gv_start, plan.value_slots.len(), "value slots")?;
+                    plan.ops.push(PlanOp::BuildKeyProbe {
+                        run,
+                        stores,
+                        table: *table,
+                        keys: gkeys,
+                        hit_slot: *hit_slot,
+                        vals: gvals,
+                    });
+                }
+                ActKind::RegRead { reg, dst } => {
+                    debug_assert!(run.is_empty() && stores.is_empty());
+                    plan.ops.push(PlanOp::RegRead {
+                        reg: *reg,
+                        dst: *dst,
+                    });
+                }
+                ActKind::RegWrite { reg, out } => plan.ops.push(PlanOp::RegWrite {
+                    run,
+                    stores,
+                    reg: *reg,
+                    out: *out,
+                }),
+                ActKind::RegFetchAdd {
+                    reg,
+                    width,
+                    dst,
+                    out,
+                } => plan.ops.push(PlanOp::RegFetchAdd {
+                    run,
+                    stores,
+                    reg: *reg,
+                    width: *width,
+                    dst: *dst,
+                    out: *out,
+                }),
+                ActKind::UpdateChecksum => plan.ops.push(PlanOp::UpdateChecksum),
+                ActKind::EmitCopy => plan.ops.push(PlanOp::EmitCopy),
+                ActKind::MarkDrop => plan.ops.push(PlanOp::MarkDrop),
+                ActKind::Foreign => plan.ops.push(PlanOp::Foreign),
+                ActKind::Jump { node } => {
+                    fixups.push((plan.ops.len(), *node));
+                    plan.ops.push(PlanOp::Jump(u32::MAX));
+                }
+                ActKind::Branch {
+                    src,
+                    then_node,
+                    else_node,
+                } => {
+                    // Branch carries two fixups; encode the else target in
+                    // the fixup list right after the then target.
+                    fixups.push((plan.ops.len(), *then_node));
+                    fixups.push((plan.ops.len(), *else_node));
+                    plan.ops.push(PlanOp::Branch {
+                        run,
+                        stores,
+                        src: *src,
+                        then_ip: u32::MAX,
+                        else_ip: u32::MAX,
+                    });
+                }
+                ActKind::Halt => plan.ops.push(PlanOp::Halt),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn compile_traversal(
     prog: &P4Program,
     is_pre: bool,
@@ -318,7 +1765,10 @@ fn compile_traversal(
     interner: &mut Interner,
     meta_bits: &HashMap<&str, u16>,
     reg_widths: &[u8],
-) -> Result<TraversalPlan, PlanError> {
+    external_reads: &[u16],
+    opts: PlanOptions,
+    stats: &mut PlanExprStats,
+) -> Result<(TraversalPlan, u16), PlanError> {
     check_dag(prog, is_pre, traversal)?;
     let nodes = if is_pre {
         &prog.pre_nodes
@@ -329,117 +1779,31 @@ fn compile_traversal(
     let mut node_ip = vec![0u32; nodes.len()];
     // (op index, target node) pairs patched once every node has an address.
     let mut fixups: Vec<(usize, usize)> = Vec::new();
-    let width_of = |name: &str| -> u8 { meta_bits.get(name).copied().unwrap_or(64).min(64) as u8 };
+    let readers = scan_reads(nodes, interner, external_reads);
+    let mut max_regs: u16 = 0;
 
     for (i, node) in nodes.iter().enumerate() {
-        node_ip[i] = plan.ops.len() as u32;
+        node_ip[i] = u32::try_from(plan.ops.len()).map_err(|_| PlanError::PoolOverflow {
+            traversal,
+            what: "ops",
+        })?;
+        let mut nc = NodeCompiler::new(
+            interner, meta_bits, reg_widths, &readers, opts, stats, traversal, i,
+        );
         if is_pre && node.has_foreign_work {
-            plan.ops.push(PlanOp::Foreign);
+            nc.emit_action(ActKind::Foreign)?;
         }
         for stmt in &node.stmts {
-            match stmt {
-                P4Stmt::SetMeta(name, e) => {
-                    let expr = compile_expr(e, &mut plan.exprs, interner);
-                    plan.ops.push(PlanOp::SetMeta {
-                        slot: interner.slot(name),
-                        width: width_of(name),
-                        expr,
-                    });
-                }
-                P4Stmt::SetHeader(f, e) => {
-                    let expr = compile_expr(e, &mut plan.exprs, interner);
-                    plan.ops.push(PlanOp::SetHeader { field: *f, expr });
-                }
-                P4Stmt::TableLookup {
-                    table,
-                    keys,
-                    hit_meta,
-                    value_metas,
-                } => {
-                    let keys_start = plan.key_exprs.len() as u32;
-                    for k in keys {
-                        let e = compile_expr(k, &mut plan.exprs, interner);
-                        plan.key_exprs.push(e);
-                    }
-                    let vals_start = plan.value_slots.len() as u32;
-                    for m in value_metas {
-                        let s = interner.slot(m);
-                        plan.value_slots.push(s);
-                    }
-                    plan.ops.push(PlanOp::TableLookup {
-                        table: *table as u16,
-                        keys_start,
-                        keys_len: keys.len() as u16,
-                        hit_slot: interner.slot(hit_meta),
-                        vals_start,
-                        vals_len: value_metas.len() as u16,
-                    });
-                }
-                P4Stmt::RegRead { reg, dst } => {
-                    plan.ops.push(PlanOp::RegRead {
-                        reg: *reg as u16,
-                        dst: interner.slot(dst),
-                    });
-                }
-                P4Stmt::RegWrite { reg, src } => {
-                    let expr = compile_expr(src, &mut plan.exprs, interner);
-                    plan.ops.push(PlanOp::RegWrite {
-                        reg: *reg as u16,
-                        width: reg_widths[*reg],
-                        expr,
-                    });
-                }
-                P4Stmt::RegFetchAdd { reg, dst, delta } => {
-                    let expr = compile_expr(delta, &mut plan.exprs, interner);
-                    plan.ops.push(PlanOp::RegFetchAdd {
-                        reg: *reg as u16,
-                        width: reg_widths[*reg],
-                        dst: interner.slot(dst),
-                        expr,
-                    });
-                }
-                P4Stmt::UpdateChecksum => plan.ops.push(PlanOp::UpdateChecksum),
-                P4Stmt::EmitCopy => plan.ops.push(PlanOp::EmitCopy),
-                P4Stmt::MarkDrop => plan.ops.push(PlanOp::MarkDrop),
-            }
+            nc.stmt(stmt)?;
         }
-        match &node.next {
-            NodeNext::Jump(t) => {
-                fixups.push((plan.ops.len(), *t));
-                plan.ops.push(PlanOp::Jump(u32::MAX));
-            }
-            NodeNext::Cond {
-                meta,
-                then_n,
-                else_n,
-            } => {
-                // Branch carries two fixups; encode the else target in the
-                // fixup list right after the then target.
-                fixups.push((plan.ops.len(), *then_n));
-                fixups.push((plan.ops.len(), *else_n));
-                plan.ops.push(PlanOp::Branch {
-                    slot: interner.slot(meta),
-                    then_ip: u32::MAX,
-                    else_ip: u32::MAX,
-                });
-            }
-            NodeNext::SkipJoin {
-                join,
-                skipped_has_foreign,
-            } => {
-                if is_pre && *skipped_has_foreign {
-                    plan.ops.push(PlanOp::Foreign);
-                }
-                match join {
-                    Some(j) => {
-                        fixups.push((plan.ops.len(), *j));
-                        plan.ops.push(PlanOp::Jump(u32::MAX));
-                    }
-                    None => plan.ops.push(PlanOp::Halt),
-                }
-            }
-            NodeNext::End => plan.ops.push(PlanOp::Halt),
+        nc.terminator(&node.next, is_pre)?;
+        if opts.fuse {
+            nc.dve();
         }
+        nc.validate()?;
+        let regs = nc.allocate()?;
+        max_regs = max_regs.max(regs);
+        nc.commit(&mut plan, &mut fixups)?;
     }
     // Patch jump targets now that every node has an instruction address.
     // Branch ops consume two consecutive fixup entries (then, else).
@@ -459,48 +1823,7 @@ fn compile_traversal(
         }
     }
     plan.entry_ip = node_ip[prog.entry];
-    Ok(plan)
-}
-
-/// Lower an expression tree to postfix opcodes appended to `pool`.
-fn compile_expr(e: &P4Expr, pool: &mut Vec<EOp>, interner: &mut Interner) -> ExprRef {
-    let start = pool.len() as u32;
-    emit_expr(e, pool, interner);
-    ExprRef {
-        start,
-        len: pool.len() as u32 - start,
-    }
-}
-
-fn emit_expr(e: &P4Expr, pool: &mut Vec<EOp>, interner: &mut Interner) {
-    match e {
-        P4Expr::Const(v, _) => pool.push(EOp::Const(*v)),
-        P4Expr::Meta(n) => pool.push(EOp::Meta(interner.slot(n))),
-        P4Expr::Header(f) => pool.push(EOp::Header(*f)),
-        P4Expr::IngressPort => pool.push(EOp::Ingress),
-        P4Expr::Bin(op, a, b) => {
-            emit_expr(a, pool, interner);
-            emit_expr(b, pool, interner);
-            pool.push(EOp::Bin(*op));
-        }
-        P4Expr::Not(a) => {
-            emit_expr(a, pool, interner);
-            pool.push(EOp::Not);
-        }
-        P4Expr::Cast(a, w) => {
-            emit_expr(a, pool, interner);
-            pool.push(EOp::Cast(*w));
-        }
-        P4Expr::Hash(parts, w) => {
-            for p in parts {
-                emit_expr(p, pool, interner);
-            }
-            pool.push(EOp::Hash {
-                arity: parts.len() as u16,
-                width: *w,
-            });
-        }
-    }
+    Ok((plan, max_regs))
 }
 
 /// Reusable per-switch scratch buffers: zero allocation per packet.
@@ -508,8 +1831,8 @@ fn emit_expr(e: &P4Expr, pool: &mut Vec<EOp>, interner: &mut Interner) {
 pub(crate) struct PlanScratch {
     /// Dense metadata (one word per interned slot).
     pub meta: Vec<u64>,
-    /// Expression evaluation stack.
-    pub stack: Vec<u64>,
+    /// The virtual register file (one word per physical register).
+    pub regs: Vec<u64>,
     /// Table key assembly buffer — inline up to [`crate::INLINE_KEY_WORDS`]
     /// words, matching the fixed-width match keys of the table layer.
     pub key: KeyBuf,
@@ -519,7 +1842,7 @@ impl PlanScratch {
     pub(crate) fn sized_for(plan: &ExecPlan) -> Self {
         PlanScratch {
             meta: vec![0; plan.n_slots],
-            stack: Vec::with_capacity(16),
+            regs: vec![0; plan.n_regs],
             key: KeyBuf::new(),
         }
     }
@@ -560,77 +1883,53 @@ pub(crate) fn route_for(
     routes.get(&daddr).copied().unwrap_or(default_port)
 }
 
-/// Evaluate a leaf opcode (no operands) directly; `None` for operators.
+/// Execute one micro-op run against the register file. All register
+/// indices were validated def-before-use at build time and the file is
+/// sized to the plan's high-water mark, so plain indexing cannot fail.
 #[inline]
-fn eval_leaf(op: &EOp, meta: &[u64], pkt: &Packet) -> Option<u64> {
-    match op {
-        EOp::Const(v) => Some(*v),
-        EOp::Meta(s) => Some(meta[*s as usize]),
-        EOp::Header(f) => Some(read_header_field(pkt.bytes(), *f)),
-        EOp::Ingress => Some(u64::from(pkt.ingress.0)),
-        _ => None,
+fn run_micro(ops: &[MOp], hash_args: &[ExprVal], regs: &mut [u64], meta: &[u64], pkt: &Packet) {
+    for op in ops {
+        match *op {
+            MOp::LoadMeta { dst, slot } => regs[usize::from(dst)] = meta[usize::from(slot)],
+            MOp::LoadHeader { dst, field } => {
+                regs[usize::from(dst)] = read_header_field(pkt.bytes(), field)
+            }
+            MOp::LoadIngress { dst } => regs[usize::from(dst)] = u64::from(pkt.ingress.0),
+            MOp::BinRR { op, dst, a, b } => {
+                regs[usize::from(dst)] = op.eval(regs[usize::from(a)], regs[usize::from(b)], 64)
+            }
+            MOp::BinRI { op, dst, a, imm } => {
+                regs[usize::from(dst)] = op.eval(regs[usize::from(a)], imm, 64)
+            }
+            MOp::BinIR { op, dst, imm, b } => {
+                regs[usize::from(dst)] = op.eval(imm, regs[usize::from(b)], 64)
+            }
+            MOp::NotR { dst, a } => regs[usize::from(dst)] = !regs[usize::from(a)],
+            MOp::MaskR { dst, a, width } => {
+                regs[usize::from(dst)] = mask_to_width(regs[usize::from(a)], width)
+            }
+            MOp::Hash {
+                dst,
+                args_start,
+                args_len,
+                width,
+            } => {
+                let args =
+                    &hash_args[args_start as usize..args_start as usize + usize::from(args_len)];
+                let h = hash_values_iter(args.iter().map(|a| resolve(*a, regs)), width);
+                regs[usize::from(dst)] = h;
+            }
+        }
     }
 }
 
-/// Evaluate one postfix expression run against the metadata scratch.
-#[inline]
-fn eval_expr(eops: &[EOp], stack: &mut Vec<u64>, meta: &[u64], pkt: &Packet) -> u64 {
-    // The overwhelming majority of compiled expressions are tiny: a leaf
-    // load, a cast of a leaf, or a binary op over two leaves (key fields,
-    // branch predicates). Evaluate those shapes without touching the
-    // stack; anything deeper falls through to the general machine.
-    match eops {
-        [op] => {
-            if let Some(v) = eval_leaf(op, meta, pkt) {
-                return v;
-            }
-        }
-        [a, EOp::Cast(w)] => {
-            if let Some(v) = eval_leaf(a, meta, pkt) {
-                return mask_to_width(v, *w);
-            }
-        }
-        [a, EOp::Not] => {
-            if let Some(v) = eval_leaf(a, meta, pkt) {
-                return !v;
-            }
-        }
-        [a, b, EOp::Bin(op)] => {
-            if let (Some(x), Some(y)) = (eval_leaf(a, meta, pkt), eval_leaf(b, meta, pkt)) {
-                return op.eval(x, y, 64);
-            }
-        }
-        _ => {}
+/// Apply the metadata stores attached to an op (values are pre-masked at
+/// build time).
+#[inline(always)]
+fn apply_stores(stores: &[StoreSlot], regs: &[u64], meta: &mut [u64]) {
+    for s in stores {
+        meta[usize::from(s.slot)] = resolve(s.src, regs);
     }
-    stack.clear();
-    for op in eops {
-        match op {
-            EOp::Const(v) => stack.push(*v),
-            EOp::Meta(s) => stack.push(meta[*s as usize]),
-            EOp::Header(f) => stack.push(read_header_field(pkt.bytes(), *f)),
-            EOp::Ingress => stack.push(u64::from(pkt.ingress.0)),
-            EOp::Bin(op) => {
-                let b = stack.pop().expect("postfix arity");
-                let a = stack.pop().expect("postfix arity");
-                stack.push(op.eval(a, b, 64));
-            }
-            EOp::Not => {
-                let a = stack.pop().expect("postfix arity");
-                stack.push(!a);
-            }
-            EOp::Cast(w) => {
-                let a = stack.pop().expect("postfix arity");
-                stack.push(mask_to_width(a, *w));
-            }
-            EOp::Hash { arity, width } => {
-                let at = stack.len() - usize::from(*arity);
-                let h = hash_values(&stack[at..], *width);
-                stack.truncate(at);
-                stack.push(h);
-            }
-        }
-    }
-    stack.pop().unwrap_or(0)
 }
 
 /// Execute one compiled traversal over `pkt`. Emitted copies are appended
@@ -646,60 +1945,49 @@ pub(crate) fn run_plan(
 ) -> PlanRun {
     let mut run = PlanRun::default();
     let meta = &mut scratch.meta;
-    let stack = &mut scratch.stack;
+    let regs = &mut scratch.regs;
     let key = &mut scratch.key;
     let mut ip = plan.entry_ip as usize;
     loop {
         match &plan.ops[ip] {
-            PlanOp::SetMeta { slot, width, expr } => {
-                let v = eval_expr(
-                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
-                    stack,
-                    meta,
-                    pkt,
-                );
-                meta[*slot as usize] = mask_to_width(v, *width);
+            PlanOp::Eval { run: r, stores } => {
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
             }
-            PlanOp::SetHeader { field, expr } => {
-                let v = eval_expr(
-                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
-                    stack,
-                    meta,
-                    pkt,
-                );
-                write_header_field(pkt.bytes_mut(), *field, mask_to_width(v, field.bits()));
-            }
-            PlanOp::TableLookup {
-                table,
-                keys_start,
-                keys_len,
-                hit_slot,
-                vals_start,
-                vals_len,
+            PlanOp::SetHeader {
+                run: r,
+                stores,
+                field,
+                out: o,
             } => {
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
+                write_header_field(pkt.bytes_mut(), *field, resolve(*o, regs));
+            }
+            PlanOp::BuildKeyProbe {
+                run: r,
+                stores,
+                table,
+                keys,
+                hit_slot,
+                vals,
+            } => {
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
                 key.clear();
-                let krange = &plan.key_exprs
-                    [*keys_start as usize..(*keys_start + u32::from(*keys_len)) as usize];
-                for kref in krange {
-                    let v = eval_expr(
-                        &plan.exprs[kref.start as usize..(kref.start + kref.len) as usize],
-                        stack,
-                        meta,
-                        pkt,
-                    );
-                    key.push(v);
+                for k in &plan.keys[keys.range()] {
+                    key.push(resolve(*k, regs));
                 }
-                let slots = &plan.value_slots
-                    [*vals_start as usize..(*vals_start + u32::from(*vals_len)) as usize];
-                let t = &ctx.tables[*table as usize];
+                let slots = &plan.value_slots[vals.range()];
+                let t = &ctx.tables[usize::from(*table)];
                 match t.lookup_ref(key.as_slice(), ctx.wb_active) {
-                    Some(vals) => {
+                    Some(found) => {
                         if let Some((tr, id, hop)) = ctx.trace {
                             tr.emit(id, hop, EventKind::TableHit, u64::from(*table));
                         }
-                        meta[*hit_slot as usize] = 1;
-                        for (s, v) in slots.iter().zip(vals) {
-                            meta[*s as usize] = *v;
+                        meta[usize::from(*hit_slot)] = 1;
+                        for (s, v) in slots.iter().zip(found) {
+                            meta[usize::from(*s)] = *v;
                         }
                     }
                     None => {
@@ -717,40 +2005,40 @@ pub(crate) fn run_plan(
                             };
                             tr.emit(id, hop, kind, u64::from(*table));
                         }
-                        meta[*hit_slot as usize] = 0;
+                        meta[usize::from(*hit_slot)] = 0;
                         for s in slots {
-                            meta[*s as usize] = 0;
+                            meta[usize::from(*s)] = 0;
                         }
                     }
                 }
             }
             PlanOp::RegRead { reg, dst } => {
-                meta[*dst as usize] = ctx.registers[*reg as usize];
+                meta[usize::from(*dst)] = ctx.registers[usize::from(*reg)];
             }
-            PlanOp::RegWrite { reg, width, expr } => {
-                let v = eval_expr(
-                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
-                    stack,
-                    meta,
-                    pkt,
-                );
-                ctx.registers[*reg as usize] = mask_to_width(v, *width);
+            PlanOp::RegWrite {
+                run: r,
+                stores,
+                reg,
+                out: o,
+            } => {
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
+                ctx.registers[usize::from(*reg)] = resolve(*o, regs);
             }
             PlanOp::RegFetchAdd {
+                run: r,
+                stores,
                 reg,
                 width,
                 dst,
-                expr,
+                out: o,
             } => {
-                let d = eval_expr(
-                    &plan.exprs[expr.start as usize..(expr.start + expr.len) as usize],
-                    stack,
-                    meta,
-                    pkt,
-                );
-                let old = ctx.registers[*reg as usize];
-                ctx.registers[*reg as usize] = mask_to_width(old.wrapping_add(d), *width);
-                meta[*dst as usize] = old;
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
+                let d = resolve(*o, regs);
+                let old = ctx.registers[usize::from(*reg)];
+                ctx.registers[usize::from(*reg)] = mask_to_width(old.wrapping_add(d), *width);
+                meta[usize::from(*dst)] = old;
             }
             PlanOp::UpdateChecksum => refresh_ip_checksum(pkt.bytes_mut()),
             PlanOp::EmitCopy => {
@@ -776,11 +2064,19 @@ pub(crate) fn run_plan(
                 continue;
             }
             PlanOp::Branch {
-                slot,
+                run: r,
+                stores,
+                src,
                 then_ip,
                 else_ip,
             } => {
-                ip = if meta[*slot as usize] != 0 {
+                run_micro(&plan.micro[r.range()], &plan.hash_args, regs, meta, pkt);
+                apply_stores(&plan.stores[stores.range()], regs, meta);
+                let cond = match src {
+                    BranchSrc::Reg(r) => regs[usize::from(*r)],
+                    BranchSrc::Slot(s) => meta[usize::from(*s)],
+                };
+                ip = if cond != 0 {
                     *then_ip as usize
                 } else {
                     *else_ip as usize
@@ -792,4 +2088,105 @@ pub(crate) fn run_plan(
         ip += 1;
     }
     run
+}
+
+/// Differential-testing hooks for the expression compiler: evaluate a
+/// standalone [`P4Expr`] through the full compiled pipeline (lower →
+/// register-allocate → execute) and through the AST interpreter's
+/// reference evaluator, so property tests can compare them bit-for-bit.
+pub mod expr_check {
+    use super::*;
+    use gallium_net::{TransferField, TransferHeaderLayout};
+    use gallium_p4::MetaField;
+
+    /// Slot name the synthetic program stores the expression result into.
+    const OUT: &str = "__expr_check_out";
+
+    fn synthetic_program(expr: &P4Expr, metas: &[(String, u16, u64)]) -> P4Program {
+        let mut metadata: Vec<MetaField> = metas
+            .iter()
+            .map(|(name, bits, _)| MetaField {
+                name: name.clone(),
+                bits: *bits,
+            })
+            .collect();
+        metadata.push(MetaField {
+            name: OUT.to_string(),
+            bits: 64,
+        });
+        // Packing the result into the to-server header marks its slot as
+        // externally read, so dead-store elimination must keep the write —
+        // exactly the invariant the production lowering relies on.
+        let header_to_server =
+            TransferHeaderLayout::new(vec![TransferField::new(OUT.to_string(), 64)])
+                .expect("synthetic layout");
+        let header_to_switch = TransferHeaderLayout::new(vec![]).expect("empty layout");
+        P4Program {
+            name: "__expr_check".to_string(),
+            metadata,
+            tables: vec![],
+            registers: vec![],
+            pre_nodes: vec![BlockNode {
+                stmts: vec![P4Stmt::SetMeta(OUT.to_string(), expr.clone())],
+                has_foreign_work: false,
+                next: NodeNext::End,
+            }],
+            post_nodes: vec![BlockNode {
+                stmts: vec![],
+                has_foreign_work: false,
+                next: NodeNext::End,
+            }],
+            entry: 0,
+            header_to_server,
+            header_to_switch,
+            to_server_fields: vec![OUT.to_string()],
+        }
+    }
+
+    /// Compile `expr` (with the given metadata declarations and seed
+    /// values) and execute it against `pkt`, returning the 64-bit result.
+    /// Seed values are written to the scratch unmasked, mirroring how
+    /// table values and register reads land in slots at runtime.
+    pub fn compiled_eval(
+        expr: &P4Expr,
+        metas: &[(String, u16, u64)],
+        pkt: &Packet,
+        fuse: bool,
+    ) -> Result<u64, PlanError> {
+        let prog = synthetic_program(expr, metas);
+        let plan = ExecPlan::build_with(&prog, PlanOptions { fuse })?;
+        let mut scratch = PlanScratch::sized_for(&plan);
+        for (name, _, v) in metas {
+            if let Some(&slot) = plan.slots.get(name) {
+                scratch.meta[usize::from(slot)] = *v;
+            }
+        }
+        let mut registers: Vec<u64> = vec![];
+        let routes: HashMap<u32, PortId, FastBuildHasher> = HashMap::default();
+        let mut stats = SwitchStats::default();
+        let mut ctx = PlanCtx {
+            tables: &[],
+            registers: &mut registers,
+            wb_active: false,
+            routes: &routes,
+            default_port: PortId(0),
+            trace: None,
+            stats: &mut stats,
+        };
+        let mut pkt = pkt.clone();
+        let mut out = Vec::new();
+        run_plan(&plan.pre, &mut ctx, &mut scratch, &mut pkt, &mut out);
+        let slot = plan.slots.get(OUT).copied().expect("out slot interned");
+        Ok(scratch.meta[usize::from(slot)])
+    }
+
+    /// Evaluate `expr` with the AST interpreter's reference evaluator over
+    /// the same seed metadata (also unmasked).
+    pub fn reference_eval(expr: &P4Expr, metas: &[(String, u16, u64)], pkt: &Packet) -> u64 {
+        let map: HashMap<String, u64> = metas
+            .iter()
+            .map(|(name, _, v)| (name.clone(), *v))
+            .collect();
+        crate::switch::eval_ast(expr, pkt, &map)
+    }
 }

@@ -11,7 +11,7 @@
 
 use crate::fasthash::FastBuildHasher;
 use crate::loader::{load_check, LoadError};
-use crate::plan::{route_for, run_plan, ExecPlan, PlanCtx, PlanScratch};
+use crate::plan::{route_for, run_plan, ExecPlan, PlanCtx, PlanOptions, PlanScratch};
 use crate::table::RtTable;
 use gallium_mir::interp::{
     hash_values, read_header_field, refresh_ip_checksum, write_header_field,
@@ -48,6 +48,11 @@ pub struct SwitchConfig {
     /// Tables operated as FIFO caches of the server's authoritative map,
     /// with the given entry capacity (§7 "reducing memory usage").
     pub cached_tables: Vec<(String, usize)>,
+    /// Enable the plan compiler's fusion layer (cross-statement CSE,
+    /// store fusion into superinstructions, dead-store elimination,
+    /// branch folding). On by default; the unfused lowering is kept for
+    /// fused ≡ unfused differential tests.
+    pub plan_fusion: bool,
 }
 
 impl Default for SwitchConfig {
@@ -57,6 +62,7 @@ impl Default for SwitchConfig {
             default_port: PortId(0),
             model: SwitchModel::tofino_like(),
             cached_tables: Vec::new(),
+            plan_fusion: true,
         }
     }
 }
@@ -142,7 +148,13 @@ impl Switch {
         let plan = if compile_plan {
             let reg = gallium_telemetry::global();
             let timer = reg.histogram(names::PLAN_BUILD_NS).time();
-            let built = ExecPlan::build(&prog).map_err(|e| LoadError::Plan {
+            let built = ExecPlan::build_with(
+                &prog,
+                PlanOptions {
+                    fuse: cfg.plan_fusion,
+                },
+            )
+            .map_err(|e| LoadError::Plan {
                 reason: e.to_string(),
             })?;
             drop(timer);
@@ -151,6 +163,14 @@ impl Switch {
                 .record(built.op_count() as u64);
             reg.histogram(names::PLAN_META_SLOTS)
                 .record(built.slot_count() as u64);
+            let xs = built.expr_stats();
+            reg.histogram(names::PLAN_EXPR_MICRO_OPS)
+                .record(xs.micro_ops);
+            reg.histogram(names::PLAN_EXPR_REGS).record(xs.regs);
+            reg.counter(names::PLAN_EXPR_CONST_FOLDED).add(xs.folded);
+            reg.counter(names::PLAN_EXPR_CSE_HITS).add(xs.cse_hits);
+            reg.counter(names::PLAN_EXPR_FUSED).add(xs.fused);
+            reg.counter(names::PLAN_EXPR_DEAD_OPS).add(xs.dead);
             Some(built)
         } else {
             None
@@ -752,7 +772,7 @@ fn exec_stmt(
     }
 }
 
-fn eval_ast(e: &P4Expr, pkt: &Packet, meta: &HashMap<String, u64>) -> u64 {
+pub(crate) fn eval_ast(e: &P4Expr, pkt: &Packet, meta: &HashMap<String, u64>) -> u64 {
     match e {
         P4Expr::Const(v, _) => *v,
         P4Expr::Meta(n) => meta.get(n).copied().unwrap_or(0),

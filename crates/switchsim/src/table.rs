@@ -87,7 +87,23 @@ impl From<Vec<u64>> for TableKey {
 
 impl PartialEq for TableKey {
     fn eq(&self, other: &Self) -> bool {
-        self.as_slice() == other.as_slice()
+        match (self, other) {
+            (TableKey::Inline { len: la, words: wa }, TableKey::Inline { len: lb, words: wb }) => {
+                // Branchless word-parallel compare: XOR-accumulate the
+                // difference across all four lanes, masking each lane by
+                // whether it is live (index < len). Lane masking — rather
+                // than trusting the zero-padding invariant — keeps the
+                // compare correct even for hand-built keys, and matches
+                // `as_slice()` equality exactly.
+                let mut acc = u64::from(la ^ lb);
+                let len = usize::from(*la);
+                for i in 0..INLINE_KEY_WORDS {
+                    acc |= (wa[i] ^ wb[i]) & u64::from(i < len).wrapping_neg();
+                }
+                acc == 0
+            }
+            _ => self.as_slice() == other.as_slice(),
+        }
     }
 }
 
@@ -369,6 +385,20 @@ impl RtTable {
                 }
             }
             return best.map(|(_, v)| v);
+        }
+        // Exact-match probes: keys that fit the inline lanes are rebuilt as
+        // a stack-only `TableKey` so the hash map's equality check runs the
+        // word-parallel inline compare (hashing still goes through the
+        // shared slice `Hash` impl, so buckets agree with `Borrow<[u64]>`
+        // probes). Wider keys keep the allocation-free slice probe.
+        if key.len() <= INLINE_KEY_WORDS {
+            let probe = TableKey::from(key);
+            if wb_active {
+                if let Some(staged) = self.shadow.get(&probe) {
+                    return staged.as_deref();
+                }
+            }
+            return self.main.get(&probe).map(Vec::as_slice);
         }
         if wb_active {
             if let Some(staged) = self.shadow.get(key) {

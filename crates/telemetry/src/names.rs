@@ -101,6 +101,18 @@ pub const PLAN_COMPILED: &str = "gallium.switchsim.plan.compiled";
 pub const PLAN_OPS: &str = "gallium.switchsim.plan.ops";
 /// Plan interned metadata slot count histogram.
 pub const PLAN_META_SLOTS: &str = "gallium.switchsim.plan.meta_slots";
+/// Expression-compiler micro-ops emitted per plan (histogram).
+pub const PLAN_EXPR_MICRO_OPS: &str = "gallium.switchsim.plan.expr.micro_ops";
+/// Expression-compiler virtual register file size per plan (histogram).
+pub const PLAN_EXPR_REGS: &str = "gallium.switchsim.plan.expr.regs";
+/// Constants folded / algebraic identities applied at plan build.
+pub const PLAN_EXPR_CONST_FOLDED: &str = "gallium.switchsim.plan.expr.const_folded";
+/// Common-subexpression reuse hits at plan build.
+pub const PLAN_EXPR_CSE_HITS: &str = "gallium.switchsim.plan.expr.cse_hits";
+/// Fused superinstructions (key-probe store fusion + folded branches).
+pub const PLAN_EXPR_FUSED: &str = "gallium.switchsim.plan.expr.fused";
+/// Dead micro-ops and metadata stores eliminated at plan build.
+pub const PLAN_EXPR_DEAD_OPS: &str = "gallium.switchsim.plan.expr.dead_ops";
 
 /// Prefix of the per-table counter family
 /// (`gallium.switchsim.table.<table>.<metric>`).
@@ -194,6 +206,12 @@ mod tests {
             TRACE_SAMPLED,
             SWITCH_RX_NETWORK,
             PLAN_BUILD_NS,
+            PLAN_EXPR_MICRO_OPS,
+            PLAN_EXPR_REGS,
+            PLAN_EXPR_CONST_FOLDED,
+            PLAN_EXPR_CSE_HITS,
+            PLAN_EXPR_FUSED,
+            PLAN_EXPR_DEAD_OPS,
             SERVER_SLOW_PATH_PKTS,
         ] {
             assert!(name.starts_with("gallium."), "{name}");

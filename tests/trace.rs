@@ -359,3 +359,79 @@ fn ring_overwrites_keep_newest_traces() {
     let max_id = report.traces.iter().map(|t| t.trace_id).max().unwrap();
     assert_eq!(max_id, 39, "newest trace survives overwrites");
 }
+
+/// PR 8 regression: the fused `BuildKeyProbe` superinstruction (which
+/// absorbs the key-building `SetMeta` run into the table probe) must emit
+/// exactly one table hop event per *logical* lookup — not one per fused
+/// micro-op, and not zero — and the fused plan's whole trace stream must
+/// match the unfused statement-per-op lowering event for event.
+#[test]
+fn fused_probe_emits_one_table_event_per_lookup() {
+    let nat = mazunat::mazunat();
+    let compiled = compile(&nat.prog, &SwitchModel::tofino_like()).unwrap();
+    let mut fused =
+        Deployment::new(&compiled, SwitchConfig::default(), CostModel::calibrated()).unwrap();
+    let unfused_cfg = SwitchConfig {
+        plan_fusion: false,
+        ..SwitchConfig::default()
+    };
+    let mut unfused = Deployment::new(&compiled, unfused_cfg, CostModel::calibrated()).unwrap();
+
+    let mut streams = Vec::new();
+    for d in [&mut fused, &mut unfused] {
+        d.inject(nat_pkt(TcpFlags::SYN)).unwrap(); // warm: install mapping
+        d.enable_flight_recorder(1, 1024);
+
+        // Count data-plane lookups across the traced injection via the
+        // per-table hit/miss counters.
+        let table_names: Vec<String> = d
+            .switch
+            .program()
+            .tables
+            .iter()
+            .map(|t| t.name.clone())
+            .collect();
+        let lookups = |d: &Deployment| -> u64 {
+            table_names
+                .iter()
+                .map(|n| {
+                    let s = &d.switch.table(n).unwrap().stats;
+                    s.hits.get() + s.misses.get()
+                })
+                .sum()
+        };
+        let before = lookups(d);
+        d.inject(nat_pkt(TcpFlags::ACK)).unwrap();
+        let performed = lookups(d) - before;
+        assert_eq!(d.stats.fast_path, 1, "warm ACK stays on the switch");
+
+        let report = d.trace_report().unwrap();
+        let t = report.trace(0).unwrap().clone();
+        let table_events = t
+            .records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event.kind,
+                    EventKind::TableHit | EventKind::TableMiss | EventKind::CacheMiss
+                )
+            })
+            .count() as u64;
+        assert_eq!(
+            table_events, performed,
+            "one trace event per logical table lookup"
+        );
+        assert!(t.has(EventKind::TableHit), "warm NAT lookup hits");
+
+        streams.push(
+            t.records
+                .iter()
+                .map(|r| (r.event.hop, r.event.kind, r.event.arg))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(
+        streams[0], streams[1],
+        "fused and unfused trace streams diverge"
+    );
+}
