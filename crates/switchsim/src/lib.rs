@@ -25,8 +25,12 @@ pub mod control;
 pub mod fasthash;
 pub mod loader;
 pub mod plan;
+#[doc(hidden)]
+pub mod plan_testing;
 pub mod switch;
+pub mod symcheck;
 pub mod table;
+pub mod view;
 
 pub use control::{control_op_latency_ns, ControlError, ControlPlane};
 pub use fasthash::{FastBuildHasher, FxHasher64};
@@ -35,4 +39,6 @@ pub use plan::{expr_check, ExecPlan, PlanError, PlanExprStats, PlanOptions};
 pub use switch::{
     Switch, SwitchConfig, SwitchStats, FLAG_CACHE_MISS, FLAG_PASSTHROUGH, FLAG_RUN_POST,
 };
+pub use symcheck::{check_plan, SymCheckError, SymProof};
 pub use table::{KeyBuf, RtTable, TableError, TableKey, TableStats, INLINE_KEY_WORDS};
+pub use view::{CondSrc, MicroOp, OpView, PlanView, StoreView, TraversalView, ValRef};

@@ -61,6 +61,10 @@ pub enum LoadError {
         /// What the plan compiler rejected.
         reason: String,
     },
+    /// The compiled plan failed symbolic translation validation: it is
+    /// not provably equal to the P4 AST it was lowered from
+    /// ([`SwitchConfig::validate_plan`](crate::SwitchConfig)).
+    PlanEquivalence(crate::symcheck::SymCheckError),
 }
 
 impl std::fmt::Display for LoadError {
@@ -95,6 +99,9 @@ impl std::fmt::Display for LoadError {
             }
             LoadError::Plan { reason } => {
                 write!(f, "plan compilation: {reason}")
+            }
+            LoadError::PlanEquivalence(e) => {
+                write!(f, "plan translation validation: {e}")
             }
         }
     }

@@ -112,6 +112,28 @@ pub enum PlanError {
         /// Which pool overflowed.
         what: &'static str,
     },
+    /// The post-commit structural audit found an op referencing a pool
+    /// range, metadata slot, register, or table index outside the plan's
+    /// bounds — a corrupt pool is rejected with a typed error instead of
+    /// panicking on a slice access at packet time.
+    OutOfBounds {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// Opcode index of the malformed op.
+        ip: u32,
+        /// Which reference was out of bounds.
+        what: &'static str,
+    },
+    /// A committed jump or branch targets an instruction outside the
+    /// opcode stream (`ip == u32::MAX` marks the traversal entry point).
+    BadJumpTarget {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// Opcode index of the jump/branch (`u32::MAX` for the entry).
+        ip: u32,
+        /// The out-of-range target instruction.
+        target: u32,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -141,6 +163,31 @@ impl std::fmt::Display for PlanError {
             ),
             PlanError::PoolOverflow { traversal, what } => {
                 write!(f, "{traversal} traversal overflowed the {what} pool")
+            }
+            PlanError::OutOfBounds {
+                traversal,
+                ip,
+                what,
+            } => write!(
+                f,
+                "{traversal} traversal op #{ip} references an out-of-bounds {what}"
+            ),
+            PlanError::BadJumpTarget {
+                traversal,
+                ip,
+                target,
+            } => {
+                if *ip == u32::MAX {
+                    write!(
+                        f,
+                        "{traversal} traversal entry targets instruction #{target}, out of range"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "{traversal} traversal op #{ip} jumps to instruction #{target}, out of range"
+                    )
+                }
             }
         }
     }
@@ -185,7 +232,7 @@ pub struct PlanExprStats {
 
 /// A compiled value handle: a build-time constant or a virtual register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum ExprVal {
+pub(crate) enum ExprVal {
     Const(u64),
     Reg(u16),
 }
@@ -204,7 +251,7 @@ fn resolve(v: ExprVal, regs: &[u64]) -> u64 {
 /// time. All arithmetic evaluates at width 64, exactly like the AST
 /// interpreter (`BinOp::eval(a, b, 64)`).
 #[derive(Debug, Clone, Copy)]
-enum MOp {
+pub(crate) enum MOp {
     LoadMeta {
         dst: u16,
         slot: u16,
@@ -252,7 +299,7 @@ enum MOp {
 }
 
 impl MOp {
-    fn dst(&self) -> u16 {
+    pub(crate) fn dst(&self) -> u16 {
         match *self {
             MOp::LoadMeta { dst, .. }
             | MOp::LoadHeader { dst, .. }
@@ -269,14 +316,14 @@ impl MOp {
 
 /// A contiguous range into one of the per-traversal pools.
 #[derive(Debug, Clone, Copy, Default)]
-struct PoolRef {
-    start: u32,
-    len: u16,
+pub(crate) struct PoolRef {
+    pub(crate) start: u32,
+    pub(crate) len: u16,
 }
 
 impl PoolRef {
     #[inline(always)]
-    fn range(self) -> std::ops::Range<usize> {
+    pub(crate) fn range(self) -> std::ops::Range<usize> {
         self.start as usize..self.start as usize + usize::from(self.len)
     }
 
@@ -288,16 +335,16 @@ impl PoolRef {
 /// One pending metadata store: `meta[slot] = resolve(src)`. The source is
 /// already masked to the slot width at build time.
 #[derive(Debug, Clone, Copy)]
-struct StoreSlot {
-    slot: u16,
-    src: ExprVal,
+pub(crate) struct StoreSlot {
+    pub(crate) slot: u16,
+    pub(crate) src: ExprVal,
 }
 
 /// Where a branch reads its condition: a register defined in the same
 /// node (fused) or the metadata slot (fallback for conditions set in an
 /// earlier node).
 #[derive(Debug, Clone, Copy)]
-enum BranchSrc {
+pub(crate) enum BranchSrc {
     Reg(u16),
     Slot(u16),
 }
@@ -307,7 +354,7 @@ enum BranchSrc {
 /// after it (`stores`) — fused work from preceding `SetMeta` statements
 /// rides along in both.
 #[derive(Debug, Clone, Copy)]
-enum PlanOp {
+pub(crate) enum PlanOp {
     /// Execute micro-ops and apply stores, no other effect (flush point
     /// before non-hosting ops and node exits).
     Eval {
@@ -368,18 +415,22 @@ enum PlanOp {
 /// One compiled traversal: the opcode stream plus its constant pools.
 #[derive(Debug, Default)]
 pub(crate) struct TraversalPlan {
-    ops: Vec<PlanOp>,
+    pub(crate) ops: Vec<PlanOp>,
     /// The micro-op pool; each op's `run` is a contiguous range.
-    micro: Vec<MOp>,
+    pub(crate) micro: Vec<MOp>,
     /// Metadata stores, referenced by range.
-    stores: Vec<StoreSlot>,
+    pub(crate) stores: Vec<StoreSlot>,
     /// Table key sources for `BuildKeyProbe`, referenced by range.
-    keys: Vec<ExprVal>,
+    pub(crate) keys: Vec<ExprVal>,
     /// Hash inputs for `MOp::Hash`, referenced by range.
-    hash_args: Vec<ExprVal>,
+    pub(crate) hash_args: Vec<ExprVal>,
     /// Value destination slots for `BuildKeyProbe`, referenced by range.
-    value_slots: Vec<u16>,
-    entry_ip: u32,
+    pub(crate) value_slots: Vec<u16>,
+    pub(crate) entry_ip: u32,
+    /// First opcode index of each declared node, in node order (monotone:
+    /// nodes commit sequentially). Retained for the symbolic validator and
+    /// the read-only plan view — the execution loop never consults it.
+    pub(crate) node_ips: Vec<u32>,
 }
 
 /// The complete pre-lowered program: both traversals plus the transfer
@@ -460,7 +511,7 @@ impl ExecPlan {
         let n_regs = usize::from(pre_regs.max(post_regs));
         stats.micro_ops = (pre.micro.len() + post.micro.len()) as u64;
         stats.regs = n_regs as u64;
-        Ok(ExecPlan {
+        let plan = ExecPlan {
             pre,
             post,
             to_server_slots,
@@ -469,7 +520,38 @@ impl ExecPlan {
             n_regs,
             slots: interner.slots,
             expr_stats: stats,
-        })
+        };
+        plan.validate_committed(prog.tables.len(), prog.registers.len())?;
+        Ok(plan)
+    }
+
+    /// Post-commit structural audit over both committed streams: every
+    /// pool range, metadata slot, register, table index, and jump target
+    /// must be in bounds, so the execution loop (which indexes without
+    /// checks by design) can never be handed a corrupt pool. Runs once per
+    /// build; a violation is a compiler bug surfaced as a typed error at
+    /// load instead of a slice panic at packet time.
+    pub(crate) fn validate_committed(
+        &self,
+        n_tables: usize,
+        n_registers: usize,
+    ) -> Result<(), PlanError> {
+        validate_traversal(
+            &self.pre,
+            "pre",
+            self.n_slots,
+            self.n_regs,
+            n_tables,
+            n_registers,
+        )?;
+        validate_traversal(
+            &self.post,
+            "post",
+            self.n_slots,
+            self.n_regs,
+            n_tables,
+            n_registers,
+        )
     }
 
     /// Total lowered opcodes across both traversals (telemetry).
@@ -500,12 +582,12 @@ impl ExecPlan {
 
 /// Metadata-name interner: dense slot indices assigned in first-seen order.
 #[derive(Debug, Default)]
-struct Interner {
-    slots: HashMap<String, u16>,
+pub(crate) struct Interner {
+    pub(crate) slots: HashMap<String, u16>,
 }
 
 impl Interner {
-    fn slot(&mut self, name: &str) -> u16 {
+    pub(crate) fn slot(&mut self, name: &str) -> u16 {
         if let Some(&s) = self.slots.get(name) {
             return s;
         }
@@ -542,6 +624,21 @@ fn check_dag(prog: &P4Program, is_pre: bool, traversal: &'static str) -> Result<
             NodeNext::SkipJoin { join: None, .. } | NodeNext::End => vec![],
         }
     };
+    // Every declared node's targets must be in range, even for nodes the
+    // entry cannot reach: commit resolves an instruction address for every
+    // declared node, so a dangling target in unreachable code would
+    // otherwise index past the address table during jump patching.
+    for i in 0..n {
+        for t in succs(i) {
+            if t >= n {
+                return Err(PlanError::BadNodeTarget {
+                    traversal,
+                    target: t,
+                    declared: n,
+                });
+            }
+        }
+    }
     // 0 = white, 1 = on stack, 2 = done.
     let mut color = vec![0u8; n];
     let mut stack: Vec<(usize, usize)> = vec![(prog.entry, 0)];
@@ -580,7 +677,7 @@ fn check_dag(prog: &P4Program, is_pre: bool, traversal: &'static str) -> Result<
 /// write in node `n` needs a memory store only if the slot is read by a
 /// different node or by the transfer attach after the run.
 #[derive(Debug, Default)]
-struct MetaReaders {
+pub(crate) struct MetaReaders {
     map: HashMap<u16, Readers>,
 }
 
@@ -607,7 +704,7 @@ impl MetaReaders {
         self.map.insert(slot, Readers::Many);
     }
 
-    fn needs_store(&self, slot: u16, node: usize) -> bool {
+    pub(crate) fn needs_store(&self, slot: u16, node: usize) -> bool {
         match self.map.get(&slot) {
             None => false,
             Some(Readers::One(n)) => *n != node,
@@ -636,7 +733,11 @@ fn visit_meta_reads(e: &P4Expr, f: &mut impl FnMut(&str)) {
 
 /// Collect every metadata read site across a traversal (expression leaves
 /// and branch conditions), plus the externally read transfer slots.
-fn scan_reads(nodes: &[BlockNode], interner: &mut Interner, external: &[u16]) -> MetaReaders {
+pub(crate) fn scan_reads(
+    nodes: &[BlockNode],
+    interner: &mut Interner,
+    external: &[u16],
+) -> MetaReaders {
     let mut readers = MetaReaders::default();
     for &slot in external {
         readers.mark_external(slot);
@@ -738,7 +839,7 @@ struct ActionRec {
 }
 
 /// Number of significant bits a constant needs.
-fn const_bits(v: u64) -> u8 {
+pub(crate) fn const_bits(v: u64) -> u8 {
     (64 - v.leading_zeros()) as u8
 }
 
@@ -1823,7 +1924,201 @@ fn compile_traversal(
         }
     }
     plan.entry_ip = node_ip[prog.entry];
+    plan.node_ips = node_ip;
     Ok((plan, max_regs))
+}
+
+/// One traversal's share of [`ExecPlan::validate_committed`]: walk every
+/// committed op and bounds-check each pool range, slot, register, table
+/// index, and control target it references.
+fn validate_traversal(
+    plan: &TraversalPlan,
+    traversal: &'static str,
+    n_slots: usize,
+    n_regs: usize,
+    n_tables: usize,
+    n_registers: usize,
+) -> Result<(), PlanError> {
+    let oob = |ip: u32, what: &'static str| PlanError::OutOfBounds {
+        traversal,
+        ip,
+        what,
+    };
+    let check_range = |ip: u32, r: PoolRef, pool_len: usize, what: &'static str| {
+        if r.start as usize + usize::from(r.len) > pool_len {
+            Err(oob(ip, what))
+        } else {
+            Ok(())
+        }
+    };
+    let check_slot = |ip: u32, s: u16, what: &'static str| {
+        if usize::from(s) >= n_slots {
+            Err(oob(ip, what))
+        } else {
+            Ok(())
+        }
+    };
+    let check_reg = |ip: u32, r: u16, what: &'static str| {
+        if usize::from(r) >= n_regs {
+            Err(oob(ip, what))
+        } else {
+            Ok(())
+        }
+    };
+    let check_val = |ip: u32, v: ExprVal, what: &'static str| match v {
+        ExprVal::Const(_) => Ok(()),
+        ExprVal::Reg(r) => check_reg(ip, r, what),
+    };
+    let check_run = |ip: u32, r: PoolRef| -> Result<(), PlanError> {
+        check_range(ip, r, plan.micro.len(), "micro-op range")?;
+        for op in &plan.micro[r.range()] {
+            check_reg(ip, op.dst(), "micro-op register")?;
+            match *op {
+                MOp::LoadMeta { slot, .. } => check_slot(ip, slot, "micro-op slot")?,
+                MOp::BinRR { a, b, .. } => {
+                    check_reg(ip, a, "micro-op register")?;
+                    check_reg(ip, b, "micro-op register")?;
+                }
+                MOp::BinRI { a, .. } | MOp::NotR { a, .. } | MOp::MaskR { a, .. } => {
+                    check_reg(ip, a, "micro-op register")?;
+                }
+                MOp::BinIR { b, .. } => check_reg(ip, b, "micro-op register")?,
+                MOp::Hash {
+                    args_start,
+                    args_len,
+                    ..
+                } => {
+                    let hr = PoolRef {
+                        start: args_start,
+                        len: args_len,
+                    };
+                    check_range(ip, hr, plan.hash_args.len(), "hash-arg range")?;
+                    for v in &plan.hash_args[hr.range()] {
+                        check_val(ip, *v, "hash-arg register")?;
+                    }
+                }
+                MOp::LoadHeader { .. } | MOp::LoadIngress { .. } => {}
+            }
+        }
+        Ok(())
+    };
+    let check_stores = |ip: u32, s: PoolRef| -> Result<(), PlanError> {
+        check_range(ip, s, plan.stores.len(), "store range")?;
+        for st in &plan.stores[s.range()] {
+            check_slot(ip, st.slot, "store slot")?;
+            check_val(ip, st.src, "store register")?;
+        }
+        Ok(())
+    };
+    let n_ops = plan.ops.len();
+    let check_target = |ip: u32, target: u32| {
+        if (target as usize) < n_ops {
+            Ok(())
+        } else {
+            Err(PlanError::BadJumpTarget {
+                traversal,
+                ip,
+                target,
+            })
+        }
+    };
+    for (i, op) in plan.ops.iter().enumerate() {
+        let ip = i as u32;
+        match op {
+            PlanOp::Eval { run, stores } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+            }
+            PlanOp::SetHeader {
+                run, stores, out, ..
+            } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+                check_val(ip, *out, "header-out register")?;
+            }
+            PlanOp::BuildKeyProbe {
+                run,
+                stores,
+                table,
+                keys,
+                hit_slot,
+                vals,
+            } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+                if usize::from(*table) >= n_tables {
+                    return Err(oob(ip, "table"));
+                }
+                check_range(ip, *keys, plan.keys.len(), "key range")?;
+                for k in &plan.keys[keys.range()] {
+                    check_val(ip, *k, "key register")?;
+                }
+                check_slot(ip, *hit_slot, "hit slot")?;
+                check_range(ip, *vals, plan.value_slots.len(), "value-slot range")?;
+                for s in &plan.value_slots[vals.range()] {
+                    check_slot(ip, *s, "value slot")?;
+                }
+            }
+            PlanOp::RegRead { reg, dst } => {
+                if usize::from(*reg) >= n_registers {
+                    return Err(oob(ip, "state register"));
+                }
+                check_slot(ip, *dst, "register-read slot")?;
+            }
+            PlanOp::RegWrite {
+                run,
+                stores,
+                reg,
+                out,
+            } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+                if usize::from(*reg) >= n_registers {
+                    return Err(oob(ip, "state register"));
+                }
+                check_val(ip, *out, "register-write register")?;
+            }
+            PlanOp::RegFetchAdd {
+                run,
+                stores,
+                reg,
+                dst,
+                out,
+                ..
+            } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+                if usize::from(*reg) >= n_registers {
+                    return Err(oob(ip, "state register"));
+                }
+                check_slot(ip, *dst, "fetch-add slot")?;
+                check_val(ip, *out, "fetch-add register")?;
+            }
+            PlanOp::Jump(t) => check_target(ip, *t)?,
+            PlanOp::Branch {
+                run,
+                stores,
+                src,
+                then_ip,
+                else_ip,
+            } => {
+                check_run(ip, *run)?;
+                check_stores(ip, *stores)?;
+                match src {
+                    BranchSrc::Reg(r) => check_reg(ip, *r, "branch register")?,
+                    BranchSrc::Slot(s) => check_slot(ip, *s, "branch slot")?,
+                }
+                check_target(ip, *then_ip)?;
+                check_target(ip, *else_ip)?;
+            }
+            PlanOp::UpdateChecksum
+            | PlanOp::EmitCopy
+            | PlanOp::MarkDrop
+            | PlanOp::Foreign
+            | PlanOp::Halt => {}
+        }
+    }
+    check_target(u32::MAX, plan.entry_ip)
 }
 
 /// Reusable per-switch scratch buffers: zero allocation per packet.
@@ -2188,5 +2483,373 @@ pub mod expr_check {
             .map(|(name, _, v)| (name.clone(), *v))
             .collect();
         crate::switch::eval_ast(expr, pkt, &map)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use gallium_mir::StateId;
+    use gallium_net::{TransferField, TransferHeaderLayout};
+    use gallium_p4::{MetaField, P4Register, P4Table, TableMatchKind};
+
+    fn bin(op: BinOp, a: P4Expr, b: P4Expr) -> P4Expr {
+        P4Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    fn meta(name: &str) -> P4Expr {
+        P4Expr::Meta(name.to_string())
+    }
+
+    /// A small two-traversal program exercising every committed op shape:
+    /// metadata arithmetic with masking, a hash, a fused two-key table
+    /// probe, register ops, a computed branch, jumps, and pinned transfer
+    /// stores. Shared with the symbolic-validator tests.
+    pub(crate) fn fixture() -> P4Program {
+        let mf = |name: &str, bits: u16| MetaField {
+            name: name.to_string(),
+            bits,
+        };
+        let set = |name: &str, e: P4Expr| P4Stmt::SetMeta(name.to_string(), e);
+        let n0 = BlockNode {
+            stmts: vec![
+                set("a", P4Expr::Header(HeaderField::IpSaddr)),
+                set(
+                    "k0",
+                    bin(
+                        BinOp::Add,
+                        P4Expr::Header(HeaderField::IpSaddr),
+                        P4Expr::Const(7, 8),
+                    ),
+                ),
+                set(
+                    "k1",
+                    P4Expr::Cast(
+                        Box::new(bin(
+                            BinOp::Add,
+                            P4Expr::Header(HeaderField::IpDaddr),
+                            meta("a"),
+                        )),
+                        16,
+                    ),
+                ),
+                set(
+                    "sum",
+                    bin(BinOp::Add, P4Expr::Const(2, 8), P4Expr::Const(3, 8)),
+                ),
+                set(
+                    "hh",
+                    P4Expr::Hash(vec![meta("a"), P4Expr::Header(HeaderField::IpDaddr)], 16),
+                ),
+                P4Stmt::TableLookup {
+                    table: 0,
+                    keys: vec![meta("k0"), meta("k1")],
+                    hit_meta: "t_hit".to_string(),
+                    value_metas: vec!["t_v0".to_string()],
+                },
+                set("out", bin(BinOp::Add, meta("t_v0"), meta("a"))),
+                set("cond", bin(BinOp::Eq, meta("t_hit"), P4Expr::Const(1, 1))),
+            ],
+            has_foreign_work: false,
+            next: NodeNext::Cond {
+                meta: "cond".to_string(),
+                then_n: 1,
+                else_n: 2,
+            },
+        };
+        let n1 = BlockNode {
+            stmts: vec![
+                P4Stmt::RegFetchAdd {
+                    reg: 0,
+                    dst: "cnt_old".to_string(),
+                    delta: P4Expr::Const(1, 8),
+                },
+                P4Stmt::RegWrite {
+                    reg: 0,
+                    src: meta("out"),
+                },
+                P4Stmt::SetHeader(
+                    HeaderField::IpTtl,
+                    bin(BinOp::Xor, meta("t_v0"), meta("hh")),
+                ),
+                P4Stmt::UpdateChecksum,
+            ],
+            has_foreign_work: false,
+            next: NodeNext::Jump(3),
+        };
+        let n2 = BlockNode {
+            stmts: vec![P4Stmt::MarkDrop],
+            has_foreign_work: false,
+            next: NodeNext::Jump(3),
+        };
+        let n3 = BlockNode {
+            stmts: vec![
+                P4Stmt::RegRead {
+                    reg: 0,
+                    dst: "rr".to_string(),
+                },
+                P4Stmt::EmitCopy,
+            ],
+            has_foreign_work: false,
+            next: NodeNext::End,
+        };
+        let header_to_server = TransferHeaderLayout::new(vec![
+            TransferField::new("sum".to_string(), 64),
+            TransferField::new("out".to_string(), 64),
+        ])
+        .expect("layout");
+        let header_to_switch = TransferHeaderLayout::new(vec![]).expect("layout");
+        P4Program {
+            name: "__plan_fixture".to_string(),
+            metadata: vec![
+                mf("a", 16),
+                mf("k0", 32),
+                mf("k1", 32),
+                mf("sum", 64),
+                mf("hh", 16),
+                mf("t_hit", 1),
+                mf("t_v0", 32),
+                mf("out", 64),
+                mf("cond", 1),
+                mf("cnt_old", 64),
+                mf("rr", 64),
+            ],
+            tables: vec![P4Table {
+                name: "t".to_string(),
+                state: StateId(0),
+                key_widths: vec![32, 32],
+                value_widths: vec![32],
+                size: 16,
+                match_kind: TableMatchKind::Exact,
+            }],
+            registers: vec![P4Register {
+                name: "r".to_string(),
+                state: StateId(1),
+                width: 32,
+            }],
+            pre_nodes: vec![n0, n1, n2, n3],
+            post_nodes: vec![BlockNode {
+                stmts: vec![],
+                has_foreign_work: false,
+                next: NodeNext::End,
+            }],
+            entry: 0,
+            header_to_server,
+            header_to_switch,
+            to_server_fields: vec!["sum".to_string(), "out".to_string()],
+        }
+    }
+
+    fn plan() -> ExecPlan {
+        ExecPlan::build(&fixture()).expect("fixture builds")
+    }
+
+    #[test]
+    fn fixture_builds_fused_and_unfused() {
+        for fuse in [true, false] {
+            let p = ExecPlan::build_with(&fixture(), PlanOptions { fuse }).expect("builds");
+            assert!(p.validate_committed(1, 1).is_ok());
+        }
+    }
+
+    #[test]
+    fn audit_rejects_micro_range_past_pool() {
+        let mut p = plan();
+        let found = p.pre.ops.iter_mut().any(|op| {
+            if let PlanOp::Branch { run, .. } = op {
+                run.start = u32::MAX - 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a branch with a run");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "micro-op range",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_store_slot_past_scratch() {
+        let mut p = plan();
+        assert!(!p.pre.stores.is_empty(), "fixture has pinned stores");
+        p.pre.stores[0].slot = p.n_slots as u16;
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "store slot",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_store_register_past_file() {
+        let mut p = plan();
+        let idx = p
+            .pre
+            .stores
+            .iter()
+            .position(|s| matches!(s.src, ExprVal::Reg(_)))
+            .expect("fixture has a register-sourced store");
+        p.pre.stores[idx].src = ExprVal::Reg(p.n_regs as u16);
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "store register",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_hash_arg_range_past_pool() {
+        let mut p = plan();
+        let bad = p.pre.hash_args.len() as u32;
+        let found = p.pre.micro.iter_mut().any(|op| {
+            if let MOp::Hash { args_start, .. } = op {
+                *args_start = bad + 1;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a hash micro-op");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "hash-arg range",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_key_register_past_file() {
+        let mut p = plan();
+        assert!(!p.pre.keys.is_empty(), "fixture probes a two-key table");
+        p.pre.keys[0] = ExprVal::Reg(p.n_regs as u16);
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "key register",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_table_index_past_declared() {
+        let mut p = plan();
+        let found = p.pre.ops.iter_mut().any(|op| {
+            if let PlanOp::BuildKeyProbe { table, .. } = op {
+                *table = 9;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a probe");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds { what: "table", .. })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_state_register_past_declared() {
+        let mut p = plan();
+        let found = p.pre.ops.iter_mut().any(|op| {
+            if let PlanOp::RegFetchAdd { reg, .. } = op {
+                *reg = 4;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a fetch-add");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::OutOfBounds {
+                what: "state register",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_jump_past_stream() {
+        let mut p = plan();
+        let bad = p.pre.ops.len() as u32;
+        let found = p.pre.ops.iter_mut().any(|op| {
+            if let PlanOp::Jump(t) = op {
+                *t = bad;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a jump");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::BadJumpTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_branch_target_past_stream() {
+        let mut p = plan();
+        let bad = p.pre.ops.len() as u32;
+        let found = p.pre.ops.iter_mut().any(|op| {
+            if let PlanOp::Branch { else_ip, .. } = op {
+                *else_ip = bad;
+                true
+            } else {
+                false
+            }
+        });
+        assert!(found, "fixture has a branch");
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::BadJumpTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn audit_rejects_entry_past_stream() {
+        let mut p = plan();
+        p.post.entry_ip = p.post.ops.len() as u32;
+        assert!(matches!(
+            p.validate_committed(1, 1),
+            Err(PlanError::BadJumpTarget {
+                traversal: "post",
+                ip: u32::MAX,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn dangling_target_in_unreachable_node_rejected_at_build() {
+        let mut prog = fixture();
+        // Node 4 is unreachable from the entry but still declared; its
+        // dangling target must be caught before jump patching.
+        prog.pre_nodes.push(BlockNode {
+            stmts: vec![],
+            has_foreign_work: false,
+            next: NodeNext::Jump(99),
+        });
+        assert!(matches!(
+            ExecPlan::build(&prog),
+            Err(PlanError::BadNodeTarget {
+                traversal: "pre",
+                target: 99,
+                ..
+            })
+        ));
     }
 }

@@ -53,6 +53,12 @@ pub struct SwitchConfig {
     /// branch folding). On by default; the unfused lowering is kept for
     /// fused ≡ unfused differential tests.
     pub plan_fusion: bool,
+    /// Run the symbolic translation validator ([`crate::symcheck`]) on
+    /// the compiled plan at load time, rejecting a load whose plan is
+    /// not provably equal to the P4 AST. On by default in debug builds
+    /// and tests; opt-in in release (validation is load-time only — the
+    /// warm path never pays for it either way).
+    pub validate_plan: bool,
 }
 
 impl Default for SwitchConfig {
@@ -63,6 +69,7 @@ impl Default for SwitchConfig {
             model: SwitchModel::tofino_like(),
             cached_tables: Vec::new(),
             plan_fusion: true,
+            validate_plan: cfg!(debug_assertions),
         }
     }
 }
@@ -171,6 +178,18 @@ impl Switch {
             reg.counter(names::PLAN_EXPR_CSE_HITS).add(xs.cse_hits);
             reg.counter(names::PLAN_EXPR_FUSED).add(xs.fused);
             reg.counter(names::PLAN_EXPR_DEAD_OPS).add(xs.dead);
+            if cfg.validate_plan {
+                let timer = reg.histogram(names::VERIFY_PLAN_SYMCHECK_NS).time();
+                let checked = crate::symcheck::check_plan(&prog, &built);
+                drop(timer);
+                match checked {
+                    Ok(_) => reg.counter(names::VERIFY_PLAN_PROVED).inc(),
+                    Err(e) => {
+                        reg.counter(names::VERIFY_PLAN_ERRORS).inc();
+                        return Err(LoadError::PlanEquivalence(e));
+                    }
+                }
+            }
             Some(built)
         } else {
             None

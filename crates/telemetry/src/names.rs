@@ -177,6 +177,23 @@ pub const VERIFY_ERRORS: &str = "gallium.verify.errors";
 /// Lints reported.
 pub const VERIFY_LINTS: &str = "gallium.verify.lints";
 
+// ---- verify: symbolic plan validation ---------------------------------
+
+/// Whole plan-validation latency histogram (ns): symcheck + absint.
+pub const VERIFY_PLAN_NS: &str = "gallium.verify.plan.verify_ns";
+/// Plan-validation runs.
+pub const VERIFY_PLAN_RUNS: &str = "gallium.verify.plan.runs";
+/// Symbolic translation-validation pass latency histogram (ns).
+pub const VERIFY_PLAN_SYMCHECK_NS: &str = "gallium.verify.plan.symcheck_ns";
+/// Abstract-interpretation (interval + known-bits) pass latency (ns).
+pub const VERIFY_PLAN_ABSINT_NS: &str = "gallium.verify.plan.absint_ns";
+/// Plan ≢ AST divergences found.
+pub const VERIFY_PLAN_ERRORS: &str = "gallium.verify.plan.errors";
+/// Plan lints reported (dead branches, constant guards, ...).
+pub const VERIFY_PLAN_LINTS: &str = "gallium.verify.plan.lints";
+/// Plans proven equivalent to their AST.
+pub const VERIFY_PLAN_PROVED: &str = "gallium.verify.plan.proved";
+
 // ---- server -----------------------------------------------------------
 
 /// Packets taking the server slow path.
@@ -212,6 +229,13 @@ mod tests {
             PLAN_EXPR_CSE_HITS,
             PLAN_EXPR_FUSED,
             PLAN_EXPR_DEAD_OPS,
+            VERIFY_PLAN_NS,
+            VERIFY_PLAN_RUNS,
+            VERIFY_PLAN_SYMCHECK_NS,
+            VERIFY_PLAN_ABSINT_NS,
+            VERIFY_PLAN_ERRORS,
+            VERIFY_PLAN_LINTS,
+            VERIFY_PLAN_PROVED,
             SERVER_SLOW_PATH_PKTS,
         ] {
             assert!(name.starts_with("gallium."), "{name}");

@@ -1,0 +1,623 @@
+//! Interval + known-bits abstract interpretation over the compiled plan.
+//!
+//! Runs on the graph-generic worklist core ([`crate::dataflow`]) with one
+//! node per committed plan opcode, walking the read-only
+//! [`gallium_switchsim::PlanView`]. The domain is a reduced product of an
+//! unsigned interval `[lo, hi]` and known-bits masks (`zeros` = bits
+//! provably 0, `ones` = bits provably 1), the classic pairing for
+//! bit-manipulating dataplane code: intervals decide comparisons and
+//! dead branches, known-bits survive masking/shifting/hashing where
+//! intervals collapse. The transfer functions mirror the runtime's exact
+//! width-64 semantics (`BinOp::eval`: div/mod-by-zero → 0, shift ≥ 64 →
+//! 0, masking to declared widths).
+//!
+//! The results feed the plan lint pass in [`crate::plan`]: unreachable
+//! opcodes, branch guards proven constant, fused key words proven
+//! constant, and the per-slot ranges behind them.
+
+use crate::dataflow::{solve_graph, Direction, GraphAnalysis, GraphSolution};
+use gallium_mir::BinOp;
+use gallium_switchsim::{CondSrc, MicroOp, OpView, TraversalView, ValRef};
+
+/// An abstract 64-bit unsigned value: interval plus known bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Least possible value.
+    pub lo: u64,
+    /// Greatest possible value.
+    pub hi: u64,
+    /// Bits provably zero.
+    pub zeros: u64,
+    /// Bits provably one.
+    pub ones: u64,
+}
+
+/// All-ones up to and including the leading set bit of `h` (0 for 0).
+fn below(h: u64) -> u64 {
+    if h == 0 {
+        0
+    } else {
+        u64::MAX >> h.leading_zeros()
+    }
+}
+
+impl AbsVal {
+    /// The unconstrained value.
+    pub const TOP: AbsVal = AbsVal {
+        lo: 0,
+        hi: u64::MAX,
+        zeros: 0,
+        ones: 0,
+    };
+
+    /// An exactly-known constant.
+    pub fn cnst(c: u64) -> AbsVal {
+        AbsVal {
+            lo: c,
+            hi: c,
+            zeros: !c,
+            ones: c,
+        }
+    }
+
+    /// Any value expressible in `w` bits.
+    pub fn of_width(w: u16) -> AbsVal {
+        if w >= 64 {
+            AbsVal::TOP
+        } else {
+            let m = (1u64 << w) - 1;
+            AbsVal {
+                lo: 0,
+                hi: m,
+                zeros: !m,
+                ones: 0,
+            }
+        }
+    }
+
+    /// Exchange information between the interval and the bits until
+    /// consistent (one round suffices for the precision we need).
+    fn canon(mut self) -> AbsVal {
+        // Bits above the interval's leading bit are provably zero, and
+        // the known bits bound the interval from both sides.
+        self.zeros |= !below(self.hi);
+        self.lo = self.lo.max(self.ones);
+        self.hi = self.hi.min(!self.zeros);
+        if self.lo > self.hi {
+            // Transfers are sound, so this means the state is actually
+            // unreachable; collapse rather than report nonsense.
+            self.lo = self.ones;
+            self.hi = !self.zeros;
+        }
+        if self.lo == self.hi {
+            self.zeros = !self.lo;
+            self.ones = self.lo;
+        }
+        self
+    }
+
+    /// The exactly-known value, if the abstraction pins one.
+    pub fn as_const(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Provably nonzero (a guard on this value always takes `then`).
+    pub fn is_nonzero(&self) -> bool {
+        self.lo >= 1 || self.ones != 0
+    }
+
+    /// Provably zero (a guard on this value always takes `else`).
+    pub fn is_zero(&self) -> bool {
+        self.hi == 0
+    }
+
+    /// Least upper bound: interval hull + known-bit intersection.
+    pub fn join(self, o: AbsVal) -> AbsVal {
+        AbsVal {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+            zeros: self.zeros & o.zeros,
+            ones: self.ones & o.ones,
+        }
+    }
+
+    /// Abstract `a op b` at width 64, mirroring [`BinOp::eval`].
+    pub fn bin(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
+        let bool_top = AbsVal::of_width(1);
+        let v = match op {
+            BinOp::Add => match a.hi.checked_add(b.hi) {
+                Some(h) => AbsVal {
+                    lo: a.lo + b.lo,
+                    hi: h,
+                    zeros: 0,
+                    ones: 0,
+                },
+                None => AbsVal::TOP,
+            },
+            BinOp::Sub => {
+                if a.lo >= b.hi {
+                    AbsVal {
+                        lo: a.lo - b.hi,
+                        hi: a.hi - b.lo,
+                        zeros: 0,
+                        ones: 0,
+                    }
+                } else {
+                    AbsVal::TOP // may wrap
+                }
+            }
+            BinOp::Mul => match a.hi.checked_mul(b.hi) {
+                Some(h) => AbsVal {
+                    lo: a.lo.saturating_mul(b.lo),
+                    hi: h,
+                    zeros: 0,
+                    ones: 0,
+                },
+                None => AbsVal::TOP,
+            },
+            BinOp::Div => match a.lo.checked_div(b.hi) {
+                // b is provably zero: div-by-zero → 0.
+                None => AbsVal::cnst(0),
+                Some(q) => AbsVal {
+                    lo: if b.lo >= 1 { q } else { 0 },
+                    hi: a.hi,
+                    zeros: 0,
+                    ones: 0,
+                },
+            },
+            BinOp::Mod => {
+                if b.hi == 0 {
+                    AbsVal::cnst(0) // mod-by-zero → 0
+                } else {
+                    AbsVal {
+                        lo: 0,
+                        hi: a.hi.min(b.hi - 1),
+                        zeros: 0,
+                        ones: 0,
+                    }
+                }
+            }
+            BinOp::And => AbsVal {
+                lo: a.ones & b.ones,
+                hi: a.hi.min(b.hi),
+                zeros: a.zeros | b.zeros,
+                ones: a.ones & b.ones,
+            },
+            BinOp::Or => AbsVal {
+                lo: a.lo.max(b.lo),
+                hi: u64::MAX,
+                zeros: a.zeros & b.zeros,
+                ones: a.ones | b.ones,
+            },
+            BinOp::Xor => AbsVal {
+                lo: 0,
+                hi: u64::MAX,
+                zeros: (a.zeros & b.zeros) | (a.ones & b.ones),
+                ones: (a.ones & b.zeros) | (a.zeros & b.ones),
+            },
+            BinOp::Shl => match b.as_const() {
+                Some(c) if c >= 64 => AbsVal::cnst(0),
+                Some(c) if a.hi.leading_zeros() as u64 >= c => AbsVal {
+                    lo: a.lo << c,
+                    hi: a.hi << c,
+                    zeros: (a.zeros << c) | !(u64::MAX << c),
+                    ones: a.ones << c,
+                },
+                _ => AbsVal::TOP,
+            },
+            BinOp::Shr => match b.as_const() {
+                Some(c) if c >= 64 => AbsVal::cnst(0),
+                Some(c) => AbsVal {
+                    lo: a.lo >> c,
+                    hi: a.hi >> c,
+                    zeros: a.zeros >> c,
+                    ones: a.ones >> c,
+                },
+                None => AbsVal {
+                    lo: 0,
+                    hi: a.hi,
+                    zeros: 0,
+                    ones: 0,
+                },
+            },
+            BinOp::Eq => match (a.hi < b.lo || b.hi < a.lo, a.as_const().zip(b.as_const())) {
+                (true, _) => AbsVal::cnst(0),
+                (_, Some((x, y))) if x == y => AbsVal::cnst(1),
+                _ => bool_top,
+            },
+            BinOp::Ne => match (a.hi < b.lo || b.hi < a.lo, a.as_const().zip(b.as_const())) {
+                (true, _) => AbsVal::cnst(1),
+                (_, Some((x, y))) if x == y => AbsVal::cnst(0),
+                _ => bool_top,
+            },
+            BinOp::Lt => cmp_abs(a.hi < b.lo, a.lo >= b.hi),
+            BinOp::Le => cmp_abs(a.hi <= b.lo, a.lo > b.hi),
+            BinOp::Gt => cmp_abs(a.lo > b.hi, a.hi <= b.lo),
+            BinOp::Ge => cmp_abs(a.lo >= b.hi, a.hi < b.lo),
+        };
+        v.canon()
+    }
+
+    /// Abstract bitwise not.
+    pub fn bit_not(self) -> AbsVal {
+        AbsVal {
+            lo: 0,
+            hi: u64::MAX,
+            zeros: self.ones,
+            ones: self.zeros,
+        }
+        .canon()
+    }
+
+    /// Abstract masking to `width` bits (`mask_to_width`).
+    pub fn mask(self, width: u8) -> AbsVal {
+        if width >= 64 {
+            return self;
+        }
+        let m = (1u64 << width) - 1;
+        if self.hi <= m {
+            AbsVal {
+                zeros: self.zeros | !m,
+                ..self
+            }
+            .canon()
+        } else {
+            AbsVal {
+                lo: 0,
+                hi: m,
+                zeros: (self.zeros & m) | !m,
+                ones: self.ones & m,
+            }
+            .canon()
+        }
+    }
+}
+
+fn cmp_abs(proven_true: bool, proven_false: bool) -> AbsVal {
+    if proven_true {
+        AbsVal::cnst(1)
+    } else if proven_false {
+        AbsVal::cnst(0)
+    } else {
+        AbsVal::of_width(1)
+    }
+}
+
+/// The per-opcode fact: unreachable, or abstract values for every
+/// metadata slot and virtual register.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbsState {
+    /// No path from the entry reaches this opcode.
+    Unreachable,
+    /// Reachable with the given abstractions.
+    Reached {
+        /// Per-metadata-slot abstract values.
+        slots: Vec<AbsVal>,
+        /// Per-virtual-register abstract values.
+        regs: Vec<AbsVal>,
+    },
+}
+
+impl AbsState {
+    /// Whether any path reaches this point.
+    pub fn is_reachable(&self) -> bool {
+        matches!(self, AbsState::Reached { .. })
+    }
+}
+
+fn eval_val(v: ValRef, regs: &[AbsVal]) -> AbsVal {
+    match v {
+        ValRef::Const(c) => AbsVal::cnst(c),
+        ValRef::Reg(r) => regs.get(usize::from(r)).copied().unwrap_or(AbsVal::TOP),
+    }
+}
+
+/// Execute a micro-op run abstractly, updating `regs` in place.
+pub fn eval_run(run: &[MicroOp], slots: &[AbsVal], regs: &mut [AbsVal]) {
+    for m in run {
+        let reg = |r: u16, regs: &[AbsVal]| -> AbsVal {
+            regs.get(usize::from(r)).copied().unwrap_or(AbsVal::TOP)
+        };
+        let val = match m {
+            MicroOp::LoadMeta { slot, .. } => slots
+                .get(usize::from(*slot))
+                .copied()
+                .unwrap_or(AbsVal::TOP),
+            MicroOp::LoadHeader { field, .. } => AbsVal::of_width(u16::from(field.bits())),
+            MicroOp::LoadIngress { .. } => AbsVal::of_width(16),
+            MicroOp::BinRR { op, a, b, .. } => AbsVal::bin(*op, reg(*a, regs), reg(*b, regs)),
+            MicroOp::BinRI { op, a, imm, .. } => {
+                AbsVal::bin(*op, reg(*a, regs), AbsVal::cnst(*imm))
+            }
+            MicroOp::BinIR { op, imm, b, .. } => {
+                AbsVal::bin(*op, AbsVal::cnst(*imm), reg(*b, regs))
+            }
+            MicroOp::NotR { a, .. } => reg(*a, regs).bit_not(),
+            MicroOp::MaskR { a, width, .. } => reg(*a, regs).mask(*width),
+            MicroOp::Hash { width, .. } => AbsVal::of_width(u16::from(*width)),
+        };
+        if let Some(slot) = regs.get_mut(usize::from(m.dst())) {
+            *slot = val;
+        }
+    }
+}
+
+fn apply_stores(stores: &[gallium_switchsim::StoreView], slots: &mut [AbsVal], regs: &[AbsVal]) {
+    for st in stores {
+        if let Some(s) = slots.get_mut(usize::from(st.slot)) {
+            *s = eval_val(st.src, regs);
+        }
+    }
+}
+
+/// The abstract interpretation of one traversal, one graph node per
+/// committed opcode.
+pub struct PlanAbs<'a> {
+    view: &'a TraversalView,
+    n_slots: usize,
+    n_regs: usize,
+    entry_slots: Vec<AbsVal>,
+}
+
+impl<'a> PlanAbs<'a> {
+    /// Analyze `view` with the given abstract values for the metadata
+    /// slots at traversal entry (`entry_slots[slot]`; missing → top).
+    pub fn new(
+        view: &'a TraversalView,
+        n_slots: usize,
+        n_regs: usize,
+        entry_slots: Vec<AbsVal>,
+    ) -> Self {
+        PlanAbs {
+            view,
+            n_slots,
+            n_regs,
+            entry_slots,
+        }
+    }
+}
+
+impl GraphAnalysis for PlanAbs<'_> {
+    type Fact = AbsState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn node_count(&self) -> usize {
+        self.view.ops.len()
+    }
+
+    fn successors(&self, n: usize) -> Vec<usize> {
+        match &self.view.ops[n] {
+            OpView::Jump(t) => vec![*t as usize],
+            OpView::Branch {
+                then_ip, else_ip, ..
+            } => vec![*then_ip as usize, *else_ip as usize],
+            OpView::Halt => vec![],
+            _ => {
+                if n + 1 < self.view.ops.len() {
+                    vec![n + 1]
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+
+    fn bottom(&self) -> AbsState {
+        AbsState::Unreachable
+    }
+
+    fn is_boundary(&self, n: usize) -> bool {
+        n == self.view.entry_ip as usize
+    }
+
+    fn boundary_fact(&self) -> AbsState {
+        let mut slots = vec![AbsVal::TOP; self.n_slots];
+        for (i, v) in self.entry_slots.iter().enumerate().take(self.n_slots) {
+            slots[i] = *v;
+        }
+        AbsState::Reached {
+            slots,
+            // Registers are proven def-before-use at build time, so the
+            // entry abstraction is never observed; top is sound.
+            regs: vec![AbsVal::TOP; self.n_regs],
+        }
+    }
+
+    fn join(&self, into: &mut AbsState, from: &AbsState) {
+        match (&mut *into, from) {
+            (_, AbsState::Unreachable) => {}
+            (AbsState::Unreachable, r) => *into = r.clone(),
+            (
+                AbsState::Reached { slots, regs },
+                AbsState::Reached {
+                    slots: os,
+                    regs: or,
+                },
+            ) => {
+                for (a, b) in slots.iter_mut().zip(os) {
+                    *a = a.join(*b);
+                }
+                for (a, b) in regs.iter_mut().zip(or) {
+                    *a = a.join(*b);
+                }
+            }
+        }
+    }
+
+    fn transfer(&self, n: usize, fact: &mut AbsState) {
+        let AbsState::Reached { slots, regs } = fact else {
+            return;
+        };
+        match &self.view.ops[n] {
+            OpView::Eval { run, stores }
+            | OpView::SetHeader { run, stores, .. }
+            | OpView::RegWrite { run, stores, .. }
+            | OpView::Branch { run, stores, .. } => {
+                eval_run(run, slots, regs);
+                apply_stores(stores, slots, regs);
+            }
+            OpView::BuildKeyProbe {
+                run,
+                stores,
+                hit_slot,
+                vals,
+                ..
+            } => {
+                eval_run(run, slots, regs);
+                apply_stores(stores, slots, regs);
+                if let Some(s) = slots.get_mut(usize::from(*hit_slot)) {
+                    *s = AbsVal::of_width(1);
+                }
+                for v in vals {
+                    if let Some(s) = slots.get_mut(usize::from(*v)) {
+                        // Table values on hit; zeroed on miss.
+                        *s = AbsVal::TOP;
+                    }
+                }
+            }
+            OpView::RegFetchAdd {
+                run, stores, dst, ..
+            } => {
+                eval_run(run, slots, regs);
+                apply_stores(stores, slots, regs);
+                if let Some(s) = slots.get_mut(usize::from(*dst)) {
+                    *s = AbsVal::TOP;
+                }
+            }
+            OpView::RegRead { dst, .. } => {
+                if let Some(s) = slots.get_mut(usize::from(*dst)) {
+                    *s = AbsVal::TOP;
+                }
+            }
+            OpView::UpdateChecksum
+            | OpView::EmitCopy
+            | OpView::MarkDrop
+            | OpView::Foreign
+            | OpView::Jump(_)
+            | OpView::Halt => {}
+        }
+    }
+}
+
+/// Solve the traversal to its fixpoint.
+pub fn analyze(a: &PlanAbs<'_>) -> GraphSolution<AbsState> {
+    solve_graph(a)
+}
+
+/// The abstract branch condition at opcode `n`, given its input state:
+/// replays the branch's own run first (the guard register is usually
+/// defined there).
+pub fn branch_cond(view: &TraversalView, n: usize, input: &AbsState) -> Option<AbsVal> {
+    let AbsState::Reached { slots, regs } = input else {
+        return None;
+    };
+    let OpView::Branch {
+        run, stores, src, ..
+    } = &view.ops[n]
+    else {
+        return None;
+    };
+    let mut slots = slots.clone();
+    let mut regs = regs.clone();
+    eval_run(run, &slots, &mut regs);
+    apply_stores(stores, &mut slots, &regs);
+    Some(match src {
+        CondSrc::Reg(r) => regs.get(usize::from(*r)).copied().unwrap_or(AbsVal::TOP),
+        CondSrc::Slot(s) => slots.get(usize::from(*s)).copied().unwrap_or(AbsVal::TOP),
+    })
+}
+
+/// The abstract key words of a `BuildKeyProbe` at opcode `n`, given its
+/// input state.
+pub fn probe_keys(view: &TraversalView, n: usize, input: &AbsState) -> Option<Vec<AbsVal>> {
+    let AbsState::Reached { slots, regs } = input else {
+        return None;
+    };
+    let OpView::BuildKeyProbe {
+        run, stores, keys, ..
+    } = &view.ops[n]
+    else {
+        return None;
+    };
+    let mut slots = slots.clone();
+    let mut regs = regs.clone();
+    eval_run(run, &slots, &mut regs);
+    apply_stores(stores, &mut slots, &regs);
+    Some(keys.iter().map(|k| eval_val(*k, &regs)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_arithmetic_stays_const() {
+        let a = AbsVal::cnst(7);
+        let b = AbsVal::cnst(5);
+        assert_eq!(AbsVal::bin(BinOp::Add, a, b).as_const(), Some(12));
+        assert_eq!(AbsVal::bin(BinOp::Sub, a, b).as_const(), Some(2));
+        assert_eq!(AbsVal::bin(BinOp::Mul, a, b).as_const(), Some(35));
+        assert_eq!(AbsVal::bin(BinOp::And, a, b).as_const(), Some(5));
+        assert_eq!(AbsVal::bin(BinOp::Or, a, b).as_const(), Some(7));
+        assert_eq!(AbsVal::bin(BinOp::Xor, a, b).as_const(), Some(2));
+        assert_eq!(AbsVal::bin(BinOp::Eq, a, b).as_const(), Some(0));
+        assert_eq!(AbsVal::bin(BinOp::Lt, b, a).as_const(), Some(1));
+    }
+
+    #[test]
+    fn eval_semantics_mirrored() {
+        // div/mod-by-zero → 0, shift ≥ 64 → 0.
+        let a = AbsVal::cnst(9);
+        let z = AbsVal::cnst(0);
+        assert_eq!(AbsVal::bin(BinOp::Div, a, z).as_const(), Some(0));
+        assert_eq!(AbsVal::bin(BinOp::Mod, a, z).as_const(), Some(0));
+        assert_eq!(
+            AbsVal::bin(BinOp::Shl, a, AbsVal::cnst(64)).as_const(),
+            Some(0)
+        );
+        assert_eq!(
+            AbsVal::bin(BinOp::Shr, a, AbsVal::cnst(100)).as_const(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn masking_bounds_the_interval() {
+        let v = AbsVal::TOP.mask(8);
+        assert_eq!(v.lo, 0);
+        assert_eq!(v.hi, 255);
+        assert_eq!(v.zeros, !0xFFu64);
+        let w = AbsVal::cnst(0x1FF).mask(8);
+        assert_eq!(w.as_const(), Some(0xFF));
+    }
+
+    #[test]
+    fn join_is_hull_plus_bit_intersection() {
+        let a = AbsVal::cnst(4);
+        let b = AbsVal::cnst(6);
+        let j = a.join(b);
+        assert_eq!((j.lo, j.hi), (4, 6));
+        // Bit 2 (value 4) set in both ⇒ known one; bit 0 known zero.
+        assert_ne!(j.ones & 4, 0);
+        assert_ne!(j.zeros & 1, 0);
+        assert!(j.is_nonzero());
+    }
+
+    #[test]
+    fn comparisons_decide_from_intervals() {
+        let small = AbsVal::of_width(4); // [0, 15]
+        let big = AbsVal {
+            lo: 100,
+            hi: 200,
+            zeros: 0,
+            ones: 0,
+        }
+        .canon();
+        assert_eq!(AbsVal::bin(BinOp::Lt, small, big).as_const(), Some(1));
+        assert_eq!(AbsVal::bin(BinOp::Ge, small, big).as_const(), Some(0));
+        assert_eq!(AbsVal::bin(BinOp::Eq, small, big).as_const(), Some(0));
+    }
+}

@@ -1,19 +1,141 @@
-//! A reusable worklist dataflow framework over MIR.
+//! A reusable worklist dataflow framework.
 //!
 //! The verifier must not trust the analyses in `gallium-analysis` — its
 //! whole point is to re-derive every fact independently and diff. This
-//! module is the re-derivation substrate: a direction-parametric worklist
-//! solver plus the three instances the checkers need (liveness, taint from
-//! non-offloadable sources, reaching header writes).
+//! module is the re-derivation substrate, in two layers:
 //!
-//! Facts form a join-semilattice; `solve` iterates block transfer functions
-//! to the least fixpoint. Because every instance here uses set-union joins
-//! with monotone transfers, the least fixpoint is unique — which is what
-//! lets the property tests demand *equality* (not mere soundness) against
-//! the compiler's own analyses.
+//! * a **graph-generic worklist core** ([`GraphAnalysis`] /
+//!   [`solve_graph`]): nodes are opaque indices, edges come from a
+//!   successor callback, and facts form a join-semilattice. The plan
+//!   abstract interpreter ([`crate::absint`]) runs on this directly, with
+//!   one node per committed plan opcode;
+//! * the **MIR instances** the partition checkers need (liveness, taint
+//!   from non-offloadable sources, reaching header writes), expressed
+//!   through the original per-instruction [`Analysis`] trait, which is
+//!   now a thin adapter over the graph core (one graph node per basic
+//!   block).
+//!
+//! `solve`/`solve_graph` iterate transfer functions to the least
+//! fixpoint. Because every instance here uses monotone transfers over a
+//! join-semilattice, the least fixpoint is unique — which is what lets
+//! the property tests demand *equality* (not mere soundness) against the
+//! compiler's own analyses.
 
 use gallium_mir::{BlockId, Function, GlobalState, Op, Terminator, ValueId};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+// ---------------------------------------------------------------------
+// Graph-generic worklist core.
+// ---------------------------------------------------------------------
+
+/// A dataflow analysis over an arbitrary directed graph. Nodes are dense
+/// indices `0..node_count()`; edges are given in *CFG* orientation (the
+/// direction execution flows) regardless of [`GraphAnalysis::direction`]
+/// — the solver reverses them internally for backward analyses.
+pub trait GraphAnalysis {
+    /// The per-node fact.
+    type Fact: Clone + PartialEq;
+
+    /// Propagation direction.
+    fn direction(&self) -> Direction;
+
+    /// Number of graph nodes.
+    fn node_count(&self) -> usize;
+
+    /// CFG successors of `n`.
+    fn successors(&self, n: usize) -> Vec<usize>;
+
+    /// The lattice bottom (the neutral element of [`GraphAnalysis::join`]).
+    fn bottom(&self) -> Self::Fact;
+
+    /// Whether `n` is a boundary node (entry for forward analyses, exit
+    /// for backward ones); boundary nodes seed from
+    /// [`GraphAnalysis::boundary_fact`] instead of bottom.
+    fn is_boundary(&self, n: usize) -> bool;
+
+    /// The fact injected at boundary nodes. Defaults to bottom.
+    fn boundary_fact(&self) -> Self::Fact {
+        self.bottom()
+    }
+
+    /// Merge `from` into `into`.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact);
+
+    /// Push a fact through node `n` (in the analysis direction).
+    fn transfer(&self, n: usize, fact: &mut Self::Fact);
+
+    /// Adjust a fact crossing the CFG edge `from → to`. Defaults to the
+    /// identity.
+    fn edge_fact(&self, _from: usize, _to: usize, fact: &Self::Fact) -> Self::Fact {
+        fact.clone()
+    }
+}
+
+/// The graph fixpoint, in *flow* orientation: `input[n]` is the joined
+/// fact entering node `n` along the analysis direction, `output[n]` the
+/// fact after `n`'s transfer.
+#[derive(Debug, Clone)]
+pub struct GraphSolution<F> {
+    /// Fact flowing into each node (before its transfer).
+    pub input: Vec<F>,
+    /// Fact flowing out of each node (after its transfer).
+    pub output: Vec<F>,
+}
+
+/// Run `a` to its least fixpoint with a worklist.
+pub fn solve_graph<A: GraphAnalysis>(a: &A) -> GraphSolution<A::Fact> {
+    let n = a.node_count();
+    let mut succs: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let s = a.successors(i);
+        for &t in &s {
+            if t < n {
+                preds[t].push(i);
+            }
+        }
+        succs.push(s);
+    }
+    // Flow orientation: forward analyses consume CFG predecessors and
+    // feed successors; backward analyses the reverse.
+    let backward = a.direction() == Direction::Backward;
+    let mut input: Vec<A::Fact> = (0..n).map(|_| a.bottom()).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| a.bottom()).collect();
+    let mut work: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let mut inb = if a.is_boundary(i) {
+            a.boundary_fact()
+        } else {
+            a.bottom()
+        };
+        let flow_preds = if backward { &succs[i] } else { &preds[i] };
+        for &p in flow_preds {
+            let along = if backward {
+                a.edge_fact(i, p, &output[p])
+            } else {
+                a.edge_fact(p, i, &output[p])
+            };
+            a.join(&mut inb, &along);
+        }
+        let mut fact = inb.clone();
+        a.transfer(i, &mut fact);
+        let changed = input[i] != inb || output[i] != fact;
+        input[i] = inb;
+        output[i] = fact;
+        if changed {
+            let flow_succs = if backward { &preds[i] } else { &succs[i] };
+            for &s in flow_succs {
+                if !queued[s] {
+                    queued[s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+    GraphSolution { input, output }
+}
 
 /// Which way facts propagate through the CFG.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,87 +195,93 @@ pub struct Solution<F> {
     pub exit: Vec<F>,
 }
 
-/// Run `a` to its least fixpoint with a worklist.
-pub fn solve<A: Analysis>(f: &Function, a: &A) -> Solution<A::Fact> {
-    let n = f.blocks.len();
-    let mut entry: Vec<A::Fact> = (0..n).map(|_| a.bottom(f)).collect();
-    let mut exit: Vec<A::Fact> = (0..n).map(|_| a.bottom(f)).collect();
+/// Adapter running a per-instruction MIR [`Analysis`] on the graph core:
+/// one graph node per basic block, edges from the terminators.
+struct MirGraph<'x, A: Analysis> {
+    f: &'x Function,
+    a: &'x A,
+    succs: Vec<Vec<usize>>,
+}
 
-    // Successor / predecessor maps from the terminators alone.
-    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
-    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
-    for b in &f.blocks {
-        for s in b.term.successors() {
-            succs[b.id.0 as usize].push(s);
-            preds[s.0 as usize].push(b.id);
+impl<A: Analysis> GraphAnalysis for MirGraph<'_, A> {
+    type Fact = A::Fact;
+
+    fn direction(&self) -> Direction {
+        self.a.direction()
+    }
+
+    fn node_count(&self) -> usize {
+        self.f.blocks.len()
+    }
+
+    fn successors(&self, n: usize) -> Vec<usize> {
+        self.succs[n].clone()
+    }
+
+    fn bottom(&self) -> Self::Fact {
+        self.a.bottom(self.f)
+    }
+
+    fn is_boundary(&self, n: usize) -> bool {
+        match self.a.direction() {
+            Direction::Forward => BlockId(n as u32) == self.f.entry,
+            Direction::Backward => self.succs[n].is_empty(),
         }
     }
 
-    let mut work: VecDeque<usize> = (0..n).collect();
-    let mut queued = vec![true; n];
-    while let Some(bi) = work.pop_front() {
-        queued[bi] = false;
-        let b = &f.blocks[bi];
-        match a.direction() {
+    fn boundary_fact(&self) -> Self::Fact {
+        self.a.boundary_fact(self.f)
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) {
+        self.a.join(into, from);
+    }
+
+    fn transfer(&self, n: usize, fact: &mut Self::Fact) {
+        let b = &self.f.blocks[n];
+        match self.a.direction() {
             Direction::Forward => {
-                let mut inb = if b.id == f.entry {
-                    a.boundary_fact(f)
-                } else {
-                    a.bottom(f)
-                };
-                for p in &preds[bi] {
-                    let along = a.edge_fact(f, *p, b.id, &exit[p.0 as usize]);
-                    a.join(&mut inb, &along);
-                }
-                let mut fact = inb.clone();
                 for &v in &b.insts {
-                    a.transfer_inst(f, v, &mut fact);
+                    self.a.transfer_inst(self.f, v, fact);
                 }
-                a.transfer_term(f, b.id, &mut fact);
-                let changed = entry[bi] != inb || exit[bi] != fact;
-                entry[bi] = inb;
-                exit[bi] = fact;
-                if changed {
-                    for s in &succs[bi] {
-                        let si = s.0 as usize;
-                        if !queued[si] {
-                            queued[si] = true;
-                            work.push_back(si);
-                        }
-                    }
-                }
+                self.a.transfer_term(self.f, b.id, fact);
             }
             Direction::Backward => {
-                let mut out = if succs[bi].is_empty() {
-                    a.boundary_fact(f)
-                } else {
-                    a.bottom(f)
-                };
-                for s in &succs[bi] {
-                    let along = a.edge_fact(f, b.id, *s, &entry[s.0 as usize]);
-                    a.join(&mut out, &along);
-                }
-                let mut fact = out.clone();
-                a.transfer_term(f, b.id, &mut fact);
+                // The terminator executes last, so it transfers first.
+                self.a.transfer_term(self.f, b.id, fact);
                 for &v in b.insts.iter().rev() {
-                    a.transfer_inst(f, v, &mut fact);
-                }
-                let changed = exit[bi] != out || entry[bi] != fact;
-                exit[bi] = out;
-                entry[bi] = fact;
-                if changed {
-                    for p in &preds[bi] {
-                        let pi = p.0 as usize;
-                        if !queued[pi] {
-                            queued[pi] = true;
-                            work.push_back(pi);
-                        }
-                    }
+                    self.a.transfer_inst(self.f, v, fact);
                 }
             }
         }
     }
-    Solution { entry, exit }
+
+    fn edge_fact(&self, from: usize, to: usize, fact: &Self::Fact) -> Self::Fact {
+        self.a
+            .edge_fact(self.f, BlockId(from as u32), BlockId(to as u32), fact)
+    }
+}
+
+/// Run `a` to its least fixpoint with a worklist.
+pub fn solve<A: Analysis>(f: &Function, a: &A) -> Solution<A::Fact> {
+    let succs: Vec<Vec<usize>> = f
+        .blocks
+        .iter()
+        .map(|b| b.term.successors().iter().map(|s| s.0 as usize).collect())
+        .collect();
+    let sol = solve_graph(&MirGraph { f, a, succs });
+    // Map flow orientation back to program order: a backward analysis
+    // flows exit → entry.
+    match a.direction() {
+        Direction::Forward => Solution {
+            entry: sol.input,
+            exit: sol.output,
+        },
+        Direction::Backward => Solution {
+            entry: sol.output,
+            exit: sol.input,
+        },
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -24,18 +24,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod dataflow;
 pub mod deps;
 pub mod lints;
+pub mod plan;
 pub mod resources;
 pub mod soundness;
 
+pub use absint::{AbsState, AbsVal, PlanAbs};
 pub use dataflow::{
-    max_live_bits, solve, tainted_values, Analysis, Direction, LiveValues, ReachingHeaderWrites,
-    Solution, Taint,
+    max_live_bits, solve, solve_graph, tainted_values, Analysis, Direction, GraphAnalysis,
+    GraphSolution, LiveValues, ReachingHeaderWrites, Solution, Taint,
 };
 pub use deps::{DepEdgeKind, FlowGraph, VDeps};
 pub use lints::{Lint, LintKind, Severity, Span};
+pub use plan::{lint_plan, verify_plan, PlanReport, PlanVerifyError};
 pub use resources::{ResourceReport, StageRow};
 pub use soundness::{derive_phase1_labels, DerivedLabels};
 

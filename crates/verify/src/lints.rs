@@ -48,6 +48,20 @@ pub enum LintKind {
     /// Declared metadata exceeds the budget even though peak liveness
     /// fits (the allocator may still pack it).
     DeclaredMetadataPressure,
+    /// A committed plan opcode no path from the traversal entry reaches.
+    UnreachablePlanOp,
+    /// A plan branch guard the abstract interpreter proves always-true
+    /// or always-false.
+    ConstantGuard,
+    /// A plan branch target only reachable through a guard proven
+    /// constant — the edge can never be taken.
+    DeadBranch,
+    /// A fused table-key word whose register is proven constant by
+    /// known-bits/interval analysis (the key column is degenerate).
+    ConstantKeyWord,
+    /// A metadata slot the plan writes but nothing — no load, branch, or
+    /// transfer header — ever observes.
+    UnobservableMetaStore,
 }
 
 impl LintKind {
@@ -61,6 +75,11 @@ impl LintKind {
             LintKind::SharedStateWrite => "shared_state_write",
             LintKind::StagePressure => "stage_pressure",
             LintKind::DeclaredMetadataPressure => "declared_metadata_pressure",
+            LintKind::UnreachablePlanOp => "unreachable_plan_op",
+            LintKind::ConstantGuard => "constant_guard",
+            LintKind::DeadBranch => "dead_branch",
+            LintKind::ConstantKeyWord => "constant_key_word",
+            LintKind::UnobservableMetaStore => "unobservable_meta_store",
         }
     }
 }
@@ -76,6 +95,13 @@ pub enum Span {
     State(String),
     /// The program as a whole.
     Program,
+    /// One opcode of a compiled execution plan.
+    PlanOp {
+        /// Which traversal ("pre" or "post").
+        traversal: &'static str,
+        /// Opcode index in that traversal's stream.
+        ip: u32,
+    },
 }
 
 impl fmt::Display for Span {
@@ -85,6 +111,7 @@ impl fmt::Display for Span {
             Span::Block(b) => write!(f, "b{}", b.0),
             Span::State(s) => write!(f, "state {s}"),
             Span::Program => write!(f, "program"),
+            Span::PlanOp { traversal, ip } => write!(f, "{traversal} op #{ip}"),
         }
     }
 }

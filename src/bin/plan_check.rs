@@ -1,0 +1,328 @@
+//! plan_check — symbolically validate the compiled dataplane plan for
+//! every packaged middlebox (plus MiniLB), then run a deterministic
+//! differential check, and exit nonzero if anything diverges.
+//!
+//! Three layers, each independent evidence that the micro-op compiler is
+//! faithful:
+//!
+//! 1. **Translation validation** ([`gallium::verify::verify_plan`]):
+//!    prove the fused and unfused `ExecPlan` micro-op streams equal to
+//!    the P4 AST node by node over symbolic terms, and report
+//!    abstract-interpretation lints (dead branches, constant guards,
+//!    degenerate key words, unobservable stores).
+//! 2. **Load-time hook**: stand up deployments with
+//!    `SwitchConfig::validate_plan` forced on — the same check release
+//!    builds can opt into — for both the fused and unfused compiler
+//!    configurations.
+//! 3. **Deterministic differential**: drive an identical fixed packet
+//!    stream through the plan and the reference AST interpreter and
+//!    require byte-identical emissions and equal counters.
+//!
+//! ```text
+//! cargo run --release --bin plan_check
+//! ```
+
+use gallium::middleboxes::{firewall, lb, mazunat, minilb, proxy, trojan};
+use gallium::middleboxes::{EXTERNAL_PORT, INTERNAL_PORT};
+use gallium::prelude::*;
+
+/// One packet of the fixed stream: indices into small pools, so the
+/// stream mixes repeated flows (hits) with fresh ones (misses/inserts).
+type Desc = (u32, u32, u16, usize, usize, u8);
+
+const DPORTS: [u16; 7] = [22, 21, 80, 80, 443, 6667, 3128];
+const FLAGS: [u8; 5] = [
+    TcpFlags::SYN,
+    TcpFlags::ACK,
+    TcpFlags::ACK,
+    TcpFlags::FIN | TcpFlags::ACK,
+    TcpFlags::RST,
+];
+
+/// Deterministic xorshift64* so every run checks the identical stream.
+struct XRng(u64);
+
+impl XRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn stream(len: usize) -> Vec<Desc> {
+    let mut r = XRng(0x9E37_79B9_7F4A_7C15);
+    (0..len)
+        .map(|_| {
+            (
+                r.below(9) as u32,
+                r.below(5) as u32,
+                r.below(4) as u16,
+                r.below(7) as usize,
+                r.below(5) as usize,
+                r.below(8) as u8,
+            )
+        })
+        .collect()
+}
+
+fn packet(d: &Desc) -> Packet {
+    let (s, da, sp, dp, fl, misc) = *d;
+    // Occasionally probe the NAT external mapping range, like real
+    // return traffic would.
+    if misc == 7 {
+        return PacketBuilder::tcp(
+            FiveTuple {
+                saddr: 0x0B00_0000 + da,
+                daddr: mazunat::NAT_EXTERNAL_IP,
+                sport: 9000 + sp,
+                dport: mazunat::NAT_PORT_BASE + u16::from(misc),
+                proto: IpProtocol::Tcp,
+            },
+            TcpFlags(FLAGS[fl]),
+            96,
+        )
+        .build(PortId(EXTERNAL_PORT));
+    }
+    let ingress = if misc & 1 == 0 {
+        INTERNAL_PORT
+    } else {
+        EXTERNAL_PORT
+    };
+    PacketBuilder::tcp(
+        FiveTuple {
+            saddr: 0x0A00_0000 + s,
+            daddr: 0x0B00_0000 + da,
+            sport: 1024 + sp,
+            dport: DPORTS[dp],
+            proto: IpProtocol::Tcp,
+        },
+        TcpFlags(FLAGS[fl]),
+        64 + 8 * usize::from(misc),
+    )
+    .build(PortId(ingress))
+}
+
+/// A middlebox program paired with its standard state configuration.
+type ConfiguredProgram = (&'static str, Program, Box<dyn Fn(&mut StateStore)>);
+
+fn all_programs() -> Vec<ConfiguredProgram> {
+    let mut out: Vec<ConfiguredProgram> = Vec::new();
+    let nat = mazunat::mazunat();
+    out.push(("MazuNAT", nat.prog, Box::new(|_| {})));
+    let l = lb::load_balancer();
+    let backends = l.backends;
+    out.push((
+        "LoadBalancer",
+        l.prog,
+        Box::new(move |s| {
+            s.vec_set_all(backends, vec![0xC0A8_0001, 0xC0A8_0002, 0xC0A8_0003])
+                .unwrap()
+        }),
+    ));
+    let fw = firewall::firewall();
+    let cfg = fw.clone();
+    out.push((
+        "Firewall",
+        fw.prog,
+        Box::new(move |s| {
+            for saddr in 0..3u32 {
+                for sport in 0..3u16 {
+                    cfg.allow(
+                        s,
+                        &FiveTuple {
+                            saddr: 0x0A00_0000 + saddr,
+                            daddr: 0x0B00_0000,
+                            sport: 1024 + sport,
+                            dport: 80,
+                            proto: IpProtocol::Tcp,
+                        },
+                    );
+                }
+            }
+        }),
+    ));
+    let px = proxy::proxy(0x0A09_0909, 3128);
+    let pcfg = px.clone();
+    out.push((
+        "WebProxy",
+        px.prog,
+        Box::new(move |s| pcfg.intercept(s, 80)),
+    ));
+    let tr = trojan::trojan_detector();
+    out.push(("TrojanDetector", tr.prog, Box::new(|_| {})));
+    let ml = minilb::minilb();
+    let mbackends = ml.backends;
+    out.push((
+        "MiniLB",
+        ml.prog,
+        Box::new(move |s| {
+            s.vec_set_all(mbackends, vec![0xC0A8_0001, 0xC0A8_0002])
+                .unwrap()
+        }),
+    ));
+    out
+}
+
+/// Build a deployment with the load-time symbolic validator forced on.
+fn deploy(compiled: &CompiledMiddlebox, fusion: bool, plan: bool) -> Result<Deployment, String> {
+    let cfg = SwitchConfig {
+        plan_fusion: fusion,
+        validate_plan: true,
+        ..SwitchConfig::default()
+    };
+    let r = if plan {
+        Deployment::new(compiled, cfg, CostModel::calibrated())
+    } else {
+        Deployment::new_interpreter(compiled, cfg, CostModel::calibrated())
+    };
+    r.map_err(|e| e.to_string())
+}
+
+/// One packet's observable outcome, flattened for comparison.
+type Outcome = Result<Vec<(PortId, Vec<u8>)>, String>;
+
+fn outcome(d: &mut Deployment, p: Packet) -> Outcome {
+    d.inject(p)
+        .map(|em| {
+            em.into_iter()
+                .map(|(port, frame)| (port, frame.bytes().to_vec()))
+                .collect()
+        })
+        .map_err(|e| e.to_string())
+}
+
+/// Single-pass three-way differential: every deployment sees the
+/// identical stream, and each packet's outcome is compared against the
+/// reference (the first deployment). Counts mismatches.
+fn differential(engines: &mut [(&'static str, &mut Deployment)], descs: &[Desc]) -> usize {
+    let mut bad = 0usize;
+    for (i, d) in descs.iter().enumerate() {
+        let p = packet(d);
+        let outs: Vec<Outcome> = engines
+            .iter_mut()
+            .map(|(_, e)| outcome(e, p.clone()))
+            .collect();
+        for (j, o) in outs.iter().enumerate().skip(1) {
+            if o != &outs[0] {
+                println!(
+                    "  DIVERGENCE pkt {i}: {} disagrees with {}",
+                    engines[j].0, engines[0].0
+                );
+                bad += 1;
+            }
+        }
+    }
+    for j in 1..engines.len() {
+        if engines[j].1.stats != engines[0].1.stats {
+            println!(
+                "  DIVERGENCE: deployment stats differ ({} vs {})",
+                engines[j].0, engines[0].0
+            );
+            bad += 1;
+        }
+        if engines[j].1.switch.stats != engines[0].1.switch.stats {
+            println!(
+                "  DIVERGENCE: switch stats differ ({} vs {})",
+                engines[j].0, engines[0].0
+            );
+            bad += 1;
+        }
+    }
+    bad
+}
+
+fn main() {
+    let model = SwitchModel::tofino_like();
+    let descs = stream(64);
+    let mut failures = 0usize;
+
+    for (name, prog, configure) in all_programs() {
+        let compiled = match compile(&prog, &model) {
+            Ok(c) => c,
+            Err(e) => {
+                println!("plan-verify: {name} — COMPILE FAILED: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+
+        // Layer 1: symbolic translation validation + abstract
+        // interpretation lints, fused and unfused.
+        let report = gallium::verify::verify_plan(&compiled.p4);
+        print!("{}", report.render_text());
+        if !report.is_clean() {
+            failures += report.errors.len();
+        }
+
+        // Layer 2: the load-time hook, both compiler configurations.
+        let mut loaded = Vec::new();
+        for fusion in [true, false] {
+            match deploy(&compiled, fusion, true) {
+                Ok(d) => loaded.push((fusion, d)),
+                Err(e) => {
+                    println!(
+                        "  LOAD FAILED ({}): {e}",
+                        if fusion { "fused" } else { "unfused" }
+                    );
+                    failures += 1;
+                }
+            }
+        }
+
+        // Layer 3: deterministic three-way differential — the reference
+        // AST interpreter against the fused and unfused plans, over the
+        // identical fixed stream.
+        if loaded.len() == 2 {
+            let mut it = loaded.into_iter();
+            let (_, mut fused) = it.next().unwrap();
+            let (_, mut unfused) = it.next().unwrap();
+            let mut interp = match deploy(&compiled, true, false) {
+                Ok(d) => d,
+                Err(e) => {
+                    println!("  INTERPRETER LOAD FAILED: {e}");
+                    failures += 1;
+                    println!();
+                    continue;
+                }
+            };
+            assert!(fused.switch.uses_plan(), "{name}: plan deployment on plan");
+            assert!(!interp.switch.uses_plan(), "{name}: interp stayed on AST");
+            fused.configure(|s| configure(s)).unwrap();
+            unfused.configure(|s| configure(s)).unwrap();
+            interp.configure(|s| configure(s)).unwrap();
+            let bad = differential(
+                &mut [
+                    ("interpreter", &mut interp),
+                    ("fused plan", &mut fused),
+                    ("unfused plan", &mut unfused),
+                ],
+                &descs,
+            );
+            if bad == 0 {
+                println!(
+                    "  differential: ok ({} packets, interp≡fused≡unfused)",
+                    descs.len()
+                );
+            }
+            failures += bad;
+        }
+        println!();
+    }
+
+    let snapshot = gallium::telemetry::global().snapshot();
+    println!("=== telemetry snapshot (json) ===");
+    print!("{}", snapshot.to_json());
+
+    if failures > 0 {
+        eprintln!("plan_check: {failures} failures");
+        std::process::exit(1);
+    }
+}
