@@ -1,8 +1,18 @@
 //! Runtime match-action tables with write-back shadows (§4.3.3).
+//!
+//! Control-plane mutations land in an ordinary `HashMap`; the data plane
+//! reads through a rebuilt [`ReadLayout`] — a flat, open-addressed
+//! perfect-hash array (hash-and-displace over [`FxHasher64`]) holding the
+//! inline key lanes and value offsets in one contiguous allocation, so a
+//! warm exact-match probe touches exactly one slot with no bucket-chain
+//! pointer chases. Mutations between rebuilds accumulate in a small delta
+//! overlay; the layout is rebuilt incrementally on mutation epochs (or
+//! eagerly via [`RtTable::flush_layout`], which the switch calls before
+//! dataplane processing).
 
-use crate::fasthash::FastBuildHasher;
-use gallium_telemetry::Counter;
+use crate::fasthash::{FastBuildHasher, FxHasher64};
 use std::borrow::Borrow;
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 
@@ -185,19 +195,277 @@ impl KeyBuf {
     }
 }
 
+/// Single-threaded counter the data plane bumps through `&self`.
+///
+/// `RtTable` lives inside one `Switch` and is never shared across
+/// threads, so interior mutability via [`Cell`] suffices — an atomic RMW
+/// here would put a locked instruction on every warm-path lookup for
+/// nothing. Cloning snapshots the value.
+#[derive(Debug, Clone, Default)]
+pub struct TableCounter(Cell<u64>);
+
+impl TableCounter {
+    /// Add one.
+    #[inline(always)]
+    pub fn inc(&self) {
+        self.0.set(self.0.get().wrapping_add(1));
+    }
+
+    /// Add `n`.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
 /// Per-table runtime counters.
 ///
-/// Counters are relaxed atomics so the data-plane [`RtTable::lookup`]
-/// (which takes `&self`) can bump them without locks or allocation.
-/// Cloning a table snapshots the counter values.
+/// Counters use [`TableCounter`] (a `Cell`) so the data-plane
+/// [`RtTable::lookup`] (which takes `&self`) can bump them without locks,
+/// allocation, or atomic traffic. Cloning a table snapshots the values.
 #[derive(Debug, Clone, Default)]
 pub struct TableStats {
     /// Data-plane lookups that matched an entry.
-    pub hits: Counter,
+    pub hits: TableCounter,
     /// Data-plane lookups that missed.
-    pub misses: Counter,
+    pub misses: TableCounter,
     /// Entries displaced by cache-mode FIFO replacement (§7).
-    pub evictions: Counter,
+    pub evictions: TableCounter,
+    /// Perfect-hash read-layout rebuilds (control-plane side).
+    pub rebuilds: TableCounter,
+    /// Exact-match lookups served by the perfect-hash read layout.
+    pub probes: TableCounter,
+}
+
+/// Multiplier for the layout's slot-index hash (golden-ratio family; odd).
+const LAYOUT_SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Slot-array doublings attempted before the layout gives up and the
+/// table keeps serving lookups from the hash map.
+const LAYOUT_BUILD_ATTEMPTS: usize = 4;
+
+/// Displacement values tried per bucket before growing the slot array.
+const LAYOUT_DISP_TRIES: u32 = 256;
+
+/// Delta-overlay entries that trigger an automatic layout rebuild (the
+/// effective threshold scales with table size; see
+/// [`RtTable::note_mutation`]).
+const LAYOUT_DELTA_MAX: usize = 16;
+
+/// `len` sentinel marking an unoccupied layout slot (no real key has more
+/// than [`INLINE_KEY_WORDS`] words here).
+const LAYOUT_EMPTY: u8 = u8::MAX;
+
+/// Hash of a key's words for the read layout. Folds the length first so
+/// `[1]` and `[1, 0]` (distinct keys) never share a hash by construction.
+#[inline]
+fn hash_key_words(words: &[u64]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write_usize(words.len());
+    for &w in words {
+        h.write_u64(w);
+    }
+    h.finish()
+}
+
+/// Bucket index for the displacement table: the high hash bits (the
+/// multiply-mixed ones), independent of the low bits the slot index uses.
+#[inline]
+fn layout_bucket_index(h: u64, mask: u64) -> usize {
+    ((h >> 32) & mask) as usize
+}
+
+/// Slot index under displacement `disp`: re-mixing through a multiply
+/// makes each displacement value behave like an independent hash function
+/// for every key in the bucket, which is what hash-and-displace needs.
+#[inline]
+fn layout_slot_index(h: u64, disp: u32, mask: u64) -> usize {
+    ((h.wrapping_add(u64::from(disp)).wrapping_mul(LAYOUT_SEED) >> 32) & mask) as usize
+}
+
+/// One slot of the read layout: inline key lanes (zero-padded past `len`,
+/// so equality is a branchless four-lane XOR) plus the value's offset into
+/// the layout's contiguous value pool.
+#[derive(Debug, Clone, Copy)]
+struct LayoutSlot {
+    /// Key words, or [`LAYOUT_EMPTY`] for an unoccupied slot.
+    len: u8,
+    /// The key words; lanes at index ≥ `len` are zero.
+    words: [u64; INLINE_KEY_WORDS],
+    /// Start of the value words in [`ReadLayout::values`].
+    val_start: u32,
+    /// Number of value words.
+    val_len: u32,
+}
+
+impl LayoutSlot {
+    const EMPTY: LayoutSlot = LayoutSlot {
+        len: LAYOUT_EMPTY,
+        words: [0; INLINE_KEY_WORDS],
+        val_start: 0,
+        val_len: 0,
+    };
+}
+
+/// Read-optimized two-level (hash-and-displace) exact-match layout.
+///
+/// A lookup is: hash the key words, read one displacement word, probe one
+/// slot, compare the inline lanes — at most one slot touched, zero bucket
+/// chains, zero allocation. Built from the main hash map by
+/// [`RtTable::rebuild_layout`]; tables holding any spilled (wider than
+/// [`INLINE_KEY_WORDS`]) key fall back to hash-map serving.
+#[derive(Debug, Clone)]
+struct ReadLayout {
+    /// `slot count - 1` (slot count is a power of two; bucket count equals
+    /// slot count).
+    mask: u64,
+    /// Per-bucket displacement values.
+    disp: Box<[u32]>,
+    /// The open-addressed slot array.
+    slots: Box<[LayoutSlot]>,
+    /// All values, concatenated; slots index into this pool.
+    values: Box<[u64]>,
+}
+
+impl ReadLayout {
+    /// Single-probe exact-match lookup. `None` for keys wider than the
+    /// inline lanes — [`RtTable`] guarantees no such key is resident while
+    /// a layout is active.
+    #[inline]
+    fn get(&self, key: &[u64]) -> Option<&[u64]> {
+        if key.len() > INLINE_KEY_WORDS {
+            return None;
+        }
+        let mut padded = [0u64; INLINE_KEY_WORDS];
+        padded[..key.len()].copy_from_slice(key);
+        let h = hash_key_words(key);
+        let b = layout_bucket_index(h, self.mask);
+        let s = layout_slot_index(h, self.disp[b], self.mask);
+        let slot = &self.slots[s];
+        // Branchless compare: the slot's lanes past `len` are zero by
+        // construction and `padded` is zero past the probe's length, so
+        // all four lanes can be XOR-folded unconditionally; the length
+        // byte disambiguates prefix keys and empty slots (LAYOUT_EMPTY
+        // never equals a real length).
+        let mut acc = u64::from(slot.len ^ key.len() as u8);
+        for (w, p) in slot.words.iter().zip(padded.iter()) {
+            acc |= w ^ p;
+        }
+        if acc != 0 {
+            return None;
+        }
+        let start = slot.val_start as usize;
+        Some(&self.values[start..start + slot.val_len as usize])
+    }
+
+    /// Prefetch the slot this key would probe. Reading the displacement
+    /// word and touching the slot line here is the point: by the time the
+    /// real probe runs, both are warm. The crate forbids `unsafe`, so
+    /// instead of a prefetch instruction this issues an early demand load
+    /// of the slot's tag byte through `black_box` — the out-of-order core
+    /// overlaps the line fill with whatever the caller does next exactly
+    /// as a software prefetch would.
+    #[inline]
+    fn prefetch(&self, key: &[u64]) {
+        if key.len() > INLINE_KEY_WORDS {
+            return;
+        }
+        let h = hash_key_words(key);
+        let b = layout_bucket_index(h, self.mask);
+        let s = layout_slot_index(h, self.disp[b], self.mask);
+        std::hint::black_box(self.slots[s].len);
+    }
+}
+
+/// Build a read layout over `main`, or `None` when a spilled key or a
+/// displacement failure forces hash-map serving.
+fn build_layout(main: &HashMap<TableKey, Vec<u64>, FastBuildHasher>) -> Option<ReadLayout> {
+    let mut entries = Vec::with_capacity(main.len());
+    for (key, value) in main {
+        if key.len() > INLINE_KEY_WORDS {
+            return None;
+        }
+        entries.push((hash_key_words(key.as_slice()), key, value));
+    }
+    let mut nslots = (main.len().max(1) * 2).next_power_of_two().max(8);
+    for _ in 0..LAYOUT_BUILD_ATTEMPTS {
+        if let Some(layout) = try_build_layout(&entries, nslots) {
+            return Some(layout);
+        }
+        nslots *= 2;
+    }
+    None
+}
+
+/// One hash-and-displace attempt at a fixed slot count. Buckets are
+/// placed in decreasing size order (big buckets have the fewest viable
+/// displacements, so they claim slots while the array is emptiest).
+fn try_build_layout(entries: &[(u64, &TableKey, &Vec<u64>)], nslots: usize) -> Option<ReadLayout> {
+    let mask = (nslots - 1) as u64;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nslots];
+    for (i, (h, _, _)) in entries.iter().enumerate() {
+        buckets[layout_bucket_index(*h, mask)].push(i as u32);
+    }
+    let mut order: Vec<u32> = (0..nslots as u32)
+        .filter(|&b| !buckets[b as usize].is_empty())
+        .collect();
+    order.sort_by_key(|&b| (std::cmp::Reverse(buckets[b as usize].len()), b));
+    let mut disp = vec![0u32; nslots].into_boxed_slice();
+    let mut slot_entry = vec![u32::MAX; nslots];
+    let mut claimed: Vec<usize> = Vec::new();
+    for &b in &order {
+        let members = &buckets[b as usize];
+        let mut placed = false;
+        'disp: for d in 0..LAYOUT_DISP_TRIES {
+            claimed.clear();
+            for &m in members {
+                let s = layout_slot_index(entries[m as usize].0, d, mask);
+                if slot_entry[s] != u32::MAX || claimed.contains(&s) {
+                    continue 'disp;
+                }
+                claimed.push(s);
+            }
+            disp[b as usize] = d;
+            for (&m, &s) in members.iter().zip(&claimed) {
+                slot_entry[s] = m;
+            }
+            placed = true;
+            break;
+        }
+        if !placed {
+            return None;
+        }
+    }
+    let mut slots = vec![LayoutSlot::EMPTY; nslots].into_boxed_slice();
+    let mut values = Vec::new();
+    for (s, &e) in slot_entry.iter().enumerate() {
+        if e == u32::MAX {
+            continue;
+        }
+        let (_, key, value) = entries[e as usize];
+        let kslice = key.as_slice();
+        let mut words = [0u64; INLINE_KEY_WORDS];
+        words[..kslice.len()].copy_from_slice(kslice);
+        slots[s] = LayoutSlot {
+            len: kslice.len() as u8,
+            words,
+            val_start: values.len() as u32,
+            val_len: value.len() as u32,
+        };
+        values.extend_from_slice(value);
+    }
+    Some(ReadLayout {
+        mask,
+        disp,
+        slots,
+        values: values.into_boxed_slice(),
+    })
 }
 
 /// Why a table rejected a control-plane mutation.
@@ -253,7 +521,21 @@ pub struct RtTable {
     /// Longest-prefix-match mode (§7 extension): `(prefix, len, value)`
     /// entries and the key width. Exact lookups are bypassed.
     lpm: Option<(u8, Vec<LpmEntry>)>,
-    /// Hit/miss/eviction counters.
+    /// Perfect-hash read layout serving exact-match lookups; `None` while
+    /// a spilled key or displacement failure forces hash-map serving.
+    /// Invariant while `Some`: `layout` overlaid with `delta` is
+    /// observation-equivalent to `main`.
+    layout: Option<ReadLayout>,
+    /// Mutations since the last rebuild: `Some` overrides the layout,
+    /// `None` tombstones a layout entry. Consulted (cheaply, behind one
+    /// `is_empty` branch) before every layout probe; cleared on rebuild.
+    delta: HashMap<TableKey, Option<Vec<u64>>, FastBuildHasher>,
+    /// Control-plane mutation epoch: bumped once per main-table mutation.
+    epoch: u64,
+    /// Epoch the layout was last rebuilt at (stale ⇒ `flush_layout`
+    /// re-attempts the build).
+    layout_epoch: u64,
+    /// Hit/miss/eviction/rebuild/probe counters.
     pub stats: TableStats,
 }
 
@@ -270,7 +552,82 @@ impl RtTable {
             evict_fifo: false,
             order: VecDeque::new(),
             lpm: None,
+            layout: build_layout(&HashMap::default()),
+            delta: HashMap::default(),
+            epoch: 0,
+            layout_epoch: 0,
             stats: TableStats::default(),
+        }
+    }
+
+    /// Rebuild the perfect-hash read layout from `main` and clear the
+    /// delta overlay. Called automatically when the overlay grows past its
+    /// threshold and from [`RtTable::flush_layout`].
+    fn rebuild_layout(&mut self) {
+        self.delta.clear();
+        self.layout = build_layout(&self.main);
+        self.layout_epoch = self.epoch;
+        self.stats.rebuilds.inc();
+    }
+
+    /// Make the read layout current if any mutation is outstanding. The
+    /// switch calls this before dataplane processing so steady-state
+    /// lookups always take the single-probe path with an empty delta.
+    pub fn flush_layout(&mut self) {
+        if self.layout_epoch != self.epoch {
+            self.rebuild_layout();
+        }
+    }
+
+    /// True when exact-match lookups are currently served by the
+    /// perfect-hash layout (as opposed to the fallback hash map).
+    pub fn layout_active(&self) -> bool {
+        self.layout.is_some()
+    }
+
+    /// Number of mutations buffered in the delta overlay since the last
+    /// layout rebuild.
+    pub fn pending_delta(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// The control-plane mutation epoch (bumped once per main-table
+    /// mutation).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Prefetch the layout slot `key` would probe, hiding the probe's
+    /// memory latency behind unrelated work (batch software pipelining).
+    /// Semantically a no-op; cheap and harmless even when the layout is
+    /// stale or inactive.
+    #[inline]
+    pub fn prefetch(&self, key: &[u64]) {
+        if let Some(layout) = &self.layout {
+            layout.prefetch(key);
+        }
+    }
+
+    /// Record one main-table mutation: bump the epoch and fold the change
+    /// into the delta overlay (or rebuild outright — spilled keys force
+    /// hash-map serving, and an oversized overlay is amortized away).
+    fn note_mutation(&mut self, key: TableKey, staged: Option<Vec<u64>>) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.layout.is_none() {
+            // Hash-map serving: `main` is probed directly, so there is
+            // nothing to overlay. `flush_layout` re-attempts the build.
+            return;
+        }
+        if matches!(key, TableKey::Spilled(_)) {
+            // Invariant: an active layout means every resident *and*
+            // overlaid key is inline. Rebuild now (which bails to map
+            // serving) rather than track spilled keys in the delta.
+            self.rebuild_layout();
+            return;
+        }
+        self.delta.insert(key, staged);
+        if self.delta.len() >= LAYOUT_DELTA_MAX.max(self.main.len() / 8) {
+            self.rebuild_layout();
         }
     }
 
@@ -306,20 +663,32 @@ impl RtTable {
                 key_width: *key_width,
             });
         }
+        // Canonicalize: mask the prefix to its `len` leading bits. Bits
+        // below the prefix can never influence a match, so storing them
+        // raw would let two spellings of the same effective prefix (e.g.
+        // 0xFF/4 and 0xF0/4 under key width 8) coexist — replacement
+        // would miss, and lookups would keep serving the stale entry.
+        let prefix = if len == 0 {
+            0
+        } else {
+            let shift = *key_width - len;
+            (prefix >> shift) << shift
+        };
         entries.retain(|(p, l, _)| !(*p == prefix && *l == len));
         let mut evicted = Vec::new();
         if entries.len() >= capacity {
-            if !evict {
+            if !evict || capacity == 0 {
+                // The degenerate capacity is checked before any state is
+                // touched (mirroring `insert_main`): draining first would
+                // destroy the resident entries, lose the evicted list, and
+                // still fail.
                 return Err(TableError::CapacityExceeded { capacity });
             }
             // Cache mode: drop the oldest installed entries until one slot
             // frees up (entries are kept in installation order).
-            while entries.len() >= capacity && !entries.is_empty() {
+            while entries.len() >= capacity {
                 let (p, l, _) = entries.remove(0);
                 evicted.push((p, l));
-            }
-            if entries.len() >= capacity {
-                return Err(TableError::CapacityExceeded { capacity }); // capacity 0
             }
         }
         entries.push((prefix, len, value));
@@ -387,23 +756,48 @@ impl RtTable {
             return best.map(|(_, v)| v);
         }
         // Exact-match probes: keys that fit the inline lanes are rebuilt as
-        // a stack-only `TableKey` so the hash map's equality check runs the
+        // a stack-only `TableKey` so the hash maps' equality checks run the
         // word-parallel inline compare (hashing still goes through the
         // shared slice `Hash` impl, so buckets agree with `Borrow<[u64]>`
         // probes). Wider keys keep the allocation-free slice probe.
+        //
+        // Probe order: write-back shadow (only while the visibility bit is
+        // set) → delta overlay (one `is_empty` branch when no mutation is
+        // outstanding) → single perfect-hash layout probe. Tables without
+        // an active layout (spilled keys, displacement failure) fall back
+        // to the main hash map.
         if key.len() <= INLINE_KEY_WORDS {
-            let probe = TableKey::from(key);
+            // The stack-only probe key is built lazily inside each cold
+            // branch: the steady state (write-back bit clear, delta
+            // folded, layout active) goes straight to the single
+            // perfect-hash probe without copying the key words at all.
             if wb_active {
-                if let Some(staged) = self.shadow.get(&probe) {
+                if let Some(staged) = self.shadow.get(&TableKey::from(key)) {
                     return staged.as_deref();
                 }
             }
-            return self.main.get(&probe).map(Vec::as_slice);
+            if let Some(layout) = &self.layout {
+                if !self.delta.is_empty() {
+                    if let Some(staged) = self.delta.get(&TableKey::from(key)) {
+                        return staged.as_deref();
+                    }
+                }
+                self.stats.probes.inc();
+                return layout.get(key);
+            }
+            return self.main.get(&TableKey::from(key)).map(Vec::as_slice);
         }
         if wb_active {
             if let Some(staged) = self.shadow.get(key) {
                 return staged.as_deref();
             }
+        }
+        if self.layout.is_some() {
+            // An active layout guarantees every resident key is inline
+            // (spilled inserts rebuild immediately), so a wide probe is a
+            // definite miss.
+            self.stats.probes.inc();
+            return None;
         }
         self.main.get(key).map(Vec::as_slice)
     }
@@ -432,6 +826,7 @@ impl RtTable {
                 match self.order.pop_front() {
                     Some(old) => {
                         self.main.remove(old.as_slice());
+                        self.note_mutation(old.clone(), None);
                         evicted.push(old.to_vec());
                     }
                     None => {
@@ -449,14 +844,22 @@ impl RtTable {
             // its slot in the order queue.
             self.order.push_back(key.clone());
         }
-        self.main.insert(key, value);
+        self.main.insert(key.clone(), value.clone());
+        self.note_mutation(key, Some(value));
         self.stats.evictions.add(evicted.len() as u64);
         Ok(evicted)
     }
 
     /// Control-plane delete from the main table.
+    ///
+    /// Also drops any *staged* shadow entry for the key: a delete is the
+    /// control plane's newest word on it, and a staged update left behind
+    /// would resurrect the key at the next write-back commit (and keep
+    /// serving it while the visibility bit is set).
     pub fn delete_main(&mut self, key: &[u64]) {
         self.main.remove(key);
+        self.shadow.remove(key);
+        self.note_mutation(TableKey::from(key), None);
         if self.evict_fifo {
             self.order.retain(|k| k.as_slice() != key);
         }
@@ -776,6 +1179,161 @@ mod tests {
         assert_eq!(t.lookup(&k, true), None);
         t.delete_main(&k);
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn lpm_insert_canonicalizes_prefix() {
+        // Regression: the prefix used to be stored raw, so two spellings
+        // of the same effective prefix coexisted and the stale first
+        // install kept winning lookups.
+        let mut t = RtTable::new(8);
+        t.make_lpm(8);
+        assert_eq!(t.lpm_insert(0xFF, 4, vec![1]), Ok(vec![]));
+        // Same effective prefix (0xF0/4): must replace, not coexist.
+        assert_eq!(t.lpm_insert(0xF0, 4, vec![2]), Ok(vec![]));
+        assert_eq!(t.lookup(&[0xFF], false), Some(vec![2]));
+        assert_eq!(t.lookup(&[0xF3], false), Some(vec![2]));
+        // Exactly one entry occupies capacity: a table of capacity 2 still
+        // has room for one more prefix.
+        let mut small = RtTable::new(2);
+        small.make_lpm(8);
+        small.lpm_insert(0xFF, 4, vec![1]).unwrap();
+        small.lpm_insert(0xF0, 4, vec![2]).unwrap();
+        assert_eq!(small.lpm_insert(0x0F, 4, vec![3]), Ok(vec![]));
+        // The canonical form is what eviction accounting reports.
+        let mut c = RtTable::new(8);
+        c.make_cache(1);
+        c.make_lpm(8);
+        c.lpm_insert(0xFF, 4, vec![1]).unwrap();
+        assert_eq!(c.lpm_insert(0x0F, 4, vec![2]), Ok(vec![(0xF0, 4)]));
+    }
+
+    #[test]
+    fn delete_main_drops_staged_shadow_entry() {
+        // Regression: a staged update surviving `delete_main` would keep
+        // serving the key while the write-back bit is set and resurrect it
+        // when the commit folds the shadow into main.
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]).unwrap();
+        t.stage(vec![1], Some(vec![99]));
+        t.delete_main(&[1]);
+        assert_eq!(t.lookup(&[1], false), None);
+        assert_eq!(t.lookup(&[1], true), None);
+        assert_eq!(t.shadow_len(), 0);
+        // A commit-style drain has nothing to replay for the deleted key.
+        assert!(t.drain_shadow().is_empty());
+        // Unrelated staged entries survive the delete.
+        let mut u = RtTable::new(8);
+        u.stage(vec![1], Some(vec![11]));
+        u.stage(vec![2], Some(vec![22]));
+        u.delete_main(&[1]);
+        assert_eq!(u.lookup(&[2], true), Some(vec![22]));
+        assert_eq!(u.shadow_len(), 1);
+    }
+
+    #[test]
+    fn lpm_zero_capacity_cache_rejects_without_mutating() {
+        // Regression: the degenerate capacity used to be checked *after*
+        // the eviction drain, so a cache shrunk to zero capacity lost all
+        // resident entries (and the evicted list, and the eviction stats)
+        // on the next insert — which still failed.
+        let mut t = RtTable::new(8);
+        t.make_lpm(32);
+        t.lpm_insert(0x0a00_0000, 8, vec![1]).unwrap();
+        t.lpm_insert(0x0b00_0000, 8, vec![2]).unwrap();
+        t.make_cache(0);
+        assert_eq!(
+            t.lpm_insert(0x0c00_0000, 8, vec![3]),
+            Err(TableError::CapacityExceeded { capacity: 0 })
+        );
+        // The resident entries are untouched and nothing was "evicted".
+        assert_eq!(t.lookup(&[0x0a01_0203], false), Some(vec![1]));
+        assert_eq!(t.lookup(&[0x0b01_0203], false), Some(vec![2]));
+        assert_eq!(t.stats.evictions.get(), 0);
+    }
+
+    #[test]
+    fn layout_serves_lookups_and_rebuilds_on_mutation() {
+        let mut t = RtTable::new(1 << 12);
+        assert!(t.layout_active());
+        for i in 0..200u64 {
+            t.insert_main(vec![i, i + 1], vec![i * 10]).unwrap();
+        }
+        t.flush_layout();
+        assert_eq!(t.pending_delta(), 0);
+        let probes_before = t.stats.probes.get();
+        for i in 0..200u64 {
+            assert_eq!(t.lookup(&[i, i + 1], false), Some(vec![i * 10]));
+        }
+        assert_eq!(t.lookup(&[999, 999], false), None);
+        assert_eq!(t.stats.probes.get() - probes_before, 201);
+        assert!(t.stats.rebuilds.get() > 0);
+
+        // Mutations are visible immediately through the delta overlay…
+        t.insert_main(vec![7, 8], vec![777]).unwrap();
+        t.delete_main(&[3, 4]);
+        assert!(t.pending_delta() > 0);
+        assert_eq!(t.lookup(&[7, 8], false), Some(vec![777]));
+        assert_eq!(t.lookup(&[3, 4], false), None);
+        // …and survive the flush-time rebuild bit-identically.
+        t.flush_layout();
+        assert_eq!(t.pending_delta(), 0);
+        assert_eq!(t.lookup(&[7, 8], false), Some(vec![777]));
+        assert_eq!(t.lookup(&[3, 4], false), None);
+        assert_eq!(t.lookup(&[5, 6], false), Some(vec![50]));
+        // `flush_layout` with no outstanding mutation is a no-op.
+        let rebuilds = t.stats.rebuilds.get();
+        t.flush_layout();
+        assert_eq!(t.stats.rebuilds.get(), rebuilds);
+    }
+
+    #[test]
+    fn spilled_keys_fall_back_to_map_serving() {
+        let mut t = RtTable::new(16);
+        t.insert_main(vec![1], vec![10]).unwrap();
+        assert!(t.layout_active());
+        let wide = vec![1u64, 2, 3, 4, 5, 6];
+        t.insert_main(wide.clone(), vec![42]).unwrap();
+        assert!(!t.layout_active());
+        assert_eq!(t.lookup(&wide, false), Some(vec![42]));
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+        t.flush_layout();
+        assert!(!t.layout_active());
+        // Deleting the spilled key lets the next flush restore the layout.
+        t.delete_main(&wide);
+        t.flush_layout();
+        assert!(t.layout_active());
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+        assert_eq!(t.lookup(&wide, false), None);
+    }
+
+    #[test]
+    fn layout_respects_shadow_and_tombstones() {
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]).unwrap();
+        t.flush_layout();
+        t.stage(vec![1], None);
+        t.stage(vec![2], Some(vec![20]));
+        assert_eq!(t.lookup(&[1], true), None);
+        assert_eq!(t.lookup(&[2], true), Some(vec![20]));
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+        assert_eq!(t.lookup(&[2], false), None);
+    }
+
+    #[test]
+    fn layout_distinguishes_prefix_keys_and_empty_values() {
+        // `[1]` vs `[1, 0]` differ only in length; an empty value is a hit
+        // that must not read as a miss.
+        let mut t = RtTable::new(8);
+        t.insert_main(vec![1], vec![10]).unwrap();
+        t.insert_main(vec![1, 0], vec![20]).unwrap();
+        t.insert_main(vec![], vec![]).unwrap();
+        t.flush_layout();
+        assert!(t.layout_active());
+        assert_eq!(t.lookup(&[1], false), Some(vec![10]));
+        assert_eq!(t.lookup(&[1, 0], false), Some(vec![20]));
+        assert_eq!(t.lookup(&[], false), Some(vec![]));
+        assert_eq!(t.lookup(&[0, 1], false), None);
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub const PLAN_EXPR_FUSED: &str = "gallium.switchsim.plan.expr.fused";
 /// Dead micro-ops and metadata stores eliminated at plan build.
 pub const PLAN_EXPR_DEAD_OPS: &str = "gallium.switchsim.plan.expr.dead_ops";
 
+/// Perfect-hash read-layout rebuilds across all tables.
+pub const TABLE_REBUILDS: &str = "gallium.switchsim.table.rebuilds";
+/// Exact-match probes served by the perfect-hash read layout across all
+/// tables.
+pub const TABLE_PROBES: &str = "gallium.switchsim.table.probe";
+
 /// Prefix of the per-table counter family
 /// (`gallium.switchsim.table.<table>.<metric>`).
 pub const TABLE_PREFIX: &str = "gallium.switchsim.table.";
@@ -222,6 +228,8 @@ mod tests {
             DROP_DEPLOY_POST_LOOP,
             TRACE_SAMPLED,
             SWITCH_RX_NETWORK,
+            TABLE_REBUILDS,
+            TABLE_PROBES,
             PLAN_BUILD_NS,
             PLAN_EXPR_MICRO_OPS,
             PLAN_EXPR_REGS,

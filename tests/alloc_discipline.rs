@@ -147,6 +147,53 @@ fn warm_fast_path_with_recorder_is_allocation_free() {
 }
 
 #[test]
+fn rebuilt_layout_lookups_are_allocation_free() {
+    // The PR 10 contract: control-plane churn buffers into the delta
+    // overlay and is folded into a fresh perfect-hash layout by
+    // `flush_layout`; once rebuilt, the lookup path (prefetch + probe)
+    // acquires no memory at all — rebuild cost lives entirely on the
+    // control-plane side.
+    use gallium::switchsim::RtTable;
+
+    let mut t = RtTable::new(64);
+    for i in 0..48u64 {
+        t.insert_main(vec![i, i ^ 0xdead], vec![i * 3]).unwrap();
+    }
+    // Churn past the overlay threshold so at least one incremental
+    // rebuild fires, then flush to fold the remainder.
+    for i in 0..16u64 {
+        t.delete_main(&[i, i ^ 0xdead]);
+    }
+    for i in 0..8u64 {
+        t.insert_main(vec![i, i ^ 0xdead], vec![i * 5]).unwrap();
+    }
+    t.flush_layout();
+    assert!(t.layout_active(), "inline keys must serve from the layout");
+    assert_eq!(t.pending_delta(), 0, "flush folds the whole overlay");
+
+    let keys: Vec<Vec<u64>> = (0..48u64).map(|i| vec![i, i ^ 0xdead]).collect();
+    let mut hits = 0u64;
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..64 {
+        for k in &keys {
+            t.prefetch(k);
+            if t.lookup_ref(k, false).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "rebuilt-layout lookups allocated {} times",
+        after - before
+    );
+    // 48 inserted − 16 deleted + 8 reinserted ⇒ 40 resident per pass.
+    assert_eq!(hits, 64 * 40, "sweep really hit the resident set");
+}
+
+#[test]
 fn shared_packets_detach_instead_of_corrupting() {
     // The counterpart guarantee: when the injected packet *is* shared
     // (refcount > 1), copy-on-write pays one detach copy rather than

@@ -383,6 +383,97 @@ proptest! {
         prop_assert!(bat.replicated_consistent(), "batch replicated state");
     }
 
+    /// The PR 10 read-optimized layout: a plain (non-cache) table serving
+    /// exact-match lookups through the hash-and-displace perfect-hash
+    /// layout — with its delta overlay, epoch tracking, and incremental
+    /// rebuilds — must stay bit-identical to a `HashMap` model under
+    /// random insert/delete/lookup/flush interleavings. Widths 1..=6
+    /// exercise both the inline fast path and the spilled fallback that
+    /// deactivates the layout (and its reactivation once the spilled key
+    /// is deleted and the layout rebuilt).
+    #[test]
+    fn perfect_hash_layout_equals_map_model(
+        ops in proptest::collection::vec(
+            (0u8..4, proptest::collection::vec(0u64..4, 1..=6), 0u64..100),
+            1..160,
+        )
+    ) {
+        use std::collections::HashMap;
+
+        const CAP: usize = 16;
+        let mut table = gallium::switchsim::RtTable::new(CAP);
+        let mut model: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
+
+        for (i, (op, key, val)) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let full = model.len() >= CAP && !model.contains_key(key);
+                    let got = table.insert_main(key.clone(), vec![*val]);
+                    if full {
+                        // Plain tables error at capacity; nothing mutates.
+                        prop_assert!(got.is_err(), "op {}: full insert must fail", i);
+                    } else {
+                        prop_assert_eq!(
+                            got.expect("in-capacity insert"),
+                            Vec::<Vec<u64>>::new(),
+                            "op {}: plain tables never evict", i
+                        );
+                        model.insert(key.clone(), vec![*val]);
+                    }
+                }
+                1 => {
+                    let got = table.lookup_ref(key, false);
+                    prop_assert_eq!(
+                        got,
+                        model.get(key).map(Vec::as_slice),
+                        "op {}: lookup", i
+                    );
+                }
+                2 => {
+                    table.delete_main(key);
+                    model.remove(key);
+                }
+                _ => {
+                    // Force a rebuild mid-stream: afterwards the layout
+                    // serves iff every resident key fits inline, and the
+                    // delta overlay is folded in either way.
+                    table.flush_layout();
+                    let all_inline = model
+                        .keys()
+                        .all(|k| k.len() <= gallium::switchsim::INLINE_KEY_WORDS);
+                    prop_assert_eq!(
+                        table.layout_active(),
+                        all_inline,
+                        "op {}: layout activity", i
+                    );
+                    prop_assert_eq!(table.pending_delta(), 0, "op {}: delta folded", i);
+                }
+            }
+            prop_assert_eq!(table.len(), model.len(), "op {}: len", i);
+        }
+
+        // Final rebuild, then a full sweep: every resident key and a
+        // displaced probe set of absent keys must answer bit-identically
+        // through the freshly built layout.
+        table.flush_layout();
+        for (k, v) in &model {
+            prop_assert_eq!(table.lookup_ref(k, false), Some(v.as_slice()), "final hit sweep");
+        }
+        for k in model.keys() {
+            let mut absent = k.clone();
+            absent[0] ^= 0x8000_0000_0000_0000;
+            prop_assert_eq!(
+                table.lookup_ref(&absent, false),
+                model.get(&absent).map(Vec::as_slice),
+                "final miss sweep"
+            );
+        }
+        let got: Vec<_> = table.entries();
+        let mut want: Vec<_> = model.into_iter().collect();
+        want.sort();
+        prop_assert_eq!(got, want, "final entry sets");
+    }
+
     /// Cache mode (§7): a 2-entry FIFO cache on the LB connection table.
     /// Any stream with ≥3 distinct flows thrashes it, exercising eviction
     /// on the control-plane fill path and cache-miss→replay on the data
